@@ -1,0 +1,152 @@
+"""Shared evaluation state for the benchmark harness.
+
+Record runs are expensive (full dry run of each NN through the simulated
+stack), so the full evaluation grid — 6 workloads x 4 recorder variants x
+2 network profiles, plus native and replay runs — is produced once per
+pytest session and shared by every table/figure benchmark, exactly as the
+paper runs its benchmark suite once with history retained in between
+(§7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import (
+    NAIVE,
+    OURS_M,
+    OURS_MD,
+    OURS_MDS,
+    RecordResult,
+    RecordSession,
+)
+from repro.core.replayer import Replayer, ReplayResult
+from repro.core.speculation import CommitHistory
+from repro.core.testbed import ClientDevice, NativeResult, native_run
+from repro.ml.models import PAPER_WORKLOADS, build_model
+from repro.ml.runner import generate_weights
+from repro.sim.network import CELLULAR, WIFI, LinkProfile
+
+WORKLOADS = ("mnist", "alexnet", "mobilenet", "squeezenet", "resnet12",
+             "vgg16")
+VARIANTS = (NAIVE, OURS_M, OURS_MD, OURS_MDS)
+LINKS = (WIFI, CELLULAR)
+
+# Keep recordings only where replay benchmarks need them.
+_KEEP_RECORDING = {("mnist", "OursMDS", "wifi")}
+
+
+@dataclass
+class EvalGrid:
+    """All measured results of the evaluation."""
+
+    records: Dict[Tuple[str, str, str], RecordResult] = field(
+        default_factory=dict)
+    natives: Dict[str, NativeResult] = field(default_factory=dict)
+    replays: Dict[str, ReplayResult] = field(default_factory=dict)
+
+    def record(self, workload: str, variant: str, link: str) -> RecordResult:
+        return self.records[(workload, variant, link)]
+
+    def stats(self, workload: str, variant: str, link: str = "wifi"):
+        return self.record(workload, variant, link).stats
+
+
+def _run_grid() -> EvalGrid:
+    grid = EvalGrid()
+    # History is retained across all benchmarks for the speculating
+    # recorder (§7.3's methodology); warm it once so OursMDS numbers are
+    # steady state rather than first-contact.
+    history = CommitHistory()
+    for _ in range(3):
+        RecordSession("mnist", config=OURS_MDS, history=history).run()
+
+    for link in LINKS:
+        for name in WORKLOADS:
+            graph = build_model(name)
+            for config in VARIANTS:
+                session = RecordSession(
+                    graph if config is not OURS_MDS else build_model(name),
+                    config=config,
+                    link_profile=link,
+                    history=history if config is OURS_MDS else None,
+                )
+                result = session.run()
+                key = (name, config.name, link.name)
+                if key not in _KEEP_RECORDING:
+                    result.recording.entries = []  # free memory
+                else:
+                    grid._mnist_session = session
+                grid.records[key] = result
+
+    # Native + replay delays (Table 2, Figure 9): link-independent.
+    for name in WORKLOADS:
+        graph = build_model(name)
+        rng = np.random.RandomState(42)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, seed=0)
+        grid.natives[name] = native_run(graph, inp, weights=weights)
+
+        session = RecordSession(graph, config=OURS_MDS, history=history)
+        record = session.run()
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        recording = replayer.load(record.recording.to_bytes())
+        # Weights are installed once per opened session (resident in TEE
+        # memory); Table 2 measures the steady-state per-inference delay.
+        replay_session = replayer.open(recording, weights)
+        replay_session.run(inp)  # warm (first-touch effects)
+        grid.replays[name] = replay_session.run(inp)
+    return grid
+
+
+def _dump_grid_summary(grid: EvalGrid) -> None:
+    """Machine-readable companion to the printed tables."""
+    import json
+    import os
+    from repro.analysis.report import RESULTS_DIR
+    summary = {"records": {}, "natives": {}, "replays": {}}
+    for (workload, variant, link), result in grid.records.items():
+        s = result.stats
+        summary["records"]["/".join((workload, variant, link))] = {
+            "recording_delay_s": s.recording_delay_s,
+            "blocking_rtts": s.blocking_rtts,
+            "reg_accesses": s.reg_accesses,
+            "gpu_jobs": s.gpu_jobs,
+            "memsync_wire_bytes": s.memsync.wire_total_bytes,
+            "client_energy_j": s.client_energy_j,
+            "speculation_rate": (s.commits.speculation_rate
+                                 if s.commits else 0.0),
+            "vm_seconds": s.vm_seconds,
+        }
+    for name, native in grid.natives.items():
+        summary["natives"][name] = {"delay_s": native.delay_s,
+                                    "energy_j": native.energy_j}
+    for name, replay in grid.replays.items():
+        summary["replays"][name] = {"delay_s": replay.delay_s,
+                                    "energy_j": replay.energy_j}
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "grid_summary.json"), "w") as fh:
+        json.dump(summary, fh, indent=2)
+
+
+@pytest.fixture(scope="session")
+def eval_grid() -> EvalGrid:
+    grid = _run_grid()
+    _dump_grid_summary(grid)
+    return grid
+
+
+def run_benchmark(benchmark, fn):
+    """Run a harness function once under pytest-benchmark.
+
+    These benchmarks measure *simulated* time; pytest-benchmark's own
+    wall-clock numbers just document the cost of regenerating each
+    table/figure.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,145 @@
+"""Ablations of GR-T's design choices beyond the paper's headline grid:
+
+* speculation confidence window k (the paper sets k=3 "as a configurable
+  parameter controlling confidence");
+* dump compression on/off (§5's delta + range coding);
+* the secure-channel / attestation overhead the paper calls negligible.
+"""
+
+from repro.analysis.report import format_table, save_report
+from repro.core.recorder import (
+    OURS_M,
+    OURS_MDS,
+    RecorderConfig,
+    RecordSession,
+)
+from repro.core.speculation import CommitHistory
+
+from conftest import run_benchmark
+
+WORKLOAD = "mnist"
+
+
+def _config_with(name, **overrides):
+    base = dict(meta_only_sync=OURS_MDS.meta_only_sync,
+                defer=OURS_MDS.defer, speculate=OURS_MDS.speculate,
+                offload_polls=OURS_MDS.offload_polls,
+                compress=OURS_MDS.compress,
+                spec_window=OURS_MDS.spec_window)
+    base.update(overrides)
+    return RecorderConfig(name, **base)
+
+
+def build_window_sweep():
+    rows = []
+    for k in (1, 2, 3, 5):
+        config = _config_with(f"OursMDS-k{k}", spec_window=k)
+        history = CommitHistory(k)
+        result = None
+        for _ in range(max(k, 3) + 1):
+            result = RecordSession(WORKLOAD, config=config,
+                                   history=history,
+                                   max_recovery_attempts=60).run()
+        rows.append([k, result.stats.recording_delay_s,
+                     result.stats.blocking_rtts,
+                     100.0 * result.stats.commits.speculation_rate,
+                     result.stats.recoveries])
+    return rows
+
+
+def test_ablation_speculation_window(benchmark):
+    rows = run_benchmark(benchmark, build_window_sweep)
+    table = format_table(
+        "Ablation - speculation confidence window k (mnist, wifi)",
+        ["k", "delay_s", "blocking_rtts", "spec_rate_pct", "recoveries"],
+        rows)
+    print("\n" + table)
+    save_report("ablation_spec_window", table)
+    by_k = {r[0]: r for r in rows}
+    # k=1 predicts from a single observation: it keeps speculating on the
+    # nondeterministic LATEST_FLUSH read, mispredicting and rolling back
+    # once per job — the reason the paper acts "conservatively".
+    assert by_k[1][4] > 0
+    assert by_k[1][1] > by_k[3][1]  # k=1 is slower end to end
+    # With k>=2 the unanimity criterion filters LATEST_FLUSH: no natural
+    # mispredictions on this deterministic GPU (§7.3: none in 1000 runs).
+    for k in (2, 3, 5):
+        assert by_k[k][4] == 0, f"k={k} mispredicted"
+
+
+def build_compression_ablation():
+    rows = []
+    for compress in (True, False):
+        config = _config_with(f"OursM-{'zip' if compress else 'raw'}",
+                              defer=False, speculate=False,
+                              offload_polls=False, compress=compress)
+        result = RecordSession(WORKLOAD, config=config).run()
+        rows.append(["on" if compress else "off",
+                     result.stats.memsync.wire_total_bytes,
+                     result.stats.memsync.raw_total_bytes,
+                     result.stats.recording_delay_s])
+    return rows
+
+
+def test_ablation_compression(benchmark):
+    rows = run_benchmark(benchmark, build_compression_ablation)
+    table = format_table(
+        "Ablation - dump compression (meta-only sync, mnist, wifi)",
+        ["compression", "wire_bytes", "raw_bytes", "delay_s"], rows)
+    print("\n" + table)
+    save_report("ablation_compression", table)
+    wire_on = rows[0][1]
+    wire_off = rows[1][1]
+    # §5: delta + run-length coding shrinks the dumps substantially.
+    assert wire_on < 0.7 * wire_off
+    # And raw bytes are policy-determined, not compression-determined.
+    assert rows[0][2] == rows[1][2]
+
+
+def build_cloud_cost():
+    """§3.3: each record run holds a dedicated VM; long Naive runs make
+    GR-T "less cost-effective".  Price the VM time per recording."""
+    from repro.cloud.service import CostModel
+    from repro.core.recorder import NAIVE
+    cost = CostModel()
+    rows = []
+    naive = RecordSession(WORKLOAD, config=NAIVE).run()
+    history = CommitHistory()
+    mds = None
+    for _ in range(4):
+        mds = RecordSession(WORKLOAD, config=OURS_MDS,
+                            history=history).run()
+    for result in (naive, mds):
+        rows.append([result.stats.recorder, result.stats.vm_seconds,
+                     1e4 * cost.record_run_usd(result.stats.vm_seconds)])
+    return rows
+
+
+def test_ablation_cloud_cost(benchmark):
+    rows = run_benchmark(benchmark, build_cloud_cost)
+    table = format_table(
+        "Ablation - cloud VM cost per record run (mnist, wifi)",
+        ["recorder", "vm_seconds", "cost_e-4_usd"], rows)
+    print("\n" + table)
+    save_report("ablation_cloud_cost", table)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["OursMDS"][1] < 0.5 * by_name["Naive"][1]
+
+
+def build_security_overhead():
+    """§7.1: secure-communication overhead is negligible vs total delay."""
+    result = RecordSession(WORKLOAD, config=OURS_M).run()
+    from repro.sim.network import WIFI
+    handshake_s = 2 * WIFI.rtt_s  # SecureChannel.handshake_rtts
+    return result.stats.recording_delay_s, handshake_s
+
+
+def test_ablation_security_overhead(benchmark):
+    total, handshake = run_benchmark(benchmark, build_security_overhead)
+    table = format_table(
+        "Ablation - secure channel overhead (mnist, OursM, wifi)",
+        ["total_delay_s", "handshake_s", "share_pct"],
+        [[total, handshake, 100.0 * handshake / total]])
+    print("\n" + table)
+    save_report("ablation_security_overhead", table)
+    assert handshake / total < 0.02  # "negligible overhead"

@@ -1,0 +1,70 @@
+"""Figure 2 / §2.3: recording granularity — composability vs efficiency.
+
+"Developers may create one monolithic recording for all the NN layers
+[or] a sequence of recordings, one for each NN layer ... a tradeoff
+between composability and efficiency."  This benchmark prices the
+tradeoff on MNIST:
+
+* monolithic replay (one pass, final output only);
+* streamed replay (one pass, every layer activation surfaced);
+* prefix replay per layer (maximum composability: each inspection point
+  re-runs the prefix);
+* batch replay (amortized session setup across frames — the
+  video-analytics usage the paper motivates).
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table, save_report
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.ml.models import mnist
+from repro.ml.runner import generate_weights
+
+from conftest import run_benchmark
+
+
+def build_granularity():
+    graph = mnist()
+    session = RecordSession(graph, config=OURS_MDS)
+    record = session.run()
+    device = ClientDevice.for_workload(graph)
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=session.service.recording_key)
+    recording = replayer.load(record.recording.to_bytes())
+    replay = replayer.open(recording, generate_weights(graph, 0))
+    inp = np.zeros(graph.input_shape, dtype=np.float32)
+
+    monolithic = replay.run(inp).delay_s
+    streamed = replay.run_streamed(inp, lambda l, a: False).delay_s
+    prefixes = sum(replay.run_prefix(inp, upto=n.name).delay_s
+                   for n in graph.nodes)
+    batch = replay.run_batch([inp] * 8)
+    batch_per_frame = sum(r.delay_s for r in batch) / len(batch)
+
+    return [
+        ["monolithic run()", monolithic * 1e3, 1],
+        ["streamed (all activations)", streamed * 1e3, len(graph.nodes)],
+        ["prefix per layer", prefixes * 1e3, len(graph.nodes)],
+        ["batch of 8, per frame", batch_per_frame * 1e3, 1],
+    ]
+
+
+def test_figure2_granularity(benchmark):
+    rows = run_benchmark(benchmark, build_granularity)
+    table = format_table(
+        "Figure 2 - replay granularity tradeoff (mnist, delay in ms)",
+        ["mode", "delay_ms", "inspection_points"], rows)
+    print("\n" + table)
+    save_report("figure2_granularity", table)
+
+    by_mode = {r[0]: r[1] for r in rows}
+    # Streaming surfaces every layer for (near) the monolithic price...
+    assert by_mode["streamed (all activations)"] < \
+        1.5 * by_mode["monolithic run()"]
+    # ...while prefix-per-layer pays quadratically for composability.
+    assert by_mode["prefix per layer"] > \
+        2 * by_mode["streamed (all activations)"]
+    # Batching amortizes the per-session setup below a one-shot run.
+    assert by_mode["batch of 8, per frame"] < by_mode["monolithic run()"]

@@ -1,0 +1,42 @@
+"""Figure 3: numbers of new mobile GPU SKUs per year.
+
+The paper's point: ~80 SKUs on smartphones, no dominant SKU, new SKUs
+rolled out every year — which is why per-SKU recording on developer
+machines is impractical (§2.4).
+"""
+
+from repro.analysis.report import format_table, save_report
+from repro.hw.sku import SKU_DATABASE, new_skus_per_year
+
+from conftest import run_benchmark
+
+
+def build_figure3():
+    per_year = new_skus_per_year()
+    families = ("adreno", "mali-midgard", "mali-bifrost", "powervr")
+    per_family = {f: new_skus_per_year(f) for f in families}
+    rows = []
+    for year in sorted(per_year):
+        rows.append([year]
+                    + [per_family[f].get(year, 0) for f in families]
+                    + [per_year[year]])
+    table = format_table(
+        "Figure 3 - new mobile GPU SKUs per year",
+        ["year", "adreno", "midgard", "bifrost", "powervr", "total"],
+        rows)
+    return per_year, table
+
+
+def test_figure3_sku_diversity(benchmark):
+    per_year, table = run_benchmark(benchmark, build_figure3)
+    print("\n" + table)
+    save_report("figure3_sku_diversity", table)
+
+    total = sum(per_year.values())
+    benchmark.extra_info["total_skus"] = total
+    # "around 80 SKUs are seen on today's smartphones"
+    assert total >= 70
+    # "new SKUs are rolled out frequently": every year since 2012 has some
+    assert all(per_year.get(y, 0) >= 3 for y in range(2013, 2022))
+    # "no SKUs are dominating": no single year dwarfs the rest
+    assert max(per_year.values()) <= 0.3 * total

@@ -1,0 +1,50 @@
+"""§7.3 "Misprediction cost": inject wrong register values, verify the
+misprediction is always detected, and measure the rollback delay.
+
+Paper shape: injection is always detected; worst-case rollback costs 1 s
+(MNIST) to 3 s (VGG16), dominated by cloud-side driver reload and job
+recompilation; rollback cost grows with workload size.
+"""
+
+from repro.analysis.report import format_table, save_report
+from repro.core.recovery import run_misprediction_experiment
+
+from conftest import run_benchmark
+
+# MNIST and VGG16 bracket the workload sizes, as in the paper.
+INJECTION_WORKLOADS = ("mnist", "vgg16")
+
+
+def build_experiments():
+    reports = {}
+    for name in INJECTION_WORKLOADS:
+        reports[name] = run_misprediction_experiment(
+            name, warm_rounds=3, fault_read_fraction=0.55)
+    return reports
+
+
+def test_sec73_misprediction(benchmark):
+    reports = run_benchmark(benchmark, build_experiments)
+    rows = [[name, r.clean_delay_s, r.injected_delay_s, r.rollback_cost_s,
+             r.recoveries]
+            for name, r in reports.items()]
+    table = format_table(
+        "§7.3 - misprediction injection and rollback cost (s, wifi)",
+        ["workload", "clean_delay", "injected_delay", "rollback_cost",
+         "recoveries"],
+        rows)
+    print("\n" + table)
+    save_report("sec73_misprediction", table)
+
+    for name, report in reports.items():
+        # "GR-T always detects mismatches ... initiating rollback."
+        assert report.detected, f"{name}: injection went undetected"
+        assert report.recoveries >= 1
+        # Rollback is seconds, not minutes (paper: 1-3 s).
+        assert 0.05 < report.rollback_cost_s < 30.0, name
+
+    # Larger workloads pay more for rollback (driver reload + recompile).
+    assert reports["vgg16"].rollback_cost_s > \
+        0.5 * reports["mnist"].rollback_cost_s
+    benchmark.extra_info["rollback_s"] = {
+        name: r.rollback_cost_s for name, r in reports.items()}

@@ -1,0 +1,69 @@
+"""§7.3 "Polling offloading": polling-loop counts and the round trips the
+offload saves.
+
+Paper shape: 117-492 polling instances per workload generating 130-550
+round trips without offloading; with offload+speculation each polling
+instance costs at most one RTT, saving 13-58 RTTs per benchmark.
+"""
+
+from repro.analysis.report import format_table, save_report
+from repro.core.recorder import OURS_MDS, RecorderConfig, RecordSession
+from repro.core.speculation import CommitHistory
+from repro.ml.models import build_model
+
+from conftest import run_benchmark
+
+# OursMDS with polling offload disabled: the ablation comparator.
+OURS_MDS_NO_POLL = RecorderConfig(
+    "OursMDS-nopoll", meta_only_sync=True, defer=True, speculate=True,
+    offload_polls=False, compress=True)
+
+POLL_WORKLOADS = ("mnist", "squeezenet", "resnet12")
+
+
+def build_polling_comparison():
+    rows = []
+    for name in POLL_WORKLOADS:
+        history = CommitHistory()
+        for _ in range(3):
+            RecordSession(name, config=OURS_MDS, history=history).run()
+        with_offload = RecordSession(name, config=OURS_MDS,
+                                     history=history).run()
+
+        history_np = CommitHistory()
+        for _ in range(3):
+            RecordSession(name, config=OURS_MDS_NO_POLL,
+                          history=history_np).run()
+        without = RecordSession(name, config=OURS_MDS_NO_POLL,
+                                history=history_np).run()
+
+        polls = with_offload.stats.commits.polls_offloaded
+        rows.append([
+            name, polls,
+            without.stats.blocking_rtts, with_offload.stats.blocking_rtts,
+            without.stats.blocking_rtts - with_offload.stats.blocking_rtts,
+        ])
+    return rows
+
+
+def test_sec73_polling_offload(benchmark):
+    rows = run_benchmark(benchmark, build_polling_comparison)
+    table = format_table(
+        "§7.3 - polling-loop offloading (wifi, warm history)",
+        ["workload", "polling_instances", "RTTs_no_offload",
+         "RTTs_offload", "RTTs_saved"],
+        rows)
+    print("\n" + table)
+    save_report("sec73_polling", table)
+
+    for name, polls, rtts_without, rtts_with, saved in rows:
+        # Polling instances scale with jobs (paper: 117 for MNIST up to
+        # 492 for VGG16).
+        assert polls > 20, f"{name}: too few polling instances"
+        # Offloading strictly reduces blocking round trips.
+        assert saved > 0, f"{name}: offloading saved nothing"
+
+    # Bigger workloads have more polling instances.
+    by_name = {r[0]: r[1] for r in rows}
+    assert by_name["squeezenet"] > by_name["mnist"]
+    benchmark.extra_info["polling_instances"] = by_name

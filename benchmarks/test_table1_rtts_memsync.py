@@ -1,0 +1,101 @@
+"""Table 1: statistics of record runs — GPU jobs per workload, blocking
+round trips per recorder variant, and memory synchronization traffic.
+
+Paper shape: deferral cuts RTTs ~73%, speculation a further ~86%; meta-
+only sync cuts memsync traffic 72-99%; deferral batches ~3.8 accesses per
+commit.
+"""
+
+from repro.analysis.report import format_table, percent_change, save_report
+
+from conftest import WORKLOADS, run_benchmark
+
+
+def build_table1(grid):
+    rows = []
+    for name in WORKLOADS:
+        m = grid.stats(name, "OursM")
+        md = grid.stats(name, "OursMD")
+        mds = grid.stats(name, "OursMDS")
+        naive = grid.stats(name, "Naive")
+        rows.append([
+            f"{name} ({m.gpu_jobs})",
+            m.blocking_rtts, md.blocking_rtts, mds.blocking_rtts,
+            naive.memsync.wire_total_bytes / 1e6,
+            m.memsync.wire_total_bytes / 1e6,
+        ])
+    table = format_table(
+        "Table 1 - record-run statistics (wifi)",
+        ["NN (#jobs)", "RTTs OursM", "RTTs OursMD", "RTTs OursMDS",
+         "MemSync MB Naive", "MemSync MB OursM"],
+        rows)
+    return rows, table
+
+
+def test_table1_blocking_rtts(benchmark, eval_grid):
+    rows, table = run_benchmark(benchmark, lambda: build_table1(eval_grid))
+    print("\n" + table)
+    save_report("table1_rtts_memsync", table)
+
+    deferral_cuts = []
+    spec_cuts = []
+    for row in rows:
+        label, m, md, mds, naive_mb, ours_mb = row
+        deferral_cuts.append(percent_change(m, md))
+        spec_cuts.append(percent_change(md, mds))
+        # Monotone improvement per workload.
+        assert m > md > mds, f"{label}: RTT ordering broken"
+
+    avg_deferral = sum(deferral_cuts) / len(deferral_cuts)
+    avg_spec = sum(spec_cuts) / len(spec_cuts)
+    benchmark.extra_info["deferral_rtt_reduction_pct"] = avg_deferral
+    benchmark.extra_info["speculation_rtt_reduction_pct"] = avg_spec
+    # Paper: deferral reduces round trips by 73% on average; speculation
+    # by a further 86%.  Require the same order of effect.
+    assert avg_deferral > 40.0
+    assert avg_spec > 50.0
+
+
+def test_table1_memsync_traffic(benchmark, eval_grid):
+    def build():
+        reductions = []
+        for name in WORKLOADS:
+            naive = eval_grid.stats(name, "Naive").memsync.wire_total_bytes
+            ours = eval_grid.stats(name, "OursM").memsync.wire_total_bytes
+            reductions.append((name, naive, ours,
+                               percent_change(naive, ours)))
+        return reductions
+
+    reductions = run_benchmark(benchmark, build)
+    table = format_table(
+        "Table 1 (cont.) - memsync traffic reduction",
+        ["workload", "naive_bytes", "ours_bytes", "reduction_pct"],
+        reductions)
+    print("\n" + table)
+    save_report("table1_memsync_reduction", table)
+    for name, naive, ours, cut in reductions:
+        # Paper: 72-99% reduced traffic.
+        assert cut > 60.0, f"{name}: meta-only sync only cut {cut:.0f}%"
+    # Big NNs move the most data under Naive (ordering claim).
+    naive_mb = {name: eval_grid.stats(name, "Naive")
+                .memsync.wire_total_bytes for name in WORKLOADS}
+    assert naive_mb["vgg16"] == max(naive_mb.values())
+    assert naive_mb["mnist"] == min(naive_mb.values())
+
+
+def test_table1_accesses_per_commit(benchmark, eval_grid):
+    def build():
+        return [(name,
+                 eval_grid.stats(name, "OursMD").accesses_per_commit)
+                for name in WORKLOADS]
+
+    rows = run_benchmark(benchmark, build)
+    table = format_table("§7.3 - register accesses per commit (OursMD)",
+                         ["workload", "accesses/commit"], rows)
+    print("\n" + table)
+    save_report("sec73_accesses_per_commit", table)
+    # Paper: each commit encloses 3.8 accesses on average; ours must at
+    # least batch meaningfully (>1.5).
+    avg = sum(r[1] for r in rows) / len(rows)
+    benchmark.extra_info["avg_accesses_per_commit"] = avg
+    assert avg > 1.5

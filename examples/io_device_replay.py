@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Record/replay beyond GPUs: a crypto DMA accelerator (§3).
+
+"As replay has been used on IO devices other than GPU, our techniques can
+be used for generating recordings for these IO without possessing the
+actual IO hardware."
+
+This example drives a crypto accelerator's driver through the *same*
+DriverShim/GPUShim pair used for the GPU — deferral batches its register
+programming, polling offload collapses its completion wait to one round
+trip — then replays the recorded register program inside the TEE to
+encrypt fresh, confidential plaintext the cloud never saw.
+
+Run:  python examples/io_device_replay.py
+"""
+
+import numpy as np
+
+from repro.core.drivershim import DriverShim, ShimModes
+from repro.core.gpushim import GpuShim
+from repro.core.memsync import MemorySynchronizer, SyncPolicy
+from repro.core.replayer import replay_entries
+from repro.driver.bus import PollCondition, PollSpec
+from repro.hw import accel as A
+from repro.hw.accel import CryptoAccelerator, keystream
+from repro.hw.memory import PhysicalMemory
+from repro.kernel.env import KernelEnv
+from repro.sim.clock import VirtualClock
+from repro.sim.network import Link, WIFI
+from repro.tee.optee import OpTeeOS
+
+KEY = (0xCAFEBABE, 0x8BADF00D, 0xDEADBEEF, 0x0D15EA5E)
+NONCE = 0x77
+LENGTH = 8192
+
+
+def crypto_driver(bus, src_pa, dst_pa):
+    """A dozen register accesses: program key/nonce/DMA, start, wait."""
+    assert int(bus.read32(A.ACCEL_ID)) == A.ACCEL_ID_VALUE
+    bus.write32(A.IRQ_MASK, A.IRQ_DONE | A.IRQ_ERROR)
+    for i, word in enumerate(KEY):
+        bus.write32(A.KEY0 + 4 * i, word)
+    bus.write32(A.NONCE, NONCE)
+    bus.write64(A.SRC_LO, A.SRC_HI, src_pa)
+    bus.write64(A.DST_LO, A.DST_HI, dst_pa)
+    bus.write32(A.LEN, LENGTH)
+    bus.write32(A.CMD, A.CMD_START)
+    result = bus.poll(PollSpec(offset=A.IRQ_RAWSTAT,
+                               condition=PollCondition.BITS_SET,
+                               operand=A.IRQ_DONE, max_iters=1000,
+                               delay_per_iter_s=5e-6))
+    assert result.success
+    bus.write32(A.IRQ_CLEAR, int(bus.read32(A.IRQ_RAWSTAT)))
+
+
+def main() -> None:
+    # ---- record: the "cloud" runs the driver; the device stays local ----
+    clock = VirtualClock()
+    client_mem = PhysicalMemory(size=4 << 20)
+    cloud_mem = PhysicalMemory(size=4 << 20)
+    device = CryptoAccelerator(client_mem, clock)
+    optee = OpTeeOS()
+    shim_client = GpuShim(optee, device, clock)
+    shim_client.begin_session()
+    src = client_mem.alloc(LENGTH, "plaintext")
+    dst = client_mem.alloc(LENGTH, "ciphertext")
+    client_mem.clear_dirty()
+
+    link = Link(WIFI, clock)
+    shim = DriverShim(link, shim_client,
+                      MemorySynchronizer(cloud_mem, client_mem,
+                                         SyncPolicy.META_ONLY),
+                      ShimModes(defer=True, offload_polls=True))
+    env = KernelEnv(clock)
+    shim.attach(env)
+    shim.on_hot_enter(env, "crypto_driver", "other")
+    crypto_driver(shim, src.base, dst.base)
+    shim.on_hot_exit(env, "crypto_driver", "other")
+    shim.finish()
+    shim_client.end_session()
+
+    accesses = shim.reg_accesses
+    rtts = link.stats.blocking_round_trips
+    log = list(shim_client.log)
+    print(f"recorded the accelerator driver: {accesses} register accesses "
+          f"travelled in {rtts} round trips "
+          f"({len(log)} log entries)")
+
+    # ---- replay: fresh device, fresh TEE, confidential data ------------
+    clock2 = VirtualClock()
+    mem2 = PhysicalMemory(size=4 << 20)
+    device2 = CryptoAccelerator(mem2, clock2)
+    secret = np.random.RandomState(99).bytes(LENGTH)
+    mem2.write(src.base, secret)
+    src_pfns = set(range(src.base >> 12, ((src.base + LENGTH - 1) >> 12) + 1))
+    replay_entries(device2, mem2, clock2, log, skip_pfns=src_pfns)
+
+    ciphertext = mem2.read(dst.base, LENGTH)
+    expected = bytes(a ^ b for a, b in
+                     zip(secret, keystream(KEY, NONCE, LENGTH)))
+    assert ciphertext == expected
+    print(f"replayed on a fresh device: {LENGTH} bytes of new plaintext "
+          f"encrypted correctly in {clock2.now*1e3:.2f} simulated ms")
+    print("the same core machinery served a device it was never written "
+          "for — registers + shared memory + interrupts are all it needs.")
+
+
+if __name__ == "__main__":
+    main()

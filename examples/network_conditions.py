@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""How network conditions shape recording delay (§3.3, §7.2).
+
+Sweeps RTT and bandwidth around the paper's WiFi/cellular operating
+points and shows how each GR-T technique changes the sensitivity:
+
+* Naive forwarding scales linearly with RTT (every register access is a
+  round trip) — unusable beyond LAN latencies;
+* deferral divides the RTT coefficient by the batch size;
+* speculation makes most commits asynchronous, nearly flattening the
+  curve until only the per-job synchronous residue remains.
+
+Run:  python examples/network_conditions.py
+"""
+
+from repro import NAIVE, OURS_M, OURS_MD, OURS_MDS, RecordSession
+from repro.core.speculation import CommitHistory
+from repro.ml.models import mnist
+from repro.sim.network import LinkProfile
+
+RTTS_MS = (5, 20, 50, 100, 200)
+BANDWIDTH_BPS = 80e6
+
+
+def record_delay(config, link, history=None) -> float:
+    result = RecordSession(mnist(), config=config, link_profile=link,
+                           history=history).run()
+    return result.stats.recording_delay_s
+
+
+def main() -> None:
+    print("recording delay (seconds) for MNIST vs round-trip time "
+          f"(bandwidth fixed at {BANDWIDTH_BPS/1e6:.0f} Mbps):\n")
+    header = f"{'RTT(ms)':>8s}" + "".join(
+        f"{c.name:>10s}" for c in (NAIVE, OURS_M, OURS_MD, OURS_MDS))
+    print(header)
+
+    for rtt_ms in RTTS_MS:
+        link = LinkProfile(name=f"rtt{rtt_ms}", rtt_s=rtt_ms / 1e3,
+                           bandwidth_bps=BANDWIDTH_BPS)
+        row = f"{rtt_ms:>8d}"
+        for config in (NAIVE, OURS_M, OURS_MD):
+            row += f"{record_delay(config, link):>10.1f}"
+        history = CommitHistory()
+        for _ in range(3):
+            record_delay(OURS_MDS, link, history)
+        row += f"{record_delay(OURS_MDS, link, history):>10.1f}"
+        print(row)
+
+    print("\nbandwidth sensitivity at RTT=20 ms (memory-sync-bound "
+          "workloads feel this; register-bound ones barely do):\n")
+    print(f"{'BW(Mbps)':>9s}{'Naive':>10s}{'OursMDS':>10s}")
+    for bw_mbps in (10, 40, 80, 300):
+        link = LinkProfile(name=f"bw{bw_mbps}", rtt_s=0.020,
+                           bandwidth_bps=bw_mbps * 1e6)
+        naive = record_delay(NAIVE, link)
+        history = CommitHistory()
+        for _ in range(3):
+            record_delay(OURS_MDS, link, history)
+        mds = record_delay(OURS_MDS, link, history)
+        print(f"{bw_mbps:>9d}{naive:>10.1f}{mds:>10.1f}")
+
+    print("\nTakeaway: with all techniques on, recording stays in tens of "
+          "seconds even at cellular latencies — the practicality claim "
+          "of §7.2.")
+
+
+if __name__ == "__main__":
+    main()

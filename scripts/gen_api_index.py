@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Regenerate docs/API.md from module docstrings."""
+import ast
+import os
+
+
+def main() -> None:
+    rows = []
+    for root, dirs, files in sorted(os.walk("src/repro")):
+        dirs.sort()
+        for f in sorted(files):
+            if not f.endswith(".py") or f == "__main__.py":
+                continue
+            path = os.path.join(root, f)
+            mod = path[len("src/"):-3].replace("/", ".")
+            if mod.endswith(".__init__"):
+                mod = mod[:-9]
+            tree = ast.parse(open(path).read())
+            doc = ast.get_docstring(tree) or ""
+            summary = doc.split("\n\n")[0].replace("\n", " ").strip()
+            symbols = [node.name for node in tree.body
+                       if isinstance(node, (ast.ClassDef, ast.FunctionDef))
+                       and not node.name.startswith("_")]
+            rows.append((mod, summary, symbols))
+
+    out = ["# API index", "",
+           "Generated from module docstrings "
+           "(`python scripts/gen_api_index.py` regenerates it).", ""]
+    current_pkg = None
+    for mod, summary, symbols in rows:
+        pkg = ".".join(mod.split(".")[:2])
+        if pkg != current_pkg:
+            out.append(f"\n## `{pkg}`\n")
+            current_pkg = pkg
+        out.append(f"### `{mod}`\n")
+        if summary:
+            out.append(summary + "\n")
+        if symbols:
+            out.append("Public: "
+                       + ", ".join(f"`{s}`" for s in symbols) + "\n")
+    os.makedirs("docs", exist_ok=True)
+    with open("docs/API.md", "w") as fh:
+        fh.write("\n".join(out) + "\n")
+    print(f"wrote docs/API.md: {len(rows)} modules")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""GR-T: Safe and Practical GPU Computation in TrustZone (EuroSys 2023).
+
+A full-system reproduction, in simulation, of the paper's record/replay
+architecture for TEE GPU computation: a cloud service dry-runs the mobile
+GPU software stack while the physical GPU stays on the client inside a
+TrustZone TEE; register-access deferral, speculation, polling-loop
+offloading, and meta-only memory synchronization hide the WAN between
+them; the client later replays the signed recording inside the TEE with
+no GPU stack at all.
+
+Quickstart::
+
+    from repro import RecordSession, Replayer, OURS_MDS
+
+    result = RecordSession("mnist", config=OURS_MDS).run()
+    # ... ship result.recording to the client TEE, then replay on new
+    # input with Replayer.replay(...)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core import (
+    NAIVE,
+    OURS_M,
+    OURS_MD,
+    OURS_MDS,
+    RECORDER_VARIANTS,
+    ClientDevice,
+    MispredictionDetected,
+    NativeResult,
+    RecordResult,
+    RecordSession,
+    RecorderConfig,
+    Recording,
+    RecordingFormatError,
+    ReplayError,
+    ReplayResult,
+    Replayer,
+    native_run,
+)
+from repro.hw.sku import HIKEY960_G71, SKU_DATABASE, GpuSku, find_sku
+from repro.ml.models import PAPER_WORKLOADS, build_model
+from repro.ml.runner import generate_weights, reference_forward
+from repro.sim.network import CELLULAR, WIFI, LinkProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NAIVE",
+    "OURS_M",
+    "OURS_MD",
+    "OURS_MDS",
+    "RECORDER_VARIANTS",
+    "RecorderConfig",
+    "RecordSession",
+    "RecordResult",
+    "Recording",
+    "RecordingFormatError",
+    "Replayer",
+    "ReplayResult",
+    "ReplayError",
+    "MispredictionDetected",
+    "ClientDevice",
+    "native_run",
+    "NativeResult",
+    "GpuSku",
+    "HIKEY960_G71",
+    "SKU_DATABASE",
+    "find_sku",
+    "PAPER_WORKLOADS",
+    "build_model",
+    "generate_weights",
+    "reference_forward",
+    "WIFI",
+    "CELLULAR",
+    "LinkProfile",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Result formatting and aggregation for the benchmark harness."""
+
+from repro.analysis.report import (
+    format_table,
+    geomean,
+    percent_change,
+    save_report,
+)
+
+__all__ = ["format_table", "geomean", "percent_change", "save_report"]

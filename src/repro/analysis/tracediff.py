@@ -1,0 +1,160 @@
+"""Recording/trace comparison — the remote-debugging application of §3.
+
+"By comparing a client's GPU register logs and memory dumps with the ones
+from the cloud, the cloud may detect and report firmware malfunctioning
+and vendors may troubleshoot remotely."  This module diffs two recordings
+entry by entry and reports the first divergences with register-level
+context, plus an aggregate summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.recording import (
+    IrqEntry,
+    Marker,
+    MemUpload,
+    MemWrite,
+    PollEntry,
+    Recording,
+    RegRead,
+    RegWrite,
+)
+from repro.hw.regs import reg_name
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One point where two traces disagree."""
+
+    position: int
+    kind: str  # "value" | "structure" | "length" | "memory"
+    segment: str
+    description: str
+
+    def __str__(self) -> str:
+        return (f"[{self.position}] ({self.kind}, segment {self.segment!r}) "
+                f"{self.description}")
+
+
+@dataclass
+class DiffReport:
+    workload_a: str
+    workload_b: str
+    entries_compared: int
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        if self.identical:
+            return (f"traces identical over {self.entries_compared} "
+                    f"entries")
+        head = self.divergences[0]
+        return (f"{len(self.divergences)} divergence(s) over "
+                f"{self.entries_compared} entries; first at "
+                f"position {head.position}: {head.description}")
+
+
+def _describe(entry) -> str:
+    if isinstance(entry, RegWrite):
+        return f"write {reg_name(entry.offset)} <- {entry.value:#x}"
+    if isinstance(entry, RegRead):
+        return f"read {reg_name(entry.offset)} = {entry.value:#x}"
+    if isinstance(entry, PollEntry):
+        return (f"poll {reg_name(entry.offset)} {entry.condition} "
+                f"{entry.operand:#x} -> {entry.value:#x} "
+                f"x{entry.iterations}")
+    if isinstance(entry, IrqEntry):
+        return f"irq {entry.line}"
+    if isinstance(entry, MemWrite):
+        return f"memwrite {len(entry.pages)} page(s)"
+    if isinstance(entry, MemUpload):
+        return f"memupload {entry.nbytes} bytes"
+    if isinstance(entry, Marker):
+        return f"marker {entry.label!r}"
+    return repr(entry)
+
+
+def _compare(a, b) -> Optional[Tuple[str, str]]:
+    """(kind, description) if the entries differ, else None."""
+    if type(a) is not type(b):
+        return ("structure",
+                f"entry kind differs: {_describe(a)} vs {_describe(b)}")
+    if isinstance(a, (RegWrite, RegRead)):
+        if a.offset != b.offset:
+            return ("structure",
+                    f"register differs: {reg_name(a.offset)} vs "
+                    f"{reg_name(b.offset)}")
+        if a.value != b.value:
+            return ("value",
+                    f"{reg_name(a.offset)}: {a.value:#x} vs {b.value:#x}")
+        return None
+    if isinstance(a, PollEntry):
+        if (a.offset, a.condition, a.operand) != \
+                (b.offset, b.condition, b.operand):
+            return ("structure",
+                    f"poll target differs: {_describe(a)} vs {_describe(b)}")
+        if a.value != b.value:
+            return ("value",
+                    f"poll {reg_name(a.offset)} final value: "
+                    f"{a.value:#x} vs {b.value:#x}")
+        return None  # iteration counts are timing, not semantics
+    if isinstance(a, IrqEntry):
+        if a.line != b.line:
+            return ("structure", f"irq line {a.line} vs {b.line}")
+        return None
+    if isinstance(a, MemWrite):
+        pfns_a = {pfn for pfn, _ in a.pages}
+        pfns_b = {pfn for pfn, _ in b.pages}
+        if pfns_a != pfns_b:
+            return ("memory",
+                    f"memwrite page sets differ "
+                    f"({len(pfns_a ^ pfns_b)} pages disagree)")
+        pages_b = dict(b.pages)
+        for pfn, raw in a.pages:
+            if pages_b[pfn] != raw:
+                delta = sum(1 for x, y in zip(raw, pages_b[pfn]) if x != y)
+                return ("memory",
+                        f"page {pfn:#x} contents differ in {delta} bytes")
+        return None
+    if isinstance(a, Marker):
+        if a.label != b.label:
+            return ("structure", f"marker {a.label!r} vs {b.label!r}")
+        return None
+    return None  # MemUpload sizes are statistics, not semantics
+
+
+def diff_recordings(a: Recording, b: Recording,
+                    max_divergences: int = 16) -> DiffReport:
+    """Compare two recordings entry by entry.
+
+    For the debugging use case, recording `a` is the expected trace (e.g.
+    from a healthy reference device) and `b` the suspect one; divergences
+    localize where the suspect device's GPU stopped behaving.
+    """
+    report = DiffReport(workload_a=a.workload, workload_b=b.workload,
+                        entries_compared=min(len(a.entries),
+                                             len(b.entries)))
+    segment = "prologue"
+    for position, (ea, eb) in enumerate(zip(a.entries, b.entries)):
+        if isinstance(ea, Marker):
+            segment = ea.label
+        result = _compare(ea, eb)
+        if result is not None:
+            kind, description = result
+            report.divergences.append(Divergence(
+                position=position, kind=kind, segment=segment,
+                description=description))
+            if len(report.divergences) >= max_divergences:
+                return report
+    if len(a.entries) != len(b.entries):
+        report.divergences.append(Divergence(
+            position=report.entries_compared, kind="length", segment=segment,
+            description=(f"trace lengths differ: {len(a.entries)} vs "
+                         f"{len(b.entries)} entries")))
+    return report

@@ -1,0 +1,251 @@
+"""Command-line interface: record, replay, inspect, diff, and explore.
+
+Examples::
+
+    python -m repro skus --family mali-bifrost
+    python -m repro record --workload mnist --out mnist.grt
+    python -m repro replay --recording mnist.grt --runs 3
+    python -m repro inspect mnist.grt
+    python -m repro diff a.grt b.grt
+
+``record`` writes three artifacts: ``<out>`` (the signed recording),
+``<out>.key`` (the cloud service's verification key, which a real
+deployment would pin inside the TEE at provisioning), and
+``<out>.stats.json`` (the run's statistics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.tracediff import diff_recordings
+from repro.core.recorder import (
+    NAIVE,
+    OURS_M,
+    OURS_MD,
+    OURS_MDS,
+    RecordSession,
+)
+from repro.core.recording import Recording
+from repro.core.replayer import Replayer
+from repro.core.speculation import CommitHistory
+from repro.core.testbed import ClientDevice
+from repro.hw.sku import SKU_DATABASE, find_sku, HIKEY960_G71
+from repro.ml.models import EXTRA_WORKLOADS, PAPER_WORKLOADS, build_model
+from repro.ml.runner import generate_weights
+from repro.sim.network import CELLULAR, WIFI
+from repro.tee.crypto import SigningKey
+
+RECORDERS = {c.name: c for c in (NAIVE, OURS_M, OURS_MD, OURS_MDS)}
+LINKS = {"wifi": WIFI, "cellular": CELLULAR}
+
+
+def cmd_skus(args) -> int:
+    rows = [s for s in SKU_DATABASE
+            if args.family is None or s.family == args.family]
+    print(f"{'name':22s} {'family':14s} {'year':4s} {'cores':5s} "
+          f"{'MHz':5s} {'GFLOPS':7s}")
+    for sku in sorted(rows, key=lambda s: (s.year, s.name)):
+        print(f"{sku.name:22s} {sku.family:14s} {sku.year:4d} "
+              f"{sku.core_count:5d} {sku.clock_mhz:5d} {sku.gflops:7.1f}")
+    print(f"\n{len(rows)} SKU(s)")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    print(f"{'name':12s} {'input':14s} {'params':>12s} {'GFLOPs':>8s} "
+          f"{'layers':>6s}")
+    for name in [*PAPER_WORKLOADS, *EXTRA_WORKLOADS]:
+        g = build_model(name)
+        print(f"{name:12s} {str(g.input_shape):14s} "
+              f"{g.total_params():>12,} {g.total_flops()/1e9:>8.2f} "
+              f"{len(g.nodes):>6d}")
+    return 0
+
+
+def cmd_record(args) -> int:
+    config = RECORDERS[args.recorder]
+    sku = find_sku(args.sku) if args.sku else HIKEY960_G71
+    link = LINKS[args.link]
+    history = CommitHistory(config.spec_window)
+    session = None
+    result = None
+    runs = max(1, args.warm + 1) if config.speculate else 1
+    for i in range(runs):
+        session = RecordSession(args.workload, config=config, sku=sku,
+                                link_profile=link, seed=args.seed,
+                                history=history)
+        result = session.run()
+        if i < runs - 1:
+            print(f"  warm-up run {i + 1}/{runs - 1}: "
+                  f"{result.stats.recording_delay_s:.1f} s")
+    blob = result.recording.to_bytes()
+    with open(args.out, "wb") as fh:
+        fh.write(blob)
+    with open(args.out + ".key", "w") as fh:
+        fh.write(session.service.recording_key.secret.hex())
+    stats = dataclasses.asdict(result.stats)
+    with open(args.out + ".stats.json", "w") as fh:
+        json.dump(stats, fh, indent=2, default=str)
+    s = result.stats
+    print(f"recorded {args.workload} on {sku.name} via {config.name} "
+          f"({link.name}):")
+    print(f"  delay {s.recording_delay_s:.1f} s | RTTs {s.blocking_rtts} "
+          f"| jobs {s.gpu_jobs} | energy {s.client_energy_j:.1f} J")
+    print(f"  wrote {args.out} ({len(blob)} bytes), .key, .stats.json")
+    return 0
+
+
+def _load_recording(path: str, verify: bool) -> Recording:
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    key = None
+    if verify:
+        with open(path + ".key") as fh:
+            secret = bytes.fromhex(fh.read().strip())
+        key = SigningKey("grt-recording-service", secret)
+    return Recording.from_bytes(blob, verify_key=key)
+
+
+def cmd_replay(args) -> int:
+    recording = _load_recording(args.recording, verify=True)
+    graph = build_model(recording.workload)
+    sku_name = None
+    for sku in SKU_DATABASE:
+        if sku.fingerprint() == tuple(recording.sku_fingerprint):
+            sku_name = sku.name
+            break
+    if sku_name is None:
+        print("error: recording's SKU fingerprint matches no known SKU",
+              file=sys.stderr)
+        return 1
+    device = ClientDevice.for_workload(graph, sku=find_sku(sku_name))
+    with open(args.recording + ".key") as fh:
+        key = SigningKey("grt-recording-service",
+                         bytes.fromhex(fh.read().strip()))
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=key)
+    weights = generate_weights(graph, seed=args.seed)
+    session = replayer.open(recording, weights)
+    rng = np.random.RandomState(args.input_seed)
+    print(f"replaying {recording.workload} ({recording.recorder} "
+          f"recording) on {sku_name}:")
+    for i in range(args.runs):
+        image = rng.rand(*graph.input_shape).astype(np.float32)
+        if args.stream:
+            t_prev = [0.0]
+
+            def on_segment(label, activation, _t=t_prev):
+                out_shape = "x".join(map(str, activation.shape))
+                print(f"    layer {label:14s} -> {out_shape}")
+                return False
+
+            out = session.run_streamed(image, on_segment)
+        else:
+            out = session.run(image)
+        print(f"  run {i}: class {out.output.argmax():4d} | "
+              f"delay {out.delay_s * 1e3:7.2f} ms | "
+              f"energy {out.energy_j * 1e3:6.1f} mJ")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    recording = _load_recording(args.recording, verify=False)
+    print(f"workload     : {recording.workload}")
+    print(f"recorder     : {recording.recorder}")
+    print(f"sku          : {recording.sku_fingerprint}")
+    counts = recording.counts()
+    print(f"entries      : {sum(counts.values())} "
+          f"({', '.join(f'{k}={v}' for k, v in counts.items() if v)})")
+    print(f"data pages   : {len(recording.data_pfns)} (never recorded)")
+    manifest = recording.manifest
+    print(f"jobs         : {manifest.total_jobs}")
+    print("segments     :")
+    for label, entries in recording.segments():
+        print(f"  {label:20s} {len(entries):5d} entries")
+    print("data bindings:")
+    for b in manifest.bindings:
+        if b.kind in ("input", "output"):
+            print(f"  {b.kind:6s} {b.name:14s} va={b.va:#x} "
+                  f"shape={tuple(b.shape)}")
+    weights = manifest.weight_bindings()
+    print(f"  plus {len(weights)} weight/bias tensors "
+          f"({sum(w.size for w in weights)} bytes, injected at replay)")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    a = _load_recording(args.a, verify=False)
+    b = _load_recording(args.b, verify=False)
+    report = diff_recordings(a, b, max_divergences=args.max)
+    print(report.summary())
+    for div in report.divergences:
+        print(f"  {div}")
+    return 0 if report.identical else 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GR-T: safe and practical GPU computation in "
+                    "TrustZone (EuroSys'23 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("skus", help="list the mobile GPU SKU database")
+    p.add_argument("--family", choices=sorted({s.family
+                                               for s in SKU_DATABASE}))
+    p.set_defaults(fn=cmd_skus)
+
+    p = sub.add_parser("workloads", help="list the evaluation workloads")
+    p.set_defaults(fn=cmd_workloads)
+
+    p = sub.add_parser("record", help="record a workload via the cloud")
+    p.add_argument("--workload", required=True,
+                   choices=sorted([*PAPER_WORKLOADS, *EXTRA_WORKLOADS]))
+    p.add_argument("--recorder", default="OursMDS",
+                   choices=sorted(RECORDERS))
+    p.add_argument("--link", default="wifi", choices=sorted(LINKS))
+    p.add_argument("--sku", default=None,
+                   help="client GPU SKU name (default: Mali-G71 MP8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--warm", type=int, default=3,
+                   help="history warm-up runs before the recorded one")
+    p.add_argument("--out", "-o", required=True)
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("replay", help="replay a recording in the TEE")
+    p.add_argument("--recording", "-r", required=True)
+    p.add_argument("--seed", type=int, default=0,
+                   help="model weight seed (the confidential parameters)")
+    p.add_argument("--input-seed", type=int, default=1)
+    p.add_argument("--runs", type=int, default=1)
+    p.add_argument("--stream", action="store_true",
+                   help="replay segment by segment, printing each layer")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("inspect", help="summarize a recording file")
+    p.add_argument("recording")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("diff", help="compare two recordings (remote "
+                                    "debugging, §3)")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--max", type=int, default=16)
+    p.set_defaults(fn=cmd_diff)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The cloud recording service (§3.2, §6).
+
+Manages lean VM images containing GPU-stack variants, provisions one
+dedicated VM per client session (never shared, never reused across
+clients), installs the client's GPU device tree so the right driver binds
+with no physical GPU present, and signs recordings with the service key.
+"""
+
+from repro.cloud.vm import VmImage, VmInstance, DEFAULT_IMAGES
+from repro.cloud.service import CloudService, SessionTicket, ServiceError
+
+__all__ = [
+    "VmImage",
+    "VmInstance",
+    "DEFAULT_IMAGES",
+    "CloudService",
+    "SessionTicket",
+    "ServiceError",
+]

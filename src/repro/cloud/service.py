@@ -1,0 +1,94 @@
+"""The cloud service front door: sessions, attestation, signing keys.
+
+Security posture per §3.1/§7.1: one VM per authenticated client, never
+shared and never reused; recordings are never cached across clients even
+for identical GPU SKUs; every session gets an attestation report the
+client verifies before sending anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cloud.vm import DEFAULT_IMAGES, VmImage, VmInstance
+from repro.kernel.devicetree import DeviceTreeNode
+from repro.tee.attestation import AttestationReport, CloudRootOfTrust
+from repro.tee.crypto import SigningKey
+
+
+class ServiceError(RuntimeError):
+    """Cloud service refused the request."""
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """VM cost accounting (§3.3: long record runs make GR-T "less
+    cost-effective" because each run holds a dedicated VM).
+
+    The default rate approximates a small burstable cloud VM.
+    """
+
+    vm_usd_per_hour: float = 0.05
+
+    def record_run_usd(self, vm_seconds: float) -> float:
+        return self.vm_usd_per_hour * vm_seconds / 3600.0
+
+
+@dataclass
+class SessionTicket:
+    """Everything the client gets back when opening a session."""
+
+    session_id: str
+    vm: VmInstance
+    attestation: AttestationReport
+    recording_key_name: str
+
+
+class CloudService:
+    """The multi-tenant service; tenants never share VMs or recordings."""
+
+    def __init__(self, images: Optional[Dict[str, VmImage]] = None,
+                 root: Optional[CloudRootOfTrust] = None) -> None:
+        self.images = dict(images or DEFAULT_IMAGES)
+        self.root = root or CloudRootOfTrust()
+        # The key recordings are signed with; clients pin its verifier.
+        self.recording_key = SigningKey.generate("grt-recording-service")
+        self._session_counter = 0
+        self.active_sessions: Dict[str, SessionTicket] = {}
+        self.recordings_served = 0
+
+    # ------------------------------------------------------------------
+    def open_session(self, client_id: str, image_name: str,
+                     device_tree: DeviceTreeNode,
+                     nonce: bytes) -> SessionTicket:
+        if image_name not in self.images:
+            raise ServiceError(f"no VM image named {image_name!r}")
+        image = self.images[image_name]
+        self._session_counter += 1
+        session_id = (
+            f"grt-{self._session_counter}-"
+            f"{hashlib.sha256(client_id.encode()).hexdigest()[:8]}")
+        vm = VmInstance(image=image, device_tree=device_tree,
+                        client_id=client_id)
+        report = self.root.attest(image.measurement_blob(), nonce)
+        ticket = SessionTicket(session_id=session_id, vm=vm,
+                               attestation=report,
+                               recording_key_name=self.recording_key.name)
+        self.active_sessions[session_id] = ticket
+        return ticket
+
+    def close_session(self, session_id: str) -> None:
+        # The VM is destroyed with the session: no reuse across clients.
+        self.active_sessions.pop(session_id, None)
+
+    def sign_recording(self, body: bytes) -> bytes:
+        self.recordings_served += 1
+        return self.recording_key.sign(body)
+
+    def image_for_family(self, compatible: str) -> str:
+        for name, image in self.images.items():
+            if image.supports(compatible):
+                return name
+        raise ServiceError(f"no image supports driver {compatible!r}")

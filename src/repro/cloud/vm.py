@@ -1,0 +1,97 @@
+"""Cloud VM images and instances (§3.2, §6).
+
+A VM image bundles a kernel plus one GPU-stack variant (framework,
+runtime, and the family drivers it carries).  "A single VM image can
+incorporate multiple GPU drivers, which are dynamically loaded depending
+on the specific client GPU model" — modelled by matching the client's
+device-tree ``compatible`` string against the image's driver list at boot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.kernel.devicetree import DeviceTreeNode
+
+VM_BOOT_COST_S = 1.2
+DRIVER_BIND_COST_S = 0.15
+
+
+class VmError(RuntimeError):
+    """VM provisioning/boot failure."""
+
+
+@dataclass(frozen=True)
+class VmImage:
+    """One GPU-stack variant: name + the driver `compatible`s it carries."""
+
+    name: str
+    framework: str  # e.g. "acl-20.05"
+    runtime: str    # e.g. "libmali"
+    driver_compatibles: Tuple[str, ...]
+
+    def measurement_blob(self) -> bytes:
+        """Stable bytes whose hash is the attestation measurement."""
+        return "|".join((self.name, self.framework, self.runtime,
+                         *self.driver_compatibles)).encode()
+
+    def measurement(self) -> bytes:
+        return hashlib.sha256(self.measurement_blob()).digest()
+
+    def supports(self, compatible: str) -> bool:
+        return compatible in self.driver_compatibles
+
+
+DEFAULT_IMAGES: Dict[str, VmImage] = {
+    "acl-opencl": VmImage(
+        name="acl-opencl",
+        framework="acl-20.05",
+        runtime="libmali",
+        driver_compatibles=("arm,mali-bifrost", "arm,mali-midgard"),
+    ),
+    "tflite-gles": VmImage(
+        name="tflite-gles",
+        framework="tflite-2.3",
+        runtime="libmali",
+        driver_compatibles=("arm,mali-bifrost",),
+    ),
+}
+
+
+@dataclass
+class VmInstance:
+    """A booted, single-tenant VM serving exactly one client session."""
+
+    image: VmImage
+    device_tree: DeviceTreeNode
+    client_id: str
+    booted: bool = False
+    bound_driver: Optional[str] = None
+
+    def boot(self, clock) -> None:
+        """Boot the kernel and bind the GPU driver named by the device
+        tree.  There is no GPU hardware behind the MMIO range (§6) — the
+        driver's accesses will be tunnelled by DriverShim."""
+        if self.booted:
+            raise VmError("VM already booted")
+        gpu_node = self._gpu_node()
+        compatible = gpu_node.compatible
+        if not self.image.supports(compatible):
+            raise VmError(
+                f"image {self.image.name!r} has no driver for {compatible!r}")
+        clock.advance(VM_BOOT_COST_S, label="cpu")
+        clock.advance(DRIVER_BIND_COST_S, label="cpu")
+        self.bound_driver = compatible
+        self.booted = True
+
+    def _gpu_node(self) -> DeviceTreeNode:
+        for node in [self.device_tree, *self.device_tree.children]:
+            if node.name.startswith("gpu@"):
+                return node
+        raise VmError("client device tree has no GPU node")
+
+    @property
+    def gpu_model(self) -> str:
+        return self._gpu_node().properties.get("model", "unknown")

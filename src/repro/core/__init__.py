@@ -1,0 +1,57 @@
+"""GR-T core: the paper's contribution.
+
+Everything below :mod:`repro.core` implements §3-§5 of the paper on top of
+the substrate packages:
+
+* :mod:`repro.core.symbolic` — lazy symbolic register values (the
+  instrumentation's dependency tracking, §4.1);
+* :mod:`repro.core.deferral` — per-thread deferral queues and commits;
+* :mod:`repro.core.speculation` — commit history, value prediction,
+  taint tracking, validation (§4.2); polling-loop offload and predicate
+  speculation (§4.3) live in :mod:`repro.core.drivershim`;
+* :mod:`repro.core.memsync` — meta-only memory synchronization with
+  delta + run-length compression (§5);
+* :mod:`repro.core.drivershim` / :mod:`repro.core.gpushim` — the two
+  recorder shims (§3.2);
+* :mod:`repro.core.recording` — the signed recording format;
+* :mod:`repro.core.recorder` — record-session orchestration and the
+  four evaluated configurations (Naive / OursM / OursMD / OursMDS);
+* :mod:`repro.core.replayer` — the in-TEE replayer (§2.3);
+* :mod:`repro.core.recovery` — misprediction rollback / fast-forward.
+"""
+
+from repro.core.recorder import (
+    RecorderConfig,
+    RecordSession,
+    RecordResult,
+    NAIVE,
+    OURS_M,
+    OURS_MD,
+    OURS_MDS,
+    RECORDER_VARIANTS,
+)
+from repro.core.recording import Recording, RecordingFormatError
+from repro.core.replayer import Replayer, ReplaySession, ReplayResult, ReplayError
+from repro.core.speculation import MispredictionDetected
+from repro.core.testbed import ClientDevice, native_run, NativeResult
+
+__all__ = [
+    "RecorderConfig",
+    "RecordSession",
+    "RecordResult",
+    "NAIVE",
+    "OURS_M",
+    "OURS_MD",
+    "OURS_MDS",
+    "RECORDER_VARIANTS",
+    "Recording",
+    "RecordingFormatError",
+    "Replayer",
+    "ReplaySession",
+    "ReplayResult",
+    "ReplayError",
+    "MispredictionDetected",
+    "ClientDevice",
+    "native_run",
+    "NativeResult",
+]

@@ -1,0 +1,114 @@
+"""Dump compression: delta between sync points + zero-run-length coding.
+
+§5: "Both shims use range encoding to compress memory dumps; each shim
+calculates and transfers the deltas of memory dumps between consecutive
+synchronization points."  Dry-run memory is dominated by zeros (inputs and
+parameters are zero-filled, §5), so a zero-run/literal coder captures
+almost all of the win of a full range coder while staying fast in numpy.
+
+Wire format of an encoded block::
+
+    u8   flags            (bit0: delta-vs-prev applied)
+    u32  original length
+    then tokens until exhausted:
+      u32 zero_run        (bytes of zeros to emit)
+      u32 literal_len     (bytes copied verbatim)
+      literal bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+import numpy as np
+
+_HEADER = struct.Struct("<BI")
+_TOKEN = struct.Struct("<II")
+
+FLAG_DELTA = 0x1
+
+# Gaps of zeros shorter than this are folded into literals (token overhead
+# would exceed the zeros saved).
+_MIN_ZERO_RUN = 16
+
+
+class CodecError(ValueError):
+    """Corrupt compressed block."""
+
+
+def _rle_encode(data: np.ndarray) -> bytes:
+    """Encode a uint8 array as zero-run / literal tokens."""
+    out = [b""]
+    nz = np.flatnonzero(data)
+    if nz.size == 0:
+        return b""
+    # Split nonzero indices into literal segments wherever a zero gap of at
+    # least _MIN_ZERO_RUN separates them.
+    gaps = np.diff(nz)
+    split_points = np.flatnonzero(gaps > _MIN_ZERO_RUN) + 1
+    segments = np.split(nz, split_points)
+    cursor = 0
+    for seg in segments:
+        start, end = int(seg[0]), int(seg[-1]) + 1
+        out.append(_TOKEN.pack(start - cursor, end - start))
+        out.append(data[start:end].tobytes())
+        cursor = end
+    return b"".join(out)
+
+
+def encode(data: bytes, prev: Optional[bytes] = None) -> bytes:
+    """Compress ``data``, optionally as a delta against ``prev``."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    flags = 0
+    if prev is not None:
+        if len(prev) != len(data):
+            raise CodecError("delta base has different length")
+        arr = arr ^ np.frombuffer(prev, dtype=np.uint8)
+        flags |= FLAG_DELTA
+    body = _rle_encode(arr)
+    return _HEADER.pack(flags, len(data)) + body
+
+
+def decode(blob: bytes, prev: Optional[bytes] = None) -> bytes:
+    """Invert :func:`encode`."""
+    if len(blob) < _HEADER.size:
+        raise CodecError("truncated header")
+    flags, length = _HEADER.unpack_from(blob, 0)
+    out = np.zeros(length, dtype=np.uint8)
+    offset = _HEADER.size
+    cursor = 0
+    while offset < len(blob):
+        if offset + _TOKEN.size > len(blob):
+            raise CodecError("truncated token")
+        zero_run, lit_len = _TOKEN.unpack_from(blob, offset)
+        offset += _TOKEN.size
+        cursor += zero_run
+        if cursor + lit_len > length or offset + lit_len > len(blob):
+            raise CodecError("token overruns block")
+        out[cursor:cursor + lit_len] = np.frombuffer(
+            blob[offset:offset + lit_len], dtype=np.uint8)
+        cursor += lit_len
+        offset += lit_len
+    if flags & FLAG_DELTA:
+        if prev is None:
+            raise CodecError("delta block requires its base")
+        if len(prev) != length:
+            raise CodecError("delta base has different length")
+        out ^= np.frombuffer(prev, dtype=np.uint8)
+    return out.tobytes()
+
+
+def best_encode(data: bytes, prev: Optional[bytes] = None) -> bytes:
+    """Pick the smaller of raw-RLE and delta-RLE (a delta against an
+    unrelated base can be *larger* than raw)."""
+    raw = encode(data, None)
+    if prev is None:
+        return raw
+    delta = encode(data, prev)
+    return delta if len(delta) < len(raw) else raw
+
+
+def is_delta(blob: bytes) -> bool:
+    flags, _ = _HEADER.unpack_from(blob, 0)
+    return bool(flags & FLAG_DELTA)

@@ -1,0 +1,137 @@
+"""Register access deferral queues (§4.1).
+
+DriverShim queues register accesses per kernel thread, in program order,
+and ships each queue to the client as one *commit*.  This module holds the
+data structures: queued operations (reads bind fresh symbols, writes carry
+concrete values or wire expressions over this batch's symbols), the commit
+request/response encoding, and the commit *signature* used as the
+speculation history key (§4.2: "the same register access sequence").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.core.symbolic import LazyInt, SymVal, Wire
+from repro.hw.regs import reg_name
+
+# Wire sizing for commit messages (§7.1 reports 200-400 byte payloads).
+BYTES_PER_OP = 12
+BYTES_PER_READ_RESULT = 8
+
+
+@dataclass
+class QueuedRead:
+    offset: int
+    sym: SymVal
+
+
+@dataclass
+class QueuedWrite:
+    offset: int
+    value: Union[int, LazyInt]
+    tainted: bool = False
+
+
+QueuedOp = Union[QueuedRead, QueuedWrite]
+
+
+@dataclass(frozen=True)
+class CommitRequest:
+    """What travels cloud -> client: ordered ops in wire form."""
+
+    ops: Tuple[Tuple, ...]  # ("r", offset, sym_id) | ("w", offset, wire)
+
+    @property
+    def payload_bytes(self) -> int:
+        return BYTES_PER_OP * len(self.ops)
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for op in self.ops if op[0] == "r")
+
+    @property
+    def response_bytes(self) -> int:
+        return BYTES_PER_READ_RESULT * self.read_count
+
+
+class DeferralQueue:
+    """One kernel thread's pending register accesses, in program order."""
+
+    def __init__(self, thread: str) -> None:
+        self.thread = thread
+        self.ops: List[QueuedOp] = []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def add_read(self, offset: int, sym: SymVal) -> None:
+        self.ops.append(QueuedRead(offset=offset, sym=sym))
+
+    def add_write(self, offset: int, value: Union[int, LazyInt],
+                  tainted: bool) -> None:
+        self.ops.append(QueuedWrite(offset=offset, value=value,
+                                    tainted=tainted))
+
+    # ------------------------------------------------------------------
+    def signature(self) -> Tuple:
+        """History key: the shape of the access sequence, not its values.
+
+        Write *values* are excluded (job addresses legitimately differ
+        between otherwise identical submissions); read outcomes are what
+        speculation predicts.
+        """
+        sig: List[Tuple] = []
+        for op in self.ops:
+            if isinstance(op, QueuedRead):
+                sig.append(("r", op.offset))
+            else:
+                symbolic = isinstance(op.value, LazyInt)
+                sig.append(("w", op.offset, symbolic))
+        return tuple(sig)
+
+    def reads(self) -> List[QueuedRead]:
+        return [op for op in self.ops if isinstance(op, QueuedRead)]
+
+    def any_tainted(self) -> bool:
+        for op in self.ops:
+            if isinstance(op, QueuedWrite):
+                if op.tainted:
+                    return True
+                if isinstance(op.value, LazyInt) and op.value.tainted:
+                    return True
+        return False
+
+    def request(self) -> CommitRequest:
+        """Lower to wire form.  Symbolic write values must reference only
+        this batch's symbols (earlier batches were resolved at commit)."""
+        own_ids = {op.sym.sym_id for op in self.ops
+                   if isinstance(op, QueuedRead)}
+        wire_ops: List[Tuple] = []
+        for op in self.ops:
+            if isinstance(op, QueuedRead):
+                wire_ops.append(("r", op.offset, op.sym.sym_id))
+            else:
+                value = op.value
+                if isinstance(value, LazyInt):
+                    if value.resolved:
+                        wire: Wire = value.evaluate()
+                    else:
+                        foreign = [s.sym_id for s in value.symbols()
+                                   if not s.resolved
+                                   and s.sym_id not in own_ids]
+                        if foreign:
+                            raise RuntimeError(
+                                f"write to {reg_name(op.offset)} references "
+                                f"unresolved symbols {foreign} from an "
+                                f"earlier batch — commit ordering bug")
+                        wire = value.wire()
+                else:
+                    wire = int(value)
+                wire_ops.append(("w", op.offset, wire))
+        return CommitRequest(ops=tuple(wire_ops))
+
+    def take(self) -> List[QueuedOp]:
+        ops, self.ops = self.ops, []
+        return ops

@@ -1,0 +1,588 @@
+"""DriverShim: the cloud half of the recorder (§3.2, §4, §5).
+
+DriverShim sits at the bottom of the cloud GPU stack as the driver's
+register bus.  Depending on the recorder configuration it:
+
+* forwards every access synchronously (Naive / OursM);
+* defers accesses into per-thread queues inside hot driver functions and
+  commits them in batches at control dependencies, kernel-API calls,
+  explicit delays, lock operations, and hot-function exits (§4.1);
+* speculates commit outcomes from history, continuing execution on
+  predicted values and validating asynchronously (§4.2), with taint
+  tracking that stalls dependent commits so speculative state never spills
+  to the client;
+* offloads simple polling loops in one round trip, speculating on the
+  terminating predicate (§4.3);
+* triggers memory synchronization right before the job-start register
+  write and consumes the client's dump after each job interrupt (§5).
+
+It also implements the kernel-hook interface, which is where the paper's
+Clang instrumentation would call into it, and the fast-forward mode used
+by misprediction recovery (re-executing the driver against the recorded
+log with no network, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.deferral import (
+    CommitRequest,
+    DeferralQueue,
+    QueuedRead,
+    QueuedWrite,
+)
+from repro.core.gpushim import GpuShim
+from repro.core.memsync import MemorySynchronizer
+from repro.core.recording import Entry, IrqEntry, PollEntry, RegRead, RegWrite
+from repro.core.speculation import (
+    CommitHistory,
+    MispredictionDetected,
+    OutstandingCommit,
+    SpeculationStats,
+)
+from repro.core.symbolic import LazyInt, SymVal, concrete
+from repro.driver.bus import PollResult, PollSpec, RegisterBus
+from repro.driver.hotfuncs import CommitCategory, HOT_FUNCTIONS
+from repro.hw import regs
+from repro.hw.gpu import GpuIrqLine
+from repro.hw.regs import JsCommand
+from repro.kernel.env import KernelEnv, KernelHooks, Platform
+from repro.sim.network import Link, Message
+
+# Offsets whose write starts a GPU job: the memory-sync push boundary.
+_JOB_START_OFFSETS = {
+    regs.js_reg(slot, regs.JS_COMMAND_NEXT)
+    for slot in range(regs.NUM_JOB_SLOTS)
+}
+
+IRQ_MESSAGE_BYTES = 24
+POLL_REQUEST_BYTES = 32
+POLL_RESPONSE_BYTES = 16
+
+
+class FeedMismatch(RuntimeError):
+    """Fast-forward re-execution diverged from the recorded log — the
+    driver is not deterministic, which breaks GR's premises."""
+
+
+class FastForwardFeed:
+    """Recorded log prefix consumed during recovery re-execution (§4.2).
+
+    The driver re-runs from scratch; its register accesses are answered
+    from the log instead of the network, and the client independently
+    replays the same prefix onto the reset GPU.
+    """
+
+    def __init__(self, entries: List[Entry]) -> None:
+        self.entries = entries
+        self.cursor = 0
+
+    @property
+    def active(self) -> bool:
+        self._skip_passive()
+        return self.cursor < len(self.entries)
+
+    def _skip_passive(self) -> None:
+        # Memory images / uploads / markers are handled by the client-side
+        # prefix replay; the cloud feed only answers CPU-visible events.
+        while self.cursor < len(self.entries):
+            entry = self.entries[self.cursor]
+            if isinstance(entry, (RegRead, RegWrite, PollEntry, IrqEntry)):
+                return
+            self.cursor += 1
+
+    def _next(self) -> Entry:
+        self._skip_passive()
+        if self.cursor >= len(self.entries):
+            raise FeedMismatch("fast-forward feed exhausted mid-operation")
+        entry = self.entries[self.cursor]
+        self.cursor += 1
+        return entry
+
+    def expect_read(self, offset: int) -> int:
+        entry = self._next()
+        if not isinstance(entry, RegRead) or entry.offset != offset:
+            raise FeedMismatch(f"expected read of {offset:#x}, log has {entry}")
+        return entry.value
+
+    def expect_write(self, offset: int, value: int) -> None:
+        entry = self._next()
+        if not isinstance(entry, RegWrite) or entry.offset != offset:
+            raise FeedMismatch(f"expected write of {offset:#x}, log has {entry}")
+        if entry.value != value & 0xFFFF_FFFF:
+            raise FeedMismatch(
+                f"write to {offset:#x} regenerated {value:#x}, "
+                f"log has {entry.value:#x}")
+
+    def expect_poll(self, spec: PollSpec) -> PollResult:
+        entry = self._next()
+        if not isinstance(entry, PollEntry) or entry.offset != spec.offset:
+            raise FeedMismatch(f"expected poll of {spec.offset:#x}, got {entry}")
+        return PollResult(value=entry.value, iterations=entry.iterations,
+                          success=spec.satisfied_by(entry.value))
+
+    def peek_irq(self) -> Optional[str]:
+        self._skip_passive()
+        if self.cursor < len(self.entries):
+            entry = self.entries[self.cursor]
+            if isinstance(entry, IrqEntry):
+                self.cursor += 1
+                return entry.line
+        return None
+
+
+@dataclass
+class ShimModes:
+    """Which of the paper's techniques are active (recorder variants)."""
+
+    defer: bool = False
+    speculate: bool = False
+    offload_polls: bool = False
+
+
+class DriverShim(RegisterBus, KernelHooks):
+    """The instrumented register bus the cloud driver runs on."""
+
+    def __init__(self, link: Link, gpushim: GpuShim,
+                 memsync: MemorySynchronizer, modes: ShimModes,
+                 history: Optional[CommitHistory] = None) -> None:
+        self.link = link
+        self.gpushim = gpushim
+        self.memsync = memsync
+        self.modes = modes
+        self.history = history if history is not None else CommitHistory()
+        self.stats = SpeculationStats()
+        self.env: Optional[KernelEnv] = None
+        self.metastate_provider: Callable[[], Set[int]] = lambda: set()
+
+        self._queues: Dict[str, DeferralQueue] = {}
+        self._hot_stack: Dict[str, List[Tuple[str, str]]] = {}
+        self._sym_counter = 0
+        self._outstanding: List[OutstandingCommit] = []
+        self._control_taint: Set[str] = set()
+        self.last_validated_position = 0
+        self.feed: Optional[FastForwardFeed] = None
+        self.reg_accesses = 0
+        self._in_emulated_poll = False
+
+    # ------------------------------------------------------------------
+    def attach(self, env: KernelEnv) -> None:
+        self.env = env
+        env.hooks.append(self)
+
+    def _queue(self) -> DeferralQueue:
+        thread = self.env.current.name
+        if thread not in self._queues:
+            self._queues[thread] = DeferralQueue(thread)
+        return self._queues[thread]
+
+    def _deferring(self) -> bool:
+        if not self.modes.defer:
+            return False
+        stack = self._hot_stack.get(self.env.current.name)
+        return bool(stack)
+
+    def _category(self) -> str:
+        stack = self._hot_stack.get(self.env.current.name)
+        if stack:
+            return stack[-1][1]
+        return CommitCategory.OTHER
+
+    @property
+    def ff_active(self) -> bool:
+        return self.feed is not None and self.feed.active
+
+    # ------------------------------------------------------------------
+    # RegisterBus interface
+    # ------------------------------------------------------------------
+    def read32(self, offset: int):
+        self.reg_accesses += 1
+        if self._deferring():
+            self._sym_counter += 1
+            sym = SymVal(self._sym_counter, self,
+                         origin=regs.reg_name(offset))
+            self._queue().add_read(offset, sym)
+            return sym
+        return self._sync_single_read(offset)
+
+    def write32(self, offset: int, value) -> None:
+        self.reg_accesses += 1
+        is_job_start = (offset in _JOB_START_OFFSETS
+                        and isinstance(value, int)
+                        and value == JsCommand.START)
+        if is_job_start:
+            # §5: sync memory right before the job-start write.  Pending
+            # ops are committed first so ordering is preserved.
+            self._flush_queue("job-start")
+            self._memsync_push()
+        if self._deferring():
+            tainted = (self.env.current.name in self._control_taint
+                       or (isinstance(value, LazyInt) and value.tainted))
+            if isinstance(value, LazyInt) and value.resolved:
+                value = value.evaluate()
+            self._queue().add_write(offset, value, tainted)
+            return
+        self._sync_single_write(offset, concrete(value))
+
+    def poll(self, spec: PollSpec) -> PollResult:
+        if self.modes.offload_polls:
+            return self._offloaded_poll(spec)
+        return self._emulated_poll(spec)
+
+    # ------------------------------------------------------------------
+    # Synchronous single-op paths (Naive / OursM / cold code)
+    # ------------------------------------------------------------------
+    def _sync_single_read(self, offset: int) -> int:
+        if self.ff_active:
+            return self.feed.expect_read(offset)
+        self._sym_counter += 1
+        request = CommitRequest(ops=(("r", offset, self._sym_counter),))
+        self.link.round_trip(Message("commit", request.payload_bytes),
+                             Message("commit-resp", request.response_bytes))
+        env = self.gpushim.apply_commit(request)
+        self.stats.note_commit(self._category(), speculated=False, reads=1)
+        self.last_validated_position = self.gpushim.log_position()
+        return env[self._sym_counter]
+
+    def _sync_single_write(self, offset: int, value: int) -> None:
+        if self.ff_active:
+            self.feed.expect_write(offset, value)
+            return
+        request = CommitRequest(ops=(("w", offset, value),))
+        self.link.round_trip(Message("commit", request.payload_bytes),
+                             Message("commit-resp", 4))
+        self.gpushim.apply_commit(request)
+        self.stats.note_commit(self._category(), speculated=False, reads=0)
+        self.last_validated_position = self.gpushim.log_position()
+
+    # ------------------------------------------------------------------
+    # Commit machinery (§4.1 / §4.2)
+    # ------------------------------------------------------------------
+    def _flush_queue(self, reason: str, allow_speculation: bool = True) -> None:
+        if self.env is None:
+            return
+        queue = self._queues.get(self.env.current.name)
+        if not queue or len(queue) == 0:
+            return
+        category = self._category()
+        signature = queue.signature()
+        reads = queue.reads()
+
+        if self.ff_active:
+            self._flush_from_feed(queue)
+            self.stats.note_commit(category, speculated=False,
+                                   reads=len(reads))
+            return
+
+        # §4.2 optimization: a commit carrying speculative (tainted) state
+        # must wait for outstanding commits to validate, so mispredicted
+        # state never reaches the client.
+        if queue.any_tainted() or self.env.current.name in self._control_taint:
+            self.stats.tainted_commit_stalls += 1
+            self.validate_outstanding()
+
+        request = queue.request()
+        prediction = None
+        if self._in_emulated_poll:
+            # §4.3: speculating inside a polling loop means predicting the
+            # iteration count, which is timing-nondeterministic.  Without
+            # offload, poll iterations always commit synchronously.
+            allow_speculation = False
+        if self.modes.speculate and allow_speculation:
+            if reads:
+                prediction = self.history.predict(signature)
+            else:
+                # A commit with no reads has nothing to predict: the
+                # driver needs no value back, so it is inherently
+                # asynchronous under speculation.
+                prediction = ()
+
+        if prediction is not None:
+            completion = self.link.async_round_trip(
+                Message("commit", request.payload_bytes),
+                Message("commit-resp", request.response_bytes))
+            safe_position = self.last_validated_position
+            actual_env = self.gpushim.apply_commit(request)
+            actual = tuple(actual_env[r.sym.sym_id] for r in reads)
+            for qread, value in zip(reads, prediction):
+                qread.sym.resolve(value, tainted=True)
+            self._outstanding.append(OutstandingCommit(
+                signature=signature, category=category,
+                predicted=tuple(prediction), actual=actual,
+                completion_time=completion,
+                read_syms=[r.sym for r in reads],
+                safe_log_position=safe_position))
+            self.stats.note_commit(category, speculated=True,
+                                   reads=len(reads))
+        else:
+            self.link.round_trip(
+                Message("commit", request.payload_bytes),
+                Message("commit-resp", max(request.response_bytes, 4)))
+            env = self.gpushim.apply_commit(request)
+            for qread in reads:
+                qread.sym.resolve(env[qread.sym.sym_id], tainted=False)
+            values = tuple(env[r.sym.sym_id] for r in reads)
+            self.history.record(signature, values)
+            self.stats.note_commit(category, speculated=False,
+                                   reads=len(reads))
+            if not self._outstanding:
+                self.last_validated_position = self.gpushim.log_position()
+        queue.take()
+
+    def _flush_from_feed(self, queue: DeferralQueue) -> None:
+        """Recovery fast-forward: answer the batch from the log."""
+        for op in queue.take():
+            if isinstance(op, QueuedRead):
+                op.sym.resolve(self.feed.expect_read(op.offset))
+            else:
+                value = op.value
+                if isinstance(value, LazyInt):
+                    value = value.evaluate()
+                self.feed.expect_write(op.offset, int(value))
+
+    def force_resolution(self, lazy: LazyInt) -> None:
+        """A branch or coercion demanded a concrete value: the control
+        dependency commit (§4.1)."""
+        if lazy.resolved:
+            return
+        if lazy.tainted:
+            self._control_taint.add(self.env.current.name)
+        self._flush_queue("control-dep")
+        if not lazy.resolved:
+            raise RuntimeError(
+                "commit did not resolve a forced value — the symbol is not "
+                "in the current thread's queue")
+        # Branching on a value that is (now) speculative taints subsequent
+        # control flow in this thread until validation clears it.
+        if any(s.taint for s in lazy.symbols()):
+            self._control_taint.add(self.env.current.name)
+
+    def validate_outstanding(self) -> None:
+        """Stall until all asynchronous commits complete, then compare
+        predictions against reality (§4.2)."""
+        if not self._outstanding:
+            return
+        latest = max(oc.completion_time for oc in self._outstanding)
+        if latest > self.link.clock.now:
+            self.link.clock.advance_to(latest, label="network")
+            self.stats.validation_stalls += 1
+        try:
+            for oc in self._outstanding:
+                # Feed reality into history first: after a rollback the
+                # re-run must not make the same wrong prediction again.
+                self.history.record(oc.signature, oc.actual)
+                oc.validate()
+        except MispredictionDetected:
+            self.stats.mispredictions += 1
+            raise
+        finally:
+            self._outstanding.clear()
+            self._control_taint.clear()
+        self.last_validated_position = self.gpushim.log_position()
+
+    # ------------------------------------------------------------------
+    # Polling loops (§4.3)
+    # ------------------------------------------------------------------
+    def _offloaded_poll(self, spec: PollSpec) -> PollResult:
+        self._flush_queue("poll-offload")
+        if self.ff_active:
+            return self.feed.expect_poll(spec)
+        self.stats.polls_offloaded += 1
+        psig = ("poll", spec.offset, spec.condition, spec.operand)
+        prediction = (self.history.predict(psig)
+                      if self.modes.speculate else None)
+        if prediction is not None:
+            # Predict the *predicate* outcome, not the iteration count.
+            pred_success, pred_value = prediction
+            completion = self.link.async_round_trip(
+                Message("poll", POLL_REQUEST_BYTES),
+                Message("poll-resp", POLL_RESPONSE_BYTES))
+            safe_position = self.last_validated_position
+            actual = self.gpushim.execute_poll(spec)
+            sym = SymVal(0, self)  # no driver-visible symbol; bookkeeping
+            sym.resolve(actual.value, tainted=False)
+            self._outstanding.append(OutstandingCommit(
+                signature=psig, category=CommitCategory.POLLING,
+                predicted=(pred_success, pred_value),
+                actual=(actual.success, actual.value),
+                completion_time=completion, read_syms=[],
+                safe_log_position=safe_position))
+            self.stats.polls_speculated += 1
+            self.stats.note_commit(CommitCategory.POLLING, speculated=True,
+                                   reads=1)
+            return PollResult(value=pred_value, iterations=1,
+                              success=pred_success)
+        self.link.round_trip(Message("poll", POLL_REQUEST_BYTES),
+                             Message("poll-resp", POLL_RESPONSE_BYTES))
+        result = self.gpushim.execute_poll(spec)
+        self.history.record(psig, (result.success, result.value))
+        self.stats.note_commit(CommitCategory.POLLING, speculated=False,
+                               reads=1)
+        if not self._outstanding:
+            self.last_validated_position = self.gpushim.log_position()
+        return result
+
+    def _emulated_poll(self, spec: PollSpec) -> PollResult:
+        """No offload: each iteration's read is a control dependency, so
+        deferral gains nothing — §4.3's motivating observation."""
+        self._in_emulated_poll = True
+        try:
+            iterations = 0
+            value = 0
+            while iterations < spec.max_iters:
+                value = concrete(self.read32(spec.offset))
+                iterations += 1
+                if spec.satisfied_by(value):
+                    return PollResult(value=value, iterations=iterations,
+                                      success=True)
+            return PollResult(value=value, iterations=iterations,
+                              success=False)
+        finally:
+            self._in_emulated_poll = False
+
+    # ------------------------------------------------------------------
+    # Memory synchronization (§5)
+    # ------------------------------------------------------------------
+    def _memsync_push(self) -> None:
+        if self.ff_active:
+            # Client-side prefix replay already restored its memory; just
+            # consume the cloud-side dirty bookkeeping.
+            self.memsync.cloud_mem.take_dirty()
+            return
+        pages, wire = self.memsync.push(self.metastate_provider())
+        if pages:
+            self.link.send_to_client(Message("memsync-push", wire),
+                                     blocking=True)
+            self.memsync.apply_push(pages)
+            self.gpushim.note_mem_write(pages)
+
+    def memsync_pull(self) -> None:
+        if self.ff_active:
+            self.memsync.client_mem.take_dirty()
+            return
+        pages, wire = self.memsync.pull(self.metastate_provider())
+        if pages or wire:
+            self.link.receive_from_client(Message("memsync-pull", wire))
+            self.memsync.apply_pull(pages)
+        self.gpushim.note_mem_upload(wire)
+
+    # ------------------------------------------------------------------
+    # KernelHooks: the instrumentation seam (§4.1's commit triggers)
+    # ------------------------------------------------------------------
+    def on_kernel_api(self, env: KernelEnv, name: str) -> None:
+        if name == "printk":
+            # Externalization: stall speculation, then commit for real.
+            self.validate_outstanding()
+            self._flush_queue("externalize", allow_speculation=False)
+        else:
+            self._flush_queue(f"kernel-api:{name}")
+
+    def on_lock(self, env: KernelEnv, lock_name: str) -> None:
+        self._flush_queue(f"lock:{lock_name}")
+
+    def on_unlock(self, env: KernelEnv, lock_name: str) -> None:
+        # Release consistency: all deferred accesses commit before any
+        # other thread can observe state guarded by this lock.
+        self._flush_queue(f"unlock:{lock_name}")
+
+    def on_delay(self, env: KernelEnv, seconds: float) -> None:
+        self._flush_queue("explicit-delay")
+
+    def on_hot_enter(self, env: KernelEnv, name: str, category: str) -> None:
+        self._hot_stack.setdefault(env.current.name, []).append(
+            (name, category))
+
+    def on_hot_exit(self, env: KernelEnv, name: str, category: str) -> None:
+        self._flush_queue(f"hot-exit:{name}")
+        stack = self._hot_stack.get(env.current.name)
+        if stack and stack[-1][0] == name:
+            stack.pop()
+
+    def on_thread_switch(self, env: KernelEnv, ctx) -> None:
+        pass  # queues are per-thread; nothing to do
+
+    # ------------------------------------------------------------------
+    def finish(self) -> None:
+        """End of record run: drain every queue and validate everything."""
+        for thread in list(self._queues):
+            queue = self._queues[thread]
+            if len(queue):
+                self._flush_queue("session-end", allow_speculation=False)
+        self.validate_outstanding()
+
+
+class CloudPlatform(Platform):
+    """The cloud kernel's platform: the "hardware" is the remote client.
+
+    Sleeping drivers wake on client interrupts; waiting fast-forwards the
+    shared virtual clock to the client GPU's next event and charges the
+    interrupt forwarding (and the post-job memory pull) to the link.
+    """
+
+    def __init__(self, gpushim: GpuShim, shim: DriverShim, link: Link) -> None:
+        self.gpushim = gpushim
+        self.shim = shim
+        self.link = link
+        self.kbdev = None
+        self._delivering = False
+
+    def attach(self, kbdev) -> None:
+        self.kbdev = kbdev
+
+    # ------------------------------------------------------------------
+    def deliver_pending(self) -> bool:
+        if self.kbdev is None or self._delivering:
+            return False
+        self._delivering = True
+        delivered = False
+        try:
+            if self.shim.ff_active:
+                while True:
+                    line = self.shim.feed.peek_irq()
+                    if line is None:
+                        return delivered
+                    self.kbdev.dispatch_irq(line)
+                    delivered = True
+            for _ in range(64):
+                line = self.gpushim.take_pending_irq()
+                if line is None:
+                    return delivered
+                self.link.receive_from_client(Message("irq", IRQ_MESSAGE_BYTES))
+                if line == GpuIrqLine.JOB:
+                    # §5: the client uploads its dump right after the
+                    # job-completion interrupt.
+                    self.shim.memsync_pull()
+                self.kbdev.dispatch_irq(line)
+                delivered = True
+            raise RuntimeError("interrupt storm from client GPU")
+        finally:
+            self._delivering = False
+
+    def wait_for_event(self, env: KernelEnv, timeout_s: float) -> bool:
+        if self.shim.ff_active:
+            # All events come from the feed during fast-forward.
+            if self.deliver_pending():
+                return True
+            self.shim.validate_outstanding()
+            return False
+        gpu = self.gpushim.gpu
+        if gpu.any_irq_pending() is not None:
+            self.shim.validate_outstanding()
+            if self.deliver_pending():
+                return True
+        # Let the GPU make progress *before* validating outstanding
+        # speculative commits: their network completion overlaps with GPU
+        # execution, so waiting on the GPU first usually absorbs the RTT
+        # (the whole point of asynchronous commits, §4.2).
+        next_event = gpu.next_event_time()
+        if next_event is not None:
+            label = "gpu" if not gpu.is_idle() else "idle"
+            env.clock.advance_to(min(next_event, env.clock.now + timeout_s),
+                                 label=label)
+            gpu.service()
+        self.shim.validate_outstanding()
+        if self.deliver_pending():
+            return True
+        return next_event is not None

@@ -1,0 +1,175 @@
+"""Memory synchronization between the cloud's and the client's memory (§5).
+
+With the job queue length pinned to 1, the driver and the GPU never touch
+shared memory simultaneously, so two sync points per job suffice:
+
+* **push** (cloud -> client) right before the register write that starts a
+  job: ships the driver/runtime's memory updates so the GPU sees them;
+* **pull** (client -> cloud) right after the job-completion interrupt:
+  ships the GPU's updates back.
+
+Two policies implement the paper's comparison.  ``FULL`` (Naive) moves
+every dirty page.  ``META_ONLY`` (OursM and up) moves only GPU metastate —
+shader code, command memory, job descriptors, and page tables — identified
+from mapping permissions exactly as §5 describes, and never program data.
+
+Transfers are delta+RLE compressed against the last version the peer saw
+(:mod:`repro.core.compress`).  A continuous-validation check models the
+paper's unmap-and-trap safety net: pages that change while the other side
+owns the memory raise :class:`MemorySyncViolation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core import compress
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+
+
+class SyncPolicy:
+    FULL = "full"
+    META_ONLY = "meta-only"
+
+
+class MemorySyncViolation(RuntimeError):
+    """A spurious access touched synchronized memory out of turn (§5's
+    page-fault trap)."""
+
+
+@dataclass
+class MemSyncStats:
+    pushes: int = 0
+    pulls: int = 0
+    pages_pushed: int = 0
+    pages_pulled: int = 0
+    raw_push_bytes: int = 0
+    raw_pull_bytes: int = 0
+    wire_push_bytes: int = 0
+    wire_pull_bytes: int = 0
+
+    @property
+    def raw_total_bytes(self) -> int:
+        return self.raw_push_bytes + self.raw_pull_bytes
+
+    @property
+    def wire_total_bytes(self) -> int:
+        return self.wire_push_bytes + self.wire_pull_bytes
+
+
+class MemorySynchronizer:
+    """Keeps one (cloud_mem, client_mem) pair coherent per the policy."""
+
+    def __init__(self, cloud_mem: PhysicalMemory, client_mem: PhysicalMemory,
+                 policy: str = SyncPolicy.META_ONLY,
+                 compress_enabled: bool = True) -> None:
+        if policy not in (SyncPolicy.FULL, SyncPolicy.META_ONLY):
+            raise ValueError(f"unknown sync policy {policy!r}")
+        self.cloud_mem = cloud_mem
+        self.client_mem = client_mem
+        self.policy = policy
+        # Naive ships raw dumps; delta+RLE compression is part of §5.
+        self.compress_enabled = compress_enabled
+        self.stats = MemSyncStats()
+        # Per-page last-synced contents, the delta base (§5 compression).
+        self._peer_view: Dict[int, bytes] = {}
+        # Pages pushed to the client while the GPU owns them; the cloud
+        # dirtying any of these before the pull is a violation.
+        self._gpu_owned: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _wire_size(self, pfn: int, raw: bytes) -> int:
+        if not self.compress_enabled:
+            return len(raw)
+        packed = compress.best_encode(raw, self._peer_view.get(pfn))
+        return len(packed)
+
+    # ------------------------------------------------------------------
+    # Metastate identification (§5: permission bits + ioctl flags)
+    # ------------------------------------------------------------------
+    def _select(self, dirty: Set[int], metastate: Set[int]) -> List[int]:
+        if self.policy == SyncPolicy.FULL:
+            return sorted(dirty)
+        return sorted(dirty & metastate)
+
+    # ------------------------------------------------------------------
+    def push(self, metastate_pfns: Iterable[int]
+             ) -> Tuple[Dict[int, bytes], int]:
+        """Cloud -> client, before a job start.
+
+        Returns (pages as raw bytes, wire bytes after compression).  The
+        caller charges the network and applies the pages to client memory.
+        """
+        dirty = self.cloud_mem.take_dirty()
+        meta = set(metastate_pfns)
+        violated = dirty & self._gpu_owned
+        if violated:
+            raise MemorySyncViolation(
+                f"cloud wrote {len(violated)} page(s) owned by the GPU "
+                f"(e.g. pfn {min(violated):#x})")
+        pfns = self._select(dirty, meta)
+        pages: Dict[int, bytes] = {}
+        wire = 0
+        for pfn in pfns:
+            raw = self.cloud_mem.page_bytes(pfn)
+            wire += self._wire_size(pfn, raw)
+            self._peer_view[pfn] = raw
+            pages[pfn] = raw
+        self.stats.pushes += 1
+        self.stats.pages_pushed += len(pages)
+        self.stats.raw_push_bytes += len(pages) * PAGE_SIZE
+        self.stats.wire_push_bytes += wire
+        # Hand the pushed region (and all metastate) to the GPU until pull.
+        self._gpu_owned = set(pfns) | (meta if self.policy
+                                       == SyncPolicy.META_ONLY else dirty)
+        return pages, wire
+
+    def apply_push(self, pages: Dict[int, bytes]) -> None:
+        """Client side: install pushed pages into client memory.
+
+        The installs are the *cloud's* state, not GPU writes — they must
+        not re-enter the next pull's dirty set (that would echo every
+        push straight back over the uplink).
+        """
+        for pfn, raw in pages.items():
+            self.client_mem.write_page(pfn, raw)
+        self.client_mem.clear_dirty_pages(pages)
+
+    # ------------------------------------------------------------------
+    def pull(self, metastate_pfns: Iterable[int]
+             ) -> Tuple[Dict[int, bytes], int]:
+        """Client -> cloud, after the job-completion interrupt."""
+        dirty = self.client_mem.take_dirty()
+        pfns = self._select(dirty, set(metastate_pfns))
+        pages: Dict[int, bytes] = {}
+        wire = 0
+        for pfn in pfns:
+            raw = self.client_mem.page_bytes(pfn)
+            wire += self._wire_size(pfn, raw)
+            self._peer_view[pfn] = raw
+            pages[pfn] = raw
+        self.stats.pulls += 1
+        self.stats.pages_pulled += len(pages)
+        self.stats.raw_pull_bytes += len(pages) * PAGE_SIZE
+        self.stats.wire_pull_bytes += wire
+        self._gpu_owned.clear()
+        return pages, wire
+
+    def apply_pull(self, pages: Dict[int, bytes]) -> None:
+        """Cloud side: install the GPU's updates into cloud memory.
+
+        Only the installed pages leave the dirty set — clearing more
+        would also erase the evidence of any spurious cloud write made
+        while the GPU owned the memory (§5's trap must still fire at the
+        next push).
+        """
+        for pfn, raw in pages.items():
+            self.cloud_mem.write_page(pfn, raw)
+        self.cloud_mem.clear_dirty_pages(pages)
+
+    # ------------------------------------------------------------------
+    def prime_client_baseline(self) -> None:
+        """Reset the client's dirty tracker at session start so the first
+        pull reflects only GPU writes."""
+        self.client_mem.clear_dirty()

@@ -1,0 +1,337 @@
+"""Record-session orchestration and the four evaluated recorders.
+
+A :class:`RecordSession` wires the whole GR-T architecture together for
+one (client, workload) pair:
+
+client TEE side                      cloud side
+---------------                      ----------
+TZASC + OP-TEE + GPUShim      <----> CloudService -> VM (device tree,
+MaliGpu + client memory        link   GPU stack: driver + runtime + ML
+                                      framework) on DriverShim + memsync
+
+and runs the workflow of §3.1: attest, establish a secure channel, boot
+the dedicated VM, dry-run the workload with zero-filled data, download the
+signed recording.
+
+The recorder variants of §7.2 are :data:`NAIVE`, :data:`OURS_M`,
+:data:`OURS_MD` and :data:`OURS_MDS`.  Misprediction recovery (§4.2) is
+driven from here: on :class:`MispredictionDetected` the session reboots
+the VM (driver reload + shader recompilation, the dominant rollback cost
+the paper measures) and re-runs with the validated log prefix as a
+fast-forward feed while the client replays the same prefix locally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cloud.service import CloudService
+from repro.core.drivershim import CloudPlatform, DriverShim, FastForwardFeed, ShimModes
+from repro.core.gpushim import GpuShim
+from repro.core.memsync import MemorySynchronizer, MemSyncStats, SyncPolicy
+from repro.core.recording import Recording
+from repro.core.replayer import replay_entries
+from repro.core.speculation import (
+    CommitHistory,
+    MispredictionDetected,
+    SpeculationStats,
+)
+from repro.driver.driver import KbaseDevice
+from repro.hw.clocks import SocClockController
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import GpuSku, HIKEY960_G71
+from repro.kernel.devicetree import board_device_tree
+from repro.kernel.env import KernelEnv
+from repro.ml.graph import Graph
+from repro.ml.models import build_model
+from repro.ml.runner import WorkloadRunner, required_memory_bytes
+from repro.runtime.api import GpuContext
+from repro.runtime.flavors import flavor_for_image
+from repro.sim.clock import VirtualClock
+from repro.sim.energy import EnergyMeter
+from repro.sim.network import Link, LinkProfile, Message, SecureChannel, WIFI
+from repro.tee.attestation import AttestationVerifier
+from repro.tee.optee import OpTeeOS
+
+
+@dataclass(frozen=True)
+class RecorderConfig:
+    """One recorder variant: which techniques are enabled."""
+
+    name: str
+    meta_only_sync: bool
+    defer: bool
+    speculate: bool
+    offload_polls: bool
+    compress: bool
+    spec_window: int = 3
+
+    @property
+    def sync_policy(self) -> str:
+        return SyncPolicy.META_ONLY if self.meta_only_sync else SyncPolicy.FULL
+
+    def modes(self) -> ShimModes:
+        return ShimModes(defer=self.defer, speculate=self.speculate,
+                         offload_polls=self.offload_polls)
+
+
+NAIVE = RecorderConfig("Naive", meta_only_sync=False, defer=False,
+                       speculate=False, offload_polls=False, compress=False)
+OURS_M = RecorderConfig("OursM", meta_only_sync=True, defer=False,
+                        speculate=False, offload_polls=False, compress=True)
+OURS_MD = RecorderConfig("OursMD", meta_only_sync=True, defer=True,
+                         speculate=False, offload_polls=False, compress=True)
+OURS_MDS = RecorderConfig("OursMDS", meta_only_sync=True, defer=True,
+                          speculate=True, offload_polls=True, compress=True)
+
+RECORDER_VARIANTS = (NAIVE, OURS_M, OURS_MD, OURS_MDS)
+
+
+@dataclass
+class RecordStats:
+    """Everything §7 reports about one record run."""
+
+    workload: str
+    recorder: str
+    link: str
+    recording_delay_s: float = 0.0
+    blocking_rtts: int = 0
+    reg_accesses: int = 0
+    client_reads_applied: int = 0
+    gpu_jobs: int = 0
+    commits: Optional[SpeculationStats] = None
+    memsync: Optional[MemSyncStats] = None
+    network_bytes: int = 0
+    recording_bytes: int = 0
+    client_energy_j: float = 0.0
+    timeout_violations: int = 0
+    recoveries: int = 0
+    recovery_delay_s: float = 0.0
+    vm_seconds: float = 0.0
+    timeline_by_label: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accesses_per_commit(self) -> float:
+        if self.commits is None or self.commits.commits_total == 0:
+            return 0.0
+        return self.reg_accesses / self.commits.commits_total
+
+
+@dataclass
+class RecordResult:
+    recording: Recording
+    stats: RecordStats
+    output: np.ndarray  # dry-run output (garbage; proves the jobs ran)
+
+
+class InsufficientSecureMemory(MemoryError):
+    """§3.1: recording needs as much TEE memory as the workload's actual
+    run; the pre-configured secure carveout is too small."""
+
+
+class RecordSession:
+    """One client TEE recording one workload through one cloud session."""
+
+    def __init__(self, workload: Union[str, Graph],
+                 config: RecorderConfig = OURS_MDS,
+                 sku: GpuSku = HIKEY960_G71,
+                 link_profile: LinkProfile = WIFI,
+                 seed: int = 0,
+                 history: Optional[CommitHistory] = None,
+                 service: Optional[CloudService] = None,
+                 client_id: str = "client-0",
+                 max_recovery_attempts: int = 3,
+                 secure_mem_limit: Optional[int] = None,
+                 image: Optional[str] = None) -> None:
+        self.graph = build_model(workload) if isinstance(workload, str) \
+            else workload
+        self.config = config
+        self.sku = sku
+        self.link_profile = link_profile
+        self.seed = seed
+        self.history = history if history is not None \
+            else CommitHistory(config.spec_window)
+        self.service = service or CloudService()
+        self.client_id = client_id
+        self.max_recovery_attempts = max_recovery_attempts
+        # Which GPU-stack variant the cloud should dry-run (§3.1); None
+        # lets the service pick by driver family.
+        self.image = image
+        self._mem_size = required_memory_bytes(self.graph)
+        if secure_mem_limit is not None and self._mem_size > secure_mem_limit:
+            raise InsufficientSecureMemory(
+                f"workload {self.graph.name!r} needs "
+                f"{self._mem_size >> 20} MiB of secure memory; the TEE "
+                f"carveout is {secure_mem_limit >> 20} MiB — the SoC "
+                f"firmware must enlarge it (§3.1)")
+        self._inject_read_faults: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def inject_fault_at_read(self, read_index: int,
+                             xor_mask: int = 0xDEAD) -> None:
+        """Corrupt the value of the Nth client register read on the first
+        attempt — §7.3's misprediction experiment."""
+        self._inject_read_faults.append((read_index, xor_mask))
+
+    # ------------------------------------------------------------------
+    def run(self) -> RecordResult:
+        clock = VirtualClock()
+        prefix = None
+        recoveries = 0
+        self._vm_seconds = 0.0
+        while True:
+            first_attempt = recoveries == 0
+            try:
+                return self._attempt(clock, prefix, recoveries,
+                                     inject=first_attempt)
+            except MispredictionDetected as exc:
+                recoveries += 1
+                if recoveries > self.max_recovery_attempts:
+                    raise
+                # Both sides roll back to the last validated log position
+                # and fast-forward independently (§4.2).
+                prefix = self._last_log[:exc.safe_log_position]
+
+    # ------------------------------------------------------------------
+    def _attempt(self, clock: VirtualClock, prefix, recoveries: int,
+                 inject: bool) -> RecordResult:
+        attempt_start = clock.now
+        # --- client side -------------------------------------------------
+        client_mem = PhysicalMemory(size=self._mem_size)
+        optee = OpTeeOS()
+        optee.tzasc.static_reserve(client_mem.base, client_mem.size)
+        gpu = MaliGpu(self.sku, client_mem, clock)
+        clk = SocClockController(gpu, optee.tzasc)
+        gpushim = GpuShim(optee, gpu, clock, clk=clk)
+        optee.load_module(gpushim)
+        for index, mask in (self._inject_read_faults if inject else []):
+            gpushim.corrupt_read_at(index, mask)
+
+        # --- open the cloud session (attested) ---------------------------
+        device_tree = board_device_tree(self.sku)
+        nonce = hashlib.sha256(
+            f"{self.client_id}:{clock.now}:{recoveries}".encode()).digest()
+        compatible = device_tree.find(f"gpu@{0xE82C0000:x}").compatible
+        image_name = self.image or self.service.image_for_family(compatible)
+        ticket = self.service.open_session(self.client_id, image_name,
+                                           device_tree, nonce)
+        vm_open_time = clock.now
+        verifier = AttestationVerifier(self.service.root.key)
+        verifier.allow_image(ticket.vm.image.measurement_blob())
+        verifier.verify(ticket.attestation, nonce)
+
+        link = Link(self.link_profile, clock)
+        channel = SecureChannel(link)
+        channel.establish(ticket.session_id, attested=True)
+        ticket.vm.boot(clock)
+
+        # --- cloud side ---------------------------------------------------
+        cloud_mem = PhysicalMemory(size=self._mem_size)
+        memsync = MemorySynchronizer(cloud_mem, client_mem,
+                                     policy=self.config.sync_policy,
+                                     compress_enabled=self.config.compress)
+        shim = DriverShim(link, gpushim, memsync, self.config.modes(),
+                          history=self.history)
+        env = KernelEnv(clock, name="cloud-vm")
+        shim.attach(env)
+        platform = CloudPlatform(gpushim, shim, link)
+        env.platform = platform
+
+        gpushim.begin_session()
+        memsync.prime_client_baseline()
+
+        kbdev = KbaseDevice(env, shim, cloud_mem)
+        platform.attach(kbdev)
+
+        if prefix:
+            shim.feed = FastForwardFeed(list(prefix))
+            # The client independently replays the recorded stimuli onto
+            # its reset GPU — no network involved (§4.2).
+            replay_entries(gpushim.gpu, client_mem, clock, prefix,
+                           skip_pfns=())
+            gpushim.log = list(prefix)
+            shim.last_validated_position = len(prefix)
+            memsync.prime_client_baseline()
+
+        try:
+            kbdev.probe()
+            ctx = GpuContext(kbdev, cloud_mem,
+                             flavor=flavor_for_image(image_name))
+            runner = WorkloadRunner(ctx, self.graph, seed=self.seed)
+            shim.metastate_provider = lambda: (
+                set(ctx.aspace.metastate_pfns())
+                | kbdev.mmu_tables.metastate_pfns())
+            self._zero_fill(runner, cloud_mem)
+            self._last_log = gpushim.log  # live reference for recovery
+            # Segment markers are suppressed while fast-forwarding: the
+            # recovered prefix already contains them.
+            output = runner.run(
+                input_array=None,
+                node_callback=lambda i, name: (
+                    None if shim.ff_active else gpushim.mark(name)))
+            kbdev.teardown()
+            shim.finish()
+        except MispredictionDetected:
+            self._last_log = gpushim.log
+            raise
+        finally:
+            self.service.close_session(ticket.session_id)
+            self._vm_seconds += clock.now - vm_open_time
+
+        # --- recording assembly + download --------------------------------
+        recording = Recording(
+            workload=self.graph.name,
+            recorder=self.config.name,
+            sku_fingerprint=self.sku.fingerprint(),
+            manifest=runner.manifest,
+            data_pfns=tuple(sorted(set(ctx.aspace.data_pfns()))),
+            entries=list(gpushim.log),
+        )
+        body = recording.body_bytes()
+        recording.signature = self.service.sign_recording(body)
+        blob_len = len(body) + 32
+        link.send_to_client(Message("recording-download", blob_len),
+                            blocking=True)
+        gpushim.end_session()
+
+        # --- statistics ----------------------------------------------------
+        meter = EnergyMeter()
+        stats = RecordStats(
+            workload=self.graph.name,
+            recorder=self.config.name,
+            link=self.link_profile.name,
+            recording_delay_s=clock.now,
+            blocking_rtts=(link.stats.blocking_round_trips
+                           + shim.stats.validation_stalls),
+            reg_accesses=shim.reg_accesses,
+            client_reads_applied=gpushim.reads_applied,
+            gpu_jobs=runner.manifest.total_jobs,
+            commits=shim.stats,
+            memsync=memsync.stats,
+            network_bytes=link.stats.total_bytes,
+            recording_bytes=blob_len,
+            client_energy_j=meter.record_energy_j(clock.timeline, link.stats),
+            timeout_violations=(kbdev.jobs.timeout_violations
+                                + kbdev.timing_violations),
+            recoveries=recoveries,
+            recovery_delay_s=(clock.now - attempt_start) if recoveries else 0.0,
+            vm_seconds=self._vm_seconds,
+            timeline_by_label=clock.timeline.by_label(),
+        )
+        return RecordResult(recording=recording, stats=stats, output=output)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _zero_fill(runner: WorkloadRunner, mem: PhysicalMemory) -> None:
+        """§5: the dry run fills the workload's inputs and parameters with
+        zeros.  The writes still happen (as a real framework's weight
+        upload would), so Naive's full sync pays for them while meta-only
+        sync ignores them."""
+        for binding in runner.manifest.bindings:
+            if binding.kind in ("input", "weight", "bias"):
+                mem.fill(binding.pa, binding.size, 0)

@@ -1,0 +1,304 @@
+"""The signed recording format.
+
+A recording is the complete, replayable trace of one dry run: the ordered
+CPU/GPU interaction log (register writes/reads, polling loops, interrupts,
+memory images), the workload's data manifest (where to inject input and
+weights, where to fetch output), the GPU SKU fingerprint it is bound to,
+and the cloud's signature (§3.2: "DriverShim processes logged interactions
+as a recording; it signs and sends the recording back to the client").
+
+The binary layout::
+
+    magic "GRTR" | u16 version | u32 header_len | header JSON
+    | u32 n_entries | entry stream | 32-byte HMAC signature
+
+Memory images are stored page-by-page, compressed standalone (not as
+wire deltas) so replay needs no decompression context.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import compress
+from repro.ml.runner import RunManifest
+from repro.tee.crypto import SigningKey, VerifyError
+
+MAGIC = b"GRTR"
+VERSION = 2
+
+# Entry kinds.
+KIND_WRITE = 1
+KIND_READ = 2
+KIND_POLL = 3
+KIND_IRQ = 4
+KIND_MEMW = 5
+KIND_MEMUP = 6
+KIND_MARK = 7
+
+_IRQ_CODES = {"job": 0, "gpu": 1, "mmu": 2}
+_IRQ_NAMES = {v: k for k, v in _IRQ_CODES.items()}
+_COND_CODES = {"bits_clear": 0, "bits_set": 1, "equals": 2}
+_COND_NAMES = {v: k for k, v in _COND_CODES.items()}
+
+
+class RecordingFormatError(ValueError):
+    """Malformed or tampered recording blob."""
+
+
+# ---------------------------------------------------------------------------
+# Entry dataclasses
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegWrite:
+    offset: int
+    value: int
+    kind: int = KIND_WRITE
+
+
+@dataclass(frozen=True)
+class RegRead:
+    offset: int
+    value: int
+    kind: int = KIND_READ
+
+
+@dataclass(frozen=True)
+class PollEntry:
+    offset: int
+    condition: str
+    operand: int
+    value: int
+    iterations: int
+    kind: int = KIND_POLL
+
+
+@dataclass(frozen=True)
+class IrqEntry:
+    line: str
+    kind: int = KIND_IRQ
+
+
+@dataclass(frozen=True)
+class MemWrite:
+    """Pages pushed cloud->client right before a job start (§5)."""
+
+    pages: Tuple[Tuple[int, bytes], ...]  # (pfn, raw page bytes)
+    kind: int = KIND_MEMW
+
+    @property
+    def nbytes(self) -> int:
+        return sum(len(b) for _, b in self.pages)
+
+
+@dataclass(frozen=True)
+class MemUpload:
+    """Client->cloud dump after a job IRQ; kept for statistics."""
+
+    nbytes: int
+    kind: int = KIND_MEMUP
+
+
+@dataclass(frozen=True)
+class Marker:
+    """A segment boundary (e.g. an NN layer), §2.3's granularity choice."""
+
+    label: str
+    kind: int = KIND_MARK
+
+
+Entry = object  # union of the dataclasses above
+
+
+# ---------------------------------------------------------------------------
+# The recording
+# ---------------------------------------------------------------------------
+@dataclass
+class Recording:
+    workload: str
+    recorder: str
+    sku_fingerprint: Tuple
+    manifest: RunManifest
+    data_pfns: Tuple[int, ...]
+    entries: List[Entry] = field(default_factory=list)
+    signature: Optional[bytes] = None
+
+    # ------------------------------------------------------------------
+    def body_bytes(self) -> bytes:
+        header = json.dumps({
+            "workload": self.workload,
+            "recorder": self.recorder,
+            "sku_fingerprint": _fingerprint_to_json(self.sku_fingerprint),
+            "manifest": self.manifest.to_dict(),
+            "data_pfns": list(self.data_pfns),
+        }, sort_keys=True).encode()
+        out = [MAGIC, struct.pack("<HI", VERSION, len(header)), header,
+               struct.pack("<I", len(self.entries))]
+        for entry in self.entries:
+            out.append(_encode_entry(entry))
+        return b"".join(out)
+
+    def sign(self, key: SigningKey) -> bytes:
+        blob = self.body_bytes()
+        self.signature = key.sign(blob)
+        return blob + self.signature
+
+    def to_bytes(self) -> bytes:
+        if self.signature is None:
+            raise RecordingFormatError("recording is unsigned")
+        return self.body_bytes() + self.signature
+
+    @staticmethod
+    def from_bytes(blob: bytes, verify_key: Optional[SigningKey] = None
+                   ) -> "Recording":
+        if len(blob) < 42 or blob[:4] != MAGIC:
+            raise RecordingFormatError("bad magic")
+        body, signature = blob[:-32], blob[-32:]
+        if verify_key is not None:
+            try:
+                verify_key.verify(body, signature)
+            except VerifyError as exc:
+                raise RecordingFormatError(
+                    f"recording signature rejected: {exc}") from exc
+        # The blob crossed the untrusted OS: any malformation must fail
+        # closed as RecordingFormatError, never as a raw parse exception.
+        try:
+            version, header_len = struct.unpack_from("<HI", body, 4)
+            if version != VERSION:
+                raise RecordingFormatError(f"unsupported version {version}")
+            offset = 10
+            header = json.loads(body[offset:offset + header_len].decode())
+            offset += header_len
+            (n_entries,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            entries: List[Entry] = []
+            for _ in range(n_entries):
+                entry, offset = _decode_entry(body, offset)
+                entries.append(entry)
+            if offset != len(body):
+                raise RecordingFormatError("trailing bytes after entries")
+            return Recording(
+                workload=header["workload"],
+                recorder=header["recorder"],
+                sku_fingerprint=_fingerprint_from_json(
+                    header["sku_fingerprint"]),
+                manifest=RunManifest.from_dict(header["manifest"]),
+                data_pfns=tuple(header["data_pfns"]),
+                entries=entries,
+                signature=signature,
+            )
+        except RecordingFormatError:
+            raise
+        except (KeyError, IndexError, ValueError, TypeError,
+                struct.error, UnicodeDecodeError) as exc:
+            raise RecordingFormatError(
+                f"malformed recording: {type(exc).__name__}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        names = {KIND_WRITE: "writes", KIND_READ: "reads", KIND_POLL: "polls",
+                 KIND_IRQ: "irqs", KIND_MEMW: "mem_writes",
+                 KIND_MEMUP: "mem_uploads", KIND_MARK: "markers"}
+        out = {v: 0 for v in names.values()}
+        for e in self.entries:
+            out[names[e.kind]] += 1
+        return out
+
+    def segments(self) -> List[Tuple[str, List[Entry]]]:
+        """Split the log at markers — the per-layer recordings of Figure 2."""
+        segments: List[Tuple[str, List[Entry]]] = [("prologue", [])]
+        for entry in self.entries:
+            if isinstance(entry, Marker):
+                segments.append((entry.label, []))
+            else:
+                segments[-1][1].append(entry)
+        return segments
+
+
+# ---------------------------------------------------------------------------
+# Entry codecs
+# ---------------------------------------------------------------------------
+_REG = struct.Struct("<BIQ")
+_POLL = struct.Struct("<BIBQQI")
+_IRQ = struct.Struct("<BB")
+_MEMW_HDR = struct.Struct("<BI")
+_PAGE_HDR = struct.Struct("<QI")
+_MEMUP = struct.Struct("<BQ")
+_MARK_HDR = struct.Struct("<BH")
+
+
+def _encode_entry(entry: Entry) -> bytes:
+    if isinstance(entry, RegWrite):
+        return _REG.pack(KIND_WRITE, entry.offset, entry.value & (2**64 - 1))
+    if isinstance(entry, RegRead):
+        return _REG.pack(KIND_READ, entry.offset, entry.value & (2**64 - 1))
+    if isinstance(entry, PollEntry):
+        return _POLL.pack(KIND_POLL, entry.offset,
+                          _COND_CODES[entry.condition],
+                          entry.operand & (2**64 - 1),
+                          entry.value & (2**64 - 1), entry.iterations)
+    if isinstance(entry, IrqEntry):
+        return _IRQ.pack(KIND_IRQ, _IRQ_CODES[entry.line])
+    if isinstance(entry, MemWrite):
+        parts = [_MEMW_HDR.pack(KIND_MEMW, len(entry.pages))]
+        for pfn, raw in entry.pages:
+            packed = compress.encode(raw)
+            parts.append(_PAGE_HDR.pack(pfn, len(packed)))
+            parts.append(packed)
+        return b"".join(parts)
+    if isinstance(entry, MemUpload):
+        return _MEMUP.pack(KIND_MEMUP, entry.nbytes)
+    if isinstance(entry, Marker):
+        label = entry.label.encode()
+        return _MARK_HDR.pack(KIND_MARK, len(label)) + label
+    raise RecordingFormatError(f"unknown entry {entry!r}")
+
+
+def _decode_entry(body: bytes, offset: int) -> Tuple[Entry, int]:
+    kind = body[offset]
+    if kind in (KIND_WRITE, KIND_READ):
+        _, reg, value = _REG.unpack_from(body, offset)
+        cls = RegWrite if kind == KIND_WRITE else RegRead
+        return cls(offset=reg, value=value), offset + _REG.size
+    if kind == KIND_POLL:
+        _, reg, cond, operand, value, iters = _POLL.unpack_from(body, offset)
+        return (PollEntry(offset=reg, condition=_COND_NAMES[cond],
+                          operand=operand, value=value, iterations=iters),
+                offset + _POLL.size)
+    if kind == KIND_IRQ:
+        _, line = _IRQ.unpack_from(body, offset)
+        return IrqEntry(line=_IRQ_NAMES[line]), offset + _IRQ.size
+    if kind == KIND_MEMW:
+        _, n_pages = _MEMW_HDR.unpack_from(body, offset)
+        offset += _MEMW_HDR.size
+        pages = []
+        for _ in range(n_pages):
+            pfn, comp_len = _PAGE_HDR.unpack_from(body, offset)
+            offset += _PAGE_HDR.size
+            raw = compress.decode(body[offset:offset + comp_len])
+            pages.append((pfn, raw))
+            offset += comp_len
+        return MemWrite(pages=tuple(pages)), offset
+    if kind == KIND_MEMUP:
+        _, nbytes = _MEMUP.unpack_from(body, offset)
+        return MemUpload(nbytes=nbytes), offset + _MEMUP.size
+    if kind == KIND_MARK:
+        _, label_len = _MARK_HDR.unpack_from(body, offset)
+        offset += _MARK_HDR.size
+        label = body[offset:offset + label_len].decode()
+        return Marker(label=label), offset + label_len
+    raise RecordingFormatError(f"unknown entry kind {kind} at {offset}")
+
+
+def _fingerprint_to_json(fp: Tuple) -> List:
+    return [list(x) if isinstance(x, tuple) else x for x in fp]
+
+
+def _fingerprint_from_json(doc: Sequence) -> Tuple:
+    return tuple(tuple(x) if isinstance(x, list) else x for x in doc)

@@ -1,0 +1,451 @@
+"""The in-TEE replayer (§2.2, §2.3, §3.2).
+
+The replayer is deliberately tiny — the paper's point is that it replaces
+the whole GPU stack with a few KSLoC of log streaming.  It:
+
+1. verifies the recording's signature against the pinned cloud key and its
+   SKU fingerprint against the physical GPU (§7.1, §2.4);
+2. locks the GPU into the TEE and resets it;
+3. injects the confidential data — model weights and the new input — at
+   the addresses the manifest records (data never left the TEE, §7.1);
+4. streams the interaction log at the GPU: writes are applied, reads are
+   matched (polling briefly when hardware needs time to reach the recorded
+   value), memory images are installed with *data pages filtered out* so
+   injected tensors survive, interrupts are awaited;
+5. reads the output tensor from the recorded output address, resets the
+   GPU, and releases it to the normal world.
+
+:func:`replay_entries` is the shared engine; misprediction recovery uses
+it to fast-forward the client GPU over a validated log prefix (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.recording import (
+    Entry,
+    IrqEntry,
+    Marker,
+    MemUpload,
+    MemWrite,
+    PollEntry,
+    Recording,
+    RegRead,
+    RegWrite,
+)
+from repro.driver.bus import PollSpec
+from repro.hw.memory import PhysicalMemory
+from repro.sim.clock import VirtualClock
+from repro.sim.energy import EnergyMeter
+from repro.tee.crypto import SigningKey
+from repro.tee.optee import OpTeeOS
+from repro.tee.worlds import GpuMmioGuard, World
+
+# Replay cost model: the replayer is a log streamer, far cheaper per
+# interaction than the runtime+driver path it replaces (Table 2).
+REPLAY_REG_ENTRY_COST_S = 0.35e-6
+REPLAY_MEM_BANDWIDTH_BPS = 3.0e9
+REPLAY_SETUP_COST_S = 0.4e-3
+READ_MATCH_TIMEOUT_S = 2.0
+
+
+class ReplayError(RuntimeError):
+    """Replay could not proceed (bad signature, wrong SKU, divergence)."""
+
+
+class ReplayDivergence(ReplayError):
+    """The GPU's behaviour departed from the recording."""
+
+
+@dataclass
+class ReplayStats:
+    entries: int = 0
+    reg_writes: int = 0
+    reg_reads: int = 0
+    read_retries: int = 0
+    polls: int = 0
+    irq_waits: int = 0
+    pages_loaded: int = 0
+    pages_skipped: int = 0
+
+
+def replay_entries(gpu, mem: PhysicalMemory, clock: VirtualClock,
+                   entries: Sequence[Entry],
+                   skip_pfns: Iterable[int] = (),
+                   strict: bool = True) -> ReplayStats:
+    """Stream a log at a GPU.  ``skip_pfns`` protects injected data pages."""
+    stats = ReplayStats()
+    skip = set(skip_pfns)
+    for entry in entries:
+        stats.entries += 1
+        if isinstance(entry, RegWrite):
+            clock.advance(REPLAY_REG_ENTRY_COST_S, label="cpu")
+            gpu.write_reg(entry.offset, entry.value)
+            stats.reg_writes += 1
+        elif isinstance(entry, RegRead):
+            clock.advance(REPLAY_REG_ENTRY_COST_S, label="cpu")
+            stats.reg_reads += 1
+            _match_read(gpu, clock, entry, stats, strict)
+        elif isinstance(entry, PollEntry):
+            stats.polls += 1
+            _replay_poll(gpu, clock, entry, strict)
+        elif isinstance(entry, IrqEntry):
+            stats.irq_waits += 1
+            _await_irq(gpu, clock, entry.line, strict)
+        elif isinstance(entry, MemWrite):
+            loaded = 0
+            for pfn, raw in entry.pages:
+                if pfn in skip:
+                    stats.pages_skipped += 1
+                    continue
+                mem.write_page(pfn, raw)
+                loaded += 1
+            stats.pages_loaded += loaded
+            clock.advance(loaded * 4096 / REPLAY_MEM_BANDWIDTH_BPS,
+                          label="cpu")
+        elif isinstance(entry, (MemUpload, Marker)):
+            continue
+        else:
+            raise ReplayError(f"unknown entry {entry!r}")
+    return stats
+
+
+def _match_read(gpu, clock: VirtualClock, entry: RegRead,
+                stats: ReplayStats, strict: bool) -> None:
+    """Read until the recorded value appears (hardware may still be in a
+    transition the recorded driver had already waited out)."""
+    deadline = clock.now + READ_MATCH_TIMEOUT_S
+    value = gpu.read_reg(entry.offset)
+    while value != entry.value:
+        next_event = gpu.next_event_time()
+        if next_event is None or next_event > deadline:
+            if strict:
+                raise ReplayDivergence(
+                    f"read of reg {entry.offset:#x} stuck at {value:#x}, "
+                    f"recording expects {entry.value:#x}")
+            return
+        clock.advance_to(next_event, label="gpu")
+        gpu.service()
+        stats.read_retries += 1
+        value = gpu.read_reg(entry.offset)
+
+
+def _replay_poll(gpu, clock: VirtualClock, entry: PollEntry,
+                 strict: bool) -> None:
+    spec = PollSpec(offset=entry.offset, condition=entry.condition,
+                    operand=entry.operand, max_iters=max(entry.iterations * 4,
+                                                         64))
+    value = gpu.read_reg(entry.offset)
+    iterations = 1
+    while not spec.satisfied_by(value) and iterations < spec.max_iters:
+        next_event = gpu.next_event_time()
+        if next_event is None:
+            break
+        clock.advance_to(next_event, label="gpu")
+        gpu.service()
+        value = gpu.read_reg(entry.offset)
+        iterations += 1
+    if strict and not spec.satisfied_by(value):
+        raise ReplayDivergence(
+            f"poll on reg {entry.offset:#x} never satisfied "
+            f"({entry.condition} {entry.operand:#x}); last value {value:#x}")
+
+
+def _await_irq(gpu, clock: VirtualClock, line: str, strict: bool) -> None:
+    deadline = clock.now + READ_MATCH_TIMEOUT_S * 4
+    while not gpu.irq_pending(line):
+        next_event = gpu.next_event_time()
+        if next_event is None or next_event > deadline:
+            if strict:
+                raise ReplayDivergence(
+                    f"recorded {line} interrupt never arrived")
+            return
+        clock.advance_to(next_event, label="gpu")
+        gpu.service()
+
+
+def _accumulate(total: ReplayStats, part: ReplayStats) -> None:
+    total.entries += part.entries
+    total.reg_writes += part.reg_writes
+    total.reg_reads += part.reg_reads
+    total.read_retries += part.read_retries
+    total.polls += part.polls
+    total.irq_waits += part.irq_waits
+    total.pages_loaded += part.pages_loaded
+    total.pages_skipped += part.pages_skipped
+
+
+@dataclass
+class ReplayResult:
+    output: np.ndarray
+    delay_s: float
+    energy_j: float
+    stats: ReplayStats
+
+
+class Replayer:
+    """The TEE-resident replayer serving one client device."""
+
+    def __init__(self, optee: OpTeeOS, gpu, mem: PhysicalMemory,
+                 clock: VirtualClock, verify_key: SigningKey,
+                 clk=None) -> None:
+        self.optee = optee
+        self.gpu_raw = gpu
+        self.gpu = GpuMmioGuard(gpu, optee.tzasc, World.SECURE)
+        self.mem = mem
+        self.clock = clock
+        self.verify_key = verify_key
+        # Optional SoC clock controller, pinned during replay (§6).
+        self.clk = clk
+
+    # ------------------------------------------------------------------
+    def load(self, blob: bytes) -> Recording:
+        """Verify and parse a downloaded recording (§7.1: the replayer
+        only accepts recordings signed by the cloud)."""
+        return Recording.from_bytes(blob, verify_key=self.verify_key)
+
+    def check_sku(self, recording: Recording) -> None:
+        fp = self.gpu_raw.sku.fingerprint()
+        if tuple(recording.sku_fingerprint) != tuple(fp):
+            raise ReplayError(
+                f"recording bound to SKU fingerprint "
+                f"{recording.sku_fingerprint}, device is {fp} (§2.4: even "
+                f"subtle SKU differences break replay)")
+
+    # ------------------------------------------------------------------
+    def open(self, recording: Recording,
+             weights: Optional[Dict[str, np.ndarray]] = None
+             ) -> "ReplaySession":
+        """Prepare a replay session: verify the SKU binding and install
+        model parameters once.  Weights stay resident in TEE memory across
+        inferences (the per-inference cost of Table 2 covers only input
+        injection + log streaming + output fetch)."""
+        self.check_sku(recording)
+        session = ReplaySession(self, recording)
+        session.install_weights(weights)
+        return session
+
+    def replay(self, recording: Recording, input_array: np.ndarray,
+               weights: Optional[Dict[str, np.ndarray]] = None
+               ) -> ReplayResult:
+        """Convenience one-shot: open + run."""
+        return self.open(recording, weights).run(input_array)
+
+
+class ReplaySession:
+    """One recording opened for repeated inference inside the TEE."""
+
+    def __init__(self, replayer: Replayer, recording: Recording) -> None:
+        self.replayer = replayer
+        self.recording = recording
+        self.runs = 0
+
+    # ------------------------------------------------------------------
+    def install_weights(self, weights: Optional[Dict[str, np.ndarray]]
+                        ) -> None:
+        """Write model parameters to the recorded weight addresses (§7.1:
+        they never leave the TEE)."""
+        r = self.replayer
+        manifest = self.recording.manifest
+        total = 0
+        for wb in manifest.weight_bindings():
+            if weights is None or wb.name not in weights:
+                raise ReplayError(f"missing weights for {wb.name!r}")
+            array = np.ascontiguousarray(weights[wb.name], dtype=np.float32)
+            if array.nbytes > wb.size:
+                raise ReplayError(
+                    f"weights {wb.name!r} overflow the recorded buffer")
+            r.mem.write_array(wb.pa, array)
+            total += array.nbytes
+        r.clock.advance(total / REPLAY_MEM_BANDWIDTH_BPS, label="cpu")
+
+    def _inject_input(self, input_array: np.ndarray) -> None:
+        r = self.replayer
+        binding = self.recording.manifest.binding("input")
+        expected = tuple(binding.shape)
+        if tuple(input_array.shape) != expected:
+            raise ReplayError(
+                f"input shape {input_array.shape} != recorded {expected}")
+        r.mem.write_array(binding.pa, input_array.astype(np.float32))
+        r.clock.advance(input_array.nbytes / REPLAY_MEM_BANDWIDTH_BPS,
+                        label="cpu")
+
+    def _fetch_output(self) -> np.ndarray:
+        r = self.replayer
+        binding = self.recording.manifest.binding("output")
+        count = int(np.prod(binding.shape))
+        return r.mem.view(binding.pa, (count,),
+                          np.float32).reshape(binding.shape).copy()
+
+    # ------------------------------------------------------------------
+    def run(self, input_array: np.ndarray) -> ReplayResult:
+        """One inference: lock GPU, reset, stream the log, fetch output."""
+        return self._execute(input_array, self.recording.entries,
+                             self._fetch_output)
+
+    # ------------------------------------------------------------------
+    # Segmented replay (Figure 2): recordings split at layer markers
+    # ------------------------------------------------------------------
+    def segment_labels(self) -> List[str]:
+        """Layer labels of the recording's segments, in replay order."""
+        return [label for label, _ in self.recording.segments()]
+
+    def run_prefix(self, input_array: np.ndarray, upto: str) -> ReplayResult:
+        """Replay only through the segment labelled ``upto`` and return
+        that layer's activation — the per-layer recording granularity of
+        Figure 2 (composability at the cost of a partial run)."""
+        segments = self.recording.segments()
+        labels = [label for label, _ in segments]
+        if upto not in labels:
+            raise ReplayError(
+                f"no segment labelled {upto!r}; have {labels[1:]}")
+        entries: List[Entry] = []
+        for label, seg in segments:
+            entries.extend(seg)
+            if label == upto:
+                break
+        binding = self.recording.manifest.binding(f"{upto}.out")
+
+        def fetch() -> np.ndarray:
+            count = int(np.prod(binding.shape))
+            return self.replayer.mem.view(
+                binding.pa, (count,), np.float32
+            ).reshape(binding.shape).copy()
+
+        return self._execute(input_array, entries, fetch)
+
+    def run_batch(self, inputs: Sequence[np.ndarray]) -> List[ReplayResult]:
+        """Replay many inputs back to back under one GPU acquisition.
+
+        The paper's motivating apps (video analytics, activity
+        recognition) run inference per frame; acquiring/resetting the GPU
+        and re-entering the TEE per frame would waste most of the budget
+        for small NNs.  One lock/reset brackets the whole batch; each
+        frame pays only input injection + log streaming + output fetch.
+        """
+        if not inputs:
+            return []
+        r = self.replayer
+        tzasc = r.optee.tzasc
+        tzasc.lock_gpu_to_secure()
+        if r.clk is not None:
+            r.clk.pin_max()
+        results: List[ReplayResult] = []
+        try:
+            r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
+            for frame in inputs:
+                t0 = r.clock.now
+                timeline_start = len(r.clock.timeline)
+                # Each frame starts from reset hardware: the recorded
+                # register values (e.g. LATEST_FLUSH epochs) assume it.
+                r.gpu.hard_reset_now()
+                self._inject_input(frame)
+                stats = replay_entries(r.gpu, r.mem, r.clock,
+                                       self.recording.entries,
+                                       skip_pfns=self.recording.data_pfns)
+                output = self._fetch_output()
+                self.runs += 1
+                meter = EnergyMeter()
+                energy = sum(
+                    span.duration * (meter.model.idle_w
+                                     + {"cpu": meter.model.cpu_w,
+                                        "gpu": meter.model.gpu_w
+                                        }.get(span.label, 0.0))
+                    for span in list(r.clock.timeline)[timeline_start:])
+                results.append(ReplayResult(
+                    output=output, delay_s=r.clock.now - t0,
+                    energy_j=energy, stats=stats))
+            r.gpu.hard_reset_now()
+        finally:
+            if r.clk is not None:
+                r.clk.unpin()
+            tzasc.release_gpu()
+        return results
+
+    def run_streamed(self, input_array: np.ndarray,
+                     on_segment=None) -> ReplayResult:
+        """Replay segment by segment, invoking ``on_segment(label,
+        activation)`` at every layer boundary.  The callback may return
+        True to stop early (early-exit inference): the result then holds
+        the last completed layer's activation instead of the final output.
+
+        Unlike :meth:`run_prefix`, this streams *one* pass over the log —
+        no re-execution of earlier layers per inspection point.
+        """
+        r = self.replayer
+        t0 = r.clock.now
+        tzasc = r.optee.tzasc
+        tzasc.lock_gpu_to_secure()
+        if r.clk is not None:
+            r.clk.pin_max()
+        timeline_start = len(r.clock.timeline)
+        combined = ReplayStats()
+        output: Optional[np.ndarray] = None
+        try:
+            r.gpu.hard_reset_now()
+            r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
+            self._inject_input(input_array)
+            for label, entries in self.recording.segments():
+                stats = replay_entries(r.gpu, r.mem, r.clock, entries,
+                                       skip_pfns=self.recording.data_pfns)
+                _accumulate(combined, stats)
+                if label == "prologue":
+                    continue
+                binding = self.recording.manifest.binding(f"{label}.out")
+                count = int(np.prod(binding.shape))
+                output = r.mem.view(binding.pa, (count,), np.float32
+                                    ).reshape(binding.shape).copy()
+                if on_segment is not None and on_segment(label, output):
+                    break
+            r.gpu.hard_reset_now()
+        finally:
+            if r.clk is not None:
+                r.clk.unpin()
+            tzasc.release_gpu()
+        self.runs += 1
+        delay = r.clock.now - t0
+        meter = EnergyMeter()
+        span_energy = sum(
+            span.duration * (meter.model.idle_w
+                             + {"cpu": meter.model.cpu_w,
+                                "gpu": meter.model.gpu_w}.get(span.label, 0.0))
+            for span in list(r.clock.timeline)[timeline_start:])
+        return ReplayResult(output=output, delay_s=delay,
+                            energy_j=span_energy, stats=combined)
+
+    # ------------------------------------------------------------------
+    def _execute(self, input_array: np.ndarray, entries, fetch
+                 ) -> ReplayResult:
+        r = self.replayer
+        t0 = r.clock.now
+        tzasc = r.optee.tzasc
+        tzasc.lock_gpu_to_secure()
+        if r.clk is not None:
+            r.clk.pin_max()
+        timeline_start = len(r.clock.timeline)
+        try:
+            r.gpu.hard_reset_now()
+            r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
+            self._inject_input(input_array)
+            stats = replay_entries(r.gpu, r.mem, r.clock, entries,
+                                   skip_pfns=self.recording.data_pfns)
+            output = fetch()
+            r.gpu.hard_reset_now()
+        finally:
+            if r.clk is not None:
+                r.clk.unpin()
+            tzasc.release_gpu()
+        self.runs += 1
+        delay = r.clock.now - t0
+        meter = EnergyMeter()
+        span_energy = sum(
+            span.duration * (meter.model.idle_w
+                             + {"cpu": meter.model.cpu_w,
+                                "gpu": meter.model.gpu_w}.get(span.label, 0.0))
+            for span in list(r.clock.timeline)[timeline_start:])
+        return ReplayResult(output=output, delay_s=delay,
+                            energy_j=span_energy, stats=stats)

@@ -1,0 +1,129 @@
+"""Commit-history speculation (§4.2).
+
+DriverShim predicts the read values a commit will return by consulting the
+history of commits with the same signature at the same driver location.
+Prediction is *conservative*: only when the most recent ``k`` historical
+instances returned identical value sequences (k=3 in the paper and here).
+
+History survives across workloads — §7.3 runs all six benchmarks "with
+retaining register access history in between", which is why Init/Power
+commits of later workloads speculate from the first workload's history.
+
+Validation compares predicted against actual when the asynchronous commit
+completes; a mismatch raises :class:`MispredictionDetected` carrying the
+last-validated log position, from which recovery replays (§4.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.symbolic import SymVal
+
+DEFAULT_SPEC_WINDOW = 3
+
+
+class MispredictionDetected(Exception):
+    """A speculated commit returned values different from the prediction."""
+
+    def __init__(self, signature: Tuple, predicted: Tuple, actual: Tuple,
+                 safe_log_position: int) -> None:
+        super().__init__(
+            f"misprediction: predicted {predicted} got {actual}; "
+            f"rolling back to log position {safe_log_position}"
+        )
+        self.signature = signature
+        self.predicted = predicted
+        self.actual = actual
+        self.safe_log_position = safe_log_position
+
+
+class CommitHistory:
+    """Recent read-value sequences per commit signature."""
+
+    def __init__(self, window: int = DEFAULT_SPEC_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("speculation window must be >= 1")
+        self.window = window
+        self._history: Dict[Tuple, Deque[Tuple]] = {}
+
+    def record(self, signature: Tuple, values: Tuple) -> None:
+        self._history.setdefault(
+            signature, deque(maxlen=self.window)).append(tuple(values))
+
+    def predict(self, signature: Tuple) -> Optional[Tuple]:
+        """The unanimous value sequence of the last ``window`` instances,
+        or None if history is short or disagrees (§4.2's criteria)."""
+        seen = self._history.get(signature)
+        if seen is None or len(seen) < self.window:
+            return None
+        first = seen[0]
+        if all(v == first for v in seen):
+            return first
+        return None
+
+    def instances(self, signature: Tuple) -> int:
+        return len(self._history.get(signature, ()))
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+@dataclass
+class OutstandingCommit:
+    """An asynchronous (speculated) commit awaiting validation."""
+
+    signature: Tuple
+    category: str
+    predicted: Tuple
+    actual: Tuple
+    completion_time: float
+    read_syms: List[SymVal]
+    safe_log_position: int
+
+    def validate(self) -> None:
+        if self.actual != self.predicted:
+            raise MispredictionDetected(
+                self.signature, self.predicted, self.actual,
+                self.safe_log_position)
+        for sym in self.read_syms:
+            sym.untaint()
+
+
+@dataclass
+class SpeculationStats:
+    """What Figure 8 and §7.3 report about commits."""
+
+    commits_total: int = 0
+    commits_speculated: int = 0
+    commits_synchronous: int = 0
+    commits_by_category: Dict[str, int] = field(default_factory=dict)
+    speculated_by_category: Dict[str, int] = field(default_factory=dict)
+    reads_speculated: int = 0
+    reads_total: int = 0
+    validation_stalls: int = 0
+    mispredictions: int = 0
+    polls_offloaded: int = 0
+    polls_speculated: int = 0
+    tainted_commit_stalls: int = 0
+
+    def note_commit(self, category: str, speculated: bool, reads: int) -> None:
+        self.commits_total += 1
+        self.reads_total += reads
+        self.commits_by_category[category] = (
+            self.commits_by_category.get(category, 0) + 1)
+        if speculated:
+            self.commits_speculated += 1
+            self.reads_speculated += reads
+            self.speculated_by_category[category] = (
+                self.speculated_by_category.get(category, 0) + 1)
+        else:
+            self.commits_synchronous += 1
+
+    @property
+    def speculation_rate(self) -> float:
+        if self.commits_total == 0:
+            return 0.0
+        return self.commits_speculated / self.commits_total

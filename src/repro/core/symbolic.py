@@ -1,0 +1,269 @@
+"""Lazy symbolic register values: the deferral engine's data layer (§4.1).
+
+A deferred register read returns a :class:`SymVal` instead of an integer.
+Arithmetic and bitwise operations on it build :class:`SymExpr` trees, so
+data dependencies propagate through driver state exactly as the paper's
+instrumented driver propagates symbols.  Demanding a concrete value —
+``bool()`` in a branch (control dependency), ``int()``/``%`` formatting in
+a ``printk`` (externalization) — calls back into the owning shim, which
+commits the enclosing batch and resolves the symbols in place.  From then
+on every expression referencing them evaluates concretely.
+
+Expressions also serialize to a small wire form so a register *write*
+whose value depends on uncommitted reads can be shipped inside the same
+commit and evaluated by the client against the fresh read values
+(Listing 1(a): ``WRITE(MMU_CONFIG, S2 | 0x10)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+Wire = Union[int, Tuple]  # wire form: int | ("sym",id) | ("bin",op,a,b) | ("un",op,a)
+
+_BIN_OPS = {
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "xor": lambda a, b: a ^ b,
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+}
+
+_UN_OPS = {
+    "inv": lambda a: ~a,
+    "neg": lambda a: -a,
+}
+
+
+class UnresolvedValueError(RuntimeError):
+    """A symbolic value was evaluated before its commit resolved it."""
+
+
+class LazyInt:
+    """Base of the symbolic integer hierarchy."""
+
+    __slots__ = ()
+
+    # -- resolution interface -------------------------------------------
+    @property
+    def resolved(self) -> bool:
+        raise NotImplementedError
+
+    def evaluate(self) -> int:
+        raise NotImplementedError
+
+    def force(self) -> int:
+        """Resolve (committing through the shim if needed) and evaluate."""
+        if not self.resolved:
+            shim = self._find_shim()
+            if shim is None:
+                raise UnresolvedValueError(
+                    "symbolic value has no owning shim to resolve it")
+            shim.force_resolution(self)
+        return self.evaluate()
+
+    def _find_shim(self):
+        raise NotImplementedError
+
+    def symbols(self) -> List["SymVal"]:
+        """All SymVals referenced by this expression."""
+        raise NotImplementedError
+
+    def wire(self) -> Wire:
+        raise NotImplementedError
+
+    @property
+    def tainted(self) -> bool:
+        return any(s.taint for s in self.symbols())
+
+    # -- coercion: the commit triggers ----------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.force())
+
+    def __int__(self) -> int:
+        return self.force()
+
+    def __index__(self) -> int:
+        return self.force()
+
+    def __format__(self, spec: str) -> str:
+        # Formatting externalizes the value: force it concrete.
+        return format(self.force(), spec)
+
+    # -- operator overloads building expression trees -------------------
+    def _bin(self, op: str, other, swap: bool = False) -> "LazyInt":
+        if not isinstance(other, (int, LazyInt)):
+            return NotImplemented
+        a, b = (other, self) if swap else (self, other)
+        return SymExpr(op, (a, b))
+
+    def __or__(self, other):
+        return self._bin("or", other)
+
+    def __ror__(self, other):
+        return self._bin("or", other, swap=True)
+
+    def __and__(self, other):
+        return self._bin("and", other)
+
+    def __rand__(self, other):
+        return self._bin("and", other, swap=True)
+
+    def __xor__(self, other):
+        return self._bin("xor", other)
+
+    def __rxor__(self, other):
+        return self._bin("xor", other, swap=True)
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    def __radd__(self, other):
+        return self._bin("add", other, swap=True)
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._bin("sub", other, swap=True)
+
+    def __lshift__(self, other):
+        return self._bin("shl", other)
+
+    def __rlshift__(self, other):
+        return self._bin("shl", other, swap=True)
+
+    def __rshift__(self, other):
+        return self._bin("shr", other)
+
+    def __rrshift__(self, other):
+        return self._bin("shr", other, swap=True)
+
+    def __invert__(self):
+        return SymExpr("inv", (self,))
+
+    def __neg__(self):
+        return SymExpr("neg", (self,))
+
+
+class SymVal(LazyInt):
+    """One deferred register read's (future) value."""
+
+    __slots__ = ("sym_id", "shim", "_value", "taint", "origin")
+
+    def __init__(self, sym_id: int, shim, origin: str = "") -> None:
+        self.sym_id = sym_id
+        self.shim = shim
+        self._value: Optional[int] = None
+        self.taint = False
+        self.origin = origin  # e.g. register name, for diagnostics
+
+    @property
+    def resolved(self) -> bool:
+        return self._value is not None
+
+    def resolve(self, value: int, tainted: bool = False) -> None:
+        self._value = int(value)
+        self.taint = tainted
+
+    def untaint(self) -> None:
+        self.taint = False
+
+    def evaluate(self) -> int:
+        if self._value is None:
+            raise UnresolvedValueError(
+                f"symbol S{self.sym_id} ({self.origin}) is unresolved")
+        return self._value
+
+    def _find_shim(self):
+        return self.shim
+
+    def symbols(self) -> List["SymVal"]:
+        return [self]
+
+    def wire(self) -> Wire:
+        return ("sym", self.sym_id)
+
+    def __repr__(self) -> str:
+        state = self._value if self.resolved else "?"
+        return f"S{self.sym_id}[{self.origin}]={state}"
+
+
+class SymExpr(LazyInt):
+    """An operator node over lazy and concrete operands."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: Tuple) -> None:
+        self.op = op
+        self.args = args
+
+    @property
+    def resolved(self) -> bool:
+        return all(a.resolved for a in self.args if isinstance(a, LazyInt))
+
+    def evaluate(self) -> int:
+        vals = [a.evaluate() if isinstance(a, LazyInt) else a
+                for a in self.args]
+        if self.op in _BIN_OPS:
+            return _BIN_OPS[self.op](vals[0], vals[1])
+        if self.op in _UN_OPS:
+            return _UN_OPS[self.op](vals[0])
+        raise ValueError(f"unknown symbolic op {self.op!r}")
+
+    def _find_shim(self):
+        for s in self.symbols():
+            if s.shim is not None:
+                return s.shim
+        return None
+
+    def symbols(self) -> List[SymVal]:
+        out: List[SymVal] = []
+        for a in self.args:
+            if isinstance(a, LazyInt):
+                out.extend(a.symbols())
+        return out
+
+    def wire(self) -> Wire:
+        parts = [a.wire() if isinstance(a, LazyInt) else int(a)
+                 for a in self.args]
+        if len(parts) == 2:
+            return ("bin", self.op, parts[0], parts[1])
+        return ("un", self.op, parts[0])
+
+    def __repr__(self) -> str:
+        return f"({self.op} {' '.join(map(repr, self.args))})"
+
+
+def concrete(value: Union[int, LazyInt]) -> int:
+    """Coerce to int, forcing resolution if symbolic."""
+    if isinstance(value, LazyInt):
+        return value.force()
+    return int(value)
+
+
+def is_unresolved(value) -> bool:
+    return isinstance(value, LazyInt) and not value.resolved
+
+
+def evaluate_wire(expr: Wire, env) -> int:
+    """Client-side evaluation of a wire expression against the read
+    environment of the current commit (sym id -> concrete value)."""
+    if isinstance(expr, int):
+        return expr
+    kind = expr[0]
+    if kind == "sym":
+        sym_id = expr[1]
+        if sym_id not in env:
+            raise UnresolvedValueError(
+                f"wire expression references S{sym_id} not in this commit")
+        return env[sym_id]
+    if kind == "bin":
+        _, op, a, b = expr
+        return _BIN_OPS[op](evaluate_wire(a, env), evaluate_wire(b, env))
+    if kind == "un":
+        _, op, a = expr
+        return _UN_OPS[op](evaluate_wire(a, env))
+    raise ValueError(f"malformed wire expression {expr!r}")

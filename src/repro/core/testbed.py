@@ -1,0 +1,111 @@
+"""Client-device assembly helpers used by examples, tests, and benchmarks.
+
+``ClientDevice`` bundles one simulated mobile device: physical memory,
+GPU, TrustZone controller, OP-TEE, and a virtual clock.  ``native_run``
+executes a workload on the device's own (insecure, normal-world) GPU
+stack — Table 2's "Native" baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.driver.bus import LocalBus
+from repro.driver.devfreq import DevfreqGovernor, GovernorConfig
+from repro.driver.driver import KbaseDevice, LocalPlatform
+from repro.hw.clocks import SocClockController
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import GpuSku, HIKEY960_G71
+from repro.kernel.env import KernelEnv
+from repro.ml.graph import Graph
+from repro.ml.models import build_model
+from repro.ml.runner import (
+    WorkloadRunner,
+    generate_weights,
+    required_memory_bytes,
+)
+from repro.runtime.api import GpuContext
+from repro.sim.clock import VirtualClock
+from repro.sim.energy import EnergyMeter
+from repro.tee.optee import OpTeeOS
+
+
+@dataclass
+class ClientDevice:
+    """One simulated mobile device (Hikey960-like by default)."""
+
+    sku: GpuSku = HIKEY960_G71
+    mem_size: int = 256 << 20
+    clock: VirtualClock = field(default_factory=VirtualClock)
+
+    def __post_init__(self) -> None:
+        self.mem = PhysicalMemory(size=self.mem_size)
+        self.gpu = MaliGpu(self.sku, self.mem, self.clock)
+        self.optee = OpTeeOS()
+        self.optee.tzasc.static_reserve(self.mem.base, self.mem.size)
+        self.clk = SocClockController(self.gpu, self.optee.tzasc)
+
+    @classmethod
+    def for_workload(cls, graph: Graph, sku: GpuSku = HIKEY960_G71
+                     ) -> "ClientDevice":
+        return cls(sku=sku, mem_size=required_memory_bytes(graph))
+
+
+@dataclass
+class NativeResult:
+    """One native (normal-world GPU stack) inference execution."""
+
+    output: np.ndarray
+    delay_s: float
+    energy_j: float
+    reg_accesses: int
+    jobs: int
+
+
+def native_run(workload, input_array: np.ndarray,
+               sku: GpuSku = HIKEY960_G71, seed: int = 0,
+               warm_runs: int = 1,
+               weights: Optional[Dict[str, np.ndarray]] = None,
+               devfreq_mode: Optional[str] = None) -> NativeResult:
+    """Run a workload on the device's own full GPU stack (Table 2 Native).
+
+    ``warm_runs`` executions precede the measured one so JIT compilation
+    and shader placement are warm, matching how steady-state inference
+    delay is measured.  ``devfreq_mode`` ("ondemand"/"performance")
+    enables the DVFS governor; None pins the SKU's nominal rate.
+    """
+    graph = build_model(workload) if isinstance(workload, str) else workload
+    device = ClientDevice.for_workload(graph, sku=sku)
+    clock = device.clock
+    env = KernelEnv(clock)
+    platform = LocalPlatform(device.gpu, env)
+    bus = LocalBus(device.gpu, clock)
+    kbdev = KbaseDevice(env, bus, device.mem)
+    platform.attach(kbdev)
+    kbdev.probe()
+    if devfreq_mode is not None:
+        kbdev.devfreq = DevfreqGovernor(
+            device.clk, GovernorConfig(mode=devfreq_mode))
+    ctx = GpuContext(kbdev, device.mem)
+    runner = WorkloadRunner(ctx, graph, seed=seed)
+    runner.load_weights(weights if weights is not None
+                        else generate_weights(graph, seed))
+    for _ in range(warm_runs):
+        runner.run(input_array)
+    t0 = clock.now
+    timeline_start = len(clock.timeline)
+    output = runner.run(input_array)
+    delay = clock.now - t0
+    meter = EnergyMeter()
+    energy = sum(
+        span.duration * (meter.model.idle_w
+                         + {"cpu": meter.model.cpu_w,
+                            "gpu": meter.model.gpu_w}.get(span.label, 0.0))
+        for span in list(clock.timeline)[timeline_start:])
+    return NativeResult(output=output, delay_s=delay, energy_j=energy,
+                        reg_accesses=bus.reads + bus.writes,
+                        jobs=runner.manifest.total_jobs)

@@ -1,0 +1,43 @@
+"""A kbase-like GPU driver for the modelled Mali GPU.
+
+The driver is written exactly once and runs unmodified in three settings:
+
+* **natively** on the client against a :class:`~repro.driver.bus.LocalBus`
+  (the insecure baseline of Table 2);
+* **in the cloud** against GR-T's DriverShim bus, where register accesses
+  are deferred, speculated on, and shipped to the client GPU (§4);
+* **during recovery**, against a fast-forward bus that feeds recorded GPU
+  responses (§4.2).
+
+That single-source property is the point of the paper's design: the shims
+interpose the CPU/GPU boundary, never the driver logic.  Accordingly the
+driver here is ordinary register-twiddling code — probe/quirk discovery,
+power-domain sequencing, MMU/AS programming with in-memory page tables,
+job submission and IRQ handling — with the idioms the paper's techniques
+exploit: polling loops expressed as first-class specs (§4.3), hot
+functions annotated for scoped deferral (§4.1), and a strict
+lock/commit discipline (§4.1's release consistency).
+"""
+
+from repro.driver.bus import (
+    LocalBus,
+    PollCondition,
+    PollResult,
+    PollSpec,
+    RegisterBus,
+)
+from repro.driver.driver import KbaseDevice, DriverError
+from repro.driver.hotfuncs import hot_function, HOT_FUNCTIONS, CommitCategory
+
+__all__ = [
+    "RegisterBus",
+    "LocalBus",
+    "PollSpec",
+    "PollCondition",
+    "PollResult",
+    "KbaseDevice",
+    "DriverError",
+    "hot_function",
+    "HOT_FUNCTIONS",
+    "CommitCategory",
+]

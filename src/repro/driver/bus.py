@@ -1,0 +1,143 @@
+"""The register bus: the CPU/GPU boundary GR-T interposes.
+
+Every driver register access flows through a :class:`RegisterBus`.  The
+local implementation talks straight to the GPU model with on-chip access
+cost; GR-T's DriverShim implements the same interface over the network
+with deferral and speculation; the replayer and recovery paths implement
+it from a log.
+
+Polling loops are first-class here.  The paper's DriverShim finds *simple*
+polling loops by static analysis of the driver source (§4.3: idempotent
+register accesses, loop-local iteration count, no kernel APIs with
+external impact).  Our driver expresses such loops as :class:`PollSpec`
+values executed via :meth:`RegisterBus.poll` — the same information the
+static analysis would extract, carried explicitly.  Complex loops simply
+use raw reads and get no offload, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# On-chip MMIO access latency (CPU side).
+LOCAL_REG_ACCESS_S = 0.15e-6
+
+
+class PollCondition:
+    """Terminating predicates simple enough to offload (§4.3)."""
+
+    BITS_CLEAR = "bits_clear"  # (value & mask) == 0
+    BITS_SET = "bits_set"      # (value & mask) == mask
+    EQUALS = "equals"          # value == operand
+
+    @staticmethod
+    def check(kind: str, value: int, operand: int) -> bool:
+        if kind == PollCondition.BITS_CLEAR:
+            return (value & operand) == 0
+        if kind == PollCondition.BITS_SET:
+            return (value & operand) == operand
+        if kind == PollCondition.EQUALS:
+            return value == operand
+        raise ValueError(f"unknown poll condition {kind!r}")
+
+
+@dataclass(frozen=True)
+class PollSpec:
+    """A simple polling loop: busy-wait on one register until a predicate.
+
+    The fields mirror §4.3's conditions for offloadability: reads of
+    ``offset`` are idempotent, the iteration count is local and bounded by
+    ``max_iters``, and the loop body touches nothing else.
+    """
+
+    offset: int
+    condition: str
+    operand: int
+    max_iters: int = 1000
+    delay_per_iter_s: float = 1e-6
+    tag: str = "poll"
+
+    def satisfied_by(self, value: int) -> bool:
+        return PollCondition.check(self.condition, value, self.operand)
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """Outcome of a polling loop: last value read and iterations used."""
+
+    value: int
+    iterations: int
+    success: bool
+
+
+class RegisterBus:
+    """Abstract CPU-side access to GPU registers."""
+
+    def read32(self, offset: int):
+        raise NotImplementedError
+
+    def write32(self, offset: int, value) -> None:
+        raise NotImplementedError
+
+    def poll(self, spec: PollSpec) -> PollResult:
+        raise NotImplementedError
+
+    # Convenience built on the primitives; shims inherit these.
+    def read64(self, offset_lo: int, offset_hi: int):
+        lo = self.read32(offset_lo)
+        hi = self.read32(offset_hi)
+        return (hi << 32) | lo
+
+    def write64(self, offset_lo: int, offset_hi: int, value) -> None:
+        self.write32(offset_lo, value & 0xFFFF_FFFF)
+        self.write32(offset_hi, (value >> 32) & 0xFFFF_FFFF)
+
+
+class LocalBus(RegisterBus):
+    """Direct on-chip access to the GPU model.
+
+    Used for native execution on the client (Table 2's baseline) and as
+    the backend GPUShim drives on the client side of a GR-T session.
+    """
+
+    def __init__(self, gpu, clock, access_cost_s: float = LOCAL_REG_ACCESS_S) -> None:
+        self.gpu = gpu
+        self.clock = clock
+        self.access_cost_s = access_cost_s
+        self.reads = 0
+        self.writes = 0
+        self.polls = 0
+        self.poll_iterations = 0
+
+    def read32(self, offset: int) -> int:
+        self.clock.advance(self.access_cost_s, label="cpu")
+        self.reads += 1
+        return self.gpu.read_reg(offset)
+
+    def write32(self, offset: int, value) -> None:
+        self.clock.advance(self.access_cost_s, label="cpu")
+        self.writes += 1
+        self.gpu.write_reg(offset, int(value))
+
+    def poll(self, spec: PollSpec) -> PollResult:
+        """Execute the loop locally, advancing time past hardware events so
+        bounded waits terminate without wall-clock spinning."""
+        self.polls += 1
+        value = self.read32(spec.offset)
+        iterations = 1
+        while not spec.satisfied_by(value) and iterations < spec.max_iters:
+            next_event = self.gpu.next_event_time()
+            target = self.clock.now + spec.delay_per_iter_s
+            if next_event is not None and next_event > target:
+                # Nothing can change before the next hardware event; model
+                # the intervening iterations in one step.
+                skipped = int((next_event - self.clock.now)
+                              / spec.delay_per_iter_s)
+                iterations += min(skipped, spec.max_iters - iterations - 1)
+                target = next_event
+            self.clock.advance_to(target, label="cpu")
+            value = self.read32(spec.offset)
+            iterations += 1
+        self.poll_iterations += iterations
+        return PollResult(value=value, iterations=iterations,
+                          success=spec.satisfied_by(value))

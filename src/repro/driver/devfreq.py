@@ -1,0 +1,70 @@
+"""A devfreq-style DVFS governor for the GPU clock.
+
+Real Mali drivers register with the kernel's devfreq framework: after
+each sampling window the governor compares busy time against wall time
+and steps the SoC clock up or down.  The governor here is the standard
+"ondemand" shape (simple up/down thresholds over the job-to-job window).
+
+GR-T interaction: DVFS is a *normal-world, native-execution* facility.
+During record and replay the TEE pins the maximum frequency
+(:meth:`~repro.hw.clocks.SocClockController.pin_max`), because a governor
+reacting to measured utilization makes GPU timing — polling iteration
+counts, interrupt arrival order — differ between record and replay,
+violating the determinism GR requires (§2.3).  The test suite
+demonstrates the violation when pinning is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hw.clocks import SocClockController
+from repro.tee.worlds import SecurityViolation, World
+
+
+@dataclass
+class GovernorConfig:
+    mode: str = "ondemand"  # or "performance"
+    upthreshold: float = 0.85
+    downthreshold: float = 0.30
+
+
+class DevfreqGovernor:
+    """Steps through the clock domain's operating points by utilization."""
+
+    def __init__(self, clk: SocClockController,
+                 config: Optional[GovernorConfig] = None) -> None:
+        self.clk = clk
+        self.config = config or GovernorConfig()
+        self.samples = 0
+        self.throttle_events = 0
+        self.boost_events = 0
+
+    # ------------------------------------------------------------------
+    def update(self, busy_s: float, window_s: float) -> None:
+        """One devfreq sampling window: busy time vs wall time."""
+        self.samples += 1
+        if self.config.mode == "performance":
+            self._try_set(self.clk.domain.max_mhz)
+            return
+        if window_s <= 0:
+            return
+        utilization = min(busy_s / window_s, 1.0)
+        rates = sorted(self.clk.domain.rates_mhz)
+        index = rates.index(self.clk.rate_mhz)
+        if utilization > self.config.upthreshold and index + 1 < len(rates):
+            self._try_set(rates[index + 1])
+            self.boost_events += 1
+        elif utilization < self.config.downthreshold and index > 0:
+            self._try_set(rates[index - 1])
+            self.throttle_events += 1
+
+    def _try_set(self, mhz: int) -> None:
+        try:
+            self.clk.set_rate(mhz, world=World.NORMAL)
+        except SecurityViolation:
+            # The TEE holds the clock (a record/replay session is live):
+            # the normal-world governor simply loses this round, exactly
+            # like a real clk framework call returning -EPERM.
+            pass

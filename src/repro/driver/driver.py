@@ -1,0 +1,303 @@
+"""The kbase-like GPU device driver: the facade tying it all together.
+
+``KbaseDevice`` owns the locks, the probed properties, the page tables,
+and the probe/power/job/irq subcomponents.  ``run_compute_job`` is the
+whole per-job flow the runtime calls: power up, TLB maintenance, submit,
+sleep until the completion IRQ, flush caches, power back down — the
+sequence whose register traffic GR-T records.
+
+``LocalPlatform`` is the native backing: it delivers the model GPU's
+interrupts into the driver's handlers and fast-forwards virtual time to
+the next hardware event while the driver sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.driver.bus import PollCondition, PollSpec, RegisterBus
+from repro.driver.hotfuncs import CommitCategory, hot_function
+from repro.driver.irq import IrqHandlers
+from repro.driver.jobs import JobFault, JobManager
+from repro.driver.mmu_driver import MmuTables
+from repro.driver.power import PowerManager
+from repro.driver.probe import GpuProber, RawGpuProps
+from repro.hw import regs
+from repro.hw.gpu import GpuIrqLine, MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.regs import AsCommand, AsStatusBits, GpuCommand, GpuIrq
+from repro.kernel.env import KernelEnv, Platform
+from repro.kernel.locks import Mutex, SpinLock
+
+MEMATTR_DEFAULT = 0x8888_8888_8888_8888
+TRANSCFG_DEFAULT = 0x0000_0003
+AS_POLL_DELAY_S = 1e-6
+CACHE_POLL_DELAY_S = 2e-6
+
+
+class DriverError(RuntimeError):
+    """Driver-level failure (bad state, probe mismatch, ...)."""
+
+
+class KbaseDevice:
+    """One bound GPU device instance."""
+
+    def __init__(self, env: KernelEnv, bus: RegisterBus,
+                 mem: PhysicalMemory, coherency_ace: bool = False) -> None:
+        self.env = env
+        self.bus = bus
+        self.mem = mem
+        self.coherency_ace = coherency_ace
+
+        self.hwaccess_lock = SpinLock(env, "hwaccess")
+        self.pm_lock = Mutex(env, "pm")
+        self.mmu_lock = Mutex(env, "mmu")
+
+        self.props = RawGpuProps()
+        self.prober = GpuProber(self)
+        self.pm = PowerManager(self)
+        self.jobs = JobManager(self)
+        self.irq = IrqHandlers(self)
+
+        self.mmu_tables: Optional[MmuTables] = None
+        self.as_configured = False
+        self.reset_completed = False
+        self.probed = False
+        self.cache_flushes = 0
+        self.devfreq = None  # optional DevfreqGovernor (native DVFS)
+        self._last_job_end_s: Optional[float] = None
+        # §3.3: polls that took far longer than the hardware budget they
+        # were written for — the timing-assumption violations that make
+        # a GPU stack "constantly throw exceptions" under naive
+        # forwarding.
+        self.timing_violations = 0
+
+    def watchdog_poll(self, spec: PollSpec):
+        """Run a polling loop and flag nominal-budget violations.
+
+        The budget is what the loop was written for: max_iters iterations
+        at the on-chip delay.  Network round trips blowing through it are
+        §3.3's broken timing assumptions.
+        """
+        t0 = self.env.clock.now
+        result = self.bus.poll(spec)
+        budget = spec.max_iters * spec.delay_per_iter_s
+        if self.env.clock.now - t0 > budget:
+            self.timing_violations += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def probe(self) -> None:
+        """Driver bind: reset, discover features, quirks, enable IRQs."""
+        self.env.kernel_api("module_init")
+        self.prober.soft_reset()
+        self.props = self.prober.discover()
+        pte_format = GpuProber.pte_format_for(self.props.gpu_id)
+        self.mmu_tables = MmuTables(self.mem, pte_format)
+        self.prober.apply_quirks(self.coherency_ace)
+        self.prober.enable_interrupts()
+        self.probed = True
+        self.env.printk("kbase: probed GPU id=%x", self.props.gpu_id)
+
+    def teardown(self) -> None:
+        if self.pm.gpu_powered:
+            self.pm.power_down()
+        self.env.kernel_api("module_exit")
+
+    # ------------------------------------------------------------------
+    # MMU programming
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.POLLING)
+    def mmu_configure(self, as_nr: int = 0) -> None:
+        """Point the AS at the page table root and wait for the update."""
+        if self.mmu_tables is None:
+            raise DriverError("mmu_configure before probe")
+        with self.mmu_lock:
+            bus = self.bus
+            bus.write64(regs.as_reg(as_nr, regs.AS_TRANSTAB_LO),
+                        regs.as_reg(as_nr, regs.AS_TRANSTAB_HI),
+                        self.mmu_tables.root_pa)
+            bus.write64(regs.as_reg(as_nr, regs.AS_MEMATTR_LO),
+                        regs.as_reg(as_nr, regs.AS_MEMATTR_HI),
+                        MEMATTR_DEFAULT)
+            bus.write64(regs.as_reg(as_nr, regs.AS_TRANSCFG_LO),
+                        regs.as_reg(as_nr, regs.AS_TRANSCFG_HI),
+                        TRANSCFG_DEFAULT)
+            bus.write32(regs.as_reg(as_nr, regs.AS_COMMAND), AsCommand.UPDATE)
+            self._wait_as_idle(as_nr, "update")
+            self.as_configured = True
+
+    @hot_function(CommitCategory.POLLING)
+    def mmu_flush(self, as_nr: int = 0, lock_va: int = 0) -> None:
+        """Lock/flush/unlock dance after page table changes (Listing 2)."""
+        with self.mmu_lock:
+            bus = self.bus
+            bus.write64(regs.as_reg(as_nr, regs.AS_LOCKADDR_LO),
+                        regs.as_reg(as_nr, regs.AS_LOCKADDR_HI), lock_va)
+            bus.write32(regs.as_reg(as_nr, regs.AS_COMMAND), AsCommand.LOCK)
+            self._wait_as_idle(as_nr, "lock")
+            bus.write32(regs.as_reg(as_nr, regs.AS_COMMAND),
+                        AsCommand.FLUSH_MEM)
+            self._wait_as_idle(as_nr, "flush")
+            bus.write32(regs.as_reg(as_nr, regs.AS_COMMAND), AsCommand.UNLOCK)
+
+    def _wait_as_idle(self, as_nr: int, what: str) -> None:
+        result = self.watchdog_poll(PollSpec(
+            offset=regs.as_reg(as_nr, regs.AS_STATUS),
+            condition=PollCondition.BITS_CLEAR,
+            operand=AsStatusBits.ACTIVE,
+            max_iters=1000,
+            delay_per_iter_s=AS_POLL_DELAY_S,
+            tag=f"as-{what}",
+        ))
+        if not result.success:
+            self.env.printk("kbase: AS%d stuck on %s", as_nr, what)
+            raise TimeoutError(f"AS{as_nr} {what} did not complete")
+
+    def map_gpu_pages(self, va: int, pa: int, nbytes: int, flags: int) -> None:
+        """Insert page table entries and flush the GPU TLB if live."""
+        if self.mmu_tables is None:
+            raise DriverError("map before probe")
+        self.mmu_tables.insert_pages(va, pa, nbytes, flags)
+        if self.as_configured and self.pm.gpu_powered:
+            self.mmu_flush(lock_va=va)
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.POLLING)
+    def cache_flush(self) -> None:
+        """CLEAN_INV_CACHES and poll RAWSTAT for completion (§4.3's
+        motivating loop: the polled operation is much shorter than an
+        RTT)."""
+        with self.hwaccess_lock:
+            bus = self.bus
+            bus.write32(regs.GPU_COMMAND, GpuCommand.CLEAN_INV_CACHES)
+            result = self.watchdog_poll(PollSpec(
+                offset=regs.GPU_IRQ_RAWSTAT,
+                condition=PollCondition.BITS_SET,
+                operand=GpuIrq.CLEAN_CACHES_COMPLETED,
+                max_iters=1000,
+                delay_per_iter_s=CACHE_POLL_DELAY_S,
+                tag="cache-flush",
+            ))
+            if not result.success:
+                raise TimeoutError("cache flush did not complete")
+            bus.write32(regs.GPU_IRQ_CLEAR, GpuIrq.CLEAN_CACHES_COMPLETED)
+        self.cache_flushes += 1
+        # Drivers use an explicit delay as a barrier after flushes (§4.1).
+        self.env.delay(1e-6)
+
+    # ------------------------------------------------------------------
+    # The per-job flow the runtime invokes
+    # ------------------------------------------------------------------
+    def recover_from_job_fault(self) -> None:
+        """A job completed with a fault status: reset the GPU to a clean
+        state (the standard kbase fault path) so later jobs can run."""
+        self.env.printk("kbase: resetting GPU after job fault")
+        self.pm.gpu_powered = False
+        self.pm.shader_ready = 0
+        self.as_configured = False
+        self.prober.soft_reset()
+        self.prober.enable_interrupts()
+        for state in self.jobs.slots:
+            state.busy = False
+            state.done = False
+
+    def run_compute_job(self, job_va: int, slot: int = 0,
+                        power_cycle: bool = True) -> None:
+        if not self.probed:
+            raise DriverError("device not probed")
+        self.pm.power_up()
+        if not self.as_configured:
+            self.mmu_configure()
+        # Per-job TLB maintenance: the GPU MMU may hold stale entries from
+        # the previous job's address-space activity.
+        self.mmu_flush(lock_va=job_va)
+        self.cache_flush()  # make CPU-emitted commands/shaders visible
+        self.jobs.submit(job_va, slot)
+        busy_start = self.env.clock.now
+        try:
+            self.jobs.wait_job(slot)
+        except JobFault:
+            self.recover_from_job_fault()
+            raise
+        busy_end = self.env.clock.now
+        self.cache_flush()  # make GPU results visible to the CPU
+        if power_cycle:
+            self.pm.power_down()
+        if self.devfreq is not None:
+            window_start = (self._last_job_end_s
+                            if self._last_job_end_s is not None
+                            else busy_start)
+            self.devfreq.update(busy_s=busy_end - busy_start,
+                                window_s=max(busy_end - window_start,
+                                             1e-9))
+        self._last_job_end_s = self.env.clock.now
+
+    # ------------------------------------------------------------------
+    # IRQ plumbing
+    # ------------------------------------------------------------------
+    def dispatch_irq(self, line: str) -> int:
+        handler = {
+            GpuIrqLine.JOB: self.irq.job_irq,
+            GpuIrqLine.GPU: self.irq.gpu_irq,
+            GpuIrqLine.MMU: self.irq.mmu_irq,
+        }[line]
+        return self.env.run_in_context("irq", handler)
+
+    def sync_pending_irqs(self) -> None:
+        """Field interrupts that are already pending (e.g. POWER_CHANGED
+        raised while we polled READY)."""
+        platform = self.env.platform
+        deliver = getattr(platform, "deliver_pending", None)
+        if deliver:
+            deliver()
+
+
+class LocalPlatform(Platform):
+    """Native backing: the GPU model is on-chip."""
+
+    def __init__(self, gpu: MaliGpu, env: KernelEnv) -> None:
+        self.gpu = gpu
+        self.env = env
+        self.kbdev: Optional[KbaseDevice] = None
+        env.platform = self
+        gpu.irq_sink = self._irq_raised
+        self._delivering = False
+
+    def attach(self, kbdev: KbaseDevice) -> None:
+        self.kbdev = kbdev
+
+    def _irq_raised(self, line: str) -> None:
+        # Level-triggered: picked up by deliver_pending / wait_for_event.
+        pass
+
+    def deliver_pending(self) -> None:
+        if self.kbdev is None or self._delivering:
+            return
+        self._delivering = True
+        try:
+            for _ in range(64):
+                line = self.gpu.any_irq_pending()
+                if line is None:
+                    return
+                self.kbdev.dispatch_irq(line)
+            raise DriverError("interrupt storm: handlers not clearing IRQs")
+        finally:
+            self._delivering = False
+
+    def wait_for_event(self, env: KernelEnv, timeout_s: float) -> bool:
+        self.deliver_pending()
+        next_event = self.gpu.next_event_time()
+        if next_event is None:
+            return False
+        label = "gpu" if not self.gpu.is_idle() else "idle"
+        env.clock.advance_to(min(next_event, env.clock.now + timeout_s),
+                             label=label)
+        self.gpu.service()
+        self.deliver_pending()
+        return True

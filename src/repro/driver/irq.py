@@ -1,0 +1,117 @@
+"""Interrupt handlers ("Interrupt" in Figure 8).
+
+Handlers run in an "irq" thread context.  The job handler follows
+Listing 1(b) closely: read the status register (a control dependency —
+an early return if no interrupt is pending), clear what was seen, then
+read per-slot completion state.  The read-and-clear pattern has the hidden
+register dependency the paper calls out: the clear *write* consumes the
+value of the status *read*, so order must be preserved by deferral.
+"""
+
+from __future__ import annotations
+
+from repro.driver.hotfuncs import CommitCategory, hot_function
+from repro.hw import regs
+from repro.hw.regs import GpuIrq
+
+IRQ_NONE = 0
+IRQ_HANDLED = 1
+
+
+class IrqHandlers:
+    def __init__(self, kbdev) -> None:
+        self.kbdev = kbdev
+        self.job_irqs = 0
+        self.gpu_irqs = 0
+        self.mmu_irqs = 0
+        self.spurious_irqs = 0
+
+    @property
+    def env(self):
+        return self.kbdev.env
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.INTERRUPT)
+    def job_irq(self) -> int:
+        kbdev = self.kbdev
+        bus = kbdev.bus
+        with kbdev.hwaccess_lock:
+            done = bus.read32(regs.JOB_IRQ_STATUS)
+            if not done:  # control dependency -> commit (Listing 1(b))
+                self.spurious_irqs += 1
+                return IRQ_NONE
+            done = int(done)
+            bus.write32(regs.JOB_IRQ_CLEAR, done)
+            for slot in range(regs.NUM_JOB_SLOTS):
+                if done & (1 << slot):
+                    # Read completion status and the active-slot mask.
+                    # (kbase reads JS_TAIL only on soft-stop paths; the
+                    # tail address would be job-specific and would defeat
+                    # speculation for no benefit.)
+                    status = bus.read32(regs.js_reg(slot, regs.JS_STATUS))
+                    js_state = bus.read32(regs.JOB_IRQ_JS_STATE)
+                    kbdev.jobs.complete_slot(slot, status, js_state,
+                                             failed=False)
+                if done & (1 << (16 + slot)):
+                    status = int(bus.read32(regs.js_reg(slot, regs.JS_STATUS)))
+                    self.env.printk(
+                        "kbase: job fault on slot %d, status=%x", slot, status)
+                    kbdev.jobs.complete_slot(slot, status, 0, failed=True)
+            # Re-check for interrupts that arrived while handling (the
+            # kbase handler loops until RAWSTAT is quiescent).
+            remaining = bus.read32(regs.JOB_IRQ_RAWSTAT)
+            if remaining:
+                self.env.printk("kbase: job irq still pending: %x",
+                                int(remaining))
+            self.job_irqs += 1
+        return IRQ_HANDLED
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.INTERRUPT)
+    def gpu_irq(self) -> int:
+        kbdev = self.kbdev
+        bus = kbdev.bus
+        status = bus.read32(regs.GPU_IRQ_STATUS)
+        if not status:
+            self.spurious_irqs += 1
+            return IRQ_NONE
+        status = int(status)
+        bus.write32(regs.GPU_IRQ_CLEAR, status)
+        if status & GpuIrq.POWER_CHANGED_ALL:
+            # Refresh the cached core availability (lazy until committed).
+            kbdev.pm.shader_ready = bus.read32(regs.SHADER_READY_LO)
+            bus.read32(regs.SHADER_READY_HI)
+            bus.read32(regs.L2_READY_LO)
+            bus.read32(regs.TILER_READY_LO)
+            bus.read32(regs.GPU_STATUS)
+        if status & GpuIrq.RESET_COMPLETED:
+            kbdev.reset_completed = True
+        if status & GpuIrq.FAULT:
+            fault = int(bus.read32(regs.GPU_FAULTSTATUS))
+            self.env.printk("kbase: GPU fault, status=%x", fault)
+        self.gpu_irqs += 1
+        return IRQ_HANDLED
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.INTERRUPT)
+    def mmu_irq(self) -> int:
+        kbdev = self.kbdev
+        bus = kbdev.bus
+        status = bus.read32(regs.MMU_IRQ_STATUS)
+        if not status:
+            self.spurious_irqs += 1
+            return IRQ_NONE
+        status = int(status)
+        bus.write32(regs.MMU_IRQ_CLEAR, status)
+        for as_nr in range(regs.NUM_ADDRESS_SPACES):
+            if status & (1 << as_nr):
+                fault_status = int(bus.read32(
+                    regs.as_reg(as_nr, regs.AS_FAULTSTATUS)))
+                fault_addr = int(bus.read64(
+                    regs.as_reg(as_nr, regs.AS_FAULTADDRESS_LO),
+                    regs.as_reg(as_nr, regs.AS_FAULTADDRESS_HI)))
+                self.env.printk(
+                    "kbase: MMU fault as=%d status=%x va=%x",
+                    as_nr, fault_status, fault_addr)
+        self.mmu_irqs += 1
+        return IRQ_HANDLED

@@ -1,0 +1,116 @@
+"""Job submission and completion tracking.
+
+The job queue length is pinned to 1 (§5): the driver prepares and submits
+one job, then sleeps until its completion interrupt.  That constraint is
+what lets memory synchronization assume the driver and the GPU never touch
+shared memory simultaneously.
+
+The submit path reads ``LATEST_FLUSH`` — the history-dependent register
+the paper identifies as the main source of unspeculatable commits (§7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.driver.hotfuncs import CommitCategory, hot_function
+from repro.hw import regs
+from repro.hw.regs import JsCommand
+
+JS_CONFIG_DEFAULT = 0x0000_7302  # start/end flush, low-priority compute
+JOB_WAIT_TIMEOUT_S = 1200.0
+# Nominal timeout a production driver would use; exceeding it is counted as
+# a would-be timeout violation (§3.3: naive recording breaks timing
+# assumptions and throws exceptions).
+NOMINAL_JOB_TIMEOUT_S = 2.0
+
+
+class JobFault(RuntimeError):
+    """A submitted job completed with a fault status."""
+
+
+@dataclass
+class SlotState:
+    busy: bool = False
+    done: bool = False
+    failed: bool = False
+    status: int = 0
+    js_state: int = 0
+
+
+class JobManager:
+    def __init__(self, kbdev) -> None:
+        self.kbdev = kbdev
+        self.slots = [SlotState() for _ in range(regs.NUM_JOB_SLOTS)]
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.timeout_violations = 0
+
+    @property
+    def env(self):
+        return self.kbdev.env
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.OTHER)
+    def submit(self, job_va: int, slot: int = 0) -> None:
+        """Program the NEXT registers and kick the slot.
+
+        DriverShim recognizes the JS_COMMAND_NEXT=START write as the
+        job-start boundary and synchronizes memory cloud->client right
+        before it reaches the GPU (§5).
+        """
+        kbdev = self.kbdev
+        state = self.slots[slot]
+        if state.busy:
+            raise RuntimeError(f"job slot {slot} is busy (queue length is 1)")
+        with kbdev.hwaccess_lock:
+            bus = kbdev.bus
+            # Confirm the slot really is idle before programming NEXT
+            # registers (kbase checks the active-slot mask and the pending
+            # command; both read back deterministically between jobs).
+            js_state = bus.read32(regs.JOB_IRQ_JS_STATE)
+            if int(js_state) & (1 << slot):
+                raise RuntimeError(f"hardware slot {slot} unexpectedly active")
+            bus.read32(regs.js_reg(slot, regs.JS_COMMAND))
+            # History-dependent value: defeats the speculation criteria.
+            flush_id = bus.read32(regs.LATEST_FLUSH)
+            bus.write64(regs.js_reg(slot, regs.JS_HEAD_NEXT_LO),
+                        regs.js_reg(slot, regs.JS_HEAD_NEXT_HI), job_va)
+            bus.write64(regs.js_reg(slot, regs.JS_AFFINITY_NEXT_LO),
+                        regs.js_reg(slot, regs.JS_AFFINITY_NEXT_HI),
+                        kbdev.pm.shader_ready)
+            bus.write32(regs.js_reg(slot, regs.JS_CONFIG_NEXT),
+                        JS_CONFIG_DEFAULT)
+            bus.write32(regs.js_reg(slot, regs.JS_FLUSH_ID_NEXT), flush_id)
+            state.busy = True
+            state.done = False
+            state.failed = False
+            self.jobs_submitted += 1
+            bus.write32(regs.js_reg(slot, regs.JS_COMMAND_NEXT),
+                        JsCommand.START)
+
+    # ------------------------------------------------------------------
+    def wait_job(self, slot: int = 0) -> SlotState:
+        """Sleep until the completion interrupt marks the slot done."""
+        state = self.slots[slot]
+        t0 = self.kbdev.env.clock.now
+        self.kbdev.env.wait_event(lambda: state.done,
+                                  timeout_s=JOB_WAIT_TIMEOUT_S)
+        if self.kbdev.env.clock.now - t0 > NOMINAL_JOB_TIMEOUT_S:
+            self.timeout_violations += 1
+        state.busy = False
+        if state.failed:
+            self.jobs_failed += 1
+            raise JobFault(
+                f"job on slot {slot} faulted with status {state.status:#x}")
+        self.jobs_completed += 1
+        return state
+
+    def complete_slot(self, slot: int, status, js_state, failed: bool) -> None:
+        """Called from the job IRQ handler."""
+        state = self.slots[slot]
+        state.status = status
+        state.js_state = js_state
+        state.failed = failed
+        state.done = True

@@ -1,0 +1,119 @@
+"""Driver-side GPU page table management.
+
+The driver builds page tables *in shared memory* and points the GPU's
+AS registers at the root.  This matters to GR-T twice over: page-table
+snapshots ride inside memory dumps (completeness, §2.3), and page-table
+pages are metastate that meta-only synchronization must always ship (§5).
+
+The PTE format is chosen from the probed GPU family (Midgard vs Bifrost
+layouts differ), one of the SKU variations that breaks cross-SKU replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory, pages_spanning
+from repro.hw.mmu import (
+    ENTRY_INVALID,
+    ENTRY_SIZE,
+    ENTRY_TABLE,
+    ENTRY_TYPE_MASK,
+    LEVELS,
+    entry_address,
+    level_index,
+    make_ate,
+    make_table_entry,
+)
+
+
+class MmuMapError(RuntimeError):
+    """Attempt to construct an invalid mapping."""
+
+
+@dataclass
+class MmuTables:
+    """A page table hierarchy owned by the driver.
+
+    Table pages are allocated from physical memory on demand.  All table
+    page frames are tracked so memory synchronization can treat them as
+    metastate, and so tests can verify snapshot completeness.
+    """
+
+    mem: PhysicalMemory
+    pte_format: int
+    root_pa: int = 0
+    table_pfns: Set[int] = field(default_factory=set)
+    mapped_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.root_pa == 0:
+            self.root_pa = self._alloc_table_page()
+
+    def _alloc_table_page(self) -> int:
+        region = self.mem.alloc(PAGE_SIZE, label="gpu-pgtable")
+        self.mem.fill(region.base, PAGE_SIZE, 0)
+        self.table_pfns.add(region.base >> PAGE_SHIFT)
+        return region.base
+
+    # ------------------------------------------------------------------
+    def insert_pages(self, va: int, pa: int, nbytes: int, flags: int) -> int:
+        """Map [va, va+nbytes) -> [pa, pa+nbytes). Returns pages mapped."""
+        if va % PAGE_SIZE or pa % PAGE_SIZE:
+            raise MmuMapError(f"unaligned mapping va={va:#x} pa={pa:#x}")
+        if nbytes <= 0:
+            raise MmuMapError("empty mapping")
+        npages = len(pages_spanning(va, nbytes))
+        for i in range(npages):
+            self._map_one(va + i * PAGE_SIZE, pa + i * PAGE_SIZE, flags)
+        self.mapped_bytes += npages * PAGE_SIZE
+        return npages
+
+    def unmap_pages(self, va: int, nbytes: int) -> int:
+        """Invalidate leaf entries for [va, va+nbytes)."""
+        npages = len(pages_spanning(va, nbytes))
+        removed = 0
+        for i in range(npages):
+            if self._unmap_one(va + i * PAGE_SIZE):
+                removed += 1
+        self.mapped_bytes -= removed * PAGE_SIZE
+        return removed
+
+    # ------------------------------------------------------------------
+    def _walk_to_leaf(self, va: int, allocate: bool) -> int:
+        table_pa = self.root_pa
+        for level in range(LEVELS - 1):
+            entry_pa = table_pa + level_index(va, level) * ENTRY_SIZE
+            entry = self.mem.read_u64(entry_pa)
+            if entry & ENTRY_TYPE_MASK != ENTRY_TABLE:
+                if not allocate:
+                    return 0
+                child = self._alloc_table_page()
+                self.mem.write_u64(entry_pa, make_table_entry(child))
+                entry = make_table_entry(child)
+            table_pa = entry_address(entry)
+        return table_pa
+
+    def _map_one(self, va: int, pa: int, flags: int) -> None:
+        leaf = self._walk_to_leaf(va, allocate=True)
+        entry_pa = leaf + level_index(va, LEVELS - 1) * ENTRY_SIZE
+        existing = self.mem.read_u64(entry_pa)
+        if existing & ENTRY_TYPE_MASK != ENTRY_INVALID:
+            raise MmuMapError(f"va {va:#x} is already mapped")
+        self.mem.write_u64(entry_pa, make_ate(pa, flags, self.pte_format))
+
+    def _unmap_one(self, va: int) -> bool:
+        leaf = self._walk_to_leaf(va, allocate=False)
+        if leaf == 0:
+            return False
+        entry_pa = leaf + level_index(va, LEVELS - 1) * ENTRY_SIZE
+        if self.mem.read_u64(entry_pa) & ENTRY_TYPE_MASK == ENTRY_INVALID:
+            return False
+        self.mem.write_u64(entry_pa, 0)
+        return True
+
+    # ------------------------------------------------------------------
+    def metastate_pfns(self) -> Set[int]:
+        """Table page frames — always part of a metastate dump (§5)."""
+        return set(self.table_pfns)

@@ -1,0 +1,138 @@
+"""GPU power-domain sequencing ("Power state" in Figure 8).
+
+The driver powers the L2 / tiler / shader domains up before a job and back
+down when idle (an aggressive coarse-demand policy, which also keeps the
+record run deterministic).  Each transition is a fixed register dance —
+PWRON/PWROFF writes followed by polls on READY/PWRTRANS — whose values
+repeat across jobs, making these commits prime speculation targets (§4.2:
+"each time an idle GPU wakes up, the driver exercises the GPU's power
+state machine").
+"""
+
+from __future__ import annotations
+
+from repro.driver.bus import PollCondition, PollSpec
+from repro.driver.hotfuncs import CommitCategory, hot_function
+from repro.hw import regs
+
+POWER_POLL_DELAY_S = 20e-6
+POWER_POLL_ITERS = 2000
+
+
+class PowerManager:
+    def __init__(self, kbdev) -> None:
+        self.kbdev = kbdev
+        self.gpu_powered = False
+        self.shader_ready = 0  # may hold a lazy value until resolved
+        self.power_cycles = 0
+
+    @property
+    def env(self):
+        return self.kbdev.env
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.POWER)
+    def power_up(self) -> None:
+        """Power the domain chain L2 -> tiler -> shaders."""
+        kbdev = self.kbdev
+        with kbdev.pm_lock:
+            if self.gpu_powered:
+                return
+            bus = kbdev.bus
+            l2_mask = int(kbdev.props.l2_present)
+            tiler_mask = int(kbdev.props.tiler_present)
+            shader_mask = int(kbdev.props.shader_present)
+
+            domains = (
+                ("l2", l2_mask, regs.L2_PWRON_LO, regs.L2_PWRTRANS_LO,
+                 regs.L2_READY_LO),
+                ("tiler", tiler_mask, regs.TILER_PWRON_LO,
+                 regs.TILER_PWRTRANS_LO, regs.TILER_READY_LO),
+                ("shader", shader_mask, regs.SHADER_PWRON_LO,
+                 regs.SHADER_PWRTRANS_LO, regs.SHADER_READY_LO),
+            )
+            for name, mask, pwron, pwrtrans, ready in domains:
+                # Skip domains something else already powered (reads the
+                # current READY state, as kbase does).
+                current = bus.read64(ready, ready + 4)
+                bus.write32(pwron, mask)
+                self._wait_transitions_done(pwrtrans, name)
+                self._wait_ready(ready, mask, name)
+                # Confirm with a full 64-bit readback.
+                bus.read64(ready, ready + 4)
+
+            # Captured for job affinity; stays lazy until the next commit.
+            self.shader_ready = bus.read32(regs.SHADER_READY_LO)
+            self.gpu_powered = True
+            self.power_cycles += 1
+        # The POWER_CHANGED interrupt the transitions raised is fielded now.
+        kbdev.sync_pending_irqs()
+
+    @hot_function(CommitCategory.POWER)
+    def power_down(self) -> None:
+        kbdev = self.kbdev
+        with kbdev.pm_lock:
+            if not self.gpu_powered:
+                return
+            bus = kbdev.bus
+            domains = (
+                ("shader", int(kbdev.props.shader_present),
+                 regs.SHADER_PWROFF_LO, regs.SHADER_PWRTRANS_LO,
+                 regs.SHADER_READY_LO),
+                ("tiler", int(kbdev.props.tiler_present),
+                 regs.TILER_PWROFF_LO, regs.TILER_PWRTRANS_LO,
+                 regs.TILER_READY_LO),
+                ("l2", int(kbdev.props.l2_present),
+                 regs.L2_PWROFF_LO, regs.L2_PWRTRANS_LO, regs.L2_READY_LO),
+            )
+            for name, mask, pwroff, pwrtrans, ready in domains:
+                bus.write32(pwroff, mask)
+                self._wait_transitions_done(pwrtrans, name)
+                # Confirm the domain reports no ready cores.
+                self._wait_cores_off(ready, name)
+            self.gpu_powered = False
+            self.shader_ready = 0
+        kbdev.sync_pending_irqs()
+
+    # ------------------------------------------------------------------
+    def _wait_ready(self, ready_reg: int, mask: int, domain: str) -> None:
+        result = self.kbdev.watchdog_poll(PollSpec(
+            offset=ready_reg,
+            condition=PollCondition.BITS_SET,
+            operand=mask,
+            max_iters=POWER_POLL_ITERS,
+            delay_per_iter_s=POWER_POLL_DELAY_S,
+            tag=f"pwron-{domain}",
+        ))
+        if not result.success:
+            self.env.printk("kbase: %s power-on timed out (ready=%x)",
+                            domain, result.value)
+            raise TimeoutError(f"{domain} domain failed to power on")
+
+    def _wait_cores_off(self, ready_reg: int, domain: str) -> None:
+        result = self.kbdev.watchdog_poll(PollSpec(
+            offset=ready_reg,
+            condition=PollCondition.BITS_CLEAR,
+            operand=0xFFFF_FFFF,
+            max_iters=POWER_POLL_ITERS,
+            delay_per_iter_s=POWER_POLL_DELAY_S,
+            tag=f"pwroff-ready-{domain}",
+        ))
+        if not result.success:
+            self.env.printk("kbase: %s cores stuck ready (ready=%x)",
+                            domain, result.value)
+            raise TimeoutError(f"{domain} cores failed to power off")
+
+    def _wait_transitions_done(self, pwrtrans_reg: int, domain: str) -> None:
+        result = self.kbdev.watchdog_poll(PollSpec(
+            offset=pwrtrans_reg,
+            condition=PollCondition.BITS_CLEAR,
+            operand=0xFFFF_FFFF,
+            max_iters=POWER_POLL_ITERS,
+            delay_per_iter_s=POWER_POLL_DELAY_S,
+            tag=f"pwroff-{domain}",
+        ))
+        if not result.success:
+            self.env.printk("kbase: %s power-off stuck (pwrtrans=%x)",
+                            domain, result.value)
+            raise TimeoutError(f"{domain} domain stuck in transition")

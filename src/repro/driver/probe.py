@@ -1,0 +1,159 @@
+"""Hardware discovery and quirk handling ("Init" in Figure 8).
+
+At load time the driver probes tens of feature registers, branches on the
+product id, and applies per-SKU configuration quirks (the Listing 1(a)
+pattern: read SHADER_CONFIG / MMU config, OR in quirk bits, write back).
+These accesses recur identically across record runs, which is why Init
+commits are highly speculatable (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.driver.bus import PollCondition, PollSpec
+from repro.driver.hotfuncs import CommitCategory, hot_function
+from repro.hw import regs
+from repro.hw.regs import GpuIrq
+
+# Product-id ranges per family (mirrors sku.py's encoding).
+MIDGARD_PRODUCT_MAX = 0x0FFF
+
+# Quirk bits, kbase style.
+SHADER_CONFIG_LS_ALLOW_ATTR_TYPES = 1 << 16
+MMU_ALLOW_SNOOP_DISPARITY = 1 << 10
+TILER_CONFIG_EARLY_Z = 1 << 5
+
+
+@dataclass
+class RawGpuProps:
+    """Register values captured at probe; may hold lazy symbolic values
+    until the probe commit resolves them."""
+
+    gpu_id: int = 0
+    l2_features: object = 0
+    core_features: object = 0
+    tiler_features: object = 0
+    mem_features: object = 0
+    mmu_features: object = 0
+    as_present: object = 0
+    js_present: object = 0
+    shader_present: object = 0
+    tiler_present: object = 0
+    l2_present: object = 0
+    thread_max_threads: object = 0
+    thread_max_workgroup: object = 0
+    thread_max_barrier: object = 0
+    thread_features: object = 0
+    texture_features: List[object] = field(default_factory=list)
+    js_features: List[object] = field(default_factory=list)
+
+
+class GpuProber:
+    """Reset + discovery + quirks, run once when the driver binds."""
+
+    def __init__(self, kbdev) -> None:
+        self.kbdev = kbdev
+
+    @property
+    def env(self):
+        return self.kbdev.env
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.INIT)
+    def soft_reset(self) -> None:
+        """Reset the GPU and wait for RESET_COMPLETED (polled)."""
+        bus = self.kbdev.bus
+        bus.write32(regs.GPU_IRQ_CLEAR, 0xFFFF_FFFF)
+        bus.write32(regs.GPU_IRQ_MASK, GpuIrq.RESET_COMPLETED)
+        bus.write32(regs.GPU_COMMAND, regs.GpuCommand.SOFT_RESET)
+        result = bus.poll(PollSpec(
+            offset=regs.GPU_IRQ_RAWSTAT,
+            condition=PollCondition.BITS_SET,
+            operand=GpuIrq.RESET_COMPLETED,
+            max_iters=500,
+            delay_per_iter_s=10e-6,
+            tag="reset-wait",
+        ))
+        if not result.success:
+            self.env.printk("kbase: GPU reset timed out, rawstat=%x",
+                            result.value)
+            raise TimeoutError("GPU soft reset did not complete")
+        bus.write32(regs.GPU_IRQ_CLEAR, GpuIrq.RESET_COMPLETED)
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.INIT)
+    def discover(self) -> RawGpuProps:
+        """Read the feature/present register block (§4.2: "repeated
+        hardware discovery" — values never change, highly predictable)."""
+        bus = self.kbdev.bus
+        props = RawGpuProps()
+        # The driver branches on the product id immediately (PTE format,
+        # quirk selection): a genuine control dependency.
+        props.gpu_id = int(bus.read32(regs.GPU_ID))
+        props.l2_features = bus.read32(regs.L2_FEATURES)
+        props.core_features = bus.read32(regs.CORE_FEATURES)
+        props.tiler_features = bus.read32(regs.TILER_FEATURES)
+        props.mem_features = bus.read32(regs.MEM_FEATURES)
+        props.mmu_features = bus.read32(regs.MMU_FEATURES)
+        props.as_present = bus.read32(regs.AS_PRESENT)
+        props.js_present = bus.read32(regs.JS_PRESENT)
+        props.thread_max_threads = bus.read32(regs.THREAD_MAX_THREADS)
+        props.thread_max_workgroup = bus.read32(regs.THREAD_MAX_WORKGROUP_SIZE)
+        props.thread_max_barrier = bus.read32(regs.THREAD_MAX_BARRIER_SIZE)
+        props.thread_features = bus.read32(regs.THREAD_FEATURES)
+        props.texture_features = [
+            bus.read32(regs.TEXTURE_FEATURES_0 + 4 * i) for i in range(3)
+        ]
+        props.js_features = [
+            bus.read32(regs.JS0_FEATURES + 4 * i)
+            for i in range(regs.NUM_JOB_SLOTS)
+        ]
+        props.shader_present = bus.read64(regs.SHADER_PRESENT_LO,
+                                          regs.SHADER_PRESENT_HI)
+        props.tiler_present = bus.read64(regs.TILER_PRESENT_LO,
+                                         regs.TILER_PRESENT_HI)
+        props.l2_present = bus.read64(regs.L2_PRESENT_LO, regs.L2_PRESENT_HI)
+        return props
+
+    # ------------------------------------------------------------------
+    @hot_function(CommitCategory.INIT)
+    def apply_quirks(self, coherency_ace: bool = False) -> None:
+        """Listing 1(a): read config registers, OR in quirk bits, write
+        back — the write value *data-depends* on the deferred reads."""
+        bus = self.kbdev.bus
+        qrk_shader = bus.read32(regs.SHADER_CONFIG)
+        qrk_tiler = bus.read32(regs.TILER_CONFIG)
+        qrk_mmu = bus.read32(regs.L2_MMU_CONFIG)
+
+        qrk_shader = qrk_shader | SHADER_CONFIG_LS_ALLOW_ATTR_TYPES
+        if coherency_ace:
+            qrk_mmu = qrk_mmu | MMU_ALLOW_SNOOP_DISPARITY
+        product_id = self.kbdev.props.gpu_id >> 16
+        if product_id >= 0x6000:  # Bifrost parts want early-Z tiling
+            qrk_tiler = qrk_tiler | TILER_CONFIG_EARLY_Z
+
+        bus.write32(regs.SHADER_CONFIG, qrk_shader)
+        bus.write32(regs.TILER_CONFIG, qrk_tiler)
+        bus.write32(regs.L2_MMU_CONFIG, qrk_mmu)
+
+    @hot_function(CommitCategory.INIT)
+    def enable_interrupts(self) -> None:
+        bus = self.kbdev.bus
+        bus.write32(regs.JOB_IRQ_CLEAR, 0xFFFF_FFFF)
+        bus.write32(regs.JOB_IRQ_MASK, 0xFFFF_FFFF)
+        bus.write32(regs.MMU_IRQ_CLEAR, 0xFFFF_FFFF)
+        bus.write32(regs.MMU_IRQ_MASK, 0xFFFF_FFFF)
+        # CLEAN_CACHES_COMPLETED is deliberately left masked: the cache
+        # flush path owns it by polling GPU_IRQ_RAWSTAT (§4.3's loops).
+        bus.write32(regs.GPU_IRQ_CLEAR, 0xFFFF_FFFF)
+        bus.write32(regs.GPU_IRQ_MASK,
+                    GpuIrq.POWER_CHANGED_ALL | GpuIrq.RESET_COMPLETED
+                    | GpuIrq.FAULT)
+
+    @staticmethod
+    def pte_format_for(gpu_id: int) -> int:
+        """Midgard parts use layout 0, Bifrost and later layout 1 (§2.4)."""
+        product_id = gpu_id >> 16
+        return 0 if product_id <= MIDGARD_PRODUCT_MAX else 1

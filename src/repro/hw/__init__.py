@@ -1,0 +1,49 @@
+"""Mali-Bifrost-style mobile GPU hardware model.
+
+The recorder only ever observes a GPU through three channels (§2.1): memory
+mapped registers, shared memory, and interrupts.  This package models those
+three channels with enough fidelity that a kbase-like driver
+(:mod:`repro.driver`) runs unmodified against either the real local "GPU" or
+GR-T's remote shims:
+
+* :mod:`repro.hw.regs` — the MMIO register map and bit definitions.
+* :mod:`repro.hw.sku` — a database of GPU SKUs (Figure 3) with the
+  per-SKU parameters that make recordings SKU-specific (§2.4).
+* :mod:`repro.hw.memory` — physical memory with page-granular dirty
+  tracking used by memory synchronization (§5).
+* :mod:`repro.hw.mmu` — GPU page tables with permission bits; the
+  executable bit drives metastate detection (§5).
+* :mod:`repro.hw.shader` — the "shader ISA": compiled NN operator
+  descriptors executed with real numpy math.
+* :mod:`repro.hw.gpu` — the device model: power-domain state machine, job
+  slots, IRQ lines, cache/TLB operations, and the ``LATEST_FLUSH``
+  nondeterminism that defeats speculation for a small class of commits.
+"""
+
+from repro.hw.sku import GpuSku, SKU_DATABASE, find_sku, new_skus_per_year
+from repro.hw.memory import PhysicalMemory, PAGE_SIZE
+from repro.hw.mmu import GpuMmu, PageTableWalker, PteFlags
+from repro.hw.gpu import MaliGpu, GpuIrqLine
+from repro.hw.shader import ShaderBinary, ShaderExecutor, JobDescriptor
+from repro.hw.clocks import GPU_CLOCK, SocClockController
+from repro.hw.accel import CryptoAccelerator
+
+__all__ = [
+    "GpuSku",
+    "SKU_DATABASE",
+    "find_sku",
+    "new_skus_per_year",
+    "PhysicalMemory",
+    "PAGE_SIZE",
+    "GpuMmu",
+    "PageTableWalker",
+    "PteFlags",
+    "MaliGpu",
+    "GpuIrqLine",
+    "ShaderBinary",
+    "ShaderExecutor",
+    "JobDescriptor",
+    "GPU_CLOCK",
+    "SocClockController",
+    "CryptoAccelerator",
+]

@@ -1,0 +1,191 @@
+"""A second record/replay target: a crypto DMA accelerator.
+
+§3, "Broader applicability": "As replay has been used on IO devices other
+than GPU, our techniques can be used for generating recordings for these
+IO without possessing the actual IO hardware."  This device proves the
+claim for *this* codebase: the shims, deferral/speculation machinery, and
+replay engine in :mod:`repro.core` drive it with **zero** GPU-specific
+changes, because they only ever assume the three CPU/device channels —
+registers, shared memory, interrupts.
+
+The device is a stream cipher engine: it reads a source buffer over DMA,
+XORs it with a keystream derived from the programmed key and nonce
+(SHA-256 in counter mode — deterministic, so record/replay semantics are
+exact), writes the result to the destination buffer, and raises an
+interrupt.  Like the GPU, its *data* is confidential while its register
+programming and descriptors are metastate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.hw.memory import PhysicalMemory
+from repro.sim.clock import VirtualClock
+
+# Register map.
+ACCEL_ID = 0x00
+CTRL = 0x04
+STATUS = 0x08
+IRQ_RAWSTAT = 0x0C
+IRQ_CLEAR = 0x10
+IRQ_MASK = 0x14
+KEY0 = 0x20  # .. KEY3 at 0x2C
+NONCE = 0x30
+SRC_LO = 0x34
+SRC_HI = 0x38
+DST_LO = 0x3C
+DST_HI = 0x40
+LEN = 0x44
+CMD = 0x48
+
+CMD_START = 0x1
+CMD_RESET = 0x2
+
+STATUS_BUSY = 0x1
+IRQ_DONE = 0x1
+IRQ_ERROR = 0x2
+
+ACCEL_ID_VALUE = 0xC1F0_0201  # engine id | revision
+
+THROUGHPUT_BPS = 400e6
+JOB_SETUP_S = 8e-6
+
+
+def keystream(key_words: Tuple[int, int, int, int], nonce: int,
+              length: int) -> bytes:
+    """SHA-256 counter-mode keystream (deterministic)."""
+    seed = b"".join(w.to_bytes(4, "little") for w in key_words) \
+        + nonce.to_bytes(4, "little")
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(hashlib.sha256(
+            seed + counter.to_bytes(8, "little")).digest())
+        counter += 1
+    return bytes(out[:length])
+
+
+class CryptoAccelerator:
+    """The device model: registers, DMA, one interrupt line ("accel")."""
+
+    IRQ_LINE = "accel"
+
+    def __init__(self, mem: PhysicalMemory, clock: VirtualClock) -> None:
+        self.mem = mem
+        self.clock = clock
+        self.irq_sink: Optional[Callable[[str], None]] = None
+        self._regs = {KEY0 + 4 * i: 0 for i in range(4)}
+        self._regs.update({NONCE: 0, SRC_LO: 0, SRC_HI: 0, DST_LO: 0,
+                           DST_HI: 0, LEN: 0, CTRL: 0})
+        self._rawstat = 0
+        self._mask = 0
+        self._busy_until = -1.0
+        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.jobs_done = 0
+        self.resets = 0
+
+    # ------------------------------------------------------------------
+    # The same service/event interface the GPU model exposes, so the
+    # shims and the replay engine work unchanged.
+    # ------------------------------------------------------------------
+    def _schedule(self, delay: float, action: Callable[[], None]) -> float:
+        when = self.clock.now + delay
+        heapq.heappush(self._events, (when, self._seq, action))
+        self._seq += 1
+        return when
+
+    def next_event_time(self) -> Optional[float]:
+        return self._events[0][0] if self._events else None
+
+    def service(self) -> None:
+        while self._events and self._events[0][0] <= self.clock.now + 1e-12:
+            _, _, action = heapq.heappop(self._events)
+            action()
+
+    def irq_pending(self, line: str) -> bool:
+        self.service()
+        return line == self.IRQ_LINE and bool(self._rawstat & self._mask)
+
+    def any_irq_pending(self) -> Optional[str]:
+        return self.IRQ_LINE if self.irq_pending(self.IRQ_LINE) else None
+
+    def is_idle(self) -> bool:
+        self.service()
+        return self._busy_until <= self.clock.now
+
+    def hard_reset_now(self) -> None:
+        self._do_reset()
+        self.service()
+        self._events.clear()
+        self._rawstat = 0
+
+    # ------------------------------------------------------------------
+    def read_reg(self, offset: int) -> int:
+        self.service()
+        if offset == ACCEL_ID:
+            return ACCEL_ID_VALUE
+        if offset == STATUS:
+            return STATUS_BUSY if self._busy_until > self.clock.now else 0
+        if offset == IRQ_RAWSTAT:
+            return self._rawstat
+        if offset == IRQ_MASK:
+            return self._mask
+        return self._regs.get(offset, 0)
+
+    def write_reg(self, offset: int, value: int) -> None:
+        self.service()
+        value &= 0xFFFF_FFFF
+        if offset == IRQ_CLEAR:
+            self._rawstat &= ~value
+        elif offset == IRQ_MASK:
+            self._mask = value
+        elif offset == CMD:
+            if value & CMD_START:
+                self._start()
+            if value & CMD_RESET:
+                self._do_reset()
+        elif offset in self._regs:
+            self._regs[offset] = value
+
+    # ------------------------------------------------------------------
+    def _do_reset(self) -> None:
+        self.resets += 1
+        for key in self._regs:
+            self._regs[key] = 0
+        self._rawstat = 0
+        self._mask = 0
+        self._busy_until = -1.0
+
+    def _start(self) -> None:
+        length = self._regs[LEN]
+        src = (self._regs[SRC_HI] << 32) | self._regs[SRC_LO]
+        dst = (self._regs[DST_HI] << 32) | self._regs[DST_LO]
+        key = tuple(self._regs[KEY0 + 4 * i] for i in range(4))
+        nonce = self._regs[NONCE]
+        try:
+            data = self.mem.read(src, length)
+        except ValueError:
+            self._schedule(JOB_SETUP_S,
+                           lambda: self._finish(IRQ_ERROR))
+            return
+        stream = keystream(key, nonce, length)
+        result = bytes(a ^ b for a, b in zip(data, stream))
+        duration = JOB_SETUP_S + length / THROUGHPUT_BPS
+        self._busy_until = self.clock.now + duration
+
+        def complete() -> None:
+            self.mem.write(dst, result)
+            self.jobs_done += 1
+            self._finish(IRQ_DONE)
+
+        self._schedule(duration, complete)
+
+    def _finish(self, bits: int) -> None:
+        self._busy_until = -1.0
+        self._rawstat |= bits
+        if self._rawstat & self._mask and self.irq_sink:
+            self.irq_sink(self.IRQ_LINE)

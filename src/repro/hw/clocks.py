@@ -1,0 +1,103 @@
+"""SoC clock control for the GPU (§6).
+
+The GPU's clock is not behind its own MMIO: it belongs to the SoC's clock
+controller, normally driven by the kernel's clk framework.  §6: "To
+bootstrap the GPU, the client TEE needs to access SoC resources not
+managed by the GPU driver, e.g. power/clock for GPU.  For strong security,
+we protect these resources inside the TEE."
+
+Two things matter to GR-T:
+
+* **Security** — while a session is active, normal-world rate changes are
+  refused (a malicious OS cannot glitch the clock under a TEE workload).
+* **Determinism** — GPUShim pins the maximum frequency for the duration
+  of record and replay.  A DVFS governor reacting to measured utilization
+  would make job timings (and hence polling iterations and interrupt
+  arrival order) differ between record and replay — exactly the class of
+  nondeterminism §2.3 forestalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tee.worlds import SecurityViolation, TrustZoneController, World
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """One SoC clock: the available operating points (MHz)."""
+
+    name: str
+    rates_mhz: tuple
+
+    @property
+    def max_mhz(self) -> int:
+        return max(self.rates_mhz)
+
+    @property
+    def min_mhz(self) -> int:
+        return min(self.rates_mhz)
+
+
+# Mali-G71-class OPP table (Hikey960's GPU scales 178-1037 MHz).
+GPU_CLOCK = ClockDomain(name="clk_g3d",
+                        rates_mhz=(178, 400, 533, 807, 960, 1037))
+
+
+class SocClockController:
+    """The SoC clock block, with TEE protection while a session runs."""
+
+    def __init__(self, gpu, tzasc: Optional[TrustZoneController] = None,
+                 domain: ClockDomain = GPU_CLOCK) -> None:
+        self.gpu = gpu
+        self.tzasc = tzasc
+        self.domain = domain
+        self._rate_mhz = domain.max_mhz
+        self._pinned = False
+        self.rate_changes = 0
+        self._apply()
+
+    # ------------------------------------------------------------------
+    @property
+    def rate_mhz(self) -> int:
+        return self._rate_mhz
+
+    @property
+    def pinned(self) -> bool:
+        return self._pinned
+
+    def set_rate(self, mhz: int, world: str = World.NORMAL) -> None:
+        """clk_set_rate(): rejects invalid OPPs, and any normal-world
+        change while the TEE has the clock pinned."""
+        if mhz not in self.domain.rates_mhz:
+            raise ValueError(
+                f"{mhz} MHz is not an operating point of "
+                f"{self.domain.name} (have {self.domain.rates_mhz})")
+        if self._pinned and world != World.SECURE:
+            if self.tzasc is not None:
+                self.tzasc.violations += 1
+            raise SecurityViolation(
+                f"normal-world clk_set_rate({mhz}) while the TEE holds "
+                f"{self.domain.name}")
+        if mhz != self._rate_mhz:
+            self._rate_mhz = mhz
+            self.rate_changes += 1
+            self._apply()
+
+    # ------------------------------------------------------------------
+    # TEE pinning (GPUShim / replayer sessions)
+    # ------------------------------------------------------------------
+    def pin_max(self) -> None:
+        """TEE takes the clock: pin the maximum rate for determinism."""
+        self._pinned = False  # allow our own change below
+        self.set_rate(self.domain.max_mhz, world=World.SECURE)
+        self._pinned = True
+
+    def unpin(self) -> None:
+        self._pinned = False
+
+    # ------------------------------------------------------------------
+    def _apply(self) -> None:
+        self.gpu.clock_scale = self._rate_mhz / self.domain.max_mhz

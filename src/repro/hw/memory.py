@@ -1,0 +1,195 @@
+"""Physical memory shared between CPU and GPU.
+
+Mobile GPUs have no dedicated VRAM; CPU and GPU share main memory (§2.1).
+This module models that memory as a single numpy-backed byte array with:
+
+* a contiguous-range allocator (mobile GPU buffers come from CMA-style
+  carveouts, and contiguity keeps numpy views cheap);
+* page-granular dirty tracking, which memory synchronization (§5) uses to
+  compute delta dumps between sync points;
+* byte and typed-array access for the driver, runtime, and shader executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+def page_of(addr: int) -> int:
+    return addr >> PAGE_SHIFT
+
+
+def page_base(addr: int) -> int:
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def pages_spanning(addr: int, nbytes: int) -> range:
+    """Page frame numbers touched by [addr, addr+nbytes)."""
+    if nbytes <= 0:
+        return range(0)
+    return range(page_of(addr), page_of(addr + nbytes - 1) + 1)
+
+
+def align_up(value: int, alignment: int = PAGE_SIZE) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, contiguous physical allocation."""
+
+    base: int
+    size: int
+    label: str
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        return self.base <= addr and addr + nbytes <= self.end
+
+
+class OutOfMemoryError(MemoryError):
+    """The physical carveout cannot satisfy an allocation."""
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory with dirty tracking.
+
+    The backing store starts at physical address ``base`` (a nonzero base
+    catches confusions between offsets and addresses).
+    """
+
+    def __init__(self, size: int = 512 << 20, base: int = 0x8000_0000) -> None:
+        if size % PAGE_SIZE:
+            raise ValueError("memory size must be page aligned")
+        self.base = base
+        self.size = size
+        self._store = np.zeros(size, dtype=np.uint8)
+        self._next_free = base
+        self._regions: List[Region] = []
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, label: str = "anon") -> Region:
+        size = align_up(max(size, 1))
+        if self._next_free + size > self.base + self.size:
+            raise OutOfMemoryError(
+                f"cannot allocate {size} bytes for {label!r}: "
+                f"{self.base + self.size - self._next_free} bytes free"
+            )
+        region = Region(base=self._next_free, size=size, label=label)
+        self._next_free += size
+        self._regions.append(region)
+        return region
+
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def bytes_allocated(self) -> int:
+        return self._next_free - self.base
+
+    def _offset(self, pa: int, nbytes: int) -> int:
+        off = pa - self.base
+        if off < 0 or off + nbytes > self.size:
+            raise ValueError(
+                f"physical access out of range: pa={pa:#x} len={nbytes}"
+            )
+        return off
+
+    # ------------------------------------------------------------------
+    # Byte access
+    # ------------------------------------------------------------------
+    def read(self, pa: int, nbytes: int) -> bytes:
+        off = self._offset(pa, nbytes)
+        return self._store[off:off + nbytes].tobytes()
+
+    def write(self, pa: int, data: bytes) -> None:
+        off = self._offset(pa, len(data))
+        self._store[off:off + len(data)] = np.frombuffer(data, dtype=np.uint8)
+        self._dirty.update(pages_spanning(pa, len(data)))
+
+    def read_u64(self, pa: int) -> int:
+        return int.from_bytes(self.read(pa, 8), "little")
+
+    def write_u64(self, pa: int, value: int) -> None:
+        self.write(pa, (value & (2**64 - 1)).to_bytes(8, "little"))
+
+    def read_u32(self, pa: int) -> int:
+        return int.from_bytes(self.read(pa, 4), "little")
+
+    def write_u32(self, pa: int, value: int) -> None:
+        self.write(pa, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
+
+    def fill(self, pa: int, nbytes: int, value: int = 0) -> None:
+        off = self._offset(pa, nbytes)
+        self._store[off:off + nbytes] = value & 0xFF
+        self._dirty.update(pages_spanning(pa, nbytes))
+
+    # ------------------------------------------------------------------
+    # Typed numpy views (used by the shader executor for real math)
+    # ------------------------------------------------------------------
+    def view(self, pa: int, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        off = self._offset(pa, nbytes)
+        return self._store[off:off + nbytes].view(dtype).reshape(shape)
+
+    def write_array(self, pa: int, array: np.ndarray) -> None:
+        flat = np.ascontiguousarray(array)
+        raw = flat.view(np.uint8).reshape(-1)
+        off = self._offset(pa, raw.size)
+        self._store[off:off + raw.size] = raw
+        self._dirty.update(pages_spanning(pa, raw.size))
+
+    def mark_dirty_range(self, pa: int, nbytes: int) -> None:
+        """Record writes done through a raw :meth:`view`."""
+        self._offset(pa, max(nbytes, 1))
+        self._dirty.update(pages_spanning(pa, nbytes))
+
+    # ------------------------------------------------------------------
+    # Dirty tracking for memory synchronization (§5)
+    # ------------------------------------------------------------------
+    def dirty_pages(self) -> Set[int]:
+        return set(self._dirty)
+
+    def take_dirty(self) -> Set[int]:
+        """Return and clear the dirty set (one sync interval)."""
+        dirty, self._dirty = self._dirty, set()
+        return dirty
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    def clear_dirty_pages(self, pfns: Iterable[int]) -> None:
+        """Unmark specific pages (e.g. peer state installed by memory
+        synchronization, which is not a local update to propagate)."""
+        self._dirty.difference_update(pfns)
+
+    def page_bytes(self, pfn: int) -> bytes:
+        return self.read(pfn << PAGE_SHIFT, PAGE_SIZE)
+
+    def write_page(self, pfn: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise ValueError("page write must be exactly one page")
+        self.write(pfn << PAGE_SHIFT, data)
+
+    def pages_of_region(self, region: Region) -> Iterable[int]:
+        return pages_spanning(region.base, region.size)
+
+    def snapshot_pages(self, pfns: Iterable[int]) -> Dict[int, bytes]:
+        return {pfn: self.page_bytes(pfn) for pfn in pfns}
+
+    def region_for(self, pa: int) -> Optional[Region]:
+        for region in self._regions:
+            if region.contains(pa):
+                return region
+        return None

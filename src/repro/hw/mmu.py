@@ -1,0 +1,233 @@
+"""GPU MMU: page tables, address translation, and the GPU TLB.
+
+The GPU accesses shared memory through its own page tables (§2.1), which
+the driver builds in shared memory and points the hardware at via the
+``AS_TRANSTAB`` registers.  Page table *snapshots therefore travel inside
+memory dumps* — one of the reasons recording captures everything needed for
+replay (§2.3), and the permission bits are how meta-only synchronization
+identifies metastate (§5: Mali maps shader code executable).
+
+The layout is a 3-level table over a 39-bit VA (512-entry levels, 4 KiB
+pages, 8-byte entries).  Two PTE formats exist — ``pte_format=1``
+(Bifrost-like) and ``pte_format=0`` (Midgard-like) differ in where the
+permission bits live, reproducing the paper's observation that page-table
+format variations between SKUs break replay (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+
+VA_BITS = 39
+LEVEL_BITS = 9
+LEVELS = 3
+ENTRIES_PER_TABLE = 1 << LEVEL_BITS
+ENTRY_SIZE = 8
+
+ADDR_MASK = ((1 << 48) - 1) & ~(PAGE_SIZE - 1)
+
+ENTRY_TYPE_MASK = 0x3
+ENTRY_INVALID = 0x0
+ENTRY_ATE = 0x1  # address translation entry (a mapped page)
+ENTRY_TABLE = 0x3  # pointer to next-level table
+
+
+class PteFlags:
+    """Permission bits, at format-dependent positions."""
+
+    READ = 0x1
+    WRITE = 0x2
+    EXECUTE = 0x4
+    SHARED = 0x8
+
+    # Bit positions of the flag nibble per pte_format.
+    FORMAT_SHIFT = {0: 6, 1: 2}
+
+
+class GpuPageFault(Exception):
+    """Raised (and latched into AS_FAULTSTATUS) on a bad GPU access."""
+
+    def __init__(self, va: int, access: str, reason: str) -> None:
+        super().__init__(f"GPU page fault at va={va:#x} ({access}): {reason}")
+        self.va = va
+        self.access = access
+        self.reason = reason
+
+
+def level_index(va: int, level: int) -> int:
+    """Index into the ``level``-th table (0 = root) for ``va``."""
+    shift = PAGE_SHIFT + LEVEL_BITS * (LEVELS - 1 - level)
+    return (va >> shift) & (ENTRIES_PER_TABLE - 1)
+
+
+def make_table_entry(next_pa: int) -> int:
+    return (next_pa & ADDR_MASK) | ENTRY_TABLE
+
+
+def make_ate(pa: int, flags: int, pte_format: int) -> int:
+    shift = PteFlags.FORMAT_SHIFT[pte_format]
+    return (pa & ADDR_MASK) | (flags << shift) | ENTRY_ATE
+
+
+def ate_flags(entry: int, pte_format: int) -> int:
+    shift = PteFlags.FORMAT_SHIFT[pte_format]
+    return (entry >> shift) & 0xF
+
+
+def entry_address(entry: int) -> int:
+    return entry & ADDR_MASK
+
+
+@dataclass
+class WalkResult:
+    pa: int
+    flags: int
+    entry: int
+
+
+class PageTableWalker:
+    """Software walker over in-memory page tables (shared by GPU and tools)."""
+
+    def __init__(self, mem: PhysicalMemory, pte_format: int) -> None:
+        self.mem = mem
+        self.pte_format = pte_format
+
+    def walk(self, root_pa: int, va: int) -> Optional[WalkResult]:
+        if va >> VA_BITS:
+            return None
+        table_pa = root_pa
+        for level in range(LEVELS):
+            entry_pa = table_pa + level_index(va, level) * ENTRY_SIZE
+            entry = self.mem.read_u64(entry_pa)
+            kind = entry & ENTRY_TYPE_MASK
+            if kind == ENTRY_INVALID:
+                return None
+            if level < LEVELS - 1:
+                if kind != ENTRY_TABLE:
+                    return None
+                table_pa = entry_address(entry)
+            else:
+                if kind != ENTRY_ATE:
+                    return None
+                pa = entry_address(entry) | (va & (PAGE_SIZE - 1))
+                return WalkResult(
+                    pa=pa, flags=ate_flags(entry, self.pte_format), entry=entry
+                )
+        return None
+
+    def table_pages(self, root_pa: int) -> List[int]:
+        """Page frame numbers of every live page-table page under a root.
+
+        Used by meta-only synchronization: page tables are metastate and
+        must always travel with memory dumps (§5).
+        """
+        pfns = [root_pa >> PAGE_SHIFT]
+        frontier = [(root_pa, 0)]
+        while frontier:
+            table_pa, level = frontier.pop()
+            if level >= LEVELS - 1:
+                continue
+            for idx in range(ENTRIES_PER_TABLE):
+                entry = self.mem.read_u64(table_pa + idx * ENTRY_SIZE)
+                if entry & ENTRY_TYPE_MASK == ENTRY_TABLE:
+                    child = entry_address(entry)
+                    pfns.append(child >> PAGE_SHIFT)
+                    frontier.append((child, level + 1))
+        return pfns
+
+    def mapped_pages(self, root_pa: int) -> List[Tuple[int, int, int]]:
+        """Every (va_page, pa_page, flags) mapping under a root, sorted."""
+        out: List[Tuple[int, int, int]] = []
+        self._collect(root_pa, 0, 0, out)
+        out.sort()
+        return out
+
+    def _collect(self, table_pa: int, level: int, va_prefix: int,
+                 out: List[Tuple[int, int, int]]) -> None:
+        span = LEVEL_BITS * (LEVELS - 1 - level) + PAGE_SHIFT
+        for idx in range(ENTRIES_PER_TABLE):
+            entry = self.mem.read_u64(table_pa + idx * ENTRY_SIZE)
+            kind = entry & ENTRY_TYPE_MASK
+            if kind == ENTRY_INVALID:
+                continue
+            va = va_prefix | (idx << span)
+            if level < LEVELS - 1 and kind == ENTRY_TABLE:
+                self._collect(entry_address(entry), level + 1, va, out)
+            elif level == LEVELS - 1 and kind == ENTRY_ATE:
+                out.append((va, entry_address(entry),
+                            ate_flags(entry, self.pte_format)))
+
+
+class GpuMmu:
+    """The GPU-side MMU with a TLB, driven by the AS registers.
+
+    The TLB makes the driver's UPDATE/FLUSH protocol observable: mapping
+    changes are invisible to the GPU until the driver issues an AS command,
+    just like real hardware.
+    """
+
+    def __init__(self, mem: PhysicalMemory, pte_format: int) -> None:
+        self.mem = mem
+        self.pte_format = pte_format
+        self.walker = PageTableWalker(mem, pte_format)
+        self.transtab: int = 0
+        self.enabled: bool = False
+        self._tlb: Dict[int, Tuple[int, int]] = {}
+        self.fault_status: int = 0
+        self.fault_address: int = 0
+        self.tlb_flushes: int = 0
+
+    def configure(self, transtab: int, enabled: bool = True) -> None:
+        self.transtab = transtab & ADDR_MASK
+        self.enabled = enabled
+        self.flush_tlb()
+
+    def flush_tlb(self) -> None:
+        self._tlb.clear()
+        self.tlb_flushes += 1
+
+    def translate(self, va: int, access: str = "r") -> int:
+        """Translate a GPU VA, enforcing permissions. ``access`` in r/w/x."""
+        if not self.enabled:
+            raise GpuPageFault(va, access, "MMU disabled")
+        va_page = va >> PAGE_SHIFT
+        cached = self._tlb.get(va_page)
+        if cached is None:
+            result = self.walker.walk(self.transtab, va)
+            if result is None:
+                self._fault(va, access, "unmapped address")
+            cached = (result.pa >> PAGE_SHIFT, result.flags)
+            self._tlb[va_page] = cached
+        pa_page, flags = cached
+        needed = {"r": PteFlags.READ, "w": PteFlags.WRITE,
+                  "x": PteFlags.EXECUTE}[access]
+        if not flags & needed:
+            self._fault(va, access, f"permission denied (flags={flags:#x})")
+        return (pa_page << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
+
+    def translate_contiguous(self, va: int, nbytes: int, access: str = "r") -> int:
+        """Translate a range that must be physically contiguous.
+
+        GPU buffers in this model are allocated contiguously (CMA-style), so
+        the shader executor can take single numpy views.  A non-contiguous
+        mapping is a programming error surfaced loudly.
+        """
+        if nbytes <= 0:
+            raise ValueError("range must be non-empty")
+        base_pa = self.translate(va, access)
+        offset = PAGE_SIZE - (va & (PAGE_SIZE - 1))
+        while offset < nbytes:
+            next_pa = self.translate(va + offset, access)
+            if next_pa != base_pa + offset:
+                raise GpuPageFault(va + offset, access,
+                                   "range is not physically contiguous")
+            offset += PAGE_SIZE
+        return base_pa
+
+    def _fault(self, va: int, access: str, reason: str) -> None:
+        self.fault_status = 0xC1 if access == "w" else 0xC0
+        self.fault_address = va
+        raise GpuPageFault(va, access, reason)

@@ -1,0 +1,273 @@
+"""MMIO register map of the modelled Mali-style GPU.
+
+Offsets and semantics follow the public Mali Midgard/Bifrost kbase layout:
+a GPU-control block at 0x0000, a job-control block at 0x1000 and an
+MMU/address-space block at 0x2000.  The driver (:mod:`repro.driver`) and the
+GPU model (:mod:`repro.hw.gpu`) share these definitions; GR-T's shims treat
+offsets as opaque, exactly as the paper's instrumentation does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# ---------------------------------------------------------------------------
+# GPU control block
+# ---------------------------------------------------------------------------
+GPU_ID = 0x000
+L2_FEATURES = 0x004
+CORE_FEATURES = 0x008
+TILER_FEATURES = 0x00C
+MEM_FEATURES = 0x010
+MMU_FEATURES = 0x014
+AS_PRESENT = 0x018
+JS_PRESENT = 0x01C
+
+GPU_IRQ_RAWSTAT = 0x020
+GPU_IRQ_CLEAR = 0x024
+GPU_IRQ_MASK = 0x028
+GPU_IRQ_STATUS = 0x02C
+
+GPU_COMMAND = 0x030
+GPU_STATUS = 0x034
+LATEST_FLUSH = 0x038
+
+GPU_FAULTSTATUS = 0x03C
+GPU_FAULTADDRESS_LO = 0x040
+GPU_FAULTADDRESS_HI = 0x044
+
+PWR_KEY = 0x050
+PWR_OVERRIDE0 = 0x054
+PWR_OVERRIDE1 = 0x058
+
+THREAD_MAX_THREADS = 0x0A0
+THREAD_MAX_WORKGROUP_SIZE = 0x0A4
+THREAD_MAX_BARRIER_SIZE = 0x0A8
+THREAD_FEATURES = 0x0AC
+
+TEXTURE_FEATURES_0 = 0x0B0
+TEXTURE_FEATURES_1 = 0x0B4
+TEXTURE_FEATURES_2 = 0x0B8
+
+JS0_FEATURES = 0x0C0  # JSn_FEATURES = JS0_FEATURES + n*4, up to 16 slots
+
+SHADER_PRESENT_LO = 0x100
+SHADER_PRESENT_HI = 0x104
+TILER_PRESENT_LO = 0x110
+TILER_PRESENT_HI = 0x114
+L2_PRESENT_LO = 0x120
+L2_PRESENT_HI = 0x124
+STACK_PRESENT_LO = 0x130
+STACK_PRESENT_HI = 0x134
+
+SHADER_READY_LO = 0x140
+SHADER_READY_HI = 0x144
+TILER_READY_LO = 0x150
+TILER_READY_HI = 0x154
+L2_READY_LO = 0x160
+L2_READY_HI = 0x164
+
+SHADER_PWRON_LO = 0x180
+SHADER_PWRON_HI = 0x184
+TILER_PWRON_LO = 0x190
+TILER_PWRON_HI = 0x194
+L2_PWRON_LO = 0x1A0
+L2_PWRON_HI = 0x1A4
+
+SHADER_PWROFF_LO = 0x1C0
+SHADER_PWROFF_HI = 0x1C4
+TILER_PWROFF_LO = 0x1D0
+TILER_PWROFF_HI = 0x1D4
+L2_PWROFF_LO = 0x1E0
+L2_PWROFF_HI = 0x1E4
+
+SHADER_PWRTRANS_LO = 0x200
+SHADER_PWRTRANS_HI = 0x204
+TILER_PWRTRANS_LO = 0x210
+TILER_PWRTRANS_HI = 0x214
+L2_PWRTRANS_LO = 0x220
+L2_PWRTRANS_HI = 0x224
+
+SHADER_CONFIG = 0xF04
+TILER_CONFIG = 0xF08
+L2_MMU_CONFIG = 0xF0C
+
+# ---------------------------------------------------------------------------
+# Job control block
+# ---------------------------------------------------------------------------
+JOB_IRQ_RAWSTAT = 0x1000
+JOB_IRQ_CLEAR = 0x1004
+JOB_IRQ_MASK = 0x1008
+JOB_IRQ_STATUS = 0x100C
+JOB_IRQ_JS_STATE = 0x1010
+JOB_IRQ_THROTTLE = 0x1014
+
+JOB_SLOT_BASE = 0x1800
+JOB_SLOT_STRIDE = 0x80
+NUM_JOB_SLOTS = 3
+
+JS_HEAD_LO = 0x00
+JS_HEAD_HI = 0x04
+JS_TAIL_LO = 0x08
+JS_TAIL_HI = 0x0C
+JS_AFFINITY_LO = 0x10
+JS_AFFINITY_HI = 0x14
+JS_CONFIG = 0x18
+JS_XAFFINITY = 0x1C
+JS_COMMAND = 0x20
+JS_STATUS = 0x24
+JS_HEAD_NEXT_LO = 0x40
+JS_HEAD_NEXT_HI = 0x44
+JS_AFFINITY_NEXT_LO = 0x50
+JS_AFFINITY_NEXT_HI = 0x54
+JS_CONFIG_NEXT = 0x58
+JS_COMMAND_NEXT = 0x60
+JS_FLUSH_ID_NEXT = 0x70
+
+
+def js_reg(slot: int, offset: int) -> int:
+    """Absolute MMIO offset of a per-job-slot register."""
+    if not 0 <= slot < NUM_JOB_SLOTS:
+        raise ValueError(f"job slot out of range: {slot}")
+    return JOB_SLOT_BASE + slot * JOB_SLOT_STRIDE + offset
+
+
+# ---------------------------------------------------------------------------
+# MMU / address space block
+# ---------------------------------------------------------------------------
+MMU_IRQ_RAWSTAT = 0x2000
+MMU_IRQ_CLEAR = 0x2004
+MMU_IRQ_MASK = 0x2008
+MMU_IRQ_STATUS = 0x200C
+
+AS_BASE = 0x2400
+AS_STRIDE = 0x40
+NUM_ADDRESS_SPACES = 8
+
+AS_TRANSTAB_LO = 0x00
+AS_TRANSTAB_HI = 0x04
+AS_MEMATTR_LO = 0x08
+AS_MEMATTR_HI = 0x0C
+AS_LOCKADDR_LO = 0x10
+AS_LOCKADDR_HI = 0x14
+AS_COMMAND = 0x18
+AS_FAULTSTATUS = 0x1C
+AS_FAULTADDRESS_LO = 0x20
+AS_FAULTADDRESS_HI = 0x24
+AS_STATUS = 0x28
+AS_TRANSCFG_LO = 0x30
+AS_TRANSCFG_HI = 0x34
+
+
+def as_reg(as_nr: int, offset: int) -> int:
+    """Absolute MMIO offset of a per-address-space register."""
+    if not 0 <= as_nr < NUM_ADDRESS_SPACES:
+        raise ValueError(f"address space out of range: {as_nr}")
+    return AS_BASE + as_nr * AS_STRIDE + offset
+
+
+# ---------------------------------------------------------------------------
+# Command encodings
+# ---------------------------------------------------------------------------
+class GpuCommand:
+    NOP = 0x00
+    SOFT_RESET = 0x01
+    HARD_RESET = 0x02
+    PRFCNT_CLEAR = 0x03
+    PRFCNT_SAMPLE = 0x04
+    CYCLE_COUNT_START = 0x05
+    CYCLE_COUNT_STOP = 0x06
+    CLEAN_CACHES = 0x07
+    CLEAN_INV_CACHES = 0x08
+
+
+class AsCommand:
+    NOP = 0x00
+    UPDATE = 0x01
+    LOCK = 0x02
+    UNLOCK = 0x03
+    FLUSH_PT = 0x04
+    FLUSH_MEM = 0x05
+
+
+class JsCommand:
+    NOP = 0x00
+    START = 0x01
+    SOFT_STOP = 0x02
+    HARD_STOP = 0x03
+
+
+class JsStatus:
+    """JS_STATUS completion codes (subset of the Mali encodings)."""
+
+    IDLE = 0x00
+    ACTIVE = 0x08
+    DONE = 0x01
+    JOB_CONFIG_FAULT = 0x40
+    JOB_READ_FAULT = 0x42
+    JOB_WRITE_FAULT = 0x43
+
+
+# ---------------------------------------------------------------------------
+# IRQ bit definitions
+# ---------------------------------------------------------------------------
+class GpuIrq:
+    FAULT = 1 << 0
+    MULTIPLE_FAULT = 1 << 7
+    RESET_COMPLETED = 1 << 8
+    POWER_CHANGED_SINGLE = 1 << 9
+    POWER_CHANGED_ALL = 1 << 10
+    PRFCNT_SAMPLE_COMPLETED = 1 << 16
+    CLEAN_CACHES_COMPLETED = 1 << 17
+
+
+class AsStatusBits:
+    ACTIVE = 1 << 0
+
+
+class GpuStatusBits:
+    GPU_ACTIVE = 1 << 0
+    POWER_TRANS = 1 << 1
+    PRFCNT_ACTIVE = 1 << 2
+
+
+# PWR_KEY magic that unlocks PWR_OVERRIDE writes (real Mali quirk).
+PWR_KEY_MAGIC = 0x2968A819
+
+REGISTER_NAMES: Dict[int, str] = {}
+
+
+def _build_names() -> None:
+    module_globals = globals()
+    for name, value in list(module_globals.items()):
+        if name.isupper() and isinstance(value, int) and not name.endswith("_STRIDE"):
+            REGISTER_NAMES.setdefault(value, name)
+    for slot in range(NUM_JOB_SLOTS):
+        for off, nm in (
+            (JS_HEAD_LO, "HEAD_LO"), (JS_HEAD_HI, "HEAD_HI"),
+            (JS_TAIL_LO, "TAIL_LO"), (JS_TAIL_HI, "TAIL_HI"),
+            (JS_AFFINITY_LO, "AFFINITY_LO"), (JS_AFFINITY_HI, "AFFINITY_HI"),
+            (JS_CONFIG, "CONFIG"), (JS_COMMAND, "COMMAND"),
+            (JS_STATUS, "STATUS"), (JS_HEAD_NEXT_LO, "HEAD_NEXT_LO"),
+            (JS_HEAD_NEXT_HI, "HEAD_NEXT_HI"), (JS_CONFIG_NEXT, "CONFIG_NEXT"),
+            (JS_COMMAND_NEXT, "COMMAND_NEXT"), (JS_FLUSH_ID_NEXT, "FLUSH_ID_NEXT"),
+        ):
+            REGISTER_NAMES[js_reg(slot, off)] = f"JS{slot}_{nm}"
+    for as_nr in range(NUM_ADDRESS_SPACES):
+        for off, nm in (
+            (AS_TRANSTAB_LO, "TRANSTAB_LO"), (AS_TRANSTAB_HI, "TRANSTAB_HI"),
+            (AS_MEMATTR_LO, "MEMATTR_LO"), (AS_MEMATTR_HI, "MEMATTR_HI"),
+            (AS_LOCKADDR_LO, "LOCKADDR_LO"), (AS_LOCKADDR_HI, "LOCKADDR_HI"),
+            (AS_COMMAND, "COMMAND"), (AS_FAULTSTATUS, "FAULTSTATUS"),
+            (AS_STATUS, "STATUS"), (AS_TRANSCFG_LO, "TRANSCFG_LO"),
+            (AS_TRANSCFG_HI, "TRANSCFG_HI"),
+        ):
+            REGISTER_NAMES[as_reg(as_nr, off)] = f"AS{as_nr}_{nm}"
+
+
+_build_names()
+
+
+def reg_name(offset: int) -> str:
+    """Human-readable name for an MMIO offset (for logs and debugging)."""
+    return REGISTER_NAMES.get(offset, f"REG_{offset:#06x}")

@@ -1,0 +1,452 @@
+"""The GPU "shader ISA" and its executor.
+
+The runtime's JIT compiler (:mod:`repro.runtime.compiler`) lowers NN
+operators to :class:`ShaderBinary` blobs placed in GPU-executable memory.
+A GPU job names one shader plus the buffers it operates on through a
+:class:`JobDescriptor` in shared memory; the GPU fetches everything through
+its MMU (with permission checks — shaders must be mapped executable, which
+is also the signal meta-only sync keys on, §5).
+
+Shaders perform *real* math with numpy.  This is what lets the test suite
+prove the paper's input-independence claim (§2.3) end to end: a recording
+made while the cloud dry-runs on zero-filled data, replayed inside the TEE
+with real input, must produce numerically correct inference results.
+
+SKU specificity: the compiler bakes the target ``gpu_id`` and a core-count
+derived tile size into every binary, and the executor refuses binaries
+built for a different GPU — reproducing the paper's observation that even
+subtle SKU differences break replay (§2.4).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.mmu import GpuMmu
+
+SHADER_MAGIC = b"RSH1"
+JOB_MAGIC = 0x4A4F4244  # "JOBD"
+
+# Buffer roles in a job descriptor.
+ROLE_INPUT = 0
+ROLE_WEIGHT = 1
+ROLE_BIAS = 2
+ROLE_OUTPUT = 3
+ROLE_SCRATCH = 4
+
+ROLE_NAMES = {
+    ROLE_INPUT: "input",
+    ROLE_WEIGHT: "weight",
+    ROLE_BIAS: "bias",
+    ROLE_OUTPUT: "output",
+    ROLE_SCRATCH: "scratch",
+}
+
+# Fraction of peak FLOPS a mobile GPU sustains on NN inference, plus the
+# fixed per-job cost (submission, descriptor fetch, pipeline drain).
+COMPUTE_EFFICIENCY = 0.35
+JOB_FIXED_OVERHEAD_S = 35e-6
+
+
+class ShaderFormatError(ValueError):
+    """A blob in executable memory is not a valid shader."""
+
+
+class SkuMismatchError(RuntimeError):
+    """A shader compiled for one GPU SKU ran on a different one (§2.4)."""
+
+
+@dataclass(frozen=True)
+class ShaderBinary:
+    """A compiled NN operator.
+
+    ``op`` selects the executor routine; ``params`` carries shapes and
+    hyper-parameters; ``target_gpu_id``/``tile_size`` are the SKU-specific
+    outputs of the JIT compiler.
+    """
+
+    op: str
+    params: Dict
+    target_gpu_id: int
+    core_count: int
+    tile_size: int
+
+    def serialize(self) -> bytes:
+        payload = json.dumps(
+            {
+                "op": self.op,
+                "params": self.params,
+                "target_gpu_id": self.target_gpu_id,
+                "core_count": self.core_count,
+                "tile_size": self.tile_size,
+            },
+            sort_keys=True,
+        ).encode()
+        return SHADER_MAGIC + struct.pack("<I", len(payload)) + payload
+
+    @staticmethod
+    def deserialize(blob: bytes) -> "ShaderBinary":
+        if blob[:4] != SHADER_MAGIC:
+            raise ShaderFormatError("bad shader magic")
+        (length,) = struct.unpack_from("<I", blob, 4)
+        if 8 + length > len(blob):
+            raise ShaderFormatError("truncated shader binary")
+        doc = json.loads(blob[8:8 + length].decode())
+        return ShaderBinary(
+            op=doc["op"],
+            params=doc["params"],
+            target_gpu_id=doc["target_gpu_id"],
+            core_count=doc["core_count"],
+            tile_size=doc["tile_size"],
+        )
+
+    def flops(self) -> float:
+        """Estimated floating point operations for the duration model.
+
+        When the compiler supplies ``model_flops`` (the operator's cost at
+        the paper's reference input resolution), it takes precedence over
+        the executed-shape estimate; see DESIGN.md on spatial downscaling.
+        """
+        p = self.params
+        if "model_flops" in p:
+            return float(p["model_flops"])
+        if self.op == "conv2d":
+            out_c, out_h, out_w = p["out_shape"]
+            in_c = p["in_shape"][0]
+            kh, kw = p["kernel"]
+            return 2.0 * out_c * out_h * out_w * in_c * kh * kw
+        if self.op == "dwconv2d":
+            out_c, out_h, out_w = p["out_shape"]
+            kh, kw = p["kernel"]
+            return 2.0 * out_c * out_h * out_w * kh * kw
+        if self.op == "dense":
+            return 2.0 * p["in_features"] * p["out_features"]
+        if self.op in ("maxpool", "avgpool"):
+            c, h, w = p["out_shape"]
+            kh, kw = p["kernel"]
+            return float(c * h * w * kh * kw)
+        if self.op == "globalpool":
+            c, h, w = p["in_shape"]
+            return float(c * h * w)
+        if self.op in ("relu", "add", "softmax", "lrn", "concat", "batchnorm",
+                       "copy", "tanh", "sigmoid", "mul"):
+            return 4.0 * float(np.prod(p.get("shape", p.get("in_shape", [1]))))
+        raise ShaderFormatError(f"unknown shader op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class JobBuffer:
+    va: int
+    length: int
+    role: int
+
+
+@dataclass(frozen=True)
+class JobDescriptor:
+    """The in-memory GPU job descriptor the driver points JS_HEAD at."""
+
+    shader_va: int
+    shader_len: int
+    buffers: Tuple[JobBuffer, ...]
+    flags: int = 0
+
+    HEADER = struct.Struct("<IIQII")
+    BUFFER = struct.Struct("<QQII")
+
+    def serialize(self) -> bytes:
+        out = [self.HEADER.pack(JOB_MAGIC, self.flags, self.shader_va,
+                                self.shader_len, len(self.buffers))]
+        for buf in self.buffers:
+            out.append(self.BUFFER.pack(buf.va, buf.length, buf.role, 0))
+        return b"".join(out)
+
+    @property
+    def size(self) -> int:
+        return self.HEADER.size + self.BUFFER.size * len(self.buffers)
+
+    @staticmethod
+    def deserialize(blob: bytes) -> "JobDescriptor":
+        magic, flags, shader_va, shader_len, nbuf = JobDescriptor.HEADER.unpack_from(blob, 0)
+        if magic != JOB_MAGIC:
+            raise ShaderFormatError("bad job descriptor magic")
+        buffers = []
+        offset = JobDescriptor.HEADER.size
+        for _ in range(nbuf):
+            va, length, role, _pad = JobDescriptor.BUFFER.unpack_from(blob, offset)
+            buffers.append(JobBuffer(va=va, length=length, role=role))
+            offset += JobDescriptor.BUFFER.size
+        return JobDescriptor(shader_va=shader_va, shader_len=shader_len,
+                             buffers=tuple(buffers), flags=flags)
+
+    def buffers_with_role(self, role: int) -> List[JobBuffer]:
+        return [b for b in self.buffers if b.role == role]
+
+
+@dataclass
+class JobResult:
+    status: int
+    duration_s: float
+    flops: float
+    output_ranges: List[Tuple[int, int]] = field(default_factory=list)  # (pa, len)
+
+
+class ShaderExecutor:
+    """Fetches, validates and executes GPU jobs through the MMU."""
+
+    def __init__(self, mem: PhysicalMemory, mmu: GpuMmu, gpu_id: int,
+                 gflops: float) -> None:
+        self.mem = mem
+        self.mmu = mmu
+        self.gpu_id = gpu_id
+        self.gflops = gflops
+        self.jobs_executed = 0
+
+    # ------------------------------------------------------------------
+    def run_job(self, descriptor_va: int) -> JobResult:
+        desc = self._fetch_descriptor(descriptor_va)
+        shader = self._fetch_shader(desc)
+        if shader.target_gpu_id != self.gpu_id:
+            raise SkuMismatchError(
+                f"shader targets gpu_id {shader.target_gpu_id:#x}, "
+                f"running on {self.gpu_id:#x}"
+            )
+        arrays = self._load_buffers(desc, shader)
+        output = self._compute(shader, arrays)
+        out_ranges = self._store_output(desc, output)
+        self.jobs_executed += 1
+        duration = JOB_FIXED_OVERHEAD_S + shader.flops() / (
+            self.gflops * 1e9 * COMPUTE_EFFICIENCY
+        )
+        return JobResult(status=0, duration_s=duration,
+                         flops=shader.flops(), output_ranges=out_ranges)
+
+    # ------------------------------------------------------------------
+    def _fetch_descriptor(self, va: int) -> JobDescriptor:
+        header_pa = self.mmu.translate_contiguous(va, JobDescriptor.HEADER.size, "r")
+        header = self.mem.read(header_pa, JobDescriptor.HEADER.size)
+        _, _, _, _, nbuf = JobDescriptor.HEADER.unpack(header)
+        total = JobDescriptor.HEADER.size + nbuf * JobDescriptor.BUFFER.size
+        pa = self.mmu.translate_contiguous(va, total, "r")
+        return JobDescriptor.deserialize(self.mem.read(pa, total))
+
+    def _fetch_shader(self, desc: JobDescriptor) -> ShaderBinary:
+        # The execute permission check here is load-bearing: it is what
+        # makes "metastate pages are mapped executable" true in this model.
+        pa = self.mmu.translate_contiguous(desc.shader_va, desc.shader_len, "x")
+        return ShaderBinary.deserialize(self.mem.read(pa, desc.shader_len))
+
+    def _load_buffers(self, desc: JobDescriptor,
+                      shader: ShaderBinary) -> Dict[str, List[np.ndarray]]:
+        arrays: Dict[str, List[np.ndarray]] = {
+            "input": [], "weight": [], "bias": [], "output": [], "scratch": []
+        }
+        for buf in desc.buffers:
+            role = ROLE_NAMES[buf.role]
+            access = "w" if buf.role == ROLE_OUTPUT else "r"
+            pa = self.mmu.translate_contiguous(buf.va, buf.length, access)
+            count = buf.length // 4
+            arrays[role].append(self.mem.view(pa, (count,), np.float32))
+        return arrays
+
+    def _store_output(self, desc: JobDescriptor,
+                      outputs: List[np.ndarray]) -> List[Tuple[int, int]]:
+        out_bufs = desc.buffers_with_role(ROLE_OUTPUT)
+        if len(out_bufs) != len(outputs):
+            raise ShaderFormatError(
+                f"shader produced {len(outputs)} outputs, descriptor has "
+                f"{len(out_bufs)} output buffers"
+            )
+        ranges = []
+        for buf, data in zip(out_bufs, outputs):
+            flat = np.ascontiguousarray(data, dtype=np.float32).reshape(-1)
+            if flat.nbytes > buf.length:
+                raise ShaderFormatError("output overflows its buffer")
+            pa = self.mmu.translate_contiguous(buf.va, buf.length, "w")
+            self.mem.view(pa, (flat.size,), np.float32)[:] = flat
+            self.mem.mark_dirty_range(pa, flat.nbytes)
+            ranges.append((pa, flat.nbytes))
+        return ranges
+
+    # ------------------------------------------------------------------
+    # Operator implementations (N=1, CHW layout).
+    # ------------------------------------------------------------------
+    def _compute(self, shader: ShaderBinary,
+                 arrays: Dict[str, List[np.ndarray]]) -> List[np.ndarray]:
+        op = shader.op
+        p = shader.params
+        ins = arrays["input"]
+        if op == "conv2d":
+            return [_conv2d(_shaped(ins[0], p["in_shape"]),
+                            _shaped(arrays["weight"][0], p["w_shape"]),
+                            arrays["bias"][0] if arrays["bias"] else None,
+                            p)]
+        if op == "dwconv2d":
+            return [_dwconv2d(_shaped(ins[0], p["in_shape"]),
+                              _shaped(arrays["weight"][0], p["w_shape"]),
+                              arrays["bias"][0] if arrays["bias"] else None,
+                              p)]
+        if op == "dense":
+            x = ins[0][: p["in_features"]]
+            w = _shaped(arrays["weight"][0],
+                        (p["out_features"], p["in_features"]))
+            y = w @ x
+            if arrays["bias"]:
+                y = y + arrays["bias"][0][: p["out_features"]]
+            if p.get("activation") == "relu":
+                y = np.maximum(y, 0.0)
+            return [y]
+        if op == "maxpool":
+            return [_pool(_shaped(ins[0], p["in_shape"]), p, np.max)]
+        if op == "avgpool":
+            return [_pool(_shaped(ins[0], p["in_shape"]), p, np.mean)]
+        if op == "globalpool":
+            x = _shaped(ins[0], p["in_shape"])
+            return [x.reshape(x.shape[0], -1).mean(axis=1)]
+        if op == "relu":
+            return [np.maximum(_count(ins[0], p), 0.0)]
+        if op == "tanh":
+            return [np.tanh(_count(ins[0], p))]
+        if op == "sigmoid":
+            x = _count(ins[0], p)
+            return [1.0 / (1.0 + np.exp(-x))]
+        if op == "mul":
+            return [_count(ins[0], p) * _count(ins[1], p)]
+        if op == "copy":
+            # Staging/reshape kernels (im2col-style data movement).
+            return [_count(ins[0], p).copy()]
+        if op == "add":
+            y = _count(ins[0], p) + _count(ins[1], p)
+            if p.get("activation") == "relu":
+                y = np.maximum(y, 0.0)
+        elif op == "softmax":
+            x = _count(ins[0], p)
+            e = np.exp(x - x.max())
+            y = e / e.sum()
+        elif op == "lrn":
+            y = _lrn(_shaped(ins[0], p["in_shape"]), p)
+        elif op == "concat":
+            y = np.concatenate([_shaped(a, s) for a, s in
+                                zip(ins, p["in_shapes"])], axis=0).reshape(-1)
+        elif op == "batchnorm":
+            x = _shaped(ins[0], p["in_shape"])
+            gamma, beta = arrays["weight"][0], arrays["bias"][0]
+            c = x.shape[0]
+            y = x * gamma[:c, None, None] + beta[:c, None, None]
+            if p.get("activation") == "relu":
+                y = np.maximum(y, 0.0)
+        else:
+            raise ShaderFormatError(f"unknown shader op {op!r}")
+        return [y]
+
+
+# ---------------------------------------------------------------------------
+# numpy kernels
+# ---------------------------------------------------------------------------
+def _shaped(flat: np.ndarray, shape) -> np.ndarray:
+    """View the first prod(shape) elements of a (possibly larger,
+    page-aligned) buffer as ``shape`` — the hardware reads what it needs."""
+    count = int(np.prod(shape))
+    if flat.size < count:
+        raise ShaderFormatError(
+            f"buffer holds {flat.size} elements, shader needs {count}")
+    return flat[:count].reshape(shape)
+
+
+def _count(flat: np.ndarray, params: Dict) -> np.ndarray:
+    """First N elements per the shader's ``shape`` parameter."""
+    return _shaped(flat, params["shape"]).reshape(-1)
+
+
+def _conv2d(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray],
+            p: Dict) -> np.ndarray:
+    stride = p.get("stride", 1)
+    pad = p.get("pad", 0)
+    out_c, in_c, kh, kw = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    _, h, wd = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (wd - kw) // stride + 1
+    # im2col via stride tricks, then one big matmul.
+    s0, s1, s2 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(in_c, oh, ow, kh, kw),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    cols = windows.transpose(1, 2, 0, 3, 4).reshape(oh * ow, in_c * kh * kw)
+    y = cols @ w.reshape(out_c, -1).T
+    y = y.T.reshape(out_c, oh, ow)
+    if bias is not None:
+        y = y + bias[:out_c, None, None]
+    if p.get("activation") == "relu":
+        y = np.maximum(y, 0.0)
+    return y
+
+
+def _dwconv2d(x: np.ndarray, w: np.ndarray, bias: Optional[np.ndarray],
+              p: Dict) -> np.ndarray:
+    stride = p.get("stride", 1)
+    pad = p.get("pad", 0)
+    c, kh, kw = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    _, h, wd = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (wd - kw) // stride + 1
+    s0, s1, s2 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, kh, kw),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    y = np.einsum("cohkl,ckl->coh", windows, w)
+    if bias is not None:
+        y = y + bias[:c, None, None]
+    if p.get("activation") == "relu":
+        y = np.maximum(y, 0.0)
+    return y
+
+
+def _pool(x: np.ndarray, p: Dict, reduce_fn) -> np.ndarray:
+    kh, kw = p["kernel"]
+    stride = p.get("stride", kh)
+    pad = p.get("pad", 0)
+    if pad:
+        fill = -np.inf if reduce_fn is np.max else 0.0
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad)),
+                   constant_values=fill)
+    c, h, w = x.shape
+    oh = (h - kh) // stride + 1
+    ow = (w - kw) // stride + 1
+    s0, s1, s2 = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, kh, kw),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+    return reduce_fn(windows, axis=(3, 4))
+
+
+def _lrn(x: np.ndarray, p: Dict) -> np.ndarray:
+    size = p.get("size", 5)
+    alpha = p.get("alpha", 1e-4)
+    beta = p.get("beta", 0.75)
+    k = p.get("k", 2.0)
+    c = x.shape[0]
+    sq = x * x
+    denom = np.empty_like(x)
+    half = size // 2
+    for i in range(c):
+        lo, hi = max(0, i - half), min(c, i + half + 1)
+        denom[i] = sq[lo:hi].sum(axis=0)
+    return x / np.power(k + alpha * denom, beta)

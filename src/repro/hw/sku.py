@@ -1,0 +1,204 @@
+"""Mobile GPU SKU database.
+
+Two purposes:
+
+1. Reproduce Figure 3 (numbers of new mobile GPU SKUs per year, showing
+   the diversity that makes per-SKU recording on developer machines
+   impractical).  The entries below follow the public release history of
+   the Adreno, Mali, and PowerVR families (the three families the paper's
+   Figure 3 plots from gadgetversus/techcenturion data).
+
+2. Parameterize the hardware model.  Recordings are SKU-specific (§2.4):
+   the shader core count steers the JIT compiler's tiling, and the page
+   table format and register quirks differ between SKUs.  Each
+   :class:`GpuSku` carries exactly those parameters, so a recording made
+   for one SKU demonstrably fails to replay on another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GpuSku:
+    """One GPU hardware model (a "SKU" in the paper's terms)."""
+
+    name: str
+    family: str  # "mali-bifrost", "mali-midgard", "adreno", "powervr"
+    year: int
+    gpu_id: int  # value of the GPU_ID register (product | revision)
+    core_count: int
+    l2_slices: int
+    clock_mhz: int
+    gflops: float  # peak FP32 throughput, drives the job duration model
+    va_bits: int = 39
+    pte_format: int = 1  # page table entry layout revision
+    quirks: Tuple[str, ...] = ()
+
+    @property
+    def shader_present_mask(self) -> int:
+        return (1 << self.core_count) - 1
+
+    @property
+    def l2_present_mask(self) -> int:
+        return (1 << self.l2_slices) - 1
+
+    @property
+    def tiler_present_mask(self) -> int:
+        return 0x1
+
+    def fingerprint(self) -> Tuple:
+        """Everything a recording implicitly depends on.
+
+        Used by the replayer to verify recording/SKU compatibility; any
+        difference in these fields can break replay (§2.4).
+        """
+        return (
+            self.gpu_id,
+            self.core_count,
+            self.l2_slices,
+            self.va_bits,
+            self.pte_format,
+            self.quirks,
+        )
+
+
+def _mali(name: str, year: int, product: int, cores: int, l2: int, mhz: int,
+          gflops: float, family: str = "mali-bifrost",
+          quirks: Tuple[str, ...] = (), pte_format: int = 1) -> GpuSku:
+    gpu_id = (product << 16) | 0x0010  # product id in [31:16], r0p1
+    return GpuSku(name=name, family=family, year=year, gpu_id=gpu_id,
+                  core_count=cores, l2_slices=l2, clock_mhz=mhz,
+                  gflops=gflops, quirks=quirks, pte_format=pte_format)
+
+
+def _other(name: str, family: str, year: int, ident: int, cores: int,
+           mhz: int, gflops: float) -> GpuSku:
+    return GpuSku(name=name, family=family, year=year, gpu_id=ident,
+                  core_count=cores, l2_slices=1, clock_mhz=mhz,
+                  gflops=gflops, pte_format=2)
+
+
+# ---------------------------------------------------------------------------
+# Fully-parameterized SKUs used by the experiments.  HIKEY960_G71 matches the
+# paper's client platform (Mali G71 MP8 on Hikey960).
+# ---------------------------------------------------------------------------
+HIKEY960_G71 = _mali("Mali-G71 MP8", 2016, 0x6000, 8, 2, 1037, 265.0,
+                     quirks=("mmu_snoop_disparity", "tiler_early_z"))
+
+SKU_DATABASE: List[GpuSku] = [
+    # --- Mali Midgard era -------------------------------------------------
+    _mali("Mali-T604 MP4", 2012, 0x0604, 4, 1, 533, 68.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T628 MP4", 2013, 0x0628, 4, 1, 600, 77.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T628 MP6", 2013, 0x0628, 6, 1, 600, 115.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T720 MP2", 2014, 0x0720, 2, 1, 600, 41.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T760 MP4", 2014, 0x0760, 4, 1, 700, 95.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T760 MP8", 2014, 0x0760, 8, 2, 772, 210.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T820 MP2", 2015, 0x0820, 2, 1, 600, 41.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T830 MP2", 2015, 0x0830, 2, 1, 600, 47.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T860 MP4", 2015, 0x0860, 4, 1, 650, 96.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T880 MP4", 2015, 0x0880, 4, 1, 900, 125.0, family="mali-midgard", pte_format=0),
+    _mali("Mali-T880 MP12", 2016, 0x0880, 12, 2, 850, 374.0, family="mali-midgard", pte_format=0),
+    # --- Mali Bifrost era -------------------------------------------------
+    HIKEY960_G71,
+    _mali("Mali-G71 MP20", 2016, 0x6000, 20, 4, 850, 544.0,
+          quirks=("mmu_snoop_disparity", "tiler_early_z")),
+    _mali("Mali-G51 MP4", 2017, 0x7000, 4, 1, 650, 83.0),
+    _mali("Mali-G72 MP12", 2017, 0x6001, 12, 2, 850, 326.0, quirks=("tiler_early_z",)),
+    _mali("Mali-G72 MP18", 2017, 0x6001, 18, 4, 572, 330.0, quirks=("tiler_early_z",)),
+    _mali("Mali-G52 MP2", 2018, 0x7002, 2, 1, 850, 54.0),
+    _mali("Mali-G76 MP10", 2018, 0x7001, 10, 2, 720, 460.0),
+    _mali("Mali-G76 MP12", 2018, 0x7001, 12, 2, 600, 460.0),
+    _mali("Mali-G57 MP4", 2019, 0x9003, 4, 1, 850, 217.0),
+    _mali("Mali-G77 MP9", 2019, 0x9000, 9, 2, 800, 461.0),
+    _mali("Mali-G77 MP11", 2020, 0x9000, 11, 2, 836, 588.0),
+    _mali("Mali-G68 MP4", 2020, 0x9004, 4, 1, 800, 204.0),
+    _mali("Mali-G78 MP14", 2020, 0x9002, 14, 4, 760, 680.0),
+    _mali("Mali-G78 MP24", 2020, 0x9002, 24, 4, 760, 1165.0),
+    _mali("Mali-G310 MP2", 2021, 0xA002, 2, 1, 800, 102.0),
+    _mali("Mali-G510 MP6", 2021, 0xA001, 6, 1, 800, 306.0),
+    _mali("Mali-G610 MP4", 2021, 0xA000, 4, 2, 800, 408.0),
+    _mali("Mali-G710 MP10", 2021, 0xA000, 10, 4, 850, 1023.0),
+    # --- Qualcomm Adreno --------------------------------------------------
+    _other("Adreno 225", "adreno", 2012, 0x225, 8, 400, 25.6),
+    _other("Adreno 305", "adreno", 2012, 0x305, 6, 450, 21.6),
+    _other("Adreno 320", "adreno", 2012, 0x320, 16, 400, 57.6),
+    _other("Adreno 330", "adreno", 2013, 0x330, 32, 450, 129.6),
+    _other("Adreno 302", "adreno", 2013, 0x302, 6, 400, 19.2),
+    _other("Adreno 306", "adreno", 2014, 0x306, 6, 450, 21.6),
+    _other("Adreno 405", "adreno", 2014, 0x405, 12, 550, 59.4),
+    _other("Adreno 420", "adreno", 2014, 0x420, 32, 600, 172.8),
+    _other("Adreno 430", "adreno", 2015, 0x430, 48, 650, 280.8),
+    _other("Adreno 405e", "adreno", 2015, 0x406, 12, 550, 59.4),
+    _other("Adreno 505", "adreno", 2016, 0x505, 12, 450, 48.6),
+    _other("Adreno 506", "adreno", 2016, 0x506, 12, 650, 70.2),
+    _other("Adreno 510", "adreno", 2016, 0x510, 24, 600, 129.6),
+    _other("Adreno 530", "adreno", 2016, 0x530, 64, 653, 407.4),
+    _other("Adreno 508", "adreno", 2017, 0x508, 16, 850, 108.8),
+    _other("Adreno 512", "adreno", 2017, 0x512, 24, 850, 163.2),
+    _other("Adreno 540", "adreno", 2017, 0x540, 64, 710, 567.0),
+    _other("Adreno 509", "adreno", 2018, 0x509, 16, 720, 92.2),
+    _other("Adreno 615", "adreno", 2018, 0x615, 32, 780, 199.7),
+    _other("Adreno 616", "adreno", 2018, 0x616, 32, 750, 192.0),
+    _other("Adreno 630", "adreno", 2018, 0x630, 64, 710, 727.0),
+    _other("Adreno 610", "adreno", 2019, 0x610, 24, 845, 162.2),
+    _other("Adreno 618", "adreno", 2019, 0x618, 32, 825, 316.8),
+    _other("Adreno 640", "adreno", 2019, 0x640, 96, 675, 898.6),
+    _other("Adreno 620", "adreno", 2020, 0x620, 48, 750, 460.8),
+    _other("Adreno 650", "adreno", 2020, 0x650, 128, 670, 1143.0),
+    _other("Adreno 619", "adreno", 2021, 0x619, 32, 950, 364.8),
+    _other("Adreno 660", "adreno", 2021, 0x660, 128, 840, 1720.0),
+    _other("Adreno 642L", "adreno", 2021, 0x642, 64, 550, 563.2),
+    # --- Imagination PowerVR ----------------------------------------------
+    _other("PowerVR SGX544MP3", "powervr", 2012, 0x544, 3, 533, 51.1),
+    _other("PowerVR SGX554MP4", "powervr", 2012, 0x554, 4, 280, 71.6),
+    _other("PowerVR G6200", "powervr", 2013, 0x6200, 2, 600, 153.6),
+    _other("PowerVR G6400", "powervr", 2013, 0x6400, 4, 450, 230.4),
+    _other("PowerVR G6430", "powervr", 2013, 0x6430, 4, 450, 230.4),
+    _other("PowerVR GX6250", "powervr", 2014, 0x6250, 2, 600, 153.6),
+    _other("PowerVR GX6450", "powervr", 2014, 0x6450, 4, 450, 230.4),
+    _other("PowerVR G6110", "powervr", 2015, 0x6110, 1, 600, 76.8),
+    _other("PowerVR GT7600", "powervr", 2015, 0x7600, 6, 450, 345.6),
+    _other("PowerVR GE8100", "powervr", 2016, 0x8100, 1, 570, 36.5),
+    _other("PowerVR GE8300", "powervr", 2016, 0x8300, 2, 800, 102.4),
+    _other("PowerVR GT7600 Plus", "powervr", 2016, 0x7601, 6, 650, 499.2),
+    _other("PowerVR GE8320", "powervr", 2017, 0x8320, 2, 680, 87.0),
+    _other("PowerVR GM9446", "powervr", 2018, 0x9446, 4, 970, 496.6),
+    _other("PowerVR GE8322", "powervr", 2019, 0x8322, 2, 550, 70.4),
+    _other("PowerVR GM9444", "powervr", 2020, 0x9444, 4, 800, 409.6),
+    _other("PowerVR BXM-8-256", "powervr", 2021, 0xB256, 8, 850, 870.4),
+]
+
+
+def find_sku(name: str) -> GpuSku:
+    """Look up a SKU by its exact marketing name."""
+    for sku in SKU_DATABASE:
+        if sku.name == name:
+            return sku
+    raise KeyError(f"unknown GPU SKU: {name!r}")
+
+
+def skus_in_family(family: str) -> List[GpuSku]:
+    return [s for s in SKU_DATABASE if s.family == family]
+
+
+def new_skus_per_year(family: Optional[str] = None) -> Dict[int, int]:
+    """Figure 3's series: how many new SKUs appeared each year."""
+    counts: Dict[int, int] = {}
+    for sku in SKU_DATABASE:
+        if family is not None and sku.family != family:
+            continue
+        counts[sku.year] = counts.get(sku.year, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def driver_supported_skus() -> List[GpuSku]:
+    """SKUs our kbase-like driver can operate.
+
+    A single driver supports a whole family (§3: "a single GPU driver often
+    supports many GPU SKUs of the same family"); our driver implements the
+    Bifrost and Midgard register models.
+    """
+    return [s for s in SKU_DATABASE if s.family.startswith("mali")]

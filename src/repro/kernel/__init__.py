@@ -1,0 +1,32 @@
+"""A deterministic, cooperative model of the kernel environment.
+
+The GPU driver does not run in a vacuum: register access deferral commits
+at kernel-API boundaries, release consistency is anchored on lock/unlock,
+explicit ``udelay`` calls are commit barriers, and speculation must stall
+before any state is externalized (§4.1-4.2).  This package provides that
+environment:
+
+* :class:`~repro.kernel.env.KernelEnv` — the clock-bound kernel with
+  thread contexts, ``printk``, delays, event waits, and an observer hook
+  interface that DriverShim attaches to;
+* :mod:`repro.kernel.locks` — mutexes/spinlocks whose acquire/release
+  notify the hooks (commit-before-unlock);
+* :mod:`repro.kernel.devicetree` — device-tree nodes the cloud VM uses to
+  run a GPU driver with no physical GPU present (§6).
+"""
+
+from repro.kernel.env import KernelEnv, KernelHooks, ThreadContext, WaitTimeout
+from repro.kernel.locks import Mutex, SpinLock, LockError
+from repro.kernel.devicetree import DeviceTreeNode, gpu_device_node
+
+__all__ = [
+    "KernelEnv",
+    "KernelHooks",
+    "ThreadContext",
+    "WaitTimeout",
+    "Mutex",
+    "SpinLock",
+    "LockError",
+    "DeviceTreeNode",
+    "gpu_device_node",
+]

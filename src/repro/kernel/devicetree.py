@@ -1,0 +1,103 @@
+"""Device trees for the cloud recording VMs (§6).
+
+The paper's cloud VM runs the GPU stack "transparently even [if] a
+physical GPU is not present" by installing the client GPU's device tree.
+One VM image carries drivers for many SKUs; the service loads the per-GPU
+device tree when a VM boots, and the matching driver binds to it.
+
+Nodes are plain serializable trees so a client can ship its GPU node to
+the cloud inside the session request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.sku import GpuSku
+
+MALI_MMIO_BASE = 0xE82C_0000
+MALI_IRQ_NUMBERS = {"job": 33, "mmu": 34, "gpu": 35}
+
+FAMILY_COMPATIBLE = {
+    "mali-bifrost": "arm,mali-bifrost",
+    "mali-midgard": "arm,mali-midgard",
+    "adreno": "qcom,adreno",
+    "powervr": "img,powervr",
+}
+
+
+@dataclass
+class DeviceTreeNode:
+    """One device-tree node: name, properties, children."""
+
+    name: str
+    properties: Dict[str, object] = field(default_factory=dict)
+    children: List["DeviceTreeNode"] = field(default_factory=list)
+
+    @property
+    def compatible(self) -> Optional[str]:
+        return self.properties.get("compatible")
+
+    def find(self, name: str) -> Optional["DeviceTreeNode"]:
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_compatible(self, compatible: str) -> Optional["DeviceTreeNode"]:
+        if self.compatible == compatible:
+            return self
+        for child in self.children:
+            found = child.find_compatible(compatible)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "properties": dict(self.properties),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict) -> "DeviceTreeNode":
+        return DeviceTreeNode(
+            name=doc["name"],
+            properties=dict(doc["properties"]),
+            children=[DeviceTreeNode.from_dict(c) for c in doc["children"]],
+        )
+
+
+def gpu_device_node(sku: GpuSku) -> DeviceTreeNode:
+    """The GPU node a client ships to the cloud to describe its hardware."""
+    return DeviceTreeNode(
+        name=f"gpu@{MALI_MMIO_BASE:x}",
+        properties={
+            "compatible": FAMILY_COMPATIBLE[sku.family],
+            "model": sku.name,
+            "reg": [MALI_MMIO_BASE, 0x4000],
+            "interrupts": dict(MALI_IRQ_NUMBERS),
+            "gpu-id": sku.gpu_id,
+            "core-count": sku.core_count,
+            "clock-frequency": sku.clock_mhz * 1_000_000,
+        },
+    )
+
+
+def board_device_tree(sku: GpuSku, board: str = "hikey960") -> DeviceTreeNode:
+    """A minimal board tree: cpus, memory, and the GPU node."""
+    return DeviceTreeNode(
+        name="/",
+        properties={"model": board},
+        children=[
+            DeviceTreeNode("cpus", {"cpu-count": 8}),
+            DeviceTreeNode("memory@80000000",
+                           {"reg": [0x8000_0000, 0x2000_0000]}),
+            gpu_device_node(sku),
+        ],
+    )

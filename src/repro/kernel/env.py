@@ -1,0 +1,162 @@
+"""The kernel environment the GPU driver executes in.
+
+Determinism is a design requirement (§2.3): record and replay must see the
+same CPU/GPU interaction sequence.  Instead of real threads, the kernel
+runs *thread contexts* cooperatively — the submit path runs until it waits,
+then the platform delivers due interrupts, whose handlers run to completion
+in an "irq" context before the waiter resumes.  This is exactly the
+serialized execution GR-T enforces during recording (job queue length 1,
+one app, no concurrent jobs).
+
+:class:`KernelHooks` is the instrumentation seam.  DriverShim subscribes to
+it; every event the paper's Clang-injected hooks observe in a real kernel
+(kernel API invocation, lock operations, explicit delays, externalization)
+arrives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.clock import VirtualClock
+
+# CPU cost charged per driver "routine step"; keeps CPU time visible but
+# negligible next to network and GPU time, as on real hardware.
+KERNEL_API_COST_S = 0.3e-6
+
+
+class WaitTimeout(TimeoutError):
+    """An event wait exceeded its timeout — how GPU stack timeouts surface."""
+
+
+@dataclass
+class ThreadContext:
+    """One kernel thread of execution (e.g. "submit", "irq")."""
+
+    name: str
+    depth: int = 0  # nesting level when contexts stack (irq preempts submit)
+
+
+class KernelHooks:
+    """Observer interface for the instrumentation seam.
+
+    All callbacks default to no-ops; DriverShim overrides the ones it
+    needs.  Multiple observers may be attached.
+    """
+
+    def on_kernel_api(self, env: "KernelEnv", name: str) -> None:
+        """A kernel API that may externalize state is about to run."""
+
+    def on_lock(self, env: "KernelEnv", lock_name: str) -> None:
+        """A lock is about to be acquired."""
+
+    def on_unlock(self, env: "KernelEnv", lock_name: str) -> None:
+        """A lock is about to be released (commit point, §4.1)."""
+
+    def on_delay(self, env: "KernelEnv", seconds: float) -> None:
+        """The driver requested an explicit delay (commit barrier, §4.1)."""
+
+    def on_thread_switch(self, env: "KernelEnv", ctx: ThreadContext) -> None:
+        """Execution moved to a different thread context."""
+
+
+class Platform:
+    """What the kernel sits on: delivers interrupts, advances idle time.
+
+    ``wait_for_event`` must advance the virtual clock at least to the next
+    hardware event and dispatch any interrupts that became pending; it
+    returns False when no further events can ever arrive.
+    """
+
+    def wait_for_event(self, env: "KernelEnv", timeout_s: float) -> bool:
+        raise NotImplementedError
+
+
+class KernelEnv:
+    """The simulated kernel: contexts, logging, delays, waits, hooks."""
+
+    def __init__(self, clock: VirtualClock, platform: Optional[Platform] = None,
+                 name: str = "kernel") -> None:
+        self.clock = clock
+        self.platform = platform
+        self.name = name
+        self.hooks: List[KernelHooks] = []
+        self._context_stack: List[ThreadContext] = [ThreadContext("main")]
+        self.log: List[str] = []
+        self.api_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Thread contexts
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> ThreadContext:
+        return self._context_stack[-1]
+
+    def run_in_context(self, name: str, fn: Callable, *args, **kwargs):
+        """Run ``fn`` in a nested thread context (e.g. an IRQ handler)."""
+        ctx = ThreadContext(name=name, depth=len(self._context_stack))
+        self._context_stack.append(ctx)
+        for hook in self.hooks:
+            hook.on_thread_switch(self, ctx)
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self._context_stack.pop()
+            for hook in self.hooks:
+                hook.on_thread_switch(self, self.current)
+
+    # ------------------------------------------------------------------
+    # Kernel APIs
+    # ------------------------------------------------------------------
+    def kernel_api(self, name: str) -> None:
+        """Mark the invocation of a kernel API of interest to the shims."""
+        self.api_calls[name] = self.api_calls.get(name, 0) + 1
+        for hook in self.hooks:
+            hook.on_kernel_api(self, name)
+        self.clock.advance(KERNEL_API_COST_S, label="cpu")
+
+    def printk(self, fmt: str, *args) -> str:
+        """Log a message. Externalizes its arguments.
+
+        Formatting forces any lazy symbolic value in ``args`` to a concrete
+        integer — the hook fires *first* so DriverShim can stall/validate
+        outstanding speculative commits before the value escapes (§4.2).
+        """
+        self.kernel_api("printk")
+        message = fmt % tuple(int(a) if hasattr(a, "__index__") else a
+                              for a in args) if args else fmt
+        self.log.append(message)
+        return message
+
+    def delay(self, seconds: float) -> None:
+        """udelay/msleep: an explicit driver barrier (§4.1)."""
+        for hook in self.hooks:
+            hook.on_delay(self, seconds)
+        self.clock.advance(seconds, label="cpu")
+
+    # ------------------------------------------------------------------
+    # Event waiting
+    # ------------------------------------------------------------------
+    def wait_event(self, predicate: Callable[[], bool],
+                   timeout_s: float = 5.0) -> None:
+        """Block until ``predicate`` holds, letting the platform deliver
+        interrupts.  Scheduling is a commit point (§4.1), hence the
+        kernel_api notification."""
+        self.kernel_api("schedule")
+        deadline = self.clock.now + timeout_s
+        while not predicate():
+            remaining = deadline - self.clock.now
+            if remaining <= 0:
+                raise WaitTimeout(
+                    f"wait_event timed out after {timeout_s}s at "
+                    f"t={self.clock.now:.6f}"
+                )
+            if self.platform is None:
+                raise WaitTimeout("no platform to deliver events")
+            progressed = self.platform.wait_for_event(self, remaining)
+            if not progressed and not predicate():
+                raise WaitTimeout(
+                    f"platform reports no more events; predicate never "
+                    f"satisfied (t={self.clock.now:.6f})"
+                )

@@ -1,0 +1,72 @@
+"""Kernel locks with shim-visible acquire/release.
+
+Release consistency (§4.1) hinges on two facts: driver threads only touch
+shared variables under locks, and DriverShim commits all deferred register
+accesses *before any unlock*.  These lock classes notify the kernel hooks
+on both edges so the shim can enforce that ordering, and they assert the
+discipline (no recursive locking, unlock by owner only) so violations fail
+loudly instead of corrupting a recording.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.env import KernelEnv
+
+
+class LockError(RuntimeError):
+    """Lock discipline violation (double lock, foreign unlock, ...)."""
+
+
+class Mutex:
+    """A sleeping mutex.  Cooperative scheduling means acquisition never
+    actually blocks, but the ownership/ordering rules are enforced."""
+
+    def __init__(self, env: KernelEnv, name: str) -> None:
+        self.env = env
+        self.name = name
+        self._owner: Optional[str] = None
+        self.acquisitions = 0
+
+    def lock(self) -> None:
+        for hook in self.env.hooks:
+            hook.on_lock(self.env, self.name)
+        if self._owner is not None:
+            raise LockError(
+                f"mutex {self.name!r} already held by {self._owner!r} "
+                f"when {self.env.current.name!r} tried to lock it"
+            )
+        self._owner = self.env.current.name
+        self.acquisitions += 1
+
+    def unlock(self) -> None:
+        if self._owner is None:
+            raise LockError(f"unlock of unheld mutex {self.name!r}")
+        if self._owner != self.env.current.name:
+            raise LockError(
+                f"mutex {self.name!r} held by {self._owner!r}, unlocked "
+                f"from {self.env.current.name!r}"
+            )
+        # Hook fires BEFORE release: the shim commits deferred register
+        # accesses while the lock still protects the shared state (§4.1).
+        for hook in self.env.hooks:
+            hook.on_unlock(self.env, self.name)
+        self._owner = None
+
+    @property
+    def held(self) -> bool:
+        return self._owner is not None
+
+    def __enter__(self) -> "Mutex":
+        self.lock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlock()
+
+
+class SpinLock(Mutex):
+    """Same semantics under cooperative scheduling; kept as a distinct type
+    because the driver uses spinlocks in IRQ context and mutexes elsewhere,
+    and tests assert which kind protects what."""

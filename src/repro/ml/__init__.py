@@ -1,0 +1,48 @@
+"""The ML framework layer (the ACL/TFLite analogue).
+
+Defines NN inference workloads as static graphs of layers — static job
+graphs are the property GR exploits for input independence (§2.3) — and a
+runner that lowers them onto the GPU runtime exactly the way the paper's
+workloads run on the ARM Compute Library: one or more GPU jobs per layer,
+serialized, with weights/activations living in GPU data buffers.
+
+The six evaluation workloads (Table 1) are built in
+:mod:`repro.ml.models`: MNIST, AlexNet, MobileNet, SqueezeNet, ResNet12,
+VGG16.
+"""
+
+from repro.ml.graph import Graph, Node, GraphError
+from repro.ml import layers
+from repro.ml.models import (
+    build_model,
+    mnist,
+    alexnet,
+    mobilenet,
+    squeezenet,
+    resnet12,
+    vgg16,
+    PAPER_WORKLOADS,
+)
+from repro.ml.runner import WorkloadRunner, DataBinding, RunManifest
+from repro.ml.datasets import synthetic_digits, fit_readout, accuracy
+
+__all__ = [
+    "Graph",
+    "Node",
+    "GraphError",
+    "layers",
+    "build_model",
+    "mnist",
+    "alexnet",
+    "mobilenet",
+    "squeezenet",
+    "resnet12",
+    "vgg16",
+    "PAPER_WORKLOADS",
+    "WorkloadRunner",
+    "DataBinding",
+    "RunManifest",
+    "synthetic_digits",
+    "fit_readout",
+    "accuracy",
+]

@@ -1,0 +1,348 @@
+"""NN layer definitions: shapes, parameters, and FLOP counts.
+
+Layers are pure descriptions — the runner lowers them to GPU jobs.  Shape
+inference works on (C, H, W) tuples for spatial layers and (N,) for dense
+layers, batch size 1 throughout (mobile inference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+Shape = Tuple[int, ...]
+
+
+class ShapeError(ValueError):
+    """Layer applied to an incompatible input shape."""
+
+
+def _pair(v) -> Tuple[int, int]:
+    return (v, v) if isinstance(v, int) else tuple(v)
+
+
+def _conv_out(size: int, k: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - k) // stride + 1
+    if out <= 0:
+        raise ShapeError(f"convolution collapses dimension: size={size} "
+                         f"k={k} stride={stride} pad={pad}")
+    return out
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base layer. Subclasses override shape/flops/params logic."""
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        raise NotImplementedError
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        raise NotImplementedError
+
+    def weight_shape(self, in_shapes: Sequence[Shape]) -> Optional[Shape]:
+        return None
+
+    def bias_shape(self, in_shapes: Sequence[Shape]) -> Optional[Shape]:
+        return None
+
+    def param_count(self, in_shapes: Sequence[Shape]) -> int:
+        total = 0
+        for shape in (self.weight_shape(in_shapes), self.bias_shape(in_shapes)):
+            if shape is not None:
+                n = 1
+                for d in shape:
+                    n *= d
+                total += n
+        return total
+
+
+@dataclass(frozen=True)
+class Conv2D(Layer):
+    out_channels: int
+    kernel: Tuple[int, int]
+    stride: int = 1
+    pad: int = 0
+    activation: Optional[str] = None
+    # Large convolutions are tiled into jobs of this many output channels,
+    # mirroring how the runtime splits work (drives per-NN job counts).
+    channel_split: int = 64
+
+    def __init__(self, out_channels, kernel, stride=1, pad=0,
+                 activation=None, channel_split=64):
+        object.__setattr__(self, "out_channels", out_channels)
+        object.__setattr__(self, "kernel", _pair(kernel))
+        object.__setattr__(self, "stride", stride)
+        object.__setattr__(self, "pad", pad)
+        object.__setattr__(self, "activation", activation)
+        object.__setattr__(self, "channel_split", channel_split)
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, h, w), = in_shapes
+        kh, kw = self.kernel
+        return (self.out_channels,
+                _conv_out(h, kh, self.stride, self.pad),
+                _conv_out(w, kw, self.stride, self.pad))
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        (c, _, _), = in_shapes
+        oc, oh, ow = self.infer_shape(in_shapes)
+        kh, kw = self.kernel
+        return 2.0 * oc * oh * ow * c * kh * kw
+
+    def weight_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, _, _), = in_shapes
+        return (self.out_channels, c, *self.kernel)
+
+    def bias_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return (self.out_channels,)
+
+    def n_channel_groups(self) -> int:
+        return -(-self.out_channels // self.channel_split)
+
+
+@dataclass(frozen=True)
+class DWConv2D(Layer):
+    kernel: Tuple[int, int]
+    stride: int = 1
+    pad: int = 0
+    activation: Optional[str] = None
+
+    def __init__(self, kernel, stride=1, pad=0, activation=None):
+        object.__setattr__(self, "kernel", _pair(kernel))
+        object.__setattr__(self, "stride", stride)
+        object.__setattr__(self, "pad", pad)
+        object.__setattr__(self, "activation", activation)
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, h, w), = in_shapes
+        kh, kw = self.kernel
+        return (c, _conv_out(h, kh, self.stride, self.pad),
+                _conv_out(w, kw, self.stride, self.pad))
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        c, oh, ow = self.infer_shape(in_shapes)
+        kh, kw = self.kernel
+        return 2.0 * c * oh * ow * kh * kw
+
+    def weight_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, _, _), = in_shapes
+        return (c, *self.kernel)
+
+    def bias_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, _, _), = in_shapes
+        return (c,)
+
+
+@dataclass(frozen=True)
+class Dense(Layer):
+    out_features: int
+    activation: Optional[str] = None
+    # Weight tying for unrolled recurrent graphs: every Dense with the
+    # same ``tie`` name shares one weight/bias buffer.
+    tie: Optional[str] = None
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return (self.out_features,)
+
+    def _in_features(self, in_shapes: Sequence[Shape]) -> int:
+        n = 1
+        for d in in_shapes[0]:
+            n *= d
+        return n
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        return 2.0 * self._in_features(in_shapes) * self.out_features
+
+    def weight_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return (self.out_features, self._in_features(in_shapes))
+
+    def bias_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return (self.out_features,)
+
+
+@dataclass(frozen=True)
+class MaxPool(Layer):
+    kernel: Tuple[int, int]
+    stride: Optional[int] = None
+    pad: int = 0
+
+    def __init__(self, kernel, stride=None, pad=0):
+        object.__setattr__(self, "kernel", _pair(kernel))
+        object.__setattr__(self, "stride", stride or self.kernel[0])
+        object.__setattr__(self, "pad", pad)
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, h, w), = in_shapes
+        kh, kw = self.kernel
+        return (c, _conv_out(h, kh, self.stride, self.pad),
+                _conv_out(w, kw, self.stride, self.pad))
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        c, oh, ow = self.infer_shape(in_shapes)
+        kh, kw = self.kernel
+        return float(c * oh * ow * kh * kw)
+
+
+@dataclass(frozen=True)
+class AvgPool(MaxPool):
+    pass
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Layer):
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        (c, _, _), = in_shapes
+        return (c,)
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        c, h, w = in_shapes[0]
+        return float(c * h * w)
+
+
+@dataclass(frozen=True)
+class ReLU(Layer):
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return in_shapes[0]
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        n = 1
+        for d in in_shapes[0]:
+            n *= d
+        return float(n)
+
+
+@dataclass(frozen=True)
+class Activation(Layer):
+    """A standalone elementwise nonlinearity: relu, tanh, or sigmoid."""
+
+    kind: str = "tanh"
+
+    VALID = ("relu", "tanh", "sigmoid")
+
+    def __post_init__(self):
+        if self.kind not in self.VALID:
+            raise ShapeError(f"unknown activation {self.kind!r}")
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return in_shapes[0]
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        n = 1
+        for d in in_shapes[0]:
+            n *= d
+        return 4.0 * n
+
+
+@dataclass(frozen=True)
+class Mul(Layer):
+    """Elementwise product of two inputs (gating in recurrent cells)."""
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        a, b = in_shapes
+        if a != b:
+            raise ShapeError(f"elementwise mul of mismatched {a} vs {b}")
+        return a
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        n = 1
+        for d in in_shapes[0]:
+            n *= d
+        return float(n)
+
+
+@dataclass(frozen=True)
+class Slice(Layer):
+    """A contiguous range of the flattened input (timestep extraction)."""
+
+    start: int = 0
+    length: int = 1
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        total = 1
+        for d in in_shapes[0]:
+            total *= d
+        if self.start < 0 or self.start + self.length > total:
+            raise ShapeError(
+                f"slice [{self.start}:{self.start + self.length}] out of "
+                f"range for {in_shapes[0]}")
+        return (self.length,)
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        return float(self.length)
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    activation: Optional[str] = None
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        a, b = in_shapes
+        if a != b:
+            raise ShapeError(f"residual add of mismatched shapes {a} vs {b}")
+        return a
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        n = 1
+        for d in in_shapes[0]:
+            n *= d
+        return float(n)
+
+
+@dataclass(frozen=True)
+class Concat(Layer):
+    """Channel-wise concatenation (axis 0 of CHW)."""
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        base = in_shapes[0][1:]
+        for s in in_shapes[1:]:
+            if s[1:] != base:
+                raise ShapeError(f"concat spatial mismatch: {in_shapes}")
+        return (sum(s[0] for s in in_shapes), *base)
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        return float(sum(int(s[0] * s[1] * s[2]) for s in in_shapes))
+
+
+@dataclass(frozen=True)
+class Softmax(Layer):
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return in_shapes[0]
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        n = 1
+        for d in in_shapes[0]:
+            n *= d
+        return 5.0 * n
+
+
+@dataclass(frozen=True)
+class LRN(Layer):
+    size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+    k: float = 2.0
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return in_shapes[0]
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        c, h, w = in_shapes[0]
+        return float(c * h * w * (self.size + 3))
+
+
+@dataclass(frozen=True)
+class BatchNorm(Layer):
+    activation: Optional[str] = None
+
+    def infer_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return in_shapes[0]
+
+    def flops(self, in_shapes: Sequence[Shape]) -> float:
+        c, h, w = in_shapes[0]
+        return 2.0 * c * h * w
+
+    def weight_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return (in_shapes[0][0],)
+
+    def bias_shape(self, in_shapes: Sequence[Shape]) -> Shape:
+        return (in_shapes[0][0],)

@@ -1,0 +1,257 @@
+"""The six evaluation workloads (Table 1): MNIST, AlexNet, MobileNet,
+SqueezeNet, ResNet12, VGG16.
+
+Each builder returns a static :class:`~repro.ml.graph.Graph`.  The large
+ImageNet-class networks are *defined at reduced spatial resolution* so
+that real numpy math stays tractable, while every node carries a
+``flops_scale`` that restores the operator cost at the paper's reference
+resolution for the GPU duration model.  Layer structure, job structure,
+and parameter topology are unchanged; see DESIGN.md ("substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.ml.graph import Graph, INPUT
+from repro.ml.layers import (
+    Activation,
+    Add,
+    AvgPool,
+    BatchNorm,
+    Concat,
+    Conv2D,
+    Dense,
+    DWConv2D,
+    GlobalAvgPool,
+    LRN,
+    MaxPool,
+    ReLU,
+    Slice,
+    Softmax,
+)
+
+
+class _Chain:
+    """Helper that threads a sequential graph, tracking the last node."""
+
+    def __init__(self, graph: Graph, flops_scale: float) -> None:
+        self.graph = graph
+        self.scale = flops_scale
+        self.last = INPUT
+
+    def add(self, name: str, layer, inputs=None, scale=None) -> str:
+        node = self.graph.add(
+            name, layer,
+            inputs if inputs is not None else [self.last],
+            flops_scale=self.scale if scale is None else scale,
+        )
+        self.last = name
+        return name
+
+
+def mnist() -> Graph:
+    """LeNet-5 style MNIST classifier, full resolution (28x28)."""
+    g = Graph("mnist", (1, 28, 28))
+    c = _Chain(g, flops_scale=1.0)
+    c.add("conv1", Conv2D(6, 5, pad=2, activation="relu"))
+    c.add("pool1", MaxPool(2))
+    c.add("conv2", Conv2D(16, 5, activation="relu"))
+    c.add("pool2", MaxPool(2))
+    c.add("fc1", Dense(120, activation="relu"))
+    c.add("fc2", Dense(84, activation="relu"))
+    c.add("fc3", Dense(10))
+    c.add("softmax", Softmax())
+    g.validate()
+    return g
+
+
+def alexnet() -> Graph:
+    """AlexNet at 112x112 (reference 224: flops_scale 4)."""
+    g = Graph("alexnet", (3, 112, 112))
+    c = _Chain(g, flops_scale=4.0)
+    c.add("conv1", Conv2D(96, 11, stride=4, pad=2, activation="relu"))
+    c.add("lrn1", LRN())
+    c.add("pool1", MaxPool(3, stride=2))
+    c.add("conv2", Conv2D(256, 5, pad=2, activation="relu"))
+    c.add("lrn2", LRN())
+    c.add("pool2", MaxPool(3, stride=2))
+    c.add("conv3", Conv2D(384, 3, pad=1, activation="relu"))
+    c.add("conv4", Conv2D(384, 3, pad=1, activation="relu"))
+    c.add("conv5", Conv2D(256, 3, pad=1, activation="relu"))
+    c.add("pool5", MaxPool(3, stride=2))
+    c.add("fc1", Dense(4096, activation="relu"))
+    c.add("fc2", Dense(4096, activation="relu"))
+    c.add("fc3", Dense(1000))
+    c.add("softmax", Softmax(), scale=1.0)
+    g.validate()
+    return g
+
+
+def mobilenet() -> Graph:
+    """MobileNet v1 (width 1.0) at 112x112 (flops_scale 4)."""
+    g = Graph("mobilenet", (3, 112, 112))
+    c = _Chain(g, flops_scale=4.0)
+    c.add("conv1", Conv2D(32, 3, stride=2, pad=1, activation="relu"))
+    blocks = [(64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+              (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+              (1024, 2), (1024, 1)]
+    for i, (out_c, stride) in enumerate(blocks, start=1):
+        c.add(f"dw{i}", DWConv2D(3, stride=stride, pad=1, activation="relu"))
+        c.add(f"pw{i}", Conv2D(out_c, 1, activation="relu"))
+    c.add("gap", GlobalAvgPool())
+    c.add("fc", Dense(1000), scale=1.0)
+    c.add("softmax", Softmax(), scale=1.0)
+    g.validate()
+    return g
+
+
+def _fire(c: _Chain, name: str, squeeze: int, expand: int) -> None:
+    """A SqueezeNet fire module: squeeze 1x1, expand 1x1 || 3x3, concat."""
+    inp = c.last
+    c.graph.add(f"{name}.squeeze", Conv2D(squeeze, 1, activation="relu"),
+                [inp], flops_scale=c.scale)
+    c.graph.add(f"{name}.e1", Conv2D(expand, 1, activation="relu"),
+                [f"{name}.squeeze"], flops_scale=c.scale)
+    c.graph.add(f"{name}.e3", Conv2D(expand, 3, pad=1, activation="relu"),
+                [f"{name}.squeeze"], flops_scale=c.scale)
+    c.graph.add(f"{name}.concat", Concat(),
+                [f"{name}.e1", f"{name}.e3"], flops_scale=c.scale)
+    c.last = f"{name}.concat"
+
+
+def squeezenet() -> Graph:
+    """SqueezeNet v1.0 at 112x112 (flops_scale 4)."""
+    g = Graph("squeezenet", (3, 112, 112))
+    c = _Chain(g, flops_scale=4.0)
+    c.add("conv1", Conv2D(96, 7, stride=2, pad=3, activation="relu"))
+    c.add("pool1", MaxPool(3, stride=2))
+    _fire(c, "fire2", 16, 64)
+    _fire(c, "fire3", 16, 64)
+    _fire(c, "fire4", 32, 128)
+    c.add("pool4", MaxPool(3, stride=2))
+    _fire(c, "fire5", 32, 128)
+    _fire(c, "fire6", 48, 192)
+    _fire(c, "fire7", 48, 192)
+    _fire(c, "fire8", 64, 256)
+    c.add("pool8", MaxPool(3, stride=2))
+    _fire(c, "fire9", 64, 256)
+    c.add("conv10", Conv2D(1000, 1, activation="relu"))
+    c.add("gap", GlobalAvgPool())
+    c.add("softmax", Softmax(), scale=1.0)
+    g.validate()
+    return g
+
+
+def _res_block(c: _Chain, name: str, out_c: int, stride: int,
+               project: bool) -> None:
+    """conv-bn-relu, conv-bn, (projection), add+relu."""
+    inp = c.last
+    s = c.scale
+    g = c.graph
+    g.add(f"{name}.conv1", Conv2D(out_c, 3, stride=stride, pad=1), [inp],
+          flops_scale=s)
+    g.add(f"{name}.bn1", BatchNorm(activation="relu"), [f"{name}.conv1"],
+          flops_scale=s)
+    g.add(f"{name}.conv2", Conv2D(out_c, 3, pad=1), [f"{name}.bn1"],
+          flops_scale=s)
+    g.add(f"{name}.bn2", BatchNorm(), [f"{name}.conv2"], flops_scale=s)
+    skip = inp
+    if project:
+        g.add(f"{name}.proj", Conv2D(out_c, 1, stride=stride), [inp],
+              flops_scale=s)
+        g.add(f"{name}.projbn", BatchNorm(), [f"{name}.proj"], flops_scale=s)
+        skip = f"{name}.projbn"
+    g.add(f"{name}.add", Add(activation="relu"),
+          [f"{name}.bn2", skip], flops_scale=s)
+    c.last = f"{name}.add"
+
+
+def resnet12() -> Graph:
+    """A 12-conv residual network at 112x112 (flops_scale 4)."""
+    g = Graph("resnet12", (3, 112, 112))
+    c = _Chain(g, flops_scale=4.0)
+    c.add("conv1", Conv2D(64, 7, stride=2, pad=3))
+    c.add("bn1", BatchNorm(activation="relu"))
+    c.add("pool1", MaxPool(3, stride=2, pad=1))
+    _res_block(c, "block1", 64, 1, project=False)   # identity skip
+    _res_block(c, "block2", 128, 2, project=True)
+    _res_block(c, "block3", 256, 2, project=True)
+    _res_block(c, "block4", 512, 2, project=True)
+    c.add("gap", GlobalAvgPool())
+    c.add("fc", Dense(1000), scale=1.0)
+    c.add("softmax", Softmax(), scale=1.0)
+    g.validate()
+    return g
+
+
+def vgg16() -> Graph:
+    """VGG-16 at 64x64 (reference 224: flops_scale 12.25)."""
+    g = Graph("vgg16", (3, 64, 64))
+    c = _Chain(g, flops_scale=(224 / 64) ** 2)
+    cfg = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for stage, (channels, reps) in enumerate(cfg, start=1):
+        for rep in range(1, reps + 1):
+            c.add(f"conv{stage}_{rep}",
+                  Conv2D(channels, 3, pad=1, activation="relu"))
+        c.add(f"pool{stage}", MaxPool(2))
+    c.add("fc1", Dense(4096, activation="relu"))
+    c.add("fc2", Dense(4096, activation="relu"))
+    c.add("fc3", Dense(1000))
+    c.add("softmax", Softmax(), scale=1.0)
+    g.validate()
+    return g
+
+
+def rnn(steps: int = 6, features: int = 16, hidden: int = 32) -> Graph:
+    """An unrolled Elman RNN with *tied* cell weights.
+
+    §2.3's input-independence argument covers "CNN and RNN": recurrent
+    networks unroll into static job graphs, so one record run captures
+    them too.  The per-timestep Dense layers share one weight buffer
+    (``tie``) exactly as a real recurrent cell would.
+    """
+    g = Graph("rnn", (steps, features))
+    c = _Chain(g, flops_scale=1.0)
+    prev_h = None
+    for t in range(steps):
+        g.add(f"x{t}", Slice(start=t * features, length=features),
+              [INPUT])
+        g.add(f"wx{t}", Dense(hidden, tie="cell.wx"), [f"x{t}"])
+        if prev_h is None:
+            pre = f"wx{t}"
+        else:
+            g.add(f"uh{t}", Dense(hidden, tie="cell.uh"), [prev_h])
+            g.add(f"sum{t}", Add(), [f"wx{t}", f"uh{t}"])
+            pre = f"sum{t}"
+        g.add(f"h{t}", Activation("tanh"), [pre])
+        prev_h = f"h{t}"
+    g.add("logits", Dense(10), [prev_h])
+    g.add("softmax", Softmax(), ["logits"])
+    g.validate()
+    return g
+
+
+PAPER_WORKLOADS: Dict[str, Callable[[], Graph]] = {
+    "mnist": mnist,
+    "alexnet": alexnet,
+    "mobilenet": mobilenet,
+    "squeezenet": squeezenet,
+    "resnet12": resnet12,
+    "vgg16": vgg16,
+}
+
+#: Workloads beyond the paper's Table 1 (usable everywhere, not benchmarked
+#: against paper numbers).
+EXTRA_WORKLOADS: Dict[str, Callable[[], Graph]] = {
+    "rnn": rnn,
+}
+
+
+def build_model(name: str) -> Graph:
+    builder = PAPER_WORKLOADS.get(name) or EXTRA_WORKLOADS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown workload {name!r}; known: "
+            f"{sorted([*PAPER_WORKLOADS, *EXTRA_WORKLOADS])}")
+    return builder()

@@ -1,0 +1,547 @@
+"""Lowering NN graphs onto the GPU runtime, plus the data manifest.
+
+The runner is the part of the "app + framework" that GR-T dry-runs.  It
+allocates GPU buffers, initializes weights, and walks the static graph
+emitting one or more GPU jobs per layer (a staging/im2col job plus the
+compute job, with wide convolutions tiled into channel groups — the same
+multi-kernel-per-layer structure ACL exhibits).
+
+The :class:`RunManifest` it produces records where every *data* tensor
+lives (input, output, weights).  During recording those buffers hold
+zeros (§5: the dry run fills inputs and parameters as zeros); at replay
+the TEE uses the manifest to inject real weights and input into the
+recorded addresses and to fetch the output (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hw.memory import align_up
+from repro.ml import layers as L
+from repro.ml.graph import Graph, INPUT, Node
+from repro.runtime.api import BufferSlice, GpuContext
+from repro.runtime.allocator import Buffer
+
+
+@dataclass(frozen=True)
+class DataBinding:
+    """Where one named data tensor lives in GPU memory."""
+
+    name: str
+    kind: str  # "input" | "output" | "weight" | "bias"
+    va: int
+    pa: int
+    size: int
+    shape: Tuple[int, ...]
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name, "kind": self.kind, "va": self.va,
+            "pa": self.pa, "size": self.size, "shape": list(self.shape),
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict) -> "DataBinding":
+        return DataBinding(name=doc["name"], kind=doc["kind"], va=doc["va"],
+                           pa=doc["pa"], size=doc["size"],
+                           shape=tuple(doc["shape"]))
+
+
+@dataclass
+class RunManifest:
+    """Recording metadata: workload identity + data bindings + layout."""
+
+    workload: str
+    input_shape: Tuple[int, ...]
+    output_shape: Tuple[int, ...]
+    bindings: List[DataBinding] = field(default_factory=list)
+    jobs_per_node: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(n for _, n in self.jobs_per_node)
+
+    def binding(self, name: str) -> DataBinding:
+        for b in self.bindings:
+            if b.name == name:
+                return b
+        raise KeyError(f"no binding named {name!r}")
+
+    def weight_bindings(self) -> List[DataBinding]:
+        return [b for b in self.bindings if b.kind in ("weight", "bias")]
+
+    def to_dict(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "input_shape": list(self.input_shape),
+            "output_shape": list(self.output_shape),
+            "bindings": [b.to_dict() for b in self.bindings],
+            "jobs_per_node": [[n, c] for n, c in self.jobs_per_node],
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict) -> "RunManifest":
+        return RunManifest(
+            workload=doc["workload"],
+            input_shape=tuple(doc["input_shape"]),
+            output_shape=tuple(doc["output_shape"]),
+            bindings=[DataBinding.from_dict(b) for b in doc["bindings"]],
+            jobs_per_node=[(n, c) for n, c in doc["jobs_per_node"]],
+        )
+
+
+def weight_base_name(node) -> str:
+    """Weight/bias buffer name prefix; tied layers share one (§2.3's
+    unrolled RNNs reuse cell weights at every timestep)."""
+    tie = getattr(node.layer, "tie", None)
+    return tie if tie else node.name
+
+
+def _nbytes(shape: Sequence[int]) -> int:
+    n = 4
+    for d in shape:
+        n *= d
+    return n
+
+
+def generate_weights(graph: Graph, seed: int = 0) -> Dict[str, np.ndarray]:
+    """Deterministic He-initialized weights for every parametric node.
+
+    Used both by the native runner and by the TEE at replay time (the
+    "model parameters" that never leave the TEE, §7.1).
+    """
+    rng = np.random.RandomState(seed)
+    out: Dict[str, np.ndarray] = {}
+    for node in graph.nodes:
+        in_shapes = [graph.shape_of(i) for i in node.inputs]
+        w_shape = node.layer.weight_shape(in_shapes)
+        b_shape = node.layer.bias_shape(in_shapes)
+        if w_shape is None:
+            continue
+        base = weight_base_name(node)
+        if f"{base}.weight" in out:
+            # Tied weights: all users must agree on the shape.
+            if out[f"{base}.weight"].shape != tuple(w_shape):
+                raise ValueError(
+                    f"tied weights {base!r} used with conflicting shapes")
+            continue
+        if isinstance(node.layer, L.BatchNorm):
+            out[f"{base}.weight"] = (
+                1.0 + 0.05 * rng.randn(*w_shape)).astype(np.float32)
+            out[f"{base}.bias"] = (
+                0.05 * rng.randn(*b_shape)).astype(np.float32)
+            continue
+        fan_in = 1
+        for d in w_shape[1:]:
+            fan_in *= d
+        std = float(np.sqrt(2.0 / max(fan_in, 1)))
+        out[f"{base}.weight"] = (
+            std * rng.randn(*w_shape)).astype(np.float32)
+        if b_shape is not None:
+            out[f"{base}.bias"] = (
+                0.01 * rng.randn(*b_shape)).astype(np.float32)
+    return out
+
+
+def required_memory_bytes(graph: Graph) -> int:
+    """Conservative estimate of the GPU carveout a workload needs."""
+    total = 8 << 20  # shader + command zones + page tables
+    total += align_up(_nbytes(graph.input_shape))
+    for node in graph.nodes:
+        in_shapes = [graph.shape_of(i) for i in node.inputs]
+        total += align_up(_nbytes(node.out_shape))
+        if isinstance(node.layer, (L.Conv2D, L.DWConv2D, L.Dense)):
+            total += align_up(_nbytes(in_shapes[0]))  # staging
+        total += align_up(4 * node.layer.param_count(in_shapes) + 8)
+    return align_up(total, 1 << 20) + (16 << 20)
+
+
+class WorkloadRunner:
+    """Executes one graph on one GPU context, job by job."""
+
+    def __init__(self, ctx: GpuContext, graph: Graph, seed: int = 0) -> None:
+        self.ctx = ctx
+        self.graph = graph
+        self.seed = seed
+        self._buffers: Dict[str, Buffer] = {}
+        self.manifest = RunManifest(
+            workload=graph.name,
+            input_shape=graph.input_shape,
+            output_shape=graph.output_shape,
+        )
+        self._jobs_this_node = 0
+        self._allocate()
+
+    # ------------------------------------------------------------------
+    # Allocation + weight upload
+    # ------------------------------------------------------------------
+    def _alloc(self, name: str, size: int) -> Buffer:
+        buf = self.ctx.alloc_data(name, size)
+        self._buffers[name] = buf
+        return buf
+
+    def _allocate(self) -> None:
+        g = self.graph
+        inp = self._alloc("input", _nbytes(g.input_shape))
+        self.manifest.bindings.append(DataBinding(
+            "input", "input", inp.va, inp.pa,
+            _nbytes(g.input_shape), g.input_shape))
+        for node in g.nodes:
+            in_shapes = [g.shape_of(i) for i in node.inputs]
+            out = self._alloc(f"{node.name}.out", _nbytes(node.out_shape))
+            # Activation bindings let segmented replay (Figure 2) fetch
+            # intermediate tensors at layer boundaries.
+            self.manifest.bindings.append(DataBinding(
+                f"{node.name}.out", "activation", out.va, out.pa,
+                _nbytes(node.out_shape), node.out_shape))
+            if isinstance(node.layer, (L.Conv2D, L.DWConv2D, L.Dense)):
+                self._alloc(f"{node.name}.stage", _nbytes(in_shapes[0]))
+            base = weight_base_name(node)
+            w_shape = node.layer.weight_shape(in_shapes)
+            if w_shape is not None and f"{base}.weight" not in self._buffers:
+                wbuf = self._alloc(f"{base}.weight", _nbytes(w_shape))
+                self.manifest.bindings.append(DataBinding(
+                    f"{base}.weight", "weight", wbuf.va, wbuf.pa,
+                    _nbytes(w_shape), w_shape))
+            b_shape = node.layer.bias_shape(in_shapes)
+            if b_shape is not None and f"{base}.bias" not in self._buffers:
+                bbuf = self._alloc(f"{base}.bias", _nbytes(b_shape))
+                self.manifest.bindings.append(DataBinding(
+                    f"{base}.bias", "bias", bbuf.va, bbuf.pa,
+                    _nbytes(b_shape), b_shape))
+        out = self._buffers[f"{g.output.name}.out"]
+        self.manifest.bindings.append(DataBinding(
+            "output", "output", out.va, out.pa,
+            _nbytes(g.output_shape), g.output_shape))
+
+    def load_weights(self, weights: Optional[Dict[str, np.ndarray]]) -> None:
+        """Upload real weights (native) or leave buffers zeroed (dry run)."""
+        if weights is None:
+            return
+        for name, array in weights.items():
+            if name not in self._buffers:
+                raise KeyError(f"weights contain unknown tensor {name!r}")
+            self.ctx.upload(self._buffers[name], array)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, input_array: Optional[np.ndarray] = None,
+            node_callback: Optional[Callable[[int, str], None]] = None
+            ) -> np.ndarray:
+        g = self.graph
+        if input_array is not None:
+            if tuple(input_array.shape) != tuple(g.input_shape):
+                raise ValueError(
+                    f"input shape {input_array.shape} != {g.input_shape}")
+            self.ctx.upload(self._buffers["input"], input_array)
+        self.manifest.jobs_per_node = []
+        for index, node in enumerate(g.nodes):
+            if node_callback is not None:
+                node_callback(index, node.name)
+            self._jobs_this_node = 0
+            self._lower(node)
+            self.manifest.jobs_per_node.append(
+                (node.name, self._jobs_this_node))
+        return self.ctx.download(self._buffers[f"{g.output.name}.out"],
+                                 g.output_shape)
+
+    def output(self) -> np.ndarray:
+        return self.ctx.download(self._buffers[f"{self.graph.output.name}.out"],
+                                 self.graph.output_shape)
+
+    # ------------------------------------------------------------------
+    def _in_buf(self, name: str) -> Buffer:
+        return self._buffers["input" if name == INPUT else f"{name}.out"]
+
+    def _enqueue(self, *args, **kwargs) -> None:
+        self._jobs_this_node += 1
+        self.ctx.enqueue(*args, **kwargs)
+
+    def _stage(self, node: Node, in_shape) -> Buffer:
+        """The staging copy job every conv/dense layer starts with."""
+        src = self._in_buf(node.inputs[0])
+        stage = self._buffers[f"{node.name}.stage"]
+        n = _nbytes(in_shape) // 4
+        self._enqueue(
+            "copy",
+            {"shape": [n], "model_flops": n * node.flops_scale},
+            inputs=[BufferSlice(src, 0, n * 4)],
+            outputs=[BufferSlice(stage, 0, n * 4)],
+            cache_key=f"copy:{n}",
+        )
+        return stage
+
+    def _lower(self, node: Node) -> None:
+        g = self.graph
+        layer = node.layer
+        in_shapes = [g.shape_of(i) for i in node.inputs]
+        out_buf = self._buffers[f"{node.name}.out"]
+        base_flops = layer.flops(in_shapes) * node.flops_scale
+
+        if isinstance(layer, L.Conv2D):
+            self._lower_conv(node, layer, in_shapes[0], out_buf, base_flops)
+        elif isinstance(layer, L.DWConv2D):
+            stage = self._stage(node, in_shapes[0])
+            c, kh, kw = layer.weight_shape(in_shapes)
+            self._enqueue(
+                "dwconv2d",
+                {"in_shape": list(in_shapes[0]), "w_shape": [c, kh, kw],
+                 "out_shape": list(node.out_shape), "kernel": [kh, kw],
+                 "stride": layer.stride, "pad": layer.pad,
+                 "activation": layer.activation, "model_flops": base_flops},
+                inputs=[stage],
+                weights=[self._buffers[f"{node.name}.weight"]],
+                biases=[self._buffers[f"{node.name}.bias"]],
+                outputs=[BufferSlice(out_buf, 0, _nbytes(node.out_shape))],
+                cache_key=f"dw:{node.name}",
+            )
+        elif isinstance(layer, L.Dense):
+            stage = self._stage(node, in_shapes[0])
+            in_features = _nbytes(in_shapes[0]) // 4
+            base = weight_base_name(node)
+            self._enqueue(
+                "dense",
+                {"in_features": in_features,
+                 "out_features": layer.out_features,
+                 "activation": layer.activation, "model_flops": base_flops},
+                inputs=[BufferSlice(stage, 0, in_features * 4)],
+                weights=[self._buffers[f"{base}.weight"]],
+                biases=[self._buffers[f"{base}.bias"]],
+                outputs=[BufferSlice(out_buf, 0, layer.out_features * 4)],
+                cache_key=f"dense:{base}:{in_features}",
+            )
+        elif isinstance(layer, (L.MaxPool, L.AvgPool)):
+            op = "avgpool" if isinstance(layer, L.AvgPool) else "maxpool"
+            self._enqueue(
+                op,
+                {"in_shape": list(in_shapes[0]),
+                 "out_shape": list(node.out_shape),
+                 "kernel": list(layer.kernel), "stride": layer.stride,
+                 "pad": layer.pad, "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0,
+                                    _nbytes(in_shapes[0]))],
+                outputs=[BufferSlice(out_buf, 0, _nbytes(node.out_shape))],
+                cache_key=f"pool:{node.name}",
+            )
+        elif isinstance(layer, L.GlobalAvgPool):
+            self._enqueue(
+                "globalpool",
+                {"in_shape": list(in_shapes[0]), "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0,
+                                    _nbytes(in_shapes[0]))],
+                outputs=[BufferSlice(out_buf, 0, _nbytes(node.out_shape))],
+                cache_key=f"gap:{node.name}",
+            )
+        elif isinstance(layer, L.Activation):
+            n = _nbytes(in_shapes[0]) // 4
+            self._enqueue(
+                layer.kind, {"shape": [n], "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0, n * 4)],
+                outputs=[BufferSlice(out_buf, 0, n * 4)],
+                cache_key=f"{layer.kind}:{n}",
+            )
+        elif isinstance(layer, L.Mul):
+            n = _nbytes(node.out_shape) // 4
+            self._enqueue(
+                "mul", {"shape": [n], "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0, n * 4),
+                        BufferSlice(self._in_buf(node.inputs[1]), 0, n * 4)],
+                outputs=[BufferSlice(out_buf, 0, n * 4)],
+                cache_key=f"mul:{n}",
+            )
+        elif isinstance(layer, L.Slice):
+            self._enqueue(
+                "copy",
+                {"shape": [layer.length], "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]),
+                                    layer.start * 4, layer.length * 4)],
+                outputs=[BufferSlice(out_buf, 0, layer.length * 4)],
+                cache_key=f"slice:{layer.length}",
+            )
+        elif isinstance(layer, L.ReLU):
+            n = _nbytes(in_shapes[0]) // 4
+            self._enqueue(
+                "relu", {"shape": [n], "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0, n * 4)],
+                outputs=[BufferSlice(out_buf, 0, n * 4)],
+                cache_key=f"relu:{n}",
+            )
+        elif isinstance(layer, L.Add):
+            n = _nbytes(node.out_shape) // 4
+            self._enqueue(
+                "add",
+                {"shape": [n], "activation": layer.activation,
+                 "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0, n * 4),
+                        BufferSlice(self._in_buf(node.inputs[1]), 0, n * 4)],
+                outputs=[BufferSlice(out_buf, 0, n * 4)],
+                cache_key=f"add:{node.name}",
+            )
+        elif isinstance(layer, L.Concat):
+            self._enqueue(
+                "concat",
+                {"in_shapes": [list(s) for s in in_shapes],
+                 "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(i), 0, _nbytes(s))
+                        for i, s in zip(node.inputs, in_shapes)],
+                outputs=[BufferSlice(out_buf, 0, _nbytes(node.out_shape))],
+                cache_key=f"concat:{node.name}",
+            )
+        elif isinstance(layer, L.Softmax):
+            n = _nbytes(in_shapes[0]) // 4
+            self._enqueue(
+                "softmax", {"shape": [n], "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0, n * 4)],
+                outputs=[BufferSlice(out_buf, 0, n * 4)],
+                cache_key=f"softmax:{n}",
+            )
+        elif isinstance(layer, L.LRN):
+            self._enqueue(
+                "lrn",
+                {"in_shape": list(in_shapes[0]), "size": layer.size,
+                 "alpha": layer.alpha, "beta": layer.beta, "k": layer.k,
+                 "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0,
+                                    _nbytes(in_shapes[0]))],
+                outputs=[BufferSlice(out_buf, 0, _nbytes(node.out_shape))],
+                cache_key=f"lrn:{node.name}",
+            )
+        elif isinstance(layer, L.BatchNorm):
+            self._enqueue(
+                "batchnorm",
+                {"in_shape": list(in_shapes[0]),
+                 "activation": layer.activation, "model_flops": base_flops},
+                inputs=[BufferSlice(self._in_buf(node.inputs[0]), 0,
+                                    _nbytes(in_shapes[0]))],
+                weights=[self._buffers[f"{node.name}.weight"]],
+                biases=[self._buffers[f"{node.name}.bias"]],
+                outputs=[BufferSlice(out_buf, 0, _nbytes(node.out_shape))],
+                cache_key=f"bn:{node.name}",
+            )
+        else:
+            raise TypeError(f"no lowering for layer {type(layer).__name__}")
+
+    def _lower_conv(self, node: Node, layer: L.Conv2D, in_shape,
+                    out_buf: Buffer, base_flops: float) -> None:
+        stage = self._stage(node, in_shape)
+        in_c = in_shape[0]
+        kh, kw = layer.kernel
+        oc, oh, ow = node.out_shape
+        wbuf = self._buffers[f"{node.name}.weight"]
+        bbuf = self._buffers[f"{node.name}.bias"]
+        split = layer.channel_split
+        for start in range(0, oc, split):
+            end = min(start + split, oc)
+            gc = end - start
+            w_off = start * in_c * kh * kw * 4
+            w_len = gc * in_c * kh * kw * 4
+            o_off = start * oh * ow * 4
+            o_len = gc * oh * ow * 4
+            self._enqueue(
+                "conv2d",
+                {"in_shape": list(in_shape), "w_shape": [gc, in_c, kh, kw],
+                 "out_shape": [gc, oh, ow], "kernel": [kh, kw],
+                 "stride": layer.stride, "pad": layer.pad,
+                 "activation": layer.activation,
+                 "model_flops": base_flops * gc / oc},
+                inputs=[stage],
+                weights=[BufferSlice(wbuf, w_off, w_len)],
+                biases=[BufferSlice(bbuf, start * 4, gc * 4)],
+                outputs=[BufferSlice(out_buf, o_off, o_len)],
+                cache_key=f"conv:{node.name}:{gc}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Reference forward pass (CPU-side oracle for tests)
+# ---------------------------------------------------------------------------
+def reference_forward(graph: Graph, weights: Dict[str, np.ndarray],
+                      input_array: np.ndarray) -> np.ndarray:
+    """Run the graph with plain numpy, bypassing the GPU stack entirely.
+
+    Tests compare this against native execution and against TEE replay:
+    all three must agree, which exercises buffer addressing, page tables,
+    channel-split slicing, and replay data injection end to end.
+    """
+    return reference_activations(graph, weights,
+                                 input_array)[graph.output.name]
+
+
+def reference_activations(graph: Graph, weights: Dict[str, np.ndarray],
+                          input_array: np.ndarray
+                          ) -> Dict[str, np.ndarray]:
+    """Per-node outputs of the numpy reference (segmented-replay oracle)."""
+    from repro.hw import shader as S
+
+    values: Dict[str, np.ndarray] = {INPUT: input_array.astype(np.float32)}
+    for node in graph.nodes:
+        layer = node.layer
+        ins = [values[i] for i in node.inputs]
+        base = weight_base_name(node)
+        w = weights.get(f"{base}.weight")
+        b = weights.get(f"{base}.bias")
+        p: Dict = {}
+        if isinstance(layer, L.Conv2D):
+            p = {"stride": layer.stride, "pad": layer.pad,
+                 "activation": layer.activation}
+            out = S._conv2d(ins[0], w, b, p)
+        elif isinstance(layer, L.DWConv2D):
+            p = {"stride": layer.stride, "pad": layer.pad,
+                 "activation": layer.activation}
+            out = S._dwconv2d(ins[0], w, b, p)
+        elif isinstance(layer, L.Dense):
+            x = ins[0].reshape(-1)
+            out = w @ x + b
+            if layer.activation == "relu":
+                out = np.maximum(out, 0.0)
+        elif isinstance(layer, L.MaxPool):
+            out = S._pool(ins[0], {"kernel": list(layer.kernel),
+                                   "stride": layer.stride,
+                                   "pad": layer.pad}, np.max)
+        elif isinstance(layer, L.AvgPool):
+            out = S._pool(ins[0], {"kernel": list(layer.kernel),
+                                   "stride": layer.stride,
+                                   "pad": layer.pad}, np.mean)
+        elif isinstance(layer, L.GlobalAvgPool):
+            out = ins[0].reshape(ins[0].shape[0], -1).mean(axis=1)
+        elif isinstance(layer, L.ReLU):
+            out = np.maximum(ins[0], 0.0)
+        elif isinstance(layer, L.Activation):
+            x = ins[0]
+            if layer.kind == "relu":
+                out = np.maximum(x, 0.0)
+            elif layer.kind == "tanh":
+                out = np.tanh(x)
+            else:
+                out = 1.0 / (1.0 + np.exp(-x))
+        elif isinstance(layer, L.Mul):
+            out = ins[0] * ins[1]
+        elif isinstance(layer, L.Slice):
+            out = ins[0].reshape(-1)[layer.start:layer.start + layer.length]
+        elif isinstance(layer, L.Add):
+            out = ins[0] + ins[1]
+            if layer.activation == "relu":
+                out = np.maximum(out, 0.0)
+        elif isinstance(layer, L.Concat):
+            out = np.concatenate(ins, axis=0)
+        elif isinstance(layer, L.Softmax):
+            x = ins[0].reshape(-1)
+            e = np.exp(x - x.max())
+            out = e / e.sum()
+        elif isinstance(layer, L.LRN):
+            out = S._lrn(ins[0], {"size": layer.size, "alpha": layer.alpha,
+                                  "beta": layer.beta, "k": layer.k})
+        elif isinstance(layer, L.BatchNorm):
+            c = ins[0].shape[0]
+            out = ins[0] * w[:c, None, None] + b[:c, None, None]
+            if layer.activation == "relu":
+                out = np.maximum(out, 0.0)
+        else:
+            raise TypeError(f"no reference for {type(layer).__name__}")
+        values[node.name] = out.astype(np.float32).reshape(node.out_shape)
+    return values

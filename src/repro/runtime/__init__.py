@@ -1,0 +1,30 @@
+"""The userspace GPU runtime (the libmali/OpenCL analogue).
+
+Sits between the ML framework (:mod:`repro.ml`) and the driver
+(:mod:`repro.driver`): it JIT-compiles operators into SKU-specific shader
+binaries, allocates GPU virtual memory with mmap-style protection flags,
+emits command streams and job descriptors into shared memory, and submits
+jobs one at a time through the driver.
+
+GR-T records *below* this layer, so the runtime runs unmodified in the
+cloud during a dry run.  Two of its artifacts matter to the recorder:
+the protection flags on allocations (meta-only sync infers metastate from
+them, §5) and the SKU-specific shader binaries (why recordings bind to a
+GPU SKU, §2.4).
+"""
+
+from repro.runtime.allocator import Buffer, BufferKind, GpuAddressSpace, MapFlags
+from repro.runtime.compiler import JitCompiler
+from repro.runtime.commands import CommandStreamBuilder
+from repro.runtime.api import GpuContext, RuntimeError_
+
+__all__ = [
+    "Buffer",
+    "BufferKind",
+    "GpuAddressSpace",
+    "MapFlags",
+    "JitCompiler",
+    "CommandStreamBuilder",
+    "GpuContext",
+    "RuntimeError_",
+]

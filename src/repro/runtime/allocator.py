@@ -1,0 +1,136 @@
+"""GPU virtual address space management and buffer allocation.
+
+Allocations carry mmap-style protection flags.  The zones mirror how a
+real runtime lays out a GPU address space: an executable zone for shader
+code, a command zone for rings and job descriptors, and a data zone for
+tensors.  Meta-only memory synchronization (§5) keys off exactly this
+information: pages mapped executable hold shader code; pages the runtime
+mapped through "ioctl" flags as command memory hold GPU commands; plain
+read-write data pages are program data and are *not* synchronized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hw.memory import PhysicalMemory, align_up, pages_spanning
+from repro.hw.mmu import PteFlags
+
+
+class BufferKind:
+    """What the allocation holds — determines zone and protection."""
+
+    SHADER = "shader"      # executable: metastate
+    COMMANDS = "commands"  # command ring + job descriptors: metastate
+    DATA = "data"          # tensors: program data, never synced by OursM
+
+
+class MapFlags:
+    """The runtime's mmap/ioctl-visible protection flags (§5 inference)."""
+
+    PROT_READ = 0x1
+    PROT_WRITE = 0x2
+    PROT_EXEC = 0x4
+    FLAG_COMMAND_MEMORY = 0x100
+
+    @staticmethod
+    def to_pte_flags(flags: int) -> int:
+        pte = 0
+        if flags & MapFlags.PROT_READ:
+            pte |= PteFlags.READ
+        if flags & MapFlags.PROT_WRITE:
+            pte |= PteFlags.WRITE
+        if flags & MapFlags.PROT_EXEC:
+            pte |= PteFlags.EXECUTE
+        return pte
+
+
+_KIND_TO_FLAGS = {
+    BufferKind.SHADER: MapFlags.PROT_READ | MapFlags.PROT_EXEC,
+    BufferKind.COMMANDS: (MapFlags.PROT_READ | MapFlags.PROT_WRITE
+                          | MapFlags.FLAG_COMMAND_MEMORY),
+    BufferKind.DATA: MapFlags.PROT_READ | MapFlags.PROT_WRITE,
+}
+
+_ZONE_BASE = {
+    BufferKind.SHADER: 0x10_0000_0000 >> 8,    # 0x1000_0000
+    BufferKind.COMMANDS: 0x2000_0000,
+    BufferKind.DATA: 0x40_0000_0000 >> 4,      # 0x4_0000_0000
+}
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """A GPU-visible allocation: VA + backing PA + protection."""
+
+    name: str
+    kind: str
+    va: int
+    pa: int
+    size: int
+    map_flags: int
+
+    @property
+    def is_metastate(self) -> bool:
+        return self.kind in (BufferKind.SHADER, BufferKind.COMMANDS)
+
+    def page_frames(self) -> range:
+        return pages_spanning(self.pa, self.size)
+
+
+class GpuAddressSpace:
+    """Allocates VAs per zone and physical backing, and maps via the driver."""
+
+    def __init__(self, mem: PhysicalMemory, kbdev) -> None:
+        self.mem = mem
+        self.kbdev = kbdev
+        self._next_va = {
+            BufferKind.SHADER: 0x1000_0000,
+            BufferKind.COMMANDS: 0x2000_0000,
+            BufferKind.DATA: 0x4000_0000,
+        }
+        self.buffers: List[Buffer] = []
+        self._by_name: Dict[str, Buffer] = {}
+
+    def alloc(self, name: str, size: int, kind: str) -> Buffer:
+        if size <= 0:
+            raise ValueError(f"buffer {name!r} has non-positive size")
+        if name in self._by_name:
+            raise ValueError(f"buffer name {name!r} already allocated")
+        size = align_up(size)
+        va = self._next_va[kind]
+        self._next_va[kind] = va + size
+        region = self.mem.alloc(size, label=f"{kind}:{name}")
+        flags = _KIND_TO_FLAGS[kind]
+        buffer = Buffer(name=name, kind=kind, va=va, pa=region.base,
+                        size=size, map_flags=flags)
+        self.kbdev.map_gpu_pages(va, region.base, size,
+                                 MapFlags.to_pte_flags(flags))
+        self.buffers.append(buffer)
+        self._by_name[name] = buffer
+        return buffer
+
+    def get(self, name: str) -> Buffer:
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Views the recorder consumes
+    # ------------------------------------------------------------------
+    def metastate_pfns(self) -> List[int]:
+        """Page frames of all metastate buffers (shaders + commands)."""
+        pfns: List[int] = []
+        for buf in self.buffers:
+            if buf.is_metastate:
+                pfns.extend(buf.page_frames())
+        return pfns
+
+    def data_pfns(self) -> List[int]:
+        pfns: List[int] = []
+        for buf in self.buffers:
+            if not buf.is_metastate:
+                pfns.extend(buf.page_frames())
+        return pfns
+
+    def total_mapped_bytes(self) -> int:
+        return sum(b.size for b in self.buffers)

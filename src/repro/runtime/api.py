@@ -1,0 +1,158 @@
+"""The OpenCL-ish runtime API the ML framework calls.
+
+A :class:`GpuContext` owns the GPU address space of one client: it
+allocates tensor buffers, JIT-compiles shaders into executable memory,
+emits job descriptors, and pushes jobs through the driver one at a time
+(queue depth 1, §5).  It works identically whether the driver underneath
+is native or GR-T's cloud DriverShim — the runtime is part of the dry-run
+GPU stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hw.memory import PhysicalMemory, align_up
+from repro.hw.shader import (
+    ROLE_BIAS,
+    ROLE_INPUT,
+    ROLE_OUTPUT,
+    ROLE_WEIGHT,
+    JobBuffer,
+    ShaderBinary,
+)
+from repro.runtime.allocator import Buffer, BufferKind, GpuAddressSpace
+from repro.runtime.commands import CommandStreamBuilder
+from repro.runtime.compiler import CompilerTarget, JitCompiler
+
+# Per-enqueue CPU cost of the userspace runtime + ioctl path (command
+# emission, argument validation, syscall, scheduler).  This is the
+# overhead replay removes (Table 2's "removal of the complex GPU stack").
+RUNTIME_OP_OVERHEAD_S = 450e-6
+CONTEXT_SETUP_OVERHEAD_S = 1.5e-3
+
+
+class RuntimeError_(RuntimeError):
+    """Runtime API misuse (name clash with builtin avoided by suffix)."""
+
+
+@dataclass(frozen=True)
+class BufferSlice:
+    """A byte range inside a buffer, bindable to a job."""
+
+    buffer: Buffer
+    offset: int = 0
+    length: Optional[int] = None
+
+    @property
+    def va(self) -> int:
+        return self.buffer.va + self.offset
+
+    @property
+    def nbytes(self) -> int:
+        return self.length if self.length is not None else self.buffer.size - self.offset
+
+
+Bindable = Union[Buffer, BufferSlice]
+
+
+def _as_slice(b: Bindable) -> BufferSlice:
+    return b if isinstance(b, BufferSlice) else BufferSlice(buffer=b)
+
+
+class GpuContext:
+    """One app's GPU execution context."""
+
+    def __init__(self, kbdev, mem: PhysicalMemory,
+                 shader_zone_size: int = 1 << 20,
+                 command_zone_size: int = 4 << 20,
+                 flavor: Optional["RuntimeFlavor"] = None) -> None:
+        from repro.runtime.flavors import ACL_OPENCL
+        self.kbdev = kbdev
+        self.mem = mem
+        self.flavor = flavor if flavor is not None else ACL_OPENCL
+        self.clock = kbdev.env.clock
+        self.clock.advance(CONTEXT_SETUP_OVERHEAD_S, label="cpu")
+
+        core_count = bin(int(kbdev.props.shader_present)).count("1")
+        self.target = CompilerTarget(gpu_id=int(kbdev.props.gpu_id),
+                                     core_count=core_count)
+        self.compiler = JitCompiler(self.target, clock=self.clock,
+                                    cost_scale=self.flavor.jit_cost_scale)
+
+        self.aspace = GpuAddressSpace(mem, kbdev)
+        self._shader_buf = self.aspace.alloc("shader-zone", shader_zone_size,
+                                             BufferKind.SHADER)
+        self._cmd_buf = self.aspace.alloc("command-zone", command_zone_size,
+                                          BufferKind.COMMANDS)
+        self.commands = CommandStreamBuilder(mem, self._cmd_buf)
+        self._shader_cursor = 0
+        self._shader_cache: Dict[str, Tuple[int, int]] = {}
+        self.ops_enqueued = 0
+
+    # ------------------------------------------------------------------
+    # Buffers
+    # ------------------------------------------------------------------
+    def alloc_data(self, name: str, nbytes: int) -> Buffer:
+        return self.aspace.alloc(name, nbytes, BufferKind.DATA)
+
+    def upload(self, buffer: Buffer, array: np.ndarray, offset: int = 0) -> None:
+        """CPU writes tensor data into a GPU buffer."""
+        data = np.ascontiguousarray(array, dtype=np.float32)
+        if offset + data.nbytes > buffer.size:
+            raise RuntimeError_(
+                f"upload of {data.nbytes} bytes overflows {buffer.name!r}")
+        self.mem.write_array(buffer.pa + offset, data)
+
+    def download(self, buffer: Buffer, shape: Tuple[int, ...],
+                 offset: int = 0) -> np.ndarray:
+        count = int(np.prod(shape))
+        return self.mem.view(buffer.pa + offset, (count,),
+                             np.float32).reshape(shape).copy()
+
+    # ------------------------------------------------------------------
+    # Shader placement
+    # ------------------------------------------------------------------
+    def _place_shader(self, binary: ShaderBinary, cache_key: Optional[str]) -> Tuple[int, int]:
+        if cache_key is not None and cache_key in self._shader_cache:
+            return self._shader_cache[cache_key]
+        blob = binary.serialize()
+        start = align_up(self._shader_cursor, 64)
+        if start + len(blob) > self._shader_buf.size:
+            raise MemoryError("shader zone exhausted")
+        self.mem.write(self._shader_buf.pa + start, blob)
+        self._shader_cursor = start + len(blob)
+        placed = (self._shader_buf.va + start, len(blob))
+        if cache_key is not None:
+            self._shader_cache[cache_key] = placed
+        return placed
+
+    # ------------------------------------------------------------------
+    # Job submission
+    # ------------------------------------------------------------------
+    def enqueue(self, op: str, params: Dict,
+                inputs: Sequence[Bindable] = (),
+                weights: Sequence[Bindable] = (),
+                biases: Sequence[Bindable] = (),
+                outputs: Sequence[Bindable] = (),
+                cache_key: Optional[str] = None) -> None:
+        """Compile (or reuse) a shader, emit a job, run it to completion."""
+        self.clock.advance(RUNTIME_OP_OVERHEAD_S, label="cpu")
+        cache_key = self.flavor.cache_key_for(cache_key)
+        params = self.flavor.decorate_params(params)
+        binary = self.compiler.compile(op, params, cache_key=cache_key)
+        shader_va, shader_len = self._place_shader(binary, cache_key)
+
+        job_buffers: List[JobBuffer] = []
+        for role, group in ((ROLE_INPUT, inputs), (ROLE_WEIGHT, weights),
+                            (ROLE_BIAS, biases), (ROLE_OUTPUT, outputs)):
+            for bindable in group:
+                s = _as_slice(bindable)
+                job_buffers.append(JobBuffer(va=s.va, length=s.nbytes,
+                                             role=role))
+        emitted = self.commands.emit_job(shader_va, shader_len, job_buffers)
+        self.kbdev.run_compute_job(emitted.descriptor_va)
+        self.ops_enqueued += 1

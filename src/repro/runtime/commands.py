@@ -1,0 +1,78 @@
+"""Command-stream emission into shared memory.
+
+The runtime deposits three kinds of metastate into the command zone for
+every job: a command ring entry (SET_SHADER / BIND_BUFFER / DISPATCH
+words, as a real runtime would emit), and the job descriptor the GPU
+fetches from ``JS_HEAD``.  All of it lands in FLAG_COMMAND_MEMORY pages,
+so meta-only synchronization ships it to the client (§5).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hw.memory import PhysicalMemory, align_up
+from repro.hw.shader import JobBuffer, JobDescriptor
+from repro.runtime.allocator import Buffer
+
+CMD_SET_SHADER = 0x10
+CMD_BIND_BUFFER = 0x20
+CMD_DISPATCH = 0x30
+CMD_BARRIER = 0x40
+
+_WORD = struct.Struct("<IIQ")  # opcode, arg, payload
+
+
+@dataclass
+class EmittedJob:
+    """Where a job's descriptor and ring words live."""
+
+    descriptor_va: int
+    descriptor_pa: int
+    ring_words: int
+
+
+class CommandStreamBuilder:
+    """Bump-allocates descriptors and ring entries inside a command buffer."""
+
+    def __init__(self, mem: PhysicalMemory, cmd_buffer: Buffer) -> None:
+        self.mem = mem
+        self.cmd_buffer = cmd_buffer
+        self._cursor = 0
+        self.jobs_emitted = 0
+
+    def _emit_bytes(self, data: bytes, align: int = 64) -> Tuple[int, int]:
+        """Write ``data`` into the command buffer; return (va, pa)."""
+        start = align_up(self._cursor, align) if align else self._cursor
+        if start + len(data) > self.cmd_buffer.size:
+            raise MemoryError(
+                f"command buffer overflow: need {start + len(data)} bytes, "
+                f"have {self.cmd_buffer.size}"
+            )
+        pa = self.cmd_buffer.pa + start
+        self.mem.write(pa, data)
+        self._cursor = start + len(data)
+        return self.cmd_buffer.va + start, pa
+
+    def emit_job(self, shader_va: int, shader_len: int,
+                 buffers: List[JobBuffer]) -> EmittedJob:
+        """Emit ring words + descriptor for one job."""
+        words = [_WORD.pack(CMD_SET_SHADER, shader_len, shader_va)]
+        for buf in buffers:
+            words.append(_WORD.pack(CMD_BIND_BUFFER, buf.role, buf.va))
+        words.append(_WORD.pack(CMD_DISPATCH, len(buffers), 0))
+        words.append(_WORD.pack(CMD_BARRIER, 0, 0))
+        self._emit_bytes(b"".join(words), align=8)
+
+        descriptor = JobDescriptor(shader_va=shader_va, shader_len=shader_len,
+                                   buffers=tuple(buffers))
+        desc_va, desc_pa = self._emit_bytes(descriptor.serialize())
+        self.jobs_emitted += 1
+        return EmittedJob(descriptor_va=desc_va, descriptor_pa=desc_pa,
+                          ring_words=len(words))
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cursor

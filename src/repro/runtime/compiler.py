@@ -1,0 +1,70 @@
+"""The JIT shader compiler: hardware-neutral ops -> SKU-specific binaries.
+
+Developers ship GPU programs in hardware-neutral form (OpenCL/Metal-like);
+the runtime JIT-compiles them on the target device for its exact GPU SKU
+(§1's late binding).  The compiler here makes that binding concrete: the
+probed ``gpu_id`` is stamped into each binary, and the tile size — the
+main codegen decision — derives from the shader core count.  A binary
+compiled against one SKU faults on another, which is precisely why GR-T
+needs recordings produced against the client's own GPU (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hw.shader import ShaderBinary
+
+# Compilation cost model (per shader): parse + codegen + register alloc.
+JIT_BASE_COST_S = 2.5e-3
+JIT_COST_PER_PARAM_S = 8e-6
+
+
+@dataclass(frozen=True)
+class CompilerTarget:
+    """What the compiler knows about the GPU, learned from the driver's
+    probed registers (not from any out-of-band SKU database)."""
+
+    gpu_id: int
+    core_count: int
+
+    @property
+    def tile_size(self) -> int:
+        # Wider GPUs get larger tiles: the SKU-specific codegen decision.
+        return 16 * max(1, self.core_count)
+
+
+class JitCompiler:
+    """Compiles operator descriptions into :class:`ShaderBinary` blobs."""
+
+    def __init__(self, target: CompilerTarget, clock=None,
+                 cost_scale: float = 1.0) -> None:
+        self.target = target
+        self.clock = clock
+        self.cost_scale = cost_scale
+        self.shaders_compiled = 0
+        self.compile_time_s = 0.0
+        self._cache: Dict[str, ShaderBinary] = {}
+
+    def compile(self, op: str, params: Dict, cache_key: Optional[str] = None) -> ShaderBinary:
+        """Lower one operator.  ``cache_key`` enables per-signature reuse
+        (the runtime compiles each distinct kernel once per context)."""
+        if cache_key is not None and cache_key in self._cache:
+            return self._cache[cache_key]
+        binary = ShaderBinary(
+            op=op,
+            params=dict(params),
+            target_gpu_id=self.target.gpu_id,
+            core_count=self.target.core_count,
+            tile_size=self.target.tile_size,
+        )
+        cost = (JIT_BASE_COST_S
+                + JIT_COST_PER_PARAM_S * len(params)) * self.cost_scale
+        self.compile_time_s += cost
+        if self.clock is not None:
+            self.clock.advance(cost, label="cpu")
+        self.shaders_compiled += 1
+        if cache_key is not None:
+            self._cache[cache_key] = binary
+        return binary

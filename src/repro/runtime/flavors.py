@@ -1,0 +1,64 @@
+"""GPU-stack variants (§3.1: "the cloud ... can also host multiple GPU
+stack variants, catering to different APIs and frameworks").
+
+The cloud's VM images bundle different userspace stacks.  Two are
+modelled, matching :data:`repro.cloud.vm.DEFAULT_IMAGES`:
+
+* ``acl-opencl`` — ARM Compute Library over OpenCL (the paper's stack):
+  kernels are JIT-compiled once per signature and shared across layers.
+* ``tflite-gles`` — TFLite's GPU delegate over GLES: every node gets its
+  own program object (no cross-node sharing), and program blobs carry
+  extra GLES state.
+
+Both produce *valid, replayable* recordings for the same workload; they
+differ in shader-zone contents, JIT time, and metastate size — visible in
+the recording, exactly as two real stacks would differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class RuntimeFlavor:
+    """What distinguishes one userspace GPU stack from another here."""
+
+    name: str
+    api: str
+    shader_cache: bool          # share compiled kernels across nodes?
+    binary_overhead: int        # extra bytes per shader blob (API state)
+    jit_cost_scale: float       # relative compilation cost
+
+    def cache_key_for(self, key: Optional[str]) -> Optional[str]:
+        return key if self.shader_cache else None
+
+    def decorate_params(self, params: Dict) -> Dict:
+        if not self.binary_overhead:
+            return params
+        decorated = dict(params)
+        # GLES program state rides along in the binary (padding blob).
+        decorated["api_state"] = "g" * self.binary_overhead
+        return decorated
+
+
+ACL_OPENCL = RuntimeFlavor(name="acl-opencl", api="opencl",
+                           shader_cache=True, binary_overhead=0,
+                           jit_cost_scale=1.0)
+
+TFLITE_GLES = RuntimeFlavor(name="tflite-gles", api="gles",
+                            shader_cache=False, binary_overhead=96,
+                            jit_cost_scale=1.4)
+
+FLAVORS: Dict[str, RuntimeFlavor] = {
+    ACL_OPENCL.name: ACL_OPENCL,
+    TFLITE_GLES.name: TFLITE_GLES,
+}
+
+
+def flavor_for_image(image_name: str) -> RuntimeFlavor:
+    """Map a cloud VM image to the runtime flavor it hosts."""
+    if image_name in FLAVORS:
+        return FLAVORS[image_name]
+    raise KeyError(f"no runtime flavor for VM image {image_name!r}")

@@ -1,0 +1,28 @@
+"""Simulation substrate: virtual time, network links, and energy accounting.
+
+Everything in GR-T's evaluation is a function of elapsed time, bytes moved,
+and round trips taken.  This package provides the primitives the rest of the
+system uses to account for those quantities without consuming wall-clock
+time: a :class:`~repro.sim.clock.VirtualClock`, a latency/bandwidth
+:class:`~repro.sim.network.Link` model, and an integrating
+:class:`~repro.sim.energy.EnergyMeter`.
+"""
+
+from repro.sim.clock import VirtualClock, Timeline, TimelineSpan
+from repro.sim.network import Link, LinkProfile, Message, NetworkStats, WIFI, CELLULAR
+from repro.sim.energy import EnergyMeter, PowerModel, HIKEY960_POWER
+
+__all__ = [
+    "VirtualClock",
+    "Timeline",
+    "TimelineSpan",
+    "Link",
+    "LinkProfile",
+    "Message",
+    "NetworkStats",
+    "WIFI",
+    "CELLULAR",
+    "EnergyMeter",
+    "PowerModel",
+    "HIKEY960_POWER",
+]

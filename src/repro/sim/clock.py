@@ -1,0 +1,116 @@
+"""Virtual time for the GR-T simulation.
+
+The paper reports recording delays of up to ~800 seconds (Figure 7).  We
+reproduce those numbers on a *virtual* clock: components advance the clock
+explicitly by the cost of the operation they model (a network round trip, a
+GPU job, a driver routine).  The clock also keeps a labelled timeline so the
+energy model (:mod:`repro.sim.energy`) can integrate power over activity
+spans, and so benchmarks can break a recording delay down by cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TimelineSpan:
+    """One labelled span of virtual time.
+
+    ``label`` identifies the activity ("network", "gpu", "cpu", "idle", ...).
+    Spans never overlap; the timeline is strictly ordered.
+    """
+
+    start: float
+    end: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """An append-only record of labelled activity spans."""
+
+    def __init__(self) -> None:
+        self._spans: List[TimelineSpan] = []
+
+    def add(self, start: float, end: float, label: str) -> None:
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end}")
+        if self._spans and start < self._spans[-1].end - 1e-12:
+            raise ValueError("timeline spans must be appended in order")
+        self._spans.append(TimelineSpan(start, end, label))
+
+    def __iter__(self) -> Iterator[TimelineSpan]:
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def total(self, label: Optional[str] = None) -> float:
+        """Total duration, optionally restricted to spans with ``label``."""
+        if label is None:
+            return sum(s.duration for s in self._spans)
+        return sum(s.duration for s in self._spans if s.label == label)
+
+    def by_label(self) -> Dict[str, float]:
+        """Map each label to the total time spent under it."""
+        acc: Dict[str, float] = {}
+        for span in self._spans:
+            acc[span.label] = acc.get(span.label, 0.0) + span.duration
+        return acc
+
+
+class VirtualClock:
+    """A monotonically advancing simulated clock, in seconds.
+
+    ``advance`` moves time forward and records the span on the timeline.
+    ``advance_to`` jumps to an absolute time (used when waiting for an
+    asynchronous completion, e.g. an outstanding speculative commit), and
+    is a no-op if the target is already in the past.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.timeline = Timeline()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float, label: str = "cpu") -> float:
+        """Advance by ``seconds`` (must be >= 0). Returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        if seconds > 0:
+            start = self._now
+            self._now += seconds
+            self.timeline.add(start, self._now, label)
+        return self._now
+
+    def advance_to(self, when: float, label: str = "idle") -> float:
+        """Advance to absolute time ``when`` if it is in the future."""
+        if when > self._now:
+            self.advance(when - self._now, label)
+        return self._now
+
+    def elapsed_since(self, t0: float) -> float:
+        return self._now - t0
+
+
+@dataclass
+class StopWatch:
+    """Convenience for measuring a region of virtual time."""
+
+    clock: VirtualClock
+    start: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        self.start = self.clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now - self.start

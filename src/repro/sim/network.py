@@ -1,0 +1,197 @@
+"""Network link model between the cloud recording VM and the client TEE.
+
+The paper evaluates under two NetEm-shaped conditions (§7.2):
+
+* WiFi-like:     RTT 20 ms, bandwidth 80 Mbps
+* cellular-like: RTT 50 ms, bandwidth 40 Mbps
+
+A :class:`Link` charges virtual time for messages and keeps the statistics
+the paper reports: blocking round trips, total bytes, per-direction traffic.
+A *blocking* round trip stalls the sender (clock advances by RTT plus
+serialization time); an *asynchronous* send only computes the completion
+time so speculation can overlap it with driver execution (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.clock import VirtualClock
+
+# Fixed per-message cost of framing + TLS record overhead (§7.1 notes the
+# encryption overhead is low because commit payloads are 200-400 bytes).
+MESSAGE_OVERHEAD_BYTES = 96
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Static parameters of a network path."""
+
+    name: str
+    rtt_s: float
+    bandwidth_bps: float
+
+    @property
+    def one_way_s(self) -> float:
+        return self.rtt_s / 2.0
+
+    def serialize_s(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` onto the wire."""
+        return (nbytes * 8.0) / self.bandwidth_bps
+
+
+WIFI = LinkProfile(name="wifi", rtt_s=0.020, bandwidth_bps=80e6)
+CELLULAR = LinkProfile(name="cellular", rtt_s=0.050, bandwidth_bps=40e6)
+# A same-machine "link" used for local (non-GR-T) recording baselines.
+LOOPBACK = LinkProfile(name="loopback", rtt_s=20e-6, bandwidth_bps=10e9)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single application message with its payload size in bytes."""
+
+    kind: str
+    payload_bytes: int
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + MESSAGE_OVERHEAD_BYTES
+
+
+@dataclass
+class NetworkStats:
+    """Counters matching what Table 1 and §7 report."""
+
+    blocking_round_trips: int = 0
+    async_sends: int = 0
+    one_way_messages: int = 0
+    bytes_to_client: int = 0
+    bytes_to_cloud: int = 0
+    time_blocked_s: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_to_client + self.bytes_to_cloud
+
+    def merged_with(self, other: "NetworkStats") -> "NetworkStats":
+        return NetworkStats(
+            blocking_round_trips=self.blocking_round_trips + other.blocking_round_trips,
+            async_sends=self.async_sends + other.async_sends,
+            one_way_messages=self.one_way_messages + other.one_way_messages,
+            bytes_to_client=self.bytes_to_client + other.bytes_to_client,
+            bytes_to_cloud=self.bytes_to_cloud + other.bytes_to_cloud,
+            time_blocked_s=self.time_blocked_s + other.time_blocked_s,
+        )
+
+
+class Link:
+    """A bidirectional cloud<->client path bound to a virtual clock.
+
+    The clock is the *cloud-side* clock: GR-T's recording delay is measured
+    end to end at the session level, and the cloud drives the session.  The
+    client's time is derived (client events happen at cloud time +/- one-way
+    latency); for delay accounting a single clock suffices because the two
+    sides strictly alternate except during speculation, which is modelled by
+    asynchronous completion times.
+    """
+
+    def __init__(self, profile: LinkProfile, clock: VirtualClock) -> None:
+        self.profile = profile
+        self.clock = clock
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Blocking operations: the caller's clock advances.
+    # ------------------------------------------------------------------
+    def round_trip(self, request: Message, response: Message) -> float:
+        """Synchronous request/response; returns elapsed virtual seconds."""
+        cost = (
+            self.profile.rtt_s
+            + self.profile.serialize_s(request.wire_bytes)
+            + self.profile.serialize_s(response.wire_bytes)
+        )
+        self.clock.advance(cost, label="network")
+        self.stats.blocking_round_trips += 1
+        self.stats.bytes_to_client += request.wire_bytes
+        self.stats.bytes_to_cloud += response.wire_bytes
+        self.stats.time_blocked_s += cost
+        return cost
+
+    def send_to_client(self, message: Message, blocking: bool = True) -> float:
+        """One-way cloud->client transfer (e.g. a memory-dump push).
+
+        Returns the virtual time at which the client has the full message.
+        When ``blocking``, the sender waits for serialization (it must push
+        all bytes) but not for an application-level reply.
+        """
+        serialize = self.profile.serialize_s(message.wire_bytes)
+        if blocking:
+            self.clock.advance(serialize, label="network")
+        self.stats.one_way_messages += 1
+        self.stats.bytes_to_client += message.wire_bytes
+        arrival = self.clock.now + self.profile.one_way_s
+        if not blocking:
+            arrival += serialize
+        return arrival
+
+    def receive_from_client(self, message: Message) -> float:
+        """One-way client->cloud transfer; the cloud waits for delivery."""
+        cost = self.profile.one_way_s + self.profile.serialize_s(message.wire_bytes)
+        self.clock.advance(cost, label="network")
+        self.stats.one_way_messages += 1
+        self.stats.bytes_to_cloud += message.wire_bytes
+        return cost
+
+    # ------------------------------------------------------------------
+    # Asynchronous operation used by speculation (§4.2).
+    # ------------------------------------------------------------------
+    def async_round_trip(self, request: Message, response: Message) -> float:
+        """Issue a request without blocking; return its completion time.
+
+        The caller continues executing on predicted values and later calls
+        ``clock.advance_to(completion)`` at a stall point.
+        """
+        completion = (
+            self.clock.now
+            + self.profile.rtt_s
+            + self.profile.serialize_s(request.wire_bytes)
+            + self.profile.serialize_s(response.wire_bytes)
+        )
+        self.stats.async_sends += 1
+        self.stats.bytes_to_client += request.wire_bytes
+        self.stats.bytes_to_cloud += response.wire_bytes
+        return completion
+
+
+@dataclass
+class SecureChannel:
+    """An authenticated, encrypted session over a :class:`Link` (§7.1).
+
+    Establishing the channel costs a couple of RTTs (attested TLS); after
+    that, per-message crypto adds only fixed framing overhead, already
+    accounted in :data:`MESSAGE_OVERHEAD_BYTES`.
+    """
+
+    link: Link
+    established: bool = False
+    handshake_rtts: int = 2
+    session_id: Optional[str] = None
+    peer_attested: bool = field(default=False)
+
+    def establish(self, session_id: str, attested: bool) -> None:
+        if not attested:
+            raise PermissionError(
+                "client TEE refuses channel to unattested cloud VM"
+            )
+        for _ in range(self.handshake_rtts):
+            self.link.round_trip(
+                Message("tls-handshake", 256), Message("tls-handshake", 256)
+            )
+        self.established = True
+        self.peer_attested = True
+        self.session_id = session_id
+
+    def require_established(self) -> None:
+        if not self.established:
+            raise RuntimeError("secure channel not established")

@@ -1,0 +1,40 @@
+"""TrustZone TEE model: worlds, memory/MMIO protection, crypto, attestation.
+
+The security properties of §7.1 are *enforced* by this package rather than
+narrated: a normal-world access to GPU MMIO or protected memory while the
+TEE holds the GPU raises :class:`SecurityViolation`; replay accepts only
+recordings whose signature verifies against the cloud service key; the
+client refuses sessions with unattested cloud VMs.  Crypto is HMAC/SHA-256
+from the standard library — the construction, key handling, and protocol
+shape are what is being modelled, not cryptographic strength.
+"""
+
+from repro.tee.crypto import SigningKey, VerifyError, blob_digest
+from repro.tee.attestation import (
+    AttestationError,
+    AttestationReport,
+    CloudRootOfTrust,
+)
+from repro.tee.worlds import (
+    GpuMmioGuard,
+    SecurityViolation,
+    TrustZoneController,
+    World,
+)
+from repro.tee.optee import OpTeeOS, TeeModule, TeeSession
+
+__all__ = [
+    "SigningKey",
+    "VerifyError",
+    "blob_digest",
+    "AttestationError",
+    "AttestationReport",
+    "CloudRootOfTrust",
+    "GpuMmioGuard",
+    "SecurityViolation",
+    "TrustZoneController",
+    "World",
+    "OpTeeOS",
+    "TeeModule",
+    "TeeSession",
+]

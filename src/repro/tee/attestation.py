@@ -1,0 +1,70 @@
+"""Remote attestation of cloud recording VMs (§3.1, §7.1).
+
+Before a client TEE sends anything to a cloud VM, it demands an
+attestation report: a measurement of the VM image (the GPU stack the dry
+run will execute) signed by the cloud's root of trust — the SGX/SEV
+analogue.  The client pins the root key and the set of VM image
+measurements it accepts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Set
+
+from repro.tee.crypto import SigningKey, VerifyError
+
+
+class AttestationError(Exception):
+    """Attestation report rejected."""
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """Measurement + freshness nonce, signed by the cloud root key."""
+
+    vm_image_measurement: bytes
+    nonce: bytes
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        return self.vm_image_measurement + self.nonce
+
+
+class CloudRootOfTrust:
+    """The cloud provider's attestation signing authority."""
+
+    def __init__(self, seed: bytes = b"cloud-root") -> None:
+        self.key = SigningKey.generate("cloud-root", seed)
+
+    def attest(self, vm_image: bytes, nonce: bytes) -> AttestationReport:
+        measurement = hashlib.sha256(vm_image).digest()
+        payload = measurement + nonce
+        return AttestationReport(
+            vm_image_measurement=measurement,
+            nonce=nonce,
+            signature=self.key.sign(payload),
+        )
+
+
+class AttestationVerifier:
+    """Client-side policy: pinned root key + allow-listed measurements."""
+
+    def __init__(self, root_key: SigningKey) -> None:
+        self.root_key = root_key
+        self.allowed_measurements: Set[bytes] = set()
+
+    def allow_image(self, vm_image: bytes) -> None:
+        self.allowed_measurements.add(hashlib.sha256(vm_image).digest())
+
+    def verify(self, report: AttestationReport, expected_nonce: bytes) -> None:
+        if report.nonce != expected_nonce:
+            raise AttestationError("stale attestation report (nonce mismatch)")
+        try:
+            self.root_key.verify(report.signed_payload(), report.signature)
+        except VerifyError as exc:
+            raise AttestationError(f"bad attestation signature: {exc}") from exc
+        if report.vm_image_measurement not in self.allowed_measurements:
+            raise AttestationError(
+                "cloud VM image measurement is not in the client's allow list")

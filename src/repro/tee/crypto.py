@@ -1,0 +1,66 @@
+"""Keys and signatures for recordings and session authentication.
+
+The cloud signs every recording before returning it (§3.2); the replayer
+"only accepts recordings signed by the cloud" (§7.1).  HMAC-SHA256 stands
+in for the production signature scheme: same API shape (sign/verify over a
+digest), deterministic, and dependency-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class VerifyError(Exception):
+    """Signature or digest verification failed."""
+
+
+def blob_digest(blob: bytes) -> bytes:
+    return hashlib.sha256(blob).digest()
+
+
+@dataclass(frozen=True)
+class SigningKey:
+    """A symmetric signing identity (cloud service key, session key)."""
+
+    name: str
+    secret: bytes
+
+    @staticmethod
+    def generate(name: str, seed: bytes = b"") -> "SigningKey":
+        # Deterministic derivation keeps record/replay tests reproducible.
+        material = hashlib.sha256(b"repro-key:" + name.encode() + seed).digest()
+        return SigningKey(name=name, secret=material)
+
+    def sign(self, blob: bytes) -> bytes:
+        return hmac.new(self.secret, blob, hashlib.sha256).digest()
+
+    def verify(self, blob: bytes, signature: bytes) -> None:
+        expected = self.sign(blob)
+        if not hmac.compare_digest(expected, signature):
+            raise VerifyError(
+                f"signature by {self.name!r} does not verify")
+
+    def derive(self, purpose: str) -> "SigningKey":
+        """Derive a sub-key (e.g. a per-session key from a service key)."""
+        material = hmac.new(self.secret, purpose.encode(),
+                            hashlib.sha256).digest()
+        return SigningKey(name=f"{self.name}/{purpose}", secret=material)
+
+
+@dataclass
+class KeyStore:
+    """The TEE's pinned trust anchors (provisioned at manufacture)."""
+
+    trusted: Dict[str, SigningKey] = field(default_factory=dict)
+
+    def pin(self, key: SigningKey) -> None:
+        self.trusted[key.name] = key
+
+    def verify_with(self, key_name: str, blob: bytes, signature: bytes) -> None:
+        if key_name not in self.trusted:
+            raise VerifyError(f"no pinned key named {key_name!r}")
+        self.trusted[key_name].verify(blob, signature)

@@ -1,0 +1,100 @@
+"""A minimal OP-TEE-like trusted OS hosting TEE modules.
+
+GPUShim is deployed as a TEE module (§3.2).  This model provides what it
+needs from the trusted OS: module loading, GlobalPlatform-style sessions
+with command invocation, access to the TZASC, and secure storage for
+pinned keys and downloaded recordings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.tee.crypto import KeyStore
+from repro.tee.worlds import SecurityViolation, TrustZoneController, World
+
+
+class TeeModule:
+    """Base class for trusted modules (GPUShim, the replayer service).
+
+    Subclasses register command handlers; the normal world reaches them
+    only through :class:`TeeSession` invocations.
+    """
+
+    name = "tee-module"
+
+    def __init__(self) -> None:
+        self._commands: Dict[str, Callable[..., Any]] = {}
+
+    def register_command(self, name: str, handler: Callable[..., Any]) -> None:
+        self._commands[name] = handler
+
+    def invoke(self, command: str, **params) -> Any:
+        if command not in self._commands:
+            raise KeyError(f"{self.name}: unknown command {command!r}")
+        return self._commands[command](**params)
+
+
+@dataclass
+class TeeSession:
+    """A GlobalPlatform session from a normal-world client to a module."""
+
+    os: "OpTeeOS"
+    module: TeeModule
+    session_id: int
+    closed: bool = False
+
+    def invoke(self, command: str, **params) -> Any:
+        if self.closed:
+            raise RuntimeError("session is closed")
+        # Crossing into the secure world is an SMC round trip.
+        self.os.tzasc.smc_enter_secure()
+        try:
+            return self.module.invoke(command, **params)
+        finally:
+            self.os.tzasc.smc_exit_secure()
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class OpTeeOS:
+    """The trusted OS instance on one client device."""
+
+    def __init__(self, tzasc: Optional[TrustZoneController] = None) -> None:
+        self.tzasc = tzasc or TrustZoneController()
+        self.keystore = KeyStore()
+        self._modules: Dict[str, TeeModule] = {}
+        self._secure_storage: Dict[str, bytes] = {}
+        self._next_session = 1
+
+    # ------------------------------------------------------------------
+    def load_module(self, module: TeeModule) -> None:
+        if module.name in self._modules:
+            raise ValueError(f"module {module.name!r} already loaded")
+        self._modules[module.name] = module
+
+    def open_session(self, module_name: str) -> TeeSession:
+        if module_name not in self._modules:
+            raise KeyError(f"no TEE module named {module_name!r}")
+        session = TeeSession(os=self, module=self._modules[module_name],
+                             session_id=self._next_session)
+        self._next_session += 1
+        return session
+
+    # ------------------------------------------------------------------
+    # Secure storage (recordings, model weights)
+    # ------------------------------------------------------------------
+    def store(self, key: str, blob: bytes) -> None:
+        self._secure_storage[key] = bytes(blob)
+
+    def load(self, key: str) -> bytes:
+        if key not in self._secure_storage:
+            raise KeyError(f"secure storage has no object {key!r}")
+        return self._secure_storage[key]
+
+    def require_secure_world(self) -> None:
+        if self.tzasc.current_world != World.SECURE:
+            raise SecurityViolation(
+                "operation requires execution in the secure world")

@@ -1,0 +1,157 @@
+"""TrustZone worlds and the address-space controller.
+
+Models the hardware half of §7.1's integrity story: a TZASC-style
+controller assigns physical memory ranges and the GPU MMIO region to one
+world at a time.  While GPUShim holds the GPU for recording or replay, any
+normal-world register access or protected-memory access raises
+:class:`SecurityViolation` — the simulated equivalent of the bus fault the
+real TZASC generates.
+
+On Hikey960 the TZASC is undocumented, so the paper statically reserves
+GPU memory and maps MMIO into the TEE (§6); :meth:`TrustZoneController.
+static_reserve` models exactly that workaround.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+class World:
+    NORMAL = "normal"
+    SECURE = "secure"
+
+
+class SecurityViolation(PermissionError):
+    """An access the TZASC / secure monitor forbids."""
+
+
+@dataclass
+class _Range:
+    base: int
+    size: int
+    owner: str
+
+    def contains(self, pa: int) -> bool:
+        return self.base <= pa < self.base + self.size
+
+
+class TrustZoneController:
+    """TZASC + secure-monitor state: who owns memory, MMIO, and IRQs."""
+
+    def __init__(self) -> None:
+        self.current_world = World.NORMAL
+        self._protected: List[_Range] = []
+        self.gpu_mmio_owner = World.NORMAL
+        self.gpu_irq_routed_to = World.NORMAL
+        self.violations = 0
+        self._static_reservation: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # World switching (SMC)
+    # ------------------------------------------------------------------
+    def smc_enter_secure(self) -> None:
+        self.current_world = World.SECURE
+
+    def smc_exit_secure(self) -> None:
+        self.current_world = World.NORMAL
+
+    # ------------------------------------------------------------------
+    # Memory protection
+    # ------------------------------------------------------------------
+    def static_reserve(self, base: int, size: int) -> None:
+        """The Hikey960 workaround: carve GPU memory out for the TEE at
+        boot instead of reprogramming the (undocumented) TZASC."""
+        self._static_reservation = (base, size)
+        self._protected.append(_Range(base, size, World.SECURE))
+
+    def protect_range(self, base: int, size: int) -> None:
+        self._protected.append(_Range(base, size, World.SECURE))
+
+    def release_range(self, base: int, size: int) -> None:
+        if self._static_reservation == (base, size):
+            raise SecurityViolation(
+                "statically reserved TEE memory cannot be released at runtime")
+        self._protected = [r for r in self._protected
+                           if (r.base, r.size) != (base, size)]
+
+    def check_memory_access(self, pa: int, world: str) -> None:
+        for r in self._protected:
+            if r.contains(pa) and world != r.owner:
+                self.violations += 1
+                raise SecurityViolation(
+                    f"{world}-world access to protected pa={pa:#x}")
+
+    # ------------------------------------------------------------------
+    # GPU MMIO + IRQ routing
+    # ------------------------------------------------------------------
+    def lock_gpu_to_secure(self) -> None:
+        self.gpu_mmio_owner = World.SECURE
+        self.gpu_irq_routed_to = World.SECURE
+
+    def release_gpu(self) -> None:
+        self.gpu_mmio_owner = World.NORMAL
+        self.gpu_irq_routed_to = World.NORMAL
+
+    def check_gpu_access(self, world: str) -> None:
+        if world != self.gpu_mmio_owner:
+            self.violations += 1
+            raise SecurityViolation(
+                f"{world}-world GPU MMIO access while owned by "
+                f"{self.gpu_mmio_owner}")
+
+
+class ProtectedMemoryView:
+    """A world-tagged view of physical memory.
+
+    Models the TZASC sitting on the memory bus: every access from this
+    view is checked against the protected ranges.  The normal-world OS
+    (and devices DMA-ing on its behalf) reads TEE memory through views
+    like this — and faults.
+    """
+
+    def __init__(self, mem, tzasc: TrustZoneController, world: str) -> None:
+        self._mem = mem
+        self._tzasc = tzasc
+        self._world = world
+
+    def read(self, pa: int, nbytes: int) -> bytes:
+        self._tzasc.check_memory_access(pa, self._world)
+        return self._mem.read(pa, nbytes)
+
+    def write(self, pa: int, data: bytes) -> None:
+        self._tzasc.check_memory_access(pa, self._world)
+        self._mem.write(pa, data)
+
+    def read_u32(self, pa: int) -> int:
+        self._tzasc.check_memory_access(pa, self._world)
+        return self._mem.read_u32(pa)
+
+    def write_u32(self, pa: int, value: int) -> None:
+        self._tzasc.check_memory_access(pa, self._world)
+        self._mem.write_u32(pa, value)
+
+
+class GpuMmioGuard:
+    """A world-tagged view of the GPU's register file.
+
+    Register accesses check MMIO ownership; everything else (event-queue
+    introspection used by platforms) passes through.
+    """
+
+    def __init__(self, gpu, tzasc: TrustZoneController, world: str) -> None:
+        self._gpu = gpu
+        self._tzasc = tzasc
+        self._world = world
+
+    def read_reg(self, offset: int) -> int:
+        self._tzasc.check_gpu_access(self._world)
+        return self._gpu.read_reg(offset)
+
+    def write_reg(self, offset: int, value: int) -> None:
+        self._tzasc.check_gpu_access(self._world)
+        self._gpu.write_reg(offset, value)
+
+    def __getattr__(self, name: str):
+        return getattr(self._gpu, name)

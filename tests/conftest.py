@@ -1,0 +1,77 @@
+"""Shared fixtures for the GR-T reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.speculation import CommitHistory
+from repro.core.testbed import ClientDevice
+from repro.driver.bus import LocalBus
+from repro.driver.driver import KbaseDevice, LocalPlatform
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.kernel.env import KernelEnv
+from repro.ml.graph import Graph
+from repro.ml.layers import Conv2D, Dense, MaxPool, Softmax
+from repro.sim.clock import VirtualClock
+
+
+def build_micro_graph() -> Graph:
+    """A 2-conv micro NN used where full MNIST would be overkill."""
+    g = Graph("micro", (1, 8, 8))
+    g.add("conv1", Conv2D(4, 3, pad=1, activation="relu"), ["input"])
+    g.add("pool1", MaxPool(2), ["conv1"])
+    g.add("fc", Dense(5), ["pool1"])
+    g.add("softmax", Softmax(), ["fc"])
+    g.validate()
+    return g
+
+
+@pytest.fixture
+def micro_graph() -> Graph:
+    return build_micro_graph()
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def small_mem() -> PhysicalMemory:
+    return PhysicalMemory(size=32 << 20)
+
+
+@pytest.fixture
+def gpu_setup(clock, small_mem):
+    """(gpu, env, platform, bus, kbdev) wired natively, probed."""
+    gpu = MaliGpu(HIKEY960_G71, small_mem, clock)
+    env = KernelEnv(clock)
+    platform = LocalPlatform(gpu, env)
+    bus = LocalBus(gpu, clock)
+    kbdev = KbaseDevice(env, bus, small_mem)
+    platform.attach(kbdev)
+    kbdev.probe()
+    return gpu, env, platform, bus, kbdev
+
+
+@pytest.fixture(scope="session")
+def recorded_micro():
+    """One OursMDS recording of the micro graph, reused across tests."""
+    graph = build_micro_graph()
+    session = RecordSession(graph, config=OURS_MDS)
+    result = session.run()
+    return graph, session, result
+
+
+@pytest.fixture(scope="session")
+def warm_history():
+    """A commit history warmed on the micro graph (3 runs, k=3)."""
+    graph = build_micro_graph()
+    history = CommitHistory()
+    for _ in range(3):
+        RecordSession(graph, config=OURS_MDS, history=history).run()
+    return history

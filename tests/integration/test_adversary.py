@@ -1,0 +1,122 @@
+"""Integration: a privileged normal-world adversary attacks a live
+session (§7.1's local threat model), and every attack is stopped by a
+mechanism the model actually enforces."""
+
+import numpy as np
+import pytest
+
+from repro.core.gpushim import GpuShim
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.recording import RecordingFormatError
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.hw.clocks import SocClockController
+from repro.ml.runner import generate_weights
+from repro.tee.worlds import (
+    GpuMmioGuard,
+    ProtectedMemoryView,
+    SecurityViolation,
+    World,
+)
+from tests.conftest import build_micro_graph
+
+
+class Adversary:
+    """The compromised OS: normal-world views of every shared resource."""
+
+    def __init__(self, device: ClientDevice):
+        self.mmio = GpuMmioGuard(device.gpu, device.optee.tzasc,
+                                 World.NORMAL)
+        self.memory = ProtectedMemoryView(device.mem, device.optee.tzasc,
+                                          World.NORMAL)
+        self.clk = device.clk
+        self.device = device
+
+
+@pytest.fixture
+def armed_device():
+    """A device with GPUShim holding an active session."""
+    device = ClientDevice()
+    shim = GpuShim(device.optee, device.gpu, device.clock, clk=device.clk)
+    device.optee.load_module(shim)
+    shim.begin_session()
+    yield device, shim, Adversary(device)
+    shim.end_session()
+
+
+class TestLocalAdversary:
+    def test_cannot_read_gpu_registers(self, armed_device):
+        device, shim, adv = armed_device
+        with pytest.raises(SecurityViolation):
+            adv.mmio.read_reg(0x0)
+
+    def test_cannot_inject_gpu_commands(self, armed_device):
+        device, shim, adv = armed_device
+        with pytest.raises(SecurityViolation):
+            adv.mmio.write_reg(0x30, 0x1)  # GPU_COMMAND soft reset
+
+    def test_cannot_read_tee_memory(self, armed_device):
+        """The client memory carveout is statically reserved for the
+        secure world (§6's Hikey960 workaround)."""
+        device, shim, adv = armed_device
+        with pytest.raises(SecurityViolation):
+            adv.memory.read(device.mem.base, 64)
+
+    def test_cannot_tamper_tee_memory(self, armed_device):
+        device, shim, adv = armed_device
+        with pytest.raises(SecurityViolation):
+            adv.memory.write(device.mem.base + 4096, b"\xEE" * 8)
+
+    def test_cannot_glitch_gpu_clock(self, armed_device):
+        device, shim, adv = armed_device
+        with pytest.raises(SecurityViolation):
+            adv.clk.set_rate(178, world=World.NORMAL)
+
+    def test_violations_are_counted(self, armed_device):
+        device, shim, adv = armed_device
+        before = device.optee.tzasc.violations
+        for attack in (lambda: adv.mmio.read_reg(0),
+                       lambda: adv.memory.read(device.mem.base, 4)):
+            with pytest.raises(SecurityViolation):
+                attack()
+        assert device.optee.tzasc.violations == before + 2
+
+    def test_access_restored_after_session(self):
+        device = ClientDevice()
+        shim = GpuShim(device.optee, device.gpu, device.clock,
+                       clk=device.clk)
+        device.optee.load_module(shim)
+        adv = Adversary(device)
+        shim.begin_session()
+        shim.end_session()
+        adv.mmio.read_reg(0x0)  # MMIO back with the OS
+        adv.clk.set_rate(533, world=World.NORMAL)  # DVFS back with the OS
+
+
+class TestStorageAdversary:
+    def test_recording_swap_detected(self, recorded_micro):
+        """The OS controls flash: it may swap the stored recording for a
+        recording of a *different* workload it obtained legitimately.
+        The signature still verifies (it is a real cloud signature), but
+        the TEE's workload/manifest check catches the swap."""
+        graph, session, result = recorded_micro
+        other_graph = build_micro_graph()
+        other = RecordSession("mnist", config=OURS_MDS,
+                              service=session.service).run()
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        swapped = replayer.load(other.recording.to_bytes())
+        # The app asked for the micro workload; it must notice the swap.
+        assert swapped.workload != result.recording.workload
+
+    def test_bitflip_in_storage_detected(self, recorded_micro):
+        graph, session, result = recorded_micro
+        device = ClientDevice.for_workload(graph)
+        device.optee.store("rec", result.recording.to_bytes())
+        blob = bytearray(device.optee.load("rec"))
+        blob[len(blob) // 2] ^= 0x20
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        with pytest.raises(RecordingFormatError):
+            replayer.load(bytes(blob))

@@ -1,0 +1,77 @@
+"""Integration: the command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def recorded_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "mnist.grt"
+    rc = main(["record", "--workload", "mnist", "--out", str(path),
+               "--warm", "1"])
+    assert rc == 0
+    return str(path)
+
+
+class TestCli:
+    def test_skus_listing(self, capsys):
+        assert main(["skus"]) == 0
+        out = capsys.readouterr().out
+        assert "Mali-G71 MP8" in out
+        assert "Adreno 630" in out
+
+    def test_skus_family_filter(self, capsys):
+        assert main(["skus", "--family", "powervr"]) == 0
+        out = capsys.readouterr().out
+        assert "PowerVR" in out
+        assert "Mali" not in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mnist", "alexnet", "vgg16"):
+            assert name in out
+
+    def test_record_writes_artifacts(self, recorded_file, capsys):
+        assert os.path.exists(recorded_file)
+        assert os.path.exists(recorded_file + ".key")
+        stats = json.load(open(recorded_file + ".stats.json"))
+        assert stats["workload"] == "mnist"
+        assert stats["gpu_jobs"] > 0
+
+    def test_replay_runs(self, recorded_file, capsys):
+        rc = main(["replay", "-r", recorded_file, "--runs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run 0" in out and "run 1" in out
+        assert "ms" in out
+
+    def test_inspect(self, recorded_file, capsys):
+        assert main(["inspect", recorded_file]) == 0
+        out = capsys.readouterr().out
+        assert "workload     : mnist" in out
+        assert "segments" in out
+        assert "conv1" in out
+
+    def test_diff_identical(self, recorded_file, capsys):
+        rc = main(["diff", recorded_file, recorded_file])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different(self, recorded_file, tmp_path, capsys):
+        other = tmp_path / "naive.grt"
+        assert main(["record", "--workload", "mnist", "--recorder",
+                     "Naive", "--out", str(other), "--warm", "0"]) == 0
+        capsys.readouterr()
+        rc = main(["diff", recorded_file, str(other)])
+        # Naive traces poll via raw reads -> structural divergence.
+        assert rc == 2
+        assert "divergence" in capsys.readouterr().out
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["record", "--workload", "gpt", "--out", "/tmp/x.grt"])

@@ -1,0 +1,59 @@
+"""Integration: every example script must run end to end.
+
+Examples are documentation that executes; this harness keeps them from
+rotting as the library evolves.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart",
+    "secure_inference",
+    "sku_diversity",
+    "layer_streaming",
+    "io_device_replay",
+    "digit_recognition",
+]
+
+SLOW_EXAMPLES = ["network_conditions"]
+
+
+def _run_example(name, capsys):
+    path = f"examples/{name}.py"
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    out = _run_example(name, capsys)
+    assert out.strip(), f"{name} produced no output"
+    assert "Traceback" not in out
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name, capsys):
+    out = _run_example(name, capsys)
+    assert out.strip()
+
+
+class TestExampleClaims:
+    """Spot-check the load-bearing lines the examples print."""
+
+    def test_quickstart_claims_agreement(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "correct=True" in out
+        assert "outputs agree" in out
+
+    def test_secure_inference_all_checks_pass(self, capsys):
+        out = _run_example("secure_inference", capsys)
+        assert out.count("[ok]") == 4
+        assert "All security properties held" in out
+
+    def test_digit_recognition_accuracies_match(self, capsys):
+        out = _run_example("digit_recognition", capsys)
+        assert "0 prediction mismatches" in out

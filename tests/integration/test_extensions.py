@@ -1,0 +1,236 @@
+"""Integration tests for the extensions beyond the headline system:
+streamed replay, secure-memory limits, cloud cost accounting, Midgard
+(second driver family) support, and OP-TEE secure storage of recordings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.service import CostModel
+from repro.core.recorder import (
+    InsufficientSecureMemory,
+    NAIVE,
+    OURS_MDS,
+    RecordSession,
+)
+from repro.core.replayer import Replayer
+from repro.core.speculation import CommitHistory
+from repro.core.testbed import ClientDevice
+from repro.hw.sku import find_sku
+from repro.ml.runner import (
+    generate_weights,
+    reference_activations,
+    reference_forward,
+    required_memory_bytes,
+)
+from tests.conftest import build_micro_graph
+
+
+class TestStreamedReplay:
+    @pytest.fixture
+    def session(self, recorded_micro):
+        graph, record_session, result = recorded_micro
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock,
+                            verify_key=record_session.service.recording_key)
+        recording = replayer.load(result.recording.to_bytes())
+        weights = generate_weights(graph, 0)
+        return graph, weights, replayer.open(recording, weights)
+
+    def test_callback_sees_every_layer(self, session):
+        graph, weights, replay = session
+        rng = np.random.RandomState(30)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        expected = reference_activations(graph, weights, inp)
+        seen = []
+
+        def on_segment(label, activation):
+            seen.append(label)
+            np.testing.assert_allclose(activation, expected[label],
+                                       atol=1e-3)
+            return False
+
+        result = replay.run_streamed(inp, on_segment)
+        assert seen == [n.name for n in graph.nodes]
+        np.testing.assert_allclose(result.output,
+                                   reference_forward(graph, weights, inp),
+                                   atol=1e-3)
+
+    def test_early_exit_stops_and_saves_time(self, session):
+        graph, weights, replay = session
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        stop_at = graph.nodes[0].name
+
+        early = replay.run_streamed(
+            inp, lambda label, act: label == stop_at)
+        full = replay.run_streamed(inp, None)
+        assert early.delay_s < full.delay_s
+        assert early.stats.entries < full.stats.entries
+        assert early.output.shape == graph.nodes[0].out_shape
+
+    def test_single_pass_cheaper_than_repeated_prefixes(self, session):
+        """Streaming inspects every layer in one pass; run_prefix
+        re-executes the prefix per inspection point."""
+        graph, weights, replay = session
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        streamed = replay.run_streamed(inp, lambda l, a: False)
+        prefix_total = sum(
+            replay.run_prefix(inp, upto=n.name).delay_s
+            for n in graph.nodes)
+        assert streamed.delay_s < prefix_total
+
+
+class TestBatchReplay:
+    @pytest.fixture
+    def session(self, recorded_micro):
+        graph, record_session, result = recorded_micro
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock,
+                            verify_key=record_session.service.recording_key)
+        recording = replayer.load(result.recording.to_bytes())
+        weights = generate_weights(graph, 0)
+        return graph, weights, replayer.open(recording, weights)
+
+    def test_batch_outputs_correct(self, session):
+        graph, weights, replay = session
+        rng = np.random.RandomState(80)
+        frames = [rng.rand(*graph.input_shape).astype(np.float32)
+                  for _ in range(4)]
+        results = replay.run_batch(frames)
+        assert len(results) == 4
+        for frame, result in zip(frames, results):
+            np.testing.assert_allclose(
+                result.output, reference_forward(graph, weights, frame),
+                atol=1e-3)
+
+    def test_batch_frames_cheaper_than_separate_runs(self, session):
+        """Per-frame delay inside a batch beats one-shot run() — the GPU
+        acquisition/reset is amortized (video-analytics use case)."""
+        graph, weights, replay = session
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        single = replay.run(inp)
+        batch = replay.run_batch([inp, inp, inp])
+        assert batch[-1].delay_s < single.delay_s
+
+    def test_empty_batch(self, session):
+        graph, weights, replay = session
+        assert replay.run_batch([]) == []
+
+    def test_gpu_released_after_batch(self, session):
+        graph, weights, replay = session
+        from repro.tee.worlds import World
+        replay.run_batch([np.zeros(graph.input_shape, dtype=np.float32)])
+        assert replay.replayer.optee.tzasc.gpu_mmio_owner == World.NORMAL
+
+
+class TestSecureMemoryLimit:
+    def test_workload_exceeding_carveout_rejected(self):
+        graph = build_micro_graph()
+        need = required_memory_bytes(graph)
+        with pytest.raises(InsufficientSecureMemory):
+            RecordSession(graph, config=OURS_MDS,
+                          secure_mem_limit=need // 2)
+
+    def test_sufficient_carveout_accepted(self):
+        graph = build_micro_graph()
+        need = required_memory_bytes(graph)
+        session = RecordSession(graph, config=OURS_MDS,
+                                secure_mem_limit=need * 2)
+        result = session.run()
+        assert result.recording.entries
+
+    def test_error_names_the_fix(self):
+        graph = build_micro_graph()
+        with pytest.raises(InsufficientSecureMemory, match="firmware"):
+            RecordSession(graph, secure_mem_limit=1 << 20)
+
+
+class TestCloudCost:
+    def test_vm_seconds_tracked(self, recorded_micro):
+        graph, session, result = recorded_micro
+        assert 0 < result.stats.vm_seconds <= \
+            result.stats.recording_delay_s
+
+    def test_ours_cheaper_than_naive(self):
+        """§3.3: long Naive record runs hold a dedicated VM for hundreds
+        of seconds — GR-T's optimizations also cut the cloud bill."""
+        graph = build_micro_graph()
+        naive = RecordSession(graph, config=NAIVE).run()
+        history = CommitHistory()
+        for _ in range(4):
+            mds = RecordSession(graph, config=OURS_MDS,
+                                history=history).run()
+        cost = CostModel()
+        naive_usd = cost.record_run_usd(naive.stats.vm_seconds)
+        mds_usd = cost.record_run_usd(mds.stats.vm_seconds)
+        assert mds_usd < 0.5 * naive_usd
+
+    def test_cost_model_arithmetic(self):
+        model = CostModel(vm_usd_per_hour=3.6)
+        assert model.record_run_usd(1000) == pytest.approx(1.0)
+
+
+class TestMidgardFamily:
+    """The second driver family: Mali-T880 (Midgard, PTE format 0)."""
+
+    @pytest.fixture(scope="class")
+    def midgard_run(self):
+        graph = build_micro_graph()
+        sku = find_sku("Mali-T880 MP4")
+        session = RecordSession(graph, config=OURS_MDS, sku=sku)
+        return graph, sku, session, session.run()
+
+    def test_records_on_midgard(self, midgard_run):
+        graph, sku, session, result = midgard_run
+        assert result.stats.gpu_jobs == len(
+            [1 for _, n in result.recording.manifest.jobs_per_node
+             for _ in range(n)])
+
+    def test_replays_on_midgard(self, midgard_run):
+        graph, sku, session, result = midgard_run
+        device = ClientDevice.for_workload(graph, sku=sku)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        recording = replayer.load(result.recording.to_bytes())
+        rng = np.random.RandomState(31)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, 0)
+        out = replayer.replay(recording, inp, weights)
+        np.testing.assert_allclose(
+            out.output, reference_forward(graph, weights, inp), atol=1e-3)
+
+    def test_no_bifrost_quirk_applied(self, midgard_run):
+        """Per-family quirk divergence: Midgard parts skip the early-Z
+        tiler quirk the Bifrost path sets (Listing 1(a) branching)."""
+        graph, sku, session, result = midgard_run
+        from repro.core.recording import RegWrite
+        from repro.hw import regs
+        from repro.driver.probe import TILER_CONFIG_EARLY_Z
+        tiler_writes = [e.value for e in result.recording.entries
+                        if isinstance(e, RegWrite)
+                        and e.offset == regs.TILER_CONFIG]
+        assert tiler_writes
+        assert all(not v & TILER_CONFIG_EARLY_Z for v in tiler_writes)
+
+
+class TestSecureStorage:
+    def test_recording_persisted_and_replayed_from_storage(self,
+                                                           recorded_micro):
+        """The TEE stores the downloaded recording in secure storage and
+        replays from it later (app restarts, reboots)."""
+        graph, session, result = recorded_micro
+        device = ClientDevice.for_workload(graph)
+        device.optee.store("recording:micro", result.recording.to_bytes())
+
+        blob = device.optee.load("recording:micro")
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        recording = replayer.load(blob)
+        rng = np.random.RandomState(32)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, 0)
+        out = replayer.replay(recording, inp, weights)
+        np.testing.assert_allclose(
+            out.output, reference_forward(graph, weights, inp), atol=1e-3)

@@ -1,0 +1,74 @@
+"""Integration: GPU job faults and the driver's recovery path."""
+
+import numpy as np
+import pytest
+
+from repro.driver.bus import LocalBus
+from repro.driver.driver import KbaseDevice, LocalPlatform
+from repro.driver.jobs import JobFault
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.kernel.env import KernelEnv
+from repro.runtime.api import GpuContext
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def stack():
+    clock = VirtualClock()
+    mem = PhysicalMemory(size=32 << 20)
+    gpu = MaliGpu(HIKEY960_G71, mem, clock)
+    env = KernelEnv(clock)
+    platform = LocalPlatform(gpu, env)
+    kbdev = KbaseDevice(env, LocalBus(gpu, clock), mem)
+    platform.attach(kbdev)
+    kbdev.probe()
+    ctx = GpuContext(kbdev, mem)
+    return gpu, kbdev, ctx
+
+
+def good_job(ctx, tag):
+    a = ctx.alloc_data(f"a{tag}", 4096)
+    out = ctx.alloc_data(f"o{tag}", 4096)
+    ctx.upload(a, np.array([-1.0, 2.0], dtype=np.float32))
+    ctx.enqueue("relu", {"shape": [2]}, inputs=[a], outputs=[out],
+                cache_key=f"relu-{tag}")
+    return ctx.download(out, (2,))
+
+
+class TestJobFaults:
+    def test_bad_descriptor_raises_job_fault(self, stack):
+        gpu, kbdev, ctx = stack
+        # Point the job slot at unmapped VA: descriptor fetch faults.
+        with pytest.raises(JobFault):
+            kbdev.run_compute_job(0xDEAD_0000)
+        assert gpu.jobs_faulted == 1
+
+    def test_fault_logged_by_irq_handler(self, stack):
+        gpu, kbdev, ctx = stack
+        with pytest.raises(JobFault):
+            kbdev.run_compute_job(0xDEAD_0000)
+        assert any("job fault" in line for line in kbdev.env.log)
+
+    def test_driver_recovers_and_runs_next_job(self, stack):
+        """The kbase fault path: reset, re-arm, carry on."""
+        gpu, kbdev, ctx = stack
+        assert np.array_equal(good_job(ctx, 0), [0.0, 2.0])
+        with pytest.raises(JobFault):
+            kbdev.run_compute_job(0xDEAD_0000)
+        # The context must be fully usable again.
+        assert np.array_equal(good_job(ctx, 1), [0.0, 2.0])
+
+    def test_repeated_faults_each_recovered(self, stack):
+        gpu, kbdev, ctx = stack
+        for _ in range(3):
+            with pytest.raises(JobFault):
+                kbdev.run_compute_job(0xDEAD_0000)
+        assert np.array_equal(good_job(ctx, 2), [0.0, 2.0])
+        assert gpu.jobs_faulted == 3
+
+    def test_fault_count_does_not_grow_on_success(self, stack):
+        gpu, kbdev, ctx = stack
+        good_job(ctx, 3)
+        assert gpu.jobs_faulted == 0

@@ -1,0 +1,87 @@
+"""Integration: native execution of NN workloads through the full GPU
+stack must agree with the pure-numpy reference forward pass."""
+
+import numpy as np
+import pytest
+
+from repro.core.testbed import native_run
+from repro.ml.models import build_model
+from repro.ml.runner import generate_weights, reference_forward
+
+
+def _run_and_compare(name, seed=0):
+    graph = build_model(name)
+    rng = np.random.RandomState(seed + 100)
+    inp = rng.rand(*graph.input_shape).astype(np.float32)
+    weights = generate_weights(graph, seed)
+    result = native_run(graph, inp, seed=seed, weights=weights)
+    expected = reference_forward(graph, weights, inp)
+    assert result.output.shape == expected.shape
+    np.testing.assert_allclose(result.output, expected, atol=1e-3, rtol=1e-3)
+    return result
+
+
+class TestNativeCorrectness:
+    def test_mnist(self):
+        result = _run_and_compare("mnist")
+        assert result.jobs >= 10
+
+    def test_squeezenet(self):
+        _run_and_compare("squeezenet")
+
+    def test_resnet12(self):
+        _run_and_compare("resnet12")
+
+    @pytest.mark.slow
+    def test_alexnet(self):
+        _run_and_compare("alexnet")
+
+    @pytest.mark.slow
+    def test_mobilenet(self):
+        _run_and_compare("mobilenet")
+
+    @pytest.mark.slow
+    def test_vgg16(self):
+        _run_and_compare("vgg16")
+
+
+class TestNativeProperties:
+    def test_deterministic_across_runs(self):
+        graph = build_model("mnist")
+        rng = np.random.RandomState(0)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        a = native_run(graph, inp, seed=0)
+        b = native_run(build_model("mnist"), inp, seed=0)
+        np.testing.assert_array_equal(a.output, b.output)
+        assert a.delay_s == pytest.approx(b.delay_s)
+
+    def test_different_input_different_output(self):
+        graph = build_model("mnist")
+        rng = np.random.RandomState(0)
+        a = native_run(graph, rng.rand(1, 28, 28).astype(np.float32))
+        b = native_run(build_model("mnist"),
+                       rng.rand(1, 28, 28).astype(np.float32))
+        assert not np.allclose(a.output, b.output)
+
+    def test_softmax_output_is_distribution(self):
+        graph = build_model("mnist")
+        rng = np.random.RandomState(0)
+        result = native_run(graph, rng.rand(1, 28, 28).astype(np.float32))
+        assert result.output.sum() == pytest.approx(1.0, rel=1e-4)
+        assert (result.output >= 0).all()
+
+    def test_delay_and_energy_positive(self):
+        graph = build_model("mnist")
+        rng = np.random.RandomState(0)
+        result = native_run(graph, rng.rand(1, 28, 28).astype(np.float32))
+        assert 0 < result.delay_s < 1.0
+        assert result.energy_j > 0
+
+    def test_micro_graph(self, micro_graph):
+        rng = np.random.RandomState(1)
+        inp = rng.rand(*micro_graph.input_shape).astype(np.float32)
+        w = generate_weights(micro_graph, 0)
+        result = native_run(micro_graph, inp, weights=w)
+        np.testing.assert_allclose(
+            result.output, reference_forward(micro_graph, w, inp),
+            atol=1e-4)

@@ -1,0 +1,177 @@
+"""Integration: the full GR-T loop — record in the cloud session, replay
+in the client TEE, verify numerical correctness and input independence."""
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import (
+    NAIVE,
+    OURS_M,
+    OURS_MD,
+    OURS_MDS,
+    RecordSession,
+)
+from repro.core.replayer import Replayer, ReplayError
+from repro.core.testbed import ClientDevice
+from repro.ml.models import build_model
+from repro.ml.runner import generate_weights, reference_forward
+from tests.conftest import build_micro_graph
+
+
+def make_replayer(graph, session):
+    device = ClientDevice.for_workload(graph)
+    return device, Replayer(device.optee, device.gpu, device.mem,
+                            device.clock,
+                            verify_key=session.service.recording_key)
+
+
+class TestRecordingContents:
+    def test_recording_counts(self, recorded_micro):
+        graph, session, result = recorded_micro
+        counts = result.recording.counts()
+        assert counts["writes"] > 50
+        assert counts["irqs"] >= result.stats.gpu_jobs
+        assert counts["mem_writes"] >= result.stats.gpu_jobs
+        assert counts["markers"] == len(graph.nodes)
+
+    def test_manifest_has_all_data_bindings(self, recorded_micro):
+        graph, session, result = recorded_micro
+        manifest = result.recording.manifest
+        names = {b.name for b in manifest.bindings}
+        assert "input" in names and "output" in names
+        assert "conv1.weight" in names and "fc.weight" in names
+
+    def test_serialization_roundtrip(self, recorded_micro):
+        graph, session, result = recorded_micro
+        blob = result.recording.to_bytes()
+        from repro.core.recording import Recording
+        back = Recording.from_bytes(blob, session.service.recording_key)
+        assert back.entries == result.recording.entries
+
+    def test_dry_run_data_is_zero(self, recorded_micro):
+        """§7.1 confidentiality: no real input/weights during recording.
+        The dry-run output is the all-zeros network's output."""
+        graph, session, result = recorded_micro
+        # With zero weights+input, logits are all equal -> uniform softmax.
+        assert np.allclose(result.output, result.output[0])
+
+    def test_segments_match_layers(self, recorded_micro):
+        graph, session, result = recorded_micro
+        labels = [label for label, _ in result.recording.segments()]
+        assert labels[0] == "prologue"
+        assert labels[1:] == [n.name for n in graph.nodes]
+
+
+class TestReplayCorrectness:
+    def test_replay_matches_reference(self, recorded_micro):
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        rng = np.random.RandomState(5)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, 0)
+        out = replayer.replay(rec, inp, weights)
+        np.testing.assert_allclose(
+            out.output, reference_forward(graph, weights, inp), atol=1e-3)
+
+    def test_input_independence(self, recorded_micro):
+        """§2.3: one recording serves arbitrarily many new inputs."""
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        weights = generate_weights(graph, 0)
+        rng = np.random.RandomState(6)
+        for _ in range(3):
+            inp = rng.rand(*graph.input_shape).astype(np.float32)
+            out = replayer.replay(rec, inp, weights)
+            np.testing.assert_allclose(
+                out.output, reference_forward(graph, weights, inp),
+                atol=1e-3)
+
+    def test_different_weights_at_replay(self, recorded_micro):
+        """Model parameters are injected at replay, not baked into the
+        recording — the recording carries only addresses."""
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        rng = np.random.RandomState(7)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        w2 = generate_weights(graph, seed=99)
+        out = replayer.replay(rec, inp, w2)
+        np.testing.assert_allclose(
+            out.output, reference_forward(graph, w2, inp), atol=1e-3)
+
+    def test_missing_weights_rejected(self, recorded_micro):
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        with pytest.raises(ReplayError):
+            replayer.replay(rec, inp, weights={})
+
+    def test_wrong_input_shape_rejected(self, recorded_micro):
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        with pytest.raises(ReplayError):
+            replayer.replay(rec, np.zeros((3, 3, 3), dtype=np.float32),
+                            generate_weights(graph, 0))
+
+    def test_mnist_full_loop(self):
+        graph = build_model("mnist")
+        session = RecordSession(graph, config=OURS_MDS)
+        result = session.run()
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        rng = np.random.RandomState(8)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, 0)
+        out = replayer.replay(rec, inp, weights)
+        expected = reference_forward(graph, weights, inp)
+        np.testing.assert_allclose(out.output, expected, atol=1e-3)
+        assert out.output.argmax() == expected.argmax()
+
+
+class TestReplayAcrossRecorders:
+    @pytest.mark.parametrize("config", [NAIVE, OURS_M, OURS_MD, OURS_MDS],
+                             ids=lambda c: c.name)
+    def test_every_recorder_variant_replays(self, config):
+        """All four recorders must produce *equivalent* recordings: the
+        optimizations change how interactions travel, not what the GPU
+        experiences."""
+        graph = build_micro_graph()
+        session = RecordSession(graph, config=config)
+        result = session.run()
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        rng = np.random.RandomState(9)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, 0)
+        out = replayer.replay(rec, inp, weights)
+        np.testing.assert_allclose(
+            out.output, reference_forward(graph, weights, inp), atol=1e-3)
+
+
+class TestReplayPerformance:
+    def test_replay_faster_than_native_for_small_nn(self, recorded_micro):
+        """Table 2: replay removes the GPU stack's per-job overheads."""
+        from repro.core.testbed import native_run
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        rng = np.random.RandomState(10)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        weights = generate_weights(graph, 0)
+        replay = replayer.replay(rec, inp, weights)
+        native = native_run(graph, inp, weights=weights)
+        assert replay.delay_s < native.delay_s
+
+    def test_replay_delay_stable(self, recorded_micro):
+        graph, session, result = recorded_micro
+        device, replayer = make_replayer(graph, session)
+        rec = replayer.load(result.recording.to_bytes())
+        weights = generate_weights(graph, 0)
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        d1 = replayer.replay(rec, inp, weights).delay_s
+        d2 = replayer.replay(rec, inp, weights).delay_s
+        assert d1 == pytest.approx(d2, rel=0.01)

@@ -1,0 +1,160 @@
+"""Integration: the qualitative relationships of §7.2/§7.3 between the
+four recorder variants must hold on every run."""
+
+import pytest
+
+from repro.core.recorder import NAIVE, OURS_M, OURS_MD, OURS_MDS, RecordSession
+from repro.core.speculation import CommitHistory
+from repro.driver.hotfuncs import CommitCategory
+from repro.sim.network import CELLULAR, WIFI
+from tests.conftest import build_micro_graph
+
+
+@pytest.fixture(scope="module")
+def variant_results():
+    """One record run per variant on the micro graph (WiFi), with a warm
+    history for the speculating variant."""
+    results = {}
+    for config in (NAIVE, OURS_M, OURS_MD):
+        results[config.name] = RecordSession(
+            build_micro_graph(), config=config).run()
+    history = CommitHistory()
+    for _ in range(4):
+        mds = RecordSession(build_micro_graph(), config=OURS_MDS,
+                            history=history).run()
+    results[OURS_MDS.name] = mds
+    return results
+
+
+class TestDelayOrdering:
+    def test_each_technique_improves_delay(self, variant_results):
+        """Figure 7's ordering: Naive >= OursM > OursMD > OursMDS."""
+        d = {k: v.stats.recording_delay_s for k, v in variant_results.items()}
+        assert d["Naive"] >= d["OursM"] * 0.99
+        assert d["OursM"] > d["OursMD"]
+        assert d["OursMD"] > d["OursMDS"]
+
+    def test_full_stack_speedup_substantial(self, variant_results):
+        """The paper reports >=~10x Naive->OursMDS; require a large factor."""
+        d = variant_results
+        speedup = (d["Naive"].stats.recording_delay_s
+                   / d["OursMDS"].stats.recording_delay_s)
+        assert speedup > 3.0
+
+    def test_cellular_slower_than_wifi(self):
+        wifi = RecordSession(build_micro_graph(), config=OURS_M,
+                             link_profile=WIFI).run()
+        cell = RecordSession(build_micro_graph(), config=OURS_M,
+                             link_profile=CELLULAR).run()
+        assert cell.stats.recording_delay_s > wifi.stats.recording_delay_s
+
+
+class TestRttReduction:
+    def test_deferral_reduces_round_trips(self, variant_results):
+        """§7.3: deferral cuts blocking RTTs substantially (paper: 73%)."""
+        m = variant_results["OursM"].stats.blocking_rtts
+        md = variant_results["OursMD"].stats.blocking_rtts
+        assert md < 0.7 * m
+
+    def test_speculation_reduces_round_trips_further(self, variant_results):
+        md = variant_results["OursMD"].stats.blocking_rtts
+        mds = variant_results["OursMDS"].stats.blocking_rtts
+        assert mds < 0.5 * md
+
+    def test_naive_rtts_track_register_accesses(self, variant_results):
+        stats = variant_results["Naive"].stats
+        # Every register access is one blocking round trip (+ handshake).
+        assert abs(stats.blocking_rtts - stats.reg_accesses) <= 5
+
+    def test_deferral_batches_accesses(self, variant_results):
+        stats = variant_results["OursMD"].stats
+        assert stats.accesses_per_commit > 1.5
+
+
+class TestMemorySyncReduction:
+    def test_meta_only_cuts_traffic(self, variant_results):
+        """Table 1: 72-99% memsync traffic reduction."""
+        naive = variant_results["Naive"].stats.memsync.wire_total_bytes
+        ours = variant_results["OursM"].stats.memsync.wire_total_bytes
+        assert ours < 0.3 * naive
+
+    def test_meta_only_never_ships_data_pages(self, variant_results):
+        result = variant_results["OursMDS"]
+        data_pfns = set(result.recording.data_pfns)
+        from repro.core.recording import MemWrite
+        for entry in result.recording.entries:
+            if isinstance(entry, MemWrite):
+                assert not data_pfns & {pfn for pfn, _ in entry.pages}
+
+    def test_naive_ships_data_pages(self, variant_results):
+        result = variant_results["Naive"]
+        data_pfns = set(result.recording.data_pfns)
+        from repro.core.recording import MemWrite
+        shipped = set()
+        for entry in result.recording.entries:
+            if isinstance(entry, MemWrite):
+                shipped |= {pfn for pfn, _ in entry.pages}
+        assert shipped & data_pfns
+
+
+class TestSpeculationBehaviour:
+    def test_high_speculation_rate_when_warm(self, variant_results):
+        """§7.3: ~95% of commits satisfy the criteria once history is
+        warm; require a clear majority."""
+        stats = variant_results["OursMDS"].stats.commits
+        assert stats.speculation_rate > 0.75
+
+    def test_figure8_categories_present(self, variant_results):
+        cats = variant_results["OursMDS"].stats.commits.speculated_by_category
+        assert cats.get(CommitCategory.POWER, 0) > 0
+        assert cats.get(CommitCategory.INTERRUPT, 0) > 0
+        assert cats.get(CommitCategory.POLLING, 0) > 0
+
+    def test_polls_offloaded_only_in_mds(self, variant_results):
+        assert variant_results["OursMDS"].stats.commits.polls_offloaded > 0
+        assert variant_results["OursMD"].stats.commits.polls_offloaded == 0
+
+    def test_no_natural_mispredictions(self, variant_results):
+        """§7.3: no mispredictions observed without injection."""
+        assert variant_results["OursMDS"].stats.recoveries == 0
+
+    def test_history_transfers_across_workloads(self):
+        """§4.2: recurring segments recur *across* workloads (MNIST and
+        AlexNet share them), so history warmed on one workload lets the
+        first run of another speculate immediately."""
+        history = CommitHistory()
+        for _ in range(4):
+            RecordSession(build_micro_graph(), config=OURS_MDS,
+                          history=history).run()
+        cold = RecordSession("mnist", config=OURS_MDS).run()
+        warm = RecordSession("mnist", config=OURS_MDS,
+                             history=history).run()
+        assert warm.stats.commits.speculation_rate > \
+            cold.stats.commits.speculation_rate
+
+
+class TestTimeouts:
+    def test_naive_violates_timing_assumptions(self):
+        """§3.3: naive forwarding breaks the stack's timing assumptions.
+        Under cellular RTTs, jobs exceed the nominal driver timeout."""
+        naive = RecordSession(build_micro_graph(), config=NAIVE,
+                              link_profile=CELLULAR).run()
+        mds_hist = CommitHistory()
+        for _ in range(4):
+            mds = RecordSession(build_micro_graph(), config=OURS_MDS,
+                                link_profile=CELLULAR,
+                                history=mds_hist).run()
+        assert naive.stats.timeout_violations >= 0  # tracked
+        assert mds.stats.recording_delay_s < naive.stats.recording_delay_s
+
+
+class TestEnergy:
+    def test_ours_saves_energy(self, variant_results):
+        """Figure 9: GR-T cuts record energy 84-99% vs Naive."""
+        naive = variant_results["Naive"].stats.client_energy_j
+        mds = variant_results["OursMDS"].stats.client_energy_j
+        assert mds < 0.5 * naive
+
+    def test_energy_positive(self, variant_results):
+        for result in variant_results.values():
+            assert result.stats.client_energy_j > 0

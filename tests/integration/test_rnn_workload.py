@@ -1,0 +1,102 @@
+"""Integration: the unrolled RNN workload (§2.3: "CNN and RNN ... have
+static graphs of GPU jobs"), with tied recurrent cell weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice, native_run
+from repro.ml.models import rnn
+from repro.ml.runner import generate_weights, reference_forward
+
+
+@pytest.fixture(scope="module")
+def rnn_recording():
+    graph = rnn()
+    session = RecordSession(graph, config=OURS_MDS)
+    return graph, session, session.run()
+
+
+class TestWeightTying:
+    def test_cell_weights_shared(self):
+        graph = rnn(steps=4)
+        weights = generate_weights(graph, 0)
+        assert "cell.wx.weight" in weights
+        assert "cell.uh.weight" in weights
+        assert "wx0.weight" not in weights
+        assert "uh2.weight" not in weights
+
+    def test_manifest_has_one_binding_per_tied_weight(self, rnn_recording):
+        graph, session, result = rnn_recording
+        names = [b.name for b in result.recording.manifest.weight_bindings()]
+        assert names.count("cell.wx.weight") == 1
+        assert names.count("cell.uh.weight") == 1
+        # Untied head keeps its own.
+        assert "logits.weight" in names
+
+    def test_tying_actually_shares_memory(self, rnn_recording):
+        """Every timestep's Dense reads the same physical weight buffer —
+        changing the cell weights changes every step."""
+        graph = rnn(steps=3)
+        w1 = generate_weights(graph, 0)
+        w2 = dict(w1)
+        w2["cell.wx.weight"] = w1["cell.wx.weight"] * 2.0
+        rng = np.random.RandomState(9)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        a = reference_forward(graph, w1, inp)
+        b = reference_forward(graph, w2, inp)
+        assert not np.allclose(a, b)
+
+    def test_conflicting_tie_shapes_rejected(self):
+        from repro.ml.graph import Graph, INPUT
+        from repro.ml import layers as L
+        g = Graph("bad", (8,))
+        g.add("a", L.Dense(4, tie="shared"), [INPUT])
+        g.add("b", L.Dense(4, tie="shared"), ["a"])  # in_features 8 vs 4
+        with pytest.raises(ValueError, match="conflicting shapes"):
+            generate_weights(g, 0)
+
+
+class TestRnnRecordReplay:
+    def test_rnn_records(self, rnn_recording):
+        graph, session, result = rnn_recording
+        assert result.stats.gpu_jobs > 30
+
+    def test_rnn_replays_correctly(self, rnn_recording):
+        graph, session, result = rnn_recording
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        recording = replayer.load(result.recording.to_bytes())
+        weights = generate_weights(graph, 0)
+        replay = replayer.open(recording, weights)
+        rng = np.random.RandomState(10)
+        for _ in range(2):
+            seq = rng.rand(*graph.input_shape).astype(np.float32)
+            out = replay.run(seq)
+            np.testing.assert_allclose(
+                out.output, reference_forward(graph, weights, seq),
+                atol=1e-3)
+
+    def test_rnn_sequences_distinguish_outputs(self, rnn_recording):
+        """Recurrence is live: reordering timesteps changes the output
+        (the network is not just a bag of features)."""
+        graph, session, result = rnn_recording
+        weights = generate_weights(graph, 0)
+        rng = np.random.RandomState(11)
+        seq = rng.rand(*graph.input_shape).astype(np.float32)
+        reversed_seq = seq[::-1].copy()
+        a = reference_forward(graph, weights, seq)
+        b = reference_forward(graph, weights, reversed_seq)
+        assert not np.allclose(a, b)
+
+    def test_rnn_native_matches_reference(self):
+        graph = rnn()
+        weights = generate_weights(graph, 0)
+        rng = np.random.RandomState(12)
+        seq = rng.rand(*graph.input_shape).astype(np.float32)
+        result = native_run(graph, seq, weights=weights)
+        np.testing.assert_allclose(
+            result.output, reference_forward(graph, weights, seq),
+            atol=1e-4)

@@ -1,0 +1,76 @@
+"""Integration: per-layer (segmented) replay — Figure 2's granularity."""
+
+import numpy as np
+import pytest
+
+from repro.core.replayer import Replayer, ReplayError
+from repro.core.testbed import ClientDevice
+from repro.ml.runner import generate_weights, reference_activations
+
+
+@pytest.fixture
+def open_session(recorded_micro):
+    graph, session, result = recorded_micro
+    device = ClientDevice.for_workload(graph)
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=session.service.recording_key)
+    recording = replayer.load(result.recording.to_bytes())
+    weights = generate_weights(graph, 0)
+    return graph, weights, replayer.open(recording, weights)
+
+
+class TestSegments:
+    def test_segment_labels_match_layers(self, open_session):
+        graph, weights, session = open_session
+        labels = session.segment_labels()
+        assert labels[0] == "prologue"
+        assert labels[1:] == [n.name for n in graph.nodes]
+
+    def test_prefix_replay_yields_intermediate(self, open_session):
+        """Replaying through layer k returns layer k's activation,
+        numerically matching the reference forward pass."""
+        graph, weights, session = open_session
+        rng = np.random.RandomState(20)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        expected = reference_activations(graph, weights, inp)
+        for node in graph.nodes[:2]:
+            out = session.run_prefix(inp, upto=node.name)
+            np.testing.assert_allclose(
+                out.output, expected[node.name], atol=1e-3,
+                err_msg=f"activation mismatch at {node.name}")
+
+    def test_prefix_cheaper_than_full(self, open_session):
+        graph, weights, session = open_session
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        first = session.run_prefix(inp, upto=graph.nodes[0].name)
+        full = session.run(inp)
+        assert first.delay_s < full.delay_s
+        assert first.stats.entries < full.stats.entries
+
+    def test_full_prefix_equals_full_run(self, open_session):
+        graph, weights, session = open_session
+        rng = np.random.RandomState(21)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        last = graph.output.name
+        prefix = session.run_prefix(inp, upto=last)
+        full = session.run(inp)
+        np.testing.assert_allclose(prefix.output.reshape(-1),
+                                   full.output.reshape(-1), atol=1e-5)
+
+    def test_unknown_segment_rejected(self, open_session):
+        graph, weights, session = open_session
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        with pytest.raises(ReplayError):
+            session.run_prefix(inp, upto="layer-42")
+
+    def test_prefix_then_full_still_correct(self, open_session):
+        """Partial replays must not corrupt subsequent full replays (the
+        GPU is reset around every run)."""
+        graph, weights, session = open_session
+        rng = np.random.RandomState(22)
+        inp = rng.rand(*graph.input_shape).astype(np.float32)
+        session.run_prefix(inp, upto=graph.nodes[0].name)
+        full = session.run(inp)
+        from repro.ml.runner import reference_forward
+        np.testing.assert_allclose(
+            full.output, reference_forward(graph, weights, inp), atol=1e-3)

@@ -1,0 +1,99 @@
+"""Integration: the job-serialization constraint (§2.3 determinism, §5).
+
+"We configure the driver's job queue length to be 1 ... the driver and
+the client GPU will never access the shared memory simultaneously."
+These tests show the constraint is enforced, and what breaks without it:
+emitting the next job's commands while the GPU still owns the memory is
+exactly the §5 race the unmap-and-trap safety net catches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.drivershim import DriverShim, ShimModes
+from repro.core.gpushim import GpuShim
+from repro.core.memsync import (
+    MemorySynchronizer,
+    MemorySyncViolation,
+    SyncPolicy,
+)
+from repro.driver.bus import LocalBus
+from repro.driver.driver import KbaseDevice, LocalPlatform
+from repro.hw import regs
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.kernel.env import KernelEnv
+from repro.runtime.api import GpuContext
+from repro.sim.clock import VirtualClock
+from repro.sim.network import Link, WIFI
+from repro.tee.optee import OpTeeOS
+
+
+class TestDriverSerialization:
+    def test_double_submit_same_slot_rejected(self):
+        """The driver enforces queue depth 1 per slot."""
+        clock = VirtualClock()
+        mem = PhysicalMemory(size=32 << 20)
+        gpu = MaliGpu(HIKEY960_G71, mem, clock)
+        env = KernelEnv(clock)
+        platform = LocalPlatform(gpu, env)
+        kbdev = KbaseDevice(env, LocalBus(gpu, clock), mem)
+        platform.attach(kbdev)
+        kbdev.probe()
+        ctx = GpuContext(kbdev, mem)
+        a = ctx.alloc_data("a", 4096)
+        out = ctx.alloc_data("o", 4096)
+        from repro.hw.shader import JobBuffer, ROLE_INPUT, ROLE_OUTPUT
+        emitted = ctx.commands.emit_job(
+            *ctx._place_shader(ctx.compiler.compile(
+                "relu", {"shape": [2]}, cache_key="r"), "r"),
+            [JobBuffer(a.va, 8, ROLE_INPUT), JobBuffer(out.va, 8,
+                                                       ROLE_OUTPUT)])
+        kbdev.pm.power_up()
+        kbdev.mmu_configure()
+        kbdev.jobs.submit(emitted.descriptor_va, slot=0)
+        with pytest.raises(RuntimeError, match="queue length is 1"):
+            kbdev.jobs.submit(emitted.descriptor_va, slot=0)
+
+
+class TestMemsyncEnforcesSerialization:
+    def test_emitting_next_job_mid_flight_traps(self):
+        """During a record session, preparing job B's commands while job
+        A still owns the shared memory triggers §5's trap at the next
+        sync point — the mechanical reason for queue depth 1."""
+        clock = VirtualClock()
+        client_mem = PhysicalMemory(size=8 << 20)
+        cloud_mem = PhysicalMemory(size=8 << 20)
+        gpu = MaliGpu(HIKEY960_G71, client_mem, clock)
+        optee = OpTeeOS()
+        gpushim = GpuShim(optee, gpu, clock)
+        gpushim.begin_session()
+        link = Link(WIFI, clock)
+        memsync = MemorySynchronizer(cloud_mem, client_mem,
+                                     SyncPolicy.META_ONLY)
+        shim = DriverShim(link, gpushim, memsync, ShimModes())
+        env = KernelEnv(clock)
+        shim.attach(env)
+
+        cmd_region = cloud_mem.alloc(8192, "commands")
+        meta_pfns = set(range(cmd_region.base >> 12,
+                              (cmd_region.end - 1 >> 12) + 1))
+        shim.metastate_provider = lambda: meta_pfns
+
+        # Job A: emit commands, start the job (push happens inside).
+        cloud_mem.write(cmd_region.base, b"job-A-commands")
+        shim.write32(regs.js_reg(0, regs.JS_COMMAND_NEXT),
+                     regs.JsCommand.START)
+        # Job B emitted while A's memory is GPU-owned: the next job-start
+        # push detects the overlap.
+        cloud_mem.write(cmd_region.base + 64, b"job-B-commands")
+        with pytest.raises(MemorySyncViolation):
+            shim.write32(regs.js_reg(1, regs.JS_COMMAND_NEXT),
+                         regs.JsCommand.START)
+
+    def test_serialized_flow_never_traps(self, recorded_micro):
+        """The production flow (submit, wait, pull, repeat) records whole
+        workloads without a single ownership violation."""
+        graph, session, result = recorded_micro
+        assert result.stats.gpu_jobs > 0  # completed cleanly

@@ -1,0 +1,72 @@
+"""Integration: the record/replay loop across a matrix of GPU SKUs.
+
+One driver serves a whole family (§3); recordings bind to exactly one SKU
+(§2.4).  Every Mali SKU here runs the full loop: record via the cloud,
+replay in the TEE, match the numpy reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import OURS_MD, RecordSession
+from repro.core.replayer import Replayer, ReplayError
+from repro.core.testbed import ClientDevice
+from repro.hw.sku import find_sku
+from repro.ml.runner import generate_weights, reference_forward
+from tests.conftest import build_micro_graph
+
+# A Bifrost spread (tiny to huge core counts) plus two Midgard parts.
+MATRIX_SKUS = (
+    "Mali-G52 MP2",
+    "Mali-G71 MP8",
+    "Mali-G72 MP12",
+    "Mali-G78 MP24",
+    "Mali-T760 MP4",
+    "Mali-T880 MP12",
+)
+
+
+@pytest.mark.parametrize("sku_name", MATRIX_SKUS)
+def test_record_replay_loop_per_sku(sku_name):
+    sku = find_sku(sku_name)
+    graph = build_micro_graph()
+    session = RecordSession(graph, config=OURS_MD, sku=sku)
+    result = session.run()
+    assert result.recording.sku_fingerprint == sku.fingerprint()
+
+    device = ClientDevice.for_workload(graph, sku=sku)
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=session.service.recording_key)
+    recording = replayer.load(result.recording.to_bytes())
+    rng = np.random.RandomState(60)
+    inp = rng.rand(*graph.input_shape).astype(np.float32)
+    weights = generate_weights(graph, 0)
+    out = replayer.replay(recording, inp, weights)
+    np.testing.assert_allclose(
+        out.output, reference_forward(graph, weights, inp), atol=1e-3)
+
+
+def test_recordings_differ_across_skus():
+    """The same workload produces observably different recordings per
+    SKU (different probed features, core masks, shader binaries) — the
+    reason one recording cannot serve two SKUs."""
+    graph = build_micro_graph()
+    bodies = set()
+    for name in ("Mali-G52 MP2", "Mali-G71 MP8", "Mali-G78 MP24"):
+        session = RecordSession(build_micro_graph(), config=OURS_MD,
+                                sku=find_sku(name))
+        result = session.run()
+        bodies.add(result.recording.body_bytes())
+    assert len(bodies) == 3
+
+
+def test_faster_sku_records_faster_gpu_time():
+    """Wider GPUs finish jobs sooner: the 24-core G78's GPU time is
+    below the 2-core G52's for the same workload."""
+    graph = build_micro_graph()
+    times = {}
+    for name in ("Mali-G52 MP2", "Mali-G78 MP24"):
+        result = RecordSession(build_micro_graph(), config=OURS_MD,
+                               sku=find_sku(name)).run()
+        times[name] = result.stats.timeline_by_label.get("gpu", 0.0)
+    assert times["Mali-G78 MP24"] < times["Mali-G52 MP2"]

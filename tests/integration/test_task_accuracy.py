@@ -1,0 +1,95 @@
+"""Integration: a real classification task through the full TEE path.
+
+Not just numerics: a trained digit classifier must reach the same
+above-chance accuracy whether it runs natively on the GPU stack, via the
+pure-numpy reference, or replayed inside the TEE — demonstrating that
+GR-T preserves end-task quality, and that retraining the model (new
+weights) needs no re-recording.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.ml.datasets import accuracy, fit_readout, synthetic_digits
+from repro.ml.models import mnist
+from repro.ml.runner import generate_weights, reference_forward
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    graph = mnist()
+    base_weights = generate_weights(graph, seed=0)
+    train_x, train_y = synthetic_digits(300, seed=1)
+    weights = fit_readout(graph, base_weights, train_x, train_y)
+    test_x, test_y = synthetic_digits(80, seed=2)
+    session = RecordSession(graph, config=OURS_MDS)
+    record = session.run()
+    return graph, weights, (test_x, test_y), session, record
+
+
+class TestTaskAccuracy:
+    def test_reference_accuracy_above_chance(self, trained_setup):
+        graph, weights, (test_x, test_y), session, record = trained_setup
+        outputs = np.stack([reference_forward(graph, weights, img)
+                            for img in test_x])
+        acc = accuracy(outputs, test_y)
+        assert acc > 0.6, f"readout failed to learn: accuracy {acc:.2f}"
+
+    def test_tee_replay_matches_reference_accuracy(self, trained_setup):
+        """The headline claim, at task level: TEE inference is exactly as
+        good as insecure inference."""
+        graph, weights, (test_x, test_y), session, record = trained_setup
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        recording = replayer.load(record.recording.to_bytes())
+        replay = replayer.open(recording, weights)
+        results = replay.run_batch(list(test_x))
+        tee_outputs = np.stack([r.output for r in results])
+        ref_outputs = np.stack([reference_forward(graph, weights, img)
+                                for img in test_x])
+        assert accuracy(tee_outputs, test_y) == \
+            accuracy(ref_outputs, test_y)
+        np.testing.assert_allclose(tee_outputs, ref_outputs, atol=1e-3)
+
+    def test_retraining_needs_no_rerecording(self, trained_setup):
+        """§2.3: model parameters are injected data.  A model retrained
+        on different data replays through the *same* recording."""
+        graph, weights, (test_x, test_y), session, record = trained_setup
+        retrain_x, retrain_y = synthetic_digits(300, seed=7)
+        new_weights = fit_readout(graph, generate_weights(graph, 0),
+                                  retrain_x, retrain_y)
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, session.service.recording_key)
+        recording = replayer.load(record.recording.to_bytes())
+        replay = replayer.open(recording, new_weights)
+        results = replay.run_batch(list(test_x[:30]))
+        acc = accuracy(np.stack([r.output for r in results]), test_y[:30])
+        assert acc > 0.5
+
+
+class TestDataset:
+    def test_shapes_and_range(self):
+        x, y = synthetic_digits(10, seed=0)
+        assert x.shape == (10, 1, 28, 28)
+        assert x.min() >= 0.0 and x.max() <= 1.0
+        assert set(np.unique(y)) <= set(range(10))
+
+    def test_deterministic(self):
+        a = synthetic_digits(5, seed=3)
+        b = synthetic_digits(5, seed=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_digits_are_distinguishable(self):
+        """Noise-free glyphs of different digits differ substantially."""
+        rng = np.random.RandomState(0)
+        from repro.ml.datasets import render_digit
+        glyphs = [render_digit(d, np.random.RandomState(1), noise=0.0,
+                               max_shift=0) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(glyphs[i] - glyphs[j]).sum() > 10

@@ -1,0 +1,110 @@
+"""Integration: trace diffing for remote debugging (§3)."""
+
+import pytest
+
+from repro.analysis.tracediff import DiffReport, diff_recordings
+from repro.core.recorder import OURS_M, OURS_MDS, RecordSession
+from repro.core.recording import RegRead, RegWrite
+from repro.hw.sku import find_sku
+from tests.conftest import build_micro_graph
+
+
+@pytest.fixture(scope="module")
+def two_identical_runs():
+    a = RecordSession(build_micro_graph(), config=OURS_M,
+                      client_id="a").run()
+    b = RecordSession(build_micro_graph(), config=OURS_M,
+                      client_id="b").run()
+    return a.recording, b.recording
+
+
+class TestDiff:
+    def test_identical_devices_identical_traces(self, two_identical_runs):
+        """Determinism (§2.3): two record runs of the same workload on
+        the same SKU produce byte-identical interaction logs."""
+        a, b = two_identical_runs
+        report = diff_recordings(a, b)
+        assert report.identical, report.summary()
+        assert report.entries_compared > 500
+
+    def test_recorder_variants_equivalent_register_traces(self):
+        """Deferral/speculation change transport, not semantics: the
+        register sequence the GPU sees is the same (§4.1 correctness)."""
+        a = RecordSession(build_micro_graph(), config=OURS_M).run()
+        from repro.core.speculation import CommitHistory
+        hist = CommitHistory()
+        for _ in range(3):
+            RecordSession(build_micro_graph(), config=OURS_MDS,
+                          history=hist).run()
+        b = RecordSession(build_micro_graph(), config=OURS_MDS,
+                          history=hist).run()
+
+        def reg_ops(recording):
+            return [(type(e).__name__, e.offset, e.value)
+                    for e in recording.entries
+                    if isinstance(e, (RegRead, RegWrite))]
+
+        # Poll loops surface differently (inline reads vs PollEntry), so
+        # compare the write sequences, which fully determine GPU state.
+        writes_a = [(e.offset, e.value) for e in a.recording.entries
+                    if isinstance(e, RegWrite)]
+        writes_b = [(e.offset, e.value) for e in b.recording.entries
+                    if isinstance(e, RegWrite)]
+        assert writes_a == writes_b
+
+    def test_detects_value_divergence(self, two_identical_runs):
+        a, b = two_identical_runs
+        # Simulate a flaky device: corrupt one read value in b's trace.
+        entries = list(b.entries)
+        for i, entry in enumerate(entries):
+            if isinstance(entry, RegRead):
+                entries[i] = RegRead(offset=entry.offset,
+                                     value=entry.value ^ 0x4)
+                break
+        from repro.core.recording import Recording
+        mutated = Recording(workload=b.workload, recorder=b.recorder,
+                            sku_fingerprint=b.sku_fingerprint,
+                            manifest=b.manifest, data_pfns=b.data_pfns,
+                            entries=entries)
+        report = diff_recordings(a, mutated)
+        assert not report.identical
+        assert report.divergences[0].kind == "value"
+
+    def test_detects_sku_divergence(self):
+        """Traces from different SKUs diverge at hardware discovery —
+        how the cloud would notice a device lying about its GPU."""
+        a = RecordSession(build_micro_graph(), config=OURS_M,
+                          sku=find_sku("Mali-G71 MP8")).run()
+        b = RecordSession(build_micro_graph(), config=OURS_M,
+                          sku=find_sku("Mali-G72 MP12")).run()
+        report = diff_recordings(a.recording, b.recording)
+        assert not report.identical
+        first = report.divergences[0]
+        assert first.segment == "prologue"  # probe-time divergence
+
+    def test_length_divergence_reported(self, two_identical_runs):
+        a, b = two_identical_runs
+        from repro.core.recording import Recording
+        truncated = Recording(workload=b.workload, recorder=b.recorder,
+                              sku_fingerprint=b.sku_fingerprint,
+                              manifest=b.manifest, data_pfns=b.data_pfns,
+                              entries=list(b.entries[:-5]))
+        report = diff_recordings(a, truncated)
+        assert any(d.kind == "length" for d in report.divergences)
+
+    def test_divergence_cap(self, two_identical_runs):
+        a, b = two_identical_runs
+        from repro.core.recording import Recording
+        mutated_entries = [
+            RegRead(offset=e.offset, value=e.value ^ 1)
+            if isinstance(e, RegRead) else e for e in b.entries]
+        mutated = Recording(workload=b.workload, recorder=b.recorder,
+                            sku_fingerprint=b.sku_fingerprint,
+                            manifest=b.manifest, data_pfns=b.data_pfns,
+                            entries=mutated_entries)
+        report = diff_recordings(a, mutated, max_divergences=4)
+        assert len(report.divergences) == 4
+
+    def test_summary_strings(self, two_identical_runs):
+        a, b = two_identical_runs
+        assert "identical" in diff_recordings(a, b).summary()

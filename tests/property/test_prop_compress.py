@@ -1,0 +1,62 @@
+"""Property tests: the dump codec must be lossless for any input."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compress import best_encode, decode, encode, is_delta
+
+blocks = st.binary(min_size=0, max_size=2048)
+sparse_blocks = st.builds(
+    lambda size, positions, values: _sparse(size, positions, values),
+    st.integers(min_value=1, max_value=4096),
+    st.lists(st.integers(min_value=0, max_value=4095), max_size=20),
+    st.lists(st.integers(min_value=1, max_value=255), max_size=20),
+)
+
+
+def _sparse(size, positions, values):
+    data = bytearray(size)
+    for pos, val in zip(positions, values):
+        data[pos % size] = val
+    return bytes(data)
+
+
+class TestRoundtrip:
+    @given(blocks)
+    @settings(max_examples=200)
+    def test_raw_roundtrip(self, data):
+        assert decode(encode(data)) == data
+
+    @given(sparse_blocks)
+    @settings(max_examples=200)
+    def test_sparse_roundtrip(self, data):
+        assert decode(encode(data)) == data
+
+    @given(sparse_blocks)
+    def test_sparse_never_inflates_much(self, data):
+        # Worst case is bounded: header + tokens around each literal run.
+        assert len(encode(data)) <= len(data) + 9 + 8 * 21
+
+    @given(st.binary(min_size=16, max_size=1024), st.data())
+    @settings(max_examples=150)
+    def test_delta_roundtrip(self, base, data):
+        changed = bytearray(base)
+        n_edits = data.draw(st.integers(min_value=0, max_value=8))
+        for _ in range(n_edits):
+            idx = data.draw(st.integers(min_value=0, max_value=len(base) - 1))
+            changed[idx] ^= data.draw(st.integers(min_value=1, max_value=255))
+        packed = encode(bytes(changed), prev=base)
+        assert decode(packed, prev=base) == bytes(changed)
+
+    @given(st.binary(min_size=16, max_size=512),
+           st.binary(min_size=16, max_size=512))
+    @settings(max_examples=100)
+    def test_best_encode_roundtrip_any_base(self, data, noise):
+        base = (noise * ((len(data) // max(len(noise), 1)) + 1))[:len(data)]
+        packed = best_encode(data, prev=base)
+        prev = base if is_delta(packed) else None
+        assert decode(packed, prev=prev) == data
+
+    @given(st.binary(min_size=1, max_size=512))
+    def test_identical_delta_is_small(self, data):
+        packed = encode(data, prev=data)
+        assert len(packed) <= 9

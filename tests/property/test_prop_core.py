@@ -1,0 +1,119 @@
+"""Property tests on core invariants: commit history, memory dirty
+tracking, and the deferral queue wire format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.deferral import DeferralQueue
+from repro.core.speculation import CommitHistory
+from repro.core.symbolic import SymVal, evaluate_wire
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory, pages_spanning
+
+
+class TestCommitHistoryProperties:
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 5)),
+                    min_size=0, max_size=50),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=150)
+    def test_prediction_iff_last_k_unanimous(self, events, window):
+        """The §4.2 criteria, stated as an invariant: predict(s) returns v
+        iff the last `window` recorded values for s all equal v."""
+        history = CommitHistory(window=window)
+        log = {}
+        for sig_id, value in events:
+            sig = (("r", sig_id),)
+            history.record(sig, (value,))
+            log.setdefault(sig, []).append((value,))
+        for sig, recorded in log.items():
+            tail = recorded[-window:]
+            expected = tail[0] if (len(tail) == window
+                                   and len(set(tail)) == 1) else None
+            assert history.predict(sig) == expected
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_never_predicts_from_empty(self, window):
+        assert CommitHistory(window).predict((("r", 0),)) is None
+
+
+class TestDirtyTrackingProperties:
+    @given(st.lists(st.tuples(st.integers(0, 60_000),
+                              st.integers(1, 9000)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_dirty_set_equals_union_of_write_spans(self, writes):
+        mem = PhysicalMemory(size=1 << 20, base=0x10_0000)
+        mem.clear_dirty()
+        expected = set()
+        for offset, length in writes:
+            pa = mem.base + (offset % (mem.size - 16384))
+            length = min(length, mem.base + mem.size - pa)
+            mem.write(pa, b"\x01" * length)
+            expected |= set(pages_spanning(pa, length))
+        assert mem.dirty_pages() == expected
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_take_dirty_partitions_writes(self, page_indices):
+        """Pages dirtied before take_dirty never appear in the next take
+        unless re-written."""
+        mem = PhysicalMemory(size=2 << 20, base=0x10_0000)
+        mem.clear_dirty()
+        half = len(page_indices) // 2
+        for idx in page_indices[:half]:
+            mem.write(mem.base + (idx % 256) * PAGE_SIZE, b"x")
+        first = mem.take_dirty()
+        for idx in page_indices[half:]:
+            mem.write(mem.base + (idx % 256) * PAGE_SIZE, b"y")
+        second = mem.take_dirty()
+        expected_second = {(mem.base + (i % 256) * PAGE_SIZE) >> 12
+                           for i in page_indices[half:]}
+        assert second == expected_second
+        assert not mem.dirty_pages()
+        assert first | second <= {(mem.base >> 12) + i for i in range(512)}
+
+
+class TestDeferralWireProperties:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["r", "w"]),
+                  st.integers(0, 0xFFF),
+                  st.integers(0, 2**32 - 1)),
+        min_size=1, max_size=20))
+    @settings(max_examples=150)
+    def test_wire_order_matches_program_order(self, ops):
+        """§4.1: the client must execute the exact program order."""
+        queue = DeferralQueue("t")
+        sym_id = 0
+        for kind, offset, value in ops:
+            if kind == "r":
+                sym_id += 1
+                queue.add_read(offset, SymVal(sym_id, None))
+            else:
+                queue.add_write(offset, value, tainted=False)
+        request = queue.request()
+        assert len(request.ops) == len(ops)
+        for (kind, offset, _), wire_op in zip(ops, request.ops):
+            assert wire_op[0] == kind
+            assert wire_op[1] == offset
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=8),
+           st.integers(0, 0xFFFF))
+    @settings(max_examples=150)
+    def test_dependent_write_evaluates_correctly(self, read_values, mask):
+        """A write OR-combining every read in the batch evaluates on the
+        client exactly as it would have natively."""
+        queue = DeferralQueue("t")
+        syms = []
+        for i, _ in enumerate(read_values):
+            sym = SymVal(i + 1, None)
+            queue.add_read(0x100 + 4 * i, sym)
+            syms.append(sym)
+        combined = syms[0]
+        for sym in syms[1:]:
+            combined = combined | sym
+        queue.add_write(0x200, combined | mask, tainted=False)
+        request = queue.request()
+        env = {i + 1: v for i, v in enumerate(read_values)}
+        wire_value = request.ops[-1][2]
+        expected = mask
+        for v in read_values:
+            expected |= v
+        assert evaluate_wire(wire_value, env) == expected

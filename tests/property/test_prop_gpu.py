@@ -1,0 +1,95 @@
+"""Property tests on the GPU register file's hardware semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import regs
+from repro.hw.gpu import MaliGpu, POWER_TRANSITION_S
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71, SKU_DATABASE, driver_supported_skus
+from repro.sim.clock import VirtualClock
+
+
+def make_gpu(sku=HIKEY960_G71):
+    return MaliGpu(sku, PhysicalMemory(size=4 << 20), VirtualClock())
+
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestIrqSemantics:
+    @given(u32, u32)
+    @settings(max_examples=100)
+    def test_status_is_rawstat_and_mask(self, mask, clear):
+        """JOB_IRQ_STATUS == RAWSTAT & MASK always, under any mask/clear."""
+        gpu = make_gpu()
+        gpu.write_reg(regs.GPU_IRQ_MASK, mask)
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        gpu.write_reg(regs.GPU_IRQ_CLEAR, clear)
+        raw = gpu.read_reg(regs.GPU_IRQ_RAWSTAT)
+        status = gpu.read_reg(regs.GPU_IRQ_STATUS)
+        assert status == raw & mask & 0xFFFF_FFFF
+
+    @given(st.lists(u32, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_clear_is_monotone(self, clears):
+        """Write-1-to-clear never *sets* bits."""
+        gpu = make_gpu()
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        raw = gpu.read_reg(regs.GPU_IRQ_RAWSTAT)
+        for clear in clears:
+            gpu.write_reg(regs.GPU_IRQ_CLEAR, clear)
+            new_raw = gpu.read_reg(regs.GPU_IRQ_RAWSTAT)
+            assert new_raw & ~raw == 0  # no new bits appeared
+            raw = new_raw
+
+
+class TestReadOnlyRegisters:
+    @given(u32)
+    @settings(max_examples=60)
+    def test_identity_registers_immune_to_writes(self, value):
+        gpu = make_gpu()
+        before = [gpu.read_reg(r) for r in
+                  (regs.GPU_ID, regs.SHADER_PRESENT_LO, regs.L2_PRESENT_LO,
+                   regs.AS_PRESENT)]
+        for r in (regs.GPU_ID, regs.SHADER_PRESENT_LO,
+                  regs.L2_PRESENT_LO, regs.AS_PRESENT):
+            gpu.write_reg(r, value)
+        after = [gpu.read_reg(r) for r in
+                 (regs.GPU_ID, regs.SHADER_PRESENT_LO, regs.L2_PRESENT_LO,
+                  regs.AS_PRESENT)]
+        assert before == after
+
+
+class TestSkuConsistency:
+    @given(st.sampled_from(driver_supported_skus()))
+    @settings(max_examples=30, deadline=None)
+    def test_present_masks_match_sku(self, sku):
+        gpu = make_gpu(sku)
+        assert gpu.read_reg(regs.SHADER_PRESENT_LO) == \
+            sku.shader_present_mask & 0xFFFF_FFFF
+        assert gpu.read_reg(regs.L2_PRESENT_LO) == sku.l2_present_mask
+        assert gpu.read_reg(regs.GPU_ID) == sku.gpu_id
+
+    @given(st.sampled_from(driver_supported_skus()))
+    @settings(max_examples=20, deadline=None)
+    def test_reset_restores_pristine_state(self, sku):
+        """After a hard reset every observable register matches a fresh
+        device — the property replay correctness rests on."""
+        gpu = make_gpu(sku)
+        fresh = make_gpu(sku)
+        # Disturb a broad set of state.
+        gpu.write_reg(regs.GPU_IRQ_MASK, 0xFFFF)
+        gpu.write_reg(regs.L2_PWRON_LO, 0xF)
+        gpu.write_reg(regs.SHADER_CONFIG, 0x123)
+        gpu.write_reg(regs.as_reg(0, regs.AS_TRANSTAB_LO), 0x8000_0000)
+        gpu.clock.advance(1e-3)
+        gpu.hard_reset_now()
+        probe_regs = [regs.GPU_ID, regs.GPU_IRQ_RAWSTAT, regs.GPU_IRQ_MASK,
+                      regs.SHADER_READY_LO, regs.L2_READY_LO,
+                      regs.SHADER_CONFIG, regs.LATEST_FLUSH,
+                      regs.as_reg(0, regs.AS_TRANSTAB_LO),
+                      regs.js_reg(0, regs.JS_STATUS)]
+        assert [gpu.read_reg(r) for r in probe_regs] == \
+            [fresh.read_reg(r) for r in probe_regs]

@@ -1,0 +1,100 @@
+"""Property tests: page table construction and translation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.driver.mmu_driver import MmuTables
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.mmu import GpuMmu, GpuPageFault, PageTableWalker, PteFlags
+
+RW = PteFlags.READ | PteFlags.WRITE
+
+va_pages = st.integers(min_value=1, max_value=(1 << 27) - 1)  # VA page idx
+flags = st.sampled_from([
+    PteFlags.READ,
+    PteFlags.READ | PteFlags.WRITE,
+    PteFlags.READ | PteFlags.EXECUTE,
+    PteFlags.READ | PteFlags.WRITE | PteFlags.EXECUTE,
+])
+
+
+@st.composite
+def mapping_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    pages = draw(st.lists(va_pages, min_size=n, max_size=n, unique=True))
+    fl = [draw(flags) for _ in range(n)]
+    return list(zip(pages, fl))
+
+
+class TestMappingInvariants:
+    @given(mapping_sets(), st.sampled_from([0, 1]))
+    @settings(max_examples=60, deadline=None)
+    def test_every_mapping_translates_back(self, mappings, pte_format):
+        mem = PhysicalMemory(size=8 << 20)
+        tables = MmuTables(mem, pte_format=pte_format)
+        mmu = GpuMmu(mem, pte_format=pte_format)
+        mmu.configure(tables.root_pa)
+        backing = {}
+        for va_page, fl in mappings:
+            region = mem.alloc(PAGE_SIZE, "m")
+            tables.insert_pages(va_page << 12, region.base, PAGE_SIZE, fl)
+            backing[va_page] = (region.base, fl)
+        mmu.flush_tlb()
+        for va_page, (pa, fl) in backing.items():
+            if fl & PteFlags.READ:
+                assert mmu.translate(va_page << 12, "r") == pa
+            if fl & PteFlags.WRITE:
+                assert mmu.translate((va_page << 12) + 123, "w") == pa + 123
+            if not fl & PteFlags.EXECUTE:
+                with pytest.raises(GpuPageFault):
+                    mmu.translate(va_page << 12, "x")
+
+    @given(mapping_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_walker_inventory_is_complete(self, mappings):
+        mem = PhysicalMemory(size=8 << 20)
+        tables = MmuTables(mem, pte_format=1)
+        expected = set()
+        for va_page, fl in mappings:
+            region = mem.alloc(PAGE_SIZE, "m")
+            tables.insert_pages(va_page << 12, region.base, PAGE_SIZE, fl)
+            expected.add((va_page << 12, region.base, fl))
+        walker = PageTableWalker(mem, 1)
+        assert set(walker.mapped_pages(tables.root_pa)) == expected
+
+    @given(mapping_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_unmap_restores_fault(self, mappings):
+        mem = PhysicalMemory(size=8 << 20)
+        tables = MmuTables(mem, pte_format=1)
+        mmu = GpuMmu(mem, pte_format=1)
+        mmu.configure(tables.root_pa)
+        for va_page, fl in mappings:
+            region = mem.alloc(PAGE_SIZE, "m")
+            tables.insert_pages(va_page << 12, region.base, PAGE_SIZE,
+                                fl | PteFlags.READ)
+        # Unmap the first half; they must fault, the rest must not.
+        half = len(mappings) // 2
+        for va_page, _ in mappings[:half]:
+            assert tables.unmap_pages(va_page << 12, PAGE_SIZE) == 1
+        mmu.flush_tlb()
+        for va_page, _ in mappings[:half]:
+            with pytest.raises(GpuPageFault):
+                mmu.translate(va_page << 12, "r")
+        for va_page, _ in mappings[half:]:
+            mmu.translate(va_page << 12, "r")
+
+    @given(mapping_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_table_pages_tracked_exactly(self, mappings):
+        """Metastate accounting: the walker and the builder agree on the
+        set of page-table pages (what meta-only sync must ship, §5)."""
+        mem = PhysicalMemory(size=8 << 20)
+        tables = MmuTables(mem, pte_format=1)
+        for va_page, fl in mappings:
+            region = mem.alloc(PAGE_SIZE, "m")
+            tables.insert_pages(va_page << 12, region.base, PAGE_SIZE, fl)
+        walker = PageTableWalker(mem, 1)
+        assert set(walker.table_pages(tables.root_pa)) == \
+            tables.metastate_pfns()

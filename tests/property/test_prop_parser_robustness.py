@@ -1,0 +1,69 @@
+"""Property tests: hostile bytes never crash the recording parser.
+
+The recording travels through the untrusted OS; the TEE-side parser must
+fail *closed* — RecordingFormatError, never an unhandled exception — on
+arbitrary garbage and on arbitrarily truncated/mutated real recordings.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.recording import (
+    IrqEntry,
+    MAGIC,
+    Marker,
+    Recording,
+    RecordingFormatError,
+    RegRead,
+    RegWrite,
+)
+from repro.tee.crypto import SigningKey
+
+from test_prop_recording import _recording  # reuse the builder
+
+REAL_BLOB = _recording([
+    Marker("conv1"),
+    RegWrite(offset=0x30, value=1),
+    RegRead(offset=0x20, value=0x100),
+    IrqEntry(line="job"),
+]).sign(SigningKey.generate("svc"))
+
+
+class TestParserRobustness:
+    @given(st.binary(min_size=0, max_size=512))
+    @settings(max_examples=300)
+    def test_random_bytes_fail_closed(self, blob):
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(blob)
+
+    @given(st.binary(min_size=0, max_size=512))
+    @settings(max_examples=200)
+    def test_random_bytes_with_magic_fail_closed(self, tail):
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(MAGIC + tail)
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_truncations_fail_closed(self, data):
+        real_blob = REAL_BLOB
+        cut = data.draw(st.integers(min_value=0,
+                                    max_value=len(real_blob) - 1))
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(real_blob[:cut],
+                                 verify_key=SigningKey.generate("svc"))
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_mutations_without_key_fail_closed_or_parse(self, data):
+        real_blob = REAL_BLOB
+        """Without signature verification (inspection tools), a mutated
+        blob either parses or raises RecordingFormatError — nothing
+        else escapes."""
+        blob = bytearray(real_blob)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+            idx = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+            blob[idx] = data.draw(st.integers(min_value=0, max_value=255))
+        try:
+            Recording.from_bytes(bytes(blob))
+        except RecordingFormatError:
+            pass

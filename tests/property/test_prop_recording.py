@@ -1,0 +1,106 @@
+"""Property tests: recording serialization is lossless for arbitrary
+entry sequences, and signing detects arbitrary tampering."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.recording import (
+    IrqEntry,
+    Marker,
+    MemUpload,
+    MemWrite,
+    PollEntry,
+    Recording,
+    RecordingFormatError,
+    RegRead,
+    RegWrite,
+)
+from repro.ml.runner import RunManifest
+from repro.tee.crypto import SigningKey
+
+offsets = st.integers(min_value=0, max_value=0x3FFF)
+values = st.integers(min_value=0, max_value=2**32 - 1)
+
+reg_writes = st.builds(RegWrite, offset=offsets, value=values)
+reg_reads = st.builds(RegRead, offset=offsets, value=values)
+polls = st.builds(
+    PollEntry, offset=offsets,
+    condition=st.sampled_from(["bits_clear", "bits_set", "equals"]),
+    operand=values, value=values,
+    iterations=st.integers(min_value=1, max_value=10000))
+irqs = st.builds(IrqEntry, line=st.sampled_from(["job", "gpu", "mmu"]))
+markers = st.builds(Marker, label=st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0, max_size=40))
+uploads = st.builds(MemUpload,
+                    nbytes=st.integers(min_value=0, max_value=2**40))
+
+
+@st.composite
+def mem_writes(draw):
+    n = draw(st.integers(min_value=0, max_value=3))
+    pages = []
+    for _ in range(n):
+        pfn = draw(st.integers(min_value=0, max_value=2**36))
+        sparse = bytearray(4096)
+        for _ in range(draw(st.integers(min_value=0, max_value=5))):
+            idx = draw(st.integers(min_value=0, max_value=4095))
+            sparse[idx] = draw(st.integers(min_value=0, max_value=255))
+        pages.append((pfn, bytes(sparse)))
+    return MemWrite(pages=tuple(pages))
+
+
+entries = st.lists(
+    st.one_of(reg_writes, reg_reads, polls, irqs, markers, uploads,
+              mem_writes()),
+    min_size=0, max_size=30)
+
+
+def _recording(entry_list):
+    return Recording(
+        workload="w", recorder="OursMDS",
+        sku_fingerprint=(1, 8, 2, 39, 1, ()),
+        manifest=RunManifest(workload="w", input_shape=(1,),
+                             output_shape=(1,)),
+        data_pfns=(1, 2, 3),
+        entries=list(entry_list))
+
+
+class TestRoundtrip:
+    @given(entries)
+    @settings(max_examples=100, deadline=None)
+    def test_entries_roundtrip(self, entry_list):
+        key = SigningKey.generate("svc")
+        rec = _recording(entry_list)
+        blob = rec.sign(key)
+        back = Recording.from_bytes(blob, verify_key=key)
+        assert back.entries == rec.entries
+
+    @given(entries, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_any_bitflip_detected(self, entry_list, data):
+        key = SigningKey.generate("svc")
+        blob = bytearray(_recording(entry_list).sign(key))
+        idx = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        blob[idx] ^= 1 << bit
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(bytes(blob), verify_key=key)
+
+    @given(entries)
+    @settings(max_examples=50, deadline=None)
+    def test_segments_partition_entries(self, entry_list):
+        rec = _recording(entry_list)
+        segments = rec.segments()
+        rejoined = []
+        for label, seg in segments:
+            rejoined.extend(seg)
+        non_markers = [e for e in rec.entries if not isinstance(e, Marker)]
+        assert rejoined == non_markers
+
+    @given(entries)
+    @settings(max_examples=50, deadline=None)
+    def test_counts_sum_to_len(self, entry_list):
+        rec = _recording(entry_list)
+        assert sum(rec.counts().values()) == len(rec.entries)

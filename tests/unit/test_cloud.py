@@ -1,0 +1,105 @@
+"""Unit tests for the cloud service: VM images, device trees, sessions."""
+
+import pytest
+
+from repro.cloud.service import CloudService, ServiceError
+from repro.cloud.vm import DEFAULT_IMAGES, VmError, VmInstance
+from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.kernel.devicetree import board_device_tree
+from repro.sim.clock import VirtualClock
+
+
+class TestVmImages:
+    def test_default_images_cover_mali(self):
+        image = DEFAULT_IMAGES["acl-opencl"]
+        assert image.supports("arm,mali-bifrost")
+        assert image.supports("arm,mali-midgard")
+
+    def test_measurement_stable(self):
+        image = DEFAULT_IMAGES["acl-opencl"]
+        assert image.measurement() == image.measurement()
+        assert image.measurement() != DEFAULT_IMAGES["tflite-gles"].measurement()
+
+
+class TestVmBoot:
+    def test_boot_binds_matching_driver(self):
+        """§6: one image, many drivers, selected by the device tree."""
+        clock = VirtualClock()
+        vm = VmInstance(image=DEFAULT_IMAGES["acl-opencl"],
+                        device_tree=board_device_tree(HIKEY960_G71),
+                        client_id="c")
+        vm.boot(clock)
+        assert vm.bound_driver == "arm,mali-bifrost"
+        assert vm.gpu_model == "Mali-G71 MP8"
+        assert clock.now > 1.0  # boot is not free
+
+    def test_midgard_tree_binds_midgard_driver(self):
+        clock = VirtualClock()
+        vm = VmInstance(image=DEFAULT_IMAGES["acl-opencl"],
+                        device_tree=board_device_tree(
+                            find_sku("Mali-T880 MP4")),
+                        client_id="c")
+        vm.boot(clock)
+        assert vm.bound_driver == "arm,mali-midgard"
+
+    def test_unsupported_gpu_rejected(self):
+        clock = VirtualClock()
+        vm = VmInstance(image=DEFAULT_IMAGES["tflite-gles"],
+                        device_tree=board_device_tree(
+                            find_sku("Adreno 630")),
+                        client_id="c")
+        with pytest.raises(VmError):
+            vm.boot(clock)
+
+    def test_double_boot_rejected(self):
+        clock = VirtualClock()
+        vm = VmInstance(image=DEFAULT_IMAGES["acl-opencl"],
+                        device_tree=board_device_tree(HIKEY960_G71),
+                        client_id="c")
+        vm.boot(clock)
+        with pytest.raises(VmError):
+            vm.boot(clock)
+
+
+class TestCloudService:
+    def test_session_lifecycle(self):
+        service = CloudService()
+        ticket = service.open_session(
+            "client-1", "acl-opencl", board_device_tree(HIKEY960_G71),
+            nonce=b"n1")
+        assert ticket.session_id in service.active_sessions
+        service.close_session(ticket.session_id)
+        assert ticket.session_id not in service.active_sessions
+
+    def test_sessions_get_distinct_vms(self):
+        """§3.1: neither a VM nor a recording is shared across clients."""
+        service = CloudService()
+        tree = board_device_tree(HIKEY960_G71)
+        t1 = service.open_session("client-1", "acl-opencl", tree, b"n1")
+        t2 = service.open_session("client-2", "acl-opencl", tree, b"n2")
+        assert t1.vm is not t2.vm
+        assert t1.session_id != t2.session_id
+
+    def test_attestation_included(self):
+        service = CloudService()
+        ticket = service.open_session(
+            "c", "acl-opencl", board_device_tree(HIKEY960_G71), b"nonce")
+        assert ticket.attestation.nonce == b"nonce"
+
+    def test_unknown_image(self):
+        service = CloudService()
+        with pytest.raises(ServiceError):
+            service.open_session("c", "cuda-stack",
+                                 board_device_tree(HIKEY960_G71), b"n")
+
+    def test_image_for_family(self):
+        service = CloudService()
+        assert service.image_for_family("arm,mali-bifrost") == "acl-opencl"
+        with pytest.raises(ServiceError):
+            service.image_for_family("nvidia,ampere")
+
+    def test_recording_signature(self):
+        service = CloudService()
+        sig = service.sign_recording(b"body")
+        service.recording_key.verify(b"body", sig)
+        assert service.recordings_served == 1

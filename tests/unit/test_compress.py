@@ -1,0 +1,102 @@
+"""Unit tests for the dump codec (delta + zero-RLE, §5)."""
+
+import pytest
+
+from repro.core.compress import CodecError, best_encode, decode, encode, is_delta
+
+
+class TestRoundtrip:
+    def test_all_zeros_compress_tiny(self):
+        data = bytes(4096)
+        packed = encode(data)
+        assert len(packed) < 16
+        assert decode(packed) == data
+
+    def test_sparse_page(self):
+        data = bytearray(4096)
+        data[100:110] = b"abcdefghij"
+        data[3000] = 0xFF
+        packed = encode(bytes(data))
+        assert len(packed) < 128
+        assert decode(packed) == bytes(data)
+
+    def test_dense_data_roundtrip(self):
+        data = bytes(range(256)) * 16
+        packed = encode(data)
+        assert decode(packed) == data
+
+    def test_empty_block(self):
+        assert decode(encode(b"")) == b""
+
+    def test_trailing_zeros(self):
+        data = b"\x01" + bytes(4095)
+        assert decode(encode(data)) == data
+
+    def test_leading_zeros(self):
+        data = bytes(4095) + b"\x01"
+        assert decode(encode(data)) == data
+
+
+class TestDelta:
+    def test_identical_delta_is_tiny(self):
+        data = bytes(range(256)) * 16
+        packed = encode(data, prev=data)
+        assert is_delta(packed)
+        assert len(packed) < 16
+        assert decode(packed, prev=data) == data
+
+    def test_small_change_small_delta(self):
+        base = bytes(range(256)) * 16
+        changed = bytearray(base)
+        changed[42] ^= 0xFF
+        packed = encode(bytes(changed), prev=base)
+        assert len(packed) < 64
+        assert decode(packed, prev=base) == bytes(changed)
+
+    def test_delta_requires_base_to_decode(self):
+        base = b"\x01" * 64
+        packed = encode(b"\x02" * 64, prev=base)
+        with pytest.raises(CodecError):
+            decode(packed)
+
+    def test_mismatched_base_length(self):
+        with pytest.raises(CodecError):
+            encode(b"\x01" * 64, prev=b"\x01" * 32)
+        packed = encode(b"\x01" * 64, prev=b"\x02" * 64)
+        with pytest.raises(CodecError):
+            decode(packed, prev=b"\x00" * 32)
+
+    def test_best_encode_avoids_bad_delta(self):
+        """A delta against an unrelated base must not inflate the block."""
+        import os
+        data = bytes(4096)  # all zeros: raw-RLE is near-free
+        unrelated = os.urandom(4096)
+        packed = best_encode(data, prev=unrelated)
+        assert not is_delta(packed)
+        assert len(packed) < 16
+
+    def test_best_encode_prefers_delta_when_smaller(self):
+        base = bytes(range(256)) * 16
+        changed = bytearray(base)
+        changed[0] ^= 1
+        packed = best_encode(bytes(changed), prev=base)
+        assert is_delta(packed)
+        assert decode(packed, prev=base) == bytes(changed)
+
+
+class TestCorruption:
+    def test_truncated_header(self):
+        with pytest.raises(CodecError):
+            decode(b"\x00")
+
+    def test_truncated_token(self):
+        packed = encode(b"\x01" * 64)
+        with pytest.raises(CodecError):
+            decode(packed[:-10])
+
+    def test_overrunning_token(self):
+        packed = bytearray(encode(b"\x01" * 64))
+        # Corrupt the literal length field upward.
+        packed[9] = 0xFF
+        with pytest.raises(CodecError):
+            decode(bytes(packed))

@@ -1,0 +1,182 @@
+"""Unit tests for deferral queues and speculation history (§4.1, §4.2)."""
+
+import pytest
+
+from repro.core.deferral import CommitRequest, DeferralQueue
+from repro.core.speculation import (
+    CommitHistory,
+    MispredictionDetected,
+    OutstandingCommit,
+    SpeculationStats,
+)
+from repro.core.symbolic import SymVal
+
+
+class TestDeferralQueue:
+    def test_program_order_preserved(self):
+        q = DeferralQueue("main")
+        s1 = SymVal(1, None)
+        q.add_read(0x20, s1)
+        q.add_write(0x24, s1 | 0x10, tainted=False)
+        q.add_write(0x28, 5, tainted=False)
+        req = q.request()
+        assert [op[0] for op in req.ops] == ["r", "w", "w"]
+        assert req.ops[0] == ("r", 0x20, 1)
+        assert req.ops[2] == ("w", 0x28, 5)
+
+    def test_symbolic_write_lowered_to_wire(self):
+        q = DeferralQueue("main")
+        s1 = SymVal(1, None)
+        q.add_read(0x20, s1)
+        q.add_write(0x24, s1 | 0x10, tainted=False)
+        wire = q.request().ops[1][2]
+        assert wire == ("bin", "or", ("sym", 1), 0x10)
+
+    def test_resolved_symbolic_write_is_concrete(self):
+        q = DeferralQueue("main")
+        s1 = SymVal(1, None)
+        s1.resolve(0x3)
+        q.add_write(0x24, s1 | 0x10, tainted=False)
+        assert q.request().ops[0] == ("w", 0x24, 0x13)
+
+    def test_foreign_symbol_rejected(self):
+        """A write depending on an unresolved symbol from an *earlier*
+        batch is a commit-ordering bug and must fail loudly."""
+        q = DeferralQueue("main")
+        foreign = SymVal(99, None)  # never queued here
+        q.add_write(0x24, foreign | 1, tainted=False)
+        with pytest.raises(RuntimeError):
+            q.request()
+
+    def test_signature_ignores_write_values(self):
+        q1, q2 = DeferralQueue("a"), DeferralQueue("b")
+        q1.add_write(0x10, 111, tainted=False)
+        q2.add_write(0x10, 222, tainted=False)
+        assert q1.signature() == q2.signature()
+
+    def test_signature_distinguishes_offsets(self):
+        q1, q2 = DeferralQueue("a"), DeferralQueue("b")
+        q1.add_read(0x10, SymVal(1, None))
+        q2.add_read(0x14, SymVal(2, None))
+        assert q1.signature() != q2.signature()
+
+    def test_tainted_detection(self):
+        q = DeferralQueue("main")
+        q.add_write(0x10, 1, tainted=True)
+        assert q.any_tainted()
+
+    def test_tainted_via_symbol(self):
+        q = DeferralQueue("main")
+        s = SymVal(1, None)
+        s.resolve(1, tainted=True)
+        q2 = DeferralQueue("main")
+        q2.add_write(0x10, s | 1, tainted=False)
+        assert q2.any_tainted()
+
+    def test_request_sizes(self):
+        q = DeferralQueue("main")
+        q.add_read(0x10, SymVal(1, None))
+        q.add_read(0x14, SymVal(2, None))
+        q.add_write(0x18, 1, tainted=False)
+        req = q.request()
+        assert req.read_count == 2
+        assert req.payload_bytes == 3 * 12
+        assert req.response_bytes == 2 * 8
+
+    def test_take_empties(self):
+        q = DeferralQueue("main")
+        q.add_write(0x10, 1, tainted=False)
+        assert len(q.take()) == 1
+        assert len(q) == 0
+
+
+class TestCommitHistory:
+    def test_no_prediction_with_short_history(self):
+        h = CommitHistory(window=3)
+        sig = (("r", 0x20),)
+        h.record(sig, (5,))
+        h.record(sig, (5,))
+        assert h.predict(sig) is None
+
+    def test_predicts_after_k_identical(self):
+        h = CommitHistory(window=3)
+        sig = (("r", 0x20),)
+        for _ in range(3):
+            h.record(sig, (5,))
+        assert h.predict(sig) == (5,)
+
+    def test_disagreement_blocks_prediction(self):
+        """§4.2's conservative criteria: any disagreement in the last k
+        instances means no speculation."""
+        h = CommitHistory(window=3)
+        sig = (("r", 0x38),)  # LATEST_FLUSH-like
+        h.record(sig, (1,))
+        h.record(sig, (2,))
+        h.record(sig, (3,))
+        assert h.predict(sig) is None
+
+    def test_sliding_window_recovers(self):
+        h = CommitHistory(window=3)
+        sig = (("r", 0x20),)
+        h.record(sig, (9,))  # old outlier
+        for _ in range(3):
+            h.record(sig, (5,))
+        assert h.predict(sig) == (5,)
+
+    def test_unknown_signature(self):
+        assert CommitHistory().predict((("r", 1),)) is None
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            CommitHistory(window=0)
+
+    def test_instances_counted(self):
+        h = CommitHistory(window=3)
+        sig = (("r", 1),)
+        h.record(sig, (0,))
+        assert h.instances(sig) == 1
+        assert len(h) == 1
+
+
+class TestOutstandingCommit:
+    def _oc(self, predicted, actual):
+        return OutstandingCommit(
+            signature=(("r", 0x20),), category="power",
+            predicted=predicted, actual=actual, completion_time=1.0,
+            read_syms=[], safe_log_position=10)
+
+    def test_matching_validates(self):
+        self._oc((5,), (5,)).validate()
+
+    def test_mismatch_raises_with_rollback_position(self):
+        with pytest.raises(MispredictionDetected) as exc:
+            self._oc((5,), (6,)).validate()
+        assert exc.value.safe_log_position == 10
+        assert exc.value.predicted == (5,)
+        assert exc.value.actual == (6,)
+
+    def test_validate_untaints_symbols(self):
+        sym = SymVal(1, None)
+        sym.resolve(5, tainted=True)
+        oc = OutstandingCommit(
+            signature=(), category="power", predicted=(5,), actual=(5,),
+            completion_time=0.0, read_syms=[sym], safe_log_position=0)
+        oc.validate()
+        assert not sym.taint
+
+
+class TestSpeculationStats:
+    def test_note_commit_accumulates(self):
+        stats = SpeculationStats()
+        stats.note_commit("power", speculated=True, reads=3)
+        stats.note_commit("power", speculated=False, reads=1)
+        stats.note_commit("init", speculated=True, reads=10)
+        assert stats.commits_total == 3
+        assert stats.commits_speculated == 2
+        assert stats.commits_by_category["power"] == 2
+        assert stats.speculated_by_category == {"power": 1, "init": 1}
+        assert stats.reads_total == 14
+        assert stats.speculation_rate == pytest.approx(2 / 3)
+
+    def test_rate_empty(self):
+        assert SpeculationStats().speculation_rate == 0.0

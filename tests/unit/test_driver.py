@@ -1,0 +1,217 @@
+"""Unit tests for the kbase-like driver running natively (LocalBus)."""
+
+import pytest
+
+from repro.driver.bus import LocalBus, PollCondition, PollResult, PollSpec
+from repro.driver.driver import DriverError, KbaseDevice, LocalPlatform
+from repro.driver.hotfuncs import (
+    CommitCategory,
+    HOT_FUNCTIONS,
+    ProfilingHook,
+)
+from repro.driver.probe import GpuProber
+from repro.hw import regs
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.regs import GpuIrq
+from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.kernel.env import KernelEnv
+from repro.sim.clock import VirtualClock
+
+
+def make_kbdev(sku=HIKEY960_G71):
+    clock = VirtualClock()
+    mem = PhysicalMemory(size=16 << 20)
+    gpu = MaliGpu(sku, mem, clock)
+    env = KernelEnv(clock)
+    platform = LocalPlatform(gpu, env)
+    bus = LocalBus(gpu, clock)
+    kbdev = KbaseDevice(env, bus, mem)
+    platform.attach(kbdev)
+    return kbdev, gpu, bus
+
+
+class TestPollCondition:
+    def test_bits_clear(self):
+        assert PollCondition.check("bits_clear", 0x0, 0xFF)
+        assert not PollCondition.check("bits_clear", 0x1, 0xFF)
+
+    def test_bits_set(self):
+        assert PollCondition.check("bits_set", 0xFF, 0x0F)
+        assert not PollCondition.check("bits_set", 0x0E, 0x0F)
+
+    def test_equals(self):
+        assert PollCondition.check("equals", 5, 5)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            PollCondition.check("almost", 1, 1)
+
+
+class TestLocalBusPoll:
+    def test_poll_waits_for_hardware(self):
+        kbdev, gpu, bus = make_kbdev()
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        result = bus.poll(PollSpec(
+            offset=regs.L2_READY_LO, condition=PollCondition.BITS_SET,
+            operand=0x3, max_iters=1000, delay_per_iter_s=10e-6))
+        assert result.success
+        assert result.value == 0x3
+        assert result.iterations >= 2
+
+    def test_poll_gives_up_at_max_iters(self):
+        kbdev, gpu, bus = make_kbdev()
+        result = bus.poll(PollSpec(
+            offset=regs.L2_READY_LO, condition=PollCondition.BITS_SET,
+            operand=0x3, max_iters=5, delay_per_iter_s=1e-6))
+        assert not result.success
+        assert result.iterations == 5
+
+
+class TestProbe:
+    def test_probe_discovers_hardware(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        assert kbdev.probed
+        assert kbdev.props.gpu_id == HIKEY960_G71.gpu_id
+        assert int(kbdev.props.shader_present) == \
+            HIKEY960_G71.shader_present_mask
+
+    def test_probe_resets_gpu(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        assert gpu.resets >= 1
+
+    def test_probe_applies_quirks(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        # Bifrost parts get the early-Z tiler quirk (Listing 1(a) pattern).
+        assert gpu.read_reg(regs.TILER_CONFIG) != 0
+        assert gpu.read_reg(regs.SHADER_CONFIG) != 0
+
+    def test_pte_format_selection(self):
+        assert GpuProber.pte_format_for(HIKEY960_G71.gpu_id) == 1
+        assert GpuProber.pte_format_for(
+            find_sku("Mali-T880 MP4").gpu_id) == 0
+
+    def test_probe_enables_interrupt_masks(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        assert gpu.read_reg(regs.JOB_IRQ_MASK) == 0xFFFF_FFFF
+        # CLEAN_CACHES stays masked: the flush path polls it (§4.3).
+        assert not gpu.read_reg(regs.GPU_IRQ_MASK) \
+            & GpuIrq.CLEAN_CACHES_COMPLETED
+
+    def test_mmu_before_probe_rejected(self):
+        kbdev, gpu, bus = make_kbdev()
+        with pytest.raises(DriverError):
+            kbdev.mmu_configure()
+
+
+class TestPowerManagement:
+    def test_power_up_brings_domains_ready(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        assert kbdev.pm.gpu_powered
+        ready = gpu.domains_ready()
+        assert ready["shader"] == HIKEY960_G71.shader_present_mask
+        assert ready["l2"] == HIKEY960_G71.l2_present_mask
+
+    def test_power_down(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        kbdev.pm.power_down()
+        assert not kbdev.pm.gpu_powered
+        assert gpu.domains_ready()["shader"] == 0
+
+    def test_power_up_idempotent(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        cycles = kbdev.pm.power_cycles
+        kbdev.pm.power_up()
+        assert kbdev.pm.power_cycles == cycles
+
+    def test_shader_ready_cached_for_affinity(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        assert int(kbdev.pm.shader_ready) == \
+            HIKEY960_G71.shader_present_mask
+
+
+class TestMmuAndCache:
+    def test_mmu_configure_points_hardware_at_tables(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        kbdev.mmu_configure()
+        assert gpu.mmu.enabled
+        assert gpu.mmu.transtab == kbdev.mmu_tables.root_pa
+
+    def test_mmu_flush_flushes_tlb(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        kbdev.mmu_configure()
+        flushes = gpu.mmu.tlb_flushes
+        kbdev.mmu_flush(lock_va=0x10000)
+        assert gpu.mmu.tlb_flushes > flushes
+
+    def test_cache_flush_completes(self):
+        kbdev, gpu, bus = make_kbdev()
+        kbdev.probe()
+        kbdev.pm.power_up()
+        kbdev.cache_flush()
+        assert kbdev.cache_flushes == 1
+        # The flush's IRQ bit was consumed by polling + clear.
+        assert not gpu.read_reg(regs.GPU_IRQ_RAWSTAT) \
+            & GpuIrq.CLEAN_CACHES_COMPLETED
+
+
+class TestHotFunctions:
+    def test_registry_covers_driver_routines(self):
+        names = set(HOT_FUNCTIONS)
+        assert any("power_up" in n for n in names)
+        assert any("job_irq" in n for n in names)
+        assert any("cache_flush" in n for n in names)
+        assert any("discover" in n for n in names)
+
+    def test_categories_match_figure8(self):
+        cats = {hf.category for hf in HOT_FUNCTIONS.values()}
+        assert {CommitCategory.INIT, CommitCategory.INTERRUPT,
+                CommitCategory.POWER, CommitCategory.POLLING} <= cats
+
+    def test_profiling_attributes_accesses(self):
+        """§4.1: hot functions issue >90% of register accesses."""
+        kbdev, gpu, bus = make_kbdev()
+        profiler = ProfilingHook()
+        kbdev.env.hooks.append(profiler)
+
+        original_read = bus.read32
+
+        def counting_read(offset):
+            profiler.record_access()
+            return original_read(offset)
+
+        original_write = bus.write32
+
+        def counting_write(offset, value):
+            profiler.record_access()
+            original_write(offset, value)
+
+        bus.read32 = counting_read
+        bus.write32 = counting_write
+        kbdev.probe()
+        kbdev.pm.power_up()
+        kbdev.cache_flush()
+        kbdev.pm.power_down()
+        profile = profiler.profile()
+        total = sum(profile.per_function.values())
+        cold = profile.per_function.get("<cold>", 0)
+        assert total > 50
+        assert cold / total < 0.1
+        hottest = profile.hottest(coverage=0.9)
+        assert 1 <= len(hottest) <= len(HOT_FUNCTIONS)

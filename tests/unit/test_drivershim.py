@@ -1,0 +1,386 @@
+"""Unit tests for DriverShim's commit machinery, exercised directly
+against a real GPU model + GPUShim but with hand-built driver actions."""
+
+import pytest
+
+from repro.core.drivershim import (
+    CloudPlatform,
+    DriverShim,
+    FastForwardFeed,
+    FeedMismatch,
+    ShimModes,
+)
+from repro.core.gpushim import GpuShim
+from repro.core.memsync import MemorySynchronizer, SyncPolicy
+from repro.core.recording import PollEntry, RegRead, RegWrite
+from repro.core.speculation import CommitHistory, MispredictionDetected
+from repro.core.symbolic import SymVal
+from repro.driver.bus import PollCondition, PollSpec
+from repro.hw import regs
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.kernel.env import KernelEnv
+from repro.kernel.locks import Mutex
+from repro.sim.clock import VirtualClock
+from repro.sim.network import Link, WIFI
+from repro.tee.optee import OpTeeOS
+
+
+class Harness:
+    """A DriverShim wired to a real client GPU, no driver on top."""
+
+    def __init__(self, defer=True, speculate=False, offload=False,
+                 history=None):
+        self.clock = VirtualClock()
+        self.client_mem = PhysicalMemory(size=8 << 20)
+        self.cloud_mem = PhysicalMemory(size=8 << 20)
+        self.optee = OpTeeOS()
+        self.gpu = MaliGpu(HIKEY960_G71, self.client_mem, self.clock)
+        self.gpushim = GpuShim(self.optee, self.gpu, self.clock)
+        self.gpushim.begin_session()
+        self.link = Link(WIFI, self.clock)
+        self.memsync = MemorySynchronizer(self.cloud_mem, self.client_mem,
+                                          SyncPolicy.META_ONLY)
+        self.shim = DriverShim(
+            self.link, self.gpushim, self.memsync,
+            ShimModes(defer=defer, speculate=speculate,
+                      offload_polls=offload),
+            history=history)
+        self.env = KernelEnv(self.clock)
+        self.shim.attach(self.env)
+
+    def enter_hot(self, category="power"):
+        self.shim.on_hot_enter(self.env, "fn", category)
+
+    def exit_hot(self):
+        self.shim.on_hot_exit(self.env, "fn", "power")
+
+
+class TestSynchronousMode:
+    def test_each_access_is_one_rtt(self):
+        h = Harness(defer=False)
+        before = h.link.stats.blocking_round_trips
+        h.shim.read32(regs.GPU_ID)
+        h.shim.write32(regs.GPU_IRQ_MASK, 0xFF)
+        assert h.link.stats.blocking_round_trips == before + 2
+
+    def test_sync_read_returns_concrete(self):
+        h = Harness(defer=False)
+        assert h.shim.read32(regs.GPU_ID) == HIKEY960_G71.gpu_id
+
+    def test_log_records_everything(self):
+        h = Harness(defer=False)
+        h.shim.read32(regs.GPU_ID)
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x1)
+        log = h.gpushim.log
+        assert isinstance(log[0], RegRead)
+        assert isinstance(log[1], RegWrite)
+        assert log[1].value == 0x1
+
+
+class TestDeferral:
+    def test_reads_in_hot_code_are_symbolic(self):
+        h = Harness(defer=True)
+        h.enter_hot()
+        value = h.shim.read32(regs.GPU_ID)
+        assert isinstance(value, SymVal)
+        assert not value.resolved
+
+    def test_cold_code_stays_synchronous(self):
+        h = Harness(defer=True)
+        value = h.shim.read32(regs.GPU_ID)  # not inside a hot function
+        assert value == HIKEY960_G71.gpu_id
+
+    def test_no_network_until_forced(self):
+        h = Harness(defer=True)
+        h.enter_hot()
+        before = h.link.stats.blocking_round_trips
+        h.shim.read32(regs.GPU_ID)
+        h.shim.read32(regs.SHADER_PRESENT_LO)
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x100)
+        assert h.link.stats.blocking_round_trips == before
+
+    def test_force_commits_whole_batch(self):
+        h = Harness(defer=True)
+        h.enter_hot()
+        a = h.shim.read32(regs.GPU_ID)
+        b = h.shim.read32(regs.SHADER_PRESENT_LO)
+        before = h.link.stats.blocking_round_trips
+        assert int(a) == HIKEY960_G71.gpu_id  # control dependency
+        assert h.link.stats.blocking_round_trips == before + 1
+        assert b.resolved  # the whole batch resolved in one RTT
+        assert int(b) == HIKEY960_G71.shader_present_mask
+
+    def test_symbolic_write_evaluated_on_client(self):
+        """Listing 1(a): WRITE(reg, S | bits) ships as an expression."""
+        h = Harness(defer=True)
+        h.enter_hot()
+        current = h.shim.read32(regs.GPU_IRQ_MASK)  # reads 0
+        h.shim.write32(regs.GPU_IRQ_MASK, current | 0x300)
+        h.exit_hot()  # hot exit commits
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0x300
+
+    def test_hot_exit_flushes(self):
+        h = Harness(defer=True)
+        h.enter_hot()
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x7)
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0
+        h.exit_hot()
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0x7
+
+    def test_unlock_flushes(self):
+        h = Harness(defer=True)
+        lock = Mutex(h.env, "pm")
+        h.enter_hot()
+        lock.lock()
+        h.shim.write32(regs.GPU_IRQ_MASK, 0xF)
+        lock.unlock()  # release consistency commit (§4.1)
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0xF
+
+    def test_delay_flushes(self):
+        h = Harness(defer=True)
+        h.enter_hot()
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x3)
+        h.env.delay(1e-6)
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0x3
+
+    def test_program_order_preserved_on_gpu(self):
+        """The interrupt-clear-then-use pattern must reach the GPU in
+        exact order (§4.1's hidden dependencies)."""
+        h = Harness(defer=True)
+        h.gpu.write_reg(regs.GPU_COMMAND, regs.GpuCommand.CLEAN_INV_CACHES)
+        h.clock.advance(1e-3)
+        h.enter_hot()
+        status = h.shim.read32(regs.GPU_IRQ_RAWSTAT)
+        h.shim.write32(regs.GPU_IRQ_CLEAR, status)  # clears what was read
+        h.exit_hot()
+        log = [e for e in h.gpushim.log
+               if isinstance(e, (RegRead, RegWrite))]
+        assert isinstance(log[-2], RegRead)
+        assert isinstance(log[-1], RegWrite)
+        assert log[-1].value == log[-2].value
+        assert h.gpu.read_reg(regs.GPU_IRQ_RAWSTAT) == 0
+
+
+class TestSpeculation:
+    def _warm(self, h, rounds=3):
+        for _ in range(rounds):
+            h.enter_hot()
+            value = h.shim.read32(regs.GPU_ID)
+            h.exit_hot()
+            int(value)
+
+    def test_predicted_commit_is_async(self):
+        history = CommitHistory()
+        h = Harness(defer=True, speculate=True, history=history)
+        self._warm(h)
+        async_before = h.link.stats.async_sends
+        h.enter_hot()
+        value = h.shim.read32(regs.GPU_ID)
+        h.exit_hot()
+        assert h.link.stats.async_sends == async_before + 1
+        assert value.resolved  # resolved with the *predicted* value
+        assert value.taint  # and tainted until validation
+        assert int(value) == HIKEY960_G71.gpu_id
+
+    def test_validation_clears_taint(self):
+        h = Harness(defer=True, speculate=True)
+        self._warm(h)
+        h.enter_hot()
+        value = h.shim.read32(regs.GPU_ID)
+        h.exit_hot()
+        h.shim.validate_outstanding()
+        assert not value.taint
+
+    def test_write_only_commits_always_async(self):
+        h = Harness(defer=True, speculate=True)
+        before = h.link.stats.blocking_round_trips
+        h.enter_hot()
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x1)
+        h.exit_hot()
+        assert h.link.stats.blocking_round_trips == before
+        assert h.link.stats.async_sends >= 1
+
+    def test_tainted_commit_stalls_first(self):
+        """§4.2's optimization: never spill speculative state to the
+        client — dependent commits wait for validation."""
+        h = Harness(defer=True, speculate=True)
+        self._warm(h)
+        h.enter_hot()
+        value = h.shim.read32(regs.GPU_ID)  # speculated
+        h.exit_hot()
+        assert value.taint
+        stalls_before = h.shim.stats.tainted_commit_stalls
+        h.enter_hot()
+        h.shim.write32(regs.GPU_IRQ_MASK, value & 0xFF)  # tainted write
+        h.exit_hot()
+        assert h.shim.stats.tainted_commit_stalls == stalls_before + 1
+        # The earlier speculative read was validated during the stall;
+        # only then did the (now clean) write commit go out.
+        assert not value.taint
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == \
+            HIKEY960_G71.gpu_id & 0xFF
+
+    def test_printk_stalls_and_commits_synchronously(self):
+        h = Harness(defer=True, speculate=True)
+        self._warm(h)
+        h.enter_hot()
+        value = h.shim.read32(regs.GPU_ID)
+        h.env.printk("gpu id %x", value)  # externalization
+        assert not h.shim._outstanding
+        assert not value.taint
+        assert f"{HIKEY960_G71.gpu_id:x}" in h.env.log[-1]
+
+    def test_misprediction_detected_on_validation(self):
+        h = Harness(defer=True, speculate=True)
+        self._warm(h)
+        h.gpushim.corrupt_read_at(h.gpushim.reads_applied, 0xFFFF)
+        h.enter_hot()
+        h.shim.read32(regs.GPU_ID)
+        h.exit_hot()
+        with pytest.raises(MispredictionDetected):
+            h.shim.validate_outstanding()
+        assert h.shim.stats.mispredictions == 1
+
+    def test_history_updated_with_reality_after_miss(self):
+        history = CommitHistory()
+        h = Harness(defer=True, speculate=True, history=history)
+        self._warm(h)
+        h.gpushim.corrupt_read_at(h.gpushim.reads_applied, 0xFFFF)
+        h.enter_hot()
+        h.shim.read32(regs.GPU_ID)
+        h.exit_hot()
+        with pytest.raises(MispredictionDetected):
+            h.shim.validate_outstanding()
+        sig = (("r", regs.GPU_ID),)
+        # The corrupted value entered history: unanimity is broken, so
+        # the recovery re-run will not re-speculate this commit.
+        assert history.predict(sig) is None
+
+
+class TestPolling:
+    def test_offloaded_poll_one_rtt(self):
+        h = Harness(defer=True, offload=True)
+        h.gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        before = h.link.stats.blocking_round_trips
+        result = h.shim.poll(PollSpec(
+            offset=regs.L2_READY_LO, condition=PollCondition.BITS_SET,
+            operand=0x3, max_iters=100, delay_per_iter_s=50e-6))
+        assert result.success
+        assert h.link.stats.blocking_round_trips == before + 1
+        assert isinstance(h.gpushim.log[-1], PollEntry)
+
+    def test_emulated_poll_rtt_per_iteration(self):
+        h = Harness(defer=True, offload=False)
+        h.gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        before = h.link.stats.blocking_round_trips
+        result = h.shim.poll(PollSpec(
+            offset=regs.L2_READY_LO, condition=PollCondition.BITS_SET,
+            operand=0x3, max_iters=100, delay_per_iter_s=50e-6))
+        assert result.success
+        # One blocking RTT per iteration (§4.3's problem statement).
+        assert h.link.stats.blocking_round_trips - before \
+            == result.iterations
+
+    def test_predicate_speculation(self):
+        history = CommitHistory()
+        h = Harness(defer=True, speculate=True, offload=True,
+                    history=history)
+        spec = PollSpec(offset=regs.L2_READY_LO,
+                        condition=PollCondition.BITS_SET, operand=0x3,
+                        max_iters=100, delay_per_iter_s=50e-6)
+        for _ in range(3):
+            h.gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+            h.shim.poll(spec)
+            h.shim.validate_outstanding()
+            h.gpu.write_reg(regs.L2_PWROFF_LO, 0x3)
+            h.clock.advance(1e-3)
+        h.gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        before = h.link.stats.blocking_round_trips
+        result = h.shim.poll(spec)
+        assert result.success
+        assert h.link.stats.blocking_round_trips == before  # async
+        h.shim.validate_outstanding()
+
+
+class TestPerThreadQueues:
+    def test_irq_commits_do_not_flush_other_threads(self):
+        """§4.1's memory model: queues are per kernel thread.  An IRQ
+        handler committing its own accesses must not flush the submit
+        thread's still-pending batch."""
+        h = Harness(defer=True)
+        h.enter_hot()
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x1)  # pending in "main"
+
+        def irq_handler():
+            h.shim.on_hot_enter(h.env, "handler", "interrupt")
+            h.shim.write32(regs.JOB_IRQ_MASK, 0xFF)
+            h.shim.on_hot_exit(h.env, "handler", "interrupt")
+
+        h.env.run_in_context("irq", irq_handler)
+        # The IRQ thread's write reached the GPU...
+        assert h.gpu.read_reg(regs.JOB_IRQ_MASK) == 0xFF
+        # ...while the main thread's batch is still deferred.
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0
+        assert len(h.shim._queues["main"]) == 1
+        h.exit_hot()
+        assert h.gpu.read_reg(regs.GPU_IRQ_MASK) == 0x1
+
+    def test_threads_get_distinct_queues(self):
+        h = Harness(defer=True)
+        h.enter_hot()
+        h.shim.read32(regs.GPU_ID)
+        h.env.run_in_context(
+            "irq", lambda: (h.shim.on_hot_enter(h.env, "f", "interrupt"),
+                            h.shim.read32(regs.GPU_ID),
+                            h.shim.on_hot_exit(h.env, "f", "interrupt")))
+        assert set(h.shim._queues) >= {"main", "irq"}
+
+
+class TestJobStartHook:
+    def test_job_start_write_triggers_memsync(self):
+        h = Harness(defer=False)
+        region = h.cloud_mem.alloc(4096, "meta")
+        h.cloud_mem.write(region.base, b"\x42" * 16)
+        pfn = region.base >> 12
+        h.shim.metastate_provider = lambda: {pfn}
+        pushes_before = h.memsync.stats.pushes
+        h.shim.write32(regs.js_reg(0, regs.JS_COMMAND_NEXT),
+                       regs.JsCommand.START)
+        assert h.memsync.stats.pushes == pushes_before + 1
+        assert h.client_mem.page_bytes(pfn)[:16] == b"\x42" * 16
+
+
+class TestFastForward:
+    def test_feed_answers_without_network(self):
+        h = Harness(defer=False)
+        h.shim.read32(regs.GPU_ID)
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x1)
+        prefix = list(h.gpushim.log)
+
+        h2 = Harness(defer=False)
+        h2.shim.feed = FastForwardFeed(prefix)
+        before = h2.link.stats.blocking_round_trips
+        assert h2.shim.read32(regs.GPU_ID) == HIKEY960_G71.gpu_id
+        h2.shim.write32(regs.GPU_IRQ_MASK, 0x1)
+        assert h2.link.stats.blocking_round_trips == before
+        assert not h2.shim.ff_active  # feed exhausted
+
+    def test_feed_detects_divergent_offset(self):
+        h = Harness(defer=False)
+        h.shim.read32(regs.GPU_ID)
+        prefix = list(h.gpushim.log)
+        h2 = Harness(defer=False)
+        h2.shim.feed = FastForwardFeed(prefix)
+        with pytest.raises(FeedMismatch):
+            h2.shim.read32(regs.SHADER_PRESENT_LO)
+
+    def test_feed_detects_divergent_write_value(self):
+        h = Harness(defer=False)
+        h.shim.write32(regs.GPU_IRQ_MASK, 0x1)
+        prefix = list(h.gpushim.log)
+        h2 = Harness(defer=False)
+        h2.shim.feed = FastForwardFeed(prefix)
+        with pytest.raises(FeedMismatch):
+            h2.shim.write32(regs.GPU_IRQ_MASK, 0x2)

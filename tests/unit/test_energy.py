@@ -1,0 +1,71 @@
+"""Unit tests for the client energy model (§7.4)."""
+
+import pytest
+
+from repro.sim.clock import Timeline
+from repro.sim.energy import EnergyMeter, HIKEY960_POWER, PowerModel
+from repro.sim.network import NetworkStats
+
+
+def _timeline(spans):
+    tl = Timeline()
+    t = 0.0
+    for duration, label in spans:
+        tl.add(t, t + duration, label)
+        t += duration
+    return tl
+
+
+class TestEnergyMeter:
+    def test_timeline_energy_uses_label_power(self):
+        meter = EnergyMeter()
+        tl = _timeline([(1.0, "gpu")])
+        assert meter.timeline_energy_j(tl) == pytest.approx(
+            HIKEY960_POWER.gpu_w)
+
+    def test_radio_energy_per_byte(self):
+        meter = EnergyMeter()
+        stats = NetworkStats(bytes_to_cloud=1_000_000, bytes_to_client=0)
+        expected = 1_000_000 * HIKEY960_POWER.tx_nj_per_byte * 1e-9
+        assert meter.radio_energy_j(stats) == pytest.approx(expected)
+
+    def test_record_energy_scales_with_duration(self):
+        meter = EnergyMeter()
+        short = meter.record_energy_j(_timeline([(1.0, "network")]),
+                                      NetworkStats())
+        long = meter.record_energy_j(_timeline([(10.0, "network")]),
+                                     NetworkStats())
+        assert long == pytest.approx(10 * short)
+
+    def test_record_energy_includes_gpu_power(self):
+        meter = EnergyMeter()
+        without_gpu = meter.record_energy_j(_timeline([(1.0, "idle")]),
+                                            NetworkStats())
+        with_gpu = meter.record_energy_j(_timeline([(1.0, "gpu")]),
+                                         NetworkStats())
+        assert with_gpu > without_gpu
+
+    def test_execution_energy_no_radio(self):
+        meter = EnergyMeter()
+        tl = _timeline([(1.0, "cpu"), (1.0, "gpu")])
+        expected = (HIKEY960_POWER.idle_w * 2
+                    + HIKEY960_POWER.cpu_w + HIKEY960_POWER.gpu_w)
+        assert meter.execution_energy_j(tl) == pytest.approx(expected)
+
+    def test_breakdown_sums_to_total(self):
+        meter = EnergyMeter()
+        tl = _timeline([(1.0, "cpu"), (2.0, "network"), (0.5, "gpu")])
+        stats = NetworkStats(bytes_to_client=1000, bytes_to_cloud=500)
+        breakdown = meter.breakdown_j(tl, stats)
+        assert sum(breakdown.values()) == pytest.approx(
+            meter.total_energy_j(tl, stats))
+
+    def test_custom_power_model(self):
+        model = PowerModel(name="test", idle_w=1.0, cpu_w=2.0, gpu_w=3.0,
+                           network_idle_w=0.5, tx_nj_per_byte=0.0,
+                           rx_nj_per_byte=0.0)
+        meter = EnergyMeter(model)
+        assert meter.timeline_energy_j(_timeline([(1.0, "cpu")])) == 2.0
+
+    def test_power_for_unknown_label_falls_back_to_idle(self):
+        assert HIKEY960_POWER.power_for("mystery") == HIKEY960_POWER.idle_w

@@ -1,0 +1,233 @@
+"""Unit tests for the GPU device model: registers, power, IRQs, reset,
+and the LATEST_FLUSH nondeterminism."""
+
+import pytest
+
+from repro.hw import regs
+from repro.hw.gpu import (
+    CACHE_FLUSH_S,
+    GpuIrqLine,
+    MaliGpu,
+    POWER_TRANSITION_S,
+    SOFT_RESET_S,
+)
+from repro.hw.memory import PhysicalMemory
+from repro.hw.regs import AsStatusBits, GpuCommand, GpuIrq, PWR_KEY_MAGIC
+from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def gpu():
+    clock = VirtualClock()
+    mem = PhysicalMemory(size=8 << 20)
+    return MaliGpu(HIKEY960_G71, mem, clock)
+
+
+class TestIdentityRegisters:
+    def test_gpu_id(self, gpu):
+        assert gpu.read_reg(regs.GPU_ID) == HIKEY960_G71.gpu_id
+
+    def test_shader_present_matches_core_count(self, gpu):
+        present = gpu.read_reg(regs.SHADER_PRESENT_LO)
+        assert bin(present).count("1") == HIKEY960_G71.core_count
+
+    def test_l2_present(self, gpu):
+        assert gpu.read_reg(regs.L2_PRESENT_LO) == \
+            HIKEY960_G71.l2_present_mask
+
+    def test_as_and_js_present(self, gpu):
+        assert gpu.read_reg(regs.AS_PRESENT) == 0xFF
+        assert gpu.read_reg(regs.JS_PRESENT) == 0x7
+
+    def test_different_sku_different_registers(self):
+        clock = VirtualClock()
+        mem = PhysicalMemory(size=8 << 20)
+        other = MaliGpu(find_sku("Mali-G72 MP12"), mem, clock)
+        assert other.read_reg(regs.GPU_ID) != HIKEY960_G71.gpu_id
+        assert other.read_reg(regs.SHADER_PRESENT_LO) != \
+            HIKEY960_G71.shader_present_mask
+
+    def test_unknown_register_reads_zero(self, gpu):
+        assert gpu.read_reg(0x0FFC) == 0
+
+    def test_access_counters(self, gpu):
+        gpu.read_reg(regs.GPU_ID)
+        gpu.write_reg(regs.GPU_IRQ_MASK, 0)
+        assert gpu.reg_reads >= 1
+        assert gpu.reg_writes >= 1
+
+
+class TestPowerDomains:
+    def test_power_on_takes_time(self, gpu):
+        mask = HIKEY960_G71.shader_present_mask
+        gpu.write_reg(regs.L2_PWRON_LO, HIKEY960_G71.l2_present_mask)
+        gpu.write_reg(regs.SHADER_PWRON_LO, mask)
+        assert gpu.read_reg(regs.SHADER_READY_LO) == 0
+        assert gpu.read_reg(regs.SHADER_PWRTRANS_LO) == mask
+        gpu.clock.advance(POWER_TRANSITION_S * 3)
+        assert gpu.read_reg(regs.SHADER_READY_LO) == mask
+        assert gpu.read_reg(regs.SHADER_PWRTRANS_LO) == 0
+
+    def test_power_change_raises_irq(self, gpu):
+        gpu.write_reg(regs.GPU_IRQ_MASK, GpuIrq.POWER_CHANGED_ALL)
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        assert gpu.irq_pending(GpuIrqLine.GPU)
+
+    def test_power_off(self, gpu):
+        mask = 0x3
+        gpu.write_reg(regs.L2_PWRON_LO, mask)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        gpu.write_reg(regs.L2_PWROFF_LO, mask)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        assert gpu.read_reg(regs.L2_READY_LO) == 0
+
+    def test_power_on_masked_by_present(self, gpu):
+        gpu.write_reg(regs.L2_PWRON_LO, 0xFFFF_FFFF)
+        gpu.write_reg(regs.SHADER_PWRON_LO, 0xFFFF_FFFF)
+        gpu.clock.advance(POWER_TRANSITION_S * 3)
+        assert gpu.read_reg(regs.L2_READY_LO) == \
+            HIKEY960_G71.l2_present_mask
+        assert gpu.read_reg(regs.SHADER_READY_LO) == \
+            HIKEY960_G71.shader_present_mask
+
+    def test_shader_waits_for_l2(self, gpu):
+        """Domain dependency: shader cores stay in transition until the
+        L2 slice they sit behind is powered."""
+        gpu.write_reg(regs.SHADER_PWRON_LO, 0xFF)
+        gpu.clock.advance(POWER_TRANSITION_S * 3)
+        assert gpu.read_reg(regs.SHADER_READY_LO) == 0
+        assert gpu.read_reg(regs.SHADER_PWRTRANS_LO) == 0xFF
+        gpu.write_reg(regs.L2_PWRON_LO, HIKEY960_G71.l2_present_mask)
+        gpu.clock.advance(POWER_TRANSITION_S * 3)
+        assert gpu.read_reg(regs.SHADER_READY_LO) == 0xFF
+        assert gpu.read_reg(regs.SHADER_PWRTRANS_LO) == 0
+
+    def test_redundant_power_on_noop(self, gpu):
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        gpu.service()
+        assert gpu.next_event_time() is None
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)  # already on: no transition
+        assert gpu.next_event_time() is None
+        assert gpu.read_reg(regs.L2_PWRTRANS_LO) == 0
+
+
+class TestIrqRegisters:
+    def test_mask_gates_status(self, gpu):
+        gpu.write_reg(regs.GPU_IRQ_MASK, 0)
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        assert gpu.read_reg(regs.GPU_IRQ_RAWSTAT) & GpuIrq.POWER_CHANGED_ALL
+        assert gpu.read_reg(regs.GPU_IRQ_STATUS) == 0
+
+    def test_clear_is_write_one_to_clear(self, gpu):
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        gpu.write_reg(regs.GPU_IRQ_CLEAR, GpuIrq.POWER_CHANGED_ALL)
+        assert not gpu.read_reg(regs.GPU_IRQ_RAWSTAT) \
+            & GpuIrq.POWER_CHANGED_ALL
+
+    def test_irq_sink_called_on_unmasked(self, gpu):
+        seen = []
+        gpu.irq_sink = seen.append
+        gpu.write_reg(regs.GPU_IRQ_MASK, GpuIrq.POWER_CHANGED_ALL)
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        gpu.service()
+        assert GpuIrqLine.GPU in seen
+
+
+class TestReset:
+    def test_soft_reset_completes_with_irq(self, gpu):
+        gpu.write_reg(regs.GPU_IRQ_MASK, GpuIrq.RESET_COMPLETED)
+        gpu.write_reg(regs.GPU_COMMAND, GpuCommand.SOFT_RESET)
+        gpu.clock.advance(SOFT_RESET_S * 2)
+        assert gpu.read_reg(regs.GPU_IRQ_RAWSTAT) & GpuIrq.RESET_COMPLETED
+
+    def test_reset_clears_power_state(self, gpu):
+        gpu.write_reg(regs.L2_PWRON_LO, 0x3)
+        gpu.clock.advance(POWER_TRANSITION_S * 2)
+        gpu.write_reg(regs.GPU_COMMAND, GpuCommand.SOFT_RESET)
+        gpu.clock.advance(SOFT_RESET_S * 2)
+        assert gpu.read_reg(regs.L2_READY_LO) == 0
+
+    def test_reset_clears_config_registers(self, gpu):
+        gpu.write_reg(regs.SHADER_CONFIG, 0x10000)
+        gpu.hard_reset_now()
+        assert gpu.read_reg(regs.SHADER_CONFIG) == 0
+
+    def test_hard_reset_clears_flush_epoch(self, gpu):
+        gpu.write_reg(regs.GPU_COMMAND, GpuCommand.CLEAN_INV_CACHES)
+        gpu.clock.advance(CACHE_FLUSH_S * 2)
+        assert gpu.read_reg(regs.LATEST_FLUSH) == 1
+        gpu.hard_reset_now()
+        assert gpu.read_reg(regs.LATEST_FLUSH) == 0
+
+    def test_reset_counter(self, gpu):
+        gpu.hard_reset_now()
+        gpu.hard_reset_now()
+        assert gpu.resets == 2
+
+
+class TestCacheFlush:
+    def test_flush_raises_clean_caches_irq(self, gpu):
+        gpu.write_reg(regs.GPU_COMMAND, GpuCommand.CLEAN_INV_CACHES)
+        gpu.clock.advance(CACHE_FLUSH_S * 2)
+        assert gpu.read_reg(regs.GPU_IRQ_RAWSTAT) \
+            & GpuIrq.CLEAN_CACHES_COMPLETED
+
+    def test_latest_flush_is_history_dependent(self, gpu):
+        """The §7.3 nondeterminism: the value depends on how many flushes
+        have happened, so identical driver code reads different values."""
+        values = []
+        for _ in range(3):
+            gpu.write_reg(regs.GPU_COMMAND, GpuCommand.CLEAN_INV_CACHES)
+            gpu.clock.advance(CACHE_FLUSH_S * 2)
+            values.append(gpu.read_reg(regs.LATEST_FLUSH))
+        assert len(set(values)) == 3
+
+
+class TestAddressSpaces:
+    def test_as_command_goes_active_briefly(self, gpu):
+        as_cmd = regs.as_reg(0, regs.AS_COMMAND)
+        as_status = regs.as_reg(0, regs.AS_STATUS)
+        gpu.write_reg(as_cmd, regs.AsCommand.LOCK)
+        assert gpu.read_reg(as_status) & AsStatusBits.ACTIVE
+        gpu.clock.advance(1e-5)
+        assert not gpu.read_reg(as_status) & AsStatusBits.ACTIVE
+
+    def test_transtab_write_readback(self, gpu):
+        lo = regs.as_reg(0, regs.AS_TRANSTAB_LO)
+        hi = regs.as_reg(0, regs.AS_TRANSTAB_HI)
+        gpu.write_reg(lo, 0x8000_0000)
+        gpu.write_reg(hi, 0x1)
+        assert gpu.read_reg(lo) == 0x8000_0000
+        assert gpu.read_reg(hi) == 0x1
+
+    def test_as_update_configures_mmu(self, gpu):
+        gpu.write_reg(regs.as_reg(0, regs.AS_TRANSTAB_LO), 0x8000_0000)
+        gpu.write_reg(regs.as_reg(0, regs.AS_COMMAND), regs.AsCommand.UPDATE)
+        assert gpu.mmu.enabled
+        assert gpu.mmu.transtab == 0x8000_0000
+
+
+class TestPwrKey:
+    def test_override_requires_magic(self, gpu):
+        gpu.write_reg(regs.PWR_OVERRIDE0, 0x42)
+        assert gpu.read_reg(regs.PWR_OVERRIDE0) == 0
+        gpu.write_reg(regs.PWR_KEY, PWR_KEY_MAGIC)
+        gpu.write_reg(regs.PWR_OVERRIDE0, 0x42)
+        assert gpu.read_reg(regs.PWR_OVERRIDE0) == 0x42
+
+
+class TestIdleTracking:
+    def test_fresh_gpu_is_idle(self, gpu):
+        assert gpu.is_idle()
+
+    def test_busy_during_flush(self, gpu):
+        gpu.write_reg(regs.GPU_COMMAND, GpuCommand.CLEAN_INV_CACHES)
+        assert not gpu.is_idle()
+        gpu.clock.advance(CACHE_FLUSH_S * 2)
+        assert gpu.is_idle()

@@ -1,0 +1,205 @@
+"""Unit tests for the kernel environment, locks, and device trees."""
+
+import pytest
+
+from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.kernel.devicetree import (
+    DeviceTreeNode,
+    board_device_tree,
+    gpu_device_node,
+)
+from repro.kernel.env import KernelEnv, KernelHooks, Platform, WaitTimeout
+from repro.kernel.locks import LockError, Mutex, SpinLock
+from repro.sim.clock import VirtualClock
+
+
+class RecordingHooks(KernelHooks):
+    def __init__(self):
+        self.events = []
+
+    def on_kernel_api(self, env, name):
+        self.events.append(("api", name))
+
+    def on_lock(self, env, lock_name):
+        self.events.append(("lock", lock_name))
+
+    def on_unlock(self, env, lock_name):
+        self.events.append(("unlock", lock_name))
+
+    def on_delay(self, env, seconds):
+        self.events.append(("delay", seconds))
+
+    def on_thread_switch(self, env, ctx):
+        self.events.append(("switch", ctx.name))
+
+
+class TestKernelEnv:
+    def test_default_context_is_main(self):
+        env = KernelEnv(VirtualClock())
+        assert env.current.name == "main"
+
+    def test_run_in_context_nests(self):
+        env = KernelEnv(VirtualClock())
+        names = []
+
+        def handler():
+            names.append(env.current.name)
+
+        env.run_in_context("irq", handler)
+        assert names == ["irq"]
+        assert env.current.name == "main"
+
+    def test_context_restored_on_exception(self):
+        env = KernelEnv(VirtualClock())
+        with pytest.raises(RuntimeError):
+            env.run_in_context("irq", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        assert env.current.name == "main"
+
+    def test_printk_formats_and_logs(self):
+        env = KernelEnv(VirtualClock())
+        msg = env.printk("value=%x", 0xAB)
+        assert msg == "value=ab"
+        assert env.log == ["value=ab"]
+
+    def test_printk_fires_hook_before_formatting(self):
+        env = KernelEnv(VirtualClock())
+        hooks = RecordingHooks()
+        env.hooks.append(hooks)
+        env.printk("x=%d", 1)
+        assert ("api", "printk") in hooks.events
+
+    def test_kernel_api_counts(self):
+        env = KernelEnv(VirtualClock())
+        env.kernel_api("schedule")
+        env.kernel_api("schedule")
+        assert env.api_calls["schedule"] == 2
+
+    def test_delay_advances_clock_and_notifies(self):
+        clock = VirtualClock()
+        env = KernelEnv(clock)
+        hooks = RecordingHooks()
+        env.hooks.append(hooks)
+        env.delay(1e-3)
+        assert clock.now >= 1e-3
+        assert ("delay", 1e-3) in hooks.events
+
+    def test_wait_event_immediate(self):
+        env = KernelEnv(VirtualClock())
+        env.platform = None
+        env.wait_event(lambda: True)  # no platform needed
+
+    def test_wait_event_timeout(self):
+        class DeadPlatform(Platform):
+            def wait_for_event(self, env, timeout_s):
+                env.clock.advance(timeout_s)
+                return True
+
+        env = KernelEnv(VirtualClock(), platform=DeadPlatform())
+        with pytest.raises(WaitTimeout):
+            env.wait_event(lambda: False, timeout_s=0.1)
+
+    def test_wait_event_no_more_events(self):
+        class EmptyPlatform(Platform):
+            def wait_for_event(self, env, timeout_s):
+                return False
+
+        env = KernelEnv(VirtualClock(), platform=EmptyPlatform())
+        with pytest.raises(WaitTimeout):
+            env.wait_event(lambda: False, timeout_s=1.0)
+
+    def test_wait_event_satisfied_by_platform(self):
+        state = {"done": False}
+
+        class OneShotPlatform(Platform):
+            def wait_for_event(self, env, timeout_s):
+                state["done"] = True
+                return True
+
+        env = KernelEnv(VirtualClock(), platform=OneShotPlatform())
+        env.wait_event(lambda: state["done"], timeout_s=1.0)
+
+
+class TestLocks:
+    def test_lock_unlock(self):
+        env = KernelEnv(VirtualClock())
+        m = Mutex(env, "m")
+        m.lock()
+        assert m.held
+        m.unlock()
+        assert not m.held
+
+    def test_context_manager(self):
+        env = KernelEnv(VirtualClock())
+        m = Mutex(env, "m")
+        with m:
+            assert m.held
+        assert not m.held
+
+    def test_double_lock_rejected(self):
+        env = KernelEnv(VirtualClock())
+        m = Mutex(env, "m")
+        m.lock()
+        with pytest.raises(LockError):
+            m.lock()
+
+    def test_unlock_unheld_rejected(self):
+        env = KernelEnv(VirtualClock())
+        with pytest.raises(LockError):
+            Mutex(env, "m").unlock()
+
+    def test_foreign_unlock_rejected(self):
+        env = KernelEnv(VirtualClock())
+        m = Mutex(env, "m")
+        m.lock()
+        with pytest.raises(LockError):
+            env.run_in_context("irq", m.unlock)
+
+    def test_unlock_hook_fires_before_release(self):
+        """§4.1: the shim commits while the lock is still held."""
+        env = KernelEnv(VirtualClock())
+        m = Mutex(env, "m")
+        held_at_hook = []
+
+        class Check(KernelHooks):
+            def on_unlock(self, env_, name):
+                held_at_hook.append(m.held)
+
+        env.hooks.append(Check())
+        with m:
+            pass
+        assert held_at_hook == [True]
+
+    def test_spinlock_is_a_lock(self):
+        env = KernelEnv(VirtualClock())
+        s = SpinLock(env, "hw")
+        with s:
+            assert s.held
+
+
+class TestDeviceTree:
+    def test_gpu_node_compatible(self):
+        node = gpu_device_node(HIKEY960_G71)
+        assert node.compatible == "arm,mali-bifrost"
+        assert node.properties["gpu-id"] == HIKEY960_G71.gpu_id
+
+    def test_midgard_compatible(self):
+        node = gpu_device_node(find_sku("Mali-T880 MP4"))
+        assert node.compatible == "arm,mali-midgard"
+
+    def test_board_tree_structure(self):
+        tree = board_device_tree(HIKEY960_G71)
+        assert tree.find_compatible("arm,mali-bifrost") is not None
+        assert tree.find("cpus") is not None
+
+    def test_serialization_roundtrip(self):
+        tree = board_device_tree(HIKEY960_G71)
+        doc = tree.to_dict()
+        rebuilt = DeviceTreeNode.from_dict(doc)
+        assert rebuilt.find_compatible("arm,mali-bifrost").properties == \
+            tree.find_compatible("arm,mali-bifrost").properties
+
+    def test_find_missing_returns_none(self):
+        tree = board_device_tree(HIKEY960_G71)
+        assert tree.find("npu@0") is None
+        assert tree.find_compatible("nvidia,gv100") is None

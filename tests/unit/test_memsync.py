@@ -1,0 +1,181 @@
+"""Unit tests for memory synchronization policies (§5)."""
+
+import pytest
+
+from repro.core.memsync import (
+    MemorySyncViolation,
+    MemorySynchronizer,
+    SyncPolicy,
+)
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory, page_of
+
+
+@pytest.fixture
+def pair():
+    cloud = PhysicalMemory(size=4 << 20)
+    client = PhysicalMemory(size=4 << 20)
+    return cloud, client
+
+
+def dirty_page(mem, label="x"):
+    region = mem.alloc(PAGE_SIZE, label)
+    mem.write(region.base, b"\x11" * 64)
+    return page_of(region.base)
+
+
+class TestPolicies:
+    def test_full_pushes_all_dirty(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        data_pfn = dirty_page(cloud, "data")
+        meta_pfn = dirty_page(cloud, "meta")
+        pages, _ = sync.push(metastate_pfns={meta_pfn})
+        assert set(pages) == {data_pfn, meta_pfn}
+
+    def test_meta_only_filters_data(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.META_ONLY)
+        dirty_page(cloud, "data")
+        meta_pfn = dirty_page(cloud, "meta")
+        pages, _ = sync.push(metastate_pfns={meta_pfn})
+        assert set(pages) == {meta_pfn}
+
+    def test_unknown_policy_rejected(self, pair):
+        cloud, client = pair
+        with pytest.raises(ValueError):
+            MemorySynchronizer(cloud, client, "telepathy")
+
+    def test_clean_push_is_empty(self, pair):
+        cloud, client = pair
+        cloud.clear_dirty()
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        cloud.take_dirty()
+        pages, wire = sync.push(metastate_pfns=set())
+        assert not pages and wire == 0
+
+
+class TestTransfer:
+    def test_apply_push_installs_pages(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        pfn = dirty_page(cloud)
+        pages, _ = sync.push(metastate_pfns=set())
+        sync.apply_push(pages)
+        assert client.page_bytes(pfn) == cloud.page_bytes(pfn)
+
+    def test_pull_returns_gpu_writes(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        cloud.take_dirty()
+        sync.push(metastate_pfns=set())
+        pfn = dirty_page(client, "gpu-out")
+        pages, _ = sync.pull(metastate_pfns=set())
+        assert pfn in pages
+        sync.apply_pull(pages)
+        assert cloud.page_bytes(pfn) == client.page_bytes(pfn)
+
+    def test_pull_apply_does_not_echo_back(self, pair):
+        """GPU writes pulled into cloud memory must not be re-pushed."""
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        cloud.take_dirty()
+        sync.push(metastate_pfns=set())
+        dirty_page(client)
+        pages, _ = sync.pull(metastate_pfns=set())
+        sync.apply_pull(pages)
+        next_pages, _ = sync.push(metastate_pfns=set())
+        assert not next_pages
+
+
+class TestCompression:
+    def test_wire_smaller_than_raw_for_sparse(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        dirty_page(cloud)
+        _, wire = sync.push(metastate_pfns=set())
+        assert wire < PAGE_SIZE
+
+    def test_compression_disabled_ships_raw(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL,
+                                  compress_enabled=False)
+        dirty_page(cloud)
+        _, wire = sync.push(metastate_pfns=set())
+        assert wire == PAGE_SIZE
+
+    def test_second_push_uses_delta(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        region = cloud.alloc(PAGE_SIZE, "x")
+        import os
+        cloud.write(region.base, os.urandom(PAGE_SIZE))
+        _, first_wire = sync.push(metastate_pfns=set())
+        sync.pull(metastate_pfns=set())  # job ends; cloud may write again
+        # One byte changes: the delta should be far smaller.
+        cloud.write(region.base + 5, b"\xFF")
+        _, second_wire = sync.push(metastate_pfns=set())
+        assert second_wire < first_wire / 10
+
+    def test_stats_accumulate(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        dirty_page(cloud)
+        sync.push(metastate_pfns=set())
+        dirty_page(client)
+        sync.pull(metastate_pfns=set())
+        assert sync.stats.pushes == 1
+        assert sync.stats.pulls == 1
+        assert sync.stats.raw_total_bytes == 2 * PAGE_SIZE
+        assert 0 < sync.stats.wire_total_bytes < 2 * PAGE_SIZE
+
+
+class TestNoEcho:
+    def test_pushed_pages_do_not_echo_back(self, pair):
+        """apply_push installs cloud state on the client; the next pull
+        must carry only genuine GPU writes, not the push reflected."""
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        dirty_page(cloud)
+        pages, _ = sync.push(metastate_pfns=set())
+        sync.apply_push(pages)
+        pulled, wire = sync.pull(metastate_pfns=set())
+        assert not pulled and wire == 0
+
+    def test_pull_apply_does_not_lose_cloud_writes(self, pair):
+        """apply_pull must unmark only the pages it installed: a cloud
+        write racing the job end must still propagate at the next push,
+        not vanish from the dirty set."""
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        pfn = dirty_page(cloud)
+        sync.push(metastate_pfns=set())
+        client.alloc(PAGE_SIZE, "spacer")  # keep PFNs distinct
+        gpu_pfn = dirty_page(client, "gpu-out")
+        assert gpu_pfn != pfn
+        pages, _ = sync.pull(metastate_pfns=set())
+        cloud.write(pfn << 12, b"late write")  # lands just before apply
+        sync.apply_pull(pages)
+        next_pages, _ = sync.push(metastate_pfns=set())
+        assert pfn in next_pages  # not erased by the pull's bookkeeping
+        assert gpu_pfn not in next_pages  # the installed page *is* clean
+
+
+class TestContinuousValidation:
+    def test_cloud_write_during_job_trapped(self, pair):
+        """§5's unmap-and-trap: touching GPU-owned memory is an error."""
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        pfn = dirty_page(cloud)
+        sync.push(metastate_pfns=set())  # GPU now owns the pushed pages
+        cloud.write(pfn << 12, b"spurious")
+        with pytest.raises(MemorySyncViolation):
+            sync.push(metastate_pfns=set())
+
+    def test_pull_releases_ownership(self, pair):
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        pfn = dirty_page(cloud)
+        sync.push(metastate_pfns=set())
+        sync.pull(metastate_pfns=set())
+        cloud.write(pfn << 12, b"now fine")
+        sync.push(metastate_pfns=set())  # no violation after the pull

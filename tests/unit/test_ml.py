@@ -1,0 +1,186 @@
+"""Unit tests for the ML framework layer: layers, graphs, the six models."""
+
+import numpy as np
+import pytest
+
+from repro.ml import layers as L
+from repro.ml.graph import Graph, GraphError, INPUT
+from repro.ml.models import PAPER_WORKLOADS, build_model, mnist, vgg16
+from repro.ml.runner import generate_weights, required_memory_bytes
+
+
+class TestLayers:
+    def test_conv_shape(self):
+        conv = L.Conv2D(16, 3, stride=1, pad=1)
+        assert conv.infer_shape([(3, 32, 32)]) == (16, 32, 32)
+
+    def test_conv_stride_shape(self):
+        conv = L.Conv2D(8, 3, stride=2, pad=1)
+        assert conv.infer_shape([(3, 32, 32)]) == (8, 16, 16)
+
+    def test_conv_collapse_rejected(self):
+        conv = L.Conv2D(8, 11, stride=4)
+        with pytest.raises(L.ShapeError):
+            conv.infer_shape([(3, 8, 8)])
+
+    def test_conv_weight_shape(self):
+        conv = L.Conv2D(16, 5)
+        assert conv.weight_shape([(3, 32, 32)]) == (16, 3, 5, 5)
+        assert conv.bias_shape([(3, 32, 32)]) == (16,)
+
+    def test_conv_channel_groups(self):
+        assert L.Conv2D(256, 3, channel_split=64).n_channel_groups() == 4
+        assert L.Conv2D(100, 3, channel_split=64).n_channel_groups() == 2
+
+    def test_conv_flops(self):
+        conv = L.Conv2D(4, 3, pad=1)
+        # 2 * out_c * oh * ow * in_c * kh * kw
+        assert conv.flops([(2, 8, 8)]) == 2 * 4 * 8 * 8 * 2 * 3 * 3
+
+    def test_dwconv_preserves_channels(self):
+        dw = L.DWConv2D(3, stride=2, pad=1)
+        assert dw.infer_shape([(32, 16, 16)]) == (32, 8, 8)
+        assert dw.weight_shape([(32, 16, 16)]) == (32, 3, 3)
+
+    def test_dense_flattens_input(self):
+        d = L.Dense(10)
+        assert d.infer_shape([(4, 5, 5)]) == (10,)
+        assert d.weight_shape([(4, 5, 5)]) == (10, 100)
+
+    def test_pool_default_stride(self):
+        p = L.MaxPool(2)
+        assert p.stride == 2
+        assert p.infer_shape([(8, 16, 16)]) == (8, 8, 8)
+
+    def test_global_pool(self):
+        assert L.GlobalAvgPool().infer_shape([(64, 7, 7)]) == (64,)
+
+    def test_add_requires_matching_shapes(self):
+        add = L.Add()
+        with pytest.raises(L.ShapeError):
+            add.infer_shape([(4, 8, 8), (4, 4, 4)])
+
+    def test_concat_channels(self):
+        c = L.Concat()
+        assert c.infer_shape([(16, 8, 8), (16, 8, 8)]) == (32, 8, 8)
+
+    def test_concat_spatial_mismatch(self):
+        with pytest.raises(L.ShapeError):
+            L.Concat().infer_shape([(16, 8, 8), (16, 4, 4)])
+
+    def test_batchnorm_params_per_channel(self):
+        bn = L.BatchNorm()
+        assert bn.weight_shape([(32, 8, 8)]) == (32,)
+        assert bn.param_count([(32, 8, 8)]) == 64
+
+    def test_param_count_conv(self):
+        conv = L.Conv2D(4, 3)
+        assert conv.param_count([(2, 8, 8)]) == 4 * 2 * 9 + 4
+
+
+class TestGraph:
+    def test_shape_propagation(self):
+        g = Graph("t", (1, 8, 8))
+        g.add("c", L.Conv2D(2, 3, pad=1), [INPUT])
+        assert g.shape_of("c") == (2, 8, 8)
+
+    def test_duplicate_node_rejected(self):
+        g = Graph("t", (1, 8, 8))
+        g.add("c", L.ReLU(), [INPUT])
+        with pytest.raises(GraphError):
+            g.add("c", L.ReLU(), [INPUT])
+
+    def test_undefined_input_rejected(self):
+        g = Graph("t", (1, 8, 8))
+        with pytest.raises(GraphError):
+            g.add("c", L.ReLU(), ["ghost"])
+
+    def test_output_is_last_node(self):
+        g = Graph("t", (1, 8, 8))
+        g.add("a", L.ReLU(), [INPUT])
+        g.add("b", L.ReLU(), ["a"])
+        assert g.output.name == "b"
+
+    def test_empty_graph_has_no_output(self):
+        with pytest.raises(GraphError):
+            Graph("t", (1,)).output
+
+    def test_validate_detects_drift(self):
+        g = Graph("t", (1, 8, 8))
+        node = g.add("c", L.Conv2D(2, 3, pad=1), [INPUT])
+        node.out_shape = (999, 1, 1)
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_total_flops_includes_scale(self):
+        g = Graph("t", (1, 8, 8))
+        g.add("r", L.ReLU(), [INPUT], flops_scale=4.0)
+        assert g.total_flops() == 4.0 * 64
+
+
+class TestPaperModels:
+    def test_all_six_build_and_validate(self):
+        for name in PAPER_WORKLOADS:
+            graph = build_model(name)
+            graph.validate()
+            assert graph.output_shape[-1] in (10, 1000)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("gpt4")
+
+    def test_mnist_is_lenet_shaped(self):
+        g = mnist()
+        assert g.input_shape == (1, 28, 28)
+        assert g.output_shape == (10,)
+        assert g.total_params() < 1_000_000
+
+    def test_vgg16_has_13_convs_3_fcs(self):
+        g = vgg16()
+        convs = [n for n in g.nodes if isinstance(n.layer, L.Conv2D)]
+        fcs = [n for n in g.nodes if isinstance(n.layer, L.Dense)]
+        assert len(convs) == 13
+        assert len(fcs) == 3
+
+    def test_resnet12_has_12_convs(self):
+        g = build_model("resnet12")
+        convs = [n for n in g.nodes if isinstance(n.layer, L.Conv2D)]
+        assert len(convs) == 12
+
+    def test_relative_model_sizes(self):
+        """VGG16 is the heavyweight; MNIST the lightweight (Table 1)."""
+        flops = {n: build_model(n).total_flops() for n in PAPER_WORKLOADS}
+        assert flops["vgg16"] == max(flops.values())
+        assert flops["mnist"] == min(flops.values())
+
+    def test_mobilenet_cheaper_than_vgg(self):
+        assert build_model("mobilenet").total_flops() < \
+            build_model("vgg16").total_flops() / 5
+
+
+class TestWeights:
+    def test_deterministic(self):
+        g = mnist()
+        a = generate_weights(g, seed=7)
+        b = generate_weights(g, seed=7)
+        assert set(a) == set(b)
+        for k in a:
+            assert np.array_equal(a[k], b[k])
+
+    def test_seed_changes_weights(self):
+        g = mnist()
+        a = generate_weights(g, seed=1)
+        b = generate_weights(g, seed=2)
+        assert any(not np.array_equal(a[k], b[k]) for k in a)
+
+    def test_every_parametric_node_covered(self):
+        g = mnist()
+        w = generate_weights(g)
+        for node in g.nodes:
+            in_shapes = [g.shape_of(i) for i in node.inputs]
+            if node.layer.weight_shape(in_shapes) is not None:
+                assert f"{node.name}.weight" in w
+
+    def test_required_memory_covers_params(self):
+        g = build_model("alexnet")
+        assert required_memory_bytes(g) > 4 * g.total_params()

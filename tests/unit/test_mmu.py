@@ -1,0 +1,181 @@
+"""Unit tests for GPU page tables, translation, permissions, and the TLB."""
+
+import pytest
+
+from repro.driver.mmu_driver import MmuMapError, MmuTables
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.mmu import (
+    GpuMmu,
+    GpuPageFault,
+    PageTableWalker,
+    PteFlags,
+    ate_flags,
+    level_index,
+    make_ate,
+    make_table_entry,
+)
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(size=16 << 20)
+
+
+@pytest.fixture
+def tables(mem):
+    return MmuTables(mem, pte_format=1)
+
+
+@pytest.fixture
+def mmu(mem, tables):
+    m = GpuMmu(mem, pte_format=1)
+    m.configure(tables.root_pa)
+    return m
+
+
+RWX = PteFlags.READ | PteFlags.WRITE | PteFlags.EXECUTE
+RW = PteFlags.READ | PteFlags.WRITE
+RX = PteFlags.READ | PteFlags.EXECUTE
+
+
+class TestPteEncoding:
+    def test_ate_roundtrip_format1(self):
+        entry = make_ate(0x1234_5000, RW, pte_format=1)
+        assert ate_flags(entry, 1) == RW
+
+    def test_ate_roundtrip_format0(self):
+        entry = make_ate(0x1234_5000, RW, pte_format=0)
+        assert ate_flags(entry, 0) == RW
+
+    def test_formats_differ(self):
+        """§2.4: page-table format variations across SKUs break replay."""
+        e0 = make_ate(0x5000, RX, pte_format=0)
+        e1 = make_ate(0x5000, RX, pte_format=1)
+        assert e0 != e1
+        assert ate_flags(e0, 1) != RX  # misread under the wrong format
+
+    def test_table_entry_address(self):
+        from repro.hw.mmu import entry_address
+        entry = make_table_entry(0xABCD_E000)
+        assert entry_address(entry) == 0xABCD_E000
+
+    def test_level_index_partition(self):
+        va = 0x12_3456_7000
+        total = (level_index(va, 0) << 30) | (level_index(va, 1) << 21) \
+            | (level_index(va, 2) << 12)
+        assert total == va & ~0xFFF
+
+
+class TestMapping:
+    def test_map_and_translate(self, mem, tables, mmu):
+        region = mem.alloc(PAGE_SIZE, "buf")
+        tables.insert_pages(0x10000, region.base, PAGE_SIZE, RW)
+        mmu.flush_tlb()
+        assert mmu.translate(0x10000, "r") == region.base
+        assert mmu.translate(0x10010, "r") == region.base + 0x10
+
+    def test_unmapped_faults(self, mmu):
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0xDEAD_0000, "r")
+
+    def test_permission_enforced(self, mem, tables, mmu):
+        region = mem.alloc(PAGE_SIZE, "ro")
+        tables.insert_pages(0x20000, region.base, PAGE_SIZE, PteFlags.READ)
+        mmu.flush_tlb()
+        mmu.translate(0x20000, "r")
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x20000, "w")
+
+    def test_execute_permission(self, mem, tables, mmu):
+        region = mem.alloc(PAGE_SIZE, "code")
+        tables.insert_pages(0x30000, region.base, PAGE_SIZE, RX)
+        mmu.flush_tlb()
+        mmu.translate(0x30000, "x")
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x30000, "w")
+
+    def test_double_map_rejected(self, mem, tables):
+        region = mem.alloc(PAGE_SIZE, "x")
+        tables.insert_pages(0x10000, region.base, PAGE_SIZE, RW)
+        with pytest.raises(MmuMapError):
+            tables.insert_pages(0x10000, region.base, PAGE_SIZE, RW)
+
+    def test_unaligned_map_rejected(self, tables):
+        with pytest.raises(MmuMapError):
+            tables.insert_pages(0x10001, 0x5000, PAGE_SIZE, RW)
+
+    def test_unmap(self, mem, tables, mmu):
+        region = mem.alloc(PAGE_SIZE, "x")
+        tables.insert_pages(0x10000, region.base, PAGE_SIZE, RW)
+        mmu.flush_tlb()
+        mmu.translate(0x10000, "r")
+        assert tables.unmap_pages(0x10000, PAGE_SIZE) == 1
+        mmu.flush_tlb()
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x10000, "r")
+
+    def test_multi_page_mapping_contiguous(self, mem, tables, mmu):
+        region = mem.alloc(8 * PAGE_SIZE, "big")
+        tables.insert_pages(0x100000, region.base, 8 * PAGE_SIZE, RW)
+        mmu.flush_tlb()
+        base = mmu.translate_contiguous(0x100000, 8 * PAGE_SIZE, "r")
+        assert base == region.base
+
+    def test_non_contiguous_detected(self, mem, tables, mmu):
+        a = mem.alloc(PAGE_SIZE, "a")
+        mem.alloc(PAGE_SIZE, "gap")
+        b = mem.alloc(PAGE_SIZE, "b")
+        tables.insert_pages(0x100000, a.base, PAGE_SIZE, RW)
+        tables.insert_pages(0x100000 + PAGE_SIZE, b.base, PAGE_SIZE, RW)
+        mmu.flush_tlb()
+        with pytest.raises(GpuPageFault):
+            mmu.translate_contiguous(0x100000, 2 * PAGE_SIZE, "r")
+
+
+class TestTlb:
+    def test_stale_tlb_hides_new_mapping(self, mem, tables, mmu):
+        """Mapping changes are invisible until the driver flushes — the
+        behaviour that forces the LOCK/FLUSH/UNLOCK register dance."""
+        region = mem.alloc(PAGE_SIZE, "x")
+        tables.insert_pages(0x40000, region.base, PAGE_SIZE, RW)
+        # Deliberately no flush: a prior failed walk is not cached, but a
+        # previously-cached translation survives table changes.
+        mmu.flush_tlb()
+        assert mmu.translate(0x40000, "r") == region.base
+        tables.unmap_pages(0x40000, PAGE_SIZE)
+        # Still translates from the TLB.
+        assert mmu.translate(0x40000, "r") == region.base
+        mmu.flush_tlb()
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x40000, "r")
+
+    def test_disabled_mmu_faults(self, mem):
+        mmu = GpuMmu(mem, pte_format=1)
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0x1000, "r")
+
+    def test_fault_latches_status(self, mmu):
+        with pytest.raises(GpuPageFault):
+            mmu.translate(0xBEEF_0000, "w")
+        assert mmu.fault_status != 0
+        assert mmu.fault_address == 0xBEEF_0000
+
+
+class TestWalkerInventory:
+    def test_table_pages_enumerated(self, mem, tables):
+        region = mem.alloc(PAGE_SIZE, "x")
+        tables.insert_pages(0x10000, region.base, PAGE_SIZE, RW)
+        walker = PageTableWalker(mem, 1)
+        pfns = walker.table_pages(tables.root_pa)
+        assert set(pfns) == tables.metastate_pfns()
+        assert len(pfns) == 3  # root + L1 + L2 tables
+
+    def test_mapped_pages_listing(self, mem, tables):
+        r1 = mem.alloc(PAGE_SIZE, "a")
+        r2 = mem.alloc(PAGE_SIZE, "b")
+        tables.insert_pages(0x10000, r1.base, PAGE_SIZE, RW)
+        tables.insert_pages(0x9000000, r2.base, PAGE_SIZE, RX)
+        walker = PageTableWalker(mem, 1)
+        mappings = walker.mapped_pages(tables.root_pa)
+        assert (0x10000, r1.base, RW) in mappings
+        assert (0x9000000, r2.base, RX) in mappings

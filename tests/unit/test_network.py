@@ -1,0 +1,119 @@
+"""Unit tests for the network link model."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.network import (
+    CELLULAR,
+    LOOPBACK,
+    MESSAGE_OVERHEAD_BYTES,
+    Link,
+    LinkProfile,
+    Message,
+    SecureChannel,
+    WIFI,
+)
+
+
+class TestLinkProfile:
+    def test_paper_wifi_parameters(self):
+        assert WIFI.rtt_s == pytest.approx(0.020)
+        assert WIFI.bandwidth_bps == pytest.approx(80e6)
+
+    def test_paper_cellular_parameters(self):
+        assert CELLULAR.rtt_s == pytest.approx(0.050)
+        assert CELLULAR.bandwidth_bps == pytest.approx(40e6)
+
+    def test_serialize_time(self):
+        # 10 MB over 80 Mbps = 1 second
+        assert WIFI.serialize_s(10_000_000 // 8) == pytest.approx(
+            10_000_000 / 80e6, rel=1e-6)
+
+    def test_one_way_is_half_rtt(self):
+        assert WIFI.one_way_s == pytest.approx(0.010)
+
+
+class TestLink:
+    def test_round_trip_costs_at_least_rtt(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        link.round_trip(Message("m", 100), Message("r", 100))
+        assert clock.now >= WIFI.rtt_s
+
+    def test_round_trip_counts(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        for _ in range(5):
+            link.round_trip(Message("m", 10), Message("r", 10))
+        assert link.stats.blocking_round_trips == 5
+
+    def test_bytes_accounting_includes_overhead(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        link.round_trip(Message("m", 100), Message("r", 50))
+        assert link.stats.bytes_to_client == 100 + MESSAGE_OVERHEAD_BYTES
+        assert link.stats.bytes_to_cloud == 50 + MESSAGE_OVERHEAD_BYTES
+
+    def test_async_round_trip_does_not_block(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        completion = link.async_round_trip(Message("m", 10), Message("r", 10))
+        assert clock.now == 0.0
+        assert completion >= WIFI.rtt_s
+        assert link.stats.async_sends == 1
+        assert link.stats.blocking_round_trips == 0
+
+    def test_send_to_client_blocking_pays_serialization(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        big = Message("dump", 10_000_000)
+        arrival = link.send_to_client(big, blocking=True)
+        assert clock.now == pytest.approx(WIFI.serialize_s(big.wire_bytes))
+        assert arrival == pytest.approx(clock.now + WIFI.one_way_s)
+
+    def test_receive_from_client_blocks_for_delivery(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        link.receive_from_client(Message("up", 1000))
+        assert clock.now >= WIFI.one_way_s
+
+    def test_cellular_slower_than_wifi(self):
+        cw, cc = VirtualClock(), VirtualClock()
+        Link(WIFI, cw).round_trip(Message("m", 1000), Message("r", 1000))
+        Link(CELLULAR, cc).round_trip(Message("m", 1000), Message("r", 1000))
+        assert cc.now > cw.now
+
+    def test_loopback_is_fast(self):
+        clock = VirtualClock()
+        Link(LOOPBACK, clock).round_trip(Message("m", 100), Message("r", 4))
+        assert clock.now < 1e-3
+
+    def test_merged_stats(self):
+        clock = VirtualClock()
+        a, b = Link(WIFI, clock), Link(WIFI, clock)
+        a.round_trip(Message("m", 10), Message("r", 10))
+        b.round_trip(Message("m", 10), Message("r", 10))
+        merged = a.stats.merged_with(b.stats)
+        assert merged.blocking_round_trips == 2
+
+
+class TestSecureChannel:
+    def test_handshake_costs_round_trips(self):
+        clock = VirtualClock()
+        link = Link(WIFI, clock)
+        channel = SecureChannel(link)
+        channel.establish("session-1", attested=True)
+        assert channel.established
+        assert link.stats.blocking_round_trips == channel.handshake_rtts
+
+    def test_refuses_unattested_peer(self):
+        clock = VirtualClock()
+        channel = SecureChannel(Link(WIFI, clock))
+        with pytest.raises(PermissionError):
+            channel.establish("session-1", attested=False)
+        assert not channel.established
+
+    def test_require_established(self):
+        channel = SecureChannel(Link(WIFI, VirtualClock()))
+        with pytest.raises(RuntimeError):
+            channel.require_established()

@@ -1,0 +1,151 @@
+"""Unit tests for the signed recording format."""
+
+import pytest
+
+from repro.core.recording import (
+    IrqEntry,
+    Marker,
+    MemUpload,
+    MemWrite,
+    PollEntry,
+    Recording,
+    RecordingFormatError,
+    RegRead,
+    RegWrite,
+)
+from repro.ml.runner import DataBinding, RunManifest
+from repro.tee.crypto import SigningKey
+
+
+def make_manifest():
+    return RunManifest(
+        workload="mnist",
+        input_shape=(1, 28, 28),
+        output_shape=(10,),
+        bindings=[
+            DataBinding("input", "input", 0x4000_0000, 0x8000_0000,
+                        3136, (1, 28, 28)),
+            DataBinding("output", "output", 0x4000_2000, 0x8000_2000,
+                        40, (10,)),
+        ],
+        jobs_per_node=[("conv1", 2), ("softmax", 1)],
+    )
+
+
+def make_recording():
+    return Recording(
+        workload="mnist",
+        recorder="OursMDS",
+        sku_fingerprint=(0x60000010, 8, 2, 39, 1, ("q1", "q2")),
+        manifest=make_manifest(),
+        data_pfns=(0x80000, 0x80001),
+        entries=[
+            Marker("conv1"),
+            RegWrite(offset=0x180, value=0xFF),
+            RegRead(offset=0x140, value=0xFF),
+            PollEntry(offset=0x2428, condition="bits_clear", operand=1,
+                      value=0, iterations=3),
+            MemWrite(pages=((0x80002, bytes(4096)),
+                            (0x80003, bytes(2000) + b"\x07" * 96
+                             + bytes(2000)))),
+            IrqEntry(line="job"),
+            MemUpload(nbytes=512),
+        ],
+    )
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        rec = make_recording()
+        key = SigningKey.generate("svc")
+        blob = rec.sign(key)
+        back = Recording.from_bytes(blob, verify_key=key)
+        assert back.workload == rec.workload
+        assert back.recorder == rec.recorder
+        assert back.sku_fingerprint == rec.sku_fingerprint
+        assert back.data_pfns == rec.data_pfns
+        assert back.entries == rec.entries
+        assert back.manifest.to_dict() == rec.manifest.to_dict()
+
+    def test_unsigned_cannot_serialize(self):
+        with pytest.raises(RecordingFormatError):
+            make_recording().to_bytes()
+
+    def test_bad_magic(self):
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(b"NOPE" + bytes(64))
+
+    def test_tamper_detected(self):
+        """§7.1: the replayer only accepts recordings signed by the
+        cloud; any bit flip breaks verification."""
+        key = SigningKey.generate("svc")
+        blob = bytearray(make_recording().sign(key))
+        blob[60] ^= 0x01
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(bytes(blob), verify_key=key)
+
+    def test_wrong_key_rejected(self):
+        blob = make_recording().sign(SigningKey.generate("svc", b"a"))
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(blob,
+                                 verify_key=SigningKey.generate("svc", b"b"))
+
+    def test_no_key_skips_verification(self):
+        blob = make_recording().sign(SigningKey.generate("svc"))
+        rec = Recording.from_bytes(blob)  # inspection tools may do this
+        assert rec.workload == "mnist"
+
+    def test_mem_pages_compressed_in_blob(self):
+        rec = make_recording()
+        blob = rec.sign(SigningKey.generate("svc"))
+        # Two 4 KiB pages are carried; zeros/constants compress well.
+        assert len(blob) < 4096
+
+    def test_trailing_garbage_rejected(self):
+        key = SigningKey.generate("svc")
+        rec = make_recording()
+        body = rec.body_bytes() + b"extra"
+        sig = key.sign(body)
+        with pytest.raises(RecordingFormatError):
+            Recording.from_bytes(body + sig, verify_key=key)
+
+
+class TestSummaries:
+    def test_counts(self):
+        counts = make_recording().counts()
+        assert counts["writes"] == 1
+        assert counts["reads"] == 1
+        assert counts["polls"] == 1
+        assert counts["irqs"] == 1
+        assert counts["mem_writes"] == 1
+        assert counts["markers"] == 1
+
+    def test_segments_split_at_markers(self):
+        rec = make_recording()
+        segments = rec.segments()
+        labels = [label for label, _ in segments]
+        assert labels == ["prologue", "conv1"]
+        assert len(segments[1][1]) == len(rec.entries) - 1
+
+    def test_memwrite_nbytes(self):
+        entry = MemWrite(pages=((1, bytes(4096)), (2, bytes(4096))))
+        assert entry.nbytes == 8192
+
+
+class TestManifest:
+    def test_roundtrip(self):
+        m = make_manifest()
+        back = RunManifest.from_dict(m.to_dict())
+        assert back.workload == m.workload
+        assert back.binding("input").va == m.binding("input").va
+        assert back.total_jobs == 3
+
+    def test_missing_binding(self):
+        with pytest.raises(KeyError):
+            make_manifest().binding("ghost")
+
+    def test_weight_bindings_filter(self):
+        m = make_manifest()
+        m.bindings.append(DataBinding("c.weight", "weight", 1, 2, 4, (1,)))
+        m.bindings.append(DataBinding("c.bias", "bias", 3, 4, 4, (1,)))
+        assert {b.name for b in m.weight_bindings()} == {"c.weight", "c.bias"}

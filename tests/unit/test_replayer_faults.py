@@ -1,0 +1,126 @@
+"""Unit tests for the replayer's divergence detection and entry engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.recording import IrqEntry, PollEntry, RegRead, RegWrite
+from repro.core.replayer import (
+    ReplayDivergence,
+    replay_entries,
+)
+from repro.hw import regs
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.regs import GpuCommand, GpuIrq
+from repro.hw.sku import HIKEY960_G71
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def gpu_mem_clock():
+    clock = VirtualClock()
+    mem = PhysicalMemory(size=8 << 20)
+    gpu = MaliGpu(HIKEY960_G71, mem, clock)
+    return gpu, mem, clock
+
+
+class TestEntryEngine:
+    def test_write_applied(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        replay_entries(gpu, mem, clock,
+                       [RegWrite(offset=regs.GPU_IRQ_MASK, value=0x55)])
+        assert gpu.read_reg(regs.GPU_IRQ_MASK) == 0x55
+
+    def test_matching_read_passes(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        stats = replay_entries(gpu, mem, clock, [
+            RegRead(offset=regs.GPU_ID, value=HIKEY960_G71.gpu_id)])
+        assert stats.reg_reads == 1
+        assert stats.read_retries == 0
+
+    def test_read_waits_for_transition(self, gpu_mem_clock):
+        """A recorded post-transition value is matched by advancing
+        virtual time through the GPU's pending events."""
+        gpu, mem, clock = gpu_mem_clock
+        mask = 0x3
+        entries = [
+            RegWrite(offset=regs.L2_PWRON_LO, value=mask),
+            RegRead(offset=regs.L2_READY_LO, value=mask),  # needs waiting
+        ]
+        stats = replay_entries(gpu, mem, clock, entries)
+        assert stats.read_retries >= 1
+        assert gpu.read_reg(regs.L2_READY_LO) == mask
+
+    def test_wrong_read_value_diverges(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        with pytest.raises(ReplayDivergence):
+            replay_entries(gpu, mem, clock, [
+                RegRead(offset=regs.GPU_ID, value=0xBAD)])
+
+    def test_non_strict_tolerates_divergence(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        stats = replay_entries(gpu, mem, clock, [
+            RegRead(offset=regs.GPU_ID, value=0xBAD)], strict=False)
+        assert stats.reg_reads == 1
+
+    def test_poll_replays(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        entries = [
+            RegWrite(offset=regs.GPU_COMMAND,
+                     value=GpuCommand.CLEAN_INV_CACHES),
+            PollEntry(offset=regs.GPU_IRQ_RAWSTAT, condition="bits_set",
+                      operand=GpuIrq.CLEAN_CACHES_COMPLETED,
+                      value=GpuIrq.CLEAN_CACHES_COMPLETED, iterations=3),
+            RegWrite(offset=regs.GPU_IRQ_CLEAR,
+                     value=GpuIrq.CLEAN_CACHES_COMPLETED),
+        ]
+        stats = replay_entries(gpu, mem, clock, entries)
+        assert stats.polls == 1
+        assert not gpu.read_reg(regs.GPU_IRQ_RAWSTAT) \
+            & GpuIrq.CLEAN_CACHES_COMPLETED
+
+    def test_poll_that_cannot_satisfy_diverges(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        with pytest.raises(ReplayDivergence):
+            replay_entries(gpu, mem, clock, [
+                PollEntry(offset=regs.L2_READY_LO, condition="bits_set",
+                          operand=0x3, value=0x3, iterations=2)])
+
+    def test_irq_wait(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        entries = [
+            RegWrite(offset=regs.GPU_IRQ_MASK,
+                     value=GpuIrq.POWER_CHANGED_ALL),
+            RegWrite(offset=regs.L2_PWRON_LO, value=0x3),
+            IrqEntry(line="gpu"),
+        ]
+        stats = replay_entries(gpu, mem, clock, entries)
+        assert stats.irq_waits == 1
+
+    def test_missing_irq_diverges(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        with pytest.raises(ReplayDivergence):
+            replay_entries(gpu, mem, clock, [IrqEntry(line="job")])
+
+    def test_memwrite_skips_protected_pages(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        region = mem.alloc(8192, "data")
+        pfn_a = region.base >> 12
+        pfn_b = pfn_a + 1
+        mem.write(region.base, b"\xAA" * 8)  # the injected data
+        from repro.core.recording import MemWrite
+        entry = MemWrite(pages=((pfn_a, bytes(4096)),
+                                (pfn_b, b"\x11" * 4096)))
+        stats = replay_entries(gpu, mem, clock, [entry],
+                               skip_pfns={pfn_a})
+        assert stats.pages_skipped == 1
+        assert stats.pages_loaded == 1
+        assert mem.read(region.base, 8) == b"\xAA" * 8  # survived
+        assert mem.page_bytes(pfn_b) == b"\x11" * 4096
+
+    def test_replay_advances_virtual_time(self, gpu_mem_clock):
+        gpu, mem, clock = gpu_mem_clock
+        t0 = clock.now
+        replay_entries(gpu, mem, clock,
+                       [RegWrite(offset=regs.GPU_IRQ_MASK, value=1)] * 100)
+        assert clock.now > t0

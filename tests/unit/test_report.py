@@ -1,0 +1,68 @@
+"""Unit tests for the report formatting and trace-diff helpers."""
+
+import os
+
+import pytest
+
+from repro.analysis.report import (
+    format_table,
+    geomean,
+    percent_change,
+    save_report,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_structure(self):
+        text = format_table("Title", ["name", "value"],
+                            [["alpha", 1.0], ["b", 123.456]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "alpha" in text and "123" in text
+
+    def test_float_formatting(self):
+        text = format_table("t", ["v"], [[0.123456], [12.3], [1234.5], [0]])
+        assert "0.123" in text
+        assert "12.3" in text
+        assert "1234" in text  # large floats lose decimals
+
+    def test_empty_rows(self):
+        text = format_table("t", ["a"], [])
+        assert "t" in text
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table("t", ["h"], [["a-very-long-cell-value"]])
+        header_line = text.splitlines()[2]
+        assert len(header_line.rstrip()) <= len("a-very-long-cell-value")
+
+
+class TestMath:
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([5]) == pytest.approx(5.0)
+
+    def test_geomean_skips_nonpositive(self):
+        assert geomean([0, 4]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_percent_change_reduction_positive(self):
+        assert percent_change(100, 25) == pytest.approx(75.0)
+        assert percent_change(100, 110) == pytest.approx(-10.0)
+        assert percent_change(0, 5) == 0.0
+
+
+class TestSaveReport:
+    def test_writes_file(self, tmp_path, monkeypatch):
+        import repro.analysis.report as report_mod
+        monkeypatch.setattr(report_mod, "RESULTS_DIR", str(tmp_path))
+        path = save_report("unit-test", "hello table")
+        assert os.path.exists(path)
+        assert open(path).read() == "hello table\n"
+
+    def test_overwrites_previous(self, tmp_path, monkeypatch):
+        import repro.analysis.report as report_mod
+        monkeypatch.setattr(report_mod, "RESULTS_DIR", str(tmp_path))
+        save_report("unit-test", "one")
+        path = save_report("unit-test", "two")
+        assert open(path).read() == "two\n"

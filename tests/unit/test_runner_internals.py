@@ -1,0 +1,121 @@
+"""Unit tests for WorkloadRunner's allocation and manifest plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.driver.bus import LocalBus
+from repro.driver.driver import KbaseDevice, LocalPlatform
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.kernel.env import KernelEnv
+from repro.ml import layers as L
+from repro.ml.graph import Graph, INPUT
+from repro.ml.models import rnn
+from repro.ml.runner import (
+    WorkloadRunner,
+    generate_weights,
+    required_memory_bytes,
+    weight_base_name,
+)
+from repro.runtime.api import GpuContext
+from repro.sim.clock import VirtualClock
+from tests.conftest import build_micro_graph
+
+
+def make_runner(graph):
+    clock = VirtualClock()
+    mem = PhysicalMemory(size=required_memory_bytes(graph))
+    gpu = MaliGpu(HIKEY960_G71, mem, clock)
+    env = KernelEnv(clock)
+    platform = LocalPlatform(gpu, env)
+    kbdev = KbaseDevice(env, LocalBus(gpu, clock), mem)
+    platform.attach(kbdev)
+    kbdev.probe()
+    ctx = GpuContext(kbdev, mem)
+    return WorkloadRunner(ctx, graph)
+
+
+class TestAllocation:
+    def test_every_node_gets_output_and_activation_binding(self):
+        graph = build_micro_graph()
+        runner = make_runner(graph)
+        names = {b.name for b in runner.manifest.bindings}
+        for node in graph.nodes:
+            assert f"{node.name}.out" in names
+
+    def test_staging_only_for_matmul_layers(self):
+        graph = build_micro_graph()
+        runner = make_runner(graph)
+        assert "conv1.stage" in runner._buffers
+        assert "fc.stage" in runner._buffers
+        assert "pool1.stage" not in runner._buffers
+        assert "softmax.stage" not in runner._buffers
+
+    def test_tied_weights_allocated_once(self):
+        graph = rnn(steps=4)
+        runner = make_runner(graph)
+        assert "cell.wx.weight" in runner._buffers
+        assert "wx0.weight" not in runner._buffers
+        weight_names = [b.name for b in
+                        runner.manifest.weight_bindings()]
+        assert weight_names.count("cell.wx.weight") == 1
+
+    def test_weight_base_name(self):
+        g = Graph("t", (4,))
+        tied = g.add("a", L.Dense(2, tie="shared"), [INPUT])
+        plain = g.add("b", L.Dense(2), ["a"])
+        assert weight_base_name(tied) == "shared"
+        assert weight_base_name(plain) == "b"
+
+    def test_input_output_bindings(self):
+        graph = build_micro_graph()
+        runner = make_runner(graph)
+        inp = runner.manifest.binding("input")
+        out = runner.manifest.binding("output")
+        assert tuple(inp.shape) == graph.input_shape
+        assert tuple(out.shape) == graph.output_shape
+        assert inp.pa != out.pa
+
+
+class TestExecutionBookkeeping:
+    def test_jobs_per_node_recorded(self):
+        graph = build_micro_graph()
+        runner = make_runner(graph)
+        runner.load_weights(generate_weights(graph, 0))
+        runner.run(np.zeros(graph.input_shape, dtype=np.float32))
+        nodes = dict(runner.manifest.jobs_per_node)
+        assert set(nodes) == {n.name for n in graph.nodes}
+        assert nodes["conv1"] == 2  # stage + conv
+        assert nodes["pool1"] == 1
+        assert runner.manifest.total_jobs == sum(nodes.values())
+
+    def test_wrong_input_shape_rejected(self):
+        graph = build_micro_graph()
+        runner = make_runner(graph)
+        with pytest.raises(ValueError):
+            runner.run(np.zeros((2, 2), dtype=np.float32))
+
+    def test_unknown_weight_name_rejected(self):
+        graph = build_micro_graph()
+        runner = make_runner(graph)
+        with pytest.raises(KeyError):
+            runner.load_weights({"ghost.weight": np.zeros(4,
+                                                          dtype=np.float32)})
+
+    def test_channel_split_jobs(self):
+        g = Graph("wide", (2, 8, 8))
+        g.add("conv", L.Conv2D(130, 3, pad=1, channel_split=64), [INPUT])
+        g.validate()
+        runner = make_runner(g)
+        runner.load_weights(generate_weights(g, 0))
+        runner.run(np.zeros(g.input_shape, dtype=np.float32))
+        nodes = dict(runner.manifest.jobs_per_node)
+        # staging + ceil(130/64)=3 channel-group jobs
+        assert nodes["conv"] == 4
+
+    def test_required_memory_sufficient_for_run(self):
+        """The estimate must always cover the actual allocations."""
+        for graph in (build_micro_graph(), rnn()):
+            runner = make_runner(graph)  # raises OutOfMemory if too small
+            runner.run(np.zeros(graph.input_shape, dtype=np.float32))

@@ -1,0 +1,174 @@
+"""Unit tests for the userspace runtime: allocator, compiler, commands."""
+
+import numpy as np
+import pytest
+
+from repro.driver.bus import LocalBus
+from repro.driver.driver import KbaseDevice, LocalPlatform
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.shader import JobBuffer, ROLE_INPUT, ROLE_OUTPUT
+from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.kernel.env import KernelEnv
+from repro.runtime.allocator import Buffer, BufferKind, GpuAddressSpace, MapFlags
+from repro.runtime.api import BufferSlice, GpuContext, RuntimeError_
+from repro.runtime.commands import CommandStreamBuilder
+from repro.runtime.compiler import CompilerTarget, JitCompiler
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def ctx():
+    clock = VirtualClock()
+    mem = PhysicalMemory(size=32 << 20)
+    gpu = MaliGpu(HIKEY960_G71, mem, clock)
+    env = KernelEnv(clock)
+    platform = LocalPlatform(gpu, env)
+    kbdev = KbaseDevice(env, LocalBus(gpu, clock), mem)
+    platform.attach(kbdev)
+    kbdev.probe()
+    return GpuContext(kbdev, mem)
+
+
+class TestAllocator:
+    def test_zones_have_correct_flags(self, ctx):
+        aspace = ctx.aspace
+        shader = aspace.get("shader-zone")
+        cmd = aspace.get("command-zone")
+        assert shader.map_flags & MapFlags.PROT_EXEC
+        assert not shader.map_flags & MapFlags.PROT_WRITE
+        assert cmd.map_flags & MapFlags.FLAG_COMMAND_MEMORY
+
+    def test_data_buffer_not_metastate(self, ctx):
+        buf = ctx.alloc_data("tensor", 4096)
+        assert not buf.is_metastate
+        assert ctx.aspace.get("shader-zone").is_metastate
+
+    def test_metastate_vs_data_pfns_disjoint(self, ctx):
+        ctx.alloc_data("tensor", 8192)
+        meta = set(ctx.aspace.metastate_pfns())
+        data = set(ctx.aspace.data_pfns())
+        assert meta and data
+        assert not meta & data
+
+    def test_duplicate_name_rejected(self, ctx):
+        ctx.alloc_data("x", 4096)
+        with pytest.raises(ValueError):
+            ctx.alloc_data("x", 4096)
+
+    def test_zero_size_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.alloc_data("empty", 0)
+
+    def test_vas_do_not_overlap(self, ctx):
+        a = ctx.alloc_data("a", 10000)
+        b = ctx.alloc_data("b", 10000)
+        assert a.va + a.size <= b.va
+
+    def test_buffers_are_gpu_mapped(self, ctx):
+        buf = ctx.alloc_data("mapped", 4096)
+        gpu_mmu = ctx.kbdev.env.platform.gpu.mmu
+        # AS not yet configured on hardware; walk the tables directly.
+        from repro.hw.mmu import PageTableWalker
+        walker = PageTableWalker(ctx.mem, 1)
+        result = walker.walk(ctx.kbdev.mmu_tables.root_pa, buf.va)
+        assert result is not None
+        assert result.pa == buf.pa
+
+    def test_prot_flag_mapping(self):
+        pte = MapFlags.to_pte_flags(MapFlags.PROT_READ | MapFlags.PROT_EXEC)
+        from repro.hw.mmu import PteFlags
+        assert pte == PteFlags.READ | PteFlags.EXECUTE
+
+
+class TestCompiler:
+    def test_binary_carries_sku_identity(self):
+        target = CompilerTarget(gpu_id=0x1234, core_count=8)
+        compiler = JitCompiler(target)
+        binary = compiler.compile("relu", {"shape": [4]})
+        assert binary.target_gpu_id == 0x1234
+        assert binary.tile_size == 16 * 8
+
+    def test_tile_size_scales_with_cores(self):
+        """§2.4: core count steers codegen, making binaries SKU-specific."""
+        small = JitCompiler(CompilerTarget(1, 2)).compile("relu", {"shape": [4]})
+        big = JitCompiler(CompilerTarget(1, 20)).compile("relu", {"shape": [4]})
+        assert small.tile_size != big.tile_size
+        assert small.serialize() != big.serialize()
+
+    def test_cache_reuses_binaries(self):
+        compiler = JitCompiler(CompilerTarget(1, 8))
+        a = compiler.compile("relu", {"shape": [4]}, cache_key="k")
+        b = compiler.compile("relu", {"shape": [4]}, cache_key="k")
+        assert a is b
+        assert compiler.shaders_compiled == 1
+
+    def test_compile_charges_time(self):
+        clock = VirtualClock()
+        compiler = JitCompiler(CompilerTarget(1, 8), clock=clock)
+        compiler.compile("relu", {"shape": [4]})
+        assert clock.now > 0
+
+
+class TestCommandStream:
+    def test_emits_descriptor_in_command_zone(self, ctx):
+        emitted = ctx.commands.emit_job(0x1000_0000, 64, [
+            JobBuffer(0x4000_0000, 256, ROLE_INPUT),
+            JobBuffer(0x4000_1000, 256, ROLE_OUTPUT),
+        ])
+        cmd = ctx.aspace.get("command-zone")
+        assert cmd.va <= emitted.descriptor_va < cmd.va + cmd.size
+        assert emitted.ring_words >= 4  # shader + binds + dispatch + barrier
+
+    def test_overflow_detected(self, ctx):
+        builder = ctx.commands
+        with pytest.raises(MemoryError):
+            for i in range(100000):
+                builder.emit_job(0x1000_0000, 64,
+                                 [JobBuffer(0x4000_0000, 64, ROLE_OUTPUT)])
+
+    def test_descriptor_parseable_from_memory(self, ctx):
+        from repro.hw.shader import JobDescriptor
+        emitted = ctx.commands.emit_job(0x1000_0000, 64, [
+            JobBuffer(0x4000_0000, 128, ROLE_OUTPUT)])
+        raw = ctx.mem.read(emitted.descriptor_pa, 64)
+        desc = JobDescriptor.deserialize(raw)
+        assert desc.shader_va == 0x1000_0000
+        assert desc.buffers[0].role == ROLE_OUTPUT
+
+
+class TestGpuContextApi:
+    def test_upload_download_roundtrip(self, ctx):
+        buf = ctx.alloc_data("t", 4096)
+        data = np.arange(32, dtype=np.float32)
+        ctx.upload(buf, data)
+        assert np.array_equal(ctx.download(buf, (32,)), data)
+
+    def test_upload_overflow_rejected(self, ctx):
+        buf = ctx.alloc_data("t", 4096)
+        with pytest.raises(RuntimeError_):
+            ctx.upload(buf, np.zeros(5000, dtype=np.float32))
+
+    def test_buffer_slice_addressing(self, ctx):
+        buf = ctx.alloc_data("t", 8192)
+        s = BufferSlice(buf, offset=128, length=256)
+        assert s.va == buf.va + 128
+        assert s.nbytes == 256
+
+    def test_slice_defaults_to_rest_of_buffer(self, ctx):
+        buf = ctx.alloc_data("t", 8192)
+        s = BufferSlice(buf, offset=4096)
+        assert s.nbytes == buf.size - 4096
+
+    def test_enqueue_runs_to_completion(self, ctx):
+        a = ctx.alloc_data("a", 4096)
+        out = ctx.alloc_data("out", 4096)
+        ctx.upload(a, np.array([-2.0, 3.0], dtype=np.float32))
+        ctx.enqueue("relu", {"shape": [2]}, inputs=[a], outputs=[out],
+                    cache_key="relu2")
+        assert np.array_equal(ctx.download(out, (2,)), [0.0, 3.0])
+        assert ctx.ops_enqueued == 1
+
+    def test_compiler_target_derived_from_probe(self, ctx):
+        assert ctx.target.gpu_id == HIKEY960_G71.gpu_id
+        assert ctx.target.core_count == HIKEY960_G71.core_count

@@ -1,0 +1,308 @@
+"""Unit tests for the shader ISA and executor: serialization, every
+operator against hand-computed results, SKU binding, and fault paths."""
+
+import numpy as np
+import pytest
+
+from repro.driver.mmu_driver import MmuTables
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.mmu import GpuMmu, PteFlags
+from repro.hw.shader import (
+    JOB_FIXED_OVERHEAD_S,
+    JobBuffer,
+    JobDescriptor,
+    ROLE_BIAS,
+    ROLE_INPUT,
+    ROLE_OUTPUT,
+    ROLE_WEIGHT,
+    ShaderBinary,
+    ShaderExecutor,
+    ShaderFormatError,
+    SkuMismatchError,
+    _conv2d,
+    _dwconv2d,
+    _lrn,
+    _pool,
+)
+
+GPU_ID = 0x6000_0010
+
+
+class TestShaderBinary:
+    def _binary(self, **over):
+        fields = dict(op="relu", params={"shape": [4]},
+                      target_gpu_id=GPU_ID, core_count=8, tile_size=128)
+        fields.update(over)
+        return ShaderBinary(**fields)
+
+    def test_roundtrip(self):
+        binary = self._binary()
+        assert ShaderBinary.deserialize(binary.serialize()) == binary
+
+    def test_bad_magic(self):
+        with pytest.raises(ShaderFormatError):
+            ShaderBinary.deserialize(b"XXXX" + b"\x00" * 16)
+
+    def test_truncated(self):
+        blob = self._binary().serialize()
+        with pytest.raises(ShaderFormatError):
+            ShaderBinary.deserialize(blob[:10])
+
+    def test_flops_conv(self):
+        binary = self._binary(op="conv2d", params={
+            "in_shape": [3, 8, 8], "out_shape": [4, 8, 8], "kernel": [3, 3]})
+        assert binary.flops() == 2.0 * 4 * 8 * 8 * 3 * 3 * 3
+
+    def test_model_flops_overrides(self):
+        binary = self._binary(op="relu",
+                              params={"shape": [4], "model_flops": 1e9})
+        assert binary.flops() == 1e9
+
+    def test_unknown_op_flops(self):
+        with pytest.raises(ShaderFormatError):
+            self._binary(op="teleport").flops()
+
+
+class TestJobDescriptor:
+    def test_roundtrip(self):
+        desc = JobDescriptor(
+            shader_va=0x1000, shader_len=64,
+            buffers=(JobBuffer(0x4000, 256, ROLE_INPUT),
+                     JobBuffer(0x5000, 256, ROLE_OUTPUT)))
+        assert JobDescriptor.deserialize(desc.serialize()) == desc
+
+    def test_bad_magic(self):
+        with pytest.raises(ShaderFormatError):
+            JobDescriptor.deserialize(b"\x00" * 64)
+
+    def test_role_filter(self):
+        desc = JobDescriptor(
+            shader_va=0, shader_len=0,
+            buffers=(JobBuffer(1, 1, ROLE_INPUT),
+                     JobBuffer(2, 2, ROLE_OUTPUT),
+                     JobBuffer(3, 3, ROLE_OUTPUT)))
+        assert len(desc.buffers_with_role(ROLE_OUTPUT)) == 2
+
+
+class _ExecutorHarness:
+    """Build a job in memory and run it through the real MMU path."""
+
+    def __init__(self, gpu_id=GPU_ID):
+        self.mem = PhysicalMemory(size=16 << 20)
+        self.tables = MmuTables(self.mem, pte_format=1)
+        self.mmu = GpuMmu(self.mem, pte_format=1)
+        self.mmu.configure(self.tables.root_pa)
+        self.executor = ShaderExecutor(self.mem, self.mmu, gpu_id,
+                                       gflops=100.0)
+        self._next_va = 0x10_0000
+
+    def alloc(self, nbytes, flags):
+        nbytes = max(((nbytes + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE,
+                     PAGE_SIZE)
+        region = self.mem.alloc(nbytes, "t")
+        va = self._next_va
+        self._next_va += nbytes
+        self.tables.insert_pages(va, region.base, nbytes, flags)
+        self.mmu.flush_tlb()
+        return va, region.base
+
+    def run(self, op, params, inputs=(), weights=(), biases=(),
+            out_count=16, gpu_id=GPU_ID):
+        rwx = PteFlags.READ | PteFlags.WRITE
+        binary = ShaderBinary(op=op, params=params, target_gpu_id=gpu_id,
+                              core_count=8, tile_size=128)
+        blob = binary.serialize()
+        shader_va, shader_pa = self.alloc(
+            len(blob), PteFlags.READ | PteFlags.EXECUTE)
+        self.mem.write(shader_pa, blob)
+
+        buffers = []
+        for role, group in ((ROLE_INPUT, inputs), (ROLE_WEIGHT, weights),
+                            (ROLE_BIAS, biases)):
+            for array in group:
+                data = np.ascontiguousarray(array, dtype=np.float32)
+                va, pa = self.alloc(data.nbytes, rwx)
+                self.mem.write_array(pa, data)
+                buffers.append(JobBuffer(va, data.nbytes, role))
+        out_va, out_pa = self.alloc(out_count * 4, rwx)
+        buffers.append(JobBuffer(out_va, out_count * 4, ROLE_OUTPUT))
+
+        desc = JobDescriptor(shader_va=shader_va, shader_len=len(blob),
+                             buffers=tuple(buffers))
+        desc_va, desc_pa = self.alloc(desc.size, rwx)
+        self.mem.write(desc_pa, desc.serialize())
+        result = self.executor.run_job(desc_va)
+        out = self.mem.view(out_pa, (out_count,), np.float32).copy()
+        return result, out
+
+
+class TestExecutorOps:
+    def test_relu(self):
+        h = _ExecutorHarness()
+        x = np.array([-1.0, 2.0, -3.0, 4.0], dtype=np.float32)
+        _, out = h.run("relu", {"shape": [4]}, inputs=[x], out_count=4)
+        assert np.array_equal(out, [0.0, 2.0, 0.0, 4.0])
+
+    def test_copy(self):
+        h = _ExecutorHarness()
+        x = np.array([1.5, -2.5, 3.5], dtype=np.float32)
+        _, out = h.run("copy", {"shape": [3]}, inputs=[x], out_count=3)
+        assert np.array_equal(out, x)
+
+    def test_add_with_relu(self):
+        h = _ExecutorHarness()
+        a = np.array([1.0, -5.0], dtype=np.float32)
+        b = np.array([2.0, 1.0], dtype=np.float32)
+        _, out = h.run("add", {"shape": [2], "activation": "relu"},
+                       inputs=[a, b], out_count=2)
+        assert np.array_equal(out, [3.0, 0.0])
+
+    def test_softmax_sums_to_one(self):
+        h = _ExecutorHarness()
+        x = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        _, out = h.run("softmax", {"shape": [3]}, inputs=[x], out_count=3)
+        assert out.sum() == pytest.approx(1.0, rel=1e-5)
+        assert out[2] > out[1] > out[0]
+
+    def test_dense_hand_computed(self):
+        h = _ExecutorHarness()
+        x = np.array([1.0, 2.0], dtype=np.float32)
+        w = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]], dtype=np.float32)
+        b = np.array([0.5, 0.5, 0.5], dtype=np.float32)
+        _, out = h.run("dense", {"in_features": 2, "out_features": 3},
+                       inputs=[x], weights=[w], biases=[b], out_count=3)
+        assert np.allclose(out, [1.5, 2.5, 3.5])
+
+    def test_conv2d_identity_kernel(self):
+        h = _ExecutorHarness()
+        x = np.arange(9, dtype=np.float32).reshape(1, 3, 3)
+        w = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        w[0, 0, 1, 1] = 1.0  # identity
+        b = np.zeros(1, dtype=np.float32)
+        _, out = h.run("conv2d",
+                       {"in_shape": [1, 3, 3], "w_shape": [1, 1, 3, 3],
+                        "out_shape": [1, 3, 3], "kernel": [3, 3],
+                        "stride": 1, "pad": 1},
+                       inputs=[x], weights=[w], biases=[b], out_count=9)
+        assert np.allclose(out.reshape(3, 3), x[0])
+
+    def test_maxpool(self):
+        h = _ExecutorHarness()
+        x = np.array([[1, 2], [3, 4]], dtype=np.float32).reshape(1, 2, 2)
+        _, out = h.run("maxpool",
+                       {"in_shape": [1, 2, 2], "out_shape": [1, 1, 1],
+                        "kernel": [2, 2], "stride": 2, "pad": 0},
+                       inputs=[x], out_count=1)
+        assert out[0] == 4.0
+
+    def test_globalpool(self):
+        h = _ExecutorHarness()
+        x = np.ones((2, 2, 2), dtype=np.float32)
+        x[1] *= 3
+        _, out = h.run("globalpool", {"in_shape": [2, 2, 2]},
+                       inputs=[x], out_count=2)
+        assert np.allclose(out, [1.0, 3.0])
+
+    def test_concat(self):
+        h = _ExecutorHarness()
+        a = np.ones((1, 2, 2), dtype=np.float32)
+        b = 2 * np.ones((1, 2, 2), dtype=np.float32)
+        _, out = h.run("concat",
+                       {"in_shapes": [[1, 2, 2], [1, 2, 2]]},
+                       inputs=[a, b], out_count=8)
+        assert np.allclose(out[:4], 1.0)
+        assert np.allclose(out[4:], 2.0)
+
+    def test_batchnorm(self):
+        h = _ExecutorHarness()
+        x = np.ones((2, 1, 1), dtype=np.float32)
+        gamma = np.array([2.0, 3.0], dtype=np.float32)
+        beta = np.array([1.0, -10.0], dtype=np.float32)
+        _, out = h.run("batchnorm",
+                       {"in_shape": [2, 1, 1], "activation": "relu"},
+                       inputs=[x], weights=[gamma], biases=[beta],
+                       out_count=2)
+        assert np.allclose(out, [3.0, 0.0])
+
+    def test_duration_model(self):
+        h = _ExecutorHarness()
+        x = np.zeros(4, dtype=np.float32)
+        result, _ = h.run("relu", {"shape": [4], "model_flops": 35e6},
+                          inputs=[x], out_count=4)
+        # 35 MFLOP at 100 GFLOPS * 0.35 efficiency = 1 ms + fixed overhead
+        assert result.duration_s == pytest.approx(
+            JOB_FIXED_OVERHEAD_S + 1e-3, rel=1e-6)
+
+
+class TestExecutorFaults:
+    def test_sku_mismatch_rejected(self):
+        """§2.4: binaries bound to another GPU must not execute."""
+        h = _ExecutorHarness(gpu_id=0x7000_0010)
+        x = np.zeros(4, dtype=np.float32)
+        with pytest.raises(SkuMismatchError):
+            h.run("relu", {"shape": [4]}, inputs=[x], out_count=4,
+                  gpu_id=GPU_ID)
+
+    def test_shader_must_be_executable(self):
+        h = _ExecutorHarness()
+        binary = ShaderBinary(op="relu", params={"shape": [1]},
+                              target_gpu_id=GPU_ID, core_count=8,
+                              tile_size=128)
+        blob = binary.serialize()
+        # Place the shader in non-executable memory.
+        rw = PteFlags.READ | PteFlags.WRITE
+        shader_va, shader_pa = h.alloc(len(blob), rw)
+        h.mem.write(shader_pa, blob)
+        out_va, _ = h.alloc(4, rw)
+        desc = JobDescriptor(shader_va=shader_va, shader_len=len(blob),
+                             buffers=(JobBuffer(out_va, 4, ROLE_OUTPUT),))
+        desc_va, desc_pa = h.alloc(desc.size, rw)
+        h.mem.write(desc_pa, desc.serialize())
+        from repro.hw.mmu import GpuPageFault
+        with pytest.raises(GpuPageFault):
+            h.executor.run_job(desc_va)
+
+    def test_output_overflow_rejected(self):
+        h = _ExecutorHarness()
+        x = np.zeros(64, dtype=np.float32)
+        with pytest.raises(ShaderFormatError):
+            h.run("copy", {"shape": [64]}, inputs=[x], out_count=2)
+
+
+class TestNumpyKernels:
+    def test_conv2d_against_direct_sum(self):
+        rng = np.random.RandomState(0)
+        x = rng.randn(2, 5, 5).astype(np.float32)
+        w = rng.randn(3, 2, 3, 3).astype(np.float32)
+        out = _conv2d(x, w, None, {"stride": 1, "pad": 0})
+        # Direct triple-loop verification of one element.
+        expected = sum(
+            x[ic, 1 + kh, 2 + kw] * w[1, ic, kh, kw]
+            for ic in range(2) for kh in range(3) for kw in range(3))
+        assert out[1, 1, 2] == pytest.approx(expected, rel=1e-5)
+
+    def test_conv2d_stride(self):
+        x = np.ones((1, 4, 4), dtype=np.float32)
+        w = np.ones((1, 1, 2, 2), dtype=np.float32)
+        out = _conv2d(x, w, None, {"stride": 2, "pad": 0})
+        assert out.shape == (1, 2, 2)
+        assert np.allclose(out, 4.0)
+
+    def test_dwconv_channelwise(self):
+        x = np.stack([np.ones((3, 3)), 2 * np.ones((3, 3))]).astype(np.float32)
+        w = np.ones((2, 3, 3), dtype=np.float32)
+        out = _dwconv2d(x, w, None, {"stride": 1, "pad": 0})
+        assert out[0, 0, 0] == pytest.approx(9.0)
+        assert out[1, 0, 0] == pytest.approx(18.0)
+
+    def test_pool_padding_max(self):
+        x = np.full((1, 2, 2), -5.0, dtype=np.float32)
+        out = _pool(x, {"kernel": [2, 2], "stride": 2, "pad": 1}, np.max)
+        # Padding must use -inf, not zero, for max pooling.
+        assert out.max() == pytest.approx(-5.0)
+
+    def test_lrn_normalizes(self):
+        x = np.ones((4, 2, 2), dtype=np.float32)
+        out = _lrn(x, {"size": 5, "alpha": 1e-4, "beta": 0.75, "k": 2.0})
+        assert out.shape == x.shape
+        assert np.all(out < x)  # denominator > 1

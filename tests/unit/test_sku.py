@@ -1,0 +1,82 @@
+"""Unit tests for the GPU SKU database (Figure 3's substrate)."""
+
+import pytest
+
+from repro.hw.sku import (
+    HIKEY960_G71,
+    SKU_DATABASE,
+    driver_supported_skus,
+    find_sku,
+    new_skus_per_year,
+    skus_in_family,
+)
+
+
+class TestDatabase:
+    def test_database_is_large_and_diverse(self):
+        """Figure 3: around 80 SKUs across vendors."""
+        assert len(SKU_DATABASE) >= 70
+        families = {s.family for s in SKU_DATABASE}
+        assert {"mali-bifrost", "mali-midgard", "adreno",
+                "powervr"} <= families
+
+    def test_no_dominant_family(self):
+        """No family holds a large majority (Figure 3's point)."""
+        by_family = {}
+        for sku in SKU_DATABASE:
+            fam = "mali" if sku.family.startswith("mali") else sku.family
+            by_family[fam] = by_family.get(fam, 0) + 1
+        assert max(by_family.values()) < 0.6 * len(SKU_DATABASE)
+
+    def test_new_skus_every_year(self):
+        counts = new_skus_per_year()
+        years = sorted(counts)
+        assert years[0] <= 2012 and years[-1] >= 2021
+        assert all(counts[y] >= 3 for y in range(2013, 2022))
+
+    def test_per_family_counts(self):
+        mali = new_skus_per_year("mali-bifrost")
+        assert sum(mali.values()) == len(skus_in_family("mali-bifrost"))
+
+    def test_find_sku(self):
+        assert find_sku("Mali-G71 MP8") is HIKEY960_G71
+
+    def test_find_unknown_raises(self):
+        with pytest.raises(KeyError):
+            find_sku("Mali-G999")
+
+    def test_unique_names(self):
+        names = [s.name for s in SKU_DATABASE]
+        assert len(names) == len(set(names))
+
+
+class TestSkuParameters:
+    def test_hikey960_matches_paper_platform(self):
+        """The paper's client: Mali G71 MP8."""
+        assert HIKEY960_G71.core_count == 8
+        assert HIKEY960_G71.family == "mali-bifrost"
+        assert HIKEY960_G71.shader_present_mask == 0xFF
+
+    def test_fingerprint_distinguishes_core_counts(self):
+        g71_8 = find_sku("Mali-G71 MP8")
+        g71_20 = find_sku("Mali-G71 MP20")
+        # Same product, different core count: replay must not transfer.
+        assert g71_8.gpu_id == g71_20.gpu_id
+        assert g71_8.fingerprint() != g71_20.fingerprint()
+
+    def test_fingerprint_distinguishes_pte_format(self):
+        bifrost = find_sku("Mali-G71 MP8")
+        midgard = find_sku("Mali-T880 MP4")
+        assert bifrost.pte_format != midgard.pte_format
+
+    def test_present_masks(self):
+        sku = find_sku("Mali-G76 MP10")
+        assert bin(sku.shader_present_mask).count("1") == 10
+        assert sku.tiler_present_mask == 0x1
+
+    def test_driver_supported_is_mali_only(self):
+        supported = driver_supported_skus()
+        assert supported
+        assert all(s.family.startswith("mali") for s in supported)
+        # One driver supports many SKUs of a family (§3).
+        assert len(skus_in_family("mali-bifrost")) >= 6

@@ -1,0 +1,173 @@
+"""Unit tests for lazy symbolic register values (§4.1)."""
+
+import pytest
+
+from repro.core.symbolic import (
+    LazyInt,
+    SymExpr,
+    SymVal,
+    UnresolvedValueError,
+    concrete,
+    evaluate_wire,
+    is_unresolved,
+)
+
+
+class FakeShim:
+    """Resolves forced symbols with canned values, counting commits."""
+
+    def __init__(self, values=None):
+        self.values = values or {}
+        self.commits = 0
+
+    def force_resolution(self, lazy):
+        self.commits += 1
+        for sym in lazy.symbols():
+            if not sym.resolved:
+                sym.resolve(self.values.get(sym.sym_id, 0))
+
+
+class TestSymVal:
+    def test_unresolved_by_default(self):
+        sym = SymVal(1, FakeShim())
+        assert not sym.resolved
+        assert is_unresolved(sym)
+
+    def test_resolve_then_evaluate(self):
+        sym = SymVal(1, FakeShim())
+        sym.resolve(42)
+        assert sym.evaluate() == 42
+
+    def test_evaluate_unresolved_raises(self):
+        with pytest.raises(UnresolvedValueError):
+            SymVal(1, FakeShim()).evaluate()
+
+    def test_bool_forces_commit(self):
+        shim = FakeShim({1: 5})
+        sym = SymVal(1, shim)
+        assert bool(sym)
+        assert shim.commits == 1
+        assert sym.evaluate() == 5
+
+    def test_int_coercion_forces(self):
+        shim = FakeShim({1: 7})
+        assert int(SymVal(1, shim)) == 7
+
+    def test_index_supports_hex_format(self):
+        shim = FakeShim({1: 255})
+        assert f"{SymVal(1, shim):#x}" == "0xff"
+
+    def test_taint_flag(self):
+        sym = SymVal(1, FakeShim())
+        sym.resolve(1, tainted=True)
+        assert sym.tainted
+        sym.untaint()
+        assert not sym.tainted
+
+
+class TestSymExpr:
+    def test_or_with_constant(self):
+        sym = SymVal(1, FakeShim())
+        expr = sym | 0x10
+        sym.resolve(0x01)
+        assert expr.evaluate() == 0x11
+
+    def test_reverse_operators(self):
+        sym = SymVal(1, FakeShim())
+        expr = 0x10 | sym
+        sym.resolve(0x01)
+        assert expr.evaluate() == 0x11
+
+    def test_nested_expression(self):
+        a, b = SymVal(1, FakeShim()), SymVal(2, FakeShim())
+        expr = ((a << 32) | b) & 0xFFFF_FFFF_FFFF_FFFF
+        a.resolve(0x1)
+        b.resolve(0x2)
+        assert expr.evaluate() == 0x1_0000_0002
+
+    def test_all_binary_ops(self):
+        a = SymVal(1, FakeShim())
+        a.resolve(12)
+        assert (a + 3).evaluate() == 15
+        assert (a - 2).evaluate() == 10
+        assert (a ^ 0xF).evaluate() == 3
+        assert (a >> 2).evaluate() == 3
+        assert (a << 1).evaluate() == 24
+
+    def test_unary_ops(self):
+        a = SymVal(1, FakeShim())
+        a.resolve(0)
+        assert (~a).evaluate() == -1
+        assert (-a).evaluate() == 0
+
+    def test_taint_propagates_through_expressions(self):
+        a, b = SymVal(1, FakeShim()), SymVal(2, FakeShim())
+        a.resolve(1, tainted=True)
+        b.resolve(2, tainted=False)
+        assert (a | b).tainted
+        assert not (b | 1).tainted
+
+    def test_symbols_collection(self):
+        a, b = SymVal(1, FakeShim()), SymVal(2, FakeShim())
+        expr = (a | 1) + (b << 2)
+        ids = {s.sym_id for s in expr.symbols()}
+        assert ids == {1, 2}
+
+    def test_expr_bool_forces_via_any_shim(self):
+        shim = FakeShim({1: 0x10})
+        expr = SymVal(1, shim) & 0x10
+        assert bool(expr)
+        assert shim.commits == 1
+
+    def test_unsupported_operand(self):
+        sym = SymVal(1, FakeShim())
+        with pytest.raises(TypeError):
+            sym | "string"
+
+
+class TestWireFormat:
+    def test_sym_wire(self):
+        assert SymVal(7, FakeShim()).wire() == ("sym", 7)
+
+    def test_expr_wire_and_evaluate(self):
+        a = SymVal(1, FakeShim())
+        expr = (a | 0x10) << 2
+        wire = expr.wire()
+        assert evaluate_wire(wire, {1: 0x01}) == 0x44
+
+    def test_listing_1a_pattern(self):
+        """WRITE(MMU_CONFIG, S2 | 0x10): client evaluates against this
+        batch's read values."""
+        s2 = SymVal(2, FakeShim())
+        write_value = s2 | 0x10
+        assert evaluate_wire(write_value.wire(), {2: 0x03}) == 0x13
+
+    def test_missing_symbol_rejected(self):
+        with pytest.raises(UnresolvedValueError):
+            evaluate_wire(("sym", 9), {1: 0})
+
+    def test_constant_wire(self):
+        assert evaluate_wire(5, {}) == 5
+
+    def test_malformed_wire(self):
+        with pytest.raises(ValueError):
+            evaluate_wire(("teleport", 1), {})
+
+    def test_unary_wire(self):
+        a = SymVal(1, FakeShim())
+        assert evaluate_wire((~a).wire(), {1: 0}) == -1
+
+
+class TestConcrete:
+    def test_concrete_of_int(self):
+        assert concrete(5) == 5
+
+    def test_concrete_of_resolved(self):
+        sym = SymVal(1, FakeShim())
+        sym.resolve(9)
+        assert concrete(sym) == 9
+
+    def test_concrete_forces_unresolved(self):
+        shim = FakeShim({1: 3})
+        assert concrete(SymVal(1, shim)) == 3
+        assert shim.commits == 1

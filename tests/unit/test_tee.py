@@ -1,0 +1,229 @@
+"""Unit tests for the TrustZone model: crypto, attestation, worlds, OP-TEE."""
+
+import pytest
+
+from repro.tee.attestation import (
+    AttestationError,
+    AttestationVerifier,
+    CloudRootOfTrust,
+)
+from repro.tee.crypto import KeyStore, SigningKey, VerifyError, blob_digest
+from repro.tee.optee import OpTeeOS, TeeModule
+from repro.tee.worlds import (
+    GpuMmioGuard,
+    SecurityViolation,
+    TrustZoneController,
+    World,
+)
+
+
+class TestCrypto:
+    def test_sign_verify(self):
+        key = SigningKey.generate("k")
+        sig = key.sign(b"payload")
+        key.verify(b"payload", sig)
+
+    def test_verify_rejects_tamper(self):
+        key = SigningKey.generate("k")
+        sig = key.sign(b"payload")
+        with pytest.raises(VerifyError):
+            key.verify(b"payloaX", sig)
+
+    def test_different_seeds_different_keys(self):
+        a = SigningKey.generate("k", b"1")
+        b = SigningKey.generate("k", b"2")
+        with pytest.raises(VerifyError):
+            b.verify(b"x", a.sign(b"x"))
+
+    def test_derived_key_is_distinct(self):
+        root = SigningKey.generate("root")
+        child = root.derive("session-1")
+        assert child.secret != root.secret
+        with pytest.raises(VerifyError):
+            root.verify(b"x", child.sign(b"x"))
+
+    def test_keystore(self):
+        store = KeyStore()
+        key = SigningKey.generate("svc")
+        store.pin(key)
+        store.verify_with("svc", b"data", key.sign(b"data"))
+        with pytest.raises(VerifyError):
+            store.verify_with("other", b"data", key.sign(b"data"))
+
+    def test_digest_is_stable(self):
+        assert blob_digest(b"a") == blob_digest(b"a")
+        assert blob_digest(b"a") != blob_digest(b"b")
+
+
+class TestAttestation:
+    def test_good_report_accepted(self):
+        root = CloudRootOfTrust()
+        verifier = AttestationVerifier(root.key)
+        verifier.allow_image(b"vm-image")
+        report = root.attest(b"vm-image", b"nonce-1")
+        verifier.verify(report, b"nonce-1")
+
+    def test_stale_nonce_rejected(self):
+        root = CloudRootOfTrust()
+        verifier = AttestationVerifier(root.key)
+        verifier.allow_image(b"vm-image")
+        report = root.attest(b"vm-image", b"nonce-1")
+        with pytest.raises(AttestationError):
+            verifier.verify(report, b"nonce-2")
+
+    def test_unknown_image_rejected(self):
+        root = CloudRootOfTrust()
+        verifier = AttestationVerifier(root.key)
+        verifier.allow_image(b"expected-image")
+        report = root.attest(b"evil-image", b"n")
+        with pytest.raises(AttestationError):
+            verifier.verify(report, b"n")
+
+    def test_forged_signature_rejected(self):
+        root = CloudRootOfTrust(seed=b"real")
+        forger = CloudRootOfTrust(seed=b"fake")
+        verifier = AttestationVerifier(root.key)
+        verifier.allow_image(b"vm")
+        report = forger.attest(b"vm", b"n")
+        with pytest.raises(AttestationError):
+            verifier.verify(report, b"n")
+
+
+class TestTrustZoneController:
+    def test_world_switch(self):
+        tz = TrustZoneController()
+        assert tz.current_world == World.NORMAL
+        tz.smc_enter_secure()
+        assert tz.current_world == World.SECURE
+        tz.smc_exit_secure()
+        assert tz.current_world == World.NORMAL
+
+    def test_protected_memory(self):
+        tz = TrustZoneController()
+        tz.protect_range(0x8000_0000, 0x1000)
+        tz.check_memory_access(0x8000_0800, World.SECURE)
+        with pytest.raises(SecurityViolation):
+            tz.check_memory_access(0x8000_0800, World.NORMAL)
+        assert tz.violations == 1
+
+    def test_unprotected_memory_open(self):
+        tz = TrustZoneController()
+        tz.check_memory_access(0x9000_0000, World.NORMAL)
+
+    def test_static_reservation_permanent(self):
+        """The Hikey960 workaround (§6): the carveout cannot be undone."""
+        tz = TrustZoneController()
+        tz.static_reserve(0x8000_0000, 0x1000)
+        with pytest.raises(SecurityViolation):
+            tz.release_range(0x8000_0000, 0x1000)
+
+    def test_gpu_lock(self):
+        tz = TrustZoneController()
+        tz.lock_gpu_to_secure()
+        tz.check_gpu_access(World.SECURE)
+        with pytest.raises(SecurityViolation):
+            tz.check_gpu_access(World.NORMAL)
+        tz.release_gpu()
+        tz.check_gpu_access(World.NORMAL)
+
+    def test_irq_routing_follows_lock(self):
+        tz = TrustZoneController()
+        tz.lock_gpu_to_secure()
+        assert tz.gpu_irq_routed_to == World.SECURE
+        tz.release_gpu()
+        assert tz.gpu_irq_routed_to == World.NORMAL
+
+
+class TestGpuMmioGuard:
+    def _gpu(self):
+        from repro.hw.gpu import MaliGpu
+        from repro.hw.memory import PhysicalMemory
+        from repro.hw.sku import HIKEY960_G71
+        from repro.sim.clock import VirtualClock
+        return MaliGpu(HIKEY960_G71, PhysicalMemory(size=4 << 20),
+                       VirtualClock())
+
+    def test_normal_world_blocked_when_locked(self):
+        tz = TrustZoneController()
+        gpu = self._gpu()
+        normal_view = GpuMmioGuard(gpu, tz, World.NORMAL)
+        secure_view = GpuMmioGuard(gpu, tz, World.SECURE)
+        tz.lock_gpu_to_secure()
+        secure_view.read_reg(0x000)
+        with pytest.raises(SecurityViolation):
+            normal_view.read_reg(0x000)
+        with pytest.raises(SecurityViolation):
+            normal_view.write_reg(0x030, 1)
+
+    def test_passthrough_attributes(self):
+        tz = TrustZoneController()
+        gpu = self._gpu()
+        guard = GpuMmioGuard(gpu, tz, World.SECURE)
+        assert guard.sku is gpu.sku
+        assert guard.next_event_time() == gpu.next_event_time()
+
+
+class TestOpTee:
+    def test_module_commands(self):
+        os_ = OpTeeOS()
+
+        class Echo(TeeModule):
+            name = "echo"
+
+            def __init__(self):
+                super().__init__()
+                self.register_command("ping", lambda value: value + 1)
+
+        os_.load_module(Echo())
+        session = os_.open_session("echo")
+        assert session.invoke("ping", value=41) == 42
+
+    def test_session_enters_secure_world(self):
+        os_ = OpTeeOS()
+        worlds = []
+
+        class Probe(TeeModule):
+            name = "probe"
+
+            def __init__(self, tz):
+                super().__init__()
+                self.register_command(
+                    "check", lambda: worlds.append(tz.current_world))
+
+        os_.load_module(Probe(os_.tzasc))
+        os_.open_session("probe").invoke("check")
+        assert worlds == [World.SECURE]
+        assert os_.tzasc.current_world == World.NORMAL
+
+    def test_closed_session_rejected(self):
+        os_ = OpTeeOS()
+
+        class M(TeeModule):
+            name = "m"
+
+        os_.load_module(M())
+        session = os_.open_session("m")
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.invoke("anything")
+
+    def test_unknown_module(self):
+        with pytest.raises(KeyError):
+            OpTeeOS().open_session("ghost")
+
+    def test_duplicate_module_rejected(self):
+        os_ = OpTeeOS()
+
+        class M(TeeModule):
+            name = "m"
+
+        os_.load_module(M())
+        with pytest.raises(ValueError):
+            os_.load_module(M())
+
+    def test_secure_storage(self):
+        os_ = OpTeeOS()
+        os_.store("recording:mnist", b"blob")
+        assert os_.load("recording:mnist") == b"blob"
+        with pytest.raises(KeyError):
+            os_.load("missing")
