@@ -1,0 +1,113 @@
+"""Fleet serving at scale: throughput/latency at three load levels.
+
+Not a paper figure — the serving-layer trajectory the ROADMAP's north
+star is judged against.  Three Poisson load levels run through the
+multi-tenant serving layer (`repro.fleet`): a light fleet that never
+queues, a moderate one that exercises the warm pool and cache, and a
+saturated one where admission control must reject.  The rendered table
+is the perf baseline future scaling PRs (sharding, batching,
+multi-backend) diff themselves against.
+
+Assertions pinned here:
+
+* cached sessions (registry hit, dry run skipped) are >= 5x faster than
+  cold ones at every load level — the GPUReplay reuse argument
+  (arXiv:2105.05085) realized as serving capacity;
+* the saturated level produces at least one explicit admission
+  rejection (bounded queues, no silent collapse);
+* per-tenant caching never serves one tenant's recording to another —
+  the §7.1 security rule, audited over every entry after every run.
+"""
+
+from repro.analysis.report import format_table, save_report
+from repro.fleet import FleetSimulation, WorkloadGenerator
+
+from conftest import run_benchmark
+
+# name, arrival rate (sessions/s), clients, capacity, queue limit
+LOAD_LEVELS = (
+    ("light", 1.0, 100, 16, 24),
+    ("moderate", 4.0, 200, 16, 24),
+    ("saturated", 16.0, 240, 6, 6),
+)
+SEED = 7
+
+
+def _run_level(rate, clients, capacity, queue):
+    requests = WorkloadGenerator(seed=SEED, arrival_rate_hz=rate,
+                                 tenants=max(2, clients // 10),
+                                 ).generate(clients)
+    sim = FleetSimulation(requests, capacity=capacity,
+                          warm_target=capacity // 2, queue_limit=queue)
+    sim.run()
+    return sim
+
+
+def build_fleet_scale():
+    results = []
+    for name, rate, clients, capacity, queue in LOAD_LEVELS:
+        sim = _run_level(rate, clients, capacity, queue)
+        results.append((name, rate, sim, sim.summary()))
+    return results
+
+
+def test_fleet_scale_trajectory(benchmark):
+    results = run_benchmark(benchmark, build_fleet_scale)
+
+    rows = []
+    for name, rate, _, doc in results:
+        lat = doc["latency_s"]["overall"]
+        rows.append([
+            name, rate, doc["sessions"]["offered"],
+            doc["sessions"]["completed"], doc["sessions"]["rejected"],
+            doc["throughput_sessions_per_s"],
+            lat["p50"], lat["p95"], lat["p99"],
+            100 * doc["cache"]["hit_rate"],
+            doc["vm"]["cost_usd"],
+        ])
+    table = format_table(
+        "Fleet serving trajectory (seed 7; latency in seconds)",
+        ["load", "rate/s", "offered", "done", "rej", "tput/s",
+         "p50", "p95", "p99", "hit%", "usd"],
+        rows)
+    print("\n" + table)
+    save_report("fleet_scale", table)
+
+    by_name = {name: doc for name, _, _, doc in results}
+    # Light load: everything admitted, nothing rejected.
+    assert by_name["light"]["sessions"]["rejected"] == 0
+    assert by_name["light"]["sessions"]["completed"] == 100
+    # Saturated load: admission control must push back explicitly.
+    assert by_name["saturated"]["sessions"]["rejected"] > 0
+    # Load never loses sessions: offered == completed + rejected.
+    for doc in by_name.values():
+        assert doc["sessions"]["offered"] == (doc["sessions"]["completed"]
+                                              + doc["sessions"]["rejected"])
+
+
+def test_cached_sessions_at_least_5x_faster():
+    """The registry converts repeat tenants into >=5x faster sessions."""
+    for name, rate, clients, capacity, queue in LOAD_LEVELS:
+        sim = _run_level(rate, clients, capacity, queue)
+        doc = sim.summary()
+        hit = doc["service_s"]["cache_hit"]
+        miss = doc["service_s"]["cache_miss"]
+        assert hit["count"] > 0, f"{name}: no cache hits"
+        assert miss["count"] > 0, f"{name}: no cold sessions"
+        speedup = miss["mean"] / hit["mean"]
+        assert speedup >= 5.0, (
+            f"{name}: cached sessions only {speedup:.1f}x faster")
+
+
+def test_recordings_never_cross_tenants():
+    """§7.1: audit every cached entry after a full run — a recording is
+    only ever filed under, and served to, the tenant that paid for it."""
+    _, rate, clients, capacity, queue = LOAD_LEVELS[1]
+    sim = _run_level(rate, clients, capacity, queue)
+    assert len(sim.registry) > 0
+    assert sim.registry.audit_isolation() == len(sim.registry)
+    # A foreign tenant looking up an existing key gets a miss, never the
+    # other tenant's entry.
+    owner = sim.registry.tenants()[0]
+    entry = sim.registry.entries_for(owner)[0]
+    assert sim.registry.lookup("tenant-outsider", entry.key) is None

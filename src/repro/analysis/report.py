@@ -61,6 +61,54 @@ def percent_change(base: float, new: float) -> float:
     return 100.0 * (base - new) / base
 
 
+def fleet_summary_tables(summary: dict) -> str:
+    """Render a fleet run's summary dict (see
+    :meth:`repro.fleet.FleetSimulation.summary`) as the serving report:
+    an overview table, per-link latency percentiles, and the cache's
+    hit-vs-miss service times."""
+    sessions = summary["sessions"]
+    cache = summary["cache"]
+    pool = summary["pool"]
+    vm = summary["vm"]
+    overview = format_table(
+        "Fleet overview",
+        ["metric", "value"],
+        [
+            ["sessions offered", sessions["offered"]],
+            ["sessions completed", sessions["completed"]],
+            ["sessions rejected", sessions["rejected"]],
+            ["rejection rate", f"{100 * sessions['rejection_rate']:.1f}%"],
+            ["cache hit rate", f"{100 * cache['hit_rate']:.1f}%"],
+            ["throughput", f"{summary['throughput_sessions_per_s']:.2f} "
+                           "sessions/s"],
+            ["makespan", f"{summary['makespan_s']:.1f} s"],
+            ["peak busy VMs", f"{pool['peak_busy']}/{pool['capacity']}"],
+            ["warm/cold boots",
+             f"{pool['warm_grants']}/{pool['cold_grants']}"],
+            ["VM time", f"{vm['vm_seconds']:.1f} s"],
+            ["cost", f"${vm['cost_usd']:.4f}"],
+        ])
+    lat_rows = []
+    for link, dist in sorted(summary["latency_s"]["by_link"].items()):
+        lat_rows.append([link, dist["count"], dist["p50"], dist["p95"],
+                         dist["p99"], dist["mean"]])
+    overall = summary["latency_s"]["overall"]
+    lat_rows.append(["all", overall["count"], overall["p50"],
+                     overall["p95"], overall["p99"], overall["mean"]])
+    latency = format_table(
+        "Session latency by link (seconds)",
+        ["link", "n", "p50", "p95", "p99", "mean"], lat_rows)
+    svc_rows = []
+    for label, dist in (("cache hit", summary["service_s"]["cache_hit"]),
+                        ("cache miss", summary["service_s"]["cache_miss"])):
+        svc_rows.append([label, dist["count"], dist["p50"], dist["p95"],
+                         dist["p99"], dist["mean"]])
+    service = format_table(
+        "Service time by cache outcome (seconds, queueing excluded)",
+        ["outcome", "n", "p50", "p95", "p99", "mean"], svc_rows)
+    return "\n\n".join((overview, latency, service))
+
+
 def save_report(name: str, text: str) -> str:
     """Append a rendered table to benchmarks/results/<name>.txt."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -1,4 +1,4 @@
-"""Command-line interface: record, replay, inspect, diff, and explore.
+"""Command-line interface: record, replay, inspect, diff, fleet, explore.
 
 Examples::
 
@@ -7,6 +7,7 @@ Examples::
     python -m repro replay --recording mnist.grt --runs 3
     python -m repro inspect mnist.grt
     python -m repro diff a.grt b.grt
+    python -m repro fleet --clients 200 --seed 7
 
 ``record`` writes three artifacts: ``<out>`` (the signed recording),
 ``<out>.key`` (the cloud service's verification key, which a real
@@ -24,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.analysis.report import fleet_summary_tables
 from repro.analysis.tracediff import diff_recordings
 from repro.core.recorder import (
     NAIVE,
@@ -36,6 +38,7 @@ from repro.core.recording import Recording
 from repro.core.replayer import Replayer
 from repro.core.speculation import CommitHistory
 from repro.core.testbed import ClientDevice
+from repro.fleet import FleetSimulation, WorkloadGenerator
 from repro.hw.sku import SKU_DATABASE, find_sku, HIKEY960_G71
 from repro.ml.models import EXTRA_WORKLOADS, PAPER_WORKLOADS, build_model
 from repro.ml.runner import generate_weights
@@ -180,6 +183,45 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    for name, value, floor in (("--clients", args.clients, 0),
+                               ("--capacity", args.capacity, 1),
+                               ("--warm", args.warm, 0),
+                               ("--queue", args.queue, 0),
+                               ("--tenants", args.tenants, 1)):
+        if value is not None and value < floor:
+            print(f"error: {name} must be >= {floor}", file=sys.stderr)
+            return 2
+    if args.arrival_rate <= 0:
+        print("error: --arrival-rate must be positive", file=sys.stderr)
+        return 2
+    tenants = args.tenants or max(2, args.clients // 10)
+    generator = WorkloadGenerator(seed=args.seed,
+                                  arrival_rate_hz=args.arrival_rate,
+                                  tenants=tenants)
+    requests = generator.generate(args.clients)
+    sim = FleetSimulation(requests, capacity=args.capacity,
+                          warm_target=args.warm,
+                          queue_limit=args.queue)
+    sim.run()
+    summary = sim.summary()
+    summary["config"] = {
+        "clients": args.clients, "seed": args.seed, "tenants": tenants,
+        "arrival_rate_hz": args.arrival_rate, "capacity": args.capacity,
+        "warm_target": args.warm, "queue_limit": args.queue,
+    }
+    print(f"fleet: {args.clients} sessions, {tenants} tenants, "
+          f"seed {args.seed}, {args.arrival_rate:g}/s arrivals")
+    print()
+    print(fleet_summary_tables(summary))
+    if args.json:
+        blob = json.dumps(summary, indent=2, sort_keys=True)
+        with open(args.json, "w") as fh:
+            fh.write(blob + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def cmd_diff(args) -> int:
     a = _load_recording(args.a, verify=False)
     b = _load_recording(args.b, verify=False)
@@ -232,6 +274,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("inspect", help="summarize a recording file")
     p.add_argument("recording")
     p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("fleet", help="simulate the multi-tenant serving "
+                                     "layer under Poisson load")
+    p.add_argument("--clients", type=int, default=200,
+                   help="number of client sessions to offer")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenants", type=int, default=None,
+                   help="tenant population (default: clients // 10)")
+    p.add_argument("--arrival-rate", type=float, default=2.0,
+                   help="Poisson arrival rate, sessions/s")
+    p.add_argument("--capacity", type=int, default=16,
+                   help="max concurrent session VMs")
+    p.add_argument("--warm", type=int, default=8,
+                   help="warm-boot pool target size")
+    p.add_argument("--queue", type=int, default=24,
+                   help="admission queue limit before rejection")
+    p.add_argument("--json", default=None,
+                   help="also write the metrics JSON to this path")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("diff", help="compare two recordings (remote "
                                     "debugging, §3)")

@@ -44,25 +44,40 @@ class SessionTicket:
     vm: VmInstance
     attestation: AttestationReport
     recording_key_name: str
+    opened_at: float = 0.0
+    closed_at: Optional[float] = None
+
+    @property
+    def vm_seconds(self) -> float:
+        if self.closed_at is None:
+            return 0.0
+        return self.closed_at - self.opened_at
 
 
 class CloudService:
     """The multi-tenant service; tenants never share VMs or recordings."""
 
     def __init__(self, images: Optional[Dict[str, VmImage]] = None,
-                 root: Optional[CloudRootOfTrust] = None) -> None:
+                 root: Optional[CloudRootOfTrust] = None,
+                 cost_model: Optional[CostModel] = None) -> None:
         self.images = dict(images or DEFAULT_IMAGES)
         self.root = root or CloudRootOfTrust()
+        self.cost_model = cost_model or CostModel()
         # The key recordings are signed with; clients pin its verifier.
         self.recording_key = SigningKey.generate("grt-recording-service")
         self._session_counter = 0
         self.active_sessions: Dict[str, SessionTicket] = {}
         self.recordings_served = 0
+        self.sessions_opened = 0
+        self._vm_seconds_total = 0.0
 
     # ------------------------------------------------------------------
     def open_session(self, client_id: str, image_name: str,
                      device_tree: DeviceTreeNode,
-                     nonce: bytes) -> SessionTicket:
+                     nonce: bytes, clock=None) -> SessionTicket:
+        """Open an attested session; ``clock`` (a
+        :class:`~repro.sim.clock.VirtualClock`) stamps ``opened_at`` so
+        the service's own ledger can bill VM lifetime at close."""
         if image_name not in self.images:
             raise ServiceError(f"no VM image named {image_name!r}")
         image = self.images[image_name]
@@ -75,13 +90,28 @@ class CloudService:
         report = self.root.attest(image.measurement_blob(), nonce)
         ticket = SessionTicket(session_id=session_id, vm=vm,
                                attestation=report,
-                               recording_key_name=self.recording_key.name)
+                               recording_key_name=self.recording_key.name,
+                               opened_at=clock.now if clock else 0.0)
         self.active_sessions[session_id] = ticket
+        self.sessions_opened += 1
         return ticket
 
-    def close_session(self, session_id: str) -> None:
+    def close_session(self, session_id: str, clock=None) -> None:
         # The VM is destroyed with the session: no reuse across clients.
-        self.active_sessions.pop(session_id, None)
+        ticket = self.active_sessions.pop(session_id, None)
+        if ticket is None:
+            return
+        ticket.closed_at = clock.now if clock else ticket.opened_at
+        self._vm_seconds_total += max(0.0, ticket.vm_seconds)
+
+    @property
+    def total_vm_seconds(self) -> float:
+        """VM lifetime billed across all closed sessions."""
+        return self._vm_seconds_total
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.cost_model.record_run_usd(self._vm_seconds_total)
 
     def sign_recording(self, body: bytes) -> bytes:
         self.recordings_served += 1

@@ -87,10 +87,22 @@ class VmInstance:
         self.booted = True
 
     def _gpu_node(self) -> DeviceTreeNode:
-        for node in [self.device_tree, *self.device_tree.children]:
-            if node.name.startswith("gpu@"):
-                return node
-        raise VmError("client device tree has no GPU node")
+        found = self._find_gpu(self.device_tree)
+        if found is None:
+            raise VmError("client device tree has no GPU node")
+        return found
+
+    @staticmethod
+    def _find_gpu(node: DeviceTreeNode) -> Optional[DeviceTreeNode]:
+        """Depth-first search for the GPU node: real trees nest it under
+        a bus (e.g. ``soc/gpu@...``), not at the root."""
+        if node.name.startswith("gpu@"):
+            return node
+        for child in node.children:
+            found = VmInstance._find_gpu(child)
+            if found is not None:
+                return found
+        return None
 
     @property
     def gpu_model(self) -> str:

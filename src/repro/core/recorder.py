@@ -219,7 +219,7 @@ class RecordSession:
         compatible = device_tree.find(f"gpu@{0xE82C0000:x}").compatible
         image_name = self.image or self.service.image_for_family(compatible)
         ticket = self.service.open_session(self.client_id, image_name,
-                                           device_tree, nonce)
+                                           device_tree, nonce, clock=clock)
         vm_open_time = clock.now
         verifier = AttestationVerifier(self.service.root.key)
         verifier.allow_image(ticket.vm.image.measurement_blob())
@@ -280,7 +280,7 @@ class RecordSession:
             self._last_log = gpushim.log
             raise
         finally:
-            self.service.close_session(ticket.session_id)
+            self.service.close_session(ticket.session_id, clock=clock)
             self._vm_seconds += clock.now - vm_open_time
 
         # --- recording assembly + download --------------------------------

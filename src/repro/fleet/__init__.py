@@ -1,0 +1,46 @@
+"""repro.fleet — the multi-tenant serving layer.
+
+The seed serves one client session at a time; this package serves many,
+on virtual time: a discrete-event scheduler interleaves session
+processes (:mod:`repro.fleet.scheduler`), a VM pool bounds capacity and
+amortizes boot cost (:mod:`repro.fleet.pool`), a strictly per-tenant
+recording registry turns repeat requests into cache hits
+(:mod:`repro.fleet.registry`), a seeded generator produces Poisson load
+over the paper's workloads (:mod:`repro.fleet.workload`), sessions and
+their analytic cost model live in :mod:`repro.fleet.session`, and
+:mod:`repro.fleet.metrics` reduces a run to latency percentiles,
+throughput, cache/rejection rates, and dollars.
+
+Entry point: ``python -m repro fleet`` or :func:`run_fleet`.
+"""
+
+from repro.fleet.metrics import FleetMetrics, SessionRecord, percentile
+from repro.fleet.pool import PoolSaturated, PoolStats, VmLease, VmPool
+from repro.fleet.registry import (
+    CachedRecording,
+    RecordingKey,
+    RecordingRegistry,
+    TenantIsolationError,
+)
+from repro.fleet.scheduler import Event, Process, Scheduler, Timeout
+from repro.fleet.session import (
+    FleetSimulation,
+    SessionCostModel,
+    SessionCosts,
+    run_fleet,
+)
+from repro.fleet.workload import (
+    DEFAULT_MIX,
+    SessionRequest,
+    TenantProfile,
+    WorkloadGenerator,
+)
+
+__all__ = [
+    "CachedRecording", "DEFAULT_MIX", "Event", "FleetMetrics",
+    "FleetSimulation", "PoolSaturated", "PoolStats", "Process",
+    "RecordingKey", "RecordingRegistry", "Scheduler", "SessionCostModel",
+    "SessionCosts", "SessionRecord", "SessionRequest", "TenantIsolationError",
+    "TenantProfile", "Timeout", "VmLease", "VmPool", "WorkloadGenerator",
+    "percentile", "run_fleet",
+]

@@ -1,0 +1,157 @@
+"""Fleet metrics: latency percentiles, throughput, cache and admission.
+
+Collects one :class:`SessionRecord` per offered session and reduces them
+to the serving numbers every later scaling PR is judged against:
+
+* p50/p95/p99 **session latency** (arrival to recording-in-hand),
+  overall and per link type — WAN latency is the paper's whole subject,
+  so WiFi and cellular tails are reported separately;
+* **service time** (admission to completion, queueing excluded) split by
+  cache hit/miss — the registry's speedup, isolated from load effects;
+* **throughput**, **cache hit rate**, **rejection rate**;
+* **VM-seconds and dollars** via :class:`~repro.cloud.service.CostModel`
+  (§3.3's cost-effectiveness argument, now measured fleet-wide).
+
+Percentiles use the deterministic nearest-rank definition (no
+interpolation), so metrics JSON is bit-stable for a given (seed, config)
+and safe to diff across PRs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+PERCENTILES = (50, 95, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0:
+        return ordered[0]
+    rank = int(-(-q * len(ordered) // 100))  # ceil(q/100 * n)
+    return ordered[min(len(ordered), max(rank, 1)) - 1]
+
+
+@dataclass
+class SessionRecord:
+    """Everything one session contributes to the fleet report."""
+
+    request_id: str
+    tenant_id: str
+    workload: str
+    sku_name: str
+    link_name: str
+    arrival_s: float
+    rejected: bool = False
+    admitted_s: Optional[float] = None
+    completed_s: Optional[float] = None
+    cache_hit: bool = False
+    warm_vm: bool = False
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Arrival to completion, queue wait included."""
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.arrival_s
+
+    @property
+    def service_s(self) -> Optional[float]:
+        """Admission to completion: the work itself, sans queueing."""
+        if self.completed_s is None or self.admitted_s is None:
+            return None
+        return self.completed_s - self.admitted_s
+
+    @property
+    def wait_s(self) -> float:
+        if self.admitted_s is None:
+            return 0.0
+        return self.admitted_s - self.arrival_s
+
+
+def _dist(values: List[float]) -> Dict[str, float]:
+    out = {f"p{q}": percentile(values, q) for q in PERCENTILES}
+    out["mean"] = sum(values) / len(values) if values else 0.0
+    out["count"] = len(values)
+    return out
+
+
+@dataclass
+class FleetMetrics:
+    """Accumulates session records and reduces them to the fleet report."""
+
+    records: List[SessionRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add(self, record: SessionRecord) -> None:
+        self.records.append(record)
+
+    # Convenience views ------------------------------------------------
+    @property
+    def completed(self) -> List[SessionRecord]:
+        return [r for r in self.records if r.completed_s is not None]
+
+    @property
+    def rejected(self) -> List[SessionRecord]:
+        return [r for r in self.records if r.rejected]
+
+    def latencies(self, link: Optional[str] = None) -> List[float]:
+        return [r.latency_s for r in self.completed
+                if link is None or r.link_name == link]
+
+    def service_times(self, cache_hit: Optional[bool] = None) -> List[float]:
+        return [r.service_s for r in self.completed
+                if cache_hit is None or r.cache_hit == cache_hit]
+
+    # ------------------------------------------------------------------
+    def summary(self, makespan_s: float, vm_seconds: float = 0.0,
+                cost_usd: float = 0.0) -> Dict:
+        """The fleet report as a plain JSON-able dict."""
+        offered = len(self.records)
+        done = self.completed
+        links = sorted({r.link_name for r in done})
+        hits = sum(1 for r in done if r.cache_hit)
+        summary = {
+            "sessions": {
+                "offered": offered,
+                "completed": len(done),
+                "rejected": len(self.rejected),
+                "rejection_rate": (len(self.rejected) / offered
+                                   if offered else 0.0),
+            },
+            "cache": {
+                "hits": hits,
+                "misses": len(done) - hits,
+                "hit_rate": hits / len(done) if done else 0.0,
+            },
+            "latency_s": {
+                "overall": _dist(self.latencies()),
+                "by_link": {link: _dist(self.latencies(link))
+                            for link in links},
+            },
+            "service_s": {
+                "cache_hit": _dist(self.service_times(cache_hit=True)),
+                "cache_miss": _dist(self.service_times(cache_hit=False)),
+            },
+            "queue_wait_s": _dist([r.wait_s for r in done]),
+            "throughput_sessions_per_s": (len(done) / makespan_s
+                                          if makespan_s > 0 else 0.0),
+            "makespan_s": makespan_s,
+            "vm": {"vm_seconds": vm_seconds, "cost_usd": cost_usd},
+        }
+        return _round_floats(summary)
+
+
+def _round_floats(doc, digits: int = 9):
+    """Round every float so the JSON rendering is stable and readable."""
+    if isinstance(doc, dict):
+        return {k: _round_floats(v, digits) for k, v in doc.items()}
+    if isinstance(doc, list):
+        return [_round_floats(v, digits) for v in doc]
+    if isinstance(doc, float):
+        return round(doc, digits)
+    return doc

@@ -1,0 +1,198 @@
+"""VM pool: capacity limits, warm boots, and admission control.
+
+§3.2 keeps the paper's trust rule — one VM per client session, never
+shared, destroyed afterwards — but a real multi-tenant service cannot
+pay :data:`~repro.cloud.vm.VM_BOOT_COST_S` on the critical path of every
+session *and* accept unbounded load.  The pool adds the two standard
+serving mechanisms on top of that rule:
+
+* **Warm boots.**  The pool pre-boots up to ``warm_target`` *fresh* VMs
+  in the background.  A session that lands on a warm VM pays only the
+  driver-bind cost; the kernel boot already happened off the critical
+  path.  Warm VMs are still single-use: each serves exactly one session
+  and is destroyed at release, so the §3.1/§7.1 no-reuse guarantee is
+  untouched — only the *timing* of the boot moves.
+
+* **Admission control.**  At most ``capacity`` VMs run sessions
+  concurrently.  Beyond that, up to ``queue_limit`` sessions wait in
+  FIFO order; further arrivals are rejected immediately with
+  :class:`PoolSaturated` (an explicit, accounted signal — not an
+  exception escaping the simulation).
+
+The pool also owns the cloud-side cost ledger: VM-seconds for every
+lease (boot through release) plus the background warm boots, priced via
+:class:`~repro.cloud.service.CostModel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.cloud.service import CostModel
+from repro.cloud.vm import DRIVER_BIND_COST_S, VM_BOOT_COST_S
+
+from repro.fleet.scheduler import Event, Scheduler, Timeout
+
+
+class PoolSaturated(RuntimeError):
+    """Admission control rejected the session: capacity and queue full."""
+
+
+@dataclass
+class VmLease:
+    """One granted, single-use VM slot.
+
+    ``boot_cost_s`` is what the *session* still has to pay after the
+    grant: bind-only for a warm VM, full boot + bind for a cold one.
+    """
+
+    vm_id: str
+    tenant_id: str
+    warm: bool
+    boot_cost_s: float
+    opened_at: float
+    closed_at: Optional[float] = None
+
+    @property
+    def vm_seconds(self) -> float:
+        if self.closed_at is None:
+            return 0.0
+        return self.closed_at - self.opened_at
+
+
+@dataclass
+class PoolStats:
+    """Counters the fleet report surfaces."""
+
+    warm_grants: int = 0
+    cold_grants: int = 0
+    queued_sessions: int = 0
+    rejections: int = 0
+    warm_boots: int = 0
+    lease_vm_seconds: float = 0.0
+    warm_boot_vm_seconds: float = 0.0
+    peak_busy: int = 0
+
+    @property
+    def grants(self) -> int:
+        return self.warm_grants + self.cold_grants
+
+    @property
+    def total_vm_seconds(self) -> float:
+        return self.lease_vm_seconds + self.warm_boot_vm_seconds
+
+
+class VmPool:
+    """Bounded pool of single-use VMs behind a FIFO admission queue."""
+
+    def __init__(self, scheduler: Scheduler, capacity: int = 16,
+                 warm_target: int = 8, queue_limit: int = 24,
+                 boot_cost_s: float = VM_BOOT_COST_S,
+                 bind_cost_s: float = DRIVER_BIND_COST_S,
+                 cost_model: Optional[CostModel] = None) -> None:
+        if capacity < 1:
+            raise ValueError("pool needs capacity >= 1")
+        self.scheduler = scheduler
+        self.capacity = capacity
+        self.warm_target = warm_target
+        self.queue_limit = queue_limit
+        self.boot_cost_s = boot_cost_s
+        self.bind_cost_s = bind_cost_s
+        self.cost_model = cost_model or CostModel()
+        self.stats = PoolStats()
+        # Warm VMs present at open: the service pre-boots the pool before
+        # taking traffic (their boot time is off every session's clock
+        # but still billed below as warm-boot VM-seconds).
+        self._warm = warm_target
+        self.stats.warm_boots = warm_target
+        self.stats.warm_boot_vm_seconds = warm_target * boot_cost_s
+        self._busy = 0
+        self._pending_refills = 0
+        self._next_vm = 0
+        self._queue: Deque[Tuple[Event, str]] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def warm_available(self) -> int:
+        return self._warm
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def total_cost_usd(self) -> float:
+        return self.cost_model.record_run_usd(self.stats.total_vm_seconds)
+
+    # ------------------------------------------------------------------
+    def acquire(self, tenant_id: str) -> Event:
+        """Request a VM; returns an :class:`Event` that fires with a
+        :class:`VmLease`.  Raises :class:`PoolSaturated` (and counts the
+        rejection) when both capacity and queue are exhausted."""
+        if self._busy < self.capacity:
+            self._busy += 1
+            self.stats.peak_busy = max(self.stats.peak_busy, self._busy)
+            return self._grant(tenant_id)
+        if len(self._queue) >= self.queue_limit:
+            self.stats.rejections += 1
+            raise PoolSaturated(
+                f"{self._busy}/{self.capacity} VMs busy and "
+                f"{len(self._queue)}/{self.queue_limit} sessions queued")
+        ev = self.scheduler.event()
+        self._queue.append((ev, tenant_id))
+        self.stats.queued_sessions += 1
+        return ev
+
+    def release(self, lease: VmLease) -> None:
+        """Destroy the session's VM (no reuse) and free its slot."""
+        if lease.closed_at is not None:
+            raise ValueError(f"lease {lease.vm_id} already released")
+        lease.closed_at = self.scheduler.clock.now
+        self.stats.lease_vm_seconds += lease.vm_seconds
+        self._busy -= 1
+        if self._queue:
+            ev, tenant_id = self._queue.popleft()
+            self._busy += 1
+            self.stats.peak_busy = max(self.stats.peak_busy, self._busy)
+            ev.succeed(self._make_lease(tenant_id))
+        self._maybe_refill()
+
+    # ------------------------------------------------------------------
+    def _grant(self, tenant_id: str) -> Event:
+        ev = self.scheduler.event()
+        ev.succeed(self._make_lease(tenant_id))
+        return ev
+
+    def _make_lease(self, tenant_id: str) -> VmLease:
+        warm = self._warm > 0
+        if warm:
+            self._warm -= 1
+            self.stats.warm_grants += 1
+            boot = self.bind_cost_s
+        else:
+            self.stats.cold_grants += 1
+            boot = self.boot_cost_s + self.bind_cost_s
+        self._next_vm += 1
+        self._maybe_refill()
+        return VmLease(vm_id=f"vm-{self._next_vm}", tenant_id=tenant_id,
+                       warm=warm, boot_cost_s=boot,
+                       opened_at=self.scheduler.clock.now)
+
+    def _maybe_refill(self) -> None:
+        while self._warm + self._pending_refills < self.warm_target:
+            self._pending_refills += 1
+            self.scheduler.spawn(self._refill(), name="warm-refill")
+
+    def _refill(self):
+        """Background process: boot one fresh VM into the warm pool."""
+        yield Timeout(self.boot_cost_s, label="warm-boot")
+        self._pending_refills -= 1
+        self._warm += 1
+        self.stats.warm_boots += 1
+        self.stats.warm_boot_vm_seconds += self.boot_cost_s

@@ -1,0 +1,134 @@
+"""Per-tenant recording registry (content-addressed cache).
+
+GPUReplay (arXiv:2105.05085) observes that a recording is input-
+independent: it depends only on what software dry-ran it and for which
+hardware.  So a *tenant's own* repeat request for the same
+(workload, GPU family, runtime flavor) can skip the dry run entirely and
+just re-download its recording — the dominant cost of a session
+disappears on a cache hit.
+
+The cache is **strictly per-tenant** (§7.1: "recordings are never cached
+across clients even for identical GPU SKUs").  The content address is
+scoped inside a tenant bucket, never global; a lookup only ever consults
+the calling tenant's bucket, and every returned entry is re-checked
+against the caller — a mismatch raises :class:`TenantIsolationError`
+rather than serving a foreign recording.  Two tenants with identical
+keys therefore each pay their own dry run, exactly the cost the paper's
+threat model demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+class TenantIsolationError(RuntimeError):
+    """A cache entry crossed a tenant boundary — never served, always raised."""
+
+
+@dataclass(frozen=True)
+class RecordingKey:
+    """The content address: everything replay compatibility depends on.
+
+    ``sku_compatible`` is the device-tree ``compatible`` string (driver
+    family), and the per-SKU fingerprint rides in ``sku_name`` — two SKUs
+    of one family still produce distinct, non-interchangeable recordings
+    (§2.4).
+    """
+
+    workload: str
+    sku_compatible: str
+    sku_name: str
+    flavor: str
+
+    def as_tuple(self) -> Tuple[str, str, str, str]:
+        return (self.workload, self.sku_compatible, self.sku_name,
+                self.flavor)
+
+
+@dataclass
+class CachedRecording:
+    """One tenant-owned recording plus the provenance the report needs."""
+
+    key: RecordingKey
+    tenant_id: str
+    recording_bytes: int
+    dry_run_s: float
+    signature: bytes
+    created_at: float
+    serves: int = 0
+
+
+@dataclass
+class RegistryStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class RecordingRegistry:
+    """Tenant-bucketed recording cache; buckets never cross-pollinate."""
+
+    def __init__(self) -> None:
+        self._by_tenant: Dict[str, Dict[RecordingKey, CachedRecording]] = {}
+        self.stats = RegistryStats()
+
+    # ------------------------------------------------------------------
+    def lookup(self, tenant_id: str,
+               key: RecordingKey) -> Optional[CachedRecording]:
+        """Return the tenant's cached recording for ``key``, or None.
+
+        Counts a hit/miss either way; a hit bumps the entry's ``serves``.
+        """
+        entry = self._by_tenant.get(tenant_id, {}).get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.tenant_id != tenant_id:
+            raise TenantIsolationError(
+                f"registry bucket for {tenant_id!r} holds a recording "
+                f"owned by {entry.tenant_id!r}")
+        self.stats.hits += 1
+        entry.serves += 1
+        return entry
+
+    def store(self, tenant_id: str, entry: CachedRecording) -> None:
+        if entry.tenant_id != tenant_id:
+            raise TenantIsolationError(
+                f"cannot file {entry.tenant_id!r}'s recording under "
+                f"{tenant_id!r}")
+        self._by_tenant.setdefault(tenant_id, {})[entry.key] = entry
+
+    # ------------------------------------------------------------------
+    def tenants(self) -> Tuple[str, ...]:
+        return tuple(self._by_tenant)
+
+    def entries_for(self, tenant_id: str) -> Tuple[CachedRecording, ...]:
+        return tuple(self._by_tenant.get(tenant_id, {}).values())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_tenant.values())
+
+    def audit_isolation(self) -> int:
+        """Sweep every bucket; raise if any entry is misfiled.
+
+        Returns the number of entries checked — benchmarks call this as
+        the §7.1 security assertion after a full fleet run.
+        """
+        checked = 0
+        for tenant_id, bucket in self._by_tenant.items():
+            for entry in bucket.values():
+                if entry.tenant_id != tenant_id:
+                    raise TenantIsolationError(
+                        f"{tenant_id!r} bucket holds "
+                        f"{entry.tenant_id!r}'s recording")
+                checked += 1
+        return checked

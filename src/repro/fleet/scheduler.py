@@ -1,0 +1,174 @@
+"""Discrete-event session scheduler over the virtual clock.
+
+The seed runs one client session at a time: everything advances a single
+:class:`~repro.sim.clock.VirtualClock` serially.  Serving "heavy traffic
+from millions of users" needs *interleaving*: while one session waits on
+a WAN round trip another can be dry-running, a third booting its VM.
+
+This module is a minimal process-based discrete-event kernel (in the
+simpy tradition, sized for this repo).  A *process* is a plain generator
+that yields:
+
+* :class:`Timeout` — resume after a fixed amount of virtual time;
+* :class:`Event`   — resume when someone calls :meth:`Event.succeed`,
+  receiving the value it was triggered with (``lease = yield ev``);
+* another :class:`Process` — resume when that process finishes,
+  receiving its return value.
+
+All pending resumptions live in one heap keyed ``(time, seq)``; ``seq``
+is a monotonic counter so same-instant events fire in schedule order and
+a given (workload, seed) always interleaves identically — determinism is
+what makes fleet metrics reproducible and diffable across PRs.
+
+The shared clock only ever advances *between* process steps (inside
+:meth:`Scheduler.run`).  Processes must never touch the clock directly:
+mid-step advances would reorder the heap under other sessions' feet.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.clock import VirtualClock
+
+
+class SchedulerError(RuntimeError):
+    """Misuse of the discrete-event kernel (not a modelled failure)."""
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` virtual seconds.
+
+    ``label`` names the activity for per-session accounting ("boot",
+    "network", "dry-run", ...); the scheduler itself files the global
+    timeline under a single label because interleaved sessions overlap.
+    """
+
+    __slots__ = ("delay", "label")
+
+    def __init__(self, delay: float, label: str = "fleet") -> None:
+        if delay < 0:
+            raise SchedulerError(f"cannot wait a negative time: {delay}")
+        self.delay = float(delay)
+        self.label = label
+
+
+class Event:
+    """A one-shot condition processes can wait on.
+
+    Created via :meth:`Scheduler.event`; triggered at most once with
+    :meth:`succeed`.  Waiters resume at the current virtual time with the
+    trigger value.
+    """
+
+    __slots__ = ("_scheduler", "triggered", "value", "_waiters")
+
+    def __init__(self, scheduler: "Scheduler") -> None:
+        self._scheduler = scheduler
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SchedulerError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for proc in self._waiters:
+            self._scheduler._schedule(proc, 0.0, value)
+        self._waiters.clear()
+        return self
+
+    def _wait(self, proc: "Process") -> None:
+        if self.triggered:
+            self._scheduler._schedule(proc, 0.0, self.value)
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """One running generator; ``done`` fires with its return value."""
+
+    def __init__(self, scheduler: "Scheduler",
+                 gen: Generator[Any, Any, Any], name: str) -> None:
+        self._scheduler = scheduler
+        self._gen = gen
+        self.name = name
+        self.done = Event(scheduler)
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def _step(self, value: Any) -> None:
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.succeed(getattr(stop, "value", None))
+            return
+        if isinstance(yielded, Timeout):
+            self._scheduler._schedule(self, yielded.delay, None)
+        elif isinstance(yielded, Event):
+            yielded._wait(self)
+        elif isinstance(yielded, Process):
+            yielded.done._wait(self)
+        else:
+            raise SchedulerError(
+                f"process {self.name!r} yielded {yielded!r}; expected "
+                "Timeout, Event, or Process")
+
+
+class Scheduler:
+    """The event loop: a heap of pending process resumptions.
+
+    ``run`` pops resumptions in ``(time, seq)`` order, advances the
+    shared :class:`VirtualClock` to each one's due time, and steps the
+    process.  Exceptions escaping a process abort the whole run — fleet
+    failures are modelled as values (e.g. a rejection), never as stray
+    exceptions.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock or VirtualClock()
+        self._heap: List[Tuple[float, int, Process, Any]] = []
+        self._seq = 0
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def spawn(self, gen: Generator[Any, Any, Any],
+              at: Optional[float] = None, name: str = "") -> Process:
+        """Register a process; its first step runs at time ``at`` (or
+        immediately, in virtual terms, if omitted/past)."""
+        proc = Process(self, gen, name or f"proc-{self._seq}")
+        start = self.clock.now if at is None else max(at, self.clock.now)
+        self._push(start, proc, None)
+        return proc
+
+    def _schedule(self, proc: Process, delay: float, value: Any) -> None:
+        self._push(self.clock.now + delay, proc, value)
+
+    def _push(self, when: float, proc: Process, value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, proc, value))
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the heap (or stop at absolute time ``until``).
+
+        Returns the final virtual time.
+        """
+        while self._heap:
+            when, _, proc, value = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(when, label="fleet")
+            self.steps += 1
+            proc._step(value)
+        if until is not None:
+            self.clock.advance_to(until, label="fleet")
+        return self.clock.now

@@ -1,0 +1,252 @@
+"""The fleet session: one client's journey through the serving layer.
+
+A session is a :mod:`repro.fleet.scheduler` process:
+
+    arrive -> admission (VM pool) -> boot -> attest + secure channel
+           -> registry lookup -> [dry run on miss] -> sign + download
+           -> close (VM destroyed)
+
+Timing comes from :class:`SessionCostModel`, a first-order analytic model
+of a GR-T record run calibrated against the shapes in §7: a dry run costs
+driver bring-up round trips, per-job blocking round trips, metastate
+transfer (§5's meta-only sync), JIT compilation, and GPU execution time
+derived from the workload's FLOPs and the SKU's peak throughput.  Running
+the real :class:`~repro.core.recorder.RecordSession` per fleet session
+would be exact but is far too slow to interleave hundreds of sessions;
+the analytic model keeps every per-session cost a pure deterministic
+function of (workload, SKU, link, flavor) so fleet runs are reproducible
+and fast, while the single-session path remains the ground truth.
+
+The control plane is real, not modelled: every session opens and closes
+an attested :class:`~repro.cloud.service.CloudService` session against
+the shared virtual clock (exercising the per-session VM accounting), and
+recordings are actually signed with the service's key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.service import CloudService
+from repro.fleet.metrics import FleetMetrics, SessionRecord
+from repro.fleet.pool import PoolSaturated, VmPool
+from repro.fleet.registry import (
+    CachedRecording,
+    RecordingKey,
+    RecordingRegistry,
+)
+from repro.fleet.scheduler import Scheduler, Timeout
+from repro.fleet.workload import SessionRequest
+from repro.hw.sku import GpuSku, find_sku
+from repro.kernel.devicetree import FAMILY_COMPATIBLE, board_device_tree
+from repro.ml.models import build_model
+from repro.runtime.flavors import flavor_for_image
+from repro.sim.network import CELLULAR, LOOPBACK, WIFI, LinkProfile
+from repro.tee.attestation import AttestationVerifier
+
+LINK_PROFILES: Dict[str, LinkProfile] = {
+    p.name: p for p in (WIFI, CELLULAR, LOOPBACK)
+}
+
+# --- analytic record-run cost model (first order, deterministic) -------
+# Driver bring-up (probe, power, MMU init) before the first job: blocking
+# round trips that deferral cannot hide (Figure 8's init segment).
+DRY_RUN_SETUP_RTTS = 40
+# Residual blocking round trips per GPU job under an OursMDS-style
+# recorder (job door-bell, IRQ, validation stalls).
+RTTS_PER_JOB = 3.0
+# Metastate synced per job under meta-only sync (§5): shaders, commands,
+# page tables — program data never moves.
+METASTATE_BYTES_PER_JOB = 24 << 10
+# Recording entries serialized per job (register log + manifest share).
+RECORDING_BYTES_PER_JOB = 2 << 10
+# Fraction of a mobile GPU's peak FLOPs a dry run's kernels sustain.
+GPU_EFFICIENCY = 0.45
+# Cloud-side JIT compilation per job, scaled by the stack flavor.
+JIT_S_PER_JOB = 0.02
+# Secure-channel establishment: 2 TLS round trips + 1 open/attest trip.
+HANDSHAKE_RTTS = 3
+HANDSHAKE_BYTES = 6 * 512
+
+
+@dataclass(frozen=True)
+class SessionCosts:
+    """Virtual-time costs of one session's stages (boot excluded: the
+    pool owns boot timing because it depends on warm availability)."""
+
+    handshake_s: float
+    dry_run_s: float
+    download_s: float
+    recording_bytes: int
+
+    @property
+    def cold_total_s(self) -> float:
+        return self.handshake_s + self.dry_run_s + self.download_s
+
+    @property
+    def cached_total_s(self) -> float:
+        return self.handshake_s + self.download_s
+
+
+class SessionCostModel:
+    """Pure function (workload, SKU, link, flavor) -> SessionCosts."""
+
+    def __init__(self) -> None:
+        self._graphs: Dict[str, object] = {}
+
+    def _graph(self, workload: str):
+        if workload not in self._graphs:
+            self._graphs[workload] = build_model(workload)
+        return self._graphs[workload]
+
+    def costs(self, workload: str, sku: GpuSku, link: LinkProfile,
+              jit_cost_scale: float = 1.0) -> SessionCosts:
+        graph = self._graph(workload)
+        jobs = max(1, len(graph.nodes))
+        gpu_s = graph.total_flops() / (sku.gflops * 1e9 * GPU_EFFICIENCY)
+        jit_s = jobs * JIT_S_PER_JOB * jit_cost_scale
+        net_s = ((DRY_RUN_SETUP_RTTS + jobs * RTTS_PER_JOB) * link.rtt_s
+                 + link.serialize_s(jobs * METASTATE_BYTES_PER_JOB))
+        recording_bytes = jobs * RECORDING_BYTES_PER_JOB
+        download_s = link.one_way_s + link.serialize_s(recording_bytes)
+        handshake_s = (HANDSHAKE_RTTS * link.rtt_s
+                       + link.serialize_s(HANDSHAKE_BYTES))
+        return SessionCosts(handshake_s=handshake_s,
+                            dry_run_s=gpu_s + jit_s + net_s,
+                            download_s=download_s,
+                            recording_bytes=recording_bytes)
+
+
+class FleetSimulation:
+    """Interleave many client sessions over one virtual clock.
+
+    Owns the scheduler, VM pool, per-tenant registry, the (real)
+    CloudService control plane, and the metrics sink.  ``run`` drives
+    every request to completion or rejection and returns the metrics.
+    """
+
+    def __init__(self, requests: List[SessionRequest],
+                 capacity: int = 16, warm_target: int = 8,
+                 queue_limit: int = 24,
+                 service: Optional[CloudService] = None,
+                 cost_model: Optional[SessionCostModel] = None) -> None:
+        self.requests = list(requests)
+        self.scheduler = Scheduler()
+        self.clock = self.scheduler.clock
+        self.service = service or CloudService()
+        self.pool = VmPool(self.scheduler, capacity=capacity,
+                           warm_target=warm_target, queue_limit=queue_limit,
+                           cost_model=self.service.cost_model)
+        self.registry = RecordingRegistry()
+        self.metrics = FleetMetrics()
+        self.costs = cost_model or SessionCostModel()
+        self.verifier = AttestationVerifier(self.service.root.key)
+        for image in self.service.images.values():
+            self.verifier.allow_image(image.measurement_blob())
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetMetrics:
+        if self._ran:
+            raise RuntimeError("a FleetSimulation runs once")
+        self._ran = True
+        for request in self.requests:
+            self.scheduler.spawn(self._session(request),
+                                 at=request.arrival_s,
+                                 name=request.request_id)
+        self.scheduler.run()
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    def _session(self, request: SessionRequest):
+        record = SessionRecord(
+            request_id=request.request_id, tenant_id=request.tenant_id,
+            workload=request.workload, sku_name=request.sku_name,
+            link_name=request.link_name, arrival_s=request.arrival_s)
+        self.metrics.add(record)
+        try:
+            grant = self.pool.acquire(request.tenant_id)
+        except PoolSaturated:
+            record.rejected = True
+            return
+        lease = yield grant
+        record.admitted_s = self.clock.now
+        record.warm_vm = lease.warm
+
+        sku = find_sku(request.sku_name)
+        link = LINK_PROFILES[request.link_name]
+        tree = board_device_tree(sku)
+        compatible = FAMILY_COMPATIBLE[sku.family]
+        image_name = self.service.image_for_family(compatible)
+        nonce = hashlib.sha256(
+            f"{request.request_id}:{request.tenant_id}".encode()).digest()
+        ticket = self.service.open_session(
+            request.tenant_id, image_name, tree, nonce, clock=self.clock)
+        self.verifier.verify(ticket.attestation, nonce)
+
+        yield Timeout(lease.boot_cost_s, label="boot")
+        flavor = flavor_for_image(image_name)
+        costs = self.costs.costs(request.workload, sku, link,
+                                 jit_cost_scale=flavor.jit_cost_scale)
+        yield Timeout(costs.handshake_s, label="network")
+
+        key = RecordingKey(workload=request.workload,
+                           sku_compatible=compatible,
+                           sku_name=request.sku_name, flavor=flavor.name)
+        cached = self.registry.lookup(request.tenant_id, key)
+        if cached is None:
+            yield Timeout(costs.dry_run_s, label="dry-run")
+            body = "|".join((request.tenant_id, *key.as_tuple())).encode()
+            self.registry.store(request.tenant_id, CachedRecording(
+                key=key, tenant_id=request.tenant_id,
+                recording_bytes=costs.recording_bytes,
+                dry_run_s=costs.dry_run_s,
+                signature=self.service.sign_recording(body),
+                created_at=self.clock.now))
+        else:
+            record.cache_hit = True
+        yield Timeout(costs.download_s, label="network")
+
+        self.service.close_session(ticket.session_id, clock=self.clock)
+        self.pool.release(lease)
+        record.completed_s = self.clock.now
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict:
+        """The full fleet report (metrics + pool + registry + service)."""
+        doc = self.metrics.summary(
+            makespan_s=self.clock.now,
+            vm_seconds=self.pool.stats.total_vm_seconds,
+            cost_usd=self.pool.total_cost_usd)
+        doc["pool"] = {
+            "capacity": self.pool.capacity,
+            "warm_target": self.pool.warm_target,
+            "queue_limit": self.pool.queue_limit,
+            "warm_grants": self.pool.stats.warm_grants,
+            "cold_grants": self.pool.stats.cold_grants,
+            "queued_sessions": self.pool.stats.queued_sessions,
+            "rejections": self.pool.stats.rejections,
+            "warm_boots": self.pool.stats.warm_boots,
+            "peak_busy": self.pool.stats.peak_busy,
+        }
+        doc["registry"] = {
+            "tenants": len(self.registry.tenants()),
+            "recordings": len(self.registry),
+            "lookups": self.registry.stats.lookups,
+        }
+        doc["service"] = {
+            "sessions_opened": self.service.sessions_opened,
+            "recordings_signed": self.service.recordings_served,
+            "vm_seconds": round(self.service.total_vm_seconds, 9),
+            "cost_usd": round(self.service.total_cost_usd, 9),
+        }
+        return doc
+
+
+def run_fleet(requests: List[SessionRequest], **kwargs) -> Dict:
+    """Convenience: simulate ``requests`` and return the summary dict."""
+    sim = FleetSimulation(requests, **kwargs)
+    sim.run()
+    return sim.summary()

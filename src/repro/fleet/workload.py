@@ -1,0 +1,121 @@
+"""Seeded fleet workload generator: tenants, devices, Poisson arrivals.
+
+Produces the open-loop arrival process the serving layer is evaluated
+under.  Everything is derived from one ``random.Random(seed)`` so a
+(seed, clients) pair always yields byte-identical request lists —
+the fleet's determinism starts here.
+
+Model:
+
+* A fixed population of **tenants**.  Each tenant is one device owner,
+  so its GPU SKU and access link are fixed at profile-creation time
+  (a phone does not change its GPU between requests); only the workload
+  varies per request.  Repeat (tenant, workload) pairs are what the
+  per-tenant recording cache converts into hits.
+* **Poisson arrivals** at ``arrival_rate_hz``: exponential inter-arrival
+  gaps, the standard open-loop load model.
+* The **workload mix** weights the six paper NNs; small interactive
+  models dominate by default, with occasional heavy VGG16 sessions that
+  stress capacity.
+
+SKU defaults span Bifrost and Midgard — the two families the default VM
+images carry drivers for (§6's "one image, many SKUs").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+DEFAULT_SKUS: Tuple[str, ...] = (
+    "Mali-G71 MP8",
+    "Mali-G72 MP12",
+    "Mali-G76 MP10",
+    "Mali-G52 MP2",
+    "Mali-T880 MP4",
+    "Mali-T760 MP8",
+)
+
+DEFAULT_LINKS: Tuple[str, ...] = ("wifi", "cellular")
+
+# Interactive-heavy mix: mostly small models, a tail of heavy ones.
+DEFAULT_MIX: Dict[str, float] = {
+    "mnist": 0.28,
+    "mobilenet": 0.22,
+    "squeezenet": 0.16,
+    "alexnet": 0.14,
+    "resnet12": 0.12,
+    "vgg16": 0.08,
+}
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One device owner: identity plus its fixed hardware and link."""
+
+    tenant_id: str
+    sku_name: str
+    link_name: str
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One client session the fleet must serve."""
+
+    request_id: str
+    tenant_id: str
+    workload: str
+    sku_name: str
+    link_name: str
+    arrival_s: float
+
+
+class WorkloadGenerator:
+    """Deterministic (seeded) generator of fleet session requests."""
+
+    def __init__(self, seed: int = 0, arrival_rate_hz: float = 2.0,
+                 tenants: int = 16,
+                 skus: Sequence[str] = DEFAULT_SKUS,
+                 links: Sequence[str] = DEFAULT_LINKS,
+                 mix: Optional[Dict[str, float]] = None) -> None:
+        if arrival_rate_hz <= 0:
+            raise ValueError("arrival rate must be positive")
+        if tenants < 1:
+            raise ValueError("need at least one tenant")
+        self.seed = seed
+        self.arrival_rate_hz = arrival_rate_hz
+        self.rng = random.Random(seed)
+        self.mix = dict(mix or DEFAULT_MIX)
+        self._workloads = list(self.mix)
+        self._weights = [self.mix[w] for w in self._workloads]
+        # SKUs draw randomly; links cycle so every link type is always
+        # represented (per-link latency tails are a headline metric).
+        self.profiles: List[TenantProfile] = [
+            TenantProfile(
+                tenant_id=f"tenant-{i:03d}",
+                sku_name=self.rng.choice(list(skus)),
+                link_name=list(links)[i % len(links)],
+            )
+            for i in range(tenants)
+        ]
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int) -> List[SessionRequest]:
+        """``n`` requests with Poisson arrivals, in arrival order."""
+        requests: List[SessionRequest] = []
+        now = 0.0
+        for i in range(n):
+            now += self.rng.expovariate(self.arrival_rate_hz)
+            profile = self.rng.choice(self.profiles)
+            workload = self.rng.choices(self._workloads,
+                                        weights=self._weights)[0]
+            requests.append(SessionRequest(
+                request_id=f"req-{i:05d}",
+                tenant_id=profile.tenant_id,
+                workload=workload,
+                sku_name=profile.sku_name,
+                link_name=profile.link_name,
+                arrival_s=now,
+            ))
+        return requests

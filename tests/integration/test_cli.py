@@ -75,3 +75,41 @@ class TestCli:
     def test_bad_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["record", "--workload", "gpt", "--out", "/tmp/x.grt"])
+
+
+class TestFleetCli:
+    def test_fleet_runs_and_reports(self, capsys):
+        rc = main(["fleet", "--clients", "60", "--seed", "7",
+                   "--arrival-rate", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fleet overview" in out
+        assert "cache hit rate" in out
+        # p50/p95/p99 per link type.
+        assert "p50" in out and "p99" in out
+        assert "wifi" in out and "cellular" in out
+
+    def test_fleet_json_is_deterministic(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["fleet", "--clients", "80", "--seed", "7",
+                     "--json", str(a)]) == 0
+        assert main(["fleet", "--clients", "80", "--seed", "7",
+                     "--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_text() == b.read_text()
+        doc = json.loads(a.read_text())
+        assert doc["sessions"]["offered"] == 80
+        assert doc["cache"]["hit_rate"] > 0
+        for link in doc["latency_s"]["by_link"].values():
+            assert {"p50", "p95", "p99"} <= set(link)
+
+    def test_fleet_different_seed_differs(self, tmp_path, capsys):
+        a = tmp_path / "s1.json"
+        b = tmp_path / "s2.json"
+        assert main(["fleet", "--clients", "60", "--seed", "1",
+                     "--json", str(a)]) == 0
+        assert main(["fleet", "--clients", "60", "--seed", "2",
+                     "--json", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_text() != b.read_text()

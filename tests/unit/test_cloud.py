@@ -2,11 +2,28 @@
 
 import pytest
 
-from repro.cloud.service import CloudService, ServiceError
+from repro.cloud.service import CloudService, CostModel, ServiceError
 from repro.cloud.vm import DEFAULT_IMAGES, VmError, VmInstance
 from repro.hw.sku import HIKEY960_G71, find_sku
-from repro.kernel.devicetree import board_device_tree
+from repro.kernel.devicetree import (
+    DeviceTreeNode,
+    board_device_tree,
+    gpu_device_node,
+)
 from repro.sim.clock import VirtualClock
+
+
+def nested_device_tree(sku=HIKEY960_G71) -> DeviceTreeNode:
+    """A realistic tree with the GPU nested under a soc bus node."""
+    return DeviceTreeNode(
+        name="/",
+        properties={"model": "nested-board"},
+        children=[
+            DeviceTreeNode("cpus", {"cpu-count": 8}),
+            DeviceTreeNode("soc", {"compatible": "simple-bus"},
+                           children=[gpu_device_node(sku)]),
+        ],
+    )
 
 
 class TestVmImages:
@@ -60,6 +77,25 @@ class TestVmBoot:
         with pytest.raises(VmError):
             vm.boot(clock)
 
+    def test_gpu_node_found_under_bus_node(self):
+        """Regression: traversal must recurse past bus nodes (soc/gpu@...),
+        not just scan the root's direct children."""
+        clock = VirtualClock()
+        vm = VmInstance(image=DEFAULT_IMAGES["acl-opencl"],
+                        device_tree=nested_device_tree(),
+                        client_id="c")
+        vm.boot(clock)
+        assert vm.bound_driver == "arm,mali-bifrost"
+        assert vm.gpu_model == "Mali-G71 MP8"
+
+    def test_tree_without_gpu_rejected(self):
+        vm = VmInstance(image=DEFAULT_IMAGES["acl-opencl"],
+                        device_tree=DeviceTreeNode(
+                            "/", children=[DeviceTreeNode("cpus")]),
+                        client_id="c")
+        with pytest.raises(VmError, match="no GPU node"):
+            vm.boot(VirtualClock())
+
 
 class TestCloudService:
     def test_session_lifecycle(self):
@@ -103,3 +139,85 @@ class TestCloudService:
         sig = service.sign_recording(b"body")
         service.recording_key.verify(b"body", sig)
         assert service.recordings_served == 1
+
+
+class TestSessionLifecycle:
+    """The full open -> boot -> sign -> close path, with VM accounting."""
+
+    def test_full_lifecycle_with_accounting(self):
+        clock = VirtualClock()
+        service = CloudService()
+        tree = board_device_tree(HIKEY960_G71)
+        ticket = service.open_session("client-1", "acl-opencl", tree,
+                                      nonce=b"n1", clock=clock)
+        assert ticket.opened_at == 0.0
+        assert service.sessions_opened == 1
+
+        ticket.vm.boot(clock)  # advances the clock: boot is billed
+        sig = service.sign_recording(b"recording-body")
+        service.recording_key.verify(b"recording-body", sig)
+
+        clock.advance(10.0, label="gpu")  # the dry run
+        service.close_session(ticket.session_id, clock=clock)
+        assert ticket.session_id not in service.active_sessions
+        assert ticket.closed_at == pytest.approx(clock.now)
+        assert service.total_vm_seconds == pytest.approx(clock.now)
+        expected = CostModel().record_run_usd(clock.now)
+        assert service.total_cost_usd == pytest.approx(expected)
+
+    def test_vm_seconds_accumulate_across_sessions(self):
+        clock = VirtualClock()
+        service = CloudService()
+        tree = board_device_tree(HIKEY960_G71)
+        for i in range(3):
+            ticket = service.open_session(f"c{i}", "acl-opencl", tree,
+                                          nonce=b"n", clock=clock)
+            clock.advance(2.0, label="cpu")
+            service.close_session(ticket.session_id, clock=clock)
+        assert service.total_vm_seconds == pytest.approx(6.0)
+
+    def test_legacy_callers_without_clock_still_work(self):
+        service = CloudService()
+        tree = board_device_tree(HIKEY960_G71)
+        ticket = service.open_session("c", "acl-opencl", tree, nonce=b"n")
+        service.close_session(ticket.session_id)
+        assert service.total_vm_seconds == 0.0
+
+    def test_close_unknown_session_is_a_noop(self):
+        service = CloudService()
+        service.close_session("grt-999-deadbeef", clock=VirtualClock())
+        assert service.total_vm_seconds == 0.0
+
+    def test_open_unknown_image_raises(self):
+        service = CloudService()
+        with pytest.raises(ServiceError, match="no VM image"):
+            service.open_session("c", "cuda-stack",
+                                 board_device_tree(HIKEY960_G71), b"n",
+                                 clock=VirtualClock())
+
+    def test_image_for_family_miss_raises(self):
+        with pytest.raises(ServiceError, match="no image supports"):
+            CloudService().image_for_family("img,powervr")
+
+    def test_boot_failure_still_allows_clean_close(self):
+        """An image/device-tree mismatch surfaces at boot; the session can
+        still be closed and billed for its (short) lifetime."""
+        clock = VirtualClock()
+        service = CloudService()
+        tree = board_device_tree(find_sku("Adreno 630"))
+        ticket = service.open_session("c", "tflite-gles", tree, b"n",
+                                      clock=clock)
+        with pytest.raises(VmError):
+            ticket.vm.boot(clock)
+        service.close_session(ticket.session_id, clock=clock)
+        assert ticket.session_id not in service.active_sessions
+
+    def test_double_boot_via_service_ticket(self):
+        clock = VirtualClock()
+        service = CloudService()
+        ticket = service.open_session(
+            "c", "acl-opencl", board_device_tree(HIKEY960_G71), b"n",
+            clock=clock)
+        ticket.vm.boot(clock)
+        with pytest.raises(VmError, match="already booted"):
+            ticket.vm.boot(clock)

@@ -1,0 +1,406 @@
+"""Unit tests for the multi-tenant serving layer (repro.fleet)."""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    CachedRecording,
+    FleetSimulation,
+    PoolSaturated,
+    RecordingKey,
+    RecordingRegistry,
+    Scheduler,
+    SessionCostModel,
+    TenantIsolationError,
+    Timeout,
+    VmPool,
+    WorkloadGenerator,
+    percentile,
+    run_fleet,
+)
+from repro.fleet.metrics import FleetMetrics, SessionRecord
+from repro.fleet.scheduler import SchedulerError
+from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.sim.network import CELLULAR, WIFI
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event scheduler
+# ---------------------------------------------------------------------------
+class TestScheduler:
+    def test_timeouts_interleave_on_virtual_time(self):
+        sched = Scheduler()
+        trace = []
+
+        def proc(name, delays):
+            for d in delays:
+                yield Timeout(d)
+                trace.append((name, sched.clock.now))
+
+        sched.spawn(proc("a", [1.0, 1.0]))   # fires at 1, 2
+        sched.spawn(proc("b", [0.5, 1.0]))   # fires at 0.5, 1.5
+        sched.run()
+        assert trace == [("b", 0.5), ("a", 1.0), ("b", 1.5), ("a", 2.0)]
+
+    def test_same_instant_events_fire_in_spawn_order(self):
+        sched = Scheduler()
+        trace = []
+
+        def proc(name):
+            yield Timeout(1.0)
+            trace.append(name)
+
+        for name in ("x", "y", "z"):
+            sched.spawn(proc(name))
+        sched.run()
+        assert trace == ["x", "y", "z"]
+
+    def test_event_wait_and_value_delivery(self):
+        sched = Scheduler()
+        ev = sched.event()
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((value, sched.clock.now))
+
+        def trigger():
+            yield Timeout(3.0)
+            ev.succeed("lease")
+
+        sched.spawn(waiter())
+        sched.spawn(trigger())
+        sched.run()
+        assert got == [("lease", 3.0)]
+
+    def test_wait_on_already_triggered_event(self):
+        sched = Scheduler()
+        ev = sched.event()
+        ev.succeed(42)
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        sched.spawn(waiter())
+        sched.run()
+        assert got == [42]
+
+    def test_process_join_returns_value(self):
+        sched = Scheduler()
+
+        def child():
+            yield Timeout(2.0)
+            return "done"
+
+        results = []
+
+        def parent():
+            proc = sched.spawn(child())
+            results.append((yield proc))
+
+        sched.spawn(parent())
+        sched.run()
+        assert results == ["done"]
+
+    def test_spawn_at_absolute_time(self):
+        sched = Scheduler()
+        seen = []
+
+        def proc():
+            seen.append(sched.clock.now)
+            yield Timeout(0.0)
+
+        sched.spawn(proc(), at=5.0)
+        sched.run()
+        assert seen == [5.0]
+
+    def test_double_trigger_rejected(self):
+        sched = Scheduler()
+        ev = sched.event()
+        ev.succeed()
+        with pytest.raises(SchedulerError):
+            ev.succeed()
+
+    def test_bad_yield_rejected(self):
+        sched = Scheduler()
+
+        def proc():
+            yield "not-an-event"
+
+        sched.spawn(proc())
+        with pytest.raises(SchedulerError):
+            sched.run()
+
+
+# ---------------------------------------------------------------------------
+# VM pool
+# ---------------------------------------------------------------------------
+def _drain(sched):
+    sched.run()
+
+
+class TestVmPool:
+    def test_warm_grant_is_cheaper_than_cold(self):
+        sched = Scheduler()
+        pool = VmPool(sched, capacity=4, warm_target=1, queue_limit=4)
+        warm = pool.acquire("t1").value
+        cold = pool.acquire("t2").value
+        assert warm.warm and not cold.warm
+        assert warm.boot_cost_s < cold.boot_cost_s
+
+    def test_queueing_grants_fifo_on_release(self):
+        sched = Scheduler()
+        pool = VmPool(sched, capacity=1, warm_target=0, queue_limit=4)
+        order = []
+
+        def session(name, hold):
+            lease = yield pool.acquire(name)
+            order.append((name, sched.clock.now))
+            yield Timeout(hold)
+            pool.release(lease)
+
+        sched.spawn(session("first", 2.0))
+        sched.spawn(session("second", 1.0))
+        sched.spawn(session("third", 1.0))
+        sched.run()
+        assert [name for name, _ in order] == ["first", "second", "third"]
+        assert order[1][1] == 2.0 and order[2][1] == 3.0
+
+    def test_rejection_when_capacity_and_queue_full(self):
+        sched = Scheduler()
+        pool = VmPool(sched, capacity=1, warm_target=0, queue_limit=1)
+        pool.acquire("a")
+        pool.acquire("b")  # queued
+        with pytest.raises(PoolSaturated):
+            pool.acquire("c")
+        assert pool.stats.rejections == 1
+
+    def test_vm_seconds_accounting(self):
+        sched = Scheduler()
+        pool = VmPool(sched, capacity=2, warm_target=0, queue_limit=2)
+
+        def session():
+            lease = yield pool.acquire("t")
+            yield Timeout(4.0)
+            pool.release(lease)
+
+        sched.spawn(session())
+        sched.run()
+        assert pool.stats.lease_vm_seconds == pytest.approx(4.0)
+        assert pool.total_cost_usd > 0
+
+    def test_double_release_rejected(self):
+        sched = Scheduler()
+        pool = VmPool(sched, capacity=1, warm_target=0, queue_limit=1)
+        lease = pool.acquire("t").value
+        pool.release(lease)
+        with pytest.raises(ValueError):
+            pool.release(lease)
+
+    def test_warm_pool_refills_in_background(self):
+        sched = Scheduler()
+        pool = VmPool(sched, capacity=4, warm_target=2, queue_limit=4)
+        pool.acquire("a")
+        pool.acquire("b")
+        assert pool.warm_available == 0
+        sched.run()  # refill processes boot fresh VMs
+        assert pool.warm_available == 2
+        assert pool.stats.warm_boots == 4  # 2 initial + 2 refills
+
+
+# ---------------------------------------------------------------------------
+# Per-tenant recording registry
+# ---------------------------------------------------------------------------
+def _key(workload="mnist"):
+    return RecordingKey(workload=workload, sku_compatible="arm,mali-bifrost",
+                        sku_name="Mali-G71 MP8", flavor="acl-opencl")
+
+
+def _entry(tenant, key=None):
+    return CachedRecording(key=key or _key(), tenant_id=tenant,
+                           recording_bytes=1024, dry_run_s=3.0,
+                           signature=b"sig", created_at=0.0)
+
+
+class TestRecordingRegistry:
+    def test_store_then_hit(self):
+        reg = RecordingRegistry()
+        reg.store("t1", _entry("t1"))
+        hit = reg.lookup("t1", _key())
+        assert hit is not None and hit.serves == 1
+        assert reg.stats.hits == 1
+
+    def test_cache_is_strictly_per_tenant(self):
+        """§7.1: identical key, different tenant -> miss, never a share."""
+        reg = RecordingRegistry()
+        reg.store("t1", _entry("t1"))
+        assert reg.lookup("t2", _key()) is None
+        assert reg.stats.misses == 1
+
+    def test_misfiled_entry_raises_not_serves(self):
+        reg = RecordingRegistry()
+        reg.store("t1", _entry("t1"))
+        # Corrupt the bucket directly (simulates a registry bug).
+        reg._by_tenant["t2"] = reg._by_tenant["t1"]
+        with pytest.raises(TenantIsolationError):
+            reg.lookup("t2", _key())
+        with pytest.raises(TenantIsolationError):
+            reg.audit_isolation()
+
+    def test_store_rejects_cross_tenant_filing(self):
+        reg = RecordingRegistry()
+        with pytest.raises(TenantIsolationError):
+            reg.store("t2", _entry("t1"))
+
+    def test_distinct_keys_are_distinct_entries(self):
+        reg = RecordingRegistry()
+        reg.store("t1", _entry("t1", _key("mnist")))
+        reg.store("t1", _entry("t1", _key("vgg16")))
+        assert len(reg) == 2
+        assert reg.audit_isolation() == 2
+
+
+# ---------------------------------------------------------------------------
+# Workload generator
+# ---------------------------------------------------------------------------
+class TestWorkloadGenerator:
+    def test_same_seed_same_requests(self):
+        a = WorkloadGenerator(seed=11, tenants=8).generate(50)
+        b = WorkloadGenerator(seed=11, tenants=8).generate(50)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = WorkloadGenerator(seed=1, tenants=8).generate(50)
+        b = WorkloadGenerator(seed=2, tenants=8).generate(50)
+        assert a != b
+
+    def test_arrivals_are_monotone(self):
+        reqs = WorkloadGenerator(seed=3, arrival_rate_hz=5.0).generate(100)
+        times = [r.arrival_s for r in reqs]
+        assert times == sorted(times) and times[0] > 0
+
+    def test_tenant_device_is_fixed(self):
+        reqs = WorkloadGenerator(seed=4, tenants=4).generate(200)
+        by_tenant = {}
+        for r in reqs:
+            device = (r.sku_name, r.link_name)
+            assert by_tenant.setdefault(r.tenant_id, device) == device
+
+    def test_mix_respected(self):
+        reqs = WorkloadGenerator(seed=5, tenants=4,
+                                 mix={"mnist": 1.0}).generate(30)
+        assert {r.workload for r in reqs} == {"mnist"}
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 50) == 5.0
+        assert percentile(values, 95) == 10.0
+        assert percentile(values, 99) == 10.0
+        assert percentile([], 50) == 0.0
+
+    def test_summary_counts(self):
+        m = FleetMetrics()
+        m.add(SessionRecord("r0", "t", "mnist", "s", "wifi", arrival_s=0.0,
+                            admitted_s=0.0, completed_s=2.0,
+                            cache_hit=False))
+        m.add(SessionRecord("r1", "t", "mnist", "s", "wifi", arrival_s=1.0,
+                            admitted_s=1.5, completed_s=2.0, cache_hit=True))
+        m.add(SessionRecord("r2", "t", "mnist", "s", "cellular",
+                            arrival_s=2.0, rejected=True))
+        doc = m.summary(makespan_s=2.0)
+        assert doc["sessions"] == {"offered": 3, "completed": 2,
+                                   "rejected": 1,
+                                   "rejection_rate": pytest.approx(1 / 3)}
+        assert doc["cache"]["hit_rate"] == 0.5
+        assert doc["latency_s"]["by_link"]["wifi"]["count"] == 2
+        assert doc["throughput_sessions_per_s"] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Session cost model + end-to-end simulation
+# ---------------------------------------------------------------------------
+class TestSessionCostModel:
+    def test_bigger_nn_costs_more(self):
+        model = SessionCostModel()
+        small = model.costs("mnist", HIKEY960_G71, WIFI)
+        big = model.costs("vgg16", HIKEY960_G71, WIFI)
+        assert big.dry_run_s > small.dry_run_s
+        assert big.recording_bytes > small.recording_bytes
+
+    def test_worse_link_costs_more(self):
+        model = SessionCostModel()
+        wifi = model.costs("mobilenet", HIKEY960_G71, WIFI)
+        cell = model.costs("mobilenet", HIKEY960_G71, CELLULAR)
+        assert cell.dry_run_s > wifi.dry_run_s
+        assert cell.handshake_s > wifi.handshake_s
+
+    def test_faster_sku_cuts_gpu_time(self):
+        model = SessionCostModel()
+        slow = model.costs("vgg16", find_sku("Mali-T760 MP8"), WIFI)
+        fast = model.costs("vgg16", find_sku("Mali-G76 MP10"), WIFI)
+        assert fast.dry_run_s < slow.dry_run_s
+
+    def test_cached_path_skips_the_dry_run(self):
+        costs = SessionCostModel().costs("alexnet", HIKEY960_G71, WIFI)
+        assert costs.cold_total_s - costs.cached_total_s \
+            == pytest.approx(costs.dry_run_s)
+
+
+class TestFleetSimulation:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        requests = WorkloadGenerator(seed=7, arrival_rate_hz=4.0,
+                                     tenants=6).generate(80)
+        sim = FleetSimulation(requests, capacity=8, warm_target=4,
+                              queue_limit=12)
+        sim.run()
+        return sim
+
+    def test_all_sessions_resolve(self, sim):
+        doc = sim.summary()
+        assert doc["sessions"]["offered"] == 80
+        assert (doc["sessions"]["completed"]
+                + doc["sessions"]["rejected"]) == 80
+
+    def test_repeat_tenants_hit_the_cache(self, sim):
+        assert sim.summary()["cache"]["hits"] > 0
+        # Cached sessions skip the dry run: strictly fewer signatures
+        # than completed sessions.
+        assert sim.service.recordings_served \
+            < sim.summary()["sessions"]["completed"]
+
+    def test_registry_isolation_holds_after_run(self, sim):
+        assert sim.registry.audit_isolation() == len(sim.registry)
+
+    def test_service_ledger_closed_every_session(self, sim):
+        assert not sim.service.active_sessions
+        assert sim.service.total_vm_seconds > 0
+        assert sim.service.total_cost_usd > 0
+
+    def test_per_link_percentiles_reported(self, sim):
+        by_link = sim.summary()["latency_s"]["by_link"]
+        for dist in by_link.values():
+            assert dist["p50"] <= dist["p95"] <= dist["p99"]
+
+    def test_same_seed_identical_metrics_json(self):
+        def one():
+            reqs = WorkloadGenerator(seed=13, arrival_rate_hz=6.0,
+                                     tenants=5).generate(60)
+            return json.dumps(run_fleet(reqs, capacity=6, warm_target=3,
+                                        queue_limit=8), sort_keys=True)
+
+        assert one() == one()
+
+    def test_saturation_rejects_explicitly(self):
+        reqs = WorkloadGenerator(seed=3, arrival_rate_hz=50.0,
+                                 tenants=4).generate(60)
+        doc = run_fleet(reqs, capacity=2, warm_target=1, queue_limit=2)
+        assert doc["sessions"]["rejected"] > 0
+        assert doc["pool"]["rejections"] == doc["sessions"]["rejected"]
