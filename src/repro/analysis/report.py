@@ -116,3 +116,43 @@ def save_report(name: str, text: str) -> str:
     with open(path, "w") as fh:
         fh.write(text + "\n")
     return path
+
+
+def check_summary_tables(report) -> str:
+    """Render a :class:`repro.check.CheckReport` as the conformance
+    report: per-rule finding counts with their paper sections, then the
+    §4.3 poll-site inventory the discovery pass produced."""
+    from repro.check.findings import RULES
+
+    counts = report.counts_by_rule()
+    suppressed: dict = {}
+    for f in report.suppressed:
+        suppressed[f.rule] = suppressed.get(f.rule, 0) + 1
+    rows = []
+    for rule, (section, description) in RULES.items():
+        live = counts.get(rule, 0)
+        if live == 0 and rule not in suppressed:
+            continue
+        rows.append([rule, section, live, suppressed.get(rule, 0),
+                     description])
+    if not rows:
+        rows = [["(all rules)", "-", 0, len(report.suppressed), "clean"]]
+    tables = [format_table(
+        "Conformance findings",
+        ["rule", "paper", "live", "suppressed", "description"],
+        rows)]
+    if report.poll_sites:
+        tables.append(format_table(
+            "Polling loops (§4.3 discovery)",
+            ["site", "offset", "condition", "bound", "status"],
+            [[f"{p.path.rsplit('/', 1)[-1]}:{p.line}", p.offset,
+              p.condition, "?" if p.max_iters is None else p.max_iters,
+              ("declared" if p.declared else "UNDECLARED")
+              + ("+executed" if p.executed else "")]
+             for p in sorted(report.poll_sites,
+                             key=lambda p: (p.path, p.line))]))
+    tables.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} "
+        f"suppressed, {len(report.baselined)} baselined, "
+        f"{report.modules_scanned} module(s) scanned")
+    return "\n\n".join(tables)

@@ -1,0 +1,54 @@
+"""repro.check — static driver-conformance analysis + runtime sanitizer.
+
+GR-T's prototype leans on static analysis twice: a Clang AST plugin
+instruments every driver register access (§4.1), and DriverShim
+*statically discovers* simple polling loops eligible for offload (§4.3).
+This package is the reproduction's analogue, in two halves:
+
+* The **static analyzer** (``python -m repro check``) walks the Python
+  AST of ``repro.driver``, ``repro.core``, ``repro.runtime`` and
+  ``repro.fleet`` and enforces the interposition-boundary contract the
+  rest of the system silently assumes:
+
+  - ``bus-confinement`` — every MMIO access flows through the
+    :class:`~repro.driver.bus.RegisterBus` interface (§4.1);
+  - ``poll-undeclared`` / ``poll-spec`` — §4.3 polling-loop discovery:
+    busy-wait loops that meet the paper's offloadability criteria must
+    be declared as :class:`~repro.driver.bus.PollSpec`, and every
+    declared spec must be well-formed and actually executed;
+  - ``sym-force`` — no :class:`~repro.core.symbolic.SymVal` is forced
+    concrete outside the sanctioned commit triggers (§4.1/§4.2);
+  - ``release-consistency`` — commits must precede ``unlock()``; lock
+    use must be structured so that holds (§4.1);
+  - ``determinism`` — no wall clock, no unseeded randomness anywhere
+    in ``repro`` (§2.3).
+
+* The **runtime sanitizer** (:class:`~repro.check.specsan.SpecSan`)
+  taint-tracks speculative state through a live record run and asserts
+  §4.2's no-externalization-before-validation, §4.1's release
+  consistency, and §5's meta-only traffic;
+  :class:`~repro.check.specsan.FleetSpecSan` does the same for fleet
+  tenant isolation (§7.1).
+
+Suppressions are inline and must carry a justification::
+
+    # repro-check: allow[sym-force] -- why this site is sound
+
+An ``allow`` without a reason is itself a finding.
+"""
+
+from repro.check.findings import CheckReport, Finding, PollSite, RULES
+from repro.check.runner import main, run_check
+from repro.check.specsan import FleetSpecSan, SpecSan, SpecSanViolation
+
+__all__ = [
+    "CheckReport",
+    "Finding",
+    "FleetSpecSan",
+    "PollSite",
+    "RULES",
+    "SpecSan",
+    "SpecSanViolation",
+    "main",
+    "run_check",
+]

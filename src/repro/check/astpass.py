@@ -1,0 +1,246 @@
+"""Shared AST infrastructure for the static rules.
+
+Loads each module once into a :class:`ModuleInfo` (parsed tree, source
+lines, suppression pragmas, class hierarchy hints) that every rule then
+consumes.  Suppressions are comment pragmas::
+
+    # repro-check: allow[sym-force] -- reason the site is sound
+    # repro-check: module-allow[bus-confinement] -- reason
+
+``allow`` applies to findings on its own line or the line directly
+below (so a long statement can carry the pragma on the preceding
+line); ``module-allow`` applies to the whole file.  A pragma without a
+``-- reason`` is itself reported (``bad-suppression``): the analyzer
+accepts escape hatches but not silent ones.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-check:\s*(?P<kind>module-allow|allow)"
+    r"\[(?P<rules>[a-z0-9_,\- ]+)\]"
+    r"\s*(?:--\s*(?P<reason>\S.*))?"
+)
+# A comment that starts like a pragma but fails the full grammar above is
+# reported, not silently ignored.
+_PRAGMA_PREFIX_RE = re.compile(r"#\s*repro-check:")
+
+#: classes allowed to touch raw device registers: they *are* the bus.
+BUS_CLASS_NAMES = ("RegisterBus",)
+
+
+@dataclass
+class Suppression:
+    rule: str
+    reason: str
+    line: int  # 0 for module-level
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module plus rule-relevant metadata."""
+
+    path: str  # absolute
+    relpath: str  # repo-relative, forward slashes
+    package: str  # e.g. "driver", "core", "" for corpus files
+    source: str
+    tree: ast.Module
+    line_suppressions: Dict[int, List[Suppression]] = field(default_factory=dict)
+    module_suppressions: List[Suppression] = field(default_factory=list)
+    bad_pragmas: List[int] = field(default_factory=list)  # lines lacking a reason
+    #: class name -> base-name strings, for bus-subclass exemption
+    class_bases: Dict[str, List[str]] = field(default_factory=dict)
+    #: module-level integer constants (NAME = <int literal>)
+    int_consts: Dict[str, int] = field(default_factory=dict)
+
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        for sup in self.module_suppressions:
+            if sup.rule == rule:
+                return sup
+        # pragma on the finding's line, or on the line directly above it
+        for candidate in (line, line - 1):
+            for sup in self.line_suppressions.get(candidate, []):
+                if sup.rule == rule:
+                    return sup
+        return None
+
+    def class_is_bus(self, class_name: str) -> bool:
+        """True if *class_name* (transitively, within this module) derives
+        from the RegisterBus interface — such classes implement MMIO and
+        are exempt from bus-confinement and poll-loop discovery."""
+        seen = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name in BUS_CLASS_NAMES:
+                return True
+            for base in self.class_bases.get(name, []):
+                stack.append(base)
+        return False
+
+
+def parse_module(path: str, relpath: str, package: str) -> ModuleInfo:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=relpath)
+    info = ModuleInfo(
+        path=path, relpath=relpath, package=package, source=source, tree=tree
+    )
+    _collect_pragmas(info)
+    _collect_classes(info)
+    _collect_consts(info)
+    return info
+
+
+def _collect_pragmas(info: ModuleInfo) -> None:
+    for lineno, text in enumerate(info.source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(text)
+        if m is None:
+            if _PRAGMA_PREFIX_RE.search(text):
+                info.bad_pragmas.append(lineno)
+            continue
+        reason = (m.group("reason") or "").strip()
+        rules = [r.strip() for r in m.group("rules").split(",") if r.strip()]
+        if not reason:
+            info.bad_pragmas.append(lineno)
+            continue
+        for rule in rules:
+            sup = Suppression(rule=rule, reason=reason, line=lineno)
+            if m.group("kind") == "module-allow":
+                info.module_suppressions.append(sup)
+            else:
+                info.line_suppressions.setdefault(lineno, []).append(sup)
+
+
+def _collect_classes(info: ModuleInfo) -> None:
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.ClassDef):
+            bases = []
+            for base in node.bases:
+                chain = attr_chain(base)
+                if chain:
+                    bases.append(chain.split(".")[-1])
+            info.class_bases[node.name] = bases
+
+
+def _collect_consts(info: ModuleInfo) -> None:
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                value = literal_int(node.value)
+                if value is not None:
+                    info.int_consts[target.id] = value
+
+
+# ---------------------------------------------------------------------------
+# AST helpers
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains as a dotted string, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if isinstance(node, ast.Call):
+        inner = attr_chain(node.func)
+        if inner is not None:
+            parts.append(inner + "()")
+            return ".".join(reversed(parts))
+    return None
+
+
+def call_name(call: ast.Call) -> str:
+    """Last component of the called function's name (``bus.read32`` -> ``read32``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def literal_int(node: ast.AST, consts: Optional[Dict[str, int]] = None):
+    """Evaluate *node* to an int when it is a literal/const-name/simple
+    arithmetic over those; otherwise None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if isinstance(node, ast.Name) and consts is not None:
+        return consts.get(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = literal_int(node.operand, consts)
+        return None if inner is None else -inner
+    if isinstance(node, ast.BinOp):
+        left = literal_int(node.left, consts)
+        right = literal_int(node.right, consts)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.LShift):
+                return left << right
+            if isinstance(node.op, ast.BitOr):
+                return left | right
+        except (ValueError, OverflowError):
+            return None
+    return None
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+    """Yield every (function, enclosing class) pair, including methods of
+    nested classes; module-level statements are not yielded."""
+
+    def visit(node: ast.AST, cls: Optional[ast.ClassDef]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                # nested defs keep the same enclosing class for exemptions
+                for item in visit(child, cls):
+                    yield item
+            elif isinstance(child, ast.ClassDef):
+                for item in visit(child, child):
+                    yield item
+
+    return visit(tree, None)
+
+
+def qualname(func: Optional[ast.AST], cls: Optional[ast.ClassDef]) -> str:
+    parts: List[str] = []
+    if cls is not None:
+        parts.append(cls.name)
+    if func is not None:
+        parts.append(func.name)  # type: ignore[attr-defined]
+    return ".".join(parts)
+
+
+def names_in(node: ast.AST) -> List[str]:
+    return [n.id for n in ast.walk(node) if isinstance(n, ast.Name)]
+
+
+def source_segment(info: ModuleInfo, node: ast.AST) -> str:
+    try:
+        segment = ast.get_source_segment(info.source, node)
+    except Exception:
+        segment = None
+    if segment is None:
+        return "<expr>"
+    return " ".join(segment.split())

@@ -1,0 +1,205 @@
+"""Finding/report data model for ``repro.check``.
+
+A :class:`Finding` is one rule violation at one source location.  A
+:class:`CheckReport` aggregates findings, suppressed findings, and the
+§4.3 poll-site inventory, and renders to text or JSON.  Baselines match
+findings by *fingerprint* (rule + path + enclosing symbol + message),
+deliberately excluding line numbers so unrelated edits above a
+baselined site do not churn the baseline file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+#: rule-id -> (paper section, one-line description)
+RULES: Dict[str, tuple] = {
+    "bus-confinement": (
+        "§4.1",
+        "every MMIO access flows through the RegisterBus interface",
+    ),
+    "poll-undeclared": (
+        "§4.3",
+        "busy-wait loop meets the offload criteria but has no PollSpec",
+    ),
+    "poll-spec": (
+        "§4.3",
+        "declared PollSpec is malformed, unbounded, or never executed",
+    ),
+    "sym-force": (
+        "§4.2",
+        "symbolic register value forced outside a sanctioned commit point",
+    ),
+    "release-consistency": (
+        "§4.1",
+        "unstructured lock()/unlock() can release with commits pending",
+    ),
+    "determinism": (
+        "§2.3",
+        "wall-clock or unseeded randomness breaks record/replay equality",
+    ),
+    "bad-suppression": (
+        "-",
+        "repro-check suppression without a justification",
+    ),
+}
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    symbol: str = ""  # enclosing ``Class.method`` / function, if any
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256(self.message.encode("utf-8")).hexdigest()[:12]
+        return "{}:{}:{}:{}".format(self.rule, self.path, self.symbol, digest)
+
+    def render(self) -> str:
+        where = "{}:{}".format(self.path, self.line)
+        sym = " ({})".format(self.symbol) if self.symbol else ""
+        return "{}: [{}]{} {}".format(where, self.rule, sym, self.message)
+
+
+@dataclass
+class PollSite:
+    """One §4.3 polling loop discovered in driver source.
+
+    Either a *declared* ``PollSpec(...)`` construction site, or a raw
+    busy-wait loop the discovery pass judged offload-eligible.
+    """
+
+    path: str
+    line: int
+    symbol: str
+    offset: str  # source text of the register-offset expression
+    condition: str
+    max_iters: Optional[int]
+    tag: str = ""
+    declared: bool = True
+    executed: bool = False
+
+    def render(self) -> str:
+        bound = "n/a" if self.max_iters is None else str(self.max_iters)
+        status = "declared" if self.declared else "UNDECLARED"
+        return "{}:{} ({}) offset={} cond={} max_iters={} [{}{}]".format(
+            self.path,
+            self.line,
+            self.symbol,
+            self.offset,
+            self.condition,
+            bound,
+            status,
+            "+executed" if self.executed else "",
+        )
+
+
+@dataclass
+class CheckReport:
+    """Aggregate result of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    poll_sites: List[PollSite] = field(default_factory=list)
+    modules_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def apply_baseline(self, fingerprints) -> None:
+        """Move findings whose fingerprint is baselined out of the live set."""
+        accepted = set(fingerprints)
+        live: List[Finding] = []
+        for f in self.findings:
+            if f.fingerprint in accepted:
+                self.baselined.append(f)
+            else:
+                live.append(f)
+        self.findings = live
+
+    def to_json(self) -> str:
+        payload = {
+            "ok": self.ok,
+            "modules_scanned": self.modules_scanned,
+            "summary": self.counts_by_rule(),
+            "findings": [
+                dict(asdict(f), fingerprint=f.fingerprint) for f in self.findings
+            ],
+            "suppressed": [
+                dict(asdict(f), fingerprint=f.fingerprint) for f in self.suppressed
+            ],
+            "baselined": [
+                dict(asdict(f), fingerprint=f.fingerprint) for f in self.baselined
+            ],
+            "poll_sites": [asdict(p) for p in self.poll_sites],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        for f in sorted(self.findings, key=lambda f: (f.path, f.line)):
+            lines.append(f.render())
+        if self.poll_sites:
+            lines.append("")
+            lines.append(
+                "poll sites (§4.3 discovery, {} declared / {} undeclared):".format(
+                    sum(1 for p in self.poll_sites if p.declared),
+                    sum(1 for p in self.poll_sites if not p.declared),
+                )
+            )
+            for p in sorted(self.poll_sites, key=lambda p: (p.path, p.line)):
+                lines.append("  " + p.render())
+        lines.append("")
+        lines.append(
+            "{} finding(s), {} suppressed, {} baselined, {} module(s) scanned".format(
+                len(self.findings),
+                len(self.suppressed),
+                len(self.baselined),
+                self.modules_scanned,
+            )
+        )
+        return "\n".join(lines)
+
+
+def load_baseline(path) -> List[str]:
+    """Read a baseline file, returning the accepted fingerprints."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data.get("findings", [])
+    out: List[str] = []
+    for entry in entries:
+        if isinstance(entry, str):
+            out.append(entry)
+        else:
+            out.append(entry["fingerprint"])
+    return out
+
+
+def write_baseline(path, report: CheckReport) -> None:
+    """Persist the current unsuppressed findings as the accepted baseline."""
+    entries = [
+        {"fingerprint": f.fingerprint, "rule": f.rule, "path": f.path}
+        for f in report.findings + report.baselined
+    ]
+    entries.sort(key=lambda e: e["fingerprint"])
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"findings": entries}, fh, indent=2, sort_keys=True)
+        fh.write("\n")

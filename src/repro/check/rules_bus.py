@@ -1,0 +1,137 @@
+"""Interposition-boundary rules: bus confinement and release consistency.
+
+**bus-confinement (§4.1).**  GR-T's Clang pass rewrites every driver
+register access into a DriverShim call; the reproduction's equivalent
+contract is that driver/core/runtime/fleet code performs MMIO *only*
+through the :class:`~repro.driver.bus.RegisterBus` interface
+(``read32``/``write32``/``poll``).  Calling the device model's
+``read_reg``/``write_reg`` directly, or indexing a raw register file
+(``gpu.regs[...]``), bypasses deferral, speculation and recording —
+the access would be invisible to the register log.  Classes that
+*implement* the bus (``RegisterBus`` subclasses such as ``LocalBus``
+and ``DriverShim``) are exempt: they are the boundary.
+
+**release-consistency (§4.1).**  DriverShim flushes the deferred-write
+queue from the ``on_unlock`` hook, which ``Mutex.unlock`` fires
+*before* releasing the lock.  That guarantee only holds when lock use
+is structured (``with mutex:``): a manual ``.lock()``/``.unlock()``
+pair can leak the lock — and leave deferred accesses pending — on any
+exception raised between the two calls, so bare pairs are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.check.astpass import ModuleInfo, attr_chain, iter_functions, qualname
+from repro.check.findings import Finding
+
+RAW_ACCESS_METHODS = ("read_reg", "write_reg")
+LOCK_METHODS = ("lock", "unlock")
+
+
+def _enclosing(info: ModuleInfo, node: ast.AST):
+    """(function, class, qualname) of the innermost def containing *node*."""
+    target_line = getattr(node, "lineno", 0)
+    best = (None, None)
+    best_span = None
+    for func, cls in iter_functions(info.tree):
+        start = func.lineno
+        end = max(
+            (getattr(n, "lineno", start) for n in ast.walk(func)), default=start
+        )
+        if start <= target_line <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best = (func, cls)
+                best_span = span
+    return best[0], best[1], qualname(best[0], best[1])
+
+
+def _emit(
+    info: ModuleInfo,
+    rule: str,
+    node: ast.AST,
+    message: str,
+    symbol: str,
+) -> Finding:
+    line = getattr(node, "lineno", 0)
+    finding = Finding(
+        rule=rule, path=info.relpath, line=line, message=message, symbol=symbol
+    )
+    sup = info.suppression_for(rule, line)
+    if sup is not None:
+        finding.suppressed = True
+        finding.suppress_reason = sup.reason
+    return finding
+
+
+def check_bus_confinement(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(info.tree):
+        target: Optional[ast.AST] = None
+        message = ""
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in RAW_ACCESS_METHODS:
+                chain = attr_chain(node.func) or node.func.attr
+                message = (
+                    "raw device access '{}()' bypasses the RegisterBus "
+                    "interface; route MMIO through bus.read32/write32 so the "
+                    "shim can defer, speculate and record it (§4.1)".format(chain)
+                )
+                target = node
+        elif isinstance(node, ast.Subscript):
+            value = node.value
+            if isinstance(value, ast.Attribute) and value.attr == "regs":
+                chain = attr_chain(value) or "?.regs"
+                message = (
+                    "direct register-file poke '{}[...]' bypasses the "
+                    "RegisterBus interface (§4.1)".format(chain)
+                )
+                target = node
+        if target is None:
+            continue
+        func, cls, symbol = _enclosing(info, target)
+        if cls is not None and info.class_is_bus(cls.name):
+            continue  # RegisterBus implementations are the boundary itself
+        findings.append(
+            _emit(info, "bus-confinement", target, message, symbol)
+        )
+    return findings
+
+
+def check_release_consistency(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(info.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr not in LOCK_METHODS or node.args or node.keywords:
+            continue
+        chain = attr_chain(node.func) or node.func.attr
+        receiver = chain.rsplit(".", 1)[0] if "." in chain else ""
+        # Only flag receivers that look like locks; `registry.lock()` on an
+        # unrelated API would otherwise false-positive.
+        if not _lockish(receiver):
+            continue
+        func, cls, symbol = _enclosing(info, node)
+        if cls is not None and cls.name in ("Mutex", "SpinLock"):
+            continue  # the lock primitives themselves
+        message = (
+            "bare '{}()' call: manual lock/unlock pairs can release — or "
+            "leak — the lock with deferred accesses still pending on an "
+            "exception path; use 'with {}:' so on_unlock always flushes "
+            "commits first (§4.1)".format(chain, receiver or "lock")
+        )
+        findings.append(_emit(info, "release-consistency", node, message, symbol))
+    return findings
+
+
+def _lockish(receiver: str) -> bool:
+    tail = receiver.split(".")[-1].lower() if receiver else ""
+    return (
+        "lock" in tail
+        or "mutex" in tail
+        or tail.endswith("_mu")
+        or tail in ("hwaccess", "jsctx")
+    )

@@ -1,0 +1,424 @@
+"""Dataflow rules: symbolic-forcing hazards (§4.2) and determinism (§2.3).
+
+**sym-force.**  ``bus.read32``/``read64`` return lazy symbolic values
+(:class:`~repro.core.symbolic.SymVal`) so DriverShim can defer and
+speculate on them (§4.1/§4.2).  Forcing one concrete — ``int()``,
+``bool()``, string-formatting — triggers a synchronous commit, so it is
+only sanctioned at the paper's commit points:
+
+* a **control dependency**: the value decides a branch
+  (``if``/``while``/``assert`` test — Listing 1(b));
+* **externalization**: the value is passed *bare* to ``printk``-style
+  kernel APIs, whose hook validates speculation and flushes the queue
+  *before* the value is formatted;
+* a value that was **already forced** by one of the above (re-coercing
+  a committed value is free).
+
+Anything else — ``int(bus.read32(...))`` at the read site, ``int(x)``
+on a never-branched register value, f-string/%%-format on a lazy value,
+coercion *inside* printk's argument list (arguments evaluate before the
+call, i.e. before the externalization hook fires) — is a hazard: it
+forces a round-trip the shim never got a chance to defer, speculate, or
+even observe as a commit trigger.  The sanctioned programmatic escape
+hatch is :func:`repro.core.symbolic.concrete`, which this rule
+deliberately does not flag.  ``RegisterBus`` implementations are exempt
+— below the boundary, forcing is how values reach the wire.
+
+The analysis is function-local and name-based: it tracks names assigned
+from bus reads (and expressions over them), in statement order, with a
+set of already-forced names.  Attribute loads (``self.props.x``) are
+not tracked — that precision limit is documented in DESIGN.md.
+
+**determinism.**  Record/replay equality (§2.3, §6) requires the whole
+stack to be a deterministic function of (workload, seed): any wall
+clock read, unseeded RNG, ``os.urandom``/``uuid4`` anywhere in
+``repro`` lets a record run diverge from its replay.  The virtual
+clock (``env.clock``) and explicitly-seeded ``random.Random(seed)`` /
+``np.random.RandomState(seed)`` instances are the sanctioned sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.check.astpass import (
+    ModuleInfo,
+    attr_chain,
+    call_name,
+    iter_functions,
+    names_in,
+    qualname,
+)
+from repro.check.findings import Finding
+
+BUS_READS = ("read32", "read64")
+FORCE_BUILTINS = ("int", "bool", "str", "hex", "oct", "format")
+EXTERNALIZERS = ("printk",)
+
+
+def _suppressed(info: ModuleInfo, finding: Finding) -> Finding:
+    sup = info.suppression_for(finding.rule, finding.line)
+    if sup is not None:
+        finding.suppressed = True
+        finding.suppress_reason = sup.reason
+    return finding
+
+
+# ---------------------------------------------------------------------------
+# sym-force
+
+
+def check_sym_force(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for func, cls in iter_functions(info.tree):
+        if cls is not None and info.class_is_bus(cls.name):
+            continue  # bus implementations force by design
+        visitor = _ForceVisitor(info, qualname(func, cls))
+        visitor.run_body(func.body)
+        findings.extend(_suppressed(info, f) for f in visitor.findings)
+    return findings
+
+
+def _is_bus_read(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_name(node) in BUS_READS
+
+
+def _contains_bus_read(node: ast.AST) -> bool:
+    return any(_is_bus_read(n) for n in ast.walk(node))
+
+
+class _ForceVisitor:
+    """Statement-ordered, function-local taint walk."""
+
+    def __init__(self, info: ModuleInfo, symbol: str) -> None:
+        self.info = info
+        self.symbol = symbol
+        self.sources: Set[str] = set()
+        self.forced: Set[str] = set()
+        self.findings: List[Finding] = []
+
+    # -- statements --------------------------------------------------------
+    def run_body(self, body) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.AST) -> None:
+        if isinstance(stmt, (ast.If, ast.While)):
+            self.visit_test(stmt.test)
+            self.run_body(stmt.body)
+            self.run_body(getattr(stmt, "orelse", []) or [])
+        elif isinstance(stmt, ast.Assert):
+            self.visit_test(stmt.test)
+        elif isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value)
+            self.propagate(stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.visit_expr(stmt.value)
+            self.propagate([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value)
+            self.propagate([stmt.target], stmt.value)
+        elif isinstance(stmt, ast.For):
+            self.visit_expr(stmt.iter)
+            self.run_body(stmt.body)
+            self.run_body(stmt.orelse or [])
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.visit_expr(item.context_expr)
+            self.run_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run_body(stmt.body)
+            for handler in stmt.handlers:
+                self.run_body(handler.body)
+            self.run_body(stmt.orelse or [])
+            self.run_body(stmt.finalbody or [])
+        elif isinstance(stmt, (ast.Expr, ast.Return, ast.Raise)):
+            value = getattr(stmt, "value", None) or getattr(stmt, "exc", None)
+            if value is not None:
+                self.visit_expr(value)
+        # nested defs/classes are visited separately by iter_functions
+
+    def propagate(self, targets, value: ast.AST) -> None:
+        tainted = _contains_bus_read(value) or any(
+            n in self.sources for n in names_in(value)
+        )
+        already_forced = not _contains_bus_read(value) and all(
+            n in self.forced for n in names_in(value) if n in self.sources
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if tainted:
+                    self.sources.add(target.id)
+                    if already_forced or self.is_forcing_call(value):
+                        self.forced.add(target.id)
+                else:
+                    self.sources.discard(target.id)
+                    self.forced.discard(target.id)
+
+    def is_forcing_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in FORCE_BUILTINS
+        )
+
+    # -- tests: the sanctioned control-dependency commit trigger -----------
+    def visit_test(self, test: ast.AST) -> None:
+        for name in names_in(test):
+            if name in self.sources:
+                self.forced.add(name)
+        # direct reads forced by the branch are sanctioned too; nothing to flag
+
+    # -- expressions -------------------------------------------------------
+    def visit_expr(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            if self.is_externalizer(node):
+                self.visit_printk(node)
+                return
+            if self.is_forcing_call(node) and node.args:
+                self.check_force(node, node.args[0], context="value context")
+            for child in ast.iter_child_nodes(node):
+                self.visit_expr(child)
+            return
+        if isinstance(node, ast.JoinedStr):
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    self.check_format(part.value, "f-string")
+            return
+        if (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, ast.Mod)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.left.value, str)
+        ):
+            self.check_format(node.right, "%-format")
+            return
+        if isinstance(node, ast.IfExp):
+            self.visit_test(node.test)
+        for child in ast.iter_child_nodes(node):
+            self.visit_expr(child)
+
+    def is_externalizer(self, call: ast.Call) -> bool:
+        return call_name(call) in EXTERNALIZERS
+
+    def visit_printk(self, call: ast.Call) -> None:
+        # Coercions inside the argument list evaluate BEFORE the call, i.e.
+        # before printk's hook validates + flushes: flag them.
+        for arg in call.args:
+            if self.is_forcing_call(arg) and arg.args:
+                self.check_force(
+                    arg,
+                    arg.args[0],
+                    context=(
+                        "printk argument (evaluated before the "
+                        "externalization hook fires)"
+                    ),
+                )
+            else:
+                self.visit_expr(arg)
+        # Bare lazy args are the sanctioned path: the hook commits, then
+        # printk itself coerces for formatting.
+        for arg in call.args:
+            for name in names_in(arg):
+                if name in self.sources:
+                    self.forced.add(name)
+
+    def check_force(self, call: ast.Call, arg: ast.AST, context: str) -> None:
+        fn = call.func.id  # type: ignore[union-attr]
+        if _contains_bus_read(arg):
+            self.emit(
+                call,
+                "{}() forces the register value at the read site in {} — "
+                "the shim never gets to defer or speculate on it; keep the "
+                "value lazy or use concrete() at a sanctioned commit "
+                "point".format(fn, context),
+            )
+            return
+        hazardous = [
+            n
+            for n in names_in(arg)
+            if n in self.sources and n not in self.forced
+        ]
+        if hazardous:
+            self.emit(
+                call,
+                "{}({}) forces a bus-read-derived value in {} with no "
+                "prior control-dependency or externalization commit "
+                "(§4.2)".format(fn, ", ".join(sorted(set(hazardous))), context),
+            )
+
+    def check_format(self, value: ast.AST, kind: str) -> None:
+        if _contains_bus_read(value):
+            self.emit(
+                value,
+                "{} forces a register value at the read site (§4.2)".format(kind),
+            )
+            return
+        hazardous = [
+            n
+            for n in names_in(value)
+            if n in self.sources and n not in self.forced
+        ]
+        if hazardous:
+            self.emit(
+                value,
+                "{} on bus-read-derived value(s) {} forces them outside a "
+                "sanctioned commit point (§4.2)".format(
+                    kind, ", ".join(sorted(set(hazardous)))
+                ),
+            )
+
+    def emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="sym-force",
+                path=self.info.relpath,
+                line=getattr(node, "lineno", 0),
+                symbol=self.symbol,
+                message=message,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.sleep",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+MODULE_RNG_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "seed",
+}
+
+NP_RNG_FNS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "poisson",
+    "exponential",
+    "standard_normal",
+    "seed",
+}
+
+SEEDED_CTORS = {"Random", "RandomState", "default_rng", "Generator", "SeedSequence"}
+
+
+def check_determinism(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = attr_chain(node.func)
+        if chain is None:
+            continue
+        message = _determinism_message(chain, node)
+        if message is None:
+            continue
+        symbol = _enclosing_symbol(info, node)
+        finding = Finding(
+            rule="determinism",
+            path=info.relpath,
+            line=node.lineno,
+            symbol=symbol,
+            message=message,
+        )
+        findings.append(_suppressed(info, finding))
+    return findings
+
+
+def _determinism_message(chain: str, node: ast.Call) -> Optional[str]:
+    parts = chain.split(".")
+    tail = parts[-1]
+    if chain in WALLCLOCK_CALLS:
+        return (
+            "'{}()' reads the wall clock / OS entropy — record and replay "
+            "would diverge; use the virtual clock (env.clock) or a seeded "
+            "RNG (§2.3)".format(chain)
+        )
+    if chain.startswith("secrets."):
+        return (
+            "'{}()' draws OS entropy — nondeterministic across record and "
+            "replay (§2.3)".format(chain)
+        )
+    if tail in SEEDED_CTORS and not node.args and not node.keywords:
+        receiver = ".".join(parts[:-1])
+        if receiver in ("random", "np.random", "numpy.random", "") and (
+            tail != "Generator"
+        ):
+            return (
+                "'{}()' constructed without a seed falls back to OS "
+                "entropy; pass an explicit seed so the run is a function "
+                "of (workload, seed) (§2.3)".format(chain)
+            )
+    if len(parts) == 2 and parts[0] == "random" and tail in MODULE_RNG_FNS:
+        return (
+            "'{}()' uses the process-global RNG whose state is shared and "
+            "unseeded; construct random.Random(seed) instead (§2.3)".format(chain)
+        )
+    if (
+        len(parts) >= 3
+        and ".".join(parts[:-1]) in ("np.random", "numpy.random")
+        and tail in NP_RNG_FNS
+    ):
+        return (
+            "'{}()' uses numpy's process-global RNG; construct "
+            "np.random.RandomState(seed) instead (§2.3)".format(chain)
+        )
+    return None
+
+
+def _enclosing_symbol(info: ModuleInfo, node: ast.AST) -> str:
+    target_line = getattr(node, "lineno", 0)
+    best = ""
+    best_span = None
+    for func, cls in iter_functions(info.tree):
+        start = func.lineno
+        end = max(
+            (getattr(n, "lineno", start) for n in ast.walk(func)), default=start
+        )
+        if start <= target_line <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best = qualname(func, cls)
+                best_span = span
+    return best

@@ -1,0 +1,346 @@
+"""§4.3 polling-loop discovery — the paper's static analysis, for real.
+
+GR-T offloads "simple busy-wait loops" to the GPU-side shim so a poll
+costs one RTT instead of one RTT per iteration.  A loop qualifies when
+(criteria from §4.3):
+
+1. **idempotent single-register read** — each iteration reads one
+   register whose offset is loop-invariant, and performs no writes;
+2. **loop-local bounded iteration** — the trip count is bounded by a
+   loop-local constant (``range(N)`` / counter-vs-literal), so the
+   offloaded loop provably terminates on the client;
+3. **no externally-visible kernel APIs** — nothing in the body
+   (``printk``, ``kernel_api``, ``wait_event``, job submission) forces
+   an early commit or has effects the remote loop could not replay.
+   Inter-iteration ``delay``/``udelay`` is fine — it *is* the poll
+   cadence.
+
+The reproduction declares such loops explicitly as
+:class:`~repro.driver.bus.PollSpec`.  This pass closes the loop the
+honest docstring in ``driver/bus.py`` left open: it rediscovers
+offload-eligible raw loops from the AST and cross-checks them against
+the declared specs.
+
+* ``poll-undeclared`` — a raw busy-wait loop meets all three criteria
+  but is not expressed as a ``PollSpec`` (it would silently eat one
+  RTT per iteration when recorded over the network);
+* ``poll-spec`` — a declared ``PollSpec`` is malformed: unknown
+  condition kind, unbounded/unresolvable ``max_iters`` (breaking
+  criterion 2), or never actually passed to ``poll()`` /
+  ``watchdog_poll()`` (a stale spec that instruments nothing).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.check.astpass import (
+    ModuleInfo,
+    attr_chain,
+    call_name,
+    iter_functions,
+    literal_int,
+    names_in,
+    qualname,
+    source_segment,
+)
+from repro.check.findings import Finding, PollSite
+
+POLL_EXECUTORS = ("poll", "watchdog_poll", "execute_poll")
+EXTERNAL_KERNEL_APIS = (
+    "printk",
+    "kernel_api",
+    "wait_event",
+    "submit",
+    "schedule",
+    "copy_to_user",
+)
+BUS_READS = ("read32", "read64")
+BUS_WRITES = ("write32", "write64")
+KNOWN_CONDITIONS = ("BITS_CLEAR", "BITS_SET", "EQUALS")
+
+
+def _suppressed(info: ModuleInfo, finding: Finding) -> Finding:
+    sup = info.suppression_for(finding.rule, finding.line)
+    if sup is not None:
+        finding.suppressed = True
+        finding.suppress_reason = sup.reason
+    return finding
+
+
+def check_poll(info: ModuleInfo) -> Tuple[List[Finding], List[PollSite]]:
+    findings: List[Finding] = []
+    sites: List[PollSite] = []
+    executed_nodes, executed_names = _executed_specs(info.tree)
+
+    for func, cls in iter_functions(info.tree):
+        symbol = qualname(func, cls)
+        in_bus_class = cls is not None and info.class_is_bus(cls.name)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and call_name(node) == "PollSpec":
+                site, site_findings = _declared_site(
+                    info, node, symbol, executed_nodes, executed_names
+                )
+                sites.append(site)
+                findings.extend(_suppressed(info, f) for f in site_findings)
+            elif isinstance(node, (ast.While, ast.For)) and not in_bus_class:
+                found = _raw_loop(info, node, symbol)
+                if found is not None:
+                    site, finding = found
+                    sites.append(site)
+                    findings.append(_suppressed(info, finding))
+    return findings, sites
+
+
+# ---------------------------------------------------------------------------
+# Declared PollSpec sites
+
+
+def _executed_specs(tree: ast.Module) -> Tuple[Set[int], Set[str]]:
+    """(ids of PollSpec call nodes passed directly to an executor,
+    names of variables holding a spec that reach an executor)."""
+    direct: Set[int] = set()
+    fed_names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if call_name(node) in POLL_EXECUTORS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Call) and call_name(arg) == "PollSpec":
+                    direct.add(id(arg))
+                elif isinstance(arg, ast.Name):
+                    fed_names.add(arg.id)
+    return direct, fed_names
+
+
+def _kwarg(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _declared_site(
+    info: ModuleInfo,
+    call: ast.Call,
+    symbol: str,
+    executed_nodes: Set[int],
+    executed_names: Set[str],
+) -> Tuple[PollSite, List[Finding]]:
+    findings: List[Finding] = []
+    line = call.lineno
+
+    offset_node = _kwarg(call, "offset")
+    if offset_node is None and call.args:
+        offset_node = call.args[0]
+    offset = source_segment(info, offset_node) if offset_node is not None else "?"
+
+    condition = "?"
+    cond_node = _kwarg(call, "condition")
+    if cond_node is not None:
+        chain = attr_chain(cond_node) or source_segment(info, cond_node)
+        condition = chain.split(".")[-1]
+    if condition not in KNOWN_CONDITIONS:
+        findings.append(
+            Finding(
+                rule="poll-spec",
+                path=info.relpath,
+                line=line,
+                symbol=symbol,
+                message=(
+                    "PollSpec condition {!r} is not a known PollCondition "
+                    "({}) — the offloaded loop body would be "
+                    "uninterpretable on the client (§4.3)".format(
+                        condition, "/".join(KNOWN_CONDITIONS)
+                    )
+                ),
+            )
+        )
+
+    max_iters: Optional[int] = None
+    iters_node = _kwarg(call, "max_iters")
+    if iters_node is not None:
+        max_iters = literal_int(iters_node, info.int_consts)
+    if max_iters is None or max_iters <= 0:
+        findings.append(
+            Finding(
+                rule="poll-spec",
+                path=info.relpath,
+                line=line,
+                symbol=symbol,
+                message=(
+                    "PollSpec max_iters is not a positive loop-local "
+                    "constant — §4.3 requires bounded iteration so the "
+                    "offloaded loop provably terminates"
+                ),
+            )
+        )
+
+    tag = ""
+    tag_node = _kwarg(call, "tag")
+    if tag_node is not None:
+        if isinstance(tag_node, ast.Constant) and isinstance(tag_node.value, str):
+            tag = tag_node.value
+        else:
+            tag = source_segment(info, tag_node)
+
+    executed = id(call) in executed_nodes
+    if not executed:
+        # spec assigned to a name that later reaches an executor?
+        parent_assign = _assigned_name(info.tree, call)
+        if parent_assign is not None and parent_assign in executed_names:
+            executed = True
+    if not executed:
+        findings.append(
+            Finding(
+                rule="poll-spec",
+                path=info.relpath,
+                line=line,
+                symbol=symbol,
+                message=(
+                    "declared PollSpec never reaches poll()/watchdog_poll() "
+                    "— a stale spec instruments nothing; delete it or wire "
+                    "it to the bus"
+                ),
+            )
+        )
+
+    site = PollSite(
+        path=info.relpath,
+        line=line,
+        symbol=symbol,
+        offset=offset,
+        condition=condition,
+        max_iters=max_iters,
+        tag=tag,
+        declared=True,
+        executed=executed,
+    )
+    return site, findings
+
+
+def _assigned_name(tree: ast.Module, call: ast.Call) -> Optional[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and node.value is call:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                return target.id
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Raw busy-wait loop discovery
+
+
+def _raw_loop(info: ModuleInfo, loop: ast.AST, symbol: str):
+    """Return (PollSite, Finding) if *loop* meets the §4.3 criteria."""
+    reads = []
+    writes = 0
+    external = 0
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name in BUS_READS:
+                reads.append(node)
+            elif name in BUS_WRITES:
+                writes += 1
+            elif name in EXTERNAL_KERNEL_APIS:
+                external += 1
+    if not reads:
+        return None
+
+    assigned = _loop_assigned_names(loop)
+
+    # Criterion 1: idempotent single-register read.
+    offsets = set()
+    for read in reads:
+        offset_node = read.args[0] if read.args else None
+        if offset_node is None:
+            return None
+        if any(n in assigned for n in names_in(offset_node)):
+            return None  # offset varies per iteration: not a poll
+        offsets.add(source_segment(info, offset_node))
+    if len(offsets) != 1 or writes:
+        return None
+
+    # Criterion 3: no externally-visible kernel APIs in the body.
+    if external:
+        return None
+
+    # Criterion 2: loop-local bounded iteration.
+    bound = _loop_bound(info, loop, assigned)
+    if bound is None:
+        return None
+
+    offset = next(iter(offsets))
+    site = PollSite(
+        path=info.relpath,
+        line=loop.lineno,
+        symbol=symbol,
+        offset=offset,
+        condition="(inferred)",
+        max_iters=bound,
+        declared=False,
+        executed=True,
+    )
+    finding = Finding(
+        rule="poll-undeclared",
+        path=info.relpath,
+        line=loop.lineno,
+        symbol=symbol,
+        message=(
+            "busy-wait loop on {} meets the §4.3 offload criteria "
+            "(single loop-invariant register read, bounded by {}, no "
+            "external kernel APIs) but is not declared as a PollSpec — "
+            "recorded over the network it costs one RTT per iteration; "
+            "declare it and run it through bus.poll()".format(offset, bound)
+        ),
+    )
+    return site, finding
+
+
+def _loop_assigned_names(loop: ast.AST) -> Set[str]:
+    assigned: Set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                assigned.update(names_in(target))
+        elif isinstance(node, ast.AugAssign):
+            assigned.update(names_in(node.target))
+        elif isinstance(node, ast.For):
+            assigned.update(names_in(node.target))
+    return assigned
+
+
+def _loop_bound(
+    info: ModuleInfo, loop: ast.AST, assigned: Set[str]
+) -> Optional[int]:
+    """Trip-count bound if the loop is loop-locally bounded, else None."""
+    if isinstance(loop, ast.For):
+        it = loop.iter
+        if isinstance(it, ast.Call) and call_name(it) == "range":
+            bound_arg = it.args[-1] if len(it.args) <= 2 else it.args[1]
+            if it.args:
+                return literal_int(bound_arg, info.int_consts)
+        return None
+    if isinstance(loop, ast.While):
+        # `while counter < N:` (or N > counter) with counter mutated in body.
+        for node in ast.walk(loop.test):
+            if not isinstance(node, ast.Compare) or len(node.ops) != 1:
+                continue
+            op = node.ops[0]
+            left, right = node.left, node.comparators[0]
+            if isinstance(op, (ast.Lt, ast.LtE)):
+                counter, limit = left, right
+            elif isinstance(op, (ast.Gt, ast.GtE)):
+                counter, limit = right, left
+            else:
+                continue
+            bound = literal_int(limit, info.int_consts)
+            if bound is None:
+                continue
+            if any(n in assigned for n in names_in(counter)):
+                return bound
+        return None
+    return None

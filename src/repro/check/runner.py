@@ -1,0 +1,191 @@
+"""Analyzer driver: module discovery, rule dispatch, baseline, CLI entry.
+
+Scope mirrors the paper's instrumentation boundary:
+
+* ``driver``/``core``/``runtime``/``fleet`` get the interposition rules
+  (bus-confinement, release-consistency, sym-force);
+* ``driver`` additionally gets the §4.3 poll rules — polling loops live
+  below the runtime and above the bus;
+* **every** module under ``src/repro`` (including this package) gets
+  the determinism rule;
+* explicitly-passed paths (the lint corpus, ad-hoc files) get all
+  rules.
+
+Suppressed findings are reported but never fail the run; ``bad
+suppressions`` (no justification) always do.  A committed baseline file
+(fingerprint list) accepts known findings without editing source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Iterable, List, Optional, Tuple
+
+from repro.check.astpass import ModuleInfo, parse_module
+from repro.check.findings import (
+    CheckReport,
+    Finding,
+    load_baseline,
+    write_baseline,
+)
+from repro.check.rules_bus import check_bus_confinement, check_release_consistency
+from repro.check.rules_flow import check_determinism, check_sym_force
+from repro.check.rules_poll import check_poll
+
+#: packages under src/repro that get the interposition-boundary rules
+CONFORMANCE_PACKAGES = ("driver", "core", "runtime", "fleet")
+#: packages that get §4.3 poll-loop discovery
+POLL_PACKAGES = ("driver",)
+DEFAULT_BASELINE = "check_baseline.json"
+
+
+def _package_root() -> str:
+    """Absolute path of the installed ``repro`` package."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _repo_root() -> str:
+    """Best-effort repository root (two levels above the package)."""
+    return os.path.dirname(os.path.dirname(_package_root()))
+
+
+def _relpath(path: str) -> str:
+    path = os.path.abspath(path)
+    root = _repo_root()
+    if path.startswith(root + os.sep):
+        rel = os.path.relpath(path, root)
+    else:
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def _discover() -> Iterable[Tuple[str, str]]:
+    """Yield (abs_path, package) for every module under src/repro."""
+    root = _package_root()
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, root)
+            package = rel.split(os.sep)[0] if os.sep in rel else ""
+            yield path, package
+
+
+def _rules_for(package: str, explicit: bool):
+    interposition = explicit or package in CONFORMANCE_PACKAGES
+    poll = explicit or package in POLL_PACKAGES
+    return interposition, poll
+
+
+def _scan_module(
+    info: ModuleInfo, report: CheckReport, interposition: bool, poll: bool
+) -> List[Finding]:
+    findings: List[Finding] = []
+    if interposition:
+        findings.extend(check_bus_confinement(info))
+        findings.extend(check_release_consistency(info))
+        findings.extend(check_sym_force(info))
+    if poll:
+        poll_findings, sites = check_poll(info)
+        findings.extend(poll_findings)
+        report.poll_sites.extend(sites)
+    findings.extend(check_determinism(info))
+    for line in info.bad_pragmas:
+        findings.append(
+            Finding(
+                rule="bad-suppression",
+                path=info.relpath,
+                line=line,
+                message=(
+                    "repro-check pragma without a '-- reason' "
+                    "justification: suppressions must say why the site "
+                    "is sound"
+                ),
+            )
+        )
+    return findings
+
+
+def run_check(
+    paths: Optional[List[str]] = None,
+    baseline: Optional[str] = None,
+) -> CheckReport:
+    """Run the analyzer; over ``paths`` if given, else the whole tree."""
+    report = CheckReport()
+    modules: List[Tuple[str, str, bool]] = []
+    if paths:
+        modules = [(os.path.abspath(p), "", True) for p in paths]
+    else:
+        modules = [(p, pkg, False) for p, pkg in _discover()]
+
+    for path, package, explicit in modules:
+        info = parse_module(path, _relpath(path), package)
+        interposition, poll = _rules_for(package, explicit)
+        findings = _scan_module(info, report, interposition, poll)
+        report.modules_scanned += 1
+        for finding in findings:
+            if finding.suppressed:
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+
+    if baseline is not None and os.path.exists(baseline):
+        report.apply_baseline(load_baseline(baseline))
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Static driver-conformance analyzer (see repro.check).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="specific files to check (default: the whole src/repro tree)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file of accepted finding fingerprints "
+        "(default: <repo>/check_baseline.json when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = args.baseline
+    if baseline is None and not args.paths:
+        candidate = os.path.join(_repo_root(), DEFAULT_BASELINE)
+        if os.path.exists(candidate):
+            baseline = candidate
+
+    report = run_check(paths=args.paths or None, baseline=baseline)
+
+    if args.write_baseline:
+        target = args.baseline or os.path.join(_repo_root(), DEFAULT_BASELINE)
+        write_baseline(target, report)
+        print("wrote {} fingerprint(s) to {}".format(len(report.findings)
+                                                     + len(report.baselined),
+                                                     target))
+        return 0
+
+    if args.fmt == "json":
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

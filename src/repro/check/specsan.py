@@ -1,0 +1,314 @@
+"""SpecSan: the opt-in runtime invariant sanitizer.
+
+The static rules prove structural properties of the *source*; SpecSan
+checks the corresponding dynamic invariants on a *live run*.  It
+installs as a second :class:`~repro.kernel.env.KernelHooks` observer
+appended **after** DriverShim, so every hook fires on it with the
+shim's work already done — SpecSan asserts post-conditions:
+
+* **release consistency (§4.1)** — at every ``on_unlock`` /
+  ``on_delay`` / ``on_kernel_api`` the current thread's deferral queue
+  must be empty: the commit trigger the shim just handled may not
+  leave deferred accesses pending;
+* **no externalization before validation (§4.2)** — at ``printk`` time
+  there must be no outstanding (unvalidated) speculative commit: the
+  shim is required to stall and validate before a value escapes;
+* **no speculative spill to the client (§4.2 taint)** — wraps
+  ``GpuShim.apply_commit``: a commit carrying tainted (speculation-
+  derived) state may never be applied to the client GPU while
+  unvalidated speculation is outstanding;
+* **meta-only traffic (§5)** — wraps ``MemorySynchronizer.push/pull``:
+  under the META_ONLY policy every transferred page must be declared
+  metastate (shader/command/page-table pages) — zero program-data
+  bytes on the wire at the job-start push and post-IRQ pull.
+
+:class:`FleetSpecSan` is the fleet-layer counterpart (§7.1): it shadows
+the per-tenant recording registry with an independent owner map and
+verifies every lookup/store against it, then sweeps both at the end.
+
+Both sanitizers are togglable: ``strict=True`` raises
+:class:`SpecSanViolation` at the violating event; ``strict=False``
+records violations for later inspection.  ``checks_performed`` counts
+every assertion evaluated so tests can prove the sanitizer actually
+ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.memsync import SyncPolicy
+from repro.kernel.env import KernelEnv, KernelHooks
+
+
+class SpecSanViolation(AssertionError):
+    """A runtime invariant of the recorder was violated."""
+
+
+@dataclass
+class SanitizerState:
+    checks_performed: int = 0
+    violations: List[str] = field(default_factory=list)
+    checks_by_rule: Dict[str, int] = field(default_factory=dict)
+
+
+class SpecSan(KernelHooks):
+    """Runtime sanitizer for one record run (install once per attempt)."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.state = SanitizerState()
+        self.shim = None
+        self.env: Optional[KernelEnv] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def checks_performed(self) -> int:
+        return self.state.checks_performed
+
+    @property
+    def violations(self) -> List[str]:
+        return self.state.violations
+
+    def _check(self, rule: str, ok: bool, message: str) -> None:
+        self.state.checks_performed += 1
+        self.state.checks_by_rule[rule] = (
+            self.state.checks_by_rule.get(rule, 0) + 1
+        )
+        if ok:
+            return
+        detail = "[{}] {}".format(rule, message)
+        self.state.violations.append(detail)
+        if self.strict:
+            raise SpecSanViolation(detail)
+
+    # ------------------------------------------------------------------
+    def install(self, env: KernelEnv, shim) -> "SpecSan":
+        """Attach to a (env, DriverShim) pair.
+
+        Must be called after ``shim.attach(env)`` so this observer runs
+        *after* the shim on every hook.  Safe to call once per recovery
+        attempt: state accumulates, wrappers rebind.
+        """
+        if shim not in env.hooks:
+            raise RuntimeError(
+                "install SpecSan after DriverShim.attach(env): the "
+                "sanitizer asserts post-conditions of the shim's hooks"
+            )
+        self.shim = shim
+        self.env = env
+        env.hooks.append(self)
+        self._wrap_apply_commit(shim)
+        self._wrap_memsync(shim.memsync)
+        return self
+
+    # ------------------------------------------------------------------
+    # Hook post-conditions (§4.1 / §4.2)
+    # ------------------------------------------------------------------
+    def _pending_ops(self, env: KernelEnv) -> int:
+        queue = self.shim._queues.get(env.current.name)
+        return len(queue) if queue else 0
+
+    def on_unlock(self, env: KernelEnv, lock_name: str) -> None:
+        pending = self._pending_ops(env)
+        self._check(
+            "release-consistency",
+            pending == 0,
+            "unlock({}) left {} deferred register access(es) pending in "
+            "thread {!r} — release consistency requires commits to "
+            "precede unlock (§4.1)".format(lock_name, pending, env.current.name),
+        )
+
+    def on_delay(self, env: KernelEnv, seconds: float) -> None:
+        pending = self._pending_ops(env)
+        self._check(
+            "release-consistency",
+            pending == 0,
+            "explicit delay barrier left {} deferred access(es) pending "
+            "(§4.1)".format(pending),
+        )
+
+    def on_kernel_api(self, env: KernelEnv, name: str) -> None:
+        pending = self._pending_ops(env)
+        self._check(
+            "release-consistency",
+            pending == 0,
+            "kernel API {!r} ran with {} deferred access(es) still "
+            "queued — every kernel API is a commit trigger (§4.1)".format(
+                name, pending
+            ),
+        )
+        if name == "printk":
+            outstanding = len(self.shim._outstanding)
+            self._check(
+                "externalize-validated",
+                outstanding == 0,
+                "printk externalized state with {} speculative commit(s) "
+                "still unvalidated (§4.2)".format(outstanding),
+            )
+
+    # ------------------------------------------------------------------
+    # Client-boundary taint check (§4.2)
+    # ------------------------------------------------------------------
+    def _wrap_apply_commit(self, shim) -> None:
+        gpushim = shim.gpushim
+        orig = gpushim.apply_commit
+
+        def checked_apply_commit(request):
+            env = shim.env
+            if env is not None and not shim.ff_active:
+                queue = shim._queues.get(env.current.name)
+                tainted = (
+                    (queue is not None and queue.any_tainted())
+                    or env.current.name in shim._control_taint
+                )
+                self._check(
+                    "no-speculative-spill",
+                    not (tainted and shim._outstanding),
+                    "a commit carrying speculation-tainted state reached "
+                    "the client while {} speculative commit(s) were "
+                    "unvalidated — mispredicted state must never spill "
+                    "(§4.2)".format(len(shim._outstanding)),
+                )
+            return orig(request)
+
+        gpushim.apply_commit = checked_apply_commit
+
+    # ------------------------------------------------------------------
+    # Meta-only traffic (§5)
+    # ------------------------------------------------------------------
+    def _wrap_memsync(self, memsync) -> None:
+        orig_push = memsync.push
+        orig_pull = memsync.pull
+
+        def checked_push(metastate_pfns):
+            meta = set(metastate_pfns)
+            pages, wire = orig_push(meta)
+            self._check_meta_only(memsync, "push", pages, meta)
+            return pages, wire
+
+        def checked_pull(metastate_pfns):
+            meta = set(metastate_pfns)
+            pages, wire = orig_pull(meta)
+            self._check_meta_only(memsync, "pull", pages, meta)
+            return pages, wire
+
+        memsync.push = checked_push
+        memsync.pull = checked_pull
+
+    def _check_meta_only(
+        self, memsync, direction: str, pages: Dict[int, bytes], meta: Set[int]
+    ) -> None:
+        if memsync.policy != SyncPolicy.META_ONLY:
+            self._check("meta-only", True, "")  # policy FULL: nothing to assert
+            return
+        stray = set(pages) - meta
+        self._check(
+            "meta-only",
+            not stray,
+            "meta-only {} shipped {} non-metastate page(s) (e.g. pfn "
+            "{:#x}) — §5 requires zero program-data bytes on the "
+            "wire".format(
+                direction, len(stray), min(stray) if stray else 0
+            ),
+        )
+
+
+class FleetSpecSan:
+    """§7.1 tenant-isolation sanitizer for a fleet run.
+
+    Shadows the recording registry with an independent (tenant, key) ->
+    owner map, verifies every lookup/store against it as the run
+    proceeds, and re-audits both maps in :meth:`finish`.  The shadow map
+    makes the check an *independent oracle*: even a registry whose
+    internal buckets were corrupted cannot pass.
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.state = SanitizerState()
+        self.registry = None
+        self._owners: Dict[tuple, str] = {}
+
+    @property
+    def checks_performed(self) -> int:
+        return self.state.checks_performed
+
+    @property
+    def violations(self) -> List[str]:
+        return self.state.violations
+
+    def _check(self, rule: str, ok: bool, message: str) -> None:
+        self.state.checks_performed += 1
+        self.state.checks_by_rule[rule] = (
+            self.state.checks_by_rule.get(rule, 0) + 1
+        )
+        if ok:
+            return
+        detail = "[{}] {}".format(rule, message)
+        self.state.violations.append(detail)
+        if self.strict:
+            raise SpecSanViolation(detail)
+
+    # ------------------------------------------------------------------
+    def install(self, registry) -> "FleetSpecSan":
+        self.registry = registry
+        orig_lookup = registry.lookup
+        orig_store = registry.store
+
+        def checked_lookup(tenant_id, key):
+            entry = orig_lookup(tenant_id, key)
+            if entry is not None:
+                self._check(
+                    "tenant-isolation",
+                    entry.tenant_id == tenant_id,
+                    "lookup by {!r} returned a recording owned by "
+                    "{!r}".format(tenant_id, entry.tenant_id),
+                )
+                owner = self._owners.get((tenant_id,) + key.as_tuple())
+                self._check(
+                    "tenant-isolation",
+                    owner == tenant_id,
+                    "lookup by {!r} hit an entry the sanitizer saw "
+                    "stored by {!r} (§7.1)".format(tenant_id, owner),
+                )
+            return entry
+
+        def checked_store(tenant_id, entry):
+            self._check(
+                "tenant-isolation",
+                entry.tenant_id == tenant_id,
+                "store filed {!r}'s recording under {!r}".format(
+                    entry.tenant_id, tenant_id
+                ),
+            )
+            self._owners[(tenant_id,) + entry.key.as_tuple()] = entry.tenant_id
+            return orig_store(tenant_id, entry)
+
+        registry.lookup = checked_lookup
+        registry.store = checked_store
+        return self
+
+    def finish(self) -> int:
+        """End-of-run sweep: the registry's own audit plus the shadow map.
+
+        Returns the total number of entries checked.
+        """
+        checked = self.registry.audit_isolation()
+        self._check(
+            "tenant-isolation",
+            checked == len(self._owners),
+            "registry audit saw {} entries but the sanitizer observed {} "
+            "stores — entries appeared or vanished outside the store "
+            "path".format(checked, len(self._owners)),
+        )
+        for (tenant_id, *_key), owner in self._owners.items():
+            self._check(
+                "tenant-isolation",
+                owner == tenant_id,
+                "shadow map holds {!r}'s recording under {!r}".format(
+                    owner, tenant_id
+                ),
+            )
+        return checked

@@ -1,4 +1,4 @@
-"""Command-line interface: record, replay, inspect, diff, fleet, explore.
+"""Command-line interface: record, replay, inspect, diff, fleet, check.
 
 Examples::
 
@@ -8,6 +8,7 @@ Examples::
     python -m repro inspect mnist.grt
     python -m repro diff a.grt b.grt
     python -m repro fleet --clients 200 --seed 7
+    python -m repro check --format json
 
 ``record`` writes three artifacts: ``<out>`` (the signed recording),
 ``<out>.key`` (the cloud service's verification key, which a real
@@ -25,7 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.report import fleet_summary_tables
+from repro.analysis.report import check_summary_tables, fleet_summary_tables
 from repro.analysis.tracediff import diff_recordings
 from repro.core.recorder import (
     NAIVE,
@@ -98,7 +99,7 @@ def cmd_record(args) -> int:
         json.dump(stats, fh, indent=2, default=str)
     s = result.stats
     print(f"recorded {args.workload} on {sku.name} via {config.name} "
-          f"({link.name}):")
+          f"({link.name}, seed {args.seed}):")
     print(f"  delay {s.recording_delay_s:.1f} s | RTTs {s.blocking_rtts} "
           f"| jobs {s.gpu_jobs} | energy {s.client_energy_j:.1f} J")
     print(f"  wrote {args.out} ({len(blob)} bytes), .key, .stats.json")
@@ -138,7 +139,8 @@ def cmd_replay(args) -> int:
     session = replayer.open(recording, weights)
     rng = np.random.RandomState(args.input_seed)
     print(f"replaying {recording.workload} ({recording.recorder} "
-          f"recording) on {sku_name}:")
+          f"recording) on {sku_name} "
+          f"[weight seed {args.seed}, input seed {args.input_seed}]:")
     for i in range(args.runs):
         image = rng.rand(*graph.input_shape).astype(np.float32)
         if args.stream:
@@ -222,6 +224,34 @@ def cmd_fleet(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    from repro.check import runner as check_runner
+
+    if args.write_baseline or args.fmt == "json":
+        argv = list(args.paths)
+        argv += ["--format", args.fmt]
+        if args.baseline:
+            argv += ["--baseline", args.baseline]
+        if args.write_baseline:
+            argv += ["--write-baseline"]
+        return check_runner.main(argv)
+    # Text mode: the aligned conformance tables.
+    baseline = args.baseline
+    if baseline is None and not args.paths:
+        import os
+
+        candidate = os.path.join(check_runner._repo_root(),
+                                 check_runner.DEFAULT_BASELINE)
+        if os.path.exists(candidate):
+            baseline = candidate
+    report = check_runner.run_check(paths=args.paths or None,
+                                    baseline=baseline)
+    print(check_summary_tables(report))
+    for finding in sorted(report.findings, key=lambda f: (f.path, f.line)):
+        print(finding.render())
+    return 0 if report.ok else 1
+
+
 def cmd_diff(args) -> int:
     a = _load_recording(args.a, verify=False)
     b = _load_recording(args.b, verify=False)
@@ -293,6 +323,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None,
                    help="also write the metrics JSON to this path")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser("check", help="static driver-conformance analyzer "
+                                     "(bus confinement, §4.3 poll "
+                                     "discovery, sym-force, determinism)")
+    p.add_argument("paths", nargs="*",
+                   help="specific files (default: the whole src/repro tree)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   dest="fmt")
+    p.add_argument("--baseline", default=None,
+                   help="accepted-findings fingerprint file "
+                        "(default: <repo>/check_baseline.json when present)")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept all current findings into the baseline")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("diff", help="compare two recordings (remote "
                                     "debugging, §3)")

@@ -24,14 +24,13 @@ log with no network, §4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.deferral import (
     CommitRequest,
     DeferralQueue,
     QueuedRead,
-    QueuedWrite,
 )
 from repro.core.gpushim import GpuShim
 from repro.core.memsync import MemorySynchronizer
@@ -44,7 +43,7 @@ from repro.core.speculation import (
 )
 from repro.core.symbolic import LazyInt, SymVal, concrete
 from repro.driver.bus import PollResult, PollSpec, RegisterBus
-from repro.driver.hotfuncs import CommitCategory, HOT_FUNCTIONS
+from repro.driver.hotfuncs import CommitCategory
 from repro.hw import regs
 from repro.hw.gpu import GpuIrqLine
 from repro.hw.regs import JsCommand

@@ -20,7 +20,6 @@ standing in for flaky hardware or a transmission error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.deferral import CommitRequest

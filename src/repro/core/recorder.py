@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.check.specsan import SpecSan
 
 import numpy as np
 
@@ -99,6 +102,7 @@ class RecordStats:
     workload: str
     recorder: str
     link: str
+    seed: int = 0  # the dry run is a pure function of (workload, seed)
     recording_delay_s: float = 0.0
     blocking_rtts: int = 0
     reg_accesses: int = 0
@@ -147,7 +151,8 @@ class RecordSession:
                  client_id: str = "client-0",
                  max_recovery_attempts: int = 3,
                  secure_mem_limit: Optional[int] = None,
-                 image: Optional[str] = None) -> None:
+                 image: Optional[str] = None,
+                 sanitizer: Optional["SpecSan"] = None) -> None:
         self.graph = build_model(workload) if isinstance(workload, str) \
             else workload
         self.config = config
@@ -162,6 +167,9 @@ class RecordSession:
         # Which GPU-stack variant the cloud should dry-run (§3.1); None
         # lets the service pick by driver family.
         self.image = image
+        # Optional runtime invariant sanitizer (repro.check.SpecSan);
+        # re-installed on every attempt since each builds a fresh env/shim.
+        self.sanitizer = sanitizer
         self._mem_size = required_memory_bytes(self.graph)
         if secure_mem_limit is not None and self._mem_size > secure_mem_limit:
             raise InsufficientSecureMemory(
@@ -239,6 +247,8 @@ class RecordSession:
                           history=self.history)
         env = KernelEnv(clock, name="cloud-vm")
         shim.attach(env)
+        if self.sanitizer is not None:
+            self.sanitizer.install(env, shim)
         platform = CloudPlatform(gpushim, shim, link)
         env.platform = platform
 
@@ -305,6 +315,7 @@ class RecordSession:
             workload=self.graph.name,
             recorder=self.config.name,
             link=self.link_profile.name,
+            seed=self.seed,
             recording_delay_s=clock.now,
             blocking_rtts=(link.stats.blocking_round_trips
                            + shim.stats.validation_stalls),

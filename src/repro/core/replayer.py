@@ -19,6 +19,8 @@ the whole GPU stack with a few KSLoC of log streaming.  It:
 it to fast-forward the client GPU over a validated log prefix (§4.2).
 """
 
+# repro-check: module-allow[bus-confinement] -- the replayer IS the client-side bus: it streams the recorded log at the raw GPU with no driver above it, so there is no shim to confine these accesses to (§3.2)
+
 from __future__ import annotations
 
 from dataclasses import dataclass

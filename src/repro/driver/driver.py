@@ -13,7 +13,6 @@ the next hardware event while the driver sleeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.driver.bus import PollCondition, PollSpec, RegisterBus

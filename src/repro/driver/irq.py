@@ -53,10 +53,12 @@ class IrqHandlers:
                     kbdev.jobs.complete_slot(slot, status, js_state,
                                              failed=False)
                 if done & (1 << (16 + slot)):
-                    status = int(bus.read32(regs.js_reg(slot, regs.JS_STATUS)))
+                    # Stays lazy until printk externalizes it (the hook
+                    # commits first), then coerces cheaply for bookkeeping.
+                    status = bus.read32(regs.js_reg(slot, regs.JS_STATUS))
                     self.env.printk(
                         "kbase: job fault on slot %d, status=%x", slot, status)
-                    kbdev.jobs.complete_slot(slot, status, 0, failed=True)
+                    kbdev.jobs.complete_slot(slot, int(status), 0, failed=True)
             # Re-check for interrupts that arrived while handling (the
             # kbase handler loops until RAWSTAT is quiescent).
             remaining = bus.read32(regs.JOB_IRQ_RAWSTAT)
@@ -87,7 +89,7 @@ class IrqHandlers:
         if status & GpuIrq.RESET_COMPLETED:
             kbdev.reset_completed = True
         if status & GpuIrq.FAULT:
-            fault = int(bus.read32(regs.GPU_FAULTSTATUS))
+            fault = bus.read32(regs.GPU_FAULTSTATUS)
             self.env.printk("kbase: GPU fault, status=%x", fault)
         self.gpu_irqs += 1
         return IRQ_HANDLED
@@ -105,11 +107,11 @@ class IrqHandlers:
         bus.write32(regs.MMU_IRQ_CLEAR, status)
         for as_nr in range(regs.NUM_ADDRESS_SPACES):
             if status & (1 << as_nr):
-                fault_status = int(bus.read32(
-                    regs.as_reg(as_nr, regs.AS_FAULTSTATUS)))
-                fault_addr = int(bus.read64(
+                fault_status = bus.read32(
+                    regs.as_reg(as_nr, regs.AS_FAULTSTATUS))
+                fault_addr = bus.read64(
                     regs.as_reg(as_nr, regs.AS_FAULTADDRESS_LO),
-                    regs.as_reg(as_nr, regs.AS_FAULTADDRESS_HI)))
+                    regs.as_reg(as_nr, regs.AS_FAULTADDRESS_HI))
                 self.env.printk(
                     "kbase: MMU fault as=%d status=%x va=%x",
                     as_nr, fault_status, fault_addr)

@@ -91,6 +91,7 @@ class GpuProber:
         props = RawGpuProps()
         # The driver branches on the product id immediately (PTE format,
         # quirk selection): a genuine control dependency.
+        # repro-check: allow[sym-force] -- gpu_id gates PTE format and quirk selection on the very next statements; forcing at the read site is the Listing 1(b) control dependency itself, and probe runs once per session
         props.gpu_id = int(bus.read32(regs.GPU_ID))
         props.l2_features = bus.read32(regs.L2_FEATURES)
         props.core_features = bus.read32(regs.CORE_FEATURES)

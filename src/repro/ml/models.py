@@ -17,7 +17,6 @@ from repro.ml.graph import Graph, INPUT
 from repro.ml.layers import (
     Activation,
     Add,
-    AvgPool,
     BatchNorm,
     Concat,
     Conv2D,
@@ -26,7 +25,6 @@ from repro.ml.layers import (
     GlobalAvgPool,
     LRN,
     MaxPool,
-    ReLU,
     Slice,
     Softmax,
 )

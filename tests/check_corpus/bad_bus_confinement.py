@@ -1,0 +1,23 @@
+"""Corpus: raw MMIO outside a RegisterBus subclass (bus-confinement).
+
+Every access here bypasses the shim — it would be invisible to the
+register log and to deferral/speculation.  Each marked line must fire.
+"""
+
+GPU_STATUS = 0x34
+
+
+class NotABus:
+    """Looks bus-adjacent but does not implement RegisterBus."""
+
+    def __init__(self, gpu):
+        self.gpu = gpu
+
+    def peek(self):
+        return self.gpu.read_reg(GPU_STATUS)  # fires: raw read
+
+    def poke(self, value):
+        self.gpu.write_reg(GPU_STATUS, value)  # fires: raw write
+
+    def poke_file(self, value):
+        self.gpu.regs[GPU_STATUS] = value  # fires: register-file poke

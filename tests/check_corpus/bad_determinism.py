@@ -1,0 +1,19 @@
+"""Corpus: wall-clock reads and unseeded RNG (determinism).
+
+Any of these lets a record run diverge from its replay — the stack must
+be a pure function of (workload, seed).
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    return time.time() + random.random()  # fires twice: clock + global RNG
+
+
+def noise(shape):
+    rng = np.random.RandomState()  # fires: unseeded constructor
+    return np.random.normal(size=shape) + rng.standard_normal()  # fires: global numpy RNG

@@ -1,0 +1,42 @@
+"""Corpus: malformed and stale PollSpec declarations (poll-spec).
+
+Three distinct failure shapes: an unknown condition kind, a max_iters
+that is not a positive loop-local constant (breaking §4.3 criterion 2),
+and a spec that never reaches poll() — it instruments nothing.
+"""
+
+from repro.driver.bus import PollCondition, PollSpec
+
+
+def bogus_condition(bus):
+    return bus.poll(PollSpec(
+        offset=0x20,
+        condition=PollCondition.SOMEDAY,  # fires: unknown condition kind
+        operand=1,
+        max_iters=100,
+        delay_per_iter_s=1e-6,
+        tag="bogus-cond",
+    ))
+
+
+def unbounded(bus, n):
+    return bus.poll(PollSpec(
+        offset=0x20,
+        condition=PollCondition.BITS_SET,
+        operand=1,
+        max_iters=n,  # fires: not a loop-local constant
+        delay_per_iter_s=1e-6,
+        tag="unbounded",
+    ))
+
+
+def stale():
+    spec = PollSpec(  # fires: never wired to an executor
+        offset=0x20,
+        condition=PollCondition.BITS_SET,
+        operand=1,
+        max_iters=100,
+        delay_per_iter_s=1e-6,
+        tag="stale",
+    )
+    return spec

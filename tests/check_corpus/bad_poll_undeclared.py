@@ -1,0 +1,31 @@
+"""Corpus: raw busy-wait loop meeting the §4.3 criteria (poll-undeclared).
+
+Single loop-invariant register read, no writes, bounded by a loop-local
+constant, no external kernel APIs — exactly what GR-T's analysis would
+offload, but never declared as a PollSpec.
+"""
+
+GPU_IRQ_RAWSTAT = 0x20
+RESET_COMPLETED = 1 << 8
+
+
+def wait_reset(bus, delay):
+    stat = 0
+    for _ in range(500):  # fires: offload-eligible but undeclared
+        stat = bus.read32(GPU_IRQ_RAWSTAT)
+        if stat & RESET_COMPLETED:
+            break
+        delay(10e-6)
+    return stat
+
+
+def wait_reset_while(bus, delay):
+    tries = 0
+    stat = 0
+    while tries < 200:  # fires: counter-vs-literal bound, same criteria
+        stat = bus.read32(GPU_IRQ_RAWSTAT)
+        if stat & RESET_COMPLETED:
+            break
+        tries = tries + 1
+        delay(10e-6)
+    return stat

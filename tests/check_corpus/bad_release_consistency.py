@@ -1,0 +1,15 @@
+"""Corpus: bare lock()/unlock() pair around deferred MMIO
+(release-consistency).
+
+An exception between the two calls leaks the lock with deferred
+accesses still pending; only `with mutex:` guarantees on_unlock flushes
+the commit first.
+"""
+
+GPU_COMMAND = 0x30
+
+
+def flush_caches(kbdev, cmd):
+    kbdev.hwaccess_lock.lock()  # fires: bare acquire
+    kbdev.bus.write32(GPU_COMMAND, cmd)
+    kbdev.hwaccess_lock.unlock()  # fires: bare release

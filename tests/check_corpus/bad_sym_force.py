@@ -1,0 +1,24 @@
+"""Corpus: symbolic register values forced outside a commit point
+(sym-force).
+
+Each function reproduces one hazard shape from §4.2: forcing at the
+read site, formatting a never-branched value, and coercing inside a
+printk argument list (which evaluates before the externalization hook
+fires).
+"""
+
+GPU_STATUS = 0x34
+
+
+def force_at_read_site(bus):
+    return int(bus.read32(GPU_STATUS))  # fires: forced at the read
+
+
+def force_unbranched(bus):
+    status = bus.read32(GPU_STATUS)
+    return "status=%x" % status  # fires: %-format with no prior commit
+
+
+def force_in_printk_args(env, bus):
+    fault = bus.read32(GPU_STATUS)
+    env.printk("fault=%x", int(fault))  # fires: coerced before the hook

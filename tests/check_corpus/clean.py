@@ -1,0 +1,51 @@
+"""Corpus: conformant driver-style code — every rule stays quiet.
+
+Exercises the sanctioned form of each pattern the bad_* files break:
+raw access inside a RegisterBus implementation, a declared+executed
+PollSpec, control-dependency and externalization commits, and
+explicitly-seeded randomness.
+"""
+
+import random
+
+from repro.driver.bus import PollCondition, PollSpec, RegisterBus
+
+GPU_IRQ_RAWSTAT = 0x20
+RESET_COMPLETED = 1 << 8
+
+
+class LoopbackBus(RegisterBus):
+    """Bus implementations sit below the boundary: raw access is theirs."""
+
+    def __init__(self, gpu):
+        self.gpu = gpu
+
+    def read32(self, offset):
+        return self.gpu.read_reg(offset)
+
+    def write32(self, offset, value):
+        self.gpu.write_reg(offset, value)
+
+
+def wait_reset(bus):
+    # The declared, executed §4.3 form of a busy-wait loop.
+    return bus.poll(PollSpec(
+        offset=GPU_IRQ_RAWSTAT,
+        condition=PollCondition.BITS_SET,
+        operand=RESET_COMPLETED,
+        max_iters=500,
+        delay_per_iter_s=10e-6,
+        tag="reset-wait",
+    ))
+
+
+def handle_irq(env, bus):
+    stat = bus.read32(GPU_IRQ_RAWSTAT)
+    if stat & RESET_COMPLETED:  # control dependency: sanctioned force
+        env.printk("reset done, rawstat=%x", stat)  # bare lazy argument
+    return int(stat)  # already committed by the branch above
+
+
+def draw(seed):
+    rng = random.Random(seed)  # explicitly seeded: sanctioned
+    return rng.random()
