@@ -38,6 +38,9 @@ def main() -> None:
         if symbols:
             out.append("Public: "
                        + ", ".join(f"`{s}`" for s in symbols) + "\n")
+    # Hand-maintained appendix (formats, invariants) survives regeneration.
+    if os.path.exists("docs/_api_appendix.md"):
+        out.append("\n" + open("docs/_api_appendix.md").read().rstrip())
     os.makedirs("docs", exist_ok=True)
     with open("docs/API.md", "w") as fh:
         fh.write("\n".join(out) + "\n")

@@ -42,6 +42,7 @@ from repro.core import (
 from repro.hw.sku import HIKEY960_G71, SKU_DATABASE, GpuSku, find_sku
 from repro.ml.models import PAPER_WORKLOADS, build_model
 from repro.ml.runner import generate_weights, reference_forward
+from repro.resilience import ChannelDisconnected, FaultPlan
 from repro.sim.network import CELLULAR, WIFI, LinkProfile
 
 __version__ = "1.0.0"
@@ -61,6 +62,8 @@ __all__ = [
     "ReplayResult",
     "ReplayError",
     "MispredictionDetected",
+    "ChannelDisconnected",
+    "FaultPlan",
     "ClientDevice",
     "native_run",
     "NativeResult",

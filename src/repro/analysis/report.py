@@ -106,7 +106,82 @@ def fleet_summary_tables(summary: dict) -> str:
     service = format_table(
         "Service time by cache outcome (seconds, queueing excluded)",
         ["outcome", "n", "p50", "p95", "p99", "mean"], svc_rows)
-    return "\n\n".join((overview, latency, service))
+    tables = [overview, latency, service]
+    network = summary.get("network")
+    if network:
+        net_rows = []
+        for link, dist in sorted(network["time_blocked_s"]["by_link"].items()):
+            net_rows.append([link, dist["count"], dist["p50"], dist["p95"],
+                             dist["p99"], dist["mean"]])
+        all_blocked = network["time_blocked_s"]["overall"]
+        net_rows.append(["all", all_blocked["count"], all_blocked["p50"],
+                         all_blocked["p95"], all_blocked["p99"],
+                         all_blocked["mean"]])
+        tables.append(format_table(
+            "Time blocked on the link (seconds)",
+            ["link", "n", "p50", "p95", "p99", "mean"], net_rows))
+    failover = summary.get("failover")
+    if failover and failover["total_failovers"]:
+        wait = failover["wait_s"]
+        faults = summary.get("vm_faults", {})
+        tables.append(format_table(
+            "Failover (VM deaths survived via checkpoint resume)",
+            ["metric", "value"],
+            [
+                ["VM deaths", faults.get("vm_deaths",
+                                         failover["total_failovers"])],
+                ["sessions with failover",
+                 failover["sessions_with_failover"]],
+                ["failover requeues", pool.get("failover_requeues", 0)],
+                ["failover rejections",
+                 faults.get("failover_rejections", 0)],
+                ["death-to-resume p50", f"{wait['p50']:.3f} s"],
+                ["death-to-resume p95", f"{wait['p95']:.3f} s"],
+                ["death-to-resume mean", f"{wait['mean']:.3f} s"],
+            ]))
+    return "\n\n".join(tables)
+
+
+def chaos_summary_tables(summary: dict) -> str:
+    """Render a chaos run's summary dict (see
+    :meth:`repro.resilience.ChaosReport.summary`): the baseline line,
+    then one row per fault plan with byte-identity verdict, overhead,
+    and the channel's retry/resume counters."""
+    base = summary["baseline"]
+    header = format_table(
+        "Chaos baseline (fault-free)",
+        ["metric", "value"],
+        [
+            ["workload", summary["workload"]],
+            ["recorder", summary["recorder"]],
+            ["link", summary["link"]],
+            ["seed", summary["config"]["seed"]],
+            ["recording delay", f"{base['delay_s']:.3f} s"],
+            ["recording bytes", base["recording_bytes"]],
+            ["sha256", base["sha256"][:16] + "..."],
+        ])
+    rows = []
+    for run in summary["plans"]:
+        rows.append([
+            run["plan"],
+            "IDENTICAL" if run["identical"] else "DIVERGED",
+            f"{run['overhead_pct']:.2f}%",
+            run["retries"],
+            run["timeouts"],
+            run["resumes"],
+            run["checkpoints"],
+            run["redundant_bytes"],
+            f"{run['retry_wait_s']:.3f}",
+            f"{run['disconnect_wait_s']:.3f}",
+        ])
+    plans = format_table(
+        "Recordings under fault plans (vs. fault-free baseline bytes)",
+        ["plan", "recording", "overhead", "retries", "timeouts", "resumes",
+         "ckpts", "redundant B", "retry wait s", "disc wait s"], rows)
+    verdict = ("all recordings byte-identical to the fault-free baseline"
+               if summary["all_identical"]
+               else "DIVERGENCE: at least one recording changed under faults")
+    return "\n\n".join((header, plans, verdict))
 
 
 def save_report(name: str, text: str) -> str:

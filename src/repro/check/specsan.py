@@ -149,6 +149,40 @@ class SpecSan(KernelHooks):
             )
 
     # ------------------------------------------------------------------
+    # Checkpoint invariants (repro.resilience.checkpoint)
+    # ------------------------------------------------------------------
+    def on_checkpoint(self, shim, checkpoint) -> None:
+        """A session checkpoint was captured: assert it is a quiescent,
+        consistent watermark.  A checkpoint violating these would resume
+        into a recording that diverges from the fault-free run."""
+        outstanding = len(shim._outstanding)
+        pending = sum(len(q) for q in shim._queues.values())
+        self._check(
+            "checkpoint-quiescent",
+            outstanding == 0 and pending == 0,
+            "checkpoint captured with {} unvalidated speculative "
+            "commit(s) and {} deferred access(es) — a watermark must be "
+            "quiescent (§4.2)".format(outstanding, pending),
+        )
+        self._check(
+            "checkpoint-watermark",
+            (checkpoint.position == shim.last_validated_position
+             and checkpoint.position == len(checkpoint.entries)
+             and checkpoint.position <= shim.gpushim.log_position()),
+            "checkpoint watermark {} inconsistent with validated position "
+            "{} / prefix length {} / log length {}".format(
+                checkpoint.position, shim.last_validated_position,
+                len(checkpoint.entries), shim.gpushim.log_position()),
+        )
+        self._check(
+            "checkpoint-monotonic",
+            all(checkpoint.position > earlier.position
+                for earlier in shim.checkpointer.checkpoints[:-1]),
+            "checkpoint watermark {} does not advance past earlier "
+            "checkpoints".format(checkpoint.position),
+        )
+
+    # ------------------------------------------------------------------
     # Client-boundary taint check (§4.2)
     # ------------------------------------------------------------------
     def _wrap_apply_commit(self, shim) -> None:

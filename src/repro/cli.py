@@ -26,7 +26,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.analysis.report import check_summary_tables, fleet_summary_tables
+from repro.analysis.report import (
+    chaos_summary_tables,
+    check_summary_tables,
+    fleet_summary_tables,
+)
 from repro.analysis.tracediff import diff_recordings
 from repro.core.recorder import (
     NAIVE,
@@ -197,20 +201,36 @@ def cmd_fleet(args) -> int:
     if args.arrival_rate <= 0:
         print("error: --arrival-rate must be positive", file=sys.stderr)
         return 2
+    if not 0.0 <= args.vm_failure_rate <= 1.0:
+        print("error: --vm-failure-rate must be in [0, 1]", file=sys.stderr)
+        return 2
     tenants = args.tenants or max(2, args.clients // 10)
     generator = WorkloadGenerator(seed=args.seed,
                                   arrival_rate_hz=args.arrival_rate,
                                   tenants=tenants)
     requests = generator.generate(args.clients)
-    sim = FleetSimulation(requests, capacity=args.capacity,
-                          warm_target=args.warm,
-                          queue_limit=args.queue)
+    if args.vm_failure_rate > 0:
+        from repro.resilience.failover import (
+            FleetFaultPlan,
+            ResilientFleetSimulation,
+        )
+        sim = ResilientFleetSimulation(
+            requests,
+            fault_plan=FleetFaultPlan(seed=args.seed,
+                                      vm_failure_rate=args.vm_failure_rate),
+            capacity=args.capacity, warm_target=args.warm,
+            queue_limit=args.queue)
+    else:
+        sim = FleetSimulation(requests, capacity=args.capacity,
+                              warm_target=args.warm,
+                              queue_limit=args.queue)
     sim.run()
     summary = sim.summary()
     summary["config"] = {
         "clients": args.clients, "seed": args.seed, "tenants": tenants,
         "arrival_rate_hz": args.arrival_rate, "capacity": args.capacity,
         "warm_target": args.warm, "queue_limit": args.queue,
+        "vm_failure_rate": args.vm_failure_rate,
     }
     print(f"fleet: {args.clients} sessions, {tenants} tenants, "
           f"seed {args.seed}, {args.arrival_rate:g}/s arrivals")
@@ -222,6 +242,37 @@ def cmd_fleet(args) -> int:
             fh.write(blob + "\n")
         print(f"\nwrote {args.json}")
     return 0
+
+
+def cmd_chaos(args) -> int:
+    from repro.resilience.experiment import (
+        DEFAULT_PLANS,
+        run_chaos_experiment,
+    )
+
+    if args.warm < 0:
+        print("error: --warm must be >= 0", file=sys.stderr)
+        return 2
+    plans = args.plan or list(DEFAULT_PLANS)
+    try:
+        report = run_chaos_experiment(
+            workload=args.workload, recorder=RECORDERS[args.recorder],
+            link=LINKS[args.link], plans=plans, seed=args.seed,
+            warm_rounds=args.warm, sanitize=args.sanitize)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = report.summary()
+    print(f"chaos: {args.workload} via {args.recorder} over {args.link}, "
+          f"seed {args.seed}, {len(plans)} fault plan(s)")
+    print()
+    print(chaos_summary_tables(summary))
+    if args.json:
+        blob = json.dumps(summary, indent=2, sort_keys=True)
+        with open(args.json, "w") as fh:
+            fh.write(blob + "\n")
+        print(f"\nwrote {args.json}")
+    return 0 if report.all_identical else 1
 
 
 def cmd_check(args) -> int:
@@ -322,7 +373,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="admission queue limit before rejection")
     p.add_argument("--json", default=None,
                    help="also write the metrics JSON to this path")
+    p.add_argument("--vm-failure-rate", type=float, default=0.0,
+                   help="per-attempt probability a session VM dies "
+                        "mid-dry-run (failover via checkpoint resume)")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser("chaos", help="record under WAN fault plans and "
+                                     "verify recordings stay byte-"
+                                     "identical to the fault-free run")
+    p.add_argument("--workload", default="mnist",
+                   choices=sorted([*PAPER_WORKLOADS, *EXTRA_WORKLOADS]))
+    p.add_argument("--recorder", default="OursMDS",
+                   choices=sorted(RECORDERS))
+    p.add_argument("--link", default="wifi", choices=sorted(LINKS))
+    p.add_argument("--plan", action="append", default=None,
+                   help="fault plan: a preset (loss-only, disconnect, "
+                        "combined) or a spec like "
+                        "'loss=0.01,jitter=0.005@0.02,window=2+1'; "
+                        "repeatable (default: all three presets)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the fault schedule and the workload")
+    p.add_argument("--warm", type=int, default=1,
+                   help="history warm-up runs shared by every plan")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run SpecSan (strict) during every record run")
+    p.add_argument("--json", default=None,
+                   help="also write the chaos report JSON to this path")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("check", help="static driver-conformance analyzer "
                                      "(bus confinement, §4.3 poll "

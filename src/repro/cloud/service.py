@@ -69,6 +69,7 @@ class CloudService:
         self.active_sessions: Dict[str, SessionTicket] = {}
         self.recordings_served = 0
         self.sessions_opened = 0
+        self.sessions_aborted = 0
         self._vm_seconds_total = 0.0
 
     # ------------------------------------------------------------------
@@ -103,6 +104,16 @@ class CloudService:
             return
         ticket.closed_at = clock.now if clock else ticket.opened_at
         self._vm_seconds_total += max(0.0, ticket.vm_seconds)
+
+    def abort_session(self, session_id: str, clock=None) -> None:
+        """Close the ledger for a session whose VM died mid-run.
+
+        Billing is identical to a clean close (the VM existed until it
+        died), but the abnormal termination is counted separately so the
+        fleet report can distinguish failures from completions."""
+        if session_id in self.active_sessions:
+            self.sessions_aborted += 1
+        self.close_session(session_id, clock=clock)
 
     @property
     def total_vm_seconds(self) -> float:

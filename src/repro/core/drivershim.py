@@ -165,6 +165,9 @@ class DriverShim(RegisterBus, KernelHooks):
         self.feed: Optional[FastForwardFeed] = None
         self.reg_accesses = 0
         self._in_emulated_poll = False
+        # Optional resilience wiring: a SessionCheckpointer notified at
+        # memory-sync watermarks (repro.resilience.checkpoint).
+        self.checkpointer = None
 
     # ------------------------------------------------------------------
     def attach(self, env: KernelEnv) -> None:
@@ -233,14 +236,25 @@ class DriverShim(RegisterBus, KernelHooks):
     # ------------------------------------------------------------------
     # Synchronous single-op paths (Naive / OursM / cold code)
     # ------------------------------------------------------------------
+    def _rpc(self, request: Message, response: Message, apply):
+        """One blocking request/response with the commit applied on the
+        client.  A reliable channel (repro.resilience.channel) owns the
+        retransmission/dedup logic and guarantees ``apply`` runs exactly
+        once; a plain Link applies after its perfect round trip."""
+        rpc = getattr(self.link, "rpc", None)
+        if rpc is not None:
+            return rpc(request, response, apply)
+        self.link.round_trip(request, response)
+        return apply()
+
     def _sync_single_read(self, offset: int) -> int:
         if self.ff_active:
             return self.feed.expect_read(offset)
         self._sym_counter += 1
         request = CommitRequest(ops=(("r", offset, self._sym_counter),))
-        self.link.round_trip(Message("commit", request.payload_bytes),
-                             Message("commit-resp", request.response_bytes))
-        env = self.gpushim.apply_commit(request)
+        env = self._rpc(Message("commit", request.payload_bytes),
+                        Message("commit-resp", request.response_bytes),
+                        lambda: self.gpushim.apply_commit(request))
         self.stats.note_commit(self._category(), speculated=False, reads=1)
         self.last_validated_position = self.gpushim.log_position()
         return env[self._sym_counter]
@@ -250,9 +264,9 @@ class DriverShim(RegisterBus, KernelHooks):
             self.feed.expect_write(offset, value)
             return
         request = CommitRequest(ops=(("w", offset, value),))
-        self.link.round_trip(Message("commit", request.payload_bytes),
-                             Message("commit-resp", 4))
-        self.gpushim.apply_commit(request)
+        self._rpc(Message("commit", request.payload_bytes),
+                  Message("commit-resp", 4),
+                  lambda: self.gpushim.apply_commit(request))
         self.stats.note_commit(self._category(), speculated=False, reads=0)
         self.last_validated_position = self.gpushim.log_position()
 
@@ -316,10 +330,10 @@ class DriverShim(RegisterBus, KernelHooks):
             self.stats.note_commit(category, speculated=True,
                                    reads=len(reads))
         else:
-            self.link.round_trip(
+            env = self._rpc(
                 Message("commit", request.payload_bytes),
-                Message("commit-resp", max(request.response_bytes, 4)))
-            env = self.gpushim.apply_commit(request)
+                Message("commit-resp", max(request.response_bytes, 4)),
+                lambda: self.gpushim.apply_commit(request))
             for qread in reads:
                 qread.sym.resolve(env[qread.sym.sym_id], tainted=False)
             values = tuple(env[r.sym.sym_id] for r in reads)
@@ -413,9 +427,9 @@ class DriverShim(RegisterBus, KernelHooks):
                                    reads=1)
             return PollResult(value=pred_value, iterations=1,
                               success=pred_success)
-        self.link.round_trip(Message("poll", POLL_REQUEST_BYTES),
-                             Message("poll-resp", POLL_RESPONSE_BYTES))
-        result = self.gpushim.execute_poll(spec)
+        result = self._rpc(Message("poll", POLL_REQUEST_BYTES),
+                           Message("poll-resp", POLL_RESPONSE_BYTES),
+                           lambda: self.gpushim.execute_poll(spec))
         self.history.record(psig, (result.success, result.value))
         self.stats.note_commit(CommitCategory.POLLING, speculated=False,
                                reads=1)
@@ -456,6 +470,8 @@ class DriverShim(RegisterBus, KernelHooks):
                                      blocking=True)
             self.memsync.apply_push(pages)
             self.gpushim.note_mem_write(pages)
+        if self.checkpointer is not None:
+            self.checkpointer.on_watermark(self, "memsync-push")
 
     def memsync_pull(self) -> None:
         if self.ff_active:
@@ -466,6 +482,8 @@ class DriverShim(RegisterBus, KernelHooks):
             self.link.receive_from_client(Message("memsync-pull", wire))
             self.memsync.apply_pull(pages)
         self.gpushim.note_mem_upload(wire)
+        if self.checkpointer is not None:
+            self.checkpointer.on_watermark(self, "memsync-pull")
 
     # ------------------------------------------------------------------
     # KernelHooks: the instrumentation seam (§4.1's commit triggers)

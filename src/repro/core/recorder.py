@@ -53,11 +53,21 @@ from repro.kernel.env import KernelEnv
 from repro.ml.graph import Graph
 from repro.ml.models import build_model
 from repro.ml.runner import WorkloadRunner, required_memory_bytes
+from repro.resilience.channel import ChannelDisconnected, ReliableChannel
+from repro.resilience.checkpoint import SessionCheckpointer
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.runtime.api import GpuContext
 from repro.runtime.flavors import flavor_for_image
 from repro.sim.clock import VirtualClock
 from repro.sim.energy import EnergyMeter
-from repro.sim.network import Link, LinkProfile, Message, SecureChannel, WIFI
+from repro.sim.network import (
+    WIFI,
+    Link,
+    LinkProfile,
+    Message,
+    NetworkStats,
+    SecureChannel,
+)
 from repro.tee.attestation import AttestationVerifier
 from repro.tee.optee import OpTeeOS
 
@@ -118,6 +128,13 @@ class RecordStats:
     recovery_delay_s: float = 0.0
     vm_seconds: float = 0.0
     timeline_by_label: Dict[str, float] = field(default_factory=dict)
+    # Resilience (repro.resilience): zero / None on a perfect link.
+    fault_plan: Optional[str] = None
+    resumes: int = 0
+    checkpoints: int = 0
+    net_retries: int = 0
+    net_timeouts: int = 0
+    redundant_bytes: int = 0
 
     @property
     def accesses_per_commit(self) -> float:
@@ -152,7 +169,10 @@ class RecordSession:
                  max_recovery_attempts: int = 3,
                  secure_mem_limit: Optional[int] = None,
                  image: Optional[str] = None,
-                 sanitizer: Optional["SpecSan"] = None) -> None:
+                 sanitizer: Optional["SpecSan"] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 max_resume_attempts: int = 8,
+                 checkpointer: Optional[SessionCheckpointer] = None) -> None:
         self.graph = build_model(workload) if isinstance(workload, str) \
             else workload
         self.config = config
@@ -170,6 +190,18 @@ class RecordSession:
         # Optional runtime invariant sanitizer (repro.check.SpecSan);
         # re-installed on every attempt since each builds a fresh env/shim.
         self.sanitizer = sanitizer
+        # Optional WAN fault injection (repro.resilience).  The injector
+        # persists across attempts: a resumed session continues the fault
+        # schedule rather than restarting it.
+        self.fault_plan = fault_plan
+        self._injector = (FaultInjector(fault_plan)
+                          if fault_plan is not None else None)
+        self.max_resume_attempts = max_resume_attempts
+        self.checkpointer = checkpointer
+        if self.checkpointer is None and fault_plan is not None:
+            self.checkpointer = SessionCheckpointer()
+        if self.checkpointer is not None and sanitizer is not None:
+            self.checkpointer.sanitizer = sanitizer
         self._mem_size = required_memory_bytes(self.graph)
         if secure_mem_limit is not None and self._mem_size > secure_mem_limit:
             raise InsufficientSecureMemory(
@@ -191,9 +223,11 @@ class RecordSession:
         clock = VirtualClock()
         prefix = None
         recoveries = 0
+        self._resumes = 0
         self._vm_seconds = 0.0
+        self._net_carry = NetworkStats()
         while True:
-            first_attempt = recoveries == 0
+            first_attempt = recoveries == 0 and self._resumes == 0
             try:
                 return self._attempt(clock, prefix, recoveries,
                                      inject=first_attempt)
@@ -204,6 +238,25 @@ class RecordSession:
                 # Both sides roll back to the last validated log position
                 # and fast-forward independently (§4.2).
                 prefix = self._last_log[:exc.safe_log_position]
+            except ChannelDisconnected as exc:
+                self._resumes += 1
+                if self._resumes > self.max_resume_attempts:
+                    raise
+                # The VM is gone (the finally-close in _attempt destroyed
+                # it); the aborted attempt's traffic still counts.
+                self._net_carry = self._net_carry.merged_with(
+                    self._attempt_net)
+                if exc.resume_at_s > clock.now:
+                    clock.advance_to(exc.resume_at_s, label="disconnect")
+                # Resume from the last checkpoint on a fresh VM: replay
+                # the verified prefix (the misprediction machinery, §4.2)
+                # and restore the speculation history the dead VM held.
+                prefix = self.checkpointer.resume_prefix() \
+                    if self.checkpointer is not None else []
+                checkpoint = (self.checkpointer.latest()
+                              if self.checkpointer is not None else None)
+                if checkpoint is not None:
+                    self.history.restore(checkpoint.history)
 
     # ------------------------------------------------------------------
     def _attempt(self, clock: VirtualClock, prefix, recoveries: int,
@@ -234,6 +287,14 @@ class RecordSession:
         verifier.verify(ticket.attestation, nonce)
 
         link = Link(self.link_profile, clock)
+        if self._injector is not None:
+            # Reliable channel over the faulty link: every fault-induced
+            # delay is charged while GPUShim clock-gates the GPU
+            # (gpu.shift_events), so the recording stays byte-identical
+            # to a fault-free run.
+            link = ReliableChannel(link, self._injector,
+                                   hold=gpu.shift_events)
+        self._attempt_net = link.stats
         channel = SecureChannel(link)
         channel.establish(ticket.session_id, attested=True)
         ticket.vm.boot(clock)
@@ -245,6 +306,7 @@ class RecordSession:
                                      compress_enabled=self.config.compress)
         shim = DriverShim(link, gpushim, memsync, self.config.modes(),
                           history=self.history)
+        shim.checkpointer = self.checkpointer
         env = KernelEnv(clock, name="cloud-vm")
         shim.attach(env)
         if self.sanitizer is not None:
@@ -289,6 +351,10 @@ class RecordSession:
         except MispredictionDetected:
             self._last_log = gpushim.log
             raise
+        except ChannelDisconnected as exc:
+            self._last_log = gpushim.log
+            exc.safe_log_position = shim.last_validated_position
+            raise
         finally:
             self.service.close_session(ticket.session_id, clock=clock)
             self._vm_seconds += clock.now - vm_open_time
@@ -311,28 +377,38 @@ class RecordSession:
 
         # --- statistics ----------------------------------------------------
         meter = EnergyMeter()
+        # Aborted attempts' traffic (disconnect resumes) still counts.
+        net = link.stats.merged_with(self._net_carry)
         stats = RecordStats(
             workload=self.graph.name,
             recorder=self.config.name,
             link=self.link_profile.name,
             seed=self.seed,
             recording_delay_s=clock.now,
-            blocking_rtts=(link.stats.blocking_round_trips
+            blocking_rtts=(net.blocking_round_trips
                            + shim.stats.validation_stalls),
             reg_accesses=shim.reg_accesses,
             client_reads_applied=gpushim.reads_applied,
             gpu_jobs=runner.manifest.total_jobs,
             commits=shim.stats,
             memsync=memsync.stats,
-            network_bytes=link.stats.total_bytes,
+            network_bytes=net.total_bytes,
             recording_bytes=blob_len,
-            client_energy_j=meter.record_energy_j(clock.timeline, link.stats),
+            client_energy_j=meter.record_energy_j(clock.timeline, net),
             timeout_violations=(kbdev.jobs.timeout_violations
                                 + kbdev.timing_violations),
             recoveries=recoveries,
             recovery_delay_s=(clock.now - attempt_start) if recoveries else 0.0,
             vm_seconds=self._vm_seconds,
             timeline_by_label=clock.timeline.by_label(),
+            fault_plan=(self.fault_plan.name
+                        if self.fault_plan is not None else None),
+            resumes=self._resumes,
+            checkpoints=(self.checkpointer.captures
+                         if self.checkpointer is not None else 0),
+            net_retries=net.retries,
+            net_timeouts=net.timeouts,
+            redundant_bytes=net.redundant_bytes,
         )
         return RecordResult(recording=recording, stats=stats, output=output)
 

@@ -1,4 +1,4 @@
-"""Misprediction recovery experiment driver (§7.3, "Misprediction cost").
+"""Recovery experiment drivers: misprediction (§7.3) and disconnect.
 
 The paper observed no natural mispredictions in 1,000 runs per workload,
 so it *injects* wrong register values to validate the recovery path.  This
@@ -6,6 +6,12 @@ module packages that experiment: run a workload cleanly, run it again with
 a fault injected near the end of the record run (the worst case), verify
 the misprediction was detected and recovered, and report the rollback
 cost as the delay difference.
+
+:func:`run_disconnect_recovery_experiment` is the WAN counterpart: the
+same replay-based reset machinery, but triggered by a link disconnect
+(:mod:`repro.resilience`) instead of a wrong speculation — the session
+resumes from its last commit-log checkpoint and the recording must come
+out byte-identical to the clean run.
 """
 
 from __future__ import annotations
@@ -86,4 +92,63 @@ def run_misprediction_experiment(
         detected=True,
         recoveries=injected.stats.recoveries,
         injected_read_index=target,
+    )
+
+
+@dataclass
+class DisconnectRecoveryReport:
+    workload: str
+    plan: str
+    clean_delay_s: float
+    faulty_delay_s: float
+    recovery_cost_s: float
+    resumes: int
+    checkpoints: int
+    byte_identical: bool
+
+
+def run_disconnect_recovery_experiment(
+        workload: str,
+        plan=None,
+        config: RecorderConfig = OURS_MDS,
+        sku: GpuSku = HIKEY960_G71,
+        link: LinkProfile = WIFI,
+        warm_rounds: int = 3) -> DisconnectRecoveryReport:
+    """Disconnect the link mid-run, resume from the checkpoint, and
+    measure the recovery cost as the delay difference vs. a clean run.
+
+    Both runs start from the same warmed history state (the disconnect
+    run restores the clean run's starting snapshot), so the comparison —
+    and the byte-identity claim — is apples to apples."""
+    from repro.resilience.faults import PRESETS
+
+    if plan is None:
+        plan = PRESETS["disconnect"]
+    history = _warm_history(workload, config, sku, link, warm_rounds)
+    snapshot = history.snapshot()
+
+    clean = RecordSession(workload, config=config, sku=sku,
+                          link_profile=link, history=history).run()
+
+    resumed_history = CommitHistory(config.spec_window)
+    resumed_history.restore(snapshot)
+    faulty = RecordSession(workload, config=config, sku=sku,
+                           link_profile=link, history=resumed_history,
+                           fault_plan=plan).run()
+    if faulty.stats.resumes == 0:
+        raise RuntimeError(
+            f"plan {plan.name!r} never disconnected {workload} — move its "
+            "window into the session's shim traffic")
+
+    return DisconnectRecoveryReport(
+        workload=workload,
+        plan=plan.name,
+        clean_delay_s=clean.stats.recording_delay_s,
+        faulty_delay_s=faulty.stats.recording_delay_s,
+        recovery_cost_s=(faulty.stats.recording_delay_s
+                         - clean.stats.recording_delay_s),
+        resumes=faulty.stats.resumes,
+        checkpoints=faulty.stats.checkpoints,
+        byte_identical=(faulty.recording.body_bytes()
+                        == clean.recording.body_bytes()),
     )

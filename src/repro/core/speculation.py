@@ -67,6 +67,19 @@ class CommitHistory:
     def instances(self, signature: Tuple) -> int:
         return len(self._history.get(signature, ()))
 
+    def snapshot(self) -> Dict[Tuple, Tuple[Tuple, ...]]:
+        """Immutable copy of the history, for session checkpoints: the
+        history lives in the cloud VM and dies with it, so a resumable
+        checkpoint must carry it (§4.2 across reconnects)."""
+        return {sig: tuple(vals) for sig, vals in self._history.items()}
+
+    def restore(self, snap: Dict[Tuple, Tuple[Tuple, ...]]) -> None:
+        """Replace the history with a snapshot, in place (the object may
+        be shared across warm-up sessions)."""
+        self._history = {
+            sig: deque(vals, maxlen=self.window) for sig, vals in snap.items()
+        }
+
     def __len__(self) -> int:
         return len(self._history)
 

@@ -51,6 +51,12 @@ class SessionRecord:
     completed_s: Optional[float] = None
     cache_hit: bool = False
     warm_vm: bool = False
+    # Resilience (repro.resilience.failover): time the session spent
+    # blocked on its link, how many VM deaths it survived, and the
+    # death-to-resumed latency those failovers cost.
+    time_blocked_s: float = 0.0
+    failovers: int = 0
+    failover_wait_s: float = 0.0
 
     @property
     def latency_s(self) -> Optional[float]:
@@ -107,6 +113,10 @@ class FleetMetrics:
         return [r.service_s for r in self.completed
                 if cache_hit is None or r.cache_hit == cache_hit]
 
+    def blocked_times(self, link: Optional[str] = None) -> List[float]:
+        return [r.time_blocked_s for r in self.completed
+                if link is None or r.link_name == link]
+
     # ------------------------------------------------------------------
     def summary(self, makespan_s: float, vm_seconds: float = 0.0,
                 cost_usd: float = 0.0) -> Dict:
@@ -138,6 +148,20 @@ class FleetMetrics:
                 "cache_miss": _dist(self.service_times(cache_hit=False)),
             },
             "queue_wait_s": _dist([r.wait_s for r in done]),
+            "network": {
+                "time_blocked_s": {
+                    "overall": _dist(self.blocked_times()),
+                    "by_link": {link: _dist(self.blocked_times(link))
+                                for link in links},
+                },
+            },
+            "failover": {
+                "sessions_with_failover": sum(1 for r in done
+                                              if r.failovers > 0),
+                "total_failovers": sum(r.failovers for r in done),
+                "wait_s": _dist([r.failover_wait_s for r in done
+                                 if r.failovers > 0]),
+            },
             "throughput_sessions_per_s": (len(done) / makespan_s
                                           if makespan_s > 0 else 0.0),
             "makespan_s": makespan_s,

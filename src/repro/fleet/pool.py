@@ -71,6 +71,7 @@ class PoolStats:
     queued_sessions: int = 0
     rejections: int = 0
     warm_boots: int = 0
+    failover_requeues: int = 0
     lease_vm_seconds: float = 0.0
     warm_boot_vm_seconds: float = 0.0
     peak_busy: int = 0

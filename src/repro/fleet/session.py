@@ -80,6 +80,10 @@ class SessionCosts:
     dry_run_s: float
     download_s: float
     recording_bytes: int
+    # Share of ``dry_run_s`` spent blocked on the link (round trips +
+    # metastate transfer) — the per-link time_blocked_s the fleet report
+    # aggregates, and the part a faster link would shrink.
+    dry_run_net_s: float = 0.0
 
     @property
     def cold_total_s(self) -> float:
@@ -116,7 +120,8 @@ class SessionCostModel:
         return SessionCosts(handshake_s=handshake_s,
                             dry_run_s=gpu_s + jit_s + net_s,
                             download_s=download_s,
-                            recording_bytes=recording_bytes)
+                            recording_bytes=recording_bytes,
+                            dry_run_net_s=net_s)
 
 
 class FleetSimulation:
@@ -191,27 +196,47 @@ class FleetSimulation:
         costs = self.costs.costs(request.workload, sku, link,
                                  jit_cost_scale=flavor.jit_cost_scale)
         yield Timeout(costs.handshake_s, label="network")
+        record.time_blocked_s += costs.handshake_s
 
         key = RecordingKey(workload=request.workload,
                            sku_compatible=compatible,
                            sku_name=request.sku_name, flavor=flavor.name)
         cached = self.registry.lookup(request.tenant_id, key)
         if cached is None:
-            yield Timeout(costs.dry_run_s, label="dry-run")
-            body = "|".join((request.tenant_id, *key.as_tuple())).encode()
-            self.registry.store(request.tenant_id, CachedRecording(
-                key=key, tenant_id=request.tenant_id,
-                recording_bytes=costs.recording_bytes,
-                dry_run_s=costs.dry_run_s,
-                signature=self.service.sign_recording(body),
-                created_at=self.clock.now))
+            lease, ticket = yield from self._dry_run_stage(
+                request, record, lease, ticket, costs, key)
+            if lease is None:
+                return  # the dry run could not be completed (failover gave up)
         else:
             record.cache_hit = True
         yield Timeout(costs.download_s, label="network")
+        record.time_blocked_s += costs.download_s
 
         self.service.close_session(ticket.session_id, clock=self.clock)
         self.pool.release(lease)
         record.completed_s = self.clock.now
+
+    # ------------------------------------------------------------------
+    def _dry_run_stage(self, request, record, lease, ticket,
+                       costs: SessionCosts, key: RecordingKey):
+        """Run the (cache-miss) dry run to completion and store the
+        signed recording.  A subclass may interpose VM failures here;
+        it must return the (possibly replaced) lease and ticket, or
+        ``(None, None)`` if the session could not finish."""
+        yield Timeout(costs.dry_run_s, label="dry-run")
+        record.time_blocked_s += costs.dry_run_net_s
+        self._store_recording(request, key, costs)
+        return lease, ticket
+
+    def _store_recording(self, request: SessionRequest, key: RecordingKey,
+                         costs: SessionCosts) -> None:
+        body = "|".join((request.tenant_id, *key.as_tuple())).encode()
+        self.registry.store(request.tenant_id, CachedRecording(
+            key=key, tenant_id=request.tenant_id,
+            recording_bytes=costs.recording_bytes,
+            dry_run_s=costs.dry_run_s,
+            signature=self.service.sign_recording(body),
+            created_at=self.clock.now))
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict:
@@ -230,6 +255,7 @@ class FleetSimulation:
             "rejections": self.pool.stats.rejections,
             "warm_boots": self.pool.stats.warm_boots,
             "peak_busy": self.pool.stats.peak_busy,
+            "failover_requeues": self.pool.stats.failover_requeues,
         }
         doc["registry"] = {
             "tenants": len(self.registry.tenants()),
@@ -238,6 +264,7 @@ class FleetSimulation:
         }
         doc["service"] = {
             "sessions_opened": self.service.sessions_opened,
+            "sessions_aborted": self.service.sessions_aborted,
             "recordings_signed": self.service.recordings_served,
             "vm_seconds": round(self.service.total_vm_seconds, 9),
             "cost_usd": round(self.service.total_cost_usd, 9),

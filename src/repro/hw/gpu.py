@@ -145,6 +145,35 @@ class MaliGpu:
     def next_event_time(self) -> Optional[float]:
         return self._events[0][0] if self._events else None
 
+    def shift_events(self, dt: float) -> None:
+        """Hold the GPU for ``dt`` virtual seconds: push every pending
+        deadline into the future by the same amount.
+
+        This is the hardware half of the recorder's clock-gating trick:
+        when the WAN stalls (retransmission timeouts, jitter spikes),
+        GPUShim gates the GPU so the stall is invisible to it — every
+        in-flight job completion, power transition, flush and reset
+        deadline moves by exactly the stall, so the GPU-relative timing
+        of the session (and hence the recording's poll iteration counts
+        and status reads) is identical to a stall-free run (§2.3/§6's
+        determinism requirement extended to link faults).
+        """
+        if dt <= 0:
+            return
+        self._events = [(when + dt, seq, action)
+                        for (when, seq, action) in self._events]
+        heapq.heapify(self._events)
+        for slot in self._slots:
+            if slot.active_until > 0:
+                slot.active_until += dt
+        for space in self._spaces:
+            if space.active_until > 0:
+                space.active_until += dt
+        if self._flush_active_until > 0:
+            self._flush_active_until += dt
+        if self._reset_active_until > 0:
+            self._reset_active_until += dt
+
     def service(self) -> None:
         """Fire all internal events due at or before the current time."""
         now = self.clock.now

@@ -1,0 +1,96 @@
+"""repro.resilience — surviving the WAN the paper assumes is flaky.
+
+GR-T's setting is a cloud-resident driver talking to a client TEE over
+mobile links (§3.3, §7.2); this package makes recording sessions survive
+injected link faults and proves the resulting recordings are
+byte-identical to fault-free runs:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded fault plans
+  (loss, jitter spikes, duplicate/reorder, disconnect windows) composed
+  onto any :class:`~repro.sim.network.LinkProfile`;
+* :mod:`repro.resilience.channel` — a reliable message channel over the
+  faulty link: per-message timeout, exponential backoff with seeded
+  jitter, sequence numbers + dedup so commits and memsync transfers are
+  idempotent under retry; every fault delay is charged while the GPU is
+  clock-gated (held), keeping recordings bit-stable;
+* :mod:`repro.resilience.checkpoint` — recording-session checkpoints at
+  commit-log watermarks (commit index + memsync digest + speculation-
+  history snapshot); the resume path reuses the §4.2 misprediction
+  replay machinery to continue after a mid-session disconnect;
+* :mod:`repro.resilience.failover` — fleet integration: dead VMs and
+  retry-exhausted sessions re-enter admission control and resume from
+  their checkpoint on a warm VM;
+* :mod:`repro.resilience.experiment` — the chaos experiment behind
+  ``python -m repro chaos``.
+
+The experiment and failover modules import the recorder/fleet layers,
+which in turn import this package's channel/checkpoint modules — so
+those two are exposed lazily (PEP 562) to keep module import acyclic.
+"""
+
+from repro.resilience.channel import (
+    ChannelDisconnected,
+    ChannelStats,
+    ReliableChannel,
+    RETRY_LABEL,
+)
+from repro.resilience.checkpoint import (
+    CheckpointIntegrityError,
+    RecordingCheckpoint,
+    SessionCheckpointer,
+    log_prefix_digest,
+    memsync_view_digest,
+)
+from repro.resilience.faults import (
+    DisconnectWindow,
+    FaultInjector,
+    FaultPlan,
+    PRESETS,
+    TxFate,
+)
+
+_LAZY = {
+    "ChaosReport": "repro.resilience.experiment",
+    "ChaosRunResult": "repro.resilience.experiment",
+    "DEFAULT_PLANS": "repro.resilience.experiment",
+    "resolve_plans": "repro.resilience.experiment",
+    "run_chaos_experiment": "repro.resilience.experiment",
+    "FleetFaultPlan": "repro.resilience.failover",
+    "ResilientFleetSimulation": "repro.resilience.failover",
+    "run_resilient_fleet": "repro.resilience.failover",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+__all__ = [
+    "ChannelDisconnected",
+    "ChannelStats",
+    "ChaosReport",
+    "ChaosRunResult",
+    "CheckpointIntegrityError",
+    "DEFAULT_PLANS",
+    "DisconnectWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "FleetFaultPlan",
+    "PRESETS",
+    "RETRY_LABEL",
+    "RecordingCheckpoint",
+    "ReliableChannel",
+    "ResilientFleetSimulation",
+    "SessionCheckpointer",
+    "TxFate",
+    "log_prefix_digest",
+    "memsync_view_digest",
+    "resolve_plans",
+    "run_chaos_experiment",
+    "run_resilient_fleet",
+]

@@ -1,0 +1,247 @@
+"""Reliable message channel over a faulty WAN link.
+
+:class:`ReliableChannel` wraps a perfect :class:`~repro.sim.network.Link`
+and exposes the same interface (``round_trip`` / ``send_to_client`` /
+``receive_from_client`` / ``async_round_trip``), plus an ``rpc`` entry
+point DriverShim routes commits through.  On top of the link it adds
+what a real shim transport needs on a lossy path:
+
+* **per-message timeout + retransmission** with exponential backoff and
+  seeded jitter (retry timing is as deterministic as the fault plan);
+* **sequence numbers + receiver-side dedup**, so a commit batch or
+  memsync transfer delivered twice (injected duplicates, or a
+  retransmission racing its "lost" original) is *applied exactly once*
+  — the client caches the reply per sequence number and replays it for
+  suppressed copies, which is what makes retries idempotent;
+* **disconnect detection**: inside a plan's disconnect window, or when
+  a message exhausts its retry budget, the channel raises
+  :class:`ChannelDisconnected`; the recording session catches it and
+  resumes from its last checkpoint (:mod:`repro.resilience.checkpoint`).
+
+Byte-identity discipline
+------------------------
+The recording must be bit-identical to a fault-free run (§2.3/§6: the
+GPU may never observe timing the replayer can't reproduce).  Every
+fault-induced delay — timeouts, backoff, jitter, duplicate
+serialization — is therefore charged as a *held* advance: the virtual
+clock moves (the session really is slower; delay and energy accounting
+see it under the ``network-retry`` timeline label) and the GPU's
+pending deadlines are shifted by the same amount via the ``hold``
+callback (:meth:`~repro.hw.gpu.MaliGpu.shift_events` — GPUShim
+clock-gates the GPU during the stall).  Only after all extras are held
+does the wrapped link charge its exact fault-free baseline cost, so the
+GPU-relative timing of every client operation matches the perfect-link
+run.  Asynchronous (speculative) sends charge their extras at send time
+and keep the baseline completion time, so validation stalls never leak
+unheld delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.resilience.faults import FaultInjector
+from repro.sim.network import Link, Message
+
+# Timeline label for held fault delays: distinguishable from "network"
+# (baseline transfer time) in RecordStats.timeline_by_label.
+RETRY_LABEL = "network-retry"
+
+DEFAULT_MAX_RETRIES = 8
+# Backoff never grows past this many seconds per attempt.
+BACKOFF_CAP_S = 2.0
+# Virtual time a supervisor needs to declare the TLS session dead and
+# hand the client back to admission control after retries are exhausted.
+RECONNECT_COST_S = 1.0
+
+
+class ChannelDisconnected(RuntimeError):
+    """The channel gave up: disconnect window or retry budget exhausted.
+
+    ``resume_at_s`` is the earliest virtual time a reconnect can
+    succeed; ``safe_log_position`` is filled in by the record session
+    (the channel does not know the log) before the exception is used
+    for resume.
+    """
+
+    def __init__(self, message: str, resume_at_s: float) -> None:
+        super().__init__(message)
+        self.resume_at_s = resume_at_s
+        self.safe_log_position: Optional[int] = None
+
+
+@dataclass
+class ChannelStats:
+    """Reliability-layer counters (link-level ones live in NetworkStats)."""
+
+    rpcs: int = 0
+    duplicates_delivered: int = 0
+    duplicates_suppressed: int = 0
+    jitter_events: int = 0
+    reorder_events: int = 0
+    disconnects: int = 0
+
+
+class ReliableChannel:
+    """A Link-shaped reliable transport over an injected-fault link."""
+
+    def __init__(self, link: Link, injector: FaultInjector,
+                 hold: Optional[Callable[[float], None]] = None,
+                 timeout_s: Optional[float] = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES) -> None:
+        self.link = link
+        self.injector = injector
+        self.hold = hold if hold is not None else (lambda dt: None)
+        self.clock = link.clock
+        self.profile = link.profile
+        # Shared with the wrapped link: one NetworkStats per session,
+        # retry counters folded in alongside the baseline traffic.
+        self.stats = link.stats
+        self.timeout_s = (timeout_s if timeout_s is not None
+                          else max(4.0 * link.profile.rtt_s, 0.050))
+        self.max_retries = max_retries
+        self.cstats = ChannelStats()
+        self._next_seq = 0
+        self._delivered: Set[int] = set()
+        self._replies: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Held charging: the GPU never observes fault-induced delays.
+    # ------------------------------------------------------------------
+    def _charge_held(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        self.clock.advance(seconds, label=RETRY_LABEL)
+        self.stats.time_blocked_s += seconds
+        self.hold(seconds)
+
+    def _backoff_s(self, attempt: int) -> float:
+        base = min(self.timeout_s * (2.0 ** (attempt - 1)), BACKOFF_CAP_S)
+        return base * (0.5 + 0.5 * self.injector.backoff_jitter())
+
+    def _check_connected(self) -> None:
+        window = self.injector.window_at(self.clock.now)
+        if window is not None:
+            self.cstats.disconnects += 1
+            raise ChannelDisconnected(
+                f"link down: disconnect window [{window.start_s:g}, "
+                f"{window.end_s:g}) at t={self.clock.now:.3f}",
+                resume_at_s=window.end_s)
+
+    # ------------------------------------------------------------------
+    # Receiver-side dedup: exactly-once application.
+    # ------------------------------------------------------------------
+    def _deliver(self, seq: int, apply: Optional[Callable[[], Any]]):
+        if seq in self._delivered:
+            self.cstats.duplicates_suppressed += 1
+            return self._replies.get(seq)
+        result = apply() if apply is not None else None
+        self._delivered.add(seq)
+        self._replies[seq] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # The reliable request/response primitive.
+    # ------------------------------------------------------------------
+    def rpc(self, request: Message, response: Message,
+            apply: Optional[Callable[[], Any]] = None):
+        """Deliver ``request``, apply it exactly once, return the reply.
+
+        ``apply`` is the receiver's handler (e.g. GPUShim applying a
+        commit); duplicates replay the cached reply instead.
+        """
+        self.cstats.rpcs += 1
+        seq = self._next_seq
+        self._next_seq += 1
+        attempt = 0
+        while True:
+            self._check_connected()
+            fate = self.injector.next_fate()
+            if fate.lost:
+                attempt += 1
+                self.stats.timeouts += 1
+                self.stats.redundant_bytes += request.wire_bytes
+                if attempt > self.max_retries:
+                    self.cstats.disconnects += 1
+                    raise ChannelDisconnected(
+                        f"seq {seq}: {attempt} transmissions lost, retry "
+                        f"budget ({self.max_retries}) exhausted",
+                        resume_at_s=self.clock.now + RECONNECT_COST_S)
+                self.stats.retries += 1
+                self._charge_held(self.timeout_s + self._backoff_s(attempt))
+                continue
+            extra = fate.jitter_s
+            if fate.jitter_s > 0:
+                self.cstats.jitter_events += 1
+            if fate.reordered:
+                # Alternating request/response traffic: delivery behind a
+                # later datagram costs one extra propagation delay.
+                self.cstats.reorder_events += 1
+                extra += self.profile.one_way_s
+            self._charge_held(extra)
+            # Baseline delivery: exactly the perfect link's charge.
+            self.link.round_trip(request, response)
+            result = self._deliver(seq, apply)
+            if fate.duplicated:
+                self.stats.redundant_bytes += request.wire_bytes
+                self.cstats.duplicates_delivered += 1
+                self._charge_held(self.profile.serialize_s(request.wire_bytes))
+                self._deliver(seq, apply)
+            return result
+
+    # ------------------------------------------------------------------
+    # Link interface (duck-typed drop-in for sim.network.Link).
+    # ------------------------------------------------------------------
+    def round_trip(self, request: Message, response: Message) -> float:
+        self.rpc(request, response, None)
+        return 0.0
+
+    def _survive_one_way(self, message: Message) -> None:
+        """Retry a one-way transfer until a copy gets through; charge all
+        extras held, leaving the baseline cost to the wrapped link."""
+        attempt = 0
+        while True:
+            self._check_connected()
+            fate = self.injector.next_fate()
+            if fate.lost:
+                attempt += 1
+                self.stats.timeouts += 1
+                self.stats.redundant_bytes += message.wire_bytes
+                if attempt > self.max_retries:
+                    self.cstats.disconnects += 1
+                    raise ChannelDisconnected(
+                        f"one-way {message.kind!r}: {attempt} transmissions "
+                        f"lost, retry budget exhausted",
+                        resume_at_s=self.clock.now + RECONNECT_COST_S)
+                self.stats.retries += 1
+                self._charge_held(self.timeout_s + self._backoff_s(attempt))
+                continue
+            extra = fate.jitter_s
+            if fate.jitter_s > 0:
+                self.cstats.jitter_events += 1
+            if fate.reordered:
+                self.cstats.reorder_events += 1
+                extra += self.profile.one_way_s
+            if fate.duplicated:
+                self.stats.redundant_bytes += message.wire_bytes
+                self.cstats.duplicates_delivered += 1
+                self.cstats.duplicates_suppressed += 1
+                extra += self.profile.serialize_s(message.wire_bytes)
+            self._charge_held(extra)
+            return
+
+    def send_to_client(self, message: Message, blocking: bool = True) -> float:
+        self._survive_one_way(message)
+        return self.link.send_to_client(message, blocking=blocking)
+
+    def receive_from_client(self, message: Message) -> float:
+        self._survive_one_way(message)
+        return self.link.receive_from_client(message)
+
+    def async_round_trip(self, request: Message, response: Message) -> float:
+        """Speculative send: extras are charged (held) *now*; the
+        completion time stays at the fault-free baseline so validation
+        stalls (`advance_to(completion)`) never leak unheld delay."""
+        self._survive_one_way(request)
+        return self.link.async_round_trip(request, response)

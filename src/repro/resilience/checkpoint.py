@@ -1,0 +1,147 @@
+"""Recording-session checkpoints at commit-log watermarks.
+
+GPUReplay and Minimum Viable Drivers both lean on *replay from a known
+point* as the recovery primitive; GR-T's misprediction rollback (§4.2)
+already is one.  A :class:`RecordingCheckpoint` packages everything a
+(possibly different) cloud VM needs to continue a recording after a
+mid-session disconnect instead of restarting it:
+
+* the **commit-log watermark** — the last validated log position and
+  the entry prefix up to it (the part of the recording that is final);
+* a **log digest** over the encoded prefix, verified before any resume
+  replays it (a corrupted checkpoint must fail loudly, not produce a
+  recording that diverges from the fault-free one);
+* a **memsync digest** of the synchronizer's view of client memory at
+  the watermark (what §5's meta-only sync believes the client holds);
+* a **speculation-history snapshot** (§4.2) — commit history lives in
+  the cloud VM and dies with it, so the checkpoint carries it; a
+  resumed session restores it and follows exactly the history
+  trajectory the fault-free run had at that position.
+
+Checkpoints are captured at memory-sync boundaries (the job-start push
+and the post-IRQ pull, §5) but only at *quiescent* watermarks: no
+outstanding speculative commits, no deferred accesses queued, watermark
+equal to the shim's validated position.  Those are the checkpoint
+invariants :class:`~repro.check.specsan.SpecSan` enforces via
+``on_checkpoint``.  Non-quiescent boundaries are skipped and counted.
+
+The resume path reuses the misprediction machinery unchanged: the
+session feeds the checkpoint prefix to
+:class:`~repro.core.drivershim.FastForwardFeed` while the client
+replays the same prefix onto its reset GPU (§4.2), then live execution
+continues from the watermark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.recording import Entry, _encode_entry
+
+
+class CheckpointIntegrityError(RuntimeError):
+    """A checkpoint failed its digest check at resume time."""
+
+
+def log_prefix_digest(entries: Tuple[Entry, ...]) -> str:
+    """SHA-256 over the serialized entry prefix (the recording bytes the
+    watermark makes final)."""
+    h = hashlib.sha256()
+    for entry in entries:
+        h.update(_encode_entry(entry))
+    return h.hexdigest()
+
+
+def memsync_view_digest(memsync) -> str:
+    """SHA-256 over the synchronizer's view of client memory."""
+    h = hashlib.sha256()
+    for pfn in sorted(memsync._peer_view):
+        h.update(pfn.to_bytes(8, "little"))
+        h.update(memsync._peer_view[pfn])
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class RecordingCheckpoint:
+    """Everything needed to continue a recording from a watermark."""
+
+    position: int
+    entries: Tuple[Entry, ...]
+    log_digest: str
+    memsync_digest: str
+    history: Dict[Tuple, Tuple[Tuple, ...]]
+    created_at: float
+    trigger: str
+
+    def verify(self) -> None:
+        """Recompute the prefix digest; raise on mismatch."""
+        actual = log_prefix_digest(self.entries)
+        if actual != self.log_digest:
+            raise CheckpointIntegrityError(
+                f"checkpoint at position {self.position} corrupt: prefix "
+                f"digest {actual[:12]} != recorded {self.log_digest[:12]}")
+        if self.position != len(self.entries):
+            raise CheckpointIntegrityError(
+                f"checkpoint watermark {self.position} does not match its "
+                f"{len(self.entries)}-entry prefix")
+
+
+@dataclass
+class SessionCheckpointer:
+    """Captures checkpoints at quiescent memsync watermarks.
+
+    Installed on a DriverShim (``shim.checkpointer``); the shim calls
+    :meth:`on_watermark` after every memory-sync boundary.  ``sanitizer``
+    (a :class:`~repro.check.specsan.SpecSan`) is notified of every
+    capture so the checkpoint invariants are asserted on a live run.
+    """
+
+    sanitizer: Optional[object] = None
+    checkpoints: List[RecordingCheckpoint] = field(default_factory=list)
+    captures: int = 0
+    skipped_busy: int = 0
+    skipped_no_progress: int = 0
+
+    # ------------------------------------------------------------------
+    def on_watermark(self, shim, trigger: str) -> Optional[RecordingCheckpoint]:
+        if shim.ff_active:
+            return None  # fast-forwarding over an already-final prefix
+        if shim._outstanding or any(len(q) for q in shim._queues.values()):
+            # Not quiescent: the watermark would trail in-flight state.
+            self.skipped_busy += 1
+            return None
+        position = shim.last_validated_position
+        if position == 0 or (self.checkpoints
+                             and position <= self.checkpoints[-1].position):
+            self.skipped_no_progress += 1
+            return None
+        entries = tuple(shim.gpushim.log[:position])
+        checkpoint = RecordingCheckpoint(
+            position=position,
+            entries=entries,
+            log_digest=log_prefix_digest(entries),
+            memsync_digest=memsync_view_digest(shim.memsync),
+            history=shim.history.snapshot(),
+            created_at=shim.link.clock.now,
+            trigger=trigger,
+        )
+        self.checkpoints.append(checkpoint)
+        self.captures += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_checkpoint(shim, checkpoint)
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[RecordingCheckpoint]:
+        return self.checkpoints[-1] if self.checkpoints else None
+
+    def resume_prefix(self) -> List[Entry]:
+        """The verified entry prefix a resumed attempt replays from
+        (empty when no checkpoint was captured: restart from scratch)."""
+        checkpoint = self.latest()
+        if checkpoint is None:
+            return []
+        checkpoint.verify()
+        return list(checkpoint.entries)

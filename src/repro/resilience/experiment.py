@@ -1,0 +1,198 @@
+"""The chaos experiment: prove recordings survive WAN faults unchanged.
+
+For one (workload, recorder, link, seed) the experiment:
+
+1. warms the speculation history (§4.2) and snapshots it, so the
+   baseline and every faulty run start from the *same* history state;
+2. records once over the perfect link — the baseline recording;
+3. records once per fault plan over the faulty link, with the reliable
+   channel, checkpoints and the resume path active;
+4. compares every faulty recording byte-for-byte against the baseline
+   and reports the recording-delay overhead plus the channel's
+   retry/dedup/resume counters.
+
+Byte-identity is the paper's determinism requirement (§2.3/§6) extended
+to link faults: the replayer reproduces the recording's exact stimulus
+timing, so a recording whose bytes depend on the weather of the WAN
+would be unreplayable.  ``python -m repro chaos`` is a thin CLI over
+:func:`run_chaos_experiment`; ``benchmarks/test_resilience.py`` asserts
+the identity under the three preset plan shapes.
+
+Imports from :mod:`repro.core` happen inside the functions: the core
+recorder imports this package's channel/checkpoint modules, so the
+experiment layer must not import the recorder at module import time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.resilience.faults import FaultPlan, PRESETS
+
+DEFAULT_PLANS = ("loss-only", "disconnect", "combined")
+
+
+@dataclass
+class ChaosRunResult:
+    """One faulty record run compared against the fault-free baseline."""
+
+    plan: str
+    spec: str
+    plan_seed: int
+    delay_s: float
+    overhead_pct: float
+    identical: bool
+    sha256: str
+    resumes: int
+    checkpoints: int
+    retries: int
+    timeouts: int
+    redundant_bytes: int
+    retry_wait_s: float
+    disconnect_wait_s: float
+
+
+@dataclass
+class ChaosReport:
+    """Everything ``python -m repro chaos`` prints or writes as JSON."""
+
+    workload: str
+    recorder: str
+    link: str
+    seed: int
+    warm_rounds: int
+    baseline_delay_s: float
+    baseline_bytes: int
+    baseline_sha256: str
+    runs: List[ChaosRunResult] = field(default_factory=list)
+
+    @property
+    def all_identical(self) -> bool:
+        return all(r.identical for r in self.runs)
+
+    def summary(self) -> Dict:
+        return {
+            "workload": self.workload,
+            "recorder": self.recorder,
+            "link": self.link,
+            "config": {"seed": self.seed, "warm_rounds": self.warm_rounds},
+            "baseline": {
+                "delay_s": round(self.baseline_delay_s, 9),
+                "recording_bytes": self.baseline_bytes,
+                "sha256": self.baseline_sha256,
+            },
+            "all_identical": self.all_identical,
+            "plans": [
+                {
+                    "plan": r.plan,
+                    "spec": r.spec,
+                    "seed": r.plan_seed,
+                    "delay_s": round(r.delay_s, 9),
+                    "overhead_pct": round(r.overhead_pct, 6),
+                    "identical": r.identical,
+                    "sha256": r.sha256,
+                    "resumes": r.resumes,
+                    "checkpoints": r.checkpoints,
+                    "retries": r.retries,
+                    "timeouts": r.timeouts,
+                    "redundant_bytes": r.redundant_bytes,
+                    "retry_wait_s": round(r.retry_wait_s, 9),
+                    "disconnect_wait_s": round(r.disconnect_wait_s, 9),
+                }
+                for r in self.runs
+            ],
+        }
+
+
+def resolve_plans(specs: Sequence[Union[str, FaultPlan]],
+                  seed: int = 0) -> List[FaultPlan]:
+    """Normalize preset names / spec strings / plans into seeded plans."""
+    plans = []
+    for i, spec in enumerate(specs):
+        if isinstance(spec, FaultPlan):
+            plans.append(spec)
+        else:
+            name = spec if spec in PRESETS else f"custom-{i}"
+            plans.append(FaultPlan.parse(spec, name=name, seed=seed))
+    return plans
+
+
+def run_chaos_experiment(
+        workload: str = "mnist",
+        recorder=None,
+        link=None,
+        plans: Optional[Sequence[Union[str, FaultPlan]]] = None,
+        seed: int = 0,
+        warm_rounds: int = 1,
+        sanitize: bool = False) -> ChaosReport:
+    """Record under every fault plan; compare against the baseline."""
+    from repro.core.recorder import OURS_MDS, RecordSession
+    from repro.core.speculation import CommitHistory
+
+    if recorder is None:
+        recorder = OURS_MDS
+    if link is None:
+        from repro.sim.network import WIFI
+        link = WIFI
+    plan_list = resolve_plans(plans if plans is not None else DEFAULT_PLANS,
+                              seed=seed)
+
+    warm = CommitHistory(recorder.spec_window)
+    for _ in range(warm_rounds):
+        RecordSession(workload, config=recorder, link_profile=link,
+                      seed=seed, history=warm).run()
+    history_snapshot = warm.snapshot()
+
+    def fresh_history() -> CommitHistory:
+        h = CommitHistory(recorder.spec_window)
+        h.restore(history_snapshot)
+        return h
+
+    def make_sanitizer():
+        if not sanitize:
+            return None
+        from repro.check.specsan import SpecSan
+        return SpecSan(strict=True)
+
+    baseline = RecordSession(workload, config=recorder, link_profile=link,
+                             seed=seed, history=fresh_history(),
+                             sanitizer=make_sanitizer()).run()
+    baseline_body = baseline.recording.body_bytes()
+    baseline_sha = hashlib.sha256(baseline_body).hexdigest()
+    report = ChaosReport(
+        workload=workload, recorder=recorder.name, link=link.name,
+        seed=seed, warm_rounds=warm_rounds,
+        baseline_delay_s=baseline.stats.recording_delay_s,
+        baseline_bytes=len(baseline_body),
+        baseline_sha256=baseline_sha)
+
+    for plan in plan_list:
+        session = RecordSession(workload, config=recorder, link_profile=link,
+                                seed=seed, history=fresh_history(),
+                                fault_plan=plan,
+                                sanitizer=make_sanitizer())
+        result = session.run()
+        body = result.recording.body_bytes()
+        stats = result.stats
+        base_delay = baseline.stats.recording_delay_s
+        labels = stats.timeline_by_label
+        report.runs.append(ChaosRunResult(
+            plan=plan.name,
+            spec=plan.spec(),
+            plan_seed=plan.seed,
+            delay_s=stats.recording_delay_s,
+            overhead_pct=(100.0 * (stats.recording_delay_s - base_delay)
+                          / base_delay if base_delay else 0.0),
+            identical=body == baseline_body,
+            sha256=hashlib.sha256(body).hexdigest(),
+            resumes=stats.resumes,
+            checkpoints=stats.checkpoints,
+            retries=stats.net_retries,
+            timeouts=stats.net_timeouts,
+            redundant_bytes=stats.redundant_bytes,
+            retry_wait_s=labels.get("network-retry", 0.0),
+            disconnect_wait_s=labels.get("disconnect", 0.0),
+        ))
+    return report

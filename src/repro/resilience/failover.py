@@ -1,0 +1,167 @@
+"""Fleet failover: sessions survive VM deaths via checkpoint resume.
+
+§3.2 binds every session to one single-use VM; when that VM dies
+mid-dry-run the session's work would be lost — except that the recorder
+checkpoints at commit-log watermarks (:mod:`repro.resilience.checkpoint`).
+This module injects seeded VM deaths into the fleet simulation and routes
+the orphaned sessions back through admission control:
+
+    dry run ── VM dies ──> release lease (VM destroyed, §3.1 — no reuse)
+            ──> re-acquire via the pool (admission control still applies;
+                a saturated pool rejects the failover like any arrival)
+            ──> boot + re-attest + handshake on the fresh VM
+            ──> resume: redo only the work since the last checkpoint
+
+Deaths are a pure function of (seed, request, attempt), so a fleet run
+with faults is exactly as reproducible as one without.  Progress is
+quantized to ``checkpoint_interval_s`` — the fleet-level analogue of the
+recorder's memsync-watermark checkpoints — and each failover pays a
+fixed ``resume_overhead_s`` for checkpoint verification + fast-forward
+replay on the new VM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fleet.pool import PoolSaturated
+from repro.fleet.scheduler import Timeout
+from repro.fleet.session import FleetSimulation, SessionCosts
+from repro.fleet.workload import SessionRequest
+from repro.hw.sku import find_sku
+from repro.kernel.devicetree import FAMILY_COMPATIBLE, board_device_tree
+
+
+@dataclass(frozen=True)
+class FleetFaultPlan:
+    """Deterministic, seeded VM-death schedule for a fleet run.
+
+    ``draw(request_id, attempt)`` returns ``None`` (the attempt
+    completes) or the fraction of the attempt's remaining dry run at
+    which the VM dies — both a pure function of the plan seed, so runs
+    are reproducible and individual deaths can be replayed in tests.
+    """
+
+    seed: int = 0
+    vm_failure_rate: float = 0.0
+    checkpoint_interval_s: float = 0.25
+    resume_overhead_s: float = 0.05
+    max_failovers: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vm_failure_rate <= 1.0:
+            raise ValueError("vm_failure_rate must be a probability")
+        if self.checkpoint_interval_s <= 0:
+            raise ValueError("checkpoint_interval_s must be positive")
+
+    def draw(self, request_id: str, attempt: int) -> Optional[float]:
+        rng = random.Random(f"fleet:{self.seed}:{request_id}:{attempt}")
+        if rng.random() >= self.vm_failure_rate:
+            return None
+        return rng.random()
+
+
+class ResilientFleetSimulation(FleetSimulation):
+    """A fleet simulation whose VMs die according to a fault plan."""
+
+    def __init__(self, requests: List[SessionRequest],
+                 fault_plan: Optional[FleetFaultPlan] = None,
+                 **kwargs) -> None:
+        super().__init__(requests, **kwargs)
+        self.fault_plan = fault_plan or FleetFaultPlan()
+        self.vm_deaths = 0
+        self.failover_rejections = 0
+
+    # ------------------------------------------------------------------
+    def _dry_run_stage(self, request, record, lease, ticket,
+                       costs: SessionCosts, key):
+        plan = self.fault_plan
+        remaining = costs.dry_run_s
+        executed = 0.0
+        attempt = 0
+        while True:
+            frac = (plan.draw(request.request_id, attempt)
+                    if attempt < plan.max_failovers else None)
+            if frac is None:
+                yield Timeout(remaining, label="dry-run")
+                executed += remaining
+                break
+            ran = remaining * frac
+            yield Timeout(ran, label="dry-run")
+            executed += ran
+            died_at = self.clock.now
+            self.vm_deaths += 1
+            record.failovers += 1
+            # Progress survives only up to the last checkpoint watermark;
+            # the tail since then is redone on the replacement VM.
+            done = costs.dry_run_s - remaining + ran
+            checkpointed = (int(done / plan.checkpoint_interval_s)
+                            * plan.checkpoint_interval_s)
+            remaining = costs.dry_run_s - checkpointed
+            # The dead VM is destroyed — same terminal state as a normal
+            # release, so the no-reuse guarantee is untouched; the abort
+            # is billed like a close but counted as abnormal.
+            self.service.abort_session(ticket.session_id, clock=self.clock)
+            self.pool.release(lease)
+            self.pool.stats.failover_requeues += 1
+            try:
+                grant = self.pool.acquire(request.tenant_id)
+            except PoolSaturated:
+                self.failover_rejections += 1
+                record.rejected = True
+                return None, None
+            lease = yield grant
+            record.warm_vm = lease.warm
+            yield Timeout(lease.boot_cost_s, label="boot")
+            ticket = self._reattest(request, attempt)
+            yield Timeout(costs.handshake_s, label="network")
+            record.time_blocked_s += costs.handshake_s
+            yield Timeout(plan.resume_overhead_s, label="resume")
+            record.failover_wait_s += self.clock.now - died_at
+            attempt += 1
+        if costs.dry_run_s > 0:
+            record.time_blocked_s += (executed * costs.dry_run_net_s
+                                      / costs.dry_run_s)
+        self._store_recording(request, key, costs)
+        return lease, ticket
+
+    # ------------------------------------------------------------------
+    def _reattest(self, request, attempt: int):
+        """Open + attest a fresh service session on the replacement VM."""
+        sku = find_sku(request.sku_name)
+        tree = board_device_tree(sku)
+        compatible = FAMILY_COMPATIBLE[sku.family]
+        image_name = self.service.image_for_family(compatible)
+        nonce = hashlib.sha256(
+            f"{request.request_id}:{request.tenant_id}:failover-{attempt}"
+            .encode()).digest()
+        ticket = self.service.open_session(
+            request.tenant_id, image_name, tree, nonce, clock=self.clock)
+        self.verifier.verify(ticket.attestation, nonce)
+        return ticket
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict:
+        doc = super().summary()
+        doc["vm_faults"] = {
+            "seed": self.fault_plan.seed,
+            "vm_failure_rate": self.fault_plan.vm_failure_rate,
+            "checkpoint_interval_s": self.fault_plan.checkpoint_interval_s,
+            "resume_overhead_s": self.fault_plan.resume_overhead_s,
+            "max_failovers": self.fault_plan.max_failovers,
+            "vm_deaths": self.vm_deaths,
+            "failover_rejections": self.failover_rejections,
+        }
+        return doc
+
+
+def run_resilient_fleet(requests: List[SessionRequest],
+                        fault_plan: Optional[FleetFaultPlan] = None,
+                        **kwargs) -> Dict:
+    """Convenience: simulate ``requests`` under VM faults; return summary."""
+    sim = ResilientFleetSimulation(requests, fault_plan=fault_plan, **kwargs)
+    sim.run()
+    return sim.summary()

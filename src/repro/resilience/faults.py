@@ -1,0 +1,224 @@
+"""Deterministic, seeded WAN fault plans (§3.3, §7.2 conditions).
+
+The paper's whole setting is a cloud driver talking to a client TEE over
+a flaky mobile link, yet the perfect :class:`~repro.sim.network.Link`
+never loses, delays or duplicates anything.  A :class:`FaultPlan`
+composes those behaviours onto any link profile:
+
+* **packet loss** — each transmission is independently lost with
+  probability ``loss_p``; the reliable channel times out and retries;
+* **jitter spikes** — with probability ``jitter_p`` a transmission is
+  delayed an extra ``jitter_s`` before delivery;
+* **duplication / reordering** — with probability ``dup_p`` the network
+  delivers a second copy (the channel's sequence-number dedup must
+  suppress it); ``reorder_p`` delays a message behind a later one,
+  which on GR-T's strictly alternating request/response traffic
+  degenerates to added latency plus a dedup exercise;
+* **disconnect windows** — absolute intervals of virtual time during
+  which the link is down entirely; a session that hits one loses its
+  channel (and its VM) and must resume from a checkpoint.
+
+Determinism: the fate of the *i*-th transmission of a plan is drawn
+from ``random.Random(f"{seed}:{i}")`` — a pure function of (plan seed,
+transmission index), independent of process, platform and call pattern,
+so the same seed always yields the same fault schedule and a faulty run
+is exactly reproducible.  The injector's transmission counter persists
+across reconnects: a resumed session continues the schedule rather than
+restarting it.
+
+Spec strings (CLI ``--plan``)::
+
+    loss=0.01,jitter=0.004@0.02,dup=0.005,reorder=0.002,window=5+1.5
+
+means 1% loss, 0.4% chance of a 20 ms jitter spike, 0.5% duplication,
+0.2% reordering, and a disconnect window starting at t=5 s lasting
+1.5 s.  ``window=`` may repeat.  The presets in :data:`PRESETS`
+(``loss-only``, ``disconnect``, ``combined``) cover the three plan
+shapes the resilience benchmark proves byte-identity under.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class DisconnectWindow:
+    """A closed interval of virtual time during which the link is down."""
+
+    start_s: float
+    duration_s: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def contains(self, t: float) -> bool:
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class TxFate:
+    """What the network does to one transmission."""
+
+    lost: bool = False
+    duplicated: bool = False
+    reordered: bool = False
+    jitter_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded description of link misbehaviour."""
+
+    name: str
+    seed: int = 0
+    loss_p: float = 0.0
+    dup_p: float = 0.0
+    reorder_p: float = 0.0
+    jitter_p: float = 0.0
+    jitter_s: float = 0.0
+    windows: Tuple[DisconnectWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        for label, p in (("loss_p", self.loss_p), ("dup_p", self.dup_p),
+                         ("reorder_p", self.reorder_p),
+                         ("jitter_p", self.jitter_p)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{label} must be a probability, got {p}")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        for w in self.windows:
+            if w.start_s < 0 or w.duration_s <= 0:
+                raise ValueError(f"bad disconnect window {w}")
+
+    # ------------------------------------------------------------------
+    def fate(self, index: int) -> TxFate:
+        """The deterministic fate of transmission ``index``."""
+        rng = random.Random(f"{self.seed}:{index}")
+        lost = rng.random() < self.loss_p
+        duplicated = rng.random() < self.dup_p
+        reordered = rng.random() < self.reorder_p
+        jitter = self.jitter_s if rng.random() < self.jitter_p else 0.0
+        return TxFate(lost=lost, duplicated=duplicated,
+                      reordered=reordered, jitter_s=jitter)
+
+    def window_at(self, t: float) -> Optional[DisconnectWindow]:
+        for w in self.windows:
+            if w.contains(t):
+                return w
+        return None
+
+    # ------------------------------------------------------------------
+    def spec(self) -> str:
+        """The compact spec string this plan round-trips through."""
+        parts = []
+        if self.loss_p:
+            parts.append(f"loss={self.loss_p:g}")
+        if self.jitter_p:
+            parts.append(f"jitter={self.jitter_p:g}@{self.jitter_s:g}")
+        if self.dup_p:
+            parts.append(f"dup={self.dup_p:g}")
+        if self.reorder_p:
+            parts.append(f"reorder={self.reorder_p:g}")
+        for w in self.windows:
+            parts.append(f"window={w.start_s:g}+{w.duration_s:g}")
+        return ",".join(parts) if parts else "none"
+
+    @classmethod
+    def parse(cls, spec: str, name: str = "custom",
+              seed: int = 0) -> "FaultPlan":
+        """Parse a spec string (or preset name) into a plan.
+
+        Preset names resolve through :data:`PRESETS`, re-seeded with
+        ``seed``.
+        """
+        if spec in PRESETS:
+            preset = PRESETS[spec]
+            return cls(name=preset.name, seed=seed, loss_p=preset.loss_p,
+                       dup_p=preset.dup_p, reorder_p=preset.reorder_p,
+                       jitter_p=preset.jitter_p, jitter_s=preset.jitter_s,
+                       windows=preset.windows)
+        kwargs = dict(loss_p=0.0, dup_p=0.0, reorder_p=0.0,
+                      jitter_p=0.0, jitter_s=0.0)
+        windows = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part or part == "none":
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad fault-plan term {part!r} "
+                                 f"(expected key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            try:
+                if key == "loss":
+                    kwargs["loss_p"] = float(value)
+                elif key == "dup":
+                    kwargs["dup_p"] = float(value)
+                elif key == "reorder":
+                    kwargs["reorder_p"] = float(value)
+                elif key == "jitter":
+                    prob, _, dur = value.partition("@")
+                    kwargs["jitter_p"] = float(prob)
+                    kwargs["jitter_s"] = float(dur) if dur else 0.010
+                elif key == "window":
+                    start, sep, dur = value.partition("+")
+                    if not sep:
+                        raise ValueError("window needs start+duration")
+                    windows.append(DisconnectWindow(float(start), float(dur)))
+                else:
+                    raise ValueError(f"unknown fault-plan key {key!r}")
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault-plan term {part!r}: {exc}") from None
+        return cls(name=name, seed=seed, windows=tuple(windows), **kwargs)
+
+
+@dataclass
+class FaultInjector:
+    """Live fault-schedule state for one recording session.
+
+    Owns the transmission counter (which persists across channel
+    reconnects, so a resumed session continues the plan's schedule) and
+    the seeded backoff jitter stream the channel's retransmission timer
+    draws from.
+    """
+
+    plan: FaultPlan
+    tx_index: int = 0
+    _backoff_rng: random.Random = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._backoff_rng is None:
+            self._backoff_rng = random.Random(f"backoff:{self.plan.seed}")
+
+    def next_fate(self) -> TxFate:
+        fate = self.plan.fate(self.tx_index)
+        self.tx_index += 1
+        return fate
+
+    def window_at(self, t: float) -> Optional[DisconnectWindow]:
+        return self.plan.window_at(t)
+
+    def backoff_jitter(self) -> float:
+        """Uniform [0, 1) draw for the channel's backoff randomization —
+        seeded per plan, so retry timing is as deterministic as the
+        fault schedule itself."""
+        return self._backoff_rng.random()
+
+
+# The three plan shapes benchmarks/test_resilience.py proves
+# byte-identity under.  Window times assume a WiFi-class MNIST record
+# run (a few virtual seconds); chaos runs on slower links or larger
+# workloads should scale them via explicit specs.
+PRESETS = {
+    "loss-only": FaultPlan(name="loss-only", loss_p=0.01),
+    "disconnect": FaultPlan(name="disconnect",
+                            windows=(DisconnectWindow(2.0, 1.5),)),
+    "combined": FaultPlan(name="combined", loss_p=0.01, dup_p=0.005,
+                          reorder_p=0.002, jitter_p=0.004, jitter_s=0.020,
+                          windows=(DisconnectWindow(2.5, 1.0),)),
+}

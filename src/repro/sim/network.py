@@ -61,7 +61,16 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Counters matching what Table 1 and §7 report."""
+    """Counters matching what Table 1 and §7 report.
+
+    ``retries``/``timeouts``/``redundant_bytes`` are produced by the
+    reliable channel (:mod:`repro.resilience.channel`) when fault
+    injection is active: retransmission attempts, per-message timeouts
+    that triggered them, and wire bytes that carried no new payload
+    (lost copies plus injected duplicates).  A perfect :class:`Link`
+    leaves them at zero, so the fields are visible in every existing
+    report without a second stats type.
+    """
 
     blocking_round_trips: int = 0
     async_sends: int = 0
@@ -69,6 +78,9 @@ class NetworkStats:
     bytes_to_client: int = 0
     bytes_to_cloud: int = 0
     time_blocked_s: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    redundant_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -82,6 +94,9 @@ class NetworkStats:
             bytes_to_client=self.bytes_to_client + other.bytes_to_client,
             bytes_to_cloud=self.bytes_to_cloud + other.bytes_to_cloud,
             time_blocked_s=self.time_blocked_s + other.time_blocked_s,
+            retries=self.retries + other.retries,
+            timeouts=self.timeouts + other.timeouts,
+            redundant_bytes=self.redundant_bytes + other.redundant_bytes,
         )
 
 

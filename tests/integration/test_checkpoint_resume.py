@@ -1,0 +1,146 @@
+"""Integration: checkpointed recording sessions survive disconnects.
+
+The paper's determinism requirement (§2.3/§6) extended to link faults: a
+session interrupted by a WAN disconnect resumes from its last commit-log
+watermark checkpoint and still produces a recording byte-identical to a
+fault-free run — verified here down to the TEE replaying the resumed
+recording under full signature verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.check.specsan import SpecSan
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.replayer import Replayer
+from repro.core.speculation import CommitHistory
+from repro.core.testbed import ClientDevice
+from repro.ml.runner import generate_weights, reference_forward
+from repro.resilience.checkpoint import (
+    CheckpointIntegrityError,
+    RecordingCheckpoint,
+    SessionCheckpointer,
+    log_prefix_digest,
+)
+from repro.resilience.faults import DisconnectWindow, FaultPlan
+from tests.conftest import build_micro_graph
+
+# The micro graph's shim traffic runs roughly t=1.3s..2.7s (bring-up and
+# JIT come first); the window must cut into live traffic to force a
+# mid-session disconnect.
+DISCONNECT = FaultPlan(name="disc", seed=0,
+                       windows=(DisconnectWindow(1.8, 0.5),))
+
+
+def warmed_history(graph, rounds=2):
+    history = CommitHistory()
+    for _ in range(rounds):
+        RecordSession(graph, config=OURS_MDS, history=history).run()
+    return history
+
+
+class TestCheckpointResume:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """(baseline, faulty session, faulty result) on the micro graph,
+        both starting from identical warmed history state."""
+        graph = build_micro_graph()
+        warm = warmed_history(graph)
+        snapshot = warm.snapshot()
+
+        def fresh():
+            h = CommitHistory()
+            h.restore(snapshot)
+            return h
+
+        baseline = RecordSession(graph, config=OURS_MDS,
+                                 history=fresh()).run()
+        session = RecordSession(graph, config=OURS_MDS, history=fresh(),
+                                fault_plan=DISCONNECT,
+                                sanitizer=SpecSan(strict=True))
+        result = session.run()
+        return graph, baseline, session, result
+
+    def test_disconnect_resumed(self, runs):
+        _, _, session, result = runs
+        assert result.stats.resumes >= 1
+        assert result.stats.checkpoints >= 1
+
+    def test_recording_byte_identical(self, runs):
+        _, baseline, _, result = runs
+        assert (result.recording.body_bytes()
+                == baseline.recording.body_bytes())
+
+    def test_sanitizer_checked_checkpoints(self, runs):
+        _, _, session, _ = runs
+        by_rule = session.sanitizer.state.checks_by_rule
+        assert by_rule.get("checkpoint-quiescent", 0) >= 1
+        assert by_rule.get("checkpoint-watermark", 0) >= 1
+        assert not session.sanitizer.violations
+
+    def test_resumed_recording_replays_in_tee(self, runs):
+        """The resumed session's recording passes signature verification
+        and reproduces the reference forward pass in the client TEE."""
+        graph, _, session, result = runs
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock,
+                            verify_key=session.service.recording_key)
+        weights = generate_weights(graph, seed=3)
+        replay = replayer.open(result.recording, weights)
+        image = np.random.RandomState(11).rand(
+            *graph.input_shape).astype(np.float32)
+        out = replay.run(image)
+        expected = reference_forward(graph, weights, image)
+        np.testing.assert_allclose(out.output, expected,
+                                   rtol=1e-4, atol=1e-5)
+
+    def test_disconnect_wait_on_timeline(self, runs):
+        _, _, _, result = runs
+        assert result.stats.timeline_by_label.get("disconnect", 0.0) > 0
+
+
+class TestCheckpointIntegrity:
+    def test_tampered_checkpoint_fails_verification(self):
+        graph = build_micro_graph()
+        checkpointer = SessionCheckpointer()
+        RecordSession(graph, config=OURS_MDS,
+                      fault_plan=FaultPlan(name="clean", seed=0),
+                      checkpointer=checkpointer).run()
+        assert checkpointer.captures >= 1
+        good = checkpointer.latest()
+        assert good.verify() is None
+        evil = RecordingCheckpoint(
+            position=good.position,
+            entries=good.entries[:-1] + (good.entries[0],),
+            log_digest=good.log_digest,
+            memsync_digest=good.memsync_digest,
+            history=good.history, created_at=good.created_at,
+            trigger=good.trigger)
+        with pytest.raises(CheckpointIntegrityError):
+            evil.verify()
+
+    def test_resume_prefix_matches_digest(self):
+        graph = build_micro_graph()
+        checkpointer = SessionCheckpointer()
+        RecordSession(graph, config=OURS_MDS,
+                      fault_plan=FaultPlan(name="clean", seed=0),
+                      checkpointer=checkpointer).run()
+        prefix = checkpointer.resume_prefix()
+        assert log_prefix_digest(prefix) == checkpointer.latest().log_digest
+
+    def test_fresh_checkpointer_resumes_from_scratch(self):
+        assert SessionCheckpointer().resume_prefix() == []
+
+
+class TestMaxResumeAttempts:
+    def test_unrecoverable_plan_raises(self):
+        graph = build_micro_graph()
+        # Loses everything forever: resume can never make progress.
+        plan = FaultPlan(name="dead", seed=0, loss_p=1.0)
+        from repro.resilience.channel import ChannelDisconnected
+        with pytest.raises(ChannelDisconnected):
+            RecordSession(graph, config=OURS_MDS, fault_plan=plan,
+                          max_resume_attempts=2).run()

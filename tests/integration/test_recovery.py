@@ -93,3 +93,15 @@ class TestExperimentDriver:
         session.inject_fault_at_read(60)
         result = session.run()
         assert result.stats.recoveries <= 2
+
+
+class TestDisconnectRecoveryDriver:
+    def test_disconnect_experiment_byte_identical(self):
+        from repro.core.recovery import run_disconnect_recovery_experiment
+
+        report = run_disconnect_recovery_experiment("mnist", warm_rounds=2)
+        assert report.resumes >= 1
+        assert report.checkpoints >= 1
+        assert report.byte_identical
+        # Resume pays real time: reconnect wait + fast-forward replay.
+        assert report.recovery_cost_s > 0

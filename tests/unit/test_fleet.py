@@ -404,3 +404,82 @@ class TestFleetSimulation:
         doc = run_fleet(reqs, capacity=2, warm_target=1, queue_limit=2)
         assert doc["sessions"]["rejected"] > 0
         assert doc["pool"]["rejections"] == doc["sessions"]["rejected"]
+
+
+class TestFleetFailover:
+    def make(self, vm_failure_rate, seed=7, clients=50, **kwargs):
+        from repro.resilience.failover import (
+            FleetFaultPlan,
+            ResilientFleetSimulation,
+        )
+        reqs = WorkloadGenerator(seed=seed, arrival_rate_hz=4.0,
+                                 tenants=6).generate(clients)
+        sim = ResilientFleetSimulation(
+            reqs, fault_plan=FleetFaultPlan(seed=seed,
+                                            vm_failure_rate=vm_failure_rate),
+            **kwargs)
+        sim.run()
+        return sim
+
+    def test_zero_rate_matches_plain_fleet(self):
+        from repro.fleet import run_fleet
+        reqs = WorkloadGenerator(seed=7, arrival_rate_hz=4.0,
+                                 tenants=6).generate(50)
+        plain = run_fleet(reqs)
+        sim = self.make(0.0)
+        doc = sim.summary()
+        doc.pop("vm_faults")
+        assert json.dumps(doc, sort_keys=True) == \
+               json.dumps(plain, sort_keys=True)
+
+    def test_sessions_survive_vm_deaths(self):
+        sim = self.make(0.35)
+        doc = sim.summary()
+        assert doc["vm_faults"]["vm_deaths"] > 0
+        assert doc["failover"]["total_failovers"] == \
+               doc["vm_faults"]["vm_deaths"]
+        assert doc["pool"]["failover_requeues"] == \
+               doc["vm_faults"]["vm_deaths"]
+        # Every offered session still completes or is rejected.
+        assert (doc["sessions"]["completed"]
+                + doc["sessions"]["rejected"]) == 50
+
+    def test_failover_wait_reported(self):
+        doc = self.make(0.35).summary()
+        wait = doc["failover"]["wait_s"]
+        assert wait["count"] == doc["failover"]["sessions_with_failover"]
+        assert wait["mean"] > 0
+
+    def test_deterministic_under_faults(self):
+        a = json.dumps(self.make(0.3).summary(), sort_keys=True)
+        b = json.dumps(self.make(0.3).summary(), sort_keys=True)
+        assert a == b
+
+    def test_failures_cost_latency(self):
+        calm = self.make(0.0).summary()["latency_s"]["overall"]["mean"]
+        chaotic = self.make(0.5).summary()["latency_s"]["overall"]["mean"]
+        assert chaotic > calm
+
+    def test_no_vm_leaked_after_failovers(self):
+        sim = self.make(0.4)
+        assert sim.pool.busy == 0
+        assert not sim.service.active_sessions
+
+    def test_vm_deaths_counted_as_aborts(self):
+        sim = self.make(0.35)
+        doc = sim.summary()
+        assert doc["service"]["sessions_aborted"] == \
+               doc["vm_faults"]["vm_deaths"]
+
+    def test_fault_plan_validation(self):
+        from repro.resilience.failover import FleetFaultPlan
+        with pytest.raises(ValueError):
+            FleetFaultPlan(vm_failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FleetFaultPlan(checkpoint_interval_s=0.0)
+
+    def test_time_blocked_tracked_per_link(self):
+        doc = self.make(0.2).summary()
+        blocked = doc["network"]["time_blocked_s"]
+        assert blocked["overall"]["mean"] > 0
+        assert set(blocked["by_link"]) <= {"wifi", "cellular", "loopback"}

@@ -1,0 +1,216 @@
+"""Unit tests for repro.resilience: fault plans, the reliable channel,
+checkpoints, and the GPU hold primitive they rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.gpu import MaliGpu
+from repro.hw.memory import PhysicalMemory
+from repro.hw.sku import HIKEY960_G71
+from repro.resilience.channel import (
+    RECONNECT_COST_S,
+    RETRY_LABEL,
+    ChannelDisconnected,
+    ReliableChannel,
+)
+from repro.resilience.faults import (
+    DisconnectWindow,
+    FaultInjector,
+    FaultPlan,
+    PRESETS,
+)
+from repro.sim.clock import VirtualClock
+from repro.sim.network import Link, Message, NetworkStats, WIFI
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(name="x", seed=3, loss_p=0.2, dup_p=0.1,
+                      reorder_p=0.1, jitter_p=0.1, jitter_s=0.01)
+        b = FaultPlan(name="x", seed=3, loss_p=0.2, dup_p=0.1,
+                      reorder_p=0.1, jitter_p=0.1, jitter_s=0.01)
+        assert [a.fate(i) for i in range(200)] == \
+               [b.fate(i) for i in range(200)]
+
+    def test_different_seed_differs(self):
+        a = FaultPlan(name="x", seed=3, loss_p=0.2)
+        b = FaultPlan(name="x", seed=4, loss_p=0.2)
+        assert [a.fate(i) for i in range(200)] != \
+               [b.fate(i) for i in range(200)]
+
+    def test_fate_is_a_pure_function_of_index(self):
+        plan = FaultPlan(name="x", seed=9, loss_p=0.3, dup_p=0.2)
+        assert plan.fate(17) == plan.fate(17)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(name="bad", seed=0, loss_p=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(name="bad", seed=0, dup_p=-0.1)
+
+    def test_window_containment(self):
+        w = DisconnectWindow(start_s=2.0, duration_s=1.5)
+        assert w.end_s == 3.5
+        assert w.contains(2.0) and w.contains(3.4)
+        assert not w.contains(3.5) and not w.contains(1.9)
+
+    def test_spec_parse_roundtrip(self):
+        for name, preset in PRESETS.items():
+            back = FaultPlan.parse(preset.spec(), name=name,
+                                   seed=preset.seed)
+            assert back == preset, name
+
+    def test_parse_custom_spec(self):
+        plan = FaultPlan.parse("loss=0.05,jitter=0.01@0.03,window=1+2",
+                               name="custom", seed=5)
+        assert plan.loss_p == 0.05
+        assert plan.jitter_p == 0.01 and plan.jitter_s == 0.03
+        assert plan.windows == (DisconnectWindow(1.0, 2.0),)
+        assert plan.seed == 5
+
+    def test_parse_preset_reseeds(self):
+        plan = FaultPlan.parse("loss-only", seed=42)
+        assert plan.seed == 42
+        assert plan.loss_p == PRESETS["loss-only"].loss_p
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("loss=0.01,frobnicate=1")
+
+    def test_injector_counter_survives_reconstruction(self):
+        """Resuming a session reuses the injector: transmission N after a
+        reconnect must see the same fate as transmission N of an
+        uninterrupted run."""
+        plan = FaultPlan(name="x", seed=1, loss_p=0.3)
+        straight = FaultInjector(plan)
+        fates = [straight.next_fate() for i in range(50)]
+        inj = FaultInjector(plan)
+        got = [inj.next_fate() for _ in range(20)]
+        # ... session disconnects and resumes; injector object survives.
+        got += [inj.next_fate() for _ in range(30)]
+        assert got == fates
+
+
+def make_channel(plan, profile=WIFI, **kwargs):
+    clock = VirtualClock()
+    link = Link(profile, clock)
+    held = []
+    chan = ReliableChannel(link, FaultInjector(plan),
+                           hold=held.append, **kwargs)
+    return chan, clock, held
+
+
+class TestReliableChannel:
+    def test_lossless_plan_is_transparent(self):
+        plan = FaultPlan(name="clean", seed=0)
+        chan, clock, held = make_channel(plan)
+        baseline = Link(WIFI, VirtualClock())
+        req, rsp = Message("commit", 64), Message("ack", 16)
+        out = chan.rpc(req, rsp, apply=lambda: "applied")
+        baseline.round_trip(req, rsp)
+        assert out == "applied"
+        assert clock.now == pytest.approx(baseline.clock.now)
+        assert held == []
+        assert chan.stats.retries == 0 and chan.stats.timeouts == 0
+
+    def test_lost_message_retries_and_holds(self):
+        plan = FaultPlan(name="lossy", seed=0, loss_p=1.0)
+        chan, clock, held = make_channel(plan, max_retries=3)
+        with pytest.raises(ChannelDisconnected) as err:
+            chan.rpc(Message("commit", 64), Message("ack", 16))
+        # Every retry charged wall time, all of it held on the GPU.
+        assert chan.stats.retries == 3
+        assert chan.stats.timeouts == 4  # 3 retries + the final give-up
+        assert sum(held) == pytest.approx(clock.now)
+        assert err.value.resume_at_s == pytest.approx(
+            clock.now + RECONNECT_COST_S)
+        assert clock.timeline.by_label()[RETRY_LABEL] > 0
+
+    def test_duplicate_applies_exactly_once(self):
+        plan = FaultPlan(name="dupey", seed=0, dup_p=1.0)
+        chan, clock, held = make_channel(plan)
+        applied = []
+        chan.rpc(Message("commit", 64), Message("ack", 16),
+                 apply=lambda: applied.append(1) or len(applied))
+        assert applied == [1]  # delivered twice, applied once
+        assert chan.cstats.duplicates_delivered == 1
+        assert chan.stats.redundant_bytes > 0
+
+    def test_duplicate_returns_cached_reply(self):
+        plan = FaultPlan(name="dupey", seed=0, dup_p=1.0)
+        chan, _, _ = make_channel(plan)
+        calls = []
+        out = chan.rpc(Message("commit", 64), Message("ack", 16),
+                       apply=lambda: calls.append(1) or "reply")
+        assert out == "reply" and calls == [1]
+
+    def test_backoff_is_deterministic(self):
+        plan = FaultPlan(name="lossy", seed=7, loss_p=1.0)
+        waits = []
+        for _ in range(2):
+            chan, clock, _ = make_channel(plan, max_retries=4)
+            with pytest.raises(ChannelDisconnected):
+                chan.rpc(Message("commit", 64), Message("ack", 16))
+            waits.append(clock.now)
+        assert waits[0] == waits[1]
+
+    def test_disconnect_window_raises_until_end(self):
+        plan = FaultPlan(name="win", seed=0,
+                         windows=(DisconnectWindow(0.0, 2.0),))
+        chan, clock, _ = make_channel(plan)
+        with pytest.raises(ChannelDisconnected) as err:
+            chan.rpc(Message("commit", 64), Message("ack", 16))
+        assert err.value.resume_at_s == pytest.approx(2.0)
+        assert chan.cstats.disconnects == 1
+
+    def test_jitter_is_held_not_observed(self):
+        plan = FaultPlan(name="jit", seed=0, jitter_p=1.0, jitter_s=0.05)
+        chan, clock, held = make_channel(plan)
+        baseline = Link(WIFI, VirtualClock())
+        baseline.round_trip(Message("commit", 64), Message("ack", 16))
+        chan.rpc(Message("commit", 64), Message("ack", 16))
+        assert sum(held) == pytest.approx(0.05)
+        assert clock.now == pytest.approx(baseline.clock.now + 0.05)
+
+
+class TestNetworkStatsMerge:
+    def test_merge_sums_resilience_counters(self):
+        a = NetworkStats(retries=2, timeouts=3, redundant_bytes=100,
+                         time_blocked_s=1.0)
+        b = NetworkStats(retries=1, timeouts=1, redundant_bytes=50,
+                         time_blocked_s=0.5)
+        m = a.merged_with(b)
+        assert (m.retries, m.timeouts, m.redundant_bytes) == (3, 4, 150)
+        assert m.time_blocked_s == pytest.approx(1.5)
+
+
+class TestShiftEvents:
+    def make_gpu(self):
+        clock = VirtualClock()
+        return MaliGpu(HIKEY960_G71, PhysicalMemory(size=8 << 20),
+                       clock), clock
+
+    def test_shifts_pending_events(self):
+        gpu, clock = self.make_gpu()
+        gpu._schedule(0.010, lambda: None)
+        gpu._schedule(0.020, lambda: None)
+        before = sorted(when for when, _, _ in gpu._events)
+        gpu.shift_events(0.5)
+        after = sorted(when for when, _, _ in gpu._events)
+        assert after == pytest.approx([t + 0.5 for t in before])
+
+    def test_zero_or_negative_shift_is_a_noop(self):
+        gpu, _ = self.make_gpu()
+        gpu._schedule(0.010, lambda: None)
+        before = list(gpu._events)
+        gpu.shift_events(0.0)
+        gpu.shift_events(-1.0)
+        assert gpu._events == before
+
+    def test_heap_order_preserved(self):
+        gpu, _ = self.make_gpu()
+        for delay in (0.030, 0.010, 0.020):
+            gpu._schedule(delay, lambda: None)
+        gpu.shift_events(0.25)
+        assert gpu.next_event_time() == pytest.approx(0.26)
