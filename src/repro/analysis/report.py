@@ -184,6 +184,43 @@ def chaos_summary_tables(summary: dict) -> str:
     return "\n\n".join((header, plans, verdict))
 
 
+def perf_summary_tables(doc: dict) -> str:
+    """Render a ``BENCH_replay.json`` document (see
+    :mod:`repro.analysis.perf`) as the wall-clock performance report:
+    per-workload replay engine comparison, then §5 encode throughput."""
+    replay_rows = []
+    for r in doc.get("replay", ()):
+        identical = all(r["identical"].values())
+        replay_rows.append([
+            f"{r['workload']}/{r['recorder']}", r["entries"],
+            r["legacy"]["median_s"] * 1e3,
+            r["compiled"]["median_s"] * 1e3,
+            r["compiled"]["entries_per_s"],
+            f"{r['speedup_median']:.2f}x",
+            f"{r['speedup_best']:.2f}x",
+            "yes" if identical else "NO"])
+    tables = [format_table(
+        "Replay wall clock - legacy interpreter vs compiled program",
+        ["workload", "entries", "legacy ms", "compiled ms",
+         "entries/s", "speedup", "best", "identical"], replay_rows)]
+    memsync_rows = []
+    for m in doc.get("memsync", ()):
+        memsync_rows.append([
+            f"{m['workload']}/{m['recorder']}", m["steady_pages"],
+            m["legacy"]["pages_per_s"],
+            m["optimized"]["pages_per_s"],
+            m["optimized"]["pages_skipped"],
+            m["optimized"]["encodes"],
+            f"{m['speedup']:.2f}x",
+            "yes" if m["peer_views_equal"] else "NO"])
+    if memsync_rows:
+        tables.append(format_table(
+            "Memsync encode wall clock - seed path vs single-encode+skip",
+            ["workload", "pages", "seed pages/s", "opt pages/s",
+             "skipped", "encodes", "speedup", "views equal"], memsync_rows))
+    return "\n\n".join(tables)
+
+
 def save_report(name: str, text: str) -> str:
     """Append a rendered table to benchmarks/results/<name>.txt."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

@@ -9,6 +9,7 @@ Examples::
     python -m repro diff a.grt b.grt
     python -m repro fleet --clients 200 --seed 7
     python -m repro check --format json
+    python -m repro perf --quick --baseline benchmarks/perf_baseline.json
 
 ``record`` writes three artifacts: ``<out>`` (the signed recording),
 ``<out>.key`` (the cloud service's verification key, which a real
@@ -303,6 +304,34 @@ def cmd_check(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_perf(args) -> int:
+    from repro.analysis import perf
+    from repro.analysis.report import perf_summary_tables
+
+    doc = perf.run_perf(quick=args.quick, reps=args.reps,
+                        epochs=args.epochs)
+    path = perf.write_bench(doc, args.out)
+    print(perf_summary_tables(doc))
+    print(f"\nwrote {path}")
+
+    identical = all(all(r["identical"].values()) for r in doc["replay"])
+    identical = identical and all(m["peer_views_equal"]
+                                  for m in doc["memsync"])
+    if not identical:
+        print("FAIL: fast path diverged from the legacy path")
+        return 1
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = perf.compare_baseline(doc, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if failures:
+            return 1
+        print("baseline gate passed")
+    return 0
+
+
 def cmd_diff(args) -> int:
     a = _load_recording(args.a, verify=False)
     b = _load_recording(args.b, verify=False)
@@ -414,6 +443,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--write-baseline", action="store_true",
                    help="accept all current findings into the baseline")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("perf", help="wall-clock benchmark of the replay "
+                                    "and memsync hot paths")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke shape: streaming workload only, "
+                        "fewer reps")
+    p.add_argument("--reps", type=int, default=5,
+                   help="interleaved timed replay runs per engine")
+    p.add_argument("--epochs", type=int, default=6,
+                   help="sync epochs for the memsync drive (first is "
+                        "cold start, excluded from throughput)")
+    p.add_argument("--out", default="BENCH_replay.json",
+                   help="where to write the benchmark document")
+    p.add_argument("--baseline",
+                   help="gate against this baseline JSON; exit 1 on "
+                        ">2x throughput regression")
+    p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("diff", help="compare two recordings (remote "
                                     "debugging, §3)")

@@ -1,0 +1,283 @@
+"""Columnar compiled recordings: the replay fast path's input format.
+
+A :class:`~repro.core.recording.Recording` is a list of per-entry
+dataclasses — ideal for signing, diffing and property tests, but slow to
+stream: replay pays an ``isinstance`` ladder and attribute loads per
+entry.  ``compile_recording`` lowers the log *once* into
+
+* columnar numpy arrays (register writes/reads, polls, IRQ lines) and an
+  offset-indexed page table (all memory-image pages concatenated into one
+  ``(n_pages, PAGE_SIZE)`` array with per-MemWrite bounds), and
+* an executable *program*: a flat list of small opcode tuples in which
+  runs of consecutive *batchable* register writes are pre-grouped into
+  single bulk ops (see :func:`repro.hw.gpu.is_batchable_write`) that the
+  replayer hands to :meth:`~repro.hw.gpu.MaliGpu.write_regs` whole.
+
+The program preserves replay semantics exactly: effectful writes (job
+door-bells, power commands, AS commands) are never batched, reads/polls/
+IRQ waits stay one-at-a-time, and the interpreter falls back to the
+per-entry loop for any batch whose virtual-time window contains a pending
+GPU event.  Compiled programs are cached on the recording object and, per
+(tenant, digest), in :class:`~repro.fleet.registry.RecordingRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.recording import (
+    Entry,
+    IrqEntry,
+    Marker,
+    MemUpload,
+    MemWrite,
+    PollEntry,
+    RegRead,
+    RegWrite,
+    _COND_CODES,
+    _IRQ_CODES,
+)
+from repro.hw.gpu import is_batchable_write
+from repro.hw.memory import PAGE_SIZE
+
+# Program opcodes (tuple layouts in parentheses).
+OP_WBATCH = 1  # (op, offsets, values, n): n batchable writes, back to back
+OP_WRITE = 2   # (op, offset, value): one write, exact per-entry timing
+OP_READ = 3    # (op, offset, expected)
+OP_POLL = 4    # (op, offset, cond_code, operand, expected, iterations)
+OP_IRQ = 5     # (op, line)
+OP_MEMW = 6    # (op, PageGroup)
+OP_NOOP = 7    # (op, count): markers / mem-upload stats entries
+OP_OBS = 8     # (op, offsets, items, n_reads): a run of observations —
+               # reads and instantly-satisfied polls — executed as one
+               # speculative batch read.  Items are (OBS_READ, offset,
+               # expected) or (OBS_POLL, offset, cond_code, operand,
+               # expected, iterations); the interpreter re-runs the items
+               # per entry if a GPU event is due in the window or a
+               # predicate fails.
+
+OBS_READ = 0
+OBS_POLL = 1
+
+# Observation runs shorter than this are emitted as individual ops: one
+# batched read only pays for itself once it replaces several calls.
+OBS_MIN_BATCH = 4
+
+COND_BITS_CLEAR = _COND_CODES["bits_clear"]
+COND_BITS_SET = _COND_CODES["bits_set"]
+COND_EQUALS = _COND_CODES["equals"]
+
+REG_DTYPE = np.dtype([("offset", "<u4"), ("value", "<u8")])
+POLL_DTYPE = np.dtype([("offset", "<u4"), ("cond", "<u1"), ("operand", "<u8"),
+                       ("value", "<u8"), ("iterations", "<u4")])
+
+
+class PageGroup:
+    """One MemWrite's pages as a sorted-pfn page table slice.
+
+    ``select`` returns the (pfns, pages) to install after removing the
+    replayer's protected data pages; the filtered view is cached per skip
+    set, so steady-state replay does no per-run filtering at all.
+    """
+
+    __slots__ = ("pfns", "pages", "_filtered")
+
+    def __init__(self, pfns: np.ndarray, pages: np.ndarray) -> None:
+        self.pfns = pfns      # sorted, uint64, one per page
+        self.pages = pages    # (len(pfns), PAGE_SIZE) uint8
+        self._filtered: Dict[frozenset, Tuple[np.ndarray, np.ndarray, int]] = {}
+
+    def select(self, skip_key: Optional[frozenset]
+               ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """(pfns, pages, n_skipped) with ``skip_key`` pages removed."""
+        if not skip_key:
+            return self.pfns, self.pages, 0
+        hit = self._filtered.get(skip_key)
+        if hit is None:
+            skip_arr = np.fromiter(skip_key, dtype=np.uint64,
+                                   count=len(skip_key))
+            keep = np.isin(self.pfns, skip_arr, invert=True)
+            hit = (self.pfns[keep], np.ascontiguousarray(self.pages[keep]),
+                   int(len(self.pfns) - int(keep.sum())))
+            self._filtered[skip_key] = hit
+        return hit
+
+
+Program = List[tuple]
+
+
+@dataclass
+class CompiledRecording:
+    """Columnar form + executable programs for one recording."""
+
+    # Columnar entry arrays (the cacheable, compact representation).
+    writes: np.ndarray          # REG_DTYPE, one row per RegWrite
+    reads: np.ndarray           # REG_DTYPE, one row per RegRead
+    polls: np.ndarray           # POLL_DTYPE
+    irq_lines: np.ndarray       # uint8 codes (recording._IRQ_CODES)
+    # Offset-indexed page table: every memory-image page exactly once.
+    page_pfns: np.ndarray       # uint64, sorted within each group
+    page_table: np.ndarray      # (n_pages, PAGE_SIZE) uint8
+    memw_bounds: np.ndarray     # (n_memwrites, 2) uint32 [start, end) rows
+    entry_count: int
+    # Executable forms.
+    full_program: Program = field(repr=False)
+    segment_programs: List[Tuple[str, Program]] = field(repr=False)
+
+    @property
+    def n_pages(self) -> int:
+        return int(len(self.page_pfns))
+
+    def nbytes(self) -> int:
+        """Approximate resident size of the columnar arrays."""
+        return int(self.writes.nbytes + self.reads.nbytes + self.polls.nbytes
+                   + self.irq_lines.nbytes + self.page_pfns.nbytes
+                   + self.page_table.nbytes + self.memw_bounds.nbytes)
+
+
+def _page_group(entry: MemWrite) -> PageGroup:
+    n = len(entry.pages)
+    pfns = np.empty(n, dtype=np.uint64)
+    pages = np.empty((n, PAGE_SIZE), dtype=np.uint8)
+    for i, (pfn, raw) in enumerate(entry.pages):
+        pfns[i] = pfn
+        pages[i] = np.frombuffer(raw, dtype=np.uint8)
+    order = np.argsort(pfns, kind="stable")
+    return PageGroup(np.ascontiguousarray(pfns[order]),
+                     np.ascontiguousarray(pages[order]))
+
+
+def compile_entries(entries: Sequence[Entry]) -> Program:
+    """Lower a list of recording entries to an executable program.
+
+    Consecutive batchable register writes collapse into one OP_WBATCH;
+    consecutive observations — reads plus polls whose recorded iteration
+    count is 1 (satisfied on the first read) — collapse into one OP_OBS;
+    consecutive markers/mem-uploads collapse into one OP_NOOP.  Every
+    other entry maps 1:1 onto an op in original log order.  Polls that
+    needed waiting at record time stay solo: they almost certainly block
+    on a GPU event at replay too, and would only poison a speculative
+    observation batch.
+    """
+    program: Program = []
+    pend_off: List[int] = []
+    pend_val: List[int] = []
+    pend_obs: List[tuple] = []
+    pend_noop = 0
+
+    def flush() -> None:
+        nonlocal pend_noop
+        if pend_noop:
+            program.append((OP_NOOP, pend_noop))
+            pend_noop = 0
+        if pend_off:
+            if len(pend_off) == 1:
+                program.append((OP_WRITE, pend_off[0], pend_val[0]))
+            else:
+                program.append((OP_WBATCH, tuple(pend_off), tuple(pend_val),
+                                len(pend_off)))
+            pend_off.clear()
+            pend_val.clear()
+        if pend_obs:
+            if len(pend_obs) < OBS_MIN_BATCH:
+                # Tiny runs: the speculative-batch machinery costs more
+                # than the per-entry calls it replaces — emit plain ops.
+                for item in pend_obs:
+                    if item[0] == OBS_READ:
+                        program.append((OP_READ, item[1], item[2]))
+                    else:
+                        program.append((OP_POLL,) + item[1:])
+            else:
+                program.append((OP_OBS,
+                                tuple(item[1] for item in pend_obs),
+                                tuple(pend_obs),
+                                sum(1 for item in pend_obs
+                                    if item[0] == OBS_READ)))
+            pend_obs.clear()
+
+    for entry in entries:
+        if isinstance(entry, RegWrite):
+            if is_batchable_write(entry.offset):
+                if pend_noop or pend_obs:
+                    flush()
+                pend_off.append(entry.offset)
+                pend_val.append(entry.value)
+            else:
+                flush()
+                program.append((OP_WRITE, entry.offset, entry.value))
+        elif isinstance(entry, RegRead):
+            if pend_noop or pend_off:
+                flush()
+            pend_obs.append((OBS_READ, entry.offset, entry.value))
+        elif isinstance(entry, PollEntry):
+            if entry.iterations == 1:
+                if pend_noop or pend_off:
+                    flush()
+                pend_obs.append((OBS_POLL, entry.offset,
+                                 _COND_CODES[entry.condition],
+                                 entry.operand, entry.value,
+                                 entry.iterations))
+            else:
+                flush()
+                program.append((OP_POLL, entry.offset,
+                                _COND_CODES[entry.condition], entry.operand,
+                                entry.value, entry.iterations))
+        elif isinstance(entry, IrqEntry):
+            flush()
+            program.append((OP_IRQ, entry.line))
+        elif isinstance(entry, MemWrite):
+            flush()
+            program.append((OP_MEMW, _page_group(entry)))
+        elif isinstance(entry, (MemUpload, Marker)):
+            if pend_off or pend_obs:
+                flush()
+            pend_noop += 1
+        else:
+            raise ValueError(f"cannot compile entry {entry!r}")
+    flush()
+    return program
+
+
+def _collect_columns(entries: Sequence[Entry], program: Program):
+    writes = [(e.offset, e.value) for e in entries if isinstance(e, RegWrite)]
+    reads = [(e.offset, e.value) for e in entries if isinstance(e, RegRead)]
+    polls = [(e.offset, _COND_CODES[e.condition], e.operand, e.value,
+              e.iterations) for e in entries if isinstance(e, PollEntry)]
+    irqs = [_IRQ_CODES[e.line] for e in entries if isinstance(e, IrqEntry)]
+    groups = [op[1] for op in program if op[0] == OP_MEMW]
+    bounds = np.zeros((len(groups), 2), dtype=np.uint32)
+    row = 0
+    for i, group in enumerate(groups):
+        bounds[i] = (row, row + len(group.pfns))
+        row += len(group.pfns)
+    if groups:
+        page_pfns = np.concatenate([g.pfns for g in groups])
+        page_table = np.concatenate([g.pages for g in groups])
+    else:
+        page_pfns = np.empty(0, dtype=np.uint64)
+        page_table = np.empty((0, PAGE_SIZE), dtype=np.uint8)
+    return (np.array(writes, dtype=REG_DTYPE),
+            np.array(reads, dtype=REG_DTYPE),
+            np.array(polls, dtype=POLL_DTYPE),
+            np.array(irqs, dtype=np.uint8),
+            page_pfns, page_table, bounds)
+
+
+def compile_recording(recording) -> CompiledRecording:
+    """One-time lowering of a recording: columnar arrays + programs."""
+    entries = recording.entries
+    full_program = compile_entries(entries)
+    writes, reads, polls, irqs, pfns, table, bounds = \
+        _collect_columns(entries, full_program)
+    segment_programs = [(label, compile_entries(seg))
+                        for label, seg in recording.segments()]
+    return CompiledRecording(
+        writes=writes, reads=reads, polls=polls, irq_lines=irqs,
+        page_pfns=pfns, page_table=table, memw_bounds=bounds,
+        entry_count=len(entries),
+        full_program=full_program,
+        segment_programs=segment_programs,
+    )

@@ -100,13 +100,25 @@ def decode(blob: bytes, prev: Optional[bytes] = None) -> bytes:
 
 
 def best_encode(data: bytes, prev: Optional[bytes] = None) -> bytes:
-    """Pick the smaller of raw-RLE and delta-RLE (a delta against an
-    unrelated base can be *larger* than raw)."""
-    raw = encode(data, None)
+    """Encode raw or as a delta against ``prev``, whichever is smaller.
+
+    A delta against an unrelated base can be *larger* than raw, so the
+    choice matters — but running the RLE coder twice to find out would
+    double the codec cost of every page.  The coder's output size is
+    driven by how many nonzero bytes survive, so a single vectorized
+    ``count_nonzero`` of each candidate picks the winner and only the
+    chosen candidate is RLE-encoded (exactly one `_rle_encode` pass per
+    call).
+    """
     if prev is None:
-        return raw
-    delta = encode(data, prev)
-    return delta if len(delta) < len(raw) else raw
+        return encode(data)
+    if len(prev) != len(data):
+        raise CodecError("delta base has different length")
+    arr = np.frombuffer(data, dtype=np.uint8)
+    delta = arr ^ np.frombuffer(prev, dtype=np.uint8)
+    if np.count_nonzero(delta) < np.count_nonzero(arr):
+        return _HEADER.pack(FLAG_DELTA, len(data)) + _rle_encode(delta)
+    return _HEADER.pack(0, len(data)) + _rle_encode(arr)
 
 
 def is_delta(blob: bytes) -> bool:

@@ -24,8 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
+import numpy as np
+
 from repro.core import compress
-from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
 
 
 class SyncPolicy:
@@ -48,6 +50,14 @@ class MemSyncStats:
     raw_pull_bytes: int = 0
     wire_push_bytes: int = 0
     wire_pull_bytes: int = 0
+    # Dirty pages whose bytes still matched the peer's last-synced copy
+    # (re-written with identical content): nothing travels for them.
+    # Detected by a vectorized compare against the peer view, so a
+    # skipped page costs one row comparison, not a codec pass.
+    pages_skipped: int = 0
+    # Codec invocations (each is exactly one RLE pass since the
+    # single-encode rewrite; the old code paid two per page).
+    encodes: int = 0
 
     @property
     def raw_total_bytes(self) -> int:
@@ -72,18 +82,109 @@ class MemorySynchronizer:
         # Naive ships raw dumps; delta+RLE compression is part of §5.
         self.compress_enabled = compress_enabled
         self.stats = MemSyncStats()
-        # Per-page last-synced contents, the delta base (§5 compression).
-        self._peer_view: Dict[int, bytes] = {}
+        # Per-page last-synced contents — the delta base (§5 compression)
+        # and the "dirty but unchanged" detector.  Stored as rows of one
+        # growing 2-D array so a whole sync point's pages compare against
+        # the peer view in a single vectorized pass; ``_peer_rows`` maps
+        # pfn -> row index.
+        self._peer_rows: Dict[int, int] = {}
+        self._peer_arr = np.empty((0, PAGE_SIZE), dtype=np.uint8)
         # Pages pushed to the client while the GPU owns them; the cloud
         # dirtying any of these before the pull is a violation.
         self._gpu_owned: Set[int] = set()
 
     # ------------------------------------------------------------------
-    def _wire_size(self, pfn: int, raw: bytes) -> int:
-        if not self.compress_enabled:
-            return len(raw)
-        packed = compress.best_encode(raw, self._peer_view.get(pfn))
-        return len(packed)
+    def _peer_row(self, pfn: int) -> int:
+        """Row index for ``pfn`` in the peer view, allocating on first use
+        (capacity doubles, so amortized one row copy per new page)."""
+        row = self._peer_rows.get(pfn)
+        if row is None:
+            row = len(self._peer_rows)
+            if row >= len(self._peer_arr):
+                grown = np.zeros((max(64, 2 * len(self._peer_arr)),
+                                  PAGE_SIZE), dtype=np.uint8)
+                grown[:len(self._peer_arr)] = self._peer_arr
+                self._peer_arr = grown
+            self._peer_rows[pfn] = row
+        return row
+
+    def peer_pfns(self) -> Iterable[int]:
+        """Frames present in the peer view."""
+        return self._peer_rows.keys()
+
+    def peer_page(self, pfn: int) -> bytes:
+        """The peer's last-synced copy of ``pfn``."""
+        return self._peer_arr[self._peer_rows[pfn]].tobytes()
+
+    def _encode_pages(self, mem: PhysicalMemory, pfns: List[int]
+                      ) -> Tuple[Dict[int, bytes], int, int]:
+        """Encode each selected page exactly once.
+
+        Returns (pages to ship, wire bytes, pages skipped).  The selected
+        pages are compared run-wise against the peer view without any
+        per-page copies; a dirty page whose bytes still equal the peer's
+        last-synced copy is skipped outright — the peer already holds it,
+        so neither codec work nor wire bytes are spent.  Only genuinely
+        changed pages reach the codec, and each is encoded exactly once.
+        """
+        n = len(pfns)
+        if n == 0:
+            return {}, 0, 0
+        peer_rows = self._peer_rows
+        rows = np.fromiter((peer_rows.get(p, -1) for p in pfns),
+                           dtype=np.int64, count=n)
+        unchanged = np.zeros(n, dtype=bool)
+        store = mem.pages_view()
+        if store is None:
+            for i, pfn in enumerate(pfns):
+                r = rows[i]
+                if r >= 0 and \
+                        self._peer_arr[r].tobytes() == mem.page_bytes(pfn):
+                    unchanged[i] = True
+        else:
+            base_pfn = mem.base >> PAGE_SHIFT
+            idx = np.fromiter(pfns, dtype=np.int64, count=n) - base_pfn
+            # Steady-state sync points re-select the same sorted frames,
+            # so both the frames and their peer rows decompose into the
+            # same few consecutive runs — compare slice views directly
+            # (no gather copies), eight bytes at a time.
+            cuts = np.nonzero(np.diff(idx) != 1)[0] + 1
+            bounds = (0, *cuts.tolist(), n)
+            for a, b in zip(bounds, bounds[1:]):
+                rr = rows[a:b]
+                k = b - a
+                if int(rr[0]) >= 0 and int(rr[-1]) - int(rr[0]) == k - 1 \
+                        and (k == 1 or bool(np.all(np.diff(rr) == 1))):
+                    peer = self._peer_arr[int(rr[0]):int(rr[0]) + k]
+                    cur = store[int(idx[a]):int(idx[a]) + k]
+                    unchanged[a:b] = np.all(
+                        peer.view(np.uint64) == cur.view(np.uint64), axis=1)
+                else:
+                    known = rr >= 0
+                    if known.any():
+                        peer = self._peer_arr[rr[known]]
+                        cur = store[idx[a:b][known]]
+                        unchanged[a:b][known] = np.all(
+                            peer.view(np.uint64) == cur.view(np.uint64),
+                            axis=1)
+        pages: Dict[int, bytes] = {}
+        wire = 0
+        encodes = 0
+        for i in np.nonzero(~unchanged)[0]:
+            pfn = pfns[i]
+            raw = mem.page_bytes(pfn)
+            if self.compress_enabled:
+                prev = (self._peer_arr[rows[i]].tobytes()
+                        if rows[i] >= 0 else None)
+                wire += len(compress.best_encode(raw, prev))
+                encodes += 1
+            else:
+                wire += PAGE_SIZE
+            row = self._peer_row(pfn)  # may grow (rebind) _peer_arr
+            self._peer_arr[row] = np.frombuffer(raw, dtype=np.uint8)
+            pages[pfn] = raw
+        self.stats.encodes += encodes
+        return pages, wire, int(unchanged.sum())
 
     # ------------------------------------------------------------------
     # Metastate identification (§5: permission bits + ioctl flags)
@@ -109,15 +210,10 @@ class MemorySynchronizer:
                 f"cloud wrote {len(violated)} page(s) owned by the GPU "
                 f"(e.g. pfn {min(violated):#x})")
         pfns = self._select(dirty, meta)
-        pages: Dict[int, bytes] = {}
-        wire = 0
-        for pfn in pfns:
-            raw = self.cloud_mem.page_bytes(pfn)
-            wire += self._wire_size(pfn, raw)
-            self._peer_view[pfn] = raw
-            pages[pfn] = raw
+        pages, wire, skipped = self._encode_pages(self.cloud_mem, pfns)
         self.stats.pushes += 1
         self.stats.pages_pushed += len(pages)
+        self.stats.pages_skipped += skipped
         self.stats.raw_push_bytes += len(pages) * PAGE_SIZE
         self.stats.wire_push_bytes += wire
         # Hand the pushed region (and all metastate) to the GPU until pull.
@@ -142,15 +238,10 @@ class MemorySynchronizer:
         """Client -> cloud, after the job-completion interrupt."""
         dirty = self.client_mem.take_dirty()
         pfns = self._select(dirty, set(metastate_pfns))
-        pages: Dict[int, bytes] = {}
-        wire = 0
-        for pfn in pfns:
-            raw = self.client_mem.page_bytes(pfn)
-            wire += self._wire_size(pfn, raw)
-            self._peer_view[pfn] = raw
-            pages[pfn] = raw
+        pages, wire, skipped = self._encode_pages(self.client_mem, pfns)
         self.stats.pulls += 1
         self.stats.pages_pulled += len(pages)
+        self.stats.pages_skipped += skipped
         self.stats.raw_pull_bytes += len(pages) * PAGE_SIZE
         self.stats.wire_pull_bytes += wire
         self._gpu_owned.clear()

@@ -122,6 +122,9 @@ class RecordStats:
     memsync: Optional[MemSyncStats] = None
     network_bytes: int = 0
     recording_bytes: int = 0
+    # Content digest of the produced recording (sha256 hex of the
+    # unsigned body) — the fleet registry's compiled-cache key.
+    recording_digest: str = ""
     client_energy_j: float = 0.0
     timeout_violations: int = 0
     recoveries: int = 0
@@ -394,6 +397,7 @@ class RecordSession:
             memsync=memsync.stats,
             network_bytes=net.total_bytes,
             recording_bytes=blob_len,
+            recording_digest=recording.digest(),
             client_energy_j=meter.record_energy_j(clock.timeline, net),
             timeout_violations=(kbdev.jobs.timeout_violations
                                 + kbdev.timing_violations),

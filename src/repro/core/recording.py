@@ -18,6 +18,7 @@ wire deltas) so replay needs no decompression context.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
 from dataclasses import dataclass, field
@@ -88,10 +89,22 @@ class MemWrite:
 
     pages: Tuple[Tuple[int, bytes], ...]  # (pfn, raw page bytes)
     kind: int = KIND_MEMW
+    # Lazily cached standalone encodes of ``pages`` (same order), so
+    # serializing a recording never compresses the same page twice.
+    # Excluded from equality/hash: it is derived state, not content.
+    encoded: Optional[Tuple[bytes, ...]] = field(
+        default=None, init=False, compare=False, repr=False)
 
     @property
     def nbytes(self) -> int:
         return sum(len(b) for _, b in self.pages)
+
+    def encoded_pages(self) -> Tuple[bytes, ...]:
+        packed = self.encoded
+        if packed is None:
+            packed = tuple(compress.encode(raw) for _, raw in self.pages)
+            object.__setattr__(self, "encoded", packed)
+        return packed
 
 
 @dataclass(frozen=True)
@@ -125,6 +138,30 @@ class Recording:
     data_pfns: Tuple[int, ...]
     entries: List[Entry] = field(default_factory=list)
     signature: Optional[bytes] = None
+    # Derived caches (never serialized, never compared).
+    _digest: Optional[str] = field(default=None, init=False,
+                                   compare=False, repr=False)
+    _compiled: Optional[object] = field(default=None, init=False,
+                                        compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Content digest (sha256 hex of the unsigned body).
+
+        Cached on first use: recordings are immutable once finalized.
+        The fleet registry keys its compiled-program cache on this.
+        """
+        if self._digest is None:
+            self._digest = hashlib.sha256(self.body_bytes()).hexdigest()
+        return self._digest
+
+    def compile(self):
+        """The columnar compiled form (:mod:`repro.core.compiled`),
+        lowered once and cached on the recording."""
+        if self._compiled is None:
+            from repro.core.compiled import compile_recording
+            self._compiled = compile_recording(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     def body_bytes(self) -> bytes:
@@ -247,8 +284,7 @@ def _encode_entry(entry: Entry) -> bytes:
         return _IRQ.pack(KIND_IRQ, _IRQ_CODES[entry.line])
     if isinstance(entry, MemWrite):
         parts = [_MEMW_HDR.pack(KIND_MEMW, len(entry.pages))]
-        for pfn, raw in entry.pages:
-            packed = compress.encode(raw)
+        for (pfn, _), packed in zip(entry.pages, entry.encoded_pages()):
             parts.append(_PAGE_HDR.pack(pfn, len(packed)))
             parts.append(packed)
         return b"".join(parts)
@@ -278,13 +314,21 @@ def _decode_entry(body: bytes, offset: int) -> Tuple[Entry, int]:
         _, n_pages = _MEMW_HDR.unpack_from(body, offset)
         offset += _MEMW_HDR.size
         pages = []
+        packed_pages = []
         for _ in range(n_pages):
             pfn, comp_len = _PAGE_HDR.unpack_from(body, offset)
             offset += _PAGE_HDR.size
-            raw = compress.decode(body[offset:offset + comp_len])
+            packed = body[offset:offset + comp_len]
+            raw = compress.decode(packed)
             pages.append((pfn, raw))
+            packed_pages.append(packed)
             offset += comp_len
-        return MemWrite(pages=tuple(pages)), offset
+        entry = MemWrite(pages=tuple(pages))
+        # Seed the encode cache with the on-wire blobs so re-serializing
+        # a parsed recording never re-compresses (byte-identical by
+        # construction: the codec is deterministic).
+        object.__setattr__(entry, "encoded", tuple(packed_pages))
+        return entry, offset
     if kind == KIND_MEMUP:
         _, nbytes = _MEMUP.unpack_from(body, offset)
         return MemUpload(nbytes=nbytes), offset + _MEMUP.size

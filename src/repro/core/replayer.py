@@ -23,6 +23,7 @@ it to fast-forward the client GPU over a validated log prefix (§4.2).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -38,8 +39,8 @@ from repro.core.recording import (
     Recording,
     RegRead,
     RegWrite,
+    _COND_CODES,
 )
-from repro.driver.bus import PollSpec
 from repro.hw.memory import PhysicalMemory
 from repro.sim.clock import VirtualClock
 from repro.sim.energy import EnergyMeter
@@ -74,12 +75,56 @@ class ReplayStats:
     pages_loaded: int = 0
     pages_skipped: int = 0
 
+    def merge(self, part: "ReplayStats") -> "ReplayStats":
+        """Fold another stats block into this one (segmented replay)."""
+        self.entries += part.entries
+        self.reg_writes += part.reg_writes
+        self.reg_reads += part.reg_reads
+        self.read_retries += part.read_retries
+        self.polls += part.polls
+        self.irq_waits += part.irq_waits
+        self.pages_loaded += part.pages_loaded
+        self.pages_skipped += part.pages_skipped
+        return self
+
+
+def legacy_replay_forced() -> bool:
+    """True when ``REPRO_LEGACY_REPLAY=1`` pins the per-entry engine
+    (kept for A/B comparison against the compiled fast path)."""
+    return os.environ.get("REPRO_LEGACY_REPLAY", "") == "1"
+
 
 def replay_entries(gpu, mem: PhysicalMemory, clock: VirtualClock,
                    entries: Sequence[Entry],
                    skip_pfns: Iterable[int] = (),
-                   strict: bool = True) -> ReplayStats:
-    """Stream a log at a GPU.  ``skip_pfns`` protects injected data pages."""
+                   strict: bool = True,
+                   program: Optional[list] = None) -> ReplayStats:
+    """Stream a log at a GPU.  ``skip_pfns`` protects injected data pages.
+
+    By default the log is lowered to a compiled program
+    (:mod:`repro.core.compiled`) and streamed through the fast
+    interpreter; callers replaying the same log repeatedly should pass a
+    cached ``program`` to skip the lowering.  The per-entry legacy engine
+    is used for devices without bulk-write support (e.g. accelerator
+    shims) or when ``REPRO_LEGACY_REPLAY=1``.
+    """
+    if (legacy_replay_forced()
+            or not (hasattr(gpu, "write_regs")
+                    and hasattr(gpu, "next_event_time"))):
+        return _replay_entries_legacy(gpu, mem, clock, entries,
+                                      skip_pfns, strict)
+    if program is None:
+        from repro.core.compiled import compile_entries
+        program = compile_entries(entries)
+    return _execute_program(gpu, mem, clock, program,
+                            frozenset(skip_pfns), strict)
+
+
+def _replay_entries_legacy(gpu, mem: PhysicalMemory, clock: VirtualClock,
+                           entries: Sequence[Entry],
+                           skip_pfns: Iterable[int] = (),
+                           strict: bool = True) -> ReplayStats:
+    """The reference per-entry engine: one dataclass at a time."""
     stats = ReplayStats()
     skip = set(skip_pfns)
     for entry in entries:
@@ -91,10 +136,15 @@ def replay_entries(gpu, mem: PhysicalMemory, clock: VirtualClock,
         elif isinstance(entry, RegRead):
             clock.advance(REPLAY_REG_ENTRY_COST_S, label="cpu")
             stats.reg_reads += 1
-            _match_read(gpu, clock, entry, stats, strict)
+            value = gpu.read_reg(entry.offset)
+            if value != entry.value:
+                _match_read(gpu, clock, entry.offset, entry.value, value,
+                            stats, strict)
         elif isinstance(entry, PollEntry):
             stats.polls += 1
-            _replay_poll(gpu, clock, entry, strict)
+            _replay_poll(gpu, clock, entry.offset,
+                         _COND_CODES[entry.condition], entry.operand,
+                         entry.iterations, strict)
         elif isinstance(entry, IrqEntry):
             stats.irq_waits += 1
             _await_irq(gpu, clock, entry.line, strict)
@@ -116,45 +166,197 @@ def replay_entries(gpu, mem: PhysicalMemory, clock: VirtualClock,
     return stats
 
 
-def _match_read(gpu, clock: VirtualClock, entry: RegRead,
-                stats: ReplayStats, strict: bool) -> None:
+def _execute_program(gpu, mem: PhysicalMemory, clock: VirtualClock,
+                     program: list, skip_key: frozenset,
+                     strict: bool) -> ReplayStats:
+    """Stream a compiled program (:mod:`repro.core.compiled`) at the GPU.
+
+    Observable behaviour is identical to the legacy engine: write batches
+    advance the clock through the *same sequence* of float additions the
+    per-entry path would perform (so ``clock.now`` stays bit-identical),
+    and a batch whose virtual-time window contains a pending GPU event
+    falls back to per-entry replay so event servicing interleaves exactly
+    as recorded.
+    """
+    from repro.core.compiled import (
+        OBS_READ,
+        OP_IRQ,
+        OP_MEMW,
+        OP_NOOP,
+        OP_OBS,
+        OP_POLL,
+        OP_READ,
+        OP_WBATCH,
+        OP_WRITE,
+    )
+    stats = ReplayStats()
+    if not skip_key:
+        skip_key = None
+    cost = REPLAY_REG_ENTRY_COST_S
+    advance = clock.advance
+    write_reg = gpu.write_reg
+    read_reg = gpu.read_reg
+    write_regs = gpu.write_regs
+    read_regs = gpu.read_regs
+    next_event_time = gpu.next_event_time
+    for op in program:
+        code = op[0]
+        if code == OP_OBS:
+            _, offsets, items, n_reads = op
+            n = len(items)
+            stats.entries += n
+            # End-of-batch time via the same chain of rounded additions
+            # the per-entry path performs (polls do not advance).
+            t = clock.now
+            for _ in range(n_reads):
+                t += cost
+            nev = next_event_time()
+            committed = False
+            if nev is None or nev > t + 1e-12:
+                # No GPU event can fire inside the window, so register
+                # state is constant across it: one batch read at the
+                # window start observes what n per-entry reads would.
+                values = read_regs(offsets)
+                for i in range(n):
+                    item = items[i]
+                    if item[0] == OBS_READ:
+                        if values[i] != item[2]:
+                            break
+                    elif not _poll_satisfied(item[2], values[i], item[3]):
+                        break
+                else:
+                    committed = True
+                    stats.reg_reads += n_reads
+                    stats.polls += n - n_reads
+                    clock.advance_to(t, label="cpu")
+            if not committed:
+                # Event due mid-window or an observation missed its
+                # recorded value: replay the run exactly as the legacy
+                # engine would (reads are side-effect free, so the
+                # speculative batch read above changed nothing).
+                for item in items:
+                    if item[0] == OBS_READ:
+                        advance(cost, label="cpu")
+                        stats.reg_reads += 1
+                        value = read_reg(item[1])
+                        if value != item[2]:
+                            _match_read(gpu, clock, item[1], item[2],
+                                        value, stats, strict)
+                    else:
+                        stats.polls += 1
+                        _replay_poll(gpu, clock, item[1], item[2],
+                                     item[3], item[5], strict)
+        elif code == OP_WBATCH:
+            _, offsets, values, n = op
+            # Reproduce the per-entry clock trajectory bit for bit: the
+            # batch's end time is the same chain of rounded additions.
+            t = clock.now
+            for _ in range(n):
+                t += cost
+            nev = next_event_time()
+            if nev is not None and nev <= t + 1e-12:
+                # An internal event falls due inside the batch window:
+                # only exact per-entry interleaving is faithful.
+                for offset, value in zip(offsets, values):
+                    advance(cost, label="cpu")
+                    write_reg(offset, value)
+            else:
+                clock.advance_to(t, label="cpu")
+                write_regs(offsets, values)
+            stats.entries += n
+            stats.reg_writes += n
+        elif code == OP_READ:
+            _, offset, expected = op
+            advance(cost, label="cpu")
+            stats.entries += 1
+            stats.reg_reads += 1
+            value = read_reg(offset)
+            if value != expected:
+                _match_read(gpu, clock, offset, expected, value,
+                            stats, strict)
+        elif code == OP_POLL:
+            _, offset, cond, operand, _expected, iterations = op
+            stats.entries += 1
+            stats.polls += 1
+            _replay_poll(gpu, clock, offset, cond, operand, iterations,
+                         strict)
+        elif code == OP_WRITE:
+            _, offset, value = op
+            advance(cost, label="cpu")
+            write_reg(offset, value)
+            stats.entries += 1
+            stats.reg_writes += 1
+        elif code == OP_IRQ:
+            stats.entries += 1
+            stats.irq_waits += 1
+            _await_irq(gpu, clock, op[1], strict)
+        elif code == OP_MEMW:
+            pfns, pages, skipped = op[1].select(skip_key)
+            n = len(pfns)
+            if n:
+                mem.write_pages(pfns, pages)
+            stats.pages_loaded += n
+            stats.pages_skipped += skipped
+            stats.entries += 1
+            advance(n * 4096 / REPLAY_MEM_BANDWIDTH_BPS, label="cpu")
+        elif code == OP_NOOP:
+            stats.entries += op[1]
+        else:
+            raise ReplayError(f"unknown opcode {code}")
+    return stats
+
+
+def _match_read(gpu, clock: VirtualClock, offset: int, expected: int,
+                value: int, stats: ReplayStats, strict: bool) -> None:
     """Read until the recorded value appears (hardware may still be in a
     transition the recorded driver had already waited out)."""
     deadline = clock.now + READ_MATCH_TIMEOUT_S
-    value = gpu.read_reg(entry.offset)
-    while value != entry.value:
+    while value != expected:
         next_event = gpu.next_event_time()
         if next_event is None or next_event > deadline:
             if strict:
                 raise ReplayDivergence(
-                    f"read of reg {entry.offset:#x} stuck at {value:#x}, "
-                    f"recording expects {entry.value:#x}")
+                    f"read of reg {offset:#x} stuck at {value:#x}, "
+                    f"recording expects {expected:#x}")
             return
         clock.advance_to(next_event, label="gpu")
         gpu.service()
         stats.read_retries += 1
-        value = gpu.read_reg(entry.offset)
+        value = gpu.read_reg(offset)
 
 
-def _replay_poll(gpu, clock: VirtualClock, entry: PollEntry,
-                 strict: bool) -> None:
-    spec = PollSpec(offset=entry.offset, condition=entry.condition,
-                    operand=entry.operand, max_iters=max(entry.iterations * 4,
-                                                         64))
-    value = gpu.read_reg(entry.offset)
+_COND_BITS_CLEAR = _COND_CODES["bits_clear"]
+_COND_BITS_SET = _COND_CODES["bits_set"]
+_COND_NAMES_BY_CODE = {v: k for k, v in _COND_CODES.items()}
+
+
+def _poll_satisfied(cond: int, value: int, operand: int) -> bool:
+    if cond == _COND_BITS_CLEAR:
+        return (value & operand) == 0
+    if cond == _COND_BITS_SET:
+        return (value & operand) == operand
+    return value == operand  # equals
+
+
+def _replay_poll(gpu, clock: VirtualClock, offset: int, cond: int,
+                 operand: int, recorded_iters: int, strict: bool) -> None:
+    max_iters = max(recorded_iters * 4, 64)
+    value = gpu.read_reg(offset)
     iterations = 1
-    while not spec.satisfied_by(value) and iterations < spec.max_iters:
+    while not _poll_satisfied(cond, value, operand) \
+            and iterations < max_iters:
         next_event = gpu.next_event_time()
         if next_event is None:
             break
         clock.advance_to(next_event, label="gpu")
         gpu.service()
-        value = gpu.read_reg(entry.offset)
+        value = gpu.read_reg(offset)
         iterations += 1
-    if strict and not spec.satisfied_by(value):
+    if strict and not _poll_satisfied(cond, value, operand):
         raise ReplayDivergence(
-            f"poll on reg {entry.offset:#x} never satisfied "
-            f"({entry.condition} {entry.operand:#x}); last value {value:#x}")
+            f"poll on reg {offset:#x} never satisfied "
+            f"({_COND_NAMES_BY_CODE[cond]} {operand:#x}); "
+            f"last value {value:#x}")
 
 
 def _await_irq(gpu, clock: VirtualClock, line: str, strict: bool) -> None:
@@ -170,17 +372,6 @@ def _await_irq(gpu, clock: VirtualClock, line: str, strict: bool) -> None:
         gpu.service()
 
 
-def _accumulate(total: ReplayStats, part: ReplayStats) -> None:
-    total.entries += part.entries
-    total.reg_writes += part.reg_writes
-    total.reg_reads += part.reg_reads
-    total.read_retries += part.read_retries
-    total.polls += part.polls
-    total.irq_waits += part.irq_waits
-    total.pages_loaded += part.pages_loaded
-    total.pages_skipped += part.pages_skipped
-
-
 @dataclass
 class ReplayResult:
     output: np.ndarray
@@ -194,7 +385,8 @@ class Replayer:
 
     def __init__(self, optee: OpTeeOS, gpu, mem: PhysicalMemory,
                  clock: VirtualClock, verify_key: SigningKey,
-                 clk=None) -> None:
+                 clk=None, compiled_cache=None,
+                 tenant_id: str = "local") -> None:
         self.optee = optee
         self.gpu_raw = gpu
         self.gpu = GpuMmioGuard(gpu, optee.tzasc, World.SECURE)
@@ -203,6 +395,32 @@ class Replayer:
         self.verify_key = verify_key
         # Optional SoC clock controller, pinned during replay (§6).
         self.clk = clk
+        # One meter for the replayer's lifetime: the power model is
+        # immutable, so there is nothing per-frame about it.
+        self.meter = EnergyMeter()
+        # Optional digest-keyed compiled-program cache (the fleet
+        # registry), so repeated sessions share one lowering.
+        self.compiled_cache = compiled_cache
+        self.tenant_id = tenant_id
+
+    # ------------------------------------------------------------------
+    def compiled_for(self, recording: Recording):
+        """The recording's compiled form, via the shared cache if one is
+        attached (keyed per tenant + content digest), else per-object."""
+        if self.compiled_cache is not None:
+            return self.compiled_cache.compiled_for(
+                self.tenant_id, recording.digest(), recording.compile)
+        return recording.compile()
+
+    def span_energy_since(self, timeline_start: int) -> float:
+        """Energy (J) of the timeline spans appended since
+        ``timeline_start``, under the replayer's power model."""
+        model = self.meter.model
+        extra = {"cpu": model.cpu_w, "gpu": model.gpu_w}
+        return sum(
+            duration * (model.idle_w + extra.get(label, 0.0))
+            for label, duration in
+            self.clock.timeline.label_totals_since(timeline_start).items())
 
     # ------------------------------------------------------------------
     def load(self, blob: bytes) -> Recording:
@@ -245,6 +463,17 @@ class ReplaySession:
         self.replayer = replayer
         self.recording = recording
         self.runs = 0
+        self._compiled = None            # lazily bound CompiledRecording
+        self._prefix_programs: Dict[str, list] = {}
+
+    def _compiled_recording(self):
+        """The compiled form, or None when legacy replay is forced or the
+        device cannot batch (then entries are streamed per-entry)."""
+        if legacy_replay_forced():
+            return None
+        if self._compiled is None:
+            self._compiled = self.replayer.compiled_for(self.recording)
+        return self._compiled
 
     # ------------------------------------------------------------------
     def install_weights(self, weights: Optional[Dict[str, np.ndarray]]
@@ -286,8 +515,11 @@ class ReplaySession:
     # ------------------------------------------------------------------
     def run(self, input_array: np.ndarray) -> ReplayResult:
         """One inference: lock GPU, reset, stream the log, fetch output."""
+        compiled = self._compiled_recording()
         return self._execute(input_array, self.recording.entries,
-                             self._fetch_output)
+                             self._fetch_output,
+                             program=compiled.full_program
+                             if compiled is not None else None)
 
     # ------------------------------------------------------------------
     # Segmented replay (Figure 2): recordings split at layer markers
@@ -318,7 +550,24 @@ class ReplaySession:
                 binding.pa, (count,), np.float32
             ).reshape(binding.shape).copy()
 
-        return self._execute(input_array, entries, fetch)
+        return self._execute(input_array, entries, fetch,
+                             program=self._prefix_program(upto))
+
+    def _prefix_program(self, upto: str) -> Optional[list]:
+        """Concatenated segment programs through ``upto`` (markers are
+        not part of segment entry lists, matching the legacy prefix)."""
+        compiled = self._compiled_recording()
+        if compiled is None:
+            return None
+        program = self._prefix_programs.get(upto)
+        if program is None:
+            program = []
+            for label, seg_program in compiled.segment_programs:
+                program.extend(seg_program)
+                if label == upto:
+                    break
+            self._prefix_programs[upto] = program
+        return program
 
     def run_batch(self, inputs: Sequence[np.ndarray]) -> List[ReplayResult]:
         """Replay many inputs back to back under one GPU acquisition.
@@ -332,6 +581,8 @@ class ReplaySession:
         if not inputs:
             return []
         r = self.replayer
+        compiled = self._compiled_recording()
+        program = compiled.full_program if compiled is not None else None
         tzasc = r.optee.tzasc
         tzasc.lock_gpu_to_secure()
         if r.clk is not None:
@@ -348,19 +599,14 @@ class ReplaySession:
                 self._inject_input(frame)
                 stats = replay_entries(r.gpu, r.mem, r.clock,
                                        self.recording.entries,
-                                       skip_pfns=self.recording.data_pfns)
+                                       skip_pfns=self.recording.data_pfns,
+                                       program=program)
                 output = self._fetch_output()
                 self.runs += 1
-                meter = EnergyMeter()
-                energy = sum(
-                    span.duration * (meter.model.idle_w
-                                     + {"cpu": meter.model.cpu_w,
-                                        "gpu": meter.model.gpu_w
-                                        }.get(span.label, 0.0))
-                    for span in list(r.clock.timeline)[timeline_start:])
                 results.append(ReplayResult(
                     output=output, delay_s=r.clock.now - t0,
-                    energy_j=energy, stats=stats))
+                    energy_j=r.span_energy_since(timeline_start),
+                    stats=stats))
             r.gpu.hard_reset_now()
         finally:
             if r.clk is not None:
@@ -379,6 +625,7 @@ class ReplaySession:
         no re-execution of earlier layers per inspection point.
         """
         r = self.replayer
+        compiled = self._compiled_recording()
         t0 = r.clock.now
         tzasc = r.optee.tzasc
         tzasc.lock_gpu_to_secure()
@@ -391,10 +638,16 @@ class ReplaySession:
             r.gpu.hard_reset_now()
             r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
             self._inject_input(input_array)
-            for label, entries in self.recording.segments():
-                stats = replay_entries(r.gpu, r.mem, r.clock, entries,
-                                       skip_pfns=self.recording.data_pfns)
-                _accumulate(combined, stats)
+            segments = self.recording.segments()
+            programs = (compiled.segment_programs
+                        if compiled is not None else [None] * len(segments))
+            for (label, entries), seg_program in zip(segments, programs):
+                stats = replay_entries(
+                    r.gpu, r.mem, r.clock, entries,
+                    skip_pfns=self.recording.data_pfns,
+                    program=seg_program[1]
+                    if seg_program is not None else None)
+                combined.merge(stats)
                 if label == "prologue":
                     continue
                 binding = self.recording.manifest.binding(f"{label}.out")
@@ -410,18 +663,13 @@ class ReplaySession:
             tzasc.release_gpu()
         self.runs += 1
         delay = r.clock.now - t0
-        meter = EnergyMeter()
-        span_energy = sum(
-            span.duration * (meter.model.idle_w
-                             + {"cpu": meter.model.cpu_w,
-                                "gpu": meter.model.gpu_w}.get(span.label, 0.0))
-            for span in list(r.clock.timeline)[timeline_start:])
         return ReplayResult(output=output, delay_s=delay,
-                            energy_j=span_energy, stats=combined)
+                            energy_j=r.span_energy_since(timeline_start),
+                            stats=combined)
 
     # ------------------------------------------------------------------
-    def _execute(self, input_array: np.ndarray, entries, fetch
-                 ) -> ReplayResult:
+    def _execute(self, input_array: np.ndarray, entries, fetch,
+                 program: Optional[list] = None) -> ReplayResult:
         r = self.replayer
         t0 = r.clock.now
         tzasc = r.optee.tzasc
@@ -434,7 +682,8 @@ class ReplaySession:
             r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
             self._inject_input(input_array)
             stats = replay_entries(r.gpu, r.mem, r.clock, entries,
-                                   skip_pfns=self.recording.data_pfns)
+                                   skip_pfns=self.recording.data_pfns,
+                                   program=program)
             output = fetch()
             r.gpu.hard_reset_now()
         finally:
@@ -443,11 +692,6 @@ class ReplaySession:
             tzasc.release_gpu()
         self.runs += 1
         delay = r.clock.now - t0
-        meter = EnergyMeter()
-        span_energy = sum(
-            span.duration * (meter.model.idle_w
-                             + {"cpu": meter.model.cpu_w,
-                                "gpu": meter.model.gpu_w}.get(span.label, 0.0))
-            for span in list(r.clock.timeline)[timeline_start:])
         return ReplayResult(output=output, delay_s=delay,
-                            energy_j=span_energy, stats=stats)
+                            energy_j=r.span_energy_since(timeline_start),
+                            stats=stats)

@@ -20,7 +20,7 @@ threat model demands.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 
 class TenantIsolationError(RuntimeError):
@@ -58,6 +58,9 @@ class CachedRecording:
     signature: bytes
     created_at: float
     serves: int = 0
+    # Content digest of the recording body (sha256 hex) — the key under
+    # which the compiled columnar form is cached (see compiled_for).
+    digest: str = ""
 
 
 @dataclass
@@ -80,6 +83,12 @@ class RecordingRegistry:
     def __init__(self) -> None:
         self._by_tenant: Dict[str, Dict[RecordingKey, CachedRecording]] = {}
         self.stats = RegistryStats()
+        # Compiled columnar recordings, keyed (tenant, content digest).
+        # Like the recording cache itself the bucket is tenant-scoped:
+        # two tenants with bit-identical recordings each get their own
+        # lowering (§7.1 — nothing derived from a recording is shared).
+        self._compiled: Dict[Tuple[str, str], object] = {}
+        self.compiled_stats = RegistryStats()
 
     # ------------------------------------------------------------------
     def lookup(self, tenant_id: str,
@@ -106,6 +115,28 @@ class RecordingRegistry:
                 f"cannot file {entry.tenant_id!r}'s recording under "
                 f"{tenant_id!r}")
         self._by_tenant.setdefault(tenant_id, {})[entry.key] = entry
+
+    # ------------------------------------------------------------------
+    def compiled_for(self, tenant_id: str, digest: str,
+                     build: Callable[[], object]) -> object:
+        """The tenant's compiled form for a recording digest.
+
+        On miss, ``build()`` (typically ``Recording.compile``) runs once
+        and the result is cached, so repeated fleet sessions replaying
+        the same recording never re-lower it.
+        """
+        key = (tenant_id, digest)
+        hit = self._compiled.get(key)
+        if hit is None:
+            self.compiled_stats.misses += 1
+            hit = build()
+            self._compiled[key] = hit
+        else:
+            self.compiled_stats.hits += 1
+        return hit
+
+    def compiled_count(self) -> int:
+        return len(self._compiled)
 
     # ------------------------------------------------------------------
     def tenants(self) -> Tuple[str, ...]:

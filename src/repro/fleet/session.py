@@ -236,7 +236,8 @@ class FleetSimulation:
             recording_bytes=costs.recording_bytes,
             dry_run_s=costs.dry_run_s,
             signature=self.service.sign_recording(body),
-            created_at=self.clock.now))
+            created_at=self.clock.now,
+            digest=hashlib.sha256(body).hexdigest()))
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict:
@@ -261,6 +262,9 @@ class FleetSimulation:
             "tenants": len(self.registry.tenants()),
             "recordings": len(self.registry),
             "lookups": self.registry.stats.lookups,
+            "compiled_cached": self.registry.compiled_count(),
+            "compiled_hits": self.registry.compiled_stats.hits,
+            "compiled_misses": self.registry.compiled_stats.misses,
         }
         doc["service"] = {
             "sessions_opened": self.service.sessions_opened,

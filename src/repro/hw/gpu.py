@@ -80,6 +80,31 @@ class _AddressSpace:
     active_until: float = -1.0
 
 
+# Register writes whose handlers schedule internal events or otherwise
+# read the clock: their behaviour depends on *when* the write lands, so
+# the compiled replayer must replay them one at a time with the exact
+# per-entry clock advance.  Every other write is a pure state update and
+# may be applied in a back-to-back batch (see ``MaliGpu.write_regs``).
+EFFECTFUL_WRITE_OFFSETS = frozenset(
+    {
+        regs.GPU_COMMAND,
+        regs.SHADER_PWRON_LO, regs.TILER_PWRON_LO, regs.L2_PWRON_LO,
+        regs.SHADER_PWROFF_LO, regs.TILER_PWROFF_LO, regs.L2_PWROFF_LO,
+    }
+    | {regs.JOB_SLOT_BASE + nr * regs.JOB_SLOT_STRIDE + off
+       for nr in range(NUM_JOB_SLOTS)
+       for off in (regs.JS_COMMAND_NEXT, regs.JS_COMMAND)}
+    | {regs.AS_BASE + nr * regs.AS_STRIDE + regs.AS_COMMAND
+       for nr in range(NUM_ADDRESS_SPACES)}
+)
+
+
+def is_batchable_write(offset: int) -> bool:
+    """True if a write to ``offset`` is a pure state update (no event
+    scheduling, no clock dependence) and therefore batchable."""
+    return offset not in EFFECTFUL_WRITE_OFFSETS
+
+
 class MaliGpu:
     """Register-level model of a Mali-Bifrost-style GPU."""
 
@@ -127,6 +152,17 @@ class MaliGpu:
         self.jobs_completed = 0
         self.jobs_faulted = 0
         self.resets = 0
+
+        # Per-offset dispatch tables for the register file.  The if-chains
+        # in ``_read_slow``/``_write_slow`` remain the complete reference
+        # decode; the tables shortcut the hot offsets (replay touches the
+        # register file once per recording entry).  Closures capture slot /
+        # address-space *indices*, never the state objects: reset replaces
+        # ``_slots``/``_spaces``/``_irq_raw`` wholesale, so all state must
+        # be looked up through ``self`` at call time.
+        self._read_dispatch: Dict[int, Callable[[], int]] = {}
+        self._write_dispatch: Dict[int, Callable[[int], None]] = {}
+        self._build_dispatch()
 
     # ------------------------------------------------------------------
     # Event machinery
@@ -218,9 +254,157 @@ class MaliGpu:
         self.reg_writes += 1
         self._write(offset, value & 0xFFFF_FFFF)
 
-    # -- reads ----------------------------------------------------------
+    def write_regs(self, offsets, values) -> None:
+        """Apply a batch of register writes back to back.
+
+        Equivalent to ``write_reg`` per pair *provided no internal event
+        falls due during the batch* — the caller (the compiled replayer)
+        guarantees that by checking :meth:`next_event_time` against the
+        batch's virtual-time window before batching, and only ever batches
+        offsets for which :func:`is_batchable_write` holds (writes that
+        neither schedule events nor read the clock).  Under those two
+        conditions the single leading ``service()`` observes the same due
+        set as per-write servicing would, and write order is preserved.
+        """
+        self.service()
+        self.reg_writes += len(offsets)
+        dispatch = self._write_dispatch
+        for offset, value in zip(offsets, values):
+            fn = dispatch.get(offset)
+            if fn is not None:
+                fn(value & 0xFFFF_FFFF)
+            else:
+                self._write_slow(offset, value & 0xFFFF_FFFF)
+
+    def read_regs(self, offsets) -> tuple:
+        """Read a batch of registers back to back.
+
+        One leading ``service()`` covers the whole batch; reads in this
+        model are side-effect free (no read-to-clear registers), so the
+        result equals per-offset ``read_reg`` calls at the same instant.
+        The compiled replayer uses this speculatively: if a speculation
+        fails it re-reads per entry, so ``reg_reads`` may overcount by the
+        batch size on that (rare, divergence-adjacent) path.
+        """
+        self.service()
+        self.reg_reads += len(offsets)
+        dispatch = self._read_dispatch
+        slow = self._read_slow
+        return tuple(
+            (fn() if (fn := dispatch.get(offset)) is not None
+             else slow(offset)) & 0xFFFF_FFFF
+            for offset in offsets)
+
+    # -- dispatch -------------------------------------------------------
     def _read(self, offset: int) -> int:
+        fn = self._read_dispatch.get(offset)
+        if fn is not None:
+            return fn()
+        return self._read_slow(offset)
+
+    def _write(self, offset: int, value: int) -> None:
+        fn = self._write_dispatch.get(offset)
+        if fn is not None:
+            fn(value)
+            return
+        self._write_slow(offset, value)
+
+    def _build_dispatch(self) -> None:
+        rd = self._read_dispatch
+        wr = self._write_dispatch
+        raw, mask = self._irq_raw, self._irq_mask  # only for key iteration
+
+        # IRQ banks (state dicts re-fetched through self on every call).
+        for line, rs, ms, st, cl in (
+            (GpuIrqLine.GPU, regs.GPU_IRQ_RAWSTAT, regs.GPU_IRQ_MASK,
+             regs.GPU_IRQ_STATUS, regs.GPU_IRQ_CLEAR),
+            (GpuIrqLine.JOB, regs.JOB_IRQ_RAWSTAT, regs.JOB_IRQ_MASK,
+             regs.JOB_IRQ_STATUS, regs.JOB_IRQ_CLEAR),
+            (GpuIrqLine.MMU, regs.MMU_IRQ_RAWSTAT, regs.MMU_IRQ_MASK,
+             regs.MMU_IRQ_STATUS, regs.MMU_IRQ_CLEAR),
+        ):
+            rd[rs] = lambda l=line: self._irq_raw[l]
+            rd[ms] = lambda l=line: self._irq_mask[l]
+            rd[st] = lambda l=line: self._irq_raw[l] & self._irq_mask[l]
+            wr[cl] = lambda v, l=line: self._irq_clear(l, v)
+            wr[ms] = lambda v, l=line: self._irq_set_mask(l, v)
+        assert set(raw) == set(mask)  # three lines, both dicts aligned
+
+        rd[regs.LATEST_FLUSH] = lambda: self._flush_epoch
+        rd[regs.GPU_STATUS] = self._read_gpu_status
+        rd[regs.JOB_IRQ_JS_STATE] = self._read_js_state
+        rd[regs.SHADER_CONFIG] = lambda: self._shader_config
+        rd[regs.TILER_CONFIG] = lambda: self._tiler_config
+        rd[regs.L2_MMU_CONFIG] = lambda: self._l2_mmu_config
+        rd[regs.PWR_OVERRIDE0] = lambda: self._pwr_override0
+        for base, domain in ((regs.SHADER_READY_LO, "shader"),
+                             (regs.TILER_READY_LO, "tiler"),
+                             (regs.L2_READY_LO, "l2")):
+            rd[base] = lambda d=domain: self._ready[d] & 0xFFFF_FFFF
+            rd[base + 4] = lambda d=domain: self._ready[d] >> 32
+        for base, domain in ((regs.SHADER_PWRTRANS_LO, "shader"),
+                             (regs.TILER_PWRTRANS_LO, "tiler"),
+                             (regs.L2_PWRTRANS_LO, "l2")):
+            rd[base] = lambda d=domain: self._pwrtrans[d] & 0xFFFF_FFFF
+            rd[base + 4] = lambda d=domain: self._pwrtrans[d] >> 32
+
+        # Job-slot and address-space banks: delegate with precomputed
+        # (index, relative offset), skipping the divmod decode per access.
+        for nr in range(NUM_JOB_SLOTS):
+            base = regs.JOB_SLOT_BASE + nr * regs.JOB_SLOT_STRIDE
+            for off in (regs.JS_HEAD_LO, regs.JS_HEAD_HI, regs.JS_TAIL_LO,
+                        regs.JS_TAIL_HI, regs.JS_AFFINITY_LO,
+                        regs.JS_AFFINITY_HI, regs.JS_CONFIG, regs.JS_STATUS):
+                rd[base + off] = (lambda n=nr, o=off:
+                                  self._read_slot(n, o))
+            for off in (regs.JS_HEAD_NEXT_LO, regs.JS_HEAD_NEXT_HI,
+                        regs.JS_AFFINITY_NEXT_LO, regs.JS_AFFINITY_NEXT_HI,
+                        regs.JS_CONFIG_NEXT, regs.JS_FLUSH_ID_NEXT,
+                        regs.JS_COMMAND_NEXT, regs.JS_COMMAND):
+                wr[base + off] = (lambda v, n=nr, o=off:
+                                  self._write_slot(n, o, v))
+        for nr in range(NUM_ADDRESS_SPACES):
+            base = regs.AS_BASE + nr * regs.AS_STRIDE
+            for off in (regs.AS_TRANSTAB_LO, regs.AS_TRANSTAB_HI,
+                        regs.AS_MEMATTR_LO, regs.AS_MEMATTR_HI,
+                        regs.AS_STATUS, regs.AS_FAULTSTATUS,
+                        regs.AS_FAULTADDRESS_LO, regs.AS_FAULTADDRESS_HI,
+                        regs.AS_TRANSCFG_LO, regs.AS_TRANSCFG_HI):
+                rd[base + off] = (lambda n=nr, o=off:
+                                  self._read_as(n, o))
+            for off in (regs.AS_TRANSTAB_LO, regs.AS_TRANSTAB_HI,
+                        regs.AS_MEMATTR_LO, regs.AS_MEMATTR_HI,
+                        regs.AS_LOCKADDR_LO, regs.AS_LOCKADDR_HI,
+                        regs.AS_TRANSCFG_LO, regs.AS_TRANSCFG_HI,
+                        regs.AS_COMMAND):
+                wr[base + off] = (lambda v, n=nr, o=off:
+                                  self._write_as(n, o, v))
+
+    def _irq_clear(self, line: str, value: int) -> None:
+        self._irq_raw[line] &= ~value
+
+    def _irq_set_mask(self, line: str, value: int) -> None:
+        self._irq_mask[line] = value
+
+    def _read_gpu_status(self) -> int:
         now = self.clock.now
+        status = 0
+        if any(s.active_until > now for s in self._slots):
+            status |= GpuStatusBits.GPU_ACTIVE
+        if any(t for t in self._pwrtrans.values()):
+            status |= GpuStatusBits.POWER_TRANS
+        return status
+
+    def _read_js_state(self) -> int:
+        now = self.clock.now
+        state = 0
+        for i, slot in enumerate(self._slots):
+            if slot.active_until > now:
+                state |= 1 << i
+        return state
+
+    # -- reads ----------------------------------------------------------
+    def _read_slow(self, offset: int) -> int:
         sku = self.sku
         if offset == regs.GPU_ID:
             return sku.gpu_id
@@ -257,12 +441,7 @@ class MaliGpu:
         if offset == regs.GPU_IRQ_STATUS:
             return self._irq_raw[GpuIrqLine.GPU] & self._irq_mask[GpuIrqLine.GPU]
         if offset == regs.GPU_STATUS:
-            status = 0
-            if any(s.active_until > now for s in self._slots):
-                status |= GpuStatusBits.GPU_ACTIVE
-            if any(t for t in self._pwrtrans.values()):
-                status |= GpuStatusBits.POWER_TRANS
-            return status
+            return self._read_gpu_status()
         if offset == regs.LATEST_FLUSH:
             # Cache-flush epoch: history dependent, hence nondeterministic
             # from the driver's point of view (§7.3).
@@ -312,11 +491,7 @@ class MaliGpu:
         if offset == regs.JOB_IRQ_STATUS:
             return self._irq_raw[GpuIrqLine.JOB] & self._irq_mask[GpuIrqLine.JOB]
         if offset == regs.JOB_IRQ_JS_STATE:
-            state = 0
-            for i, slot in enumerate(self._slots):
-                if slot.active_until > now:
-                    state |= 1 << i
-            return state
+            return self._read_js_state()
         if offset == regs.MMU_IRQ_RAWSTAT:
             return self._irq_raw[GpuIrqLine.MMU]
         if offset == regs.MMU_IRQ_MASK:
@@ -378,7 +553,7 @@ class MaliGpu:
         return 0
 
     # -- writes ---------------------------------------------------------
-    def _write(self, offset: int, value: int) -> None:
+    def _write_slow(self, offset: int, value: int) -> None:
         if offset == regs.GPU_IRQ_CLEAR:
             self._irq_raw[GpuIrqLine.GPU] &= ~value
             return

@@ -12,10 +12,15 @@ This module models that memory as a single numpy-backed byte array with:
 
 from __future__ import annotations
 
+import math
+import struct
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -76,6 +81,35 @@ class PhysicalMemory:
         self._next_free = base
         self._regions: List[Region] = []
         self._dirty: Set[int] = set()
+        # Write-watch support for coherent caches (the GPU MMU's
+        # page-walk cache): consumers register page frames via
+        # watch_pages().  ``watch_epoch`` bumps whenever *any* watched
+        # page is written (a cheap "nothing changed" fast path);
+        # ``watch_versions`` counts writes per watched frame so caches
+        # can invalidate only entries that depend on rewritten pages.
+        self._watch: Set[int] = set()
+        self._watch_arr: Optional[np.ndarray] = None
+        self.watch_epoch = 0
+        self.watch_versions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Write watching (cache-coherency hook)
+    # ------------------------------------------------------------------
+    def watch_pages(self, pfns: Iterable[int]) -> None:
+        """Add page frames to the write-watch set."""
+        before = len(self._watch)
+        self._watch.update(pfns)
+        if len(self._watch) != before:
+            self._watch_arr = None
+
+    def _note_write(self, pages: Iterable[int]) -> None:
+        if self._watch:
+            hit = self._watch.intersection(pages)
+            if hit:
+                self.watch_epoch += 1
+                versions = self.watch_versions
+                for pfn in hit:
+                    versions[pfn] = versions.get(pfn, 0) + 1
 
     # ------------------------------------------------------------------
     # Allocation
@@ -116,16 +150,20 @@ class PhysicalMemory:
     def write(self, pa: int, data: bytes) -> None:
         off = self._offset(pa, len(data))
         self._store[off:off + len(data)] = np.frombuffer(data, dtype=np.uint8)
-        self._dirty.update(pages_spanning(pa, len(data)))
+        pages = pages_spanning(pa, len(data))
+        self._dirty.update(pages)
+        self._note_write(pages)
 
     def read_u64(self, pa: int) -> int:
-        return int.from_bytes(self.read(pa, 8), "little")
+        # Unpack straight from the backing store (page-table walks do
+        # several of these per translation; no bytes round trip).
+        return _U64.unpack_from(self._store, self._offset(pa, 8))[0]
 
     def write_u64(self, pa: int, value: int) -> None:
         self.write(pa, (value & (2**64 - 1)).to_bytes(8, "little"))
 
     def read_u32(self, pa: int) -> int:
-        return int.from_bytes(self.read(pa, 4), "little")
+        return _U32.unpack_from(self._store, self._offset(pa, 4))[0]
 
     def write_u32(self, pa: int, value: int) -> None:
         self.write(pa, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
@@ -133,13 +171,15 @@ class PhysicalMemory:
     def fill(self, pa: int, nbytes: int, value: int = 0) -> None:
         off = self._offset(pa, nbytes)
         self._store[off:off + nbytes] = value & 0xFF
-        self._dirty.update(pages_spanning(pa, nbytes))
+        pages = pages_spanning(pa, nbytes)
+        self._dirty.update(pages)
+        self._note_write(pages)
 
     # ------------------------------------------------------------------
     # Typed numpy views (used by the shader executor for real math)
     # ------------------------------------------------------------------
     def view(self, pa: int, shape: Tuple[int, ...], dtype=np.float32) -> np.ndarray:
-        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        nbytes = math.prod(shape) * np.dtype(dtype).itemsize
         off = self._offset(pa, nbytes)
         return self._store[off:off + nbytes].view(dtype).reshape(shape)
 
@@ -148,12 +188,16 @@ class PhysicalMemory:
         raw = flat.view(np.uint8).reshape(-1)
         off = self._offset(pa, raw.size)
         self._store[off:off + raw.size] = raw
-        self._dirty.update(pages_spanning(pa, raw.size))
+        pages = pages_spanning(pa, raw.size)
+        self._dirty.update(pages)
+        self._note_write(pages)
 
     def mark_dirty_range(self, pa: int, nbytes: int) -> None:
         """Record writes done through a raw :meth:`view`."""
         self._offset(pa, max(nbytes, 1))
-        self._dirty.update(pages_spanning(pa, nbytes))
+        pages = pages_spanning(pa, nbytes)
+        self._dirty.update(pages)
+        self._note_write(pages)
 
     # ------------------------------------------------------------------
     # Dirty tracking for memory synchronization (§5)
@@ -181,6 +225,104 @@ class PhysicalMemory:
         if len(data) != PAGE_SIZE:
             raise ValueError("page write must be exactly one page")
         self.write(pfn << PAGE_SHIFT, data)
+
+    def write_pages(self, pfns: np.ndarray, pages: np.ndarray) -> None:
+        """Install many whole pages at once.
+
+        ``pfns`` is a sorted 1-D integer array, ``pages`` the matching
+        ``(len(pfns), PAGE_SIZE)`` uint8 array.  Consecutive frame numbers
+        collapse into single slice assignments, and runs whose bytes
+        already match memory are skipped entirely (the store and the
+        write-watch bump — content-identical restores leave translations
+        valid, so the MMU's walk cache survives steady-state replay).
+        Resulting memory contents and dirty tracking are identical to
+        per-page :meth:`write_page` calls.
+        """
+        n = len(pfns)
+        if n == 0:
+            return
+        if pages.shape != (n, PAGE_SIZE):
+            raise ValueError("page write must be exactly one page")
+        # Bounds check the whole batch up front (same error as write()).
+        self._offset(int(pfns[0]) << PAGE_SHIFT, PAGE_SIZE)
+        self._offset(int(pfns[n - 1]) << PAGE_SHIFT, PAGE_SIZE)
+        if self.base % PAGE_SIZE:
+            for pfn, page in zip(pfns, pages):
+                self.write_page(int(pfn), page.tobytes())
+            return
+        base_pfn = self.base >> PAGE_SHIFT
+        store = self._store.reshape(-1, PAGE_SIZE)
+        touched_watch: List[int] = []
+        # Run boundaries where the frame numbers stop being consecutive.
+        cuts = np.nonzero(np.diff(pfns.astype(np.int64)) != 1)[0] + 1
+        run_start = 0
+        for run_end in (*cuts.tolist(), n):
+            first = int(pfns[run_start]) - base_pfn
+            incoming = pages[run_start:run_end]
+            current = store[first:first + (run_end - run_start)]
+            if not np.array_equal(current, incoming):
+                if self._watch:
+                    if self._watch_arr is None:
+                        self._watch_arr = np.fromiter(
+                            self._watch, dtype=np.uint64,
+                            count=len(self._watch))
+                    run_pfns = pfns[run_start:run_end]
+                    mask = np.isin(run_pfns, self._watch_arr)
+                    # Only watched pages whose *own* bytes change count:
+                    # a run mixing dirty data pages with byte-identical
+                    # page-table pages must not invalidate translations.
+                    for i in np.nonzero(mask)[0]:
+                        if not np.array_equal(current[i], incoming[i]):
+                            touched_watch.append(int(run_pfns[i]))
+                current[:] = incoming
+            run_start = run_end
+        self._dirty.update(pfns.tolist())
+        if touched_watch:
+            self.watch_epoch += 1
+            versions = self.watch_versions
+            for pfn in touched_watch:
+                versions[pfn] = versions.get(pfn, 0) + 1
+
+    def pages_view(self) -> Optional[np.ndarray]:
+        """The whole store as an ``(n_pages, PAGE_SIZE)`` uint8 view.
+
+        Returns ``None`` when the physical base is not page aligned (no
+        frame-number-indexable view exists then).  Row ``i`` is the page
+        at frame ``(base >> PAGE_SHIFT) + i``.  Callers must treat the
+        view as read-only: writes through it would bypass dirty tracking
+        and the write watch.
+        """
+        if self.base % PAGE_SIZE:
+            return None
+        return self._store.reshape(-1, PAGE_SIZE)
+
+    def pages_array(self, pfns: Iterable[int]) -> np.ndarray:
+        """Gather whole pages into an ``(n, PAGE_SIZE)`` uint8 array.
+
+        A consecutive frame-number run returns a zero-copy *view* of the
+        backing store (the §5 synchronizer compares thousands of pages
+        per sync point, and the copy alone would dominate); other shapes
+        return a fancy-index copy.  Callers must treat the result as
+        read-only and copy any rows they retain.
+        """
+        idx = np.fromiter(pfns, dtype=np.int64)
+        n = len(idx)
+        if n == 0:
+            return np.empty((0, PAGE_SIZE), dtype=np.uint8)
+        self._offset(int(idx.min()) << PAGE_SHIFT, PAGE_SIZE)
+        self._offset(int(idx.max()) << PAGE_SHIFT, PAGE_SIZE)
+        if self.base % PAGE_SIZE == 0:
+            rel = idx - (self.base >> PAGE_SHIFT)
+            store = self._store.reshape(-1, PAGE_SIZE)
+            lo = int(rel[0])
+            if int(rel[-1]) - lo == n - 1 and bool(np.all(np.diff(rel) == 1)):
+                return store[lo:lo + n]
+            return store[rel]
+        out = np.empty((n, PAGE_SIZE), dtype=np.uint8)
+        for i, pfn in enumerate(idx):
+            off = self._offset(int(pfn) << PAGE_SHIFT, PAGE_SIZE)
+            out[i] = self._store[off:off + PAGE_SIZE]
+        return out
 
     def pages_of_region(self, region: Region) -> Iterable[int]:
         return pages_spanning(region.base, region.size)

@@ -47,6 +47,9 @@ class PteFlags:
     FORMAT_SHIFT = {0: 6, 1: 2}
 
 
+_ACCESS_BITS = {"r": PteFlags.READ, "w": PteFlags.WRITE, "x": PteFlags.EXECUTE}
+
+
 class GpuPageFault(Exception):
     """Raised (and latched into AS_FAULTSTATUS) on a bad GPU access."""
 
@@ -95,11 +98,17 @@ class PageTableWalker:
         self.mem = mem
         self.pte_format = pte_format
 
-    def walk(self, root_pa: int, va: int) -> Optional[WalkResult]:
+    def walk(self, root_pa: int, va: int,
+             trace: Optional[List[int]] = None) -> Optional[WalkResult]:
+        """Translate ``va`` under ``root_pa``.  When ``trace`` is given,
+        the page frame of every table touched is appended to it (used by
+        the MMU's walk cache to register coherency watches)."""
         if va >> VA_BITS:
             return None
         table_pa = root_pa
         for level in range(LEVELS):
+            if trace is not None:
+                trace.append(table_pa >> PAGE_SHIFT)
             entry_pa = table_pa + level_index(va, level) * ENTRY_SIZE
             entry = self.mem.read_u64(entry_pa)
             kind = entry & ENTRY_TYPE_MASK
@@ -179,6 +188,26 @@ class GpuMmu:
         self.fault_status: int = 0
         self.fault_address: int = 0
         self.tlb_flushes: int = 0
+        # Page-walk cache (like a hardware paging-structure cache): maps
+        # (root, va_page) -> [pa_page, flags, trace, versions, epoch] and
+        # *survives* TLB flushes.  Unlike the TLB — whose staleness until
+        # an explicit FLUSH command is part of the modelled driver/
+        # hardware protocol — this cache is kept coherent: the backing
+        # memory bumps ``watch_epoch``/per-page ``watch_versions`` when a
+        # traversed page-table page is written, and each entry revalidates
+        # the versions of exactly the table pages its walk touched, so a
+        # rewrite of one table invalidates only dependent translations.
+        # Faults (negative walks) are never cached.
+        self._walk_cache: Dict[Tuple[int, int], list] = {}
+        self.walks: int = 0
+        # Range-translation cache for translate_contiguous: maps
+        # (root, va, nbytes, access) -> (base_pa, epoch).  Valid only
+        # while watch_epoch is unchanged, i.e. while no traversed page
+        # table has been written — under that condition per-page
+        # translation (TLB or fresh walks, both reading the same
+        # unchanged tables) cannot disagree with the cached result, so
+        # the shortcut is semantically invisible.
+        self._range_cache: Dict[Tuple[int, int, int, str], Tuple[int, int]] = {}
 
     def configure(self, transtab: int, enabled: bool = True) -> None:
         self.transtab = transtab & ADDR_MASK
@@ -196,14 +225,35 @@ class GpuMmu:
         va_page = va >> PAGE_SHIFT
         cached = self._tlb.get(va_page)
         if cached is None:
-            result = self.walker.walk(self.transtab, va)
-            if result is None:
-                self._fault(va, access, "unmapped address")
-            cached = (result.pa >> PAGE_SHIFT, result.flags)
+            mem = self.mem
+            epoch = mem.watch_epoch
+            key = (self.transtab, va_page)
+            entry = self._walk_cache.get(key)
+            if entry is not None and entry[4] != epoch:
+                versions = mem.watch_versions
+                for pfn, seen in zip(entry[2], entry[3]):
+                    if versions.get(pfn, 0) != seen:
+                        entry = None
+                        break
+                else:
+                    entry[4] = epoch
+            if entry is None:
+                trace: List[int] = []
+                result = self.walker.walk(self.transtab, va, trace)
+                self.walks += 1
+                mem.watch_pages(trace)
+                if result is None:
+                    self._fault(va, access, "unmapped address")
+                versions = mem.watch_versions
+                entry = [result.pa >> PAGE_SHIFT, result.flags,
+                         tuple(trace),
+                         tuple(versions.get(pfn, 0) for pfn in trace),
+                         epoch]
+                self._walk_cache[key] = entry
+            cached = (entry[0], entry[1])
             self._tlb[va_page] = cached
         pa_page, flags = cached
-        needed = {"r": PteFlags.READ, "w": PteFlags.WRITE,
-                  "x": PteFlags.EXECUTE}[access]
+        needed = _ACCESS_BITS[access]
         if not flags & needed:
             self._fault(va, access, f"permission denied (flags={flags:#x})")
         return (pa_page << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
@@ -217,6 +267,13 @@ class GpuMmu:
         """
         if nbytes <= 0:
             raise ValueError("range must be non-empty")
+        if not self.enabled:
+            raise GpuPageFault(va, access, "MMU disabled")
+        epoch = self.mem.watch_epoch
+        key = (self.transtab, va, nbytes, access)
+        hit = self._range_cache.get(key)
+        if hit is not None and hit[1] == epoch:
+            return hit[0]
         base_pa = self.translate(va, access)
         offset = PAGE_SIZE - (va & (PAGE_SIZE - 1))
         while offset < nbytes:
@@ -225,6 +282,7 @@ class GpuMmu:
                 raise GpuPageFault(va + offset, access,
                                    "range is not physically contiguous")
             offset += PAGE_SIZE
+        self._range_cache[key] = (base_pa, epoch)
         return base_pa
 
     def _fault(self, va: int, access: str, reason: str) -> None:

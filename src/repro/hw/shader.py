@@ -21,6 +21,7 @@ subtle SKU differences break replay (§2.4).
 from __future__ import annotations
 
 import json
+import math
 import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -206,6 +207,14 @@ class ShaderExecutor:
         self.gpu_id = gpu_id
         self.gflops = gflops
         self.jobs_executed = 0
+        # Content-keyed decode caches.  Keys are the raw bytes fetched from
+        # memory *this* job, so MMU translation, permission checks (the
+        # executable mapping for shaders) and memory reads still happen on
+        # every job — only re-parsing identical bytes is skipped.  Safe
+        # because ShaderBinary/JobDescriptor are frozen dataclasses.
+        self._shader_cache: Dict[bytes, ShaderBinary] = {}
+        self._desc_cache: Dict[bytes, JobDescriptor] = {}
+        self._flops_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def run_job(self, descriptor_va: int) -> JobResult:
@@ -220,11 +229,15 @@ class ShaderExecutor:
         output = self._compute(shader, arrays)
         out_ranges = self._store_output(desc, output)
         self.jobs_executed += 1
-        duration = JOB_FIXED_OVERHEAD_S + shader.flops() / (
+        flops = self._flops_cache.get(id(shader))
+        if flops is None:
+            flops = shader.flops()
+            self._flops_cache[id(shader)] = flops
+        duration = JOB_FIXED_OVERHEAD_S + flops / (
             self.gflops * 1e9 * COMPUTE_EFFICIENCY
         )
         return JobResult(status=0, duration_s=duration,
-                         flops=shader.flops(), output_ranges=out_ranges)
+                         flops=flops, output_ranges=out_ranges)
 
     # ------------------------------------------------------------------
     def _fetch_descriptor(self, va: int) -> JobDescriptor:
@@ -233,13 +246,23 @@ class ShaderExecutor:
         _, _, _, _, nbuf = JobDescriptor.HEADER.unpack(header)
         total = JobDescriptor.HEADER.size + nbuf * JobDescriptor.BUFFER.size
         pa = self.mmu.translate_contiguous(va, total, "r")
-        return JobDescriptor.deserialize(self.mem.read(pa, total))
+        raw = self.mem.read(pa, total)
+        desc = self._desc_cache.get(raw)
+        if desc is None:
+            desc = JobDescriptor.deserialize(raw)
+            self._desc_cache[raw] = desc
+        return desc
 
     def _fetch_shader(self, desc: JobDescriptor) -> ShaderBinary:
         # The execute permission check here is load-bearing: it is what
         # makes "metastate pages are mapped executable" true in this model.
         pa = self.mmu.translate_contiguous(desc.shader_va, desc.shader_len, "x")
-        return ShaderBinary.deserialize(self.mem.read(pa, desc.shader_len))
+        raw = self.mem.read(pa, desc.shader_len)
+        shader = self._shader_cache.get(raw)
+        if shader is None:
+            shader = ShaderBinary.deserialize(raw)
+            self._shader_cache[raw] = shader
+        return shader
 
     def _load_buffers(self, desc: JobDescriptor,
                       shader: ShaderBinary) -> Dict[str, List[np.ndarray]]:
@@ -351,7 +374,7 @@ class ShaderExecutor:
 def _shaped(flat: np.ndarray, shape) -> np.ndarray:
     """View the first prod(shape) elements of a (possibly larger,
     page-aligned) buffer as ``shape`` — the hardware reads what it needs."""
-    count = int(np.prod(shape))
+    count = math.prod(shape)
     if flat.size < count:
         raise ShaderFormatError(
             f"buffer holds {flat.size} elements, shader needs {count}")

@@ -57,9 +57,9 @@ def log_prefix_digest(entries: Tuple[Entry, ...]) -> str:
 def memsync_view_digest(memsync) -> str:
     """SHA-256 over the synchronizer's view of client memory."""
     h = hashlib.sha256()
-    for pfn in sorted(memsync._peer_view):
+    for pfn in sorted(memsync.peer_pfns()):
         h.update(pfn.to_bytes(8, "little"))
-        h.update(memsync._peer_view[pfn])
+        h.update(memsync.peer_page(pfn))
     return h.hexdigest()
 
 

@@ -32,20 +32,26 @@ class TimelineSpan:
 
 
 class Timeline:
-    """An append-only record of labelled activity spans."""
+    """An append-only record of labelled activity spans.
+
+    Spans are stored as plain ``(start, end, label)`` tuples — the clock
+    is advanced once per modelled interaction, so span bookkeeping sits
+    on the replay/record hot path; :class:`TimelineSpan` objects are only
+    materialized when a consumer iterates.
+    """
 
     def __init__(self) -> None:
-        self._spans: List[TimelineSpan] = []
+        self._spans: List[tuple] = []
 
     def add(self, start: float, end: float, label: str) -> None:
         if end < start:
             raise ValueError(f"span ends before it starts: {start} > {end}")
-        if self._spans and start < self._spans[-1].end - 1e-12:
+        if self._spans and start < self._spans[-1][1] - 1e-12:
             raise ValueError("timeline spans must be appended in order")
-        self._spans.append(TimelineSpan(start, end, label))
+        self._spans.append((start, end, label))
 
     def __iter__(self) -> Iterator[TimelineSpan]:
-        return iter(self._spans)
+        return (TimelineSpan(s, e, l) for (s, e, l) in self._spans)
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -53,14 +59,22 @@ class Timeline:
     def total(self, label: Optional[str] = None) -> float:
         """Total duration, optionally restricted to spans with ``label``."""
         if label is None:
-            return sum(s.duration for s in self._spans)
-        return sum(s.duration for s in self._spans if s.label == label)
+            return sum(e - s for (s, e, _) in self._spans)
+        return sum(e - s for (s, e, l) in self._spans if l == label)
 
     def by_label(self) -> Dict[str, float]:
         """Map each label to the total time spent under it."""
         acc: Dict[str, float] = {}
-        for span in self._spans:
-            acc[span.label] = acc.get(span.label, 0.0) + span.duration
+        for start, end, label in self._spans:
+            acc[label] = acc.get(label, 0.0) + (end - start)
+        return acc
+
+    def label_totals_since(self, index: int) -> Dict[str, float]:
+        """``by_label`` restricted to spans appended at or after ``index``
+        (a value previously captured via ``len(timeline)``)."""
+        acc: Dict[str, float] = {}
+        for start, end, label in self._spans[index:]:
+            acc[label] = acc.get(label, 0.0) + (end - start)
         return acc
 
 
@@ -92,9 +106,16 @@ class VirtualClock:
         return self._now
 
     def advance_to(self, when: float, label: str = "idle") -> float:
-        """Advance to absolute time ``when`` if it is in the future."""
+        """Advance to absolute time ``when`` if it is in the future.
+
+        Lands on ``when`` exactly (not ``now + (when - now)``, which can
+        round away by an ulp): replay correctness depends on the batched
+        and per-entry engines reaching bit-identical clock values.
+        """
         if when > self._now:
-            self.advance(when - self._now, label)
+            start = self._now
+            self._now = float(when)
+            self.timeline.add(start, self._now, label)
         return self._now
 
     def elapsed_since(self, t0: float) -> float:

@@ -153,5 +153,16 @@ class GpuMmioGuard:
         self._tzasc.check_gpu_access(self._world)
         self._gpu.write_reg(offset, value)
 
+    def write_regs(self, offsets, values) -> None:
+        # Explicit, not via __getattr__: a batch is still MMIO and must
+        # pass the same ownership check (once per batch — ownership
+        # cannot change mid-batch; no virtual time passes inside one).
+        self._tzasc.check_gpu_access(self._world)
+        self._gpu.write_regs(offsets, values)
+
+    def read_regs(self, offsets) -> tuple:
+        self._tzasc.check_gpu_access(self._world)
+        return self._gpu.read_regs(offsets)
+
     def __getattr__(self, name: str):
         return getattr(self._gpu, name)

@@ -1,0 +1,90 @@
+"""Integration: legacy per-entry replay vs the columnar compiled program.
+
+The compiled fast path (core.compiled + replay_entries' dispatch table)
+must be an *observationally invisible* optimization: for every seed
+workload the two engines have to produce bit-identical outputs, the same
+virtual-clock delay, and equal ReplayStats.  ``REPRO_LEGACY_REPLAY`` is
+consulted on every ``replay_entries`` call, so the pin wraps each run.
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core.recorder import NAIVE, OURS_MDS, RecordSession
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.ml.models import PAPER_WORKLOADS, build_model
+from repro.ml.runner import generate_weights
+
+
+@contextmanager
+def engine(legacy):
+    prior = os.environ.get("REPRO_LEGACY_REPLAY")
+    os.environ["REPRO_LEGACY_REPLAY"] = "1" if legacy else ""
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_LEGACY_REPLAY", None)
+        else:
+            os.environ["REPRO_LEGACY_REPLAY"] = prior
+
+
+def open_session(graph, recording, weights, verify_key):
+    device = ClientDevice.for_workload(graph)
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=verify_key)
+    return replayer.open(recording, weights)
+
+
+CASES = [(name, OURS_MDS) for name in sorted(PAPER_WORKLOADS)]
+# The streaming regime: Naive re-pushes the full memory image per job,
+# which is exactly the path the compiled page groups accelerate.
+CASES.append(("alexnet", NAIVE))
+
+
+@pytest.mark.parametrize(
+    "workload,recorder", CASES,
+    ids=[f"{w}-{r.name}" for w, r in CASES])
+def test_engines_agree_on_every_seed_workload(workload, recorder):
+    graph = build_model(workload)
+    session = RecordSession(graph, config=recorder)
+    recording = session.run().recording
+    digest = recording.digest()
+    weights = generate_weights(graph, seed=0)
+    rng = np.random.default_rng(7)
+    inp = rng.standard_normal(graph.input_shape).astype(np.float32)
+
+    with engine(legacy=True):
+        legacy = open_session(graph, recording, weights,
+                              session.service.recording_key).run(inp)
+    with engine(legacy=False):
+        compiled = open_session(graph, recording, weights,
+                                session.service.recording_key).run(inp)
+
+    assert np.array_equal(legacy.output, compiled.output)
+    assert legacy.delay_s == compiled.delay_s
+    assert legacy.stats == compiled.stats
+    assert legacy.energy_j == pytest.approx(compiled.energy_j, rel=1e-9)
+    # Compiling must never mutate the signed blob.
+    assert recording.digest() == digest
+
+
+def test_compiled_session_reuses_the_cached_program():
+    graph = build_model("mnist")
+    session = RecordSession(graph, config=OURS_MDS)
+    recording = session.run().recording
+    compiled = recording.compile()
+    assert recording.compile() is compiled
+    weights = generate_weights(graph, seed=0)
+    inp = np.zeros(graph.input_shape, dtype=np.float32)
+    with engine(legacy=False):
+        first = open_session(graph, recording, weights,
+                             session.service.recording_key).run(inp)
+        second = open_session(graph, recording, weights,
+                              session.service.recording_key).run(inp)
+    assert np.array_equal(first.output, second.output)
+    assert first.stats == second.stats

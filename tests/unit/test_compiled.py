@@ -1,0 +1,250 @@
+"""Unit tests for the columnar compiled-recording format (core.compiled).
+
+These pin down the lowering rules the replay fast path relies on:
+batching of pure register writes, speculative observation batches,
+noop coalescing, sorted page groups with cached skip filtering, and the
+columnar arrays + bounds that the fleet registry caches per digest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compiled import (
+    OBS_MIN_BATCH,
+    OBS_POLL,
+    OBS_READ,
+    OP_IRQ,
+    OP_MEMW,
+    OP_NOOP,
+    OP_OBS,
+    OP_POLL,
+    OP_READ,
+    OP_WBATCH,
+    OP_WRITE,
+    PageGroup,
+    compile_entries,
+    compile_recording,
+)
+from repro.core.recording import (
+    IrqEntry,
+    Marker,
+    MemUpload,
+    MemWrite,
+    PollEntry,
+    Recording,
+    RegRead,
+    RegWrite,
+    _COND_CODES,
+    _IRQ_CODES,
+)
+from repro.hw import regs
+from repro.hw.gpu import EFFECTFUL_WRITE_OFFSETS
+from repro.hw.memory import PAGE_SIZE
+from repro.ml.runner import DataBinding, RunManifest
+
+# A register offset whose writes are pure state updates (batchable) and
+# one that schedules an event (never batched).  Tests use runs of
+# BATCHABLE + 8*i for i in range(5), so the whole run must stay pure.
+BATCHABLE = next(
+    base for base in range(0x100, 0x4000, 8)
+    if all(base + 8 * i not in EFFECTFUL_WRITE_OFFSETS for i in range(5)))
+EFFECTFUL = regs.GPU_COMMAND
+
+
+def page(fill, n=PAGE_SIZE):
+    return bytes([fill]) * n
+
+
+class TestWriteBatching:
+    def test_consecutive_batchable_writes_become_one_wbatch(self):
+        entries = [RegWrite(BATCHABLE + 8 * i, i) for i in range(5)]
+        program = compile_entries(entries)
+        assert program == [(OP_WBATCH,
+                            tuple(BATCHABLE + 8 * i for i in range(5)),
+                            tuple(range(5)), 5)]
+
+    def test_single_write_stays_plain(self):
+        program = compile_entries([RegWrite(BATCHABLE, 7)])
+        assert program == [(OP_WRITE, BATCHABLE, 7)]
+
+    def test_effectful_write_is_never_batched(self):
+        entries = [RegWrite(BATCHABLE, 1), RegWrite(BATCHABLE + 8, 2),
+                   RegWrite(EFFECTFUL, 3), RegWrite(BATCHABLE, 4)]
+        program = compile_entries(entries)
+        assert program == [
+            (OP_WBATCH, (BATCHABLE, BATCHABLE + 8), (1, 2), 2),
+            (OP_WRITE, EFFECTFUL, 3),
+            (OP_WRITE, BATCHABLE, 4),
+        ]
+
+    def test_job_doorbell_offsets_are_effectful(self):
+        doorbell = regs.JOB_SLOT_BASE + regs.JS_COMMAND
+        entries = [RegWrite(BATCHABLE, 1), RegWrite(doorbell, 1)]
+        program = compile_entries(entries)
+        assert (OP_WRITE, doorbell, 1) in program
+        assert all(op[0] != OP_WBATCH for op in program)
+
+
+class TestObservationBatching:
+    def test_short_read_runs_stay_individual(self):
+        entries = [RegRead(0x140 + 4 * i, i)
+                   for i in range(OBS_MIN_BATCH - 1)]
+        program = compile_entries(entries)
+        assert program == [(OP_READ, 0x140 + 4 * i, i)
+                           for i in range(OBS_MIN_BATCH - 1)]
+
+    def test_long_read_run_becomes_one_obs_batch(self):
+        entries = [RegRead(0x140 + 4 * i, i) for i in range(OBS_MIN_BATCH)]
+        program = compile_entries(entries)
+        assert len(program) == 1
+        op, offsets, items, n_reads = program[0]
+        assert op == OP_OBS
+        assert offsets == tuple(0x140 + 4 * i for i in range(OBS_MIN_BATCH))
+        assert n_reads == OBS_MIN_BATCH
+        assert all(item[0] == OBS_READ for item in items)
+
+    def test_satisfied_poll_joins_the_obs_batch(self):
+        entries = [RegRead(0x140 + 4 * i, 0) for i in range(3)]
+        entries.append(PollEntry(offset=0x2428, condition="bits_clear",
+                                 operand=1, value=0, iterations=1))
+        program = compile_entries(entries)
+        assert len(program) == 1
+        op, offsets, items, n_reads = program[0]
+        assert op == OP_OBS and n_reads == 3
+        assert items[-1] == (OBS_POLL, 0x2428, _COND_CODES["bits_clear"],
+                             1, 0, 1)
+
+    def test_waiting_poll_stays_solo(self):
+        entries = [RegRead(0x140 + 4 * i, 0) for i in range(OBS_MIN_BATCH)]
+        entries.append(PollEntry(offset=0x2428, condition="bits_set",
+                                 operand=4, value=4, iterations=9))
+        program = compile_entries(entries)
+        assert program[0][0] == OP_OBS
+        assert program[1] == (OP_POLL, 0x2428, _COND_CODES["bits_set"],
+                              4, 4, 9)
+
+    def test_write_splits_an_observation_run(self):
+        entries = ([RegRead(0x140, 0)] * OBS_MIN_BATCH
+                   + [RegWrite(BATCHABLE, 1)]
+                   + [RegRead(0x140, 0)] * OBS_MIN_BATCH)
+        program = compile_entries(entries)
+        assert [op[0] for op in program] == [OP_OBS, OP_WRITE, OP_OBS]
+
+
+class TestNoopsAndOrder:
+    def test_markers_and_uploads_coalesce_with_count(self):
+        entries = [Marker("l0"), MemUpload(nbytes=64), Marker("l1"),
+                   RegWrite(BATCHABLE, 1)]
+        program = compile_entries(entries)
+        assert program == [(OP_NOOP, 3), (OP_WRITE, BATCHABLE, 1)]
+
+    def test_irq_maps_one_to_one(self):
+        program = compile_entries([RegWrite(BATCHABLE, 1), IrqEntry("job"),
+                                   RegWrite(BATCHABLE, 2)])
+        assert program == [(OP_WRITE, BATCHABLE, 1), (OP_IRQ, "job"),
+                           (OP_WRITE, BATCHABLE, 2)]
+
+    def test_unknown_entry_is_rejected(self):
+        with pytest.raises(ValueError):
+            compile_entries([object()])
+
+
+class TestPageGroup:
+    def test_memwrite_pages_are_sorted_by_pfn(self):
+        entry = MemWrite(pages=((0x80003, page(3)), (0x80001, page(1)),
+                                (0x80002, page(2))))
+        (program,) = [compile_entries([entry])[0]]
+        assert program[0] == OP_MEMW
+        group = program[1]
+        assert list(group.pfns) == [0x80001, 0x80002, 0x80003]
+        assert group.pages[0][0] == 1 and group.pages[2][0] == 3
+
+    def test_select_without_skip_returns_everything(self):
+        group = PageGroup(np.array([1, 2], dtype=np.uint64),
+                          np.zeros((2, PAGE_SIZE), dtype=np.uint8))
+        pfns, pages, skipped = group.select(None)
+        assert pfns is group.pfns and pages is group.pages and skipped == 0
+
+    def test_select_filters_and_counts_skipped(self):
+        group = PageGroup(np.arange(4, dtype=np.uint64),
+                          np.arange(4 * PAGE_SIZE,
+                                    dtype=np.uint8).reshape(4, PAGE_SIZE))
+        pfns, pages, skipped = group.select(frozenset({1, 3}))
+        assert list(pfns) == [0, 2] and skipped == 2
+        assert np.array_equal(pages, group.pages[[0, 2]])
+
+    def test_select_caches_per_skip_key(self):
+        group = PageGroup(np.arange(4, dtype=np.uint64),
+                          np.zeros((4, PAGE_SIZE), dtype=np.uint8))
+        key = frozenset({2})
+        first = group.select(key)
+        second = group.select(key)
+        assert first[0] is second[0] and first[1] is second[1]
+
+
+def make_recording():
+    manifest = RunManifest(
+        workload="mnist", input_shape=(1, 4), output_shape=(2,),
+        bindings=[DataBinding("input", "input", 0x4000_0000, 0x8000_0000,
+                              16, (1, 4))],
+        jobs_per_node=[("conv1", 1)])
+    return Recording(
+        workload="mnist", recorder="OursMDS",
+        sku_fingerprint=(0x60000010, 8, 2, 39, 1, ("q1",)),
+        manifest=manifest, data_pfns=(0x80000,),
+        entries=[
+            Marker("conv1"),
+            RegWrite(BATCHABLE, 0xFF),
+            RegWrite(BATCHABLE + 8, 0xAA),
+            RegRead(0x140, 0xFF),
+            PollEntry(offset=0x2428, condition="bits_clear", operand=1,
+                      value=0, iterations=3),
+            MemWrite(pages=((0x80002, page(2)), (0x80001, page(1)))),
+            IrqEntry(line="job"),
+            Marker("softmax"),
+            MemWrite(pages=((0x80005, page(5)),)),
+            MemUpload(nbytes=512),
+        ])
+
+
+class TestCompileRecording:
+    def test_columnar_arrays_mirror_the_entry_stream(self):
+        compiled = compile_recording(make_recording())
+        assert compiled.entry_count == 10
+        assert [(int(r["offset"]), int(r["value"]))
+                for r in compiled.writes] == [(BATCHABLE, 0xFF),
+                                              (BATCHABLE + 8, 0xAA)]
+        assert [(int(r["offset"]), int(r["value"]))
+                for r in compiled.reads] == [(0x140, 0xFF)]
+        (poll,) = compiled.polls
+        assert (int(poll["offset"]), int(poll["cond"]), int(poll["operand"]),
+                int(poll["value"]), int(poll["iterations"])) == (
+            0x2428, _COND_CODES["bits_clear"], 1, 0, 3)
+        assert list(compiled.irq_lines) == [_IRQ_CODES["job"]]
+
+    def test_page_table_indexes_every_page_once(self):
+        compiled = compile_recording(make_recording())
+        assert compiled.n_pages == 3
+        assert list(compiled.page_pfns) == [0x80001, 0x80002, 0x80005]
+        assert compiled.memw_bounds.tolist() == [[0, 2], [2, 3]]
+        lo, hi = compiled.memw_bounds[1]
+        assert compiled.page_table[lo:hi][0][0] == 5
+
+    def test_segment_programs_split_at_markers(self):
+        compiled = compile_recording(make_recording())
+        labels = [label for label, _ in compiled.segment_programs]
+        assert labels == ["prologue", "conv1", "softmax"]
+        conv1 = dict(compiled.segment_programs)["conv1"]
+        assert conv1[0][0] == OP_WBATCH
+
+    def test_compile_is_cached_and_leaves_digest_stable(self):
+        rec = make_recording()
+        before = rec.digest()
+        compiled = rec.compile()
+        assert rec.compile() is compiled
+        assert rec.digest() == before
+        assert rec.body_bytes() == make_recording().body_bytes()
+
+    def test_nbytes_counts_columnar_arrays(self):
+        compiled = compile_recording(make_recording())
+        assert compiled.nbytes() >= 3 * PAGE_SIZE

@@ -121,12 +121,32 @@ class TestCompression:
         sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
         dirty_page(cloud)
         sync.push(metastate_pfns=set())
-        dirty_page(client)
+        # A genuine GPU update: same page, different bytes.
+        region = client.regions()[0] if client.regions() else \
+            client.alloc(PAGE_SIZE, "x")
+        client.write(region.base, b"\x22" * 64)
         sync.pull(metastate_pfns=set())
         assert sync.stats.pushes == 1
         assert sync.stats.pulls == 1
         assert sync.stats.raw_total_bytes == 2 * PAGE_SIZE
         assert 0 < sync.stats.wire_total_bytes < 2 * PAGE_SIZE
+        assert sync.stats.encodes == 2
+
+    def test_unchanged_dirty_page_is_skipped(self, pair):
+        """A page re-written with identical bytes is dirty but needs no
+        transfer: the peer already holds that exact content."""
+        cloud, client = pair
+        sync = MemorySynchronizer(cloud, client, SyncPolicy.FULL)
+        pfn = dirty_page(cloud)
+        pages, _ = sync.push(metastate_pfns=set())
+        assert pfn in pages
+        sync.pull(metastate_pfns=set())
+        # Rewrite the same content: dirty again, but nothing should move.
+        region = cloud.regions()[0]
+        cloud.write(region.base, b"\x11" * 64)
+        pages, wire = sync.push(metastate_pfns=set())
+        assert pages == {} and wire == 0
+        assert sync.stats.pages_skipped == 1
 
 
 class TestNoEcho:
