@@ -13,21 +13,19 @@ This walks the whole GR-T workflow of §3.1 on the MNIST workload:
    GPU stack on the device — and we check the result against a pure-numpy
    reference and against native (insecure) execution.
 
+The whole round trip is two calls — ``repro.record`` and
+``repro.replay`` — and a shared ``repro.Tracer`` captures both phases
+for chrome://tracing.  The constructor-level API (``RecordSession``,
+``Replayer``) is still there underneath when a session needs more
+control; see docs/API.md.
+
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    OURS_MDS,
-    RecordSession,
-    Replayer,
-    WIFI,
-    generate_weights,
-    native_run,
-    reference_forward,
-)
-from repro.core.testbed import ClientDevice
+import repro
+from repro import generate_weights, native_run, reference_forward
 from repro.ml.models import mnist
 
 
@@ -39,8 +37,9 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 1-3. Record via the cloud (dry run: zero-filled data, §5).
     # ------------------------------------------------------------------
-    session = RecordSession(graph, config=OURS_MDS, link_profile=WIFI)
-    result = session.run()
+    tracer = repro.Tracer()
+    result = repro.record(graph, recorder="OursMDS", network="wifi",
+                          trace=tracer)
     stats = result.stats
     print(f"\nrecording done ({stats.recorder}, {stats.link}):")
     print(f"  recording delay : {stats.recording_delay_s:6.1f} s (simulated)")
@@ -51,22 +50,21 @@ def main() -> None:
     print(f"  client energy   : {stats.client_energy_j:.2f} J")
     blob = result.recording.to_bytes()
     print(f"  recording size  : {len(blob)/1e3:.1f} KB (signed)")
+    cats = sorted({r.cat for r in tracer.records() if r.cat})
+    print(f"  trace           : {len(tracer)} spans/events "
+          f"({', '.join(cats)})")
 
     # ------------------------------------------------------------------
     # 4. Replay inside the TEE on real data.
     # ------------------------------------------------------------------
-    device = ClientDevice.for_workload(graph)
-    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
-                        verify_key=session.service.recording_key)
-    recording = replayer.load(blob)  # signature verified here
     weights = generate_weights(graph, seed=0)
-    replay_session = replayer.open(recording, weights)
-
     rng = np.random.RandomState(7)
     print("\nreplaying 3 inferences inside the TEE:")
     for i in range(3):
         image = rng.rand(*graph.input_shape).astype(np.float32)
-        out = replay_session.run(image)
+        # The signature is verified before replay; result carries the
+        # cloud's verify key so nothing else needs plumbing.
+        out = repro.replay(result, image, weights=weights, trace=tracer)
         expected = reference_forward(graph, weights, image)
         ok = np.allclose(out.output, expected, atol=1e-3)
         print(f"  inference {i}: class={out.output.argmax()} "
@@ -80,7 +78,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     image = rng.rand(*graph.input_shape).astype(np.float32)
     native = native_run(graph, image, weights=weights)
-    replay = replay_session.run(image)
+    replay = repro.replay(result, image, weights=weights)
     print(f"\nnative (insecure) delay : {native.delay_s*1e3:5.1f} ms")
     print(f"TEE replay delay        : {replay.delay_s*1e3:5.1f} ms "
           f"({100*(native.delay_s-replay.delay_s)/native.delay_s:+.0f}% "
@@ -88,6 +86,13 @@ def main() -> None:
     assert np.allclose(native.output, replay.output, atol=1e-3)
     print("\nnative and TEE-replayed outputs agree; no GPU stack ran on "
           "the device.")
+
+    # ------------------------------------------------------------------
+    # Export the combined record+replay trace for chrome://tracing.
+    # ------------------------------------------------------------------
+    from repro.obs import write_chrome_trace
+    path = write_chrome_trace(tracer, "quickstart_trace.json")
+    print(f"wrote {path} — load it in chrome://tracing or Perfetto")
 
 
 if __name__ == "__main__":

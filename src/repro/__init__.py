@@ -10,16 +10,24 @@ no GPU stack at all.
 
 Quickstart::
 
-    from repro import RecordSession, Replayer, OURS_MDS
+    import repro
 
-    result = RecordSession("mnist", config=OURS_MDS).run()
-    # ... ship result.recording to the client TEE, then replay on new
-    # input with Replayer.replay(...)
+    result = repro.record("mnist")       # cloud dry run -> RecordResult
+    out = repro.replay(result)           # client TEE -> ReplayResult
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured results of every table and figure.
+    # Observe the phases (§4/§5) while doing it:
+    tracer = repro.Tracer()
+    result = repro.record("mnist", trace=tracer)
+    repro.replay(result, trace=tracer)   # same trace, "replay" row
+
+The facade wraps the constructor-level API (:class:`RecordSession`,
+:class:`Replayer`), which remains fully supported for multi-session
+work (shared histories, fleets, fault plans).  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the paper-vs-measured results
+of every table and figure.
 """
 
+from repro.api import record, replay
 from repro.core import (
     NAIVE,
     OURS_M,
@@ -42,12 +50,19 @@ from repro.core import (
 from repro.hw.sku import HIKEY960_G71, SKU_DATABASE, GpuSku, find_sku
 from repro.ml.models import PAPER_WORKLOADS, build_model
 from repro.ml.runner import generate_weights, reference_forward
+from repro.obs import MetricsRegistry, StatsBase, StatsProtocol, Tracer
 from repro.resilience import ChannelDisconnected, FaultPlan
 from repro.sim.network import CELLULAR, WIFI, LinkProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "record",
+    "replay",
+    "Tracer",
+    "MetricsRegistry",
+    "StatsBase",
+    "StatsProtocol",
     "NAIVE",
     "OURS_M",
     "OURS_MD",

@@ -5,9 +5,9 @@ virtual clock; this module is the one place that measures real elapsed
 seconds, to keep the compiled-recording fast path honest:
 
 * **replay** — the same recording replayed by the legacy per-entry
-  interpreter (``REPRO_LEGACY_REPLAY=1``) and by the columnar compiled
-  program, interleaved rep-for-rep so machine noise hits both engines
-  equally.  The two engines must agree bit-for-bit (outputs, virtual
+  interpreter (``Replayer(engine="legacy")``) and by the columnar
+  compiled program (``engine="compiled"``), interleaved rep-for-rep so
+  machine noise hits both engines equally.  The two engines must agree bit-for-bit (outputs, virtual
   delay, replay statistics) before any number is reported.
 * **memsync encode** — the recording's own §5 sync traffic replayed
   through the current :class:`~repro.core.memsync.MemorySynchronizer`
@@ -33,11 +33,9 @@ from __future__ import annotations
 
 import json
 import math
-import os
 import platform
 import statistics
 import time
-from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -59,29 +57,13 @@ BENCH_FILENAME = "BENCH_replay.json"
 # ----------------------------------------------------------------------
 # Replay: legacy per-entry interpreter vs columnar compiled program
 # ----------------------------------------------------------------------
-@contextmanager
-def _engine(legacy: bool):
-    """Pin the replay engine for the enclosed calls.
-
-    ``REPRO_LEGACY_REPLAY`` is consulted on every ``replay_entries``
-    call, so the pin must wrap each run, not just session setup.
-    """
-    prior = os.environ.get("REPRO_LEGACY_REPLAY")
-    os.environ["REPRO_LEGACY_REPLAY"] = "1" if legacy else ""
-    try:
-        yield
-    finally:
-        if prior is None:
-            os.environ.pop("REPRO_LEGACY_REPLAY", None)
-        else:
-            os.environ["REPRO_LEGACY_REPLAY"] = prior
-
-
-def _make_session(graph, recording: Recording, weights, verify_key):
-    """A fresh device + replay session."""
+def _make_session(graph, recording: Recording, weights, verify_key,
+                  engine: str = "auto"):
+    """A fresh device + replay session pinned to one engine."""
     device = ClientDevice.for_workload(graph)
     replayer = Replayer(device.optee, device.gpu, device.mem,
-                        device.clock, verify_key=verify_key)
+                        device.clock, verify_key=verify_key,
+                        engine=engine)
     return replayer.open(recording, weights)
 
 
@@ -100,22 +82,22 @@ def bench_replay(workload: str = "alexnet", recorder=NAIVE,
     inp = np.zeros(graph.input_shape, dtype=np.float32)
     entries = len(recording.entries)
 
-    legacy = _make_session(graph, recording, weights, verify_key)
+    legacy = _make_session(graph, recording, weights, verify_key,
+                           engine="legacy")
     t0 = time.perf_counter()
     recording.compile()  # lowered once, cached on the recording
     compile_s = time.perf_counter() - t0
-    compiled = _make_session(graph, recording, weights, verify_key)
+    compiled = _make_session(graph, recording, weights, verify_key,
+                             engine="compiled")
 
     # Equivalence gate: the engines must agree before timing means
     # anything.  Outputs and virtual delay are compared bitwise.
-    with _engine(legacy=False):
-        t0 = time.perf_counter()
-        out_c = compiled.run(inp)
-        first_compiled_s = time.perf_counter() - t0
-    with _engine(legacy=True):
-        t0 = time.perf_counter()
-        out_l = legacy.run(inp)
-        first_legacy_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    out_c = compiled.run(inp)
+    first_compiled_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    out_l = legacy.run(inp)
+    first_legacy_s = time.perf_counter() - t0
     identical = {
         "output": bool(np.array_equal(out_l.output, out_c.output)),
         "delay": bool(out_l.delay_s == out_c.delay_s),
@@ -126,21 +108,17 @@ def bench_replay(workload: str = "alexnet", recorder=NAIVE,
     }
 
     for _ in range(max(0, warmup - 1)):
-        with _engine(legacy=True):
-            legacy.run(inp)
-        with _engine(legacy=False):
-            compiled.run(inp)
+        legacy.run(inp)
+        compiled.run(inp)
     legacy_s: List[float] = []
     compiled_s: List[float] = []
     for _ in range(reps):
-        with _engine(legacy=True):
-            t0 = time.perf_counter()
-            legacy.run(inp)
-            legacy_s.append(time.perf_counter() - t0)
-        with _engine(legacy=False):
-            t0 = time.perf_counter()
-            compiled.run(inp)
-            compiled_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        legacy.run(inp)
+        legacy_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        compiled.run(inp)
+        compiled_s.append(time.perf_counter() - t0)
 
     med_l = statistics.median(legacy_s)
     med_c = statistics.median(compiled_s)

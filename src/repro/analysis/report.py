@@ -7,13 +7,25 @@ cite a concrete artifact.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from typing import Iterable, Sequence
 
+# Version of the ``--format json`` CLI envelope: every subcommand emits
+# ``{"command": ..., "schema": CLI_JSON_SCHEMA, "data": ...}`` so
+# scripted consumers can sniff one shape for all commands.
+CLI_JSON_SCHEMA = 1
+
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
     "benchmarks", "results")
+
+
+def json_envelope(command: str, data) -> str:
+    """The ``--format json`` output for one CLI invocation."""
+    return json.dumps({"command": command, "schema": CLI_JSON_SCHEMA,
+                       "data": data}, indent=2, sort_keys=True, default=str)
 
 
 def format_table(title: str, headers: Sequence[str],

@@ -1,0 +1,231 @@
+"""The two-call public API: ``repro.record`` and ``repro.replay``.
+
+The constructor-level API (:class:`~repro.core.recorder.RecordSession`,
+:class:`~repro.core.replayer.Replayer`) stays fully supported — this
+module is a facade over it for the common single-session path::
+
+    import repro
+
+    result = repro.record("mnist")                 # RecordResult
+    out = repro.replay(result, seed=0)             # ReplayResult
+    out = repro.replay(result, engine="legacy")    # pin the engine
+    out = repro.replay("mnist.grt")                # from a file on disk
+
+Every knob accepts either the plain-string spelling used by the CLI
+(``recorder="OursMDS"``, ``network="wifi"``, ``sku="mali-g71-mp8"``) or
+the underlying object (:class:`RecorderConfig`, :class:`LinkProfile`,
+:class:`GpuSku`).  ``trace=`` takes a :class:`repro.obs.Tracer` to
+append into, or a filesystem path — then a tracer is created for the
+call and a Chrome-trace JSON (chrome://tracing, Perfetto) is written
+when it finishes.
+
+``record`` warms the speculation history automatically (§4.2 predicts
+from the last ``spec_window`` identical commits, so a cold history
+records like OursMD): ``warm=`` overrides the number of warm-up record
+runs; only the final, traced run is returned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.recorder import (
+    HIKEY960_G71,
+    OURS_MDS,
+    RecorderConfig,
+    RecordResult,
+    RecordSession,
+)
+from repro.core.recording import Recording
+from repro.core.replayer import Replayer, ReplayError, ReplayResult
+from repro.core.speculation import CommitHistory
+from repro.core.testbed import ClientDevice
+from repro.hw.sku import SKU_DATABASE, GpuSku, find_sku
+from repro.ml.models import build_model
+from repro.ml.runner import generate_weights
+from repro.obs import Tracer, write_chrome_trace
+from repro.sim.network import CELLULAR, WIFI, LinkProfile
+from repro.tee.crypto import SigningKey
+
+_NETWORKS = {"wifi": WIFI, "cellular": CELLULAR}
+
+
+# ----------------------------------------------------------------------
+# knob resolution: CLI-string spellings or the underlying objects
+# ----------------------------------------------------------------------
+def _resolve_recorder(recorder: Union[str, RecorderConfig]) -> RecorderConfig:
+    if isinstance(recorder, RecorderConfig):
+        return recorder
+    from repro.core.recorder import RECORDER_VARIANTS
+    by_name = {c.name: c for c in RECORDER_VARIANTS}
+    if recorder not in by_name:
+        raise ValueError(f"unknown recorder {recorder!r}; "
+                         f"choose from {sorted(by_name)}")
+    return by_name[recorder]
+
+
+def _resolve_network(network: Union[str, LinkProfile]) -> LinkProfile:
+    if isinstance(network, LinkProfile):
+        return network
+    if network not in _NETWORKS:
+        raise ValueError(f"unknown network {network!r}; "
+                         f"choose from {sorted(_NETWORKS)}")
+    return _NETWORKS[network]
+
+
+def _resolve_sku(sku: Union[None, str, GpuSku],
+                 default: Optional[GpuSku] = None) -> Optional[GpuSku]:
+    if sku is None:
+        return default
+    if isinstance(sku, GpuSku):
+        return sku
+    return find_sku(sku)
+
+
+def _resolve_trace(trace: Union[None, str, Tracer], domain: str):
+    """(tracer, path-to-write-or-None) for a ``trace=`` argument."""
+    if trace is None:
+        return None, None
+    if isinstance(trace, Tracer):
+        return trace, None
+    return Tracer(domain=domain), str(trace)
+
+
+def _finish_trace(tracer: Optional[Tracer], out_path: Optional[str]) -> None:
+    if tracer is not None:
+        tracer.finish_open()
+    if out_path is not None:
+        write_chrome_trace(tracer, out_path)
+
+
+# ----------------------------------------------------------------------
+# record
+# ----------------------------------------------------------------------
+def record(workload, *,
+           recorder: Union[str, RecorderConfig] = OURS_MDS,
+           sku: Union[None, str, GpuSku] = None,
+           network: Union[str, LinkProfile] = WIFI,
+           seed: int = 0,
+           warm: Optional[int] = None,
+           history: Optional[CommitHistory] = None,
+           trace: Union[None, str, Tracer] = None,
+           **session_kwargs) -> RecordResult:
+    """Record ``workload`` through the cloud dry-run and return the
+    signed recording plus its statistics.
+
+    ``workload`` is a model name (``"mnist"``, ``"alexnet"``, ...) or a
+    built :class:`~repro.ml.graph.Graph`.  Extra keyword arguments
+    (``fault_plan=``, ``sanitizer=``, ``service=``...) pass through to
+    :class:`~repro.core.recorder.RecordSession`.
+
+    The returned :class:`RecordResult` carries ``verify_key`` so it can
+    be handed straight to :func:`replay`.
+    """
+    config = _resolve_recorder(recorder)
+    link = _resolve_network(network)
+    sku_obj = _resolve_sku(sku, default=HIKEY960_G71)
+    tracer, trace_out = _resolve_trace(trace, domain="record")
+    if history is None:
+        history = CommitHistory(config.spec_window)
+    if warm is None:
+        warm = config.spec_window if config.speculate else 0
+    try:
+        for _ in range(warm):
+            RecordSession(workload, config=config, sku=sku_obj,
+                          link_profile=link, seed=seed,
+                          history=history, **session_kwargs).run()
+        result = RecordSession(workload, config=config, sku=sku_obj,
+                               link_profile=link, seed=seed,
+                               history=history, tracer=tracer,
+                               **session_kwargs).run()
+    finally:
+        _finish_trace(tracer, trace_out)
+    return result
+
+
+# ----------------------------------------------------------------------
+# replay
+# ----------------------------------------------------------------------
+def _resolve_recording(recording, verify_key):
+    """(Recording, verify_key) from a RecordResult, Recording, bytes
+    blob, or filesystem path (with its CLI-written ``.key`` sibling)."""
+    if isinstance(recording, RecordResult):
+        return recording.recording, verify_key or recording.verify_key
+    if isinstance(recording, Recording):
+        return recording, verify_key
+    if isinstance(recording, (bytes, bytearray)):
+        return Recording.from_bytes(bytes(recording),
+                                    verify_key=verify_key), verify_key
+    path = str(recording)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    if verify_key is None:
+        try:
+            with open(path + ".key") as fh:
+                verify_key = SigningKey("grt-recording-service",
+                                        bytes.fromhex(fh.read().strip()))
+        except FileNotFoundError:
+            raise ReplayError(
+                f"no verify key: pass verify_key= or keep {path}.key "
+                f"(written by `repro record`) next to the recording")
+    return Recording.from_bytes(blob, verify_key=verify_key), verify_key
+
+
+def _sku_for_recording(recording: Recording) -> GpuSku:
+    fp = tuple(recording.sku_fingerprint)
+    for sku in SKU_DATABASE:
+        if sku.fingerprint() == fp:
+            return sku
+    raise ReplayError(
+        f"recording's SKU fingerprint {fp} matches no SKU in the "
+        f"database; pass sku= explicitly")
+
+
+def replay(recording, input_array: Optional[np.ndarray] = None, *,
+           weights: Optional[Dict[str, np.ndarray]] = None,
+           seed: int = 0,
+           sku: Union[None, str, GpuSku] = None,
+           engine: str = "auto",
+           runs: int = 1,
+           trace: Union[None, str, Tracer] = None,
+           verify_key=None) -> ReplayResult:
+    """Replay a recording inside the simulated client TEE.
+
+    ``recording`` is a :class:`RecordResult` (from :func:`record`), a
+    parsed :class:`Recording`, the raw signed bytes, or a path written
+    by ``python -m repro record``.  ``weights`` defaults to the
+    deterministic parameters for ``seed`` (the confidential model the
+    dry run never saw); ``input_array`` defaults to zeros in the
+    recorded input shape.  ``engine`` picks the replay engine
+    (``"auto"``/``"compiled"``/``"legacy"``); ``runs`` repeats the
+    inference on one opened session (later runs skip weight install —
+    Table 2's steady state) and the last result is returned.
+    """
+    rec, key = _resolve_recording(recording, verify_key)
+    if key is None:
+        raise ReplayError("no verify key: pass verify_key= or replay a "
+                          "RecordResult / recorded file")
+    graph = build_model(rec.workload)
+    sku_obj = _resolve_sku(sku) or _sku_for_recording(rec)
+    device = ClientDevice.for_workload(graph, sku=sku_obj)
+    tracer, trace_out = _resolve_trace(trace, domain="replay")
+    if tracer is not None:
+        # Switch the trace to the replay clock/process row, so a tracer
+        # shared with record() keeps the two virtual timelines apart.
+        tracer.set_clock(device.clock, domain="replay")
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=key, engine=engine, tracer=tracer)
+    if weights is None:
+        weights = generate_weights(graph, seed=seed)
+    if input_array is None:
+        input_array = np.zeros(graph.input_shape, dtype=np.float32)
+    try:
+        session = replayer.open(rec, weights)
+        result = None
+        for _ in range(max(1, runs)):
+            result = session.run(input_array)
+    finally:
+        _finish_trace(tracer, trace_out)
+    return result

@@ -41,6 +41,11 @@ RULES: Dict[str, tuple] = {
         "§2.3",
         "wall-clock or unseeded randomness breaks record/replay equality",
     ),
+    "env-read": (
+        "-",
+        "process-environment read in repro.core outside the sanctioned "
+        "config module",
+    ),
     "bad-suppression": (
         "-",
         "repro-check suppression without a justification",

@@ -407,6 +407,61 @@ def _determinism_message(chain: str, node: ast.Call) -> Optional[str]:
     return None
 
 
+# os.environ entry points that read (or read-and-mutate) the process
+# environment.  Writes alone (os.environ[k] = v in a test fixture) are
+# out of scope: the rule targets *behavior keyed on* ambient state.
+ENV_READ_CALLS = {
+    "os.getenv",
+    "os.environ.get",
+    "os.environ.pop",
+    "os.environ.setdefault",
+}
+# The one module allowed to read the environment for repro.core: every
+# env-derived knob must surface there as an explicit, documented API.
+ENV_SANCTIONED = ("core/config.py",)
+
+
+def check_env_read(info: ModuleInfo) -> List[Finding]:
+    """Flag direct environment reads (§2.3 adjacent: an env toggle makes
+    a run a function of shell state, not (workload, seed)).
+
+    ``repro.core.config`` is the sanctioned module: knobs read there are
+    forwarded as explicit parameters (e.g. the ``engine=`` argument that
+    replaced the ``REPRO_LEGACY_REPLAY`` toggle)."""
+    if any(info.relpath.endswith(allowed) for allowed in ENV_SANCTIONED):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain not in ENV_READ_CALLS:
+                continue
+            what = chain
+        elif isinstance(node, ast.Subscript):
+            chain = attr_chain(node.value)
+            if chain != "os.environ":
+                continue
+            if isinstance(getattr(node, "ctx", None), ast.Store):
+                continue
+            what = "os.environ[...]"
+        else:
+            continue
+        finding = Finding(
+            rule="env-read",
+            path=info.relpath,
+            line=node.lineno,
+            symbol=_enclosing_symbol(info, node),
+            message=(
+                "'{}' reads the process environment — behavior keyed on "
+                "ambient shell state is an invisible knob; route it "
+                "through repro.core.config and expose an explicit "
+                "parameter".format(what)
+            ),
+        )
+        findings.append(_suppressed(info, finding))
+    return findings
+
+
 def _enclosing_symbol(info: ModuleInfo, node: ast.AST) -> str:
     target_line = getattr(node, "lineno", 0)
     best = ""

@@ -31,13 +31,19 @@ from repro.check.findings import (
     write_baseline,
 )
 from repro.check.rules_bus import check_bus_confinement, check_release_consistency
-from repro.check.rules_flow import check_determinism, check_sym_force
+from repro.check.rules_flow import (
+    check_determinism,
+    check_env_read,
+    check_sym_force,
+)
 from repro.check.rules_poll import check_poll
 
 #: packages under src/repro that get the interposition-boundary rules
 CONFORMANCE_PACKAGES = ("driver", "core", "runtime", "fleet")
 #: packages that get §4.3 poll-loop discovery
 POLL_PACKAGES = ("driver",)
+#: packages where reading os.environ outside core/config.py is flagged
+ENV_PACKAGES = ("core",)
 DEFAULT_BASELINE = "check_baseline.json"
 
 
@@ -78,11 +84,13 @@ def _discover() -> Iterable[Tuple[str, str]]:
 def _rules_for(package: str, explicit: bool):
     interposition = explicit or package in CONFORMANCE_PACKAGES
     poll = explicit or package in POLL_PACKAGES
-    return interposition, poll
+    env = explicit or package in ENV_PACKAGES
+    return interposition, poll, env
 
 
 def _scan_module(
-    info: ModuleInfo, report: CheckReport, interposition: bool, poll: bool
+    info: ModuleInfo, report: CheckReport, interposition: bool, poll: bool,
+    env: bool
 ) -> List[Finding]:
     findings: List[Finding] = []
     if interposition:
@@ -93,6 +101,8 @@ def _scan_module(
         poll_findings, sites = check_poll(info)
         findings.extend(poll_findings)
         report.poll_sites.extend(sites)
+    if env:
+        findings.extend(check_env_read(info))
     findings.extend(check_determinism(info))
     for line in info.bad_pragmas:
         findings.append(
@@ -124,8 +134,8 @@ def run_check(
 
     for path, package, explicit in modules:
         info = parse_module(path, _relpath(path), package)
-        interposition, poll = _rules_for(package, explicit)
-        findings = _scan_module(info, report, interposition, poll)
+        interposition, poll, env = _rules_for(package, explicit)
+        findings = _scan_module(info, report, interposition, poll, env)
         report.modules_scanned += 1
         for finding in findings:
             if finding.suppressed:

@@ -31,6 +31,13 @@ from repro.analysis.report import (
     chaos_summary_tables,
     check_summary_tables,
     fleet_summary_tables,
+    json_envelope,
+)
+from repro.obs import (
+    Tracer,
+    trace_summary,
+    validate_schema,
+    write_chrome_trace,
 )
 from repro.analysis.tracediff import diff_recordings
 from repro.core.recorder import (
@@ -55,9 +62,31 @@ RECORDERS = {c.name: c for c in (NAIVE, OURS_M, OURS_MD, OURS_MDS)}
 LINKS = {"wifi": WIFI, "cellular": CELLULAR}
 
 
+def _make_trace(args) -> Optional[Tracer]:
+    """A tracer when ``--trace PATH`` was given, else None."""
+    return Tracer() if getattr(args, "trace", None) else None
+
+
+def _write_trace(args, tracer: Optional[Tracer]) -> None:
+    if tracer is None:
+        return
+    tracer.finish_open()
+    write_chrome_trace(tracer, args.trace)
+    if args.fmt != "json":
+        print(f"wrote trace {args.trace} "
+              f"({len(tracer)} records, {tracer.dropped} dropped)")
+
+
 def cmd_skus(args) -> int:
     rows = [s for s in SKU_DATABASE
             if args.family is None or s.family == args.family]
+    if args.fmt == "json":
+        print(json_envelope("skus", [
+            {"name": s.name, "family": s.family, "year": s.year,
+             "cores": s.core_count, "clock_mhz": s.clock_mhz,
+             "gflops": s.gflops}
+            for s in sorted(rows, key=lambda s: (s.year, s.name))]))
+        return 0
     print(f"{'name':22s} {'family':14s} {'year':4s} {'cores':5s} "
           f"{'MHz':5s} {'GFLOPS':7s}")
     for sku in sorted(rows, key=lambda s: (s.year, s.name)):
@@ -68,10 +97,17 @@ def cmd_skus(args) -> int:
 
 
 def cmd_workloads(args) -> int:
+    graphs = [(name, build_model(name))
+              for name in [*PAPER_WORKLOADS, *EXTRA_WORKLOADS]]
+    if args.fmt == "json":
+        print(json_envelope("workloads", [
+            {"name": name, "input_shape": list(g.input_shape),
+             "params": g.total_params(), "gflops": g.total_flops() / 1e9,
+             "layers": len(g.nodes)} for name, g in graphs]))
+        return 0
     print(f"{'name':12s} {'input':14s} {'params':>12s} {'GFLOPs':>8s} "
           f"{'layers':>6s}")
-    for name in [*PAPER_WORKLOADS, *EXTRA_WORKLOADS]:
-        g = build_model(name)
+    for name, g in graphs:
         print(f"{name:12s} {str(g.input_shape):14s} "
               f"{g.total_params():>12,} {g.total_flops()/1e9:>8.2f} "
               f"{len(g.nodes):>6d}")
@@ -83,15 +119,17 @@ def cmd_record(args) -> int:
     sku = find_sku(args.sku) if args.sku else HIKEY960_G71
     link = LINKS[args.link]
     history = CommitHistory(config.spec_window)
+    tracer = _make_trace(args)
     session = None
     result = None
     runs = max(1, args.warm + 1) if config.speculate else 1
     for i in range(runs):
         session = RecordSession(args.workload, config=config, sku=sku,
                                 link_profile=link, seed=args.seed,
-                                history=history)
+                                history=history,
+                                tracer=tracer if i == runs - 1 else None)
         result = session.run()
-        if i < runs - 1:
+        if i < runs - 1 and args.fmt != "json":
             print(f"  warm-up run {i + 1}/{runs - 1}: "
                   f"{result.stats.recording_delay_s:.1f} s")
     blob = result.recording.to_bytes()
@@ -102,7 +140,16 @@ def cmd_record(args) -> int:
     stats = dataclasses.asdict(result.stats)
     with open(args.out + ".stats.json", "w") as fh:
         json.dump(stats, fh, indent=2, default=str)
+    _write_trace(args, tracer)
     s = result.stats
+    if args.fmt == "json":
+        print(json_envelope("record", {
+            "workload": args.workload, "recorder": config.name,
+            "sku": sku.name, "link": link.name, "seed": args.seed,
+            "recording_bytes": len(blob), "out": args.out,
+            "stats": stats,
+        }))
+        return 0
     print(f"recorded {args.workload} on {sku.name} via {config.name} "
           f"({link.name}, seed {args.seed}):")
     print(f"  delay {s.recording_delay_s:.1f} s | RTTs {s.blocking_rtts} "
@@ -138,35 +185,68 @@ def cmd_replay(args) -> int:
     with open(args.recording + ".key") as fh:
         key = SigningKey("grt-recording-service",
                          bytes.fromhex(fh.read().strip()))
+    tracer = _make_trace(args)
+    if tracer is not None:
+        tracer.set_clock(device.clock, domain="replay")
     replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
-                        verify_key=key)
+                        verify_key=key, engine=args.engine, tracer=tracer)
     weights = generate_weights(graph, seed=args.seed)
     session = replayer.open(recording, weights)
     rng = np.random.RandomState(args.input_seed)
-    print(f"replaying {recording.workload} ({recording.recorder} "
-          f"recording) on {sku_name} "
-          f"[weight seed {args.seed}, input seed {args.input_seed}]:")
+    run_rows = []
+    if args.fmt != "json":
+        print(f"replaying {recording.workload} ({recording.recorder} "
+              f"recording) on {sku_name} "
+              f"[weight seed {args.seed}, input seed {args.input_seed}]:")
     for i in range(args.runs):
         image = rng.rand(*graph.input_shape).astype(np.float32)
         if args.stream:
             t_prev = [0.0]
 
             def on_segment(label, activation, _t=t_prev):
-                out_shape = "x".join(map(str, activation.shape))
-                print(f"    layer {label:14s} -> {out_shape}")
+                if args.fmt != "json":
+                    out_shape = "x".join(map(str, activation.shape))
+                    print(f"    layer {label:14s} -> {out_shape}")
                 return False
 
             out = session.run_streamed(image, on_segment)
         else:
             out = session.run(image)
-        print(f"  run {i}: class {out.output.argmax():4d} | "
-              f"delay {out.delay_s * 1e3:7.2f} ms | "
-              f"energy {out.energy_j * 1e3:6.1f} mJ")
+        run_rows.append({"run": i, "class": int(out.output.argmax()),
+                         "delay_s": out.delay_s,
+                         "energy_j": out.energy_j})
+        if args.fmt != "json":
+            print(f"  run {i}: class {out.output.argmax():4d} | "
+                  f"delay {out.delay_s * 1e3:7.2f} ms | "
+                  f"energy {out.energy_j * 1e3:6.1f} mJ")
+    _write_trace(args, tracer)
+    if args.fmt == "json":
+        print(json_envelope("replay", {
+            "workload": recording.workload, "recorder": recording.recorder,
+            "sku": sku_name, "engine": args.engine, "seed": args.seed,
+            "input_seed": args.input_seed, "runs": run_rows,
+        }))
     return 0
 
 
 def cmd_inspect(args) -> int:
     recording = _load_recording(args.recording, verify=False)
+    if args.fmt == "json":
+        manifest = recording.manifest
+        weights = manifest.weight_bindings()
+        print(json_envelope("inspect", {
+            "workload": recording.workload,
+            "recorder": recording.recorder,
+            "sku_fingerprint": list(recording.sku_fingerprint),
+            "entries": recording.counts(),
+            "data_pages": len(recording.data_pfns),
+            "jobs": manifest.total_jobs,
+            "segments": [{"label": label, "entries": len(entries)}
+                         for label, entries in recording.segments()],
+            "weight_tensors": len(weights),
+            "weight_bytes": sum(w.size for w in weights),
+        }))
+        return 0
     print(f"workload     : {recording.workload}")
     print(f"recorder     : {recording.recorder}")
     print(f"sku          : {recording.sku_fingerprint}")
@@ -210,6 +290,7 @@ def cmd_fleet(args) -> int:
                                   arrival_rate_hz=args.arrival_rate,
                                   tenants=tenants)
     requests = generator.generate(args.clients)
+    tracer = _make_trace(args)
     if args.vm_failure_rate > 0:
         from repro.resilience.failover import (
             FleetFaultPlan,
@@ -220,11 +301,11 @@ def cmd_fleet(args) -> int:
             fault_plan=FleetFaultPlan(seed=args.seed,
                                       vm_failure_rate=args.vm_failure_rate),
             capacity=args.capacity, warm_target=args.warm,
-            queue_limit=args.queue)
+            queue_limit=args.queue, tracer=tracer)
     else:
         sim = FleetSimulation(requests, capacity=args.capacity,
                               warm_target=args.warm,
-                              queue_limit=args.queue)
+                              queue_limit=args.queue, tracer=tracer)
     sim.run()
     summary = sim.summary()
     summary["config"] = {
@@ -233,15 +314,20 @@ def cmd_fleet(args) -> int:
         "warm_target": args.warm, "queue_limit": args.queue,
         "vm_failure_rate": args.vm_failure_rate,
     }
-    print(f"fleet: {args.clients} sessions, {tenants} tenants, "
-          f"seed {args.seed}, {args.arrival_rate:g}/s arrivals")
-    print()
-    print(fleet_summary_tables(summary))
+    _write_trace(args, tracer)
+    if args.fmt == "json":
+        print(json_envelope("fleet", summary))
+    else:
+        print(f"fleet: {args.clients} sessions, {tenants} tenants, "
+              f"seed {args.seed}, {args.arrival_rate:g}/s arrivals")
+        print()
+        print(fleet_summary_tables(summary))
     if args.json:
         blob = json.dumps(summary, indent=2, sort_keys=True)
         with open(args.json, "w") as fh:
             fh.write(blob + "\n")
-        print(f"\nwrote {args.json}")
+        if args.fmt != "json":
+            print(f"\nwrote {args.json}")
     return 0
 
 
@@ -255,49 +341,57 @@ def cmd_chaos(args) -> int:
         print("error: --warm must be >= 0", file=sys.stderr)
         return 2
     plans = args.plan or list(DEFAULT_PLANS)
+    tracer = _make_trace(args)
     try:
         report = run_chaos_experiment(
             workload=args.workload, recorder=RECORDERS[args.recorder],
             link=LINKS[args.link], plans=plans, seed=args.seed,
-            warm_rounds=args.warm, sanitize=args.sanitize)
+            warm_rounds=args.warm, sanitize=args.sanitize,
+            tracer=tracer)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     summary = report.summary()
-    print(f"chaos: {args.workload} via {args.recorder} over {args.link}, "
-          f"seed {args.seed}, {len(plans)} fault plan(s)")
-    print()
-    print(chaos_summary_tables(summary))
+    _write_trace(args, tracer)
+    if args.fmt == "json":
+        print(json_envelope("chaos", summary))
+    else:
+        print(f"chaos: {args.workload} via {args.recorder} over "
+              f"{args.link}, seed {args.seed}, {len(plans)} fault plan(s)")
+        print()
+        print(chaos_summary_tables(summary))
     if args.json:
         blob = json.dumps(summary, indent=2, sort_keys=True)
         with open(args.json, "w") as fh:
             fh.write(blob + "\n")
-        print(f"\nwrote {args.json}")
+        if args.fmt != "json":
+            print(f"\nwrote {args.json}")
     return 0 if report.all_identical else 1
 
 
 def cmd_check(args) -> int:
+    import os
+
     from repro.check import runner as check_runner
 
-    if args.write_baseline or args.fmt == "json":
+    if args.write_baseline:
         argv = list(args.paths)
-        argv += ["--format", args.fmt]
         if args.baseline:
             argv += ["--baseline", args.baseline]
-        if args.write_baseline:
-            argv += ["--write-baseline"]
+        argv += ["--write-baseline"]
         return check_runner.main(argv)
-    # Text mode: the aligned conformance tables.
     baseline = args.baseline
     if baseline is None and not args.paths:
-        import os
-
         candidate = os.path.join(check_runner._repo_root(),
                                  check_runner.DEFAULT_BASELINE)
         if os.path.exists(candidate):
             baseline = candidate
     report = check_runner.run_check(paths=args.paths or None,
                                     baseline=baseline)
+    if args.fmt == "json":
+        print(json_envelope("check", json.loads(report.to_json())))
+        return 0 if report.ok else 1
+    # Text mode: the aligned conformance tables.
     print(check_summary_tables(report))
     for finding in sorted(report.findings, key=lambda f: (f.path, f.line)):
         print(finding.render())
@@ -311,24 +405,36 @@ def cmd_perf(args) -> int:
     doc = perf.run_perf(quick=args.quick, reps=args.reps,
                         epochs=args.epochs)
     path = perf.write_bench(doc, args.out)
-    print(perf_summary_tables(doc))
-    print(f"\nwrote {path}")
+    text = args.fmt != "json"
+    if text:
+        print(perf_summary_tables(doc))
+        print(f"\nwrote {path}")
 
     identical = all(all(r["identical"].values()) for r in doc["replay"])
     identical = identical and all(m["peer_views_equal"]
                                   for m in doc["memsync"])
-    if not identical:
-        print("FAIL: fast path diverged from the legacy path")
-        return 1
+    failures = []
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
         failures = perf.compare_baseline(doc, baseline)
-        for failure in failures:
-            print(f"REGRESSION: {failure}")
+    if not text:
+        print(json_envelope("perf", {
+            "bench": doc, "out": path, "identical": identical,
+            "regressions": failures,
+        }))
+    if not identical:
+        if text:
+            print("FAIL: fast path diverged from the legacy path")
+        return 1
+    if args.baseline:
+        if text:
+            for failure in failures:
+                print(f"REGRESSION: {failure}")
         if failures:
             return 1
-        print("baseline gate passed")
+        if text:
+            print("baseline gate passed")
     return 0
 
 
@@ -336,10 +442,97 @@ def cmd_diff(args) -> int:
     a = _load_recording(args.a, verify=False)
     b = _load_recording(args.b, verify=False)
     report = diff_recordings(a, b, max_divergences=args.max)
+    if args.fmt == "json":
+        print(json_envelope("diff", {
+            "a": args.a, "b": args.b,
+            "identical": report.identical,
+            "summary": report.summary(),
+            "divergences": [str(d) for d in report.divergences],
+        }))
+        return 0 if report.identical else 2
     print(report.summary())
     for div in report.divergences:
         print(f"  {div}")
     return 0 if report.identical else 2
+
+
+def _trace_schema_path() -> str:
+    import os
+
+    from repro.analysis.report import RESULTS_DIR
+    return os.path.join(os.path.dirname(RESULTS_DIR), "trace_schema.json")
+
+
+def cmd_trace(args) -> int:
+    """Record + replay one workload with the tracer on; write a
+    Chrome-trace JSON and validate it against the checked-in schema."""
+    from repro import api
+
+    config = RECORDERS[args.recorder]
+    link = LINKS[args.link]
+    sku = find_sku(args.sku) if args.sku else HIKEY960_G71
+    warm = args.warm
+    runs = args.runs
+    if args.quick:
+        warm = min(warm, 1)
+        runs = 1
+
+    tracer = Tracer()
+    result = api.record(args.workload, recorder=config, sku=sku,
+                        network=link, seed=args.seed, warm=warm,
+                        trace=tracer)
+    graph = build_model(result.recording.workload)
+    device = ClientDevice.for_workload(graph, sku=sku)
+    tracer.set_clock(device.clock, domain="replay")
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=result.verify_key, engine=args.engine,
+                        tracer=tracer)
+    session = replayer.open(result.recording,
+                            generate_weights(graph, seed=args.seed))
+    image = np.zeros(graph.input_shape, dtype=np.float32)
+    for _ in range(max(1, runs)):
+        # Streamed replay, so the trace carries per-segment spans to
+        # line up against the record phase's segment events.
+        session.run_streamed(image, lambda label, activation: False)
+    tracer.finish_open()
+    write_chrome_trace(tracer, args.out)
+
+    with open(args.out) as fh:
+        doc = json.load(fh)
+    with open(_trace_schema_path()) as fh:
+        schema = json.load(fh)
+    errors = validate_schema(doc, schema)
+    summary = trace_summary(tracer)
+    summary["workload"] = args.workload
+    summary["out"] = args.out
+    summary["schema_valid"] = not errors
+    if args.fmt == "json":
+        summary["schema_errors"] = errors[:20]
+        print(json_envelope("trace", summary))
+    else:
+        print(f"traced {args.workload} via {config.name} over {link.name} "
+              f"(warm {warm}, {runs} replay run(s)):")
+        print(f"  spans {summary['spans']} | events {summary['events']} "
+              f"| dropped {summary['dropped']}")
+        for cat, n in summary["categories"].items():
+            print(f"    {cat:12s} {n:6d}")
+        print(f"  wrote {args.out} "
+              f"(virtual end {summary['virtual_end_s']:.3f} s)")
+        for err in errors[:10]:
+            print(f"  SCHEMA: {err}", file=sys.stderr)
+        if errors:
+            print(f"FAIL: {len(errors)} schema violation(s)",
+                  file=sys.stderr)
+        else:
+            print("  schema: valid (benchmarks/trace_schema.json)")
+    return 1 if errors else 0
+
+
+def _add_format(p: argparse.ArgumentParser) -> None:
+    """``--format {text,json}``, shared by every subcommand; json wraps
+    the command's data in the ``json_envelope`` shape."""
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   dest="fmt")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -352,9 +545,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("skus", help="list the mobile GPU SKU database")
     p.add_argument("--family", choices=sorted({s.family
                                                for s in SKU_DATABASE}))
+    _add_format(p)
     p.set_defaults(fn=cmd_skus)
 
     p = sub.add_parser("workloads", help="list the evaluation workloads")
+    _add_format(p)
     p.set_defaults(fn=cmd_workloads)
 
     p = sub.add_parser("record", help="record a workload via the cloud")
@@ -369,6 +564,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm", type=int, default=3,
                    help="history warm-up runs before the recorded one")
     p.add_argument("--out", "-o", required=True)
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of the final record "
+                        "run to PATH")
+    _add_format(p)
     p.set_defaults(fn=cmd_record)
 
     p = sub.add_parser("replay", help="replay a recording in the TEE")
@@ -379,10 +578,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--runs", type=int, default=1)
     p.add_argument("--stream", action="store_true",
                    help="replay segment by segment, printing each layer")
+    p.add_argument("--engine", choices=("auto", "compiled", "legacy"),
+                   default="auto",
+                   help="replay engine (default auto: compiled when the "
+                        "device supports batching)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of the replay to PATH")
+    _add_format(p)
     p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("inspect", help="summarize a recording file")
     p.add_argument("recording")
+    _add_format(p)
     p.set_defaults(fn=cmd_inspect)
 
     p = sub.add_parser("fleet", help="simulate the multi-tenant serving "
@@ -405,6 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vm-failure-rate", type=float, default=0.0,
                    help="per-attempt probability a session VM dies "
                         "mid-dry-run (failover via checkpoint resume)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of every session's "
+                        "stages to PATH")
+    _add_format(p)
     p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("chaos", help="record under WAN fault plans and "
@@ -428,6 +639,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run SpecSan (strict) during every record run")
     p.add_argument("--json", default=None,
                    help="also write the chaos report JSON to this path")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of the faulty record "
+                        "runs to PATH")
+    _add_format(p)
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("check", help="static driver-conformance analyzer "
@@ -459,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline",
                    help="gate against this baseline JSON; exit 1 on "
                         ">2x throughput regression")
+    _add_format(p)
     p.set_defaults(fn=cmd_perf)
 
     p = sub.add_parser("diff", help="compare two recordings (remote "
@@ -466,7 +682,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("a")
     p.add_argument("b")
     p.add_argument("--max", type=int, default=16)
+    _add_format(p)
     p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("trace", help="record + replay one workload with "
+                                     "the tracer on; write a Chrome-trace "
+                                     "JSON (chrome://tracing, Perfetto)")
+    p.add_argument("workload",
+                   choices=sorted([*PAPER_WORKLOADS, *EXTRA_WORKLOADS]))
+    p.add_argument("--recorder", default="OursMDS",
+                   choices=sorted(RECORDERS))
+    p.add_argument("--link", default="wifi", choices=sorted(LINKS))
+    p.add_argument("--sku", default=None,
+                   help="client GPU SKU name (default: Mali-G71 MP8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--warm", type=int, default=3,
+                   help="untraced history warm-up record runs")
+    p.add_argument("--runs", type=int, default=2,
+                   help="traced replay runs (streamed, per-segment)")
+    p.add_argument("--engine", choices=("auto", "compiled", "legacy"),
+                   default="auto")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke shape: one warm-up, one replay run")
+    p.add_argument("--out", "-o", default="trace.json",
+                   help="Chrome-trace output path (default: trace.json)")
+    _add_format(p)
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

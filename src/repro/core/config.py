@@ -1,0 +1,46 @@
+"""Sanctioned environment/configuration reads for :mod:`repro.core`.
+
+Core modules must not read ``os.environ`` directly — configuration
+enters through explicit parameters (``engine="compiled"|"legacy"`` on
+the replayer/API) so behavior is visible at the call site and A/B
+harnesses don't have to mutate global state.  The ``repro check``
+``env-read`` rule enforces this; this module is the one sanctioned
+exception, kept for backwards compatibility with the deprecated
+``REPRO_LEGACY_REPLAY`` toggle.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+#: Replay engine selectors accepted by the replayer and the facade.
+ENGINES = ("auto", "compiled", "legacy")
+
+_warned_legacy_env = False
+
+
+def legacy_replay_env() -> bool:
+    """True if the deprecated ``REPRO_LEGACY_REPLAY=1`` toggle is set.
+
+    Emits a one-time :class:`DeprecationWarning` pointing at the
+    ``engine="legacy"`` parameter that replaced it.  Still honored so
+    existing scripts keep working.
+    """
+    if os.environ.get("REPRO_LEGACY_REPLAY") != "1":
+        return False
+    global _warned_legacy_env
+    if not _warned_legacy_env:
+        warnings.warn(
+            "REPRO_LEGACY_REPLAY is deprecated; pass engine='legacy' to "
+            "repro.replay()/Replayer/replay_entries instead",
+            DeprecationWarning, stacklevel=3)
+        _warned_legacy_env = True
+    return True
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(
+            f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine

@@ -146,13 +146,19 @@ class DriverShim(RegisterBus, KernelHooks):
 
     def __init__(self, link: Link, gpushim: GpuShim,
                  memsync: MemorySynchronizer, modes: ShimModes,
-                 history: Optional[CommitHistory] = None) -> None:
+                 history: Optional[CommitHistory] = None,
+                 tracer=None) -> None:
         self.link = link
         self.gpushim = gpushim
         self.memsync = memsync
         self.modes = modes
         self.history = history if history is not None else CommitHistory()
         self.stats = SpeculationStats()
+        # Optional repro.obs.Tracer: spans for deferral commits (§4.1),
+        # speculation windows (§4.2), polling offloads (§4.3) and
+        # memsync epochs (§5).  Every hook is None-guarded.
+        self.tracer = tracer
+        self._spec_window_start: Optional[float] = None
         self.env: Optional[KernelEnv] = None
         self.metastate_provider: Callable[[], Set[int]] = lambda: set()
 
@@ -250,25 +256,45 @@ class DriverShim(RegisterBus, KernelHooks):
     def _sync_single_read(self, offset: int) -> int:
         if self.ff_active:
             return self.feed.expect_read(offset)
-        self._sym_counter += 1
-        request = CommitRequest(ops=(("r", offset, self._sym_counter),))
-        env = self._rpc(Message("commit", request.payload_bytes),
-                        Message("commit-resp", request.response_bytes),
-                        lambda: self.gpushim.apply_commit(request))
-        self.stats.note_commit(self._category(), speculated=False, reads=1)
-        self.last_validated_position = self.gpushim.log_position()
-        return env[self._sym_counter]
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("commit", cat="deferral",
+                         args={"reason": "sync-read", "ops": 1,
+                               "speculated": False})
+        try:
+            self._sym_counter += 1
+            request = CommitRequest(ops=(("r", offset, self._sym_counter),))
+            env = self._rpc(Message("commit", request.payload_bytes),
+                            Message("commit-resp", request.response_bytes),
+                            lambda: self.gpushim.apply_commit(request))
+            self.stats.note_commit(self._category(), speculated=False,
+                                   reads=1)
+            self.last_validated_position = self.gpushim.log_position()
+            return env[self._sym_counter]
+        finally:
+            if tracer is not None:
+                tracer.end()
 
     def _sync_single_write(self, offset: int, value: int) -> None:
         if self.ff_active:
             self.feed.expect_write(offset, value)
             return
-        request = CommitRequest(ops=(("w", offset, value),))
-        self._rpc(Message("commit", request.payload_bytes),
-                  Message("commit-resp", 4),
-                  lambda: self.gpushim.apply_commit(request))
-        self.stats.note_commit(self._category(), speculated=False, reads=0)
-        self.last_validated_position = self.gpushim.log_position()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("commit", cat="deferral",
+                         args={"reason": "sync-write", "ops": 1,
+                               "speculated": False})
+        try:
+            request = CommitRequest(ops=(("w", offset, value),))
+            self._rpc(Message("commit", request.payload_bytes),
+                      Message("commit-resp", 4),
+                      lambda: self.gpushim.apply_commit(request))
+            self.stats.note_commit(self._category(), speculated=False,
+                                   reads=0)
+            self.last_validated_position = self.gpushim.log_position()
+        finally:
+            if tracer is not None:
+                tracer.end()
 
     # ------------------------------------------------------------------
     # Commit machinery (§4.1 / §4.2)
@@ -289,60 +315,78 @@ class DriverShim(RegisterBus, KernelHooks):
                                    reads=len(reads))
             return
 
-        # §4.2 optimization: a commit carrying speculative (tainted) state
-        # must wait for outstanding commits to validate, so mispredicted
-        # state never reaches the client.
-        if queue.any_tainted() or self.env.current.name in self._control_taint:
-            self.stats.tainted_commit_stalls += 1
-            self.validate_outstanding()
+        tracer = self.tracer
+        speculated = False
+        if tracer is not None:
+            tracer.begin("commit", cat="deferral",
+                         args={"reason": reason, "category": category,
+                               "ops": len(queue), "reads": len(reads)})
+        try:
+            # §4.2 optimization: a commit carrying speculative (tainted)
+            # state must wait for outstanding commits to validate, so
+            # mispredicted state never reaches the client.
+            if queue.any_tainted() \
+                    or self.env.current.name in self._control_taint:
+                self.stats.tainted_commit_stalls += 1
+                self.validate_outstanding()
 
-        request = queue.request()
-        prediction = None
-        if self._in_emulated_poll:
-            # §4.3: speculating inside a polling loop means predicting the
-            # iteration count, which is timing-nondeterministic.  Without
-            # offload, poll iterations always commit synchronously.
-            allow_speculation = False
-        if self.modes.speculate and allow_speculation:
-            if reads:
-                prediction = self.history.predict(signature)
+            request = queue.request()
+            prediction = None
+            if self._in_emulated_poll:
+                # §4.3: speculating inside a polling loop means predicting
+                # the iteration count, which is timing-nondeterministic.
+                # Without offload, poll iterations always commit
+                # synchronously.
+                allow_speculation = False
+            if self.modes.speculate and allow_speculation:
+                if reads:
+                    prediction = self.history.predict(signature)
+                else:
+                    # A commit with no reads has nothing to predict: the
+                    # driver needs no value back, so it is inherently
+                    # asynchronous under speculation.
+                    prediction = ()
+
+            if prediction is not None:
+                speculated = True
+                completion = self.link.async_round_trip(
+                    Message("commit", request.payload_bytes),
+                    Message("commit-resp", request.response_bytes))
+                safe_position = self.last_validated_position
+                actual_env = self.gpushim.apply_commit(request)
+                actual = tuple(actual_env[r.sym.sym_id] for r in reads)
+                for qread, value in zip(reads, prediction):
+                    qread.sym.resolve(value, tainted=True)
+                if not self._outstanding:
+                    # A speculation window (§4.2) opens with the first
+                    # outstanding commit; validate_outstanding closes it.
+                    self._spec_window_start = self.link.clock.now
+                self._outstanding.append(OutstandingCommit(
+                    signature=signature, category=category,
+                    predicted=tuple(prediction), actual=actual,
+                    completion_time=completion,
+                    read_syms=[r.sym for r in reads],
+                    safe_log_position=safe_position))
+                self.stats.note_commit(category, speculated=True,
+                                       reads=len(reads))
             else:
-                # A commit with no reads has nothing to predict: the
-                # driver needs no value back, so it is inherently
-                # asynchronous under speculation.
-                prediction = ()
-
-        if prediction is not None:
-            completion = self.link.async_round_trip(
-                Message("commit", request.payload_bytes),
-                Message("commit-resp", request.response_bytes))
-            safe_position = self.last_validated_position
-            actual_env = self.gpushim.apply_commit(request)
-            actual = tuple(actual_env[r.sym.sym_id] for r in reads)
-            for qread, value in zip(reads, prediction):
-                qread.sym.resolve(value, tainted=True)
-            self._outstanding.append(OutstandingCommit(
-                signature=signature, category=category,
-                predicted=tuple(prediction), actual=actual,
-                completion_time=completion,
-                read_syms=[r.sym for r in reads],
-                safe_log_position=safe_position))
-            self.stats.note_commit(category, speculated=True,
-                                   reads=len(reads))
-        else:
-            env = self._rpc(
-                Message("commit", request.payload_bytes),
-                Message("commit-resp", max(request.response_bytes, 4)),
-                lambda: self.gpushim.apply_commit(request))
-            for qread in reads:
-                qread.sym.resolve(env[qread.sym.sym_id], tainted=False)
-            values = tuple(env[r.sym.sym_id] for r in reads)
-            self.history.record(signature, values)
-            self.stats.note_commit(category, speculated=False,
-                                   reads=len(reads))
-            if not self._outstanding:
-                self.last_validated_position = self.gpushim.log_position()
-        queue.take()
+                env = self._rpc(
+                    Message("commit", request.payload_bytes),
+                    Message("commit-resp", max(request.response_bytes, 4)),
+                    lambda: self.gpushim.apply_commit(request))
+                for qread in reads:
+                    qread.sym.resolve(env[qread.sym.sym_id], tainted=False)
+                values = tuple(env[r.sym.sym_id] for r in reads)
+                self.history.record(signature, values)
+                self.stats.note_commit(category, speculated=False,
+                                       reads=len(reads))
+                if not self._outstanding:
+                    self.last_validated_position = \
+                        self.gpushim.log_position()
+            queue.take()
+        finally:
+            if tracer is not None:
+                tracer.end(args={"speculated": speculated})
 
     def _flush_from_feed(self, queue: DeferralQueue) -> None:
         """Recovery fast-forward: answer the batch from the log."""
@@ -377,28 +421,54 @@ class DriverShim(RegisterBus, KernelHooks):
         predictions against reality (§4.2)."""
         if not self._outstanding:
             return
+        tracer = self.tracer
+        outstanding = len(self._outstanding)
+        stalled = False
         latest = max(oc.completion_time for oc in self._outstanding)
         if latest > self.link.clock.now:
             self.link.clock.advance_to(latest, label="network")
             self.stats.validation_stalls += 1
+            stalled = True
         try:
             for oc in self._outstanding:
                 # Feed reality into history first: after a rollback the
                 # re-run must not make the same wrong prediction again.
                 self.history.record(oc.signature, oc.actual)
                 oc.validate()
-        except MispredictionDetected:
+        except MispredictionDetected as exc:
             self.stats.mispredictions += 1
+            if tracer is not None:
+                tracer.event("misprediction", cat="speculation",
+                             args={"signature": str(exc.signature),
+                                   "safe_log_position":
+                                       exc.safe_log_position})
             raise
         finally:
             self._outstanding.clear()
             self._control_taint.clear()
+            if tracer is not None and self._spec_window_start is not None:
+                tracer.add_span(
+                    "speculation-window", "speculation",
+                    self._spec_window_start, self.link.clock.now,
+                    args={"outstanding": outstanding, "stalled": stalled})
+            self._spec_window_start = None
         self.last_validated_position = self.gpushim.log_position()
 
     # ------------------------------------------------------------------
     # Polling loops (§4.3)
     # ------------------------------------------------------------------
     def _offloaded_poll(self, spec: PollSpec) -> PollResult:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("poll-offload", cat="polling",
+                         args={"offset": spec.offset})
+        try:
+            return self._offloaded_poll_inner(spec)
+        finally:
+            if tracer is not None:
+                tracer.end()
+
+    def _offloaded_poll_inner(self, spec: PollSpec) -> PollResult:
         self._flush_queue("poll-offload")
         if self.ff_active:
             return self.feed.expect_poll(spec)
@@ -416,6 +486,8 @@ class DriverShim(RegisterBus, KernelHooks):
             actual = self.gpushim.execute_poll(spec)
             sym = SymVal(0, self)  # no driver-visible symbol; bookkeeping
             sym.resolve(actual.value, tainted=False)
+            if not self._outstanding:
+                self._spec_window_start = self.link.clock.now
             self._outstanding.append(OutstandingCommit(
                 signature=psig, category=CommitCategory.POLLING,
                 predicted=(pred_success, pred_value),
@@ -464,26 +536,44 @@ class DriverShim(RegisterBus, KernelHooks):
             # consume the cloud-side dirty bookkeeping.
             self.memsync.cloud_mem.take_dirty()
             return
-        pages, wire = self.memsync.push(self.metastate_provider())
-        if pages:
-            self.link.send_to_client(Message("memsync-push", wire),
-                                     blocking=True)
-            self.memsync.apply_push(pages)
-            self.gpushim.note_mem_write(pages)
-        if self.checkpointer is not None:
-            self.checkpointer.on_watermark(self, "memsync-push")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("memsync-push", cat="memsync")
+        pages_n = wire = 0
+        try:
+            pages, wire = self.memsync.push(self.metastate_provider())
+            pages_n = len(pages)
+            if pages:
+                self.link.send_to_client(Message("memsync-push", wire),
+                                         blocking=True)
+                self.memsync.apply_push(pages)
+                self.gpushim.note_mem_write(pages)
+            if self.checkpointer is not None:
+                self.checkpointer.on_watermark(self, "memsync-push")
+        finally:
+            if tracer is not None:
+                tracer.end(args={"pages": pages_n, "wire_bytes": wire})
 
     def memsync_pull(self) -> None:
         if self.ff_active:
             self.memsync.client_mem.take_dirty()
             return
-        pages, wire = self.memsync.pull(self.metastate_provider())
-        if pages or wire:
-            self.link.receive_from_client(Message("memsync-pull", wire))
-            self.memsync.apply_pull(pages)
-        self.gpushim.note_mem_upload(wire)
-        if self.checkpointer is not None:
-            self.checkpointer.on_watermark(self, "memsync-pull")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("memsync-pull", cat="memsync")
+        pages_n = wire = 0
+        try:
+            pages, wire = self.memsync.pull(self.metastate_provider())
+            pages_n = len(pages)
+            if pages or wire:
+                self.link.receive_from_client(Message("memsync-pull", wire))
+                self.memsync.apply_pull(pages)
+            self.gpushim.note_mem_upload(wire)
+            if self.checkpointer is not None:
+                self.checkpointer.on_watermark(self, "memsync-pull")
+        finally:
+            if tracer is not None:
+                tracer.end(args={"pages": pages_n, "wire_bytes": wire})
 
     # ------------------------------------------------------------------
     # KernelHooks: the instrumentation seam (§4.1's commit triggers)

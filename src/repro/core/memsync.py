@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core import compress
 from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, PhysicalMemory
+from repro.obs.metrics import StatsBase
 
 
 class SyncPolicy:
@@ -41,7 +42,9 @@ class MemorySyncViolation(RuntimeError):
 
 
 @dataclass
-class MemSyncStats:
+class MemSyncStats(StatsBase):
+    SCHEMA = "repro.memsync"
+
     pushes: int = 0
     pulls: int = 0
     pages_pushed: int = 0
@@ -82,6 +85,9 @@ class MemorySynchronizer:
         # Naive ships raw dumps; delta+RLE compression is part of §5.
         self.compress_enabled = compress_enabled
         self.stats = MemSyncStats()
+        # Optional repro.obs.Tracer: per-epoch encode events (§5); the
+        # surrounding network-charged epoch span lives in the DriverShim.
+        self.tracer = None
         # Per-page last-synced contents — the delta base (§5 compression)
         # and the "dirty but unchanged" detector.  Stored as rows of one
         # growing 2-D array so a whole sync point's pages compare against
@@ -216,6 +222,10 @@ class MemorySynchronizer:
         self.stats.pages_skipped += skipped
         self.stats.raw_push_bytes += len(pages) * PAGE_SIZE
         self.stats.wire_push_bytes += wire
+        if self.tracer is not None:
+            self.tracer.event("memsync-encode", cat="memsync",
+                              args={"dir": "push", "pages": len(pages),
+                                    "skipped": skipped, "wire_bytes": wire})
         # Hand the pushed region (and all metastate) to the GPU until pull.
         self._gpu_owned = set(pfns) | (meta if self.policy
                                        == SyncPolicy.META_ONLY else dirty)
@@ -244,6 +254,10 @@ class MemorySynchronizer:
         self.stats.pages_skipped += skipped
         self.stats.raw_pull_bytes += len(pages) * PAGE_SIZE
         self.stats.wire_pull_bytes += wire
+        if self.tracer is not None:
+            self.tracer.event("memsync-encode", cat="memsync",
+                              args={"dir": "pull", "pages": len(pages),
+                                    "skipped": skipped, "wire_bytes": wire})
         self._gpu_owned.clear()
         return pages, wire
 

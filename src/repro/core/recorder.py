@@ -53,6 +53,7 @@ from repro.kernel.env import KernelEnv
 from repro.ml.graph import Graph
 from repro.ml.models import build_model
 from repro.ml.runner import WorkloadRunner, required_memory_bytes
+from repro.obs.metrics import StatsBase
 from repro.resilience.channel import ChannelDisconnected, ReliableChannel
 from repro.resilience.checkpoint import SessionCheckpointer
 from repro.resilience.faults import FaultInjector, FaultPlan
@@ -106,8 +107,12 @@ RECORDER_VARIANTS = (NAIVE, OURS_M, OURS_MD, OURS_MDS)
 
 
 @dataclass
-class RecordStats:
+class RecordStats(StatsBase):
     """Everything §7 reports about one record run."""
+
+    SCHEMA = "repro.record"
+    _NESTED = {"commits": SpeculationStats, "memsync": MemSyncStats}
+    _IDENTITY = ("seed",)
 
     workload: str
     recorder: str
@@ -151,6 +156,9 @@ class RecordResult:
     recording: Recording
     stats: RecordStats
     output: np.ndarray  # dry-run output (garbage; proves the jobs ran)
+    # The cloud's recording-signature verify key, so a result can be fed
+    # straight to repro.replay() without plumbing the service around.
+    verify_key: Optional[object] = None
 
 
 class InsufficientSecureMemory(MemoryError):
@@ -175,7 +183,8 @@ class RecordSession:
                  sanitizer: Optional["SpecSan"] = None,
                  fault_plan: Optional[FaultPlan] = None,
                  max_resume_attempts: int = 8,
-                 checkpointer: Optional[SessionCheckpointer] = None) -> None:
+                 checkpointer: Optional[SessionCheckpointer] = None,
+                 tracer=None) -> None:
         self.graph = build_model(workload) if isinstance(workload, str) \
             else workload
         self.config = config
@@ -205,6 +214,9 @@ class RecordSession:
             self.checkpointer = SessionCheckpointer()
         if self.checkpointer is not None and sanitizer is not None:
             self.checkpointer.sanitizer = sanitizer
+        # Optional repro.obs.Tracer threaded through the shim, memsync
+        # and history; None keeps every hook on the fast path.
+        self.tracer = tracer
         self._mem_size = required_memory_bytes(self.graph)
         if secure_mem_limit is not None and self._mem_size > secure_mem_limit:
             raise InsufficientSecureMemory(
@@ -224,11 +236,27 @@ class RecordSession:
     # ------------------------------------------------------------------
     def run(self) -> RecordResult:
         clock = VirtualClock()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.set_clock(clock)
+            tracer.begin("record", cat="session",
+                         args={"workload": self.graph.name,
+                               "recorder": self.config.name,
+                               "link": self.link_profile.name})
+        try:
+            return self._run(clock)
+        finally:
+            if tracer is not None:
+                tracer.end()
+
+    def _run(self, clock: VirtualClock) -> RecordResult:
+        tracer = self.tracer
         prefix = None
         recoveries = 0
         self._resumes = 0
         self._vm_seconds = 0.0
         self._net_carry = NetworkStats()
+        base_depth = tracer.depth() if tracer is not None else 0
         while True:
             first_attempt = recoveries == 0 and self._resumes == 0
             try:
@@ -236,6 +264,12 @@ class RecordSession:
                                      inject=first_attempt)
             except MispredictionDetected as exc:
                 recoveries += 1
+                if tracer is not None:
+                    tracer.unwind_to(base_depth)
+                    tracer.event(
+                        "misprediction-recovery", cat="speculation",
+                        args={"recoveries": recoveries,
+                              "safe_log_position": exc.safe_log_position})
                 if recoveries > self.max_recovery_attempts:
                     raise
                 # Both sides roll back to the last validated log position
@@ -243,6 +277,12 @@ class RecordSession:
                 prefix = self._last_log[:exc.safe_log_position]
             except ChannelDisconnected as exc:
                 self._resumes += 1
+                if tracer is not None:
+                    tracer.unwind_to(base_depth)
+                    tracer.event(
+                        "disconnect-resume", cat="resilience",
+                        args={"resumes": self._resumes,
+                              "resume_at_s": exc.resume_at_s})
                 if self._resumes > self.max_resume_attempts:
                     raise
                 # The VM is gone (the finally-close in _attempt destroyed
@@ -265,6 +305,11 @@ class RecordSession:
     def _attempt(self, clock: VirtualClock, prefix, recoveries: int,
                  inject: bool) -> RecordResult:
         attempt_start = clock.now
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin("attempt", cat="session",
+                         args={"recoveries": recoveries,
+                               "resumes": self._resumes})
         # --- client side -------------------------------------------------
         client_mem = PhysicalMemory(size=self._mem_size)
         optee = OpTeeOS()
@@ -296,7 +341,8 @@ class RecordSession:
             # (gpu.shift_events), so the recording stays byte-identical
             # to a fault-free run.
             link = ReliableChannel(link, self._injector,
-                                   hold=gpu.shift_events)
+                                   hold=gpu.shift_events,
+                                   tracer=self.tracer)
         self._attempt_net = link.stats
         channel = SecureChannel(link)
         channel.establish(ticket.session_id, attested=True)
@@ -308,7 +354,9 @@ class RecordSession:
                                      policy=self.config.sync_policy,
                                      compress_enabled=self.config.compress)
         shim = DriverShim(link, gpushim, memsync, self.config.modes(),
-                          history=self.history)
+                          history=self.history, tracer=self.tracer)
+        memsync.tracer = self.tracer
+        self.history.tracer = self.tracer
         shim.checkpointer = self.checkpointer
         env = KernelEnv(clock, name="cloud-vm")
         shim.attach(env)
@@ -345,10 +393,15 @@ class RecordSession:
             self._last_log = gpushim.log  # live reference for recovery
             # Segment markers are suppressed while fast-forwarding: the
             # recovered prefix already contains them.
-            output = runner.run(
-                input_array=None,
-                node_callback=lambda i, name: (
-                    None if shim.ff_active else gpushim.mark(name)))
+            def _node_callback(i, name):
+                if shim.ff_active:
+                    return None
+                if tracer is not None:
+                    tracer.event(name, cat="segment", args={"index": i})
+                return gpushim.mark(name)
+
+            output = runner.run(input_array=None,
+                                node_callback=_node_callback)
             kbdev.teardown()
             shim.finish()
         except MispredictionDetected:
@@ -376,6 +429,9 @@ class RecordSession:
         blob_len = len(body) + 32
         link.send_to_client(Message("recording-download", blob_len),
                             blocking=True)
+        if tracer is not None:
+            tracer.event("recording-download", cat="network",
+                         args={"bytes": blob_len})
         gpushim.end_session()
 
         # --- statistics ----------------------------------------------------
@@ -414,7 +470,10 @@ class RecordSession:
             net_timeouts=net.timeouts,
             redundant_bytes=net.redundant_bytes,
         )
-        return RecordResult(recording=recording, stats=stats, output=output)
+        if tracer is not None:
+            tracer.end(args={"delay_s": clock.now - attempt_start})
+        return RecordResult(recording=recording, stats=stats, output=output,
+                            verify_key=self.service.recording_key)
 
     # ------------------------------------------------------------------
     @staticmethod

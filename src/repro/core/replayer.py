@@ -23,12 +23,13 @@ it to fast-forward the client GPU over a validated log prefix (§4.2).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import legacy_replay_env, validate_engine
+from repro.obs.metrics import StatsBase
 from repro.core.recording import (
     Entry,
     IrqEntry,
@@ -65,7 +66,11 @@ class ReplayDivergence(ReplayError):
 
 
 @dataclass
-class ReplayStats:
+class ReplayStats(StatsBase):
+    """Per-run replay counters (merge folds segmented-replay parts)."""
+
+    SCHEMA = "repro.replay"
+
     entries: int = 0
     reg_writes: int = 0
     reg_reads: int = 0
@@ -75,49 +80,61 @@ class ReplayStats:
     pages_loaded: int = 0
     pages_skipped: int = 0
 
-    def merge(self, part: "ReplayStats") -> "ReplayStats":
-        """Fold another stats block into this one (segmented replay)."""
-        self.entries += part.entries
-        self.reg_writes += part.reg_writes
-        self.reg_reads += part.reg_reads
-        self.read_retries += part.read_retries
-        self.polls += part.polls
-        self.irq_waits += part.irq_waits
-        self.pages_loaded += part.pages_loaded
-        self.pages_skipped += part.pages_skipped
-        return self
-
 
 def legacy_replay_forced() -> bool:
-    """True when ``REPRO_LEGACY_REPLAY=1`` pins the per-entry engine
-    (kept for A/B comparison against the compiled fast path)."""
-    return os.environ.get("REPRO_LEGACY_REPLAY", "") == "1"
+    """True when the deprecated ``REPRO_LEGACY_REPLAY=1`` toggle pins
+    the per-entry engine.  New code should pass ``engine="legacy"`` to
+    :func:`replay_entries`/:class:`Replayer` instead."""
+    return legacy_replay_env()
 
 
 def replay_entries(gpu, mem: PhysicalMemory, clock: VirtualClock,
                    entries: Sequence[Entry],
                    skip_pfns: Iterable[int] = (),
                    strict: bool = True,
-                   program: Optional[list] = None) -> ReplayStats:
+                   program: Optional[list] = None,
+                   engine: str = "auto",
+                   tracer=None) -> ReplayStats:
     """Stream a log at a GPU.  ``skip_pfns`` protects injected data pages.
 
-    By default the log is lowered to a compiled program
-    (:mod:`repro.core.compiled`) and streamed through the fast
+    By default (``engine="auto"``) the log is lowered to a compiled
+    program (:mod:`repro.core.compiled`) and streamed through the fast
     interpreter; callers replaying the same log repeatedly should pass a
     cached ``program`` to skip the lowering.  The per-entry legacy engine
     is used for devices without bulk-write support (e.g. accelerator
-    shims) or when ``REPRO_LEGACY_REPLAY=1``.
+    shims), when ``engine="legacy"`` pins it, or under the deprecated
+    ``REPRO_LEGACY_REPLAY=1`` toggle.  ``engine="compiled"`` demands the
+    fast path and raises on devices that cannot batch.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) wraps the whole stream in
+    one span — never per-entry work, so tracing cannot slow the hot
+    loops.
     """
-    if (legacy_replay_forced()
-            or not (hasattr(gpu, "write_regs")
-                    and hasattr(gpu, "next_event_time"))):
-        return _replay_entries_legacy(gpu, mem, clock, entries,
-                                      skip_pfns, strict)
-    if program is None:
-        from repro.core.compiled import compile_entries
-        program = compile_entries(entries)
-    return _execute_program(gpu, mem, clock, program,
-                            frozenset(skip_pfns), strict)
+    validate_engine(engine)
+    if engine == "auto" and legacy_replay_env():
+        engine = "legacy"
+    capable = hasattr(gpu, "write_regs") and hasattr(gpu, "next_event_time")
+    if engine == "compiled" and not capable:
+        raise ReplayError(
+            "engine='compiled' needs a device with bulk register/event "
+            "support; this device can only stream per-entry")
+    use_legacy = engine == "legacy" or not capable
+    if tracer is not None:
+        tracer.begin("replay-entries", cat="replay",
+                     args={"engine": "legacy" if use_legacy else "compiled",
+                           "entries": len(entries)})
+    try:
+        if use_legacy:
+            return _replay_entries_legacy(gpu, mem, clock, entries,
+                                          skip_pfns, strict)
+        if program is None:
+            from repro.core.compiled import compile_entries
+            program = compile_entries(entries)
+        return _execute_program(gpu, mem, clock, program,
+                                frozenset(skip_pfns), strict)
+    finally:
+        if tracer is not None:
+            tracer.end()
 
 
 def _replay_entries_legacy(gpu, mem: PhysicalMemory, clock: VirtualClock,
@@ -386,7 +403,8 @@ class Replayer:
     def __init__(self, optee: OpTeeOS, gpu, mem: PhysicalMemory,
                  clock: VirtualClock, verify_key: SigningKey,
                  clk=None, compiled_cache=None,
-                 tenant_id: str = "local") -> None:
+                 tenant_id: str = "local", engine: str = "auto",
+                 tracer=None) -> None:
         self.optee = optee
         self.gpu_raw = gpu
         self.gpu = GpuMmioGuard(gpu, optee.tzasc, World.SECURE)
@@ -402,6 +420,12 @@ class Replayer:
         # registry), so repeated sessions share one lowering.
         self.compiled_cache = compiled_cache
         self.tenant_id = tenant_id
+        # Explicit engine choice replaces the REPRO_LEGACY_REPLAY env
+        # toggle; "auto" still honors the deprecated env var.
+        self.engine = validate_engine(engine)
+        # Optional repro.obs.Tracer; every hook is None-guarded so the
+        # untraced path stays on the fast loops.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def compiled_for(self, recording: Recording):
@@ -467,9 +491,11 @@ class ReplaySession:
         self._prefix_programs: Dict[str, list] = {}
 
     def _compiled_recording(self):
-        """The compiled form, or None when legacy replay is forced or the
-        device cannot batch (then entries are streamed per-entry)."""
-        if legacy_replay_forced():
+        """The compiled form, or None when the legacy engine is selected
+        (explicitly or via the deprecated env toggle) or the device
+        cannot batch (then entries are streamed per-entry)."""
+        engine = self.replayer.engine
+        if engine == "legacy" or (engine == "auto" and legacy_replay_env()):
             return None
         if self._compiled is None:
             self._compiled = self.replayer.compiled_for(self.recording)
@@ -588,11 +614,15 @@ class ReplaySession:
         if r.clk is not None:
             r.clk.pin_max()
         results: List[ReplayResult] = []
+        tracer = r.tracer
         try:
             r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
             for frame in inputs:
                 t0 = r.clock.now
                 timeline_start = len(r.clock.timeline)
+                if tracer is not None:
+                    tracer.begin("replay-frame", cat="session",
+                                 args={"run": self.runs})
                 # Each frame starts from reset hardware: the recorded
                 # register values (e.g. LATEST_FLUSH epochs) assume it.
                 r.gpu.hard_reset_now()
@@ -600,8 +630,11 @@ class ReplaySession:
                 stats = replay_entries(r.gpu, r.mem, r.clock,
                                        self.recording.entries,
                                        skip_pfns=self.recording.data_pfns,
-                                       program=program)
+                                       program=program,
+                                       engine=r.engine, tracer=tracer)
                 output = self._fetch_output()
+                if tracer is not None:
+                    tracer.end(args={"entries": stats.entries})
                 self.runs += 1
                 results.append(ReplayResult(
                     output=output, delay_s=r.clock.now - t0,
@@ -634,6 +667,10 @@ class ReplaySession:
         timeline_start = len(r.clock.timeline)
         combined = ReplayStats()
         output: Optional[np.ndarray] = None
+        tracer = r.tracer
+        if tracer is not None:
+            tracer.begin("replay-streamed", cat="session",
+                         args={"run": self.runs})
         try:
             r.gpu.hard_reset_now()
             r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
@@ -642,12 +679,17 @@ class ReplaySession:
             programs = (compiled.segment_programs
                         if compiled is not None else [None] * len(segments))
             for (label, entries), seg_program in zip(segments, programs):
+                if tracer is not None:
+                    tracer.begin(label, cat="segment")
                 stats = replay_entries(
                     r.gpu, r.mem, r.clock, entries,
                     skip_pfns=self.recording.data_pfns,
                     program=seg_program[1]
-                    if seg_program is not None else None)
+                    if seg_program is not None else None,
+                    engine=r.engine, tracer=tracer)
                 combined.merge(stats)
+                if tracer is not None:
+                    tracer.end(args={"entries": stats.entries})
                 if label == "prologue":
                     continue
                 binding = self.recording.manifest.binding(f"{label}.out")
@@ -658,6 +700,8 @@ class ReplaySession:
                     break
             r.gpu.hard_reset_now()
         finally:
+            if tracer is not None:
+                tracer.end(args={"entries": combined.entries})
             if r.clk is not None:
                 r.clk.unpin()
             tzasc.release_gpu()
@@ -677,16 +721,22 @@ class ReplaySession:
         if r.clk is not None:
             r.clk.pin_max()
         timeline_start = len(r.clock.timeline)
+        tracer = r.tracer
+        if tracer is not None:
+            tracer.begin("replay", cat="session", args={"run": self.runs})
         try:
             r.gpu.hard_reset_now()
             r.clock.advance(REPLAY_SETUP_COST_S, label="cpu")
             self._inject_input(input_array)
             stats = replay_entries(r.gpu, r.mem, r.clock, entries,
                                    skip_pfns=self.recording.data_pfns,
-                                   program=program)
+                                   program=program,
+                                   engine=r.engine, tracer=tracer)
             output = fetch()
             r.gpu.hard_reset_now()
         finally:
+            if tracer is not None:
+                tracer.end()
             if r.clk is not None:
                 r.clk.unpin()
             tzasc.release_gpu()

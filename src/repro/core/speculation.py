@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.symbolic import SymVal
+from repro.obs.metrics import StatsBase
 
 DEFAULT_SPEC_WINDOW = 3
 
@@ -48,6 +49,9 @@ class CommitHistory:
             raise ValueError("speculation window must be >= 1")
         self.window = window
         self._history: Dict[Tuple, Deque[Tuple]] = {}
+        # Optional repro.obs.Tracer; prediction hit/miss events let a
+        # trace explain *why* a commit went synchronous (§4.2).
+        self.tracer = None
 
     def record(self, signature: Tuple, values: Tuple) -> None:
         self._history.setdefault(
@@ -56,6 +60,13 @@ class CommitHistory:
     def predict(self, signature: Tuple) -> Optional[Tuple]:
         """The unanimous value sequence of the last ``window`` instances,
         or None if history is short or disagrees (§4.2's criteria)."""
+        prediction = self._predict(signature)
+        if self.tracer is not None:
+            self.tracer.event("predict", cat="speculation",
+                              args={"hit": prediction is not None})
+        return prediction
+
+    def _predict(self, signature: Tuple) -> Optional[Tuple]:
         seen = self._history.get(signature)
         if seen is None or len(seen) < self.window:
             return None
@@ -106,8 +117,10 @@ class OutstandingCommit:
 
 
 @dataclass
-class SpeculationStats:
+class SpeculationStats(StatsBase):
     """What Figure 8 and §7.3 report about commits."""
+
+    SCHEMA = "repro.speculation"
 
     commits_total: int = 0
     commits_speculated: int = 0

@@ -34,6 +34,7 @@ from repro.cloud.service import CostModel
 from repro.cloud.vm import DRIVER_BIND_COST_S, VM_BOOT_COST_S
 
 from repro.fleet.scheduler import Event, Scheduler, Timeout
+from repro.obs.metrics import StatsBase
 
 
 class PoolSaturated(RuntimeError):
@@ -63,8 +64,10 @@ class VmLease:
 
 
 @dataclass
-class PoolStats:
+class PoolStats(StatsBase):
     """Counters the fleet report surfaces."""
+
+    SCHEMA = "repro.pool"
 
     warm_grants: int = 0
     cold_grants: int = 0

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.obs.metrics import StatsBase
+
 
 class TenantIsolationError(RuntimeError):
     """A cache entry crossed a tenant boundary — never served, always raised."""
@@ -64,7 +66,9 @@ class CachedRecording:
 
 
 @dataclass
-class RegistryStats:
+class RegistryStats(StatsBase):
+    SCHEMA = "repro.registry"
+
     hits: int = 0
     misses: int = 0
 

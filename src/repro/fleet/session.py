@@ -136,8 +136,13 @@ class FleetSimulation:
                  capacity: int = 16, warm_target: int = 8,
                  queue_limit: int = 24,
                  service: Optional[CloudService] = None,
-                 cost_model: Optional[SessionCostModel] = None) -> None:
+                 cost_model: Optional[SessionCostModel] = None,
+                 tracer=None) -> None:
         self.requests = list(requests)
+        # Optional repro.obs.Tracer.  Sessions are coroutines interleaved
+        # by the scheduler, so stages are recorded retrospectively with
+        # Tracer.add_span on the request's own tid once each completes.
+        self.tracer = tracer
         self.scheduler = Scheduler()
         self.clock = self.scheduler.clock
         self.service = service or CloudService()
@@ -157,6 +162,8 @@ class FleetSimulation:
         if self._ran:
             raise RuntimeError("a FleetSimulation runs once")
         self._ran = True
+        if self.tracer is not None:
+            self.tracer.set_clock(self.clock, domain="fleet")
         for request in self.requests:
             self.scheduler.spawn(self._session(request),
                                  at=request.arrival_s,
@@ -166,6 +173,9 @@ class FleetSimulation:
 
     # ------------------------------------------------------------------
     def _session(self, request: SessionRequest):
+        tracer = self.tracer
+        tid = request.request_id
+        t_arrival = self.clock.now
         record = SessionRecord(
             request_id=request.request_id, tenant_id=request.tenant_id,
             workload=request.workload, sku_name=request.sku_name,
@@ -175,10 +185,17 @@ class FleetSimulation:
             grant = self.pool.acquire(request.tenant_id)
         except PoolSaturated:
             record.rejected = True
+            if tracer is not None:
+                tracer.event("rejected", cat="fleet", tid=tid,
+                             args={"tenant": request.tenant_id})
             return
         lease = yield grant
         record.admitted_s = self.clock.now
         record.warm_vm = lease.warm
+        if tracer is not None:
+            tracer.add_span("admission", "fleet", t_arrival, self.clock.now,
+                            tid=tid, depth=1,
+                            args={"warm_vm": lease.warm})
 
         sku = find_sku(request.sku_name)
         link = LINK_PROFILES[request.link_name]
@@ -191,30 +208,54 @@ class FleetSimulation:
             request.tenant_id, image_name, tree, nonce, clock=self.clock)
         self.verifier.verify(ticket.attestation, nonce)
 
+        t_boot = self.clock.now
         yield Timeout(lease.boot_cost_s, label="boot")
+        if tracer is not None:
+            tracer.add_span("boot", "fleet", t_boot, self.clock.now,
+                            tid=tid, depth=1)
         flavor = flavor_for_image(image_name)
         costs = self.costs.costs(request.workload, sku, link,
                                  jit_cost_scale=flavor.jit_cost_scale)
+        t_handshake = self.clock.now
         yield Timeout(costs.handshake_s, label="network")
         record.time_blocked_s += costs.handshake_s
+        if tracer is not None:
+            tracer.add_span("handshake", "fleet", t_handshake,
+                            self.clock.now, tid=tid, depth=1)
 
         key = RecordingKey(workload=request.workload,
                            sku_compatible=compatible,
                            sku_name=request.sku_name, flavor=flavor.name)
         cached = self.registry.lookup(request.tenant_id, key)
         if cached is None:
+            t_dry = self.clock.now
             lease, ticket = yield from self._dry_run_stage(
                 request, record, lease, ticket, costs, key)
+            if tracer is not None:
+                tracer.add_span("dry-run", "fleet", t_dry, self.clock.now,
+                                tid=tid, depth=1,
+                                args={"completed": lease is not None})
             if lease is None:
                 return  # the dry run could not be completed (failover gave up)
         else:
             record.cache_hit = True
+        t_download = self.clock.now
         yield Timeout(costs.download_s, label="network")
         record.time_blocked_s += costs.download_s
+        if tracer is not None:
+            tracer.add_span("download", "fleet", t_download, self.clock.now,
+                            tid=tid, depth=1,
+                            args={"bytes": costs.recording_bytes})
 
         self.service.close_session(ticket.session_id, clock=self.clock)
         self.pool.release(lease)
         record.completed_s = self.clock.now
+        if tracer is not None:
+            tracer.add_span("session", "fleet", t_arrival, self.clock.now,
+                            tid=tid, depth=0,
+                            args={"workload": request.workload,
+                                  "cache_hit": record.cache_hit,
+                                  "tenant": request.tenant_id})
 
     # ------------------------------------------------------------------
     def _dry_run_stage(self, request, record, lease, ticket,

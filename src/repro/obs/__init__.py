@@ -1,0 +1,54 @@
+"""repro.obs — unified tracing/metrics layer (§8 evaluation support).
+
+The paper's evaluation is phase-attributed: record vs replay time,
+commit/speculation/polling counts, per-link network cost.  This package
+gives the reproduction one shared timeline for all of it:
+
+* :mod:`repro.obs.trace` — a low-overhead span/event tracer keyed to
+  both the virtual clock and the wall clock, with nested spans for the
+  paper phases (deferral commits §4.1, speculation windows §4.2,
+  polling offloads §4.3, memsync epochs §5, fleet session lifecycle)
+  and a ring-buffer mode so always-on tracing stays cheap.
+* :mod:`repro.obs.metrics` — the ``StatsProtocol`` shared by the eight
+  ``*Stats`` dataclasses plus a counter/gauge/histogram registry.
+* :mod:`repro.obs.export` — Chrome-trace JSON and JSONL emitters and a
+  dependency-free schema validator used by the ``trace-smoke`` CI job.
+"""
+
+from repro.obs.trace import EventRecord, SpanRecord, Tracer
+from repro.obs.metrics import (
+    STATS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StatsBase,
+    StatsProtocol,
+)
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    trace_summary,
+    validate_schema,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "EventRecord",
+    "STATS_SCHEMA_VERSION",
+    "StatsProtocol",
+    "StatsBase",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "trace_summary",
+    "validate_schema",
+]

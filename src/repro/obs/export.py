@@ -1,0 +1,177 @@
+"""Trace exporters: Chrome-trace JSON, JSONL, and a schema validator.
+
+Chrome-trace output follows the Trace Event Format (the JSON loaded by
+``chrome://tracing`` / Perfetto): completed spans are ``ph: "X"``
+events with microsecond ``ts``/``dur`` on the *virtual* timeline,
+instant events are ``ph: "i"``, and ``ph: "M"`` metadata rows name the
+processes (trace domains: record/replay/fleet) and threads.  The wall
+cost and nesting depth of every span ride along in ``args``.
+
+:func:`validate_schema` is a dependency-free validator for the subset
+of JSON Schema the checked-in ``benchmarks/trace_schema.json`` uses
+(type/required/properties/items/enum/minimum) — the ``trace-smoke`` CI
+job and the trace CLI both gate on it without needing ``jsonschema``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import EventRecord, SpanRecord, Tracer
+
+
+def _ids(tracer: Tracer) -> Tuple[Dict[str, int], Dict[Tuple[str, str], int]]:
+    """Stable string->int maps for Chrome pids/tids, in first-seen order."""
+    pids: Dict[str, int] = {}
+    tids: Dict[Tuple[str, str], int] = {}
+    for record in tracer.records():
+        if record.pid not in pids:
+            pids[record.pid] = len(pids) + 1
+        key = (record.pid, record.tid)
+        if key not in tids:
+            tids[key] = sum(1 for k in tids if k[0] == record.pid) + 1
+    return pids, tids
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Render the tracer's buffer as a Chrome-trace document."""
+    pids, tids = _ids(tracer)
+    events: List[dict] = []
+    for name, pid in pids.items():
+        events.append({"name": "process_name", "ph": "M", "ts": 0,
+                       "pid": pid, "tid": 0, "args": {"name": name}})
+    for (pname, tname), tid in tids.items():
+        events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                       "pid": pids[pname], "tid": tid,
+                       "args": {"name": tname}})
+    for record in tracer.records():
+        pid = pids[record.pid]
+        tid = tids[(record.pid, record.tid)]
+        if isinstance(record, SpanRecord):
+            args = dict(record.args) if record.args else {}
+            args["wall_ms"] = round(record.wall_dur * 1e3, 6)
+            args["depth"] = record.depth
+            if record.parent:
+                args["parent"] = record.parent
+            events.append({
+                "name": record.name, "cat": record.cat or "repro",
+                "ph": "X", "ts": round(record.ts * 1e6, 3),
+                "dur": round(record.dur * 1e6, 3),
+                "pid": pid, "tid": tid, "args": args,
+            })
+        elif isinstance(record, EventRecord):
+            events.append({
+                "name": record.name, "cat": record.cat or "repro",
+                "ph": "i", "s": "t", "ts": round(record.ts * 1e6, 3),
+                "pid": pid, "tid": tid,
+                "args": dict(record.args) if record.args else {},
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"dropped_records": tracer.dropped}}
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> str:
+    doc = to_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One JSON object per record: ``{"type": "span"|"event", ...}``."""
+    lines = []
+    for record in tracer.records():
+        if isinstance(record, SpanRecord):
+            lines.append(json.dumps({
+                "type": "span", "name": record.name, "cat": record.cat,
+                "ts": record.ts, "dur": record.dur,
+                "wall_ts": record.wall_ts, "wall_dur": record.wall_dur,
+                "pid": record.pid, "tid": record.tid,
+                "depth": record.depth, "parent": record.parent,
+                "args": record.args or {},
+            }, sort_keys=True))
+        else:
+            lines.append(json.dumps({
+                "type": "event", "name": record.name, "cat": record.cat,
+                "ts": record.ts, "wall_ts": record.wall_ts,
+                "pid": record.pid, "tid": record.tid,
+                "args": record.args or {},
+            }, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(tracer))
+
+
+def trace_summary(tracer: Tracer) -> dict:
+    """Span/event counts per category — the trace CLI's text report."""
+    categories: Dict[str, int] = {}
+    virtual_s = 0.0
+    for record in tracer.records():
+        categories[record.cat or "repro"] = (
+            categories.get(record.cat or "repro", 0) + 1)
+        if isinstance(record, SpanRecord):
+            virtual_s = max(virtual_s, record.ts + record.dur)
+    return {
+        "spans": len(tracer.spans()),
+        "events": len(tracer.events()),
+        "dropped": tracer.dropped,
+        "categories": dict(sorted(categories.items())),
+        "virtual_end_s": virtual_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# minimal JSON-schema validation (no external deps)
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    "number": (int, float),
+}
+
+
+def validate_schema(doc, schema: dict, path: str = "$",
+                    errors: Optional[List[str]] = None) -> List[str]:
+    """Validate ``doc`` against the JSON-Schema subset used by
+    ``benchmarks/trace_schema.json``; returns a list of error strings
+    (empty = valid)."""
+    if errors is None:
+        errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = _TYPES.get(expected)
+        if py_type is None:
+            errors.append(f"{path}: unsupported schema type {expected!r}")
+            return errors
+        ok = isinstance(doc, py_type)
+        # bool is an int subclass; keep integer/number strict
+        if ok and expected in ("integer", "number") and isinstance(doc, bool):
+            ok = False
+        if not ok:
+            errors.append(f"{path}: expected {expected}, "
+                          f"got {type(doc).__name__}")
+            return errors
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < schema["minimum"]:
+        errors.append(f"{path}: {doc!r} < minimum {schema['minimum']!r}")
+    if isinstance(doc, dict):
+        for key in schema.get("required", ()):
+            if key not in doc:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                validate_schema(doc[key], sub, f"{path}.{key}", errors)
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            validate_schema(item, schema["items"], f"{path}[{i}]", errors)
+    return errors

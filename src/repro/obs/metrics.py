@@ -1,0 +1,297 @@
+"""StatsProtocol + a counter/gauge/histogram registry.
+
+Before this layer existed the reproduction carried eight ad-hoc
+``*Stats`` dataclasses (record, replay, memsync, speculation, network,
+channel, pool, registry) with incompatible shapes: some had bespoke
+``merge`` methods, some only ``dataclasses.asdict``, none were
+versioned.  They now share :class:`StatsBase`, which supplies
+
+* ``as_dict()`` — plain-JSON dict stamped with a schema-versioned name
+  (``"repro.replay/1"``), nested stats recursing;
+* ``from_dict()`` — the inverse, validating the schema stamp;
+* ``merge(other)`` — in-place field-wise accumulation (numbers sum,
+  dict-of-number values sum per key, nested stats recurse, booleans
+  OR, identity fields keep ``self``'s value), returning ``self``.
+
+:class:`MetricsRegistry` is the aggregation side: counters, gauges and
+histograms keyed by name, able to :meth:`~MetricsRegistry.ingest` any
+``StatsProtocol`` object by flattening its numeric leaves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+try:  # Protocol is 3.8+; runtime_checkable lets tests use isinstance().
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - py<3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+#: Version stamped into every ``as_dict()`` payload as
+#: ``"<SCHEMA>/<STATS_SCHEMA_VERSION>"``.  Bump when a stats field is
+#: renamed or changes meaning (adding fields is compatible).
+STATS_SCHEMA_VERSION = 1
+
+
+@runtime_checkable
+class StatsProtocol(Protocol):
+    """What every stats object guarantees."""
+
+    SCHEMA: ClassVar[str]
+
+    def as_dict(self) -> Dict[str, object]: ...
+
+    def merge(self, other): ...
+
+
+class StatsBase:
+    """Mixin for the ``*Stats`` dataclasses implementing StatsProtocol.
+
+    Subclasses set ``SCHEMA`` (``"repro.<name>"``), optionally
+    ``_NESTED`` mapping field name -> nested stats class (needed for
+    ``from_dict`` because annotations are strings at runtime), and
+    optionally ``_IDENTITY`` naming numeric fields that identify the
+    run rather than measure it (``seed``) so ``merge`` keeps ``self``'s
+    value instead of summing.
+    """
+
+    SCHEMA: ClassVar[str] = "repro.stats"
+    _NESTED: ClassVar[Dict[str, type]] = {}
+    _IDENTITY: ClassVar[Tuple[str, ...]] = ()
+
+    @classmethod
+    def schema_name(cls) -> str:
+        return f"{cls.SCHEMA}/{STATS_SCHEMA_VERSION}"
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"schema": self.schema_name()}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, StatsBase):
+                value = value.as_dict()
+            elif isinstance(value, dict):
+                value = dict(value)
+            elif isinstance(value, (list, tuple)):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, object]]):
+        if data is None:
+            return None
+        stamp = data.get("schema")
+        if stamp is not None and stamp != cls.schema_name():
+            raise ValueError(
+                f"stats schema mismatch: payload is {stamp!r}, "
+                f"decoder expects {cls.schema_name()!r}")
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key == "schema" or key not in names:
+                continue
+            nested = cls._NESTED.get(key)
+            if nested is not None and isinstance(value, dict):
+                value = nested.from_dict(value)
+            kwargs[key] = value
+        return cls(**kwargs)  # type: ignore[call-arg]
+
+    def merge(self, other):
+        """Accumulate ``other`` into ``self`` field-wise; returns self."""
+        if other is None:
+            return self
+        for f in dataclasses.fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name, None)
+            if theirs is None or f.name in self._IDENTITY:
+                continue
+            if isinstance(mine, bool) or isinstance(theirs, bool):
+                setattr(self, f.name, bool(mine) or bool(theirs))
+            elif isinstance(mine, (int, float)):
+                setattr(self, f.name, mine + theirs)
+            elif isinstance(mine, StatsBase):
+                mine.merge(theirs)
+            elif isinstance(mine, dict):
+                for key, value in theirs.items():
+                    if isinstance(value, bool):
+                        mine[key] = bool(mine.get(key)) or value
+                    elif isinstance(value, (int, float)):
+                        mine[key] = mine.get(key, 0) + value
+                    else:
+                        mine.setdefault(key, value)
+            elif mine is None:
+                setattr(self, f.name, theirs)
+            # strings and other scalars identify the run: keep self's.
+        return self
+
+
+# ---------------------------------------------------------------------------
+# registry
+
+
+class Counter:
+    """Monotonic sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Sample distribution with percentile summaries.
+
+    Keeps raw samples up to ``max_samples`` (reservoir-free truncation:
+    summary moments stay exact, percentiles reflect the newest window).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "max_samples", "_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) >= self.max_samples:
+            del self._samples[0]
+        self._samples.append(value)
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, int(round(
+            (p / 100.0) * (len(ordered) - 1)))))
+        return ordered[idx]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, exportable as one dict."""
+
+    SCHEMA = "repro.metrics"
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, max_samples)
+        return metric
+
+    def ingest(self, stats, prefix: Optional[str] = None) -> None:
+        """Flatten any StatsProtocol object's numeric leaves into
+        counters named ``<schema-name>.<field>`` (or ``<prefix>.<field>``)."""
+        payload = stats.as_dict()
+        base = prefix if prefix is not None else str(
+            payload.get("schema", "stats")).split("/")[0]
+        self._ingest_dict(payload, base)
+
+    def _ingest_dict(self, payload: Dict[str, object], base: str) -> None:
+        for key, value in payload.items():
+            if key == "schema":
+                continue
+            name = f"{base}.{key}"
+            if isinstance(value, bool):
+                self.counter(name).inc(1.0 if value else 0.0)
+            elif isinstance(value, (int, float)):
+                self.counter(name).inc(max(0.0, float(value)))
+            elif isinstance(value, dict):
+                inner = value
+                if "schema" in inner:
+                    self._ingest_dict(inner, name)
+                else:
+                    for k, v in inner.items():
+                        if isinstance(v, (int, float)) and not isinstance(v, bool):
+                            self.counter(f"{name}.{k}").inc(max(0.0, float(v)))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": f"{self.SCHEMA}/{STATS_SCHEMA_VERSION}",
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        for name, counter in other._counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other._gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, hist in other._histograms.items():
+            mine = self.histogram(name, hist.max_samples)
+            for sample in hist._samples:
+                mine.observe(sample)
+            # truncated samples still count toward the moments
+            extra = hist.count - len(hist._samples)
+            if extra > 0:
+                mine.count += extra
+                mine.total += hist.total - sum(hist._samples)
+        return self

@@ -1,0 +1,276 @@
+# repro-check: module-allow[determinism] -- wall-clock timestamps only
+# annotate trace spans for §8 reporting; they never feed the virtual
+# clock, a recording, or any replay decision.
+"""Span/event tracer keyed to both the virtual clock and the wall clock.
+
+Every record carries two timelines: the *virtual* seconds of the
+simulation clock (the paper's reported axis — §4/§5 phase costs are
+virtual-time costs) and real ``time.perf_counter()`` seconds (how long
+the simulator itself spent, the axis ``repro perf`` gates on).  Chrome
+trace export uses virtual time for ``ts``/``dur`` and stashes the wall
+cost in ``args``.
+
+Two span APIs cover the two call-site shapes in the codebase:
+
+* :meth:`Tracer.span` / :meth:`Tracer.begin` + :meth:`Tracer.end` —
+  stack-based, for straight-line code (record attempts, replay runs).
+  Nesting depth and the parent span name are recorded so tests can
+  assert phase containment without reconstructing interval trees.
+* :meth:`Tracer.add_span` — retrospective, with explicit start/end
+  times, for coroutine-shaped code (the fleet scheduler interleaves
+  dozens of sessions; each emits its stage spans on its own ``tid``
+  after the stage completes).
+
+Hooks throughout :mod:`repro.core`, :mod:`repro.fleet` and
+:mod:`repro.resilience` accept ``tracer=None`` and guard every call
+with ``if tracer is not None`` — the no-trace fast path costs one
+attribute test per *phase* (never per replay entry), which is below
+the measurement floor of ``benchmarks/test_perf_wallclock.py``.
+
+A bounded tracer (``Tracer(capacity=...)``) keeps the newest records in
+a ring buffer and counts evictions in :attr:`Tracer.dropped`, so
+always-on tracing in long fleet runs stays O(capacity).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+_wall = time.perf_counter
+
+
+class SpanRecord:
+    """One completed span. ``ts``/``dur`` are virtual seconds,
+    ``wall_ts``/``wall_dur`` are perf-counter seconds."""
+
+    __slots__ = ("name", "cat", "ts", "dur", "wall_ts", "wall_dur",
+                 "pid", "tid", "depth", "parent", "args")
+    ph = "X"
+
+    def __init__(self, name: str, cat: str, ts: float, dur: float,
+                 wall_ts: float, wall_dur: float, pid: str, tid: str,
+                 depth: int, parent: str, args: Optional[dict]) -> None:
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.dur = dur
+        self.wall_ts = wall_ts
+        self.wall_dur = wall_dur
+        self.pid = pid
+        self.tid = tid
+        self.depth = depth
+        self.parent = parent
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpanRecord({self.name!r}, cat={self.cat!r}, "
+                f"ts={self.ts:.6f}, dur={self.dur:.6f}, depth={self.depth})")
+
+
+class EventRecord:
+    """One instant event (misprediction, retry, disconnect, segment
+    boundary...)."""
+
+    __slots__ = ("name", "cat", "ts", "wall_ts", "pid", "tid", "args")
+    ph = "i"
+
+    def __init__(self, name: str, cat: str, ts: float, wall_ts: float,
+                 pid: str, tid: str, args: Optional[dict]) -> None:
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.wall_ts = wall_ts
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventRecord({self.name!r}, cat={self.cat!r}, ts={self.ts:.6f})"
+
+
+class _OpenSpan:
+    __slots__ = ("name", "cat", "ts", "wall_ts", "pid", "tid", "depth",
+                 "parent", "args")
+
+    def __init__(self, name, cat, ts, wall_ts, pid, tid, depth, parent, args):
+        self.name = name
+        self.cat = cat
+        self.ts = ts
+        self.wall_ts = wall_ts
+        self.pid = pid
+        self.tid = tid
+        self.depth = depth
+        self.parent = parent
+        self.args = args
+
+
+class Tracer:
+    """Collects :class:`SpanRecord`/:class:`EventRecord` objects.
+
+    ``clock`` is any object with a ``.now`` float attribute (normally a
+    :class:`repro.sim.VirtualClock`); without one, virtual timestamps
+    are 0 until :meth:`set_clock` attaches a clock.  ``domain`` names
+    the current process row in the exported trace ("record", "replay",
+    "fleet"...); :meth:`set_clock` switches both at once so one tracer
+    can span a record phase and a replay phase without their virtual
+    timelines colliding.
+    """
+
+    def __init__(self, clock=None, capacity: Optional[int] = None,
+                 domain: str = "record") -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive (or None)")
+        self.clock = clock
+        self.domain = domain
+        self.capacity = capacity
+        self.dropped = 0
+        self._records: deque = deque(maxlen=capacity)
+        self._stacks: Dict[Tuple[str, str], List[_OpenSpan]] = {}
+
+    # ------------------------------------------------------------------
+    # clock / domain plumbing
+
+    def set_clock(self, clock, domain: Optional[str] = None) -> None:
+        """Attach (or switch) the virtual clock; optionally rename the
+        trace domain (exported as the Chrome process row)."""
+        self.clock = clock
+        if domain is not None:
+            self.domain = domain
+
+    def _now(self) -> float:
+        clock = self.clock
+        return 0.0 if clock is None else clock.now
+
+    # ------------------------------------------------------------------
+    # stack-based spans
+
+    def begin(self, name: str, cat: str = "", tid: str = "main",
+              args: Optional[dict] = None) -> None:
+        """Open a nested span on ``tid``'s stack."""
+        key = (self.domain, tid)
+        stack = self._stacks.setdefault(key, [])
+        parent = stack[-1].name if stack else ""
+        stack.append(_OpenSpan(name, cat, self._now(), _wall(), self.domain,
+                               tid, len(stack), parent, args))
+
+    def end(self, tid: str = "main",
+            args: Optional[dict] = None) -> Optional[SpanRecord]:
+        """Close the innermost open span on ``tid``; ``args`` merge into
+        the span's args (measurements only known at close time)."""
+        stack = self._stacks.get((self.domain, tid))
+        if not stack:
+            return None
+        open_span = stack.pop()
+        if args:
+            merged = dict(open_span.args) if open_span.args else {}
+            merged.update(args)
+            open_span.args = merged
+        record = SpanRecord(
+            open_span.name, open_span.cat, open_span.ts,
+            max(0.0, self._now() - open_span.ts),
+            open_span.wall_ts, max(0.0, _wall() - open_span.wall_ts),
+            open_span.pid, open_span.tid, open_span.depth,
+            open_span.parent, open_span.args)
+        self._append(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", tid: str = "main",
+             args: Optional[dict] = None) -> Iterator[None]:
+        self.begin(name, cat=cat, tid=tid, args=args)
+        try:
+            yield
+        finally:
+            self.end(tid=tid)
+
+    def depth(self, tid: str = "main") -> int:
+        """Current open-span nesting depth on ``tid``."""
+        return len(self._stacks.get((self.domain, tid), ()))
+
+    def unwind_to(self, depth: int, tid: str = "main") -> int:
+        """Close open spans on ``tid`` until the stack is back at
+        ``depth`` — used when an exception (misprediction, disconnect)
+        aborts a traced phase mid-span.  Returns spans closed."""
+        stack = self._stacks.get((self.domain, tid))
+        closed = 0
+        while stack and len(stack) > depth:
+            self.end(tid=tid)
+            closed += 1
+        return closed
+
+    def finish_open(self) -> int:
+        """Close every still-open span (export-time safety net).
+        Returns the number of spans force-closed."""
+        closed = 0
+        for (pid, tid), stack in list(self._stacks.items()):
+            saved = self.domain
+            self.domain = pid
+            while stack:
+                self.end(tid=tid)
+                closed += 1
+            self.domain = saved
+        return closed
+
+    # ------------------------------------------------------------------
+    # retrospective spans + instant events
+
+    def add_span(self, name: str, cat: str, start_s: float, end_s: float,
+                 tid: str = "main", args: Optional[dict] = None,
+                 wall_start: Optional[float] = None,
+                 wall_end: Optional[float] = None,
+                 depth: Optional[int] = None) -> SpanRecord:
+        """Record a span with explicit virtual start/end times — for
+        coroutine-shaped code where a stack cannot express nesting."""
+        if depth is None:
+            depth = len(self._stacks.get((self.domain, tid), ()))
+        wall_dur = 0.0
+        if wall_start is not None and wall_end is not None:
+            wall_dur = max(0.0, wall_end - wall_start)
+        record = SpanRecord(
+            name, cat, start_s, max(0.0, end_s - start_s),
+            wall_start if wall_start is not None else _wall(), wall_dur,
+            self.domain, tid, depth, "", args)
+        self._append(record)
+        return record
+
+    def event(self, name: str, cat: str = "", tid: str = "main",
+              args: Optional[dict] = None,
+              ts: Optional[float] = None) -> EventRecord:
+        """Record an instant event at the current (or given) virtual time."""
+        record = EventRecord(name, cat, self._now() if ts is None else ts,
+                             _wall(), self.domain, tid, args)
+        self._append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # buffer access
+
+    def _append(self, record) -> None:
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped += 1
+        records.append(record)
+
+    def records(self) -> list:
+        """All records in completion order (oldest surviving first)."""
+        return list(self._records)
+
+    def spans(self) -> List[SpanRecord]:
+        return [r for r in self._records if isinstance(r, SpanRecord)]
+
+    def events(self) -> List[EventRecord]:
+        return [r for r in self._records if isinstance(r, EventRecord)]
+
+    def by_category(self, cat: str) -> list:
+        return [r for r in self._records if r.cat == cat]
+
+    def clear(self) -> None:
+        self._records.clear()
+        self._stacks.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)

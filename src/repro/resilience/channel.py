@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set
 
+from repro.obs.metrics import StatsBase
 from repro.resilience.faults import FaultInjector
 from repro.sim.network import Link, Message
 
@@ -72,8 +73,10 @@ class ChannelDisconnected(RuntimeError):
 
 
 @dataclass
-class ChannelStats:
+class ChannelStats(StatsBase):
     """Reliability-layer counters (link-level ones live in NetworkStats)."""
+
+    SCHEMA = "repro.channel"
 
     rpcs: int = 0
     duplicates_delivered: int = 0
@@ -89,7 +92,8 @@ class ReliableChannel:
     def __init__(self, link: Link, injector: FaultInjector,
                  hold: Optional[Callable[[float], None]] = None,
                  timeout_s: Optional[float] = None,
-                 max_retries: int = DEFAULT_MAX_RETRIES) -> None:
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 tracer=None) -> None:
         self.link = link
         self.injector = injector
         self.hold = hold if hold is not None else (lambda dt: None)
@@ -102,6 +106,11 @@ class ReliableChannel:
                           else max(4.0 * link.profile.rtt_s, 0.050))
         self.max_retries = max_retries
         self.cstats = ChannelStats()
+        # Optional repro.obs.Tracer: retry/duplicate/disconnect instants
+        # under cat "resilience".  Held delays are spans of virtual time
+        # already labeled RETRY_LABEL on the clock timeline, so instants
+        # (not spans) are the right shape here.
+        self.tracer = tracer
         self._next_seq = 0
         self._delivered: Set[int] = set()
         self._replies: Dict[int, Any] = {}
@@ -124,6 +133,10 @@ class ReliableChannel:
         window = self.injector.window_at(self.clock.now)
         if window is not None:
             self.cstats.disconnects += 1
+            if self.tracer is not None:
+                self.tracer.event("disconnect", cat="resilience",
+                                  args={"reason": "window",
+                                        "resume_at_s": window.end_s})
             raise ChannelDisconnected(
                 f"link down: disconnect window [{window.start_s:g}, "
                 f"{window.end_s:g}) at t={self.clock.now:.3f}",
@@ -164,11 +177,20 @@ class ReliableChannel:
                 self.stats.redundant_bytes += request.wire_bytes
                 if attempt > self.max_retries:
                     self.cstats.disconnects += 1
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "disconnect", cat="resilience",
+                            args={"reason": "retry-budget", "seq": seq,
+                                  "attempts": attempt})
                     raise ChannelDisconnected(
                         f"seq {seq}: {attempt} transmissions lost, retry "
                         f"budget ({self.max_retries}) exhausted",
                         resume_at_s=self.clock.now + RECONNECT_COST_S)
                 self.stats.retries += 1
+                if self.tracer is not None:
+                    self.tracer.event("retry", cat="resilience",
+                                      args={"seq": seq, "attempt": attempt,
+                                            "kind": request.kind})
                 self._charge_held(self.timeout_s + self._backoff_s(attempt))
                 continue
             extra = fate.jitter_s
@@ -186,6 +208,10 @@ class ReliableChannel:
             if fate.duplicated:
                 self.stats.redundant_bytes += request.wire_bytes
                 self.cstats.duplicates_delivered += 1
+                if self.tracer is not None:
+                    self.tracer.event("duplicate", cat="resilience",
+                                      args={"seq": seq,
+                                            "kind": request.kind})
                 self._charge_held(self.profile.serialize_s(request.wire_bytes))
                 self._deliver(seq, apply)
             return result
@@ -210,11 +236,21 @@ class ReliableChannel:
                 self.stats.redundant_bytes += message.wire_bytes
                 if attempt > self.max_retries:
                     self.cstats.disconnects += 1
+                    if self.tracer is not None:
+                        self.tracer.event(
+                            "disconnect", cat="resilience",
+                            args={"reason": "retry-budget",
+                                  "kind": message.kind,
+                                  "attempts": attempt})
                     raise ChannelDisconnected(
                         f"one-way {message.kind!r}: {attempt} transmissions "
                         f"lost, retry budget exhausted",
                         resume_at_s=self.clock.now + RECONNECT_COST_S)
                 self.stats.retries += 1
+                if self.tracer is not None:
+                    self.tracer.event("retry", cat="resilience",
+                                      args={"attempt": attempt,
+                                            "kind": message.kind})
                 self._charge_held(self.timeout_s + self._backoff_s(attempt))
                 continue
             extra = fate.jitter_s
@@ -227,6 +263,9 @@ class ReliableChannel:
                 self.stats.redundant_bytes += message.wire_bytes
                 self.cstats.duplicates_delivered += 1
                 self.cstats.duplicates_suppressed += 1
+                if self.tracer is not None:
+                    self.tracer.event("duplicate", cat="resilience",
+                                      args={"kind": message.kind})
                 extra += self.profile.serialize_s(message.wire_bytes)
             self._charge_held(extra)
             return

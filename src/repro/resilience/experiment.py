@@ -126,8 +126,15 @@ def run_chaos_experiment(
         plans: Optional[Sequence[Union[str, FaultPlan]]] = None,
         seed: int = 0,
         warm_rounds: int = 1,
-        sanitize: bool = False) -> ChaosReport:
-    """Record under every fault plan; compare against the baseline."""
+        sanitize: bool = False,
+        tracer=None) -> ChaosReport:
+    """Record under every fault plan; compare against the baseline.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) observes the *faulty* record
+    runs — where the retries, disconnects and resumes happen; warm-up and
+    the fault-free baseline stay untraced so the trace isolates fault
+    handling.
+    """
     from repro.core.recorder import OURS_MDS, RecordSession
     from repro.core.speculation import CommitHistory
 
@@ -172,7 +179,8 @@ def run_chaos_experiment(
         session = RecordSession(workload, config=recorder, link_profile=link,
                                 seed=seed, history=fresh_history(),
                                 fault_plan=plan,
-                                sanitizer=make_sanitizer())
+                                sanitizer=make_sanitizer(),
+                                tracer=tracer)
         result = session.run()
         body = result.recording.body_bytes()
         stats = result.stats

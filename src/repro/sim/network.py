@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs.metrics import StatsBase
 from repro.sim.clock import VirtualClock
 
 # Fixed per-message cost of framing + TLS record overhead (§7.1 notes the
@@ -60,7 +61,7 @@ class Message:
 
 
 @dataclass
-class NetworkStats:
+class NetworkStats(StatsBase):
     """Counters matching what Table 1 and §7 report.
 
     ``retries``/``timeouts``/``redundant_bytes`` are produced by the
@@ -86,18 +87,12 @@ class NetworkStats:
     def total_bytes(self) -> int:
         return self.bytes_to_client + self.bytes_to_cloud
 
+    SCHEMA = "repro.network"
+
     def merged_with(self, other: "NetworkStats") -> "NetworkStats":
-        return NetworkStats(
-            blocking_round_trips=self.blocking_round_trips + other.blocking_round_trips,
-            async_sends=self.async_sends + other.async_sends,
-            one_way_messages=self.one_way_messages + other.one_way_messages,
-            bytes_to_client=self.bytes_to_client + other.bytes_to_client,
-            bytes_to_cloud=self.bytes_to_cloud + other.bytes_to_cloud,
-            time_blocked_s=self.time_blocked_s + other.time_blocked_s,
-            retries=self.retries + other.retries,
-            timeouts=self.timeouts + other.timeouts,
-            redundant_bytes=self.redundant_bytes + other.redundant_bytes,
-        )
+        """Out-of-place variant of :meth:`StatsBase.merge` (kept for the
+        report paths that sum per-link stats without mutating them)."""
+        return NetworkStats().merge(self).merge(other)
 
 
 class Link:

@@ -1,0 +1,23 @@
+"""Corpus: process-environment reads outside the sanctioned config
+module (env-read).
+
+An env toggle makes a run a function of shell state instead of
+(workload, seed); every knob must surface as an explicit parameter via
+repro.core.config.
+"""
+
+import os
+
+
+def pick_engine():
+    if os.environ.get("REPRO_LEGACY_REPLAY") == "1":  # fires: .get
+        return "legacy"
+    return os.getenv("REPRO_ENGINE", "compiled")  # fires: os.getenv
+
+
+def debug_level():
+    return int(os.environ["REPRO_DEBUG"])  # fires: subscript read
+
+
+def set_flag():
+    os.environ["REPRO_FLAG"] = "1"  # quiet: a write keys nothing

@@ -113,3 +113,61 @@ class TestFleetCli:
                      "--json", str(b)]) == 0
         capsys.readouterr()
         assert a.read_text() != b.read_text()
+
+
+class TestJsonFormat:
+    """Every subcommand's ``--format json`` output is one machine-safe
+    envelope: ``{"command", "schema", "data"}``."""
+
+    def envelope(self, capsys, command):
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == command
+        assert doc["schema"] == 1
+        return doc["data"]
+
+    def test_workloads_json(self, capsys):
+        assert main(["workloads", "--format", "json"]) == 0
+        data = self.envelope(capsys, "workloads")
+        assert any(row["name"] == "mnist" for row in data)
+
+    def test_skus_json(self, capsys):
+        assert main(["skus", "--format", "json"]) == 0
+        data = self.envelope(capsys, "skus")
+        assert any("Mali" in row["name"] for row in data)
+
+    def test_replay_json(self, recorded_file, capsys):
+        assert main(["replay", "-r", recorded_file, "--runs", "2",
+                     "--format", "json"]) == 0
+        data = self.envelope(capsys, "replay")
+        assert len(data["runs"]) == 2
+        assert data["runs"][0]["delay_s"] > 0
+
+    def test_inspect_json(self, recorded_file, capsys):
+        assert main(["inspect", recorded_file, "--format", "json"]) == 0
+        data = self.envelope(capsys, "inspect")
+        assert data["workload"] == "mnist"
+        assert sum(data["entries"].values()) > 0
+        assert data["jobs"] > 0
+
+    def test_check_json(self, capsys):
+        assert main(["check", "--format", "json"]) == 0
+        data = self.envelope(capsys, "check")
+        assert data["ok"] is True
+        assert data["findings"] == []
+
+    def test_text_remains_default(self, capsys):
+        assert main(["workloads"]) == 0
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(capsys.readouterr().out)
+
+
+class TestTraceFlag:
+    def test_replay_trace_writes_chrome_json(self, recorded_file,
+                                             tmp_path, capsys):
+        out = tmp_path / "replay_trace.json"
+        assert main(["replay", "-r", recorded_file,
+                     "--trace", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert "traceEvents" in doc
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "replay" in names  # the session span

@@ -3,16 +3,19 @@
 The compiled fast path (core.compiled + replay_entries' dispatch table)
 must be an *observationally invisible* optimization: for every seed
 workload the two engines have to produce bit-identical outputs, the same
-virtual-clock delay, and equal ReplayStats.  ``REPRO_LEGACY_REPLAY`` is
-consulted on every ``replay_entries`` call, so the pin wraps each run.
+virtual-clock delay, and equal ReplayStats.  Engine selection is the
+``engine="legacy"|"compiled"`` parameter on :class:`Replayer`; the old
+``REPRO_LEGACY_REPLAY`` environment toggle is still honored under
+``engine="auto"`` but warns (tested at the bottom).
 """
 
 import os
-from contextlib import contextmanager
+import warnings
 
 import numpy as np
 import pytest
 
+from repro.core import config
 from repro.core.recorder import NAIVE, OURS_MDS, RecordSession
 from repro.core.replayer import Replayer
 from repro.core.testbed import ClientDevice
@@ -20,23 +23,10 @@ from repro.ml.models import PAPER_WORKLOADS, build_model
 from repro.ml.runner import generate_weights
 
 
-@contextmanager
-def engine(legacy):
-    prior = os.environ.get("REPRO_LEGACY_REPLAY")
-    os.environ["REPRO_LEGACY_REPLAY"] = "1" if legacy else ""
-    try:
-        yield
-    finally:
-        if prior is None:
-            os.environ.pop("REPRO_LEGACY_REPLAY", None)
-        else:
-            os.environ["REPRO_LEGACY_REPLAY"] = prior
-
-
-def open_session(graph, recording, weights, verify_key):
+def open_session(graph, recording, weights, verify_key, engine):
     device = ClientDevice.for_workload(graph)
     replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
-                        verify_key=verify_key)
+                        verify_key=verify_key, engine=engine)
     return replayer.open(recording, weights)
 
 
@@ -58,12 +48,10 @@ def test_engines_agree_on_every_seed_workload(workload, recorder):
     rng = np.random.default_rng(7)
     inp = rng.standard_normal(graph.input_shape).astype(np.float32)
 
-    with engine(legacy=True):
-        legacy = open_session(graph, recording, weights,
-                              session.service.recording_key).run(inp)
-    with engine(legacy=False):
-        compiled = open_session(graph, recording, weights,
-                                session.service.recording_key).run(inp)
+    legacy = open_session(graph, recording, weights,
+                          session.service.recording_key, "legacy").run(inp)
+    compiled = open_session(graph, recording, weights,
+                            session.service.recording_key, "compiled").run(inp)
 
     assert np.array_equal(legacy.output, compiled.output)
     assert legacy.delay_s == compiled.delay_s
@@ -81,10 +69,63 @@ def test_compiled_session_reuses_the_cached_program():
     assert recording.compile() is compiled
     weights = generate_weights(graph, seed=0)
     inp = np.zeros(graph.input_shape, dtype=np.float32)
-    with engine(legacy=False):
-        first = open_session(graph, recording, weights,
-                             session.service.recording_key).run(inp)
-        second = open_session(graph, recording, weights,
-                              session.service.recording_key).run(inp)
+    first = open_session(graph, recording, weights,
+                         session.service.recording_key, "compiled").run(inp)
+    second = open_session(graph, recording, weights,
+                          session.service.recording_key, "compiled").run(inp)
     assert np.array_equal(first.output, second.output)
     assert first.stats == second.stats
+
+
+def test_invalid_engine_rejected():
+    graph = build_model("mnist")
+    device = ClientDevice.for_workload(graph)
+    with pytest.raises(ValueError, match="engine"):
+        Replayer(device.optee, device.gpu, device.mem, device.clock,
+                 verify_key=None, engine="turbo")
+
+
+class TestDeprecatedEnvToggle:
+    """REPRO_LEGACY_REPLAY=1 still pins the legacy engine under
+    ``engine="auto"``, but emits a one-time DeprecationWarning."""
+
+    @pytest.fixture
+    def legacy_env(self):
+        prior = os.environ.get("REPRO_LEGACY_REPLAY")
+        os.environ["REPRO_LEGACY_REPLAY"] = "1"
+        config._warned_legacy_env = False  # re-arm the one-time warning
+        try:
+            yield
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_LEGACY_REPLAY", None)
+            else:
+                os.environ["REPRO_LEGACY_REPLAY"] = prior
+            config._warned_legacy_env = False
+
+    def test_env_toggle_warns_and_is_honored(self, legacy_env):
+        with pytest.warns(DeprecationWarning, match="engine='legacy'"):
+            assert config.legacy_replay_env() is True
+        # one-time: a second consult stays quiet
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert config.legacy_replay_env() is True
+
+    def test_env_toggle_matches_explicit_legacy(self, legacy_env):
+        graph = build_model("mnist")
+        session = RecordSession(graph, config=OURS_MDS)
+        recording = session.run().recording
+        weights = generate_weights(graph, seed=0)
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        config._warned_legacy_env = False  # record may have consumed it
+        with pytest.warns(DeprecationWarning):
+            auto = open_session(graph, recording, weights,
+                                session.service.recording_key, "auto").run(inp)
+        explicit = open_session(graph, recording, weights,
+                                session.service.recording_key, "legacy").run(inp)
+        assert np.array_equal(auto.output, explicit.output)
+        assert auto.stats == explicit.stats
+
+    def test_unset_env_means_compiled(self):
+        assert os.environ.get("REPRO_LEGACY_REPLAY") != "1"
+        assert config.legacy_replay_env() is False

@@ -1,0 +1,185 @@
+"""Integration: end-to-end tracing through record, replay, and the CLI.
+
+The obs layer must (1) capture all four paper phases during a traced
+record run — deferral commits (§4.1), speculation windows (§4.2),
+polling offloads (§4.3), memsync epochs (§5); (2) agree with itself
+across the record/replay boundary: the segment markers a record run
+emits are the same phase boundaries a streamed replay traces, for any
+workload; (3) export something ``chrome://tracing`` would load, gated
+by the checked-in ``benchmarks/trace_schema.json``; and (4) cost
+nothing when disabled — the hooks are ``tracer=None`` guards, so an
+untraced run records byte-identically with or without the obs import.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.ml.models import build_model
+from repro.ml.runner import generate_weights
+from repro.obs import Tracer, to_chrome_trace, validate_schema
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "trace_schema.json"
+)
+
+PHASE_CATEGORIES = ("deferral", "speculation", "polling", "memsync")
+
+
+@pytest.fixture(scope="module")
+def schema():
+    with open(SCHEMA_PATH) as fh:
+        return json.load(fh)
+
+
+def traced_record(workload, tracer=None):
+    tracer = tracer if tracer is not None else Tracer()
+    result = repro.record(workload, trace=tracer)
+    return result, tracer
+
+
+class TestTracedRecord:
+    @pytest.fixture(scope="class")
+    def mnist_trace(self):
+        return traced_record("mnist")
+
+    def test_all_four_paper_phases_present(self, mnist_trace):
+        _, tracer = mnist_trace
+        for cat in PHASE_CATEGORIES:
+            assert tracer.by_category(cat), f"no {cat} records in trace"
+
+    def test_phase_spans_nest_inside_the_attempt(self, mnist_trace):
+        _, tracer = mnist_trace
+        commits = [s for s in tracer.spans() if s.cat == "deferral"]
+        assert commits
+        # commits open under the attempt span (depth >= 2: record >
+        # attempt > commit), never at top level
+        assert all(s.depth >= 2 for s in commits)
+        session = [s for s in tracer.spans() if s.name == "record"]
+        assert len(session) == 1
+        assert session[0].depth == 0
+
+    def test_no_spans_left_open(self, mnist_trace):
+        _, tracer = mnist_trace
+        assert tracer.depth() == 0
+        assert tracer.finish_open() == 0
+
+    def test_mispredictions_match_stats(self, mnist_trace):
+        result, tracer = mnist_trace
+        events = [e for e in tracer.events() if e.name == "misprediction"]
+        assert len(events) == result.stats.commits.mispredictions
+
+    def test_export_validates(self, mnist_trace, schema):
+        _, tracer = mnist_trace
+        assert validate_schema(to_chrome_trace(tracer), schema) == []
+
+    def test_untraced_record_is_byte_identical(self, mnist_trace):
+        traced, _ = mnist_trace
+        plain = repro.record("mnist")
+        assert plain.recording.digest() == traced.recording.digest()
+
+
+@pytest.mark.parametrize("workload", ["mnist", "alexnet"])
+def test_record_and_replay_agree_on_phase_boundaries(workload, schema):
+    """The segment markers recorded on the cloud side are the phase
+    boundaries the client's streamed replay walks — same labels, same
+    order, on both sides of one shared trace."""
+    tracer = Tracer()
+    result, _ = traced_record(workload, tracer)
+    record_segments = [e.name for e in tracer.events()
+                       if e.cat == "segment" and e.pid == "record"]
+    assert record_segments  # one marker per graph node
+
+    graph = build_model(workload)
+    device = ClientDevice.for_workload(graph)
+    tracer.set_clock(device.clock, domain="replay")
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=result.verify_key, tracer=tracer)
+    session = replayer.open(result.recording,
+                            generate_weights(graph, seed=0))
+    session.run_streamed(np.zeros(graph.input_shape, dtype=np.float32))
+
+    replay_segments = [s.name for s in tracer.spans()
+                       if s.cat == "segment" and s.pid == "replay"]
+    # the replay log carries a prologue segment (device bring-up)
+    # before the first recorded node boundary
+    assert replay_segments[0] == "prologue"
+    assert replay_segments[1:] == record_segments
+
+    # both domains in one document, distinct process rows
+    doc = to_chrome_trace(tracer)
+    assert validate_schema(doc, schema) == []
+    meta = {e["args"]["name"] for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"}
+    assert {"record", "replay"} <= meta
+
+
+class TestFacade:
+    def test_record_replay_roundtrip_with_trace_path(self, tmp_path, schema):
+        out = tmp_path / "facade_trace.json"
+        result = repro.record("mnist", trace=str(out))
+        assert out.exists()
+        with open(out) as fh:
+            assert validate_schema(json.load(fh), schema) == []
+
+        replay_out = tmp_path / "replay_trace.json"
+        replayed = repro.replay(result, trace=str(replay_out))
+        assert replayed.output is not None
+        with open(replay_out) as fh:
+            doc = json.load(fh)
+        assert validate_schema(doc, schema) == []
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "session" in cats
+
+    def test_engine_parameter_ab_identity(self):
+        result = repro.record("mnist")
+        rng = np.random.default_rng(3)
+        inp = rng.standard_normal(
+            build_model("mnist").input_shape).astype(np.float32)
+        legacy = repro.replay(result, inp, engine="legacy")
+        compiled = repro.replay(result, inp, engine="compiled")
+        assert np.array_equal(legacy.output, compiled.output)
+        assert legacy.stats == compiled.stats
+
+    def test_replay_from_file_with_key_sibling(self, tmp_path):
+        path = tmp_path / "m.grt"
+        assert main(["record", "--workload", "mnist", "--warm", "1",
+                     "--out", str(path)]) == 0
+        out = repro.replay(str(path))
+        assert out.output is not None
+
+    def test_ring_buffer_tracer_through_record(self):
+        tracer = Tracer(capacity=64)
+        _, tracer = traced_record("mnist", tracer)
+        assert len(tracer) == 64
+        assert tracer.dropped > 0
+
+
+class TestTraceCli:
+    def test_trace_quick_writes_valid_file(self, tmp_path, capsys, schema):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "mnist", "--quick", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "schema: valid" in text
+        with open(out) as fh:
+            doc = json.load(fh)
+        assert validate_schema(doc, schema) == []
+        cats = {e.get("cat") for e in doc["traceEvents"] if "cat" in e}
+        for cat in PHASE_CATEGORIES:
+            assert cat in cats, f"CLI trace missing {cat} phase"
+
+    def test_trace_json_format(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "mnist", "--quick", "--format", "json",
+                     "--out", str(out)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "trace"
+        assert doc["data"]["schema_valid"] is True
+        assert doc["data"]["workload"] == "mnist"
+        assert doc["data"]["spans"] > 0

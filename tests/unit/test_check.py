@@ -45,6 +45,7 @@ class TestCorpus:
         "bad_sym_force.py": {"sym-force": 3},
         "bad_release_consistency.py": {"release-consistency": 2},
         "bad_determinism.py": {"determinism": 4},
+        "bad_env_read.py": {"env-read": 3},
     }
 
     @pytest.mark.parametrize("name", sorted(EXPECTED))

@@ -1,0 +1,448 @@
+"""Unit tests for repro.obs — tracer, exporters, stats protocol, registry.
+
+Four layers: (1) the Tracer's stack discipline (nesting depth, parent
+links, exception unwinding, ring-buffer eviction); (2) Chrome-trace /
+JSONL export, validated against the checked-in
+``benchmarks/trace_schema.json``; (3) the StatsProtocol contract —
+``as_dict``/``from_dict`` round-trip and ``merge`` semantics for all
+eight shipped ``*Stats`` classes; (4) the MetricsRegistry aggregator.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.memsync import MemSyncStats
+from repro.core.recorder import RecordStats
+from repro.core.replayer import ReplayStats
+from repro.core.speculation import SpeculationStats
+from repro.fleet.pool import PoolStats
+from repro.fleet.registry import RegistryStats
+from repro.obs import (
+    MetricsRegistry,
+    StatsProtocol,
+    Tracer,
+    to_chrome_trace,
+    to_jsonl,
+    trace_summary,
+    validate_schema,
+    write_chrome_trace,
+)
+from repro.obs.metrics import STATS_SCHEMA_VERSION
+from repro.resilience.channel import ChannelStats
+from repro.sim.network import NetworkStats
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "benchmarks", "trace_schema.json"
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTracerSpans:
+    def test_nesting_records_depth_and_parent(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.begin("outer", cat="a")
+        clock.advance(1.0)
+        tracer.begin("inner", cat="b")
+        clock.advance(0.5)
+        tracer.end()  # inner
+        clock.advance(0.5)
+        tracer.end()  # outer
+        inner, outer = tracer.spans()  # completion order: inner first
+        assert (inner.name, inner.depth, inner.parent) == ("inner", 1, "outer")
+        assert (outer.name, outer.depth, outer.parent) == ("outer", 0, "")
+        assert inner.ts == pytest.approx(1.0)
+        assert inner.dur == pytest.approx(0.5)
+        assert outer.dur == pytest.approx(2.0)
+        # containment: the child's interval sits inside the parent's
+        assert outer.ts <= inner.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur
+
+    def test_span_contextmanager_closes_on_exception(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("phase"):
+                raise RuntimeError("boom")
+        assert tracer.depth() == 0
+        assert [s.name for s in tracer.spans()] == ["phase"]
+
+    def test_end_merges_close_time_args(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("run", args={"seed": 3})
+        record = tracer.end(args={"entries": 17})
+        assert record.args == {"seed": 3, "entries": 17}
+
+    def test_end_on_empty_stack_is_harmless(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.end() is None
+        assert len(tracer) == 0
+
+    def test_unwind_to_closes_aborted_phases(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("attempt")
+        base = tracer.depth()
+        tracer.begin("window")
+        tracer.begin("commit")
+        # a misprediction aborts mid-commit; recovery unwinds to the
+        # attempt level and the attempt span itself still closes cleanly
+        assert tracer.unwind_to(base) == 2
+        assert tracer.depth() == base
+        tracer.end()
+        assert [s.name for s in tracer.spans()] == [
+            "commit", "window", "attempt"]
+
+    def test_finish_open_closes_every_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("a", tid="t1")
+        tracer.begin("b", tid="t2")
+        tracer.set_clock(FakeClock(), domain="replay")
+        tracer.begin("c", tid="t1")
+        assert tracer.finish_open() == 3
+        assert tracer.depth(tid="t1") == 0
+        assert {s.name for s in tracer.spans()} == {"a", "b", "c"}
+
+    def test_tids_have_independent_stacks(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.begin("a", tid="t1")
+        tracer.begin("b", tid="t2")
+        b = tracer.end(tid="t2")
+        assert b.name == "b"
+        assert b.depth == 0  # not nested under t1's open span
+        tracer.end(tid="t1")
+
+    def test_domain_switch_keeps_timelines_apart(self):
+        record_clock = FakeClock(5.0)
+        replay_clock = FakeClock(0.0)
+        tracer = Tracer(clock=record_clock, domain="record")
+        with tracer.span("record-phase"):
+            record_clock.advance(1.0)
+        tracer.set_clock(replay_clock, domain="replay")
+        with tracer.span("replay-phase"):
+            replay_clock.advance(2.0)
+        rec, rep = tracer.spans()
+        assert (rec.pid, rep.pid) == ("record", "replay")
+        assert rec.ts == pytest.approx(5.0)
+        assert rep.ts == pytest.approx(0.0)
+
+    def test_add_span_is_retrospective(self):
+        tracer = Tracer(clock=FakeClock(), domain="fleet")
+        span = tracer.add_span("boot", "fleet", 2.0, 3.5, tid="req-1",
+                               depth=1, args={"warm_vm": True})
+        assert span.ts == pytest.approx(2.0)
+        assert span.dur == pytest.approx(1.5)
+        assert (span.tid, span.depth) == ("req-1", 1)
+
+    def test_events_and_by_category(self):
+        clock = FakeClock(1.25)
+        tracer = Tracer(clock=clock)
+        tracer.event("misprediction", cat="speculation", args={"reg": 4})
+        tracer.event("retry", cat="resilience")
+        assert len(tracer.events()) == 2
+        spec = tracer.by_category("speculation")
+        assert [e.name for e in spec] == ["misprediction"]
+        assert spec[0].ts == pytest.approx(1.25)
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(clock=FakeClock(), capacity=1)
+        tracer.event("a")
+        tracer.event("b")  # evicts "a"
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_and_counts_dropped(self):
+        tracer = Tracer(clock=FakeClock(), capacity=3)
+        for i in range(10):
+            tracer.event(f"e{i}")
+        assert len(tracer) == 3
+        assert [r.name for r in tracer.records()] == ["e7", "e8", "e9"]
+        assert tracer.dropped == 7
+
+    def test_unbounded_by_default(self):
+        tracer = Tracer(clock=FakeClock())
+        for i in range(100):
+            tracer.event(f"e{i}")
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+def build_trace():
+    """A small two-domain trace exercising spans, events, and nesting."""
+    clock = FakeClock()
+    tracer = Tracer(clock=clock, domain="record")
+    tracer.begin("record", cat="session")
+    tracer.begin("commit", cat="deferral", tid="main", args={"regs": 3})
+    clock.advance(0.001)
+    tracer.end()
+    tracer.event("misprediction", cat="speculation", args={"offset": 52})
+    clock.advance(0.002)
+    tracer.end()
+    tracer.set_clock(FakeClock(), domain="replay")
+    with tracer.span("replay-run", cat="session", tid="run-0"):
+        pass
+    return tracer
+
+
+class TestChromeExport:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        with open(SCHEMA_PATH) as fh:
+            return json.load(fh)
+
+    def test_document_validates_against_checked_in_schema(self, schema):
+        doc = to_chrome_trace(build_trace())
+        assert validate_schema(doc, schema) == []
+
+    def test_metadata_rows_name_processes_and_threads(self):
+        doc = to_chrome_trace(build_trace())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        proc_names = {e["args"]["name"] for e in meta
+                      if e["name"] == "process_name"}
+        assert proc_names == {"record", "replay"}
+        thread_names = {e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name"}
+        assert thread_names == {"main", "run-0"}
+
+    def test_pids_tids_are_integers_and_stable(self):
+        doc = to_chrome_trace(build_trace())
+        for event in doc["traceEvents"]:
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+        # both record-domain spans share a pid distinct from replay's
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["record"]["pid"] == by_name["commit"]["pid"]
+        assert by_name["record"]["pid"] != by_name["replay-run"]["pid"]
+
+    def test_span_units_are_virtual_microseconds(self):
+        doc = to_chrome_trace(build_trace())
+        commit = next(e for e in doc["traceEvents"] if e["name"] == "commit")
+        assert commit["dur"] == pytest.approx(1000.0)  # 0.001 s
+        assert commit["args"]["depth"] == 1
+        assert commit["args"]["parent"] == "record"
+        assert commit["args"]["regs"] == 3
+        assert "wall_ms" in commit["args"]
+
+    def test_instants_carry_scope(self):
+        doc = to_chrome_trace(build_trace())
+        instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert instant["name"] == "misprediction"
+        assert instant["s"] == "t"
+        assert instant["args"]["offset"] == 52
+
+    def test_dropped_counter_exported(self):
+        tracer = Tracer(clock=FakeClock(), capacity=1)
+        tracer.event("a")
+        tracer.event("b")
+        doc = to_chrome_trace(tracer)
+        assert doc["otherData"]["dropped_records"] == 1
+
+    def test_write_chrome_trace_roundtrip(self, tmp_path, schema):
+        out = str(tmp_path / "trace.json")
+        assert write_chrome_trace(build_trace(), out) == out
+        with open(out) as fh:
+            doc = json.load(fh)
+        assert validate_schema(doc, schema) == []
+
+    def test_jsonl_lines_parse(self):
+        tracer = build_trace()
+        lines = to_jsonl(tracer).splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert len(rows) == len(tracer.records())
+        assert {row["type"] for row in rows} == {"span", "event"}
+
+    def test_trace_summary_counts(self):
+        summary = trace_summary(build_trace())
+        assert summary["spans"] == 3
+        assert summary["events"] == 1
+        assert summary["dropped"] == 0
+        assert summary["categories"]["deferral"] == 1
+        assert summary["categories"]["speculation"] == 1
+
+
+class TestValidateSchema:
+    def test_type_mismatch(self):
+        assert validate_schema(3, {"type": "string"}) != []
+
+    def test_bool_is_not_an_integer(self):
+        assert validate_schema(True, {"type": "integer"}) != []
+        assert validate_schema(1, {"type": "integer"}) == []
+
+    def test_missing_required_key(self):
+        errors = validate_schema(
+            {}, {"type": "object", "required": ["traceEvents"]})
+        assert any("traceEvents" in e for e in errors)
+
+    def test_enum_violation(self):
+        assert validate_schema("Z", {"enum": ["X", "i", "M"]}) != []
+
+    def test_minimum_violation(self):
+        assert validate_schema(-1, {"type": "number", "minimum": 0}) != []
+
+    def test_items_recurse_with_index_in_path(self):
+        errors = validate_schema(
+            [1, "two"], {"type": "array", "items": {"type": "integer"}})
+        assert len(errors) == 1
+        assert "[1]" in errors[0]
+
+
+# ---------------------------------------------------------------------------
+# StatsProtocol round-trip for every shipped stats class
+
+
+def _record_stats():
+    return RecordStats(
+        workload="mnist", recorder="OursMDS", link="wifi", seed=7,
+        blocking_rtts=12, gpu_jobs=3,
+        commits=SpeculationStats(commits_total=9, commits_speculated=6,
+                                 commits_by_category={"JOB": 9}),
+        memsync=MemSyncStats(pushes=2, pages_pushed=40),
+        network_bytes=1234, timeline_by_label={"conv1": 0.5})
+
+
+STATS_CASES = [
+    ("repro.replay", lambda: ReplayStats(entries=100, reg_writes=60,
+                                         polls=5)),
+    ("repro.memsync", lambda: MemSyncStats(pushes=3, pulls=1,
+                                           raw_push_bytes=4096)),
+    ("repro.speculation", lambda: SpeculationStats(
+        commits_total=4, mispredictions=1,
+        commits_by_category={"JOB": 3, "MMU": 1})),
+    ("repro.network", lambda: NetworkStats(blocking_round_trips=8,
+                                           bytes_to_cloud=2048,
+                                           time_blocked_s=0.25)),
+    ("repro.channel", lambda: ChannelStats(rpcs=20, disconnects=2)),
+    ("repro.pool", lambda: PoolStats(warm_grants=5, cold_grants=2,
+                                     lease_vm_seconds=12.5)),
+    ("repro.registry", lambda: RegistryStats(hits=9, misses=1)),
+    ("repro.record", _record_stats),
+]
+
+
+class TestStatsProtocol:
+    @pytest.mark.parametrize(
+        "schema,factory", STATS_CASES, ids=[c[0] for c in STATS_CASES])
+    def test_roundtrip(self, schema, factory):
+        stats = factory()
+        assert isinstance(stats, StatsProtocol)
+        payload = stats.as_dict()
+        assert payload["schema"] == f"{schema}/{STATS_SCHEMA_VERSION}"
+        # plain-JSON safe
+        decoded = type(stats).from_dict(json.loads(json.dumps(payload)))
+        assert decoded == stats
+
+    @pytest.mark.parametrize(
+        "schema,factory", STATS_CASES, ids=[c[0] for c in STATS_CASES])
+    def test_merge_doubles_numeric_fields(self, schema, factory):
+        import dataclasses
+
+        merged = factory().merge(factory())
+        one = factory()
+        for f in dataclasses.fields(one):
+            if f.name in type(one)._IDENTITY:
+                continue
+            value = getattr(one, f.name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            assert getattr(merged, f.name) == 2 * value, f.name
+
+    def test_schema_stamp_rejected_on_mismatch(self):
+        payload = ReplayStats(entries=1).as_dict()
+        with pytest.raises(ValueError, match="schema mismatch"):
+            MemSyncStats.from_dict(payload)
+
+    def test_merge_recurses_into_nested_stats(self):
+        merged = _record_stats().merge(_record_stats())
+        assert merged.commits.commits_total == 18
+        assert merged.commits.commits_by_category == {"JOB": 18}
+        assert merged.memsync.pages_pushed == 80
+        assert merged.seed == 7  # identity field: kept, not summed
+        assert merged.timeline_by_label == {"conv1": 1.0}
+
+    def test_merge_none_is_identity(self):
+        stats = ReplayStats(entries=5)
+        assert stats.merge(None) is stats
+        assert stats.entries == 5
+
+    def test_nested_stats_roundtrip_types(self):
+        decoded = RecordStats.from_dict(_record_stats().as_dict())
+        assert isinstance(decoded.commits, SpeculationStats)
+        assert isinstance(decoded.memsync, MemSyncStats)
+
+
+class TestMetricsRegistry:
+    def test_counter_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert registry.counter("x") is counter
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4)
+        registry.gauge("g").set(2)
+        assert registry.gauge("g").value == 2.0
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["p50"] == pytest.approx(3.0)
+
+    def test_histogram_truncation_keeps_moments_exact(self):
+        hist = MetricsRegistry().histogram("h", max_samples=4)
+        for v in range(10):
+            hist.observe(float(v))
+        assert hist.count == 10
+        assert hist.total == pytest.approx(sum(range(10)))
+        assert len(hist._samples) == 4  # newest window
+
+    def test_ingest_flattens_stats(self):
+        registry = MetricsRegistry()
+        registry.ingest(ReplayStats(entries=100, polls=5))
+        payload = registry.as_dict()
+        assert payload["counters"]["repro.replay.entries"] == 100.0
+        assert payload["counters"]["repro.replay.polls"] == 5.0
+
+    def test_ingest_recurses_nested_stats_and_dicts(self):
+        registry = MetricsRegistry()
+        registry.ingest(_record_stats())
+        counters = registry.as_dict()["counters"]
+        assert counters["repro.record.commits.commits_total"] == 9.0
+        assert counters["repro.record.commits.commits_by_category.JOB"] == 9.0
+        assert counters["repro.record.memsync.pages_pushed"] == 40.0
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        b.histogram("h").observe(5.0)
+        a.merge(b)
+        assert a.counter("c").value == 3.0
+        assert a.histogram("h").count == 1
