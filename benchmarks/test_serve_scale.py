@@ -1,0 +1,77 @@
+"""Wall-clock acceptance benchmark for the live serving engine.
+
+Asserts the repro.serve headline: a 2-worker shard pool sustains higher
+replay throughput than a single worker on the streaming-regime workload
+(alexnet), with every served output bit-identical to the in-process
+single-path reference, and p99 latency within the checked-in bound.
+
+The absolute speedup target is judged against the *machine's* measured
+parallel-scaling ceiling (``measure_machine_scaling``): on dedicated
+cores two processes approach 2x and the gate demands the full 1.5x; on
+shared/throttled vCPUs — where even two pure-compute processes may not
+reach 1.5x combined — the gate scales down to 90% of what the hardware
+permits, so the engine is always held to "near the ceiling" rather than
+to a number the machine cannot produce.
+
+The harness emits ``BENCH_serve.json`` at the repository root, and the
+checked-in floors in ``benchmarks/perf_baseline.json`` gate regressions
+(same convention as the replay/memsync gate: absolute throughput
+tolerates a 2x wall-clock swing, ratios and bit-identity do not).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import perf
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def serve_doc():
+    doc = perf.run_serve_perf(quick=False)
+    perf.write_bench(doc,
+                     os.path.join(REPO_ROOT, perf.BENCH_SERVE_FILENAME))
+    return doc
+
+
+def _row(doc):
+    return next(r for r in doc["serve"] if r["workload"] == "alexnet")
+
+
+class TestServeScaling:
+    def test_pool_outscales_single_worker(self, serve_doc):
+        row = _row(serve_doc)
+        ceiling = serve_doc["machine_scaling_2proc"]
+        required = min(1.5, 0.9 * ceiling)
+        assert row["speedup"] >= required, (
+            f"2-worker pool only {row['speedup']:.2f}x over one worker "
+            f"(machine ceiling {ceiling:.2f}x, required {required:.2f}x)")
+
+    def test_traffic_spread_across_workers(self, serve_doc):
+        row = _row(serve_doc)
+        assert row["pool"]["distinct_pids"] == 2
+        assert row["completed"] == row["requests"]
+
+    def test_bit_identical_everywhere(self, serve_doc):
+        """Pool outputs match both the in-process reference and the
+        single-worker pool — concurrency changes nothing but time."""
+        row = _row(serve_doc)
+        assert row["bit_identical"]
+        assert row["pool_matches_single_worker"]
+
+    def test_baseline_floors_hold(self, serve_doc):
+        with open(os.path.join(REPO_ROOT, "benchmarks",
+                               "perf_baseline.json")) as fh:
+            baseline = json.load(fh)
+        failures = perf.compare_serve_baseline(serve_doc, baseline)
+        assert not failures, "; ".join(failures)
+
+    def test_bench_document_written(self, serve_doc):
+        path = os.path.join(REPO_ROOT, perf.BENCH_SERVE_FILENAME)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["schema"] == perf.BENCH_SCHEMA
+        assert doc["serve"][0]["workload"] == "alexnet"

@@ -233,6 +233,63 @@ def perf_summary_tables(doc: dict) -> str:
     return "\n\n".join(tables)
 
 
+def serve_summary_tables(summary: dict) -> str:
+    """Render a serve run's summary dict (see
+    :meth:`repro.serve.ServeMetrics.summary`) as the live-serving
+    report: an overview table, wall-clock latency percentiles per link,
+    and the planning oracle's predicted-vs-measured accuracy."""
+    requests = summary["requests"]
+    ledger = summary.get("ledger", {})
+    overview_rows = [
+        ["requests offered", requests["offered"]],
+        ["requests completed", requests["completed"]],
+        ["requests rejected", requests["rejected"]],
+        ["requests aborted", requests["aborted"]],
+        ["requests retried", requests["retried"]],
+        ["throughput", f"{summary['throughput_rps']:.2f} req/s"],
+        ["makespan", f"{summary['makespan_s']:.3f} s"],
+        ["worker deaths", ledger.get("worker_deaths", 0)],
+        ["failover requeues", ledger.get("failover_requeues", 0)],
+        ["distinct workers", summary["workers"]["distinct_pids"]],
+        ["mean batch", f"{summary['batching']['mean_batch']:.2f}"],
+        ["identity digest", summary["identity_digest"][:16]],
+    ]
+    if "bit_identical" in summary:
+        overview_rows.append(
+            ["bit-identical vs reference",
+             "yes" if summary["bit_identical"] else "NO"])
+    overview = format_table("Serve overview", ["metric", "value"],
+                            overview_rows)
+    lat_rows = []
+    for link, dist in sorted(summary["latency_s"]["by_link"].items()):
+        lat_rows.append([link, dist["count"], dist["p50"] * 1e3,
+                         dist["p95"] * 1e3, dist["p99"] * 1e3,
+                         dist["mean"] * 1e3])
+    overall = summary["latency_s"]["overall"]
+    lat_rows.append(["all", overall["count"], overall["p50"] * 1e3,
+                     overall["p95"] * 1e3, overall["p99"] * 1e3,
+                     overall["mean"] * 1e3])
+    latency = format_table(
+        "Request latency by link (milliseconds, wall clock)",
+        ["link", "n", "p50", "p95", "p99", "mean"], lat_rows)
+    oracle_rows = []
+    sections = sorted(summary["oracle"]["by_link"].items())
+    sections.append(("all", summary["oracle"]["overall"]))
+    for label, section in sections:
+        oracle_rows.append([
+            label,
+            section["predicted_s"]["p99"] * 1e3,
+            section["measured_s"]["p99"] * 1e3,
+            section["abs_error_s"]["p99"] * 1e3,
+            f"{section['measured_over_predicted']['p50']:.2f}x",
+        ])
+    oracle = format_table(
+        "Planning oracle accuracy (p99 ms predicted vs measured)",
+        ["link", "predicted", "measured", "abs error", "meas/pred p50"],
+        oracle_rows)
+    return "\n\n".join([overview, latency, oracle])
+
+
 def save_report(name: str, text: str) -> str:
     """Append a rendered table to benchmarks/results/<name>.txt."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

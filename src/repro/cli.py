@@ -32,6 +32,7 @@ from repro.analysis.report import (
     check_summary_tables,
     fleet_summary_tables,
     json_envelope,
+    serve_summary_tables,
 )
 from repro.obs import (
     Tracer,
@@ -369,6 +370,75 @@ def cmd_chaos(args) -> int:
     return 0 if report.all_identical else 1
 
 
+def cmd_serve(args) -> int:
+    """Serve a replay burst for real: asyncio front end, multiprocessing
+    shard pool, planning-oracle predictions scored against wall clock."""
+    from repro.serve import ServeCatalog, make_burst, serve_burst
+
+    for name, value, floor in (("--requests", args.requests, 0),
+                               ("--workers", args.workers, 1),
+                               ("--tenants", args.tenants, 1),
+                               ("--batch-max", args.batch_max, 1),
+                               ("--queue-limit", args.queue_limit, 1),
+                               ("--runs", args.runs, 1)):
+        if value < floor:
+            print(f"error: {name} must be >= {floor}", file=sys.stderr)
+            return 2
+    if args.arrival_rate < 0:
+        print("error: --arrival-rate must be >= 0", file=sys.stderr)
+        return 2
+    workloads = args.workload or ["mnist"]
+    requests = make_burst(workloads, args.requests, tenants=args.tenants,
+                          seed=args.seed, arrival_rate_hz=args.arrival_rate,
+                          runs=args.runs)
+    tracer = _make_trace(args)
+    if tracer is not None:
+        tracer.domain = "serve"
+    catalog = ServeCatalog(recorder=RECORDERS[args.recorder],
+                           seed=args.seed)
+    report = serve_burst(requests, catalog=catalog, workers=args.workers,
+                         batch_max=args.batch_max,
+                         tenant_queue_limit=args.queue_limit,
+                         tracer=tracer, verify=args.verify)
+    summary = dict(report.summary)
+    summary["warm_s"] = round(report.warm_s, 6)
+    summary["config"] = {
+        "workloads": workloads, "requests": args.requests,
+        "tenants": args.tenants, "workers": args.workers,
+        "batch_max": args.batch_max, "queue_limit": args.queue_limit,
+        "seed": args.seed, "arrival_rate_hz": args.arrival_rate,
+        "runs": args.runs, "recorder": args.recorder,
+    }
+    _write_trace(args, tracer)
+    failures = []
+    if args.p99_bound is not None:
+        p99 = summary["latency_s"]["overall"]["p99"]
+        if p99 > args.p99_bound:
+            failures.append(f"p99 {p99:.3f}s exceeds bound "
+                            f"{args.p99_bound:g}s")
+    if args.verify and not summary.get("bit_identical", False):
+        failures.append("served outputs diverged from the single-process "
+                        "reference")
+    if args.fmt == "json":
+        summary["failures"] = failures
+        print(json_envelope("serve", summary))
+    else:
+        print(f"serve: {args.requests} requests over {args.workers} "
+              f"worker(s), {args.tenants} tenant(s), seed {args.seed} "
+              f"(warm {report.warm_s:.2f} s, excluded)")
+        print()
+        print(serve_summary_tables(summary))
+        for failure in failures:
+            print(f"FAIL: {failure}")
+    if args.json:
+        blob = json.dumps(summary, indent=2, sort_keys=True)
+        with open(args.json, "w") as fh:
+            fh.write(blob + "\n")
+        if args.fmt != "json":
+            print(f"\nwrote {args.json}")
+    return 1 if failures else 0
+
+
 def cmd_check(args) -> int:
     import os
 
@@ -402,6 +472,8 @@ def cmd_perf(args) -> int:
     from repro.analysis import perf
     from repro.analysis.report import perf_summary_tables
 
+    if args.serve:
+        return _cmd_perf_serve(args)
     doc = perf.run_perf(quick=args.quick, reps=args.reps,
                         epochs=args.epochs)
     path = perf.write_bench(doc, args.out)
@@ -436,6 +508,52 @@ def cmd_perf(args) -> int:
         if text:
             print("baseline gate passed")
     return 0
+
+
+def _cmd_perf_serve(args) -> int:
+    """``repro perf --serve``: the wall-clock serving harness."""
+    from repro.analysis import perf
+    from repro.analysis.report import format_table
+
+    doc = perf.run_serve_perf(quick=args.quick)
+    out = args.out
+    if out == "BENCH_replay.json":
+        out = perf.BENCH_SERVE_FILENAME
+    path = perf.write_bench(doc, out)
+    failures = []
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = perf.compare_serve_baseline(doc, baseline)
+    text = args.fmt != "json"
+    if text:
+        rows = []
+        for r in doc["serve"]:
+            rows.append([
+                r["workload"], r["requests"], r["workers"],
+                r["single"]["throughput_rps"],
+                r["pool"]["throughput_rps"],
+                f"{r['speedup']:.2f}x",
+                r["pool"]["p99_s"] * 1e3,
+                "yes" if r["bit_identical"] else "NO"])
+        print(format_table(
+            "Serve wall clock - single worker vs shard pool",
+            ["workload", "reqs", "workers", "1w rps", "pool rps",
+             "speedup", "p99 ms", "identical"], rows))
+        print(f"\nmachine 2-process scaling ceiling: "
+              f"{doc['machine_scaling_2proc']:.2f}x (ideal 2.00x)")
+        print(f"wrote {path}")
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        if args.baseline and not failures:
+            print("serve baseline gate passed")
+    else:
+        print(json_envelope("perf", {
+            "bench": doc, "out": path,
+            "identical": all(r["bit_identical"] for r in doc["serve"]),
+            "regressions": failures,
+        }))
+    return 1 if failures else 0
 
 
 def cmd_diff(args) -> int:
@@ -645,6 +763,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_format(p)
     p.set_defaults(fn=cmd_chaos)
 
+    p = sub.add_parser("serve", help="serve a replay burst for real: "
+                                     "asyncio front end over a "
+                                     "multiprocessing shard pool")
+    p.add_argument("--workload", action="append", default=None,
+                   choices=sorted([*PAPER_WORKLOADS, *EXTRA_WORKLOADS]),
+                   help="workload(s) in the request mix; repeatable "
+                        "(default: mnist)")
+    p.add_argument("--requests", type=int, default=24,
+                   help="number of replay requests to offer")
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker processes")
+    p.add_argument("--tenants", type=int, default=2,
+                   help="tenant population (requests round-robin)")
+    p.add_argument("--batch-max", type=int, default=4,
+                   help="max requests per shard dispatch")
+    p.add_argument("--queue-limit", type=int, default=32,
+                   help="per-tenant admission queue bound; over-limit "
+                        "arrivals are rejected")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--arrival-rate", type=float, default=0.0,
+                   help="Poisson arrival rate in req/s (0 = closed burst)")
+    p.add_argument("--runs", type=int, default=1,
+                   help="replay runs per request")
+    p.add_argument("--recorder", default="OursMDS",
+                   choices=sorted(RECORDERS))
+    p.add_argument("--p99-bound", type=float, default=None,
+                   help="fail (exit 1) when overall p99 latency exceeds "
+                        "this many seconds")
+    p.add_argument("--verify", action="store_true",
+                   help="re-execute the burst single-process and fail "
+                        "unless outputs are bit-identical")
+    p.add_argument("--json", default=None,
+                   help="also write the serve summary JSON to this path")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="write a Chrome-trace JSON of every request's "
+                        "serve span to PATH")
+    _add_format(p)
+    p.set_defaults(fn=cmd_serve)
+
     p = sub.add_parser("check", help="static driver-conformance analyzer "
                                      "(bus confinement, §4.3 poll "
                                      "discovery, sym-force, determinism)")
@@ -674,6 +831,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline",
                    help="gate against this baseline JSON; exit 1 on "
                         ">2x throughput regression")
+    p.add_argument("--serve", action="store_true",
+                   help="run the serving harness instead (shard-pool "
+                        "throughput vs single worker, bit-identity); "
+                        "writes BENCH_serve.json")
     _add_format(p)
     p.set_defaults(fn=cmd_perf)
 

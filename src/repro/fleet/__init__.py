@@ -18,6 +18,7 @@ from repro.fleet.metrics import FleetMetrics, SessionRecord, percentile
 from repro.fleet.pool import PoolSaturated, PoolStats, VmLease, VmPool
 from repro.fleet.registry import (
     CachedRecording,
+    Eviction,
     RecordingKey,
     RecordingRegistry,
     TenantIsolationError,
@@ -37,7 +38,7 @@ from repro.fleet.workload import (
 )
 
 __all__ = [
-    "CachedRecording", "DEFAULT_MIX", "Event", "FleetMetrics",
+    "CachedRecording", "DEFAULT_MIX", "Event", "Eviction", "FleetMetrics",
     "FleetSimulation", "PoolSaturated", "PoolStats", "Process",
     "RecordingKey", "RecordingRegistry", "Scheduler", "SessionCostModel",
     "SessionCosts", "SessionRecord", "SessionRequest", "TenantIsolationError",

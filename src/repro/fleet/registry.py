@@ -19,6 +19,7 @@ threat model demands.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
@@ -81,8 +82,23 @@ class RegistryStats(StatsBase):
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+@dataclass(frozen=True)
+class Eviction:
+    """What :meth:`RecordingRegistry.evict_tenant` removed."""
+
+    tenant_id: str
+    recordings: int
+    compiled: int
+
+
 class RecordingRegistry:
-    """Tenant-bucketed recording cache; buckets never cross-pollinate."""
+    """Tenant-bucketed recording cache; buckets never cross-pollinate.
+
+    Thread-safe: the serving engine replays through the registry from
+    concurrent sessions, so every mutation happens under one lock, and
+    ``compiled_for`` guarantees a single ``build()`` per (tenant,
+    digest) even when sessions race on a cold key.
+    """
 
     def __init__(self) -> None:
         self._by_tenant: Dict[str, Dict[RecordingKey, CachedRecording]] = {}
@@ -93,6 +109,10 @@ class RecordingRegistry:
         # lowering (§7.1 — nothing derived from a recording is shared).
         self._compiled: Dict[Tuple[str, str], object] = {}
         self.compiled_stats = RegistryStats()
+        self._lock = threading.RLock()
+        # Keys with a build() in flight; racers wait on the event
+        # instead of building a duplicate.
+        self._building: Dict[Tuple[str, str], threading.Event] = {}
 
     # ------------------------------------------------------------------
     def lookup(self, tenant_id: str,
@@ -101,24 +121,26 @@ class RecordingRegistry:
 
         Counts a hit/miss either way; a hit bumps the entry's ``serves``.
         """
-        entry = self._by_tenant.get(tenant_id, {}).get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.tenant_id != tenant_id:
-            raise TenantIsolationError(
-                f"registry bucket for {tenant_id!r} holds a recording "
-                f"owned by {entry.tenant_id!r}")
-        self.stats.hits += 1
-        entry.serves += 1
-        return entry
+        with self._lock:
+            entry = self._by_tenant.get(tenant_id, {}).get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.tenant_id != tenant_id:
+                raise TenantIsolationError(
+                    f"registry bucket for {tenant_id!r} holds a recording "
+                    f"owned by {entry.tenant_id!r}")
+            self.stats.hits += 1
+            entry.serves += 1
+            return entry
 
     def store(self, tenant_id: str, entry: CachedRecording) -> None:
         if entry.tenant_id != tenant_id:
             raise TenantIsolationError(
                 f"cannot file {entry.tenant_id!r}'s recording under "
                 f"{tenant_id!r}")
-        self._by_tenant.setdefault(tenant_id, {})[entry.key] = entry
+        with self._lock:
+            self._by_tenant.setdefault(tenant_id, {})[entry.key] = entry
 
     # ------------------------------------------------------------------
     def compiled_for(self, tenant_id: str, digest: str,
@@ -127,30 +149,75 @@ class RecordingRegistry:
 
         On miss, ``build()`` (typically ``Recording.compile``) runs once
         and the result is cached, so repeated fleet sessions replaying
-        the same recording never re-lower it.
+        the same recording never re-lower it.  Concurrent callers racing
+        on a cold key wait for the one in-flight build rather than each
+        lowering their own copy; ``build()`` itself runs outside the
+        lock, so distinct keys compile in parallel.
         """
         key = (tenant_id, digest)
-        hit = self._compiled.get(key)
-        if hit is None:
-            self.compiled_stats.misses += 1
-            hit = build()
-            self._compiled[key] = hit
-        else:
-            self.compiled_stats.hits += 1
-        return hit
+        while True:
+            with self._lock:
+                hit = self._compiled.get(key)
+                if hit is not None:
+                    self.compiled_stats.hits += 1
+                    return hit
+                pending = self._building.get(key)
+                if pending is None:
+                    self._building[key] = threading.Event()
+                    self.compiled_stats.misses += 1
+                    break
+            # Another session is lowering this key right now; wait and
+            # re-check (if its build fails we take over as builder).
+            pending.wait()
+        try:
+            built = build()
+        except BaseException:
+            with self._lock:
+                event = self._building.pop(key)
+            event.set()
+            raise
+        with self._lock:
+            self._compiled[key] = built
+            event = self._building.pop(key)
+        event.set()
+        return built
 
     def compiled_count(self) -> int:
-        return len(self._compiled)
+        with self._lock:
+            return len(self._compiled)
+
+    # ------------------------------------------------------------------
+    def evict_tenant(self, tenant_id: str) -> Eviction:
+        """Drop the tenant's bucket *and* every compiled program derived
+        from it.
+
+        Eviction is the §7.1 off-boarding path: once a tenant leaves,
+        nothing derived from its recordings may linger — a compiled
+        program that survived its recording would be exactly the kind of
+        cross-lifetime derived state the isolation rule forbids.
+        """
+        with self._lock:
+            bucket = self._by_tenant.pop(tenant_id, None)
+            dropped = [key for key in self._compiled
+                       if key[0] == tenant_id]
+            for key in dropped:
+                del self._compiled[key]
+            return Eviction(tenant_id=tenant_id,
+                            recordings=len(bucket) if bucket else 0,
+                            compiled=len(dropped))
 
     # ------------------------------------------------------------------
     def tenants(self) -> Tuple[str, ...]:
-        return tuple(self._by_tenant)
+        with self._lock:
+            return tuple(self._by_tenant)
 
     def entries_for(self, tenant_id: str) -> Tuple[CachedRecording, ...]:
-        return tuple(self._by_tenant.get(tenant_id, {}).values())
+        with self._lock:
+            return tuple(self._by_tenant.get(tenant_id, {}).values())
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._by_tenant.values())
+        with self._lock:
+            return sum(len(bucket) for bucket in self._by_tenant.values())
 
     def audit_isolation(self) -> int:
         """Sweep every bucket; raise if any entry is misfiled.
@@ -159,11 +226,12 @@ class RecordingRegistry:
         the §7.1 security assertion after a full fleet run.
         """
         checked = 0
-        for tenant_id, bucket in self._by_tenant.items():
-            for entry in bucket.values():
-                if entry.tenant_id != tenant_id:
-                    raise TenantIsolationError(
-                        f"{tenant_id!r} bucket holds "
-                        f"{entry.tenant_id!r}'s recording")
-                checked += 1
+        with self._lock:
+            for tenant_id, bucket in self._by_tenant.items():
+                for entry in bucket.values():
+                    if entry.tenant_id != tenant_id:
+                        raise TenantIsolationError(
+                            f"{tenant_id!r} bucket holds "
+                            f"{entry.tenant_id!r}'s recording")
+                    checked += 1
         return checked

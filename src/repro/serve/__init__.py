@@ -1,0 +1,69 @@
+"""repro.serve — the live serving engine (wall clock, real concurrency).
+
+The fleet layer (:mod:`repro.fleet`) *simulates* a recording service
+over the virtual clock; this package *serves* replay traffic for real:
+an asyncio front end with bounded per-tenant queues and backpressure-
+aware admission control, a multiprocessing shard pool executing
+pre-compiled recordings across cores, and the simulated scheduler
+retained as a planning oracle whose predictions are scored against
+measured latency in every report.
+
+    from repro.serve import ServeCatalog, make_burst, serve_burst
+
+    requests = make_burst(["alexnet"], requests=16, tenants=2, seed=0)
+    report = serve_burst(requests, workers=2, verify=True)
+    print(report.summary["throughput_rps"],
+          report.summary["latency_s"]["overall"]["p99"])
+"""
+
+from repro.serve.engine import (
+    AsyncServeEngine,
+    ServeReport,
+    SyncServeEngine,
+    serve_burst,
+)
+from repro.serve.metrics import IdentityDigest, ServeMetrics, ServeStats
+from repro.serve.session import (
+    PlanningOracle,
+    PredictedTiming,
+    ServeCatalog,
+    ServeRequest,
+    ServeResult,
+    make_burst,
+)
+from repro.serve.shards import (
+    ShardAborted,
+    ShardError,
+    ShardIsolationError,
+    ShardPool,
+    ShardPoolStats,
+    ShardResult,
+    ShardTask,
+    WarmSpec,
+    execute_inline,
+)
+
+__all__ = [
+    "AsyncServeEngine",
+    "SyncServeEngine",
+    "ServeReport",
+    "serve_burst",
+    "ServeMetrics",
+    "ServeStats",
+    "IdentityDigest",
+    "PlanningOracle",
+    "PredictedTiming",
+    "ServeCatalog",
+    "ServeRequest",
+    "ServeResult",
+    "make_burst",
+    "ShardPool",
+    "ShardPoolStats",
+    "ShardTask",
+    "ShardResult",
+    "WarmSpec",
+    "ShardError",
+    "ShardAborted",
+    "ShardIsolationError",
+    "execute_inline",
+]

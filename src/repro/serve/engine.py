@@ -1,0 +1,348 @@
+"""The live serving engine: asyncio front end over the shard pool.
+
+Two runners share one implementation, the sync/async duality from the
+hypergraph Runners spec (SNIPPETS.md §3):
+
+* :class:`AsyncServeEngine` — the real engine.  ``await engine.run(...)``
+  inside an existing event loop; ``await engine.submit(req)`` for
+  open-ended traffic.
+* :class:`SyncServeEngine` — the blocking facade: ``engine.run(...)``
+  spins up the loop, serves the burst, tears down.  Scripts, the CLI and
+  the benchmarks use this one.
+
+Admission control is backpressure-aware and mirrors the fleet's
+semantics (PR 1 pool + PR 4 failover ledger): each tenant gets a
+*bounded* queue (over-limit arrivals are rejected immediately and
+counted, like :class:`~repro.fleet.pool.PoolSaturated`), a global
+dispatch semaphore caps shard-pool in-flight so a slow pool backs
+pressure up into the tenant queues instead of ballooning memory, and
+worker deaths burn a bounded retry budget per request (aborts are
+ledgered, never raised through the loop).
+
+Every completed request emits a ``serve`` span into :mod:`repro.obs`
+carrying predicted-vs-measured latency, so a Chrome trace of a serve run
+shows the planning oracle's error per request.
+"""
+# repro-check: module-allow[determinism] -- a wall-clock serving engine:
+# arrival pacing and latency measurement are its purpose; measured times
+# never enter recordings or the virtual clock.
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.metrics import ServeMetrics, ServeStats
+from repro.serve.session import (
+    PlanningOracle,
+    ServeCatalog,
+    ServeRequest,
+    ServeResult,
+)
+from repro.serve.shards import (
+    ShardAborted,
+    ShardPool,
+    ShardPoolStats,
+    execute_inline,
+)
+
+
+@dataclass
+class ServeReport:
+    """Everything one serve run produced."""
+
+    results: List[ServeResult]
+    summary: Dict
+    pool_stats: ShardPoolStats
+    identity_digest: str = ""
+    warm_s: float = 0.0
+    makespan_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+
+@dataclass
+class _Pending:
+    request: ServeRequest
+    submitted_wall: float
+    done: "asyncio.Future[ServeResult]" = field(repr=False, default=None)
+
+
+class AsyncServeEngine:
+    """Per-tenant bounded queues -> batcher tasks -> shard pool."""
+
+    def __init__(self, pool: ShardPool, catalog: ServeCatalog,
+                 batch_max: int = 4, tenant_queue_limit: int = 32,
+                 max_dispatch: Optional[int] = None,
+                 tracer=None) -> None:
+        if batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        self.pool = pool
+        self.catalog = catalog
+        self.batch_max = batch_max
+        self.tenant_queue_limit = tenant_queue_limit
+        # Backpressure: at most this many tasks dispatched into the pool
+        # at once (default: enough to keep every worker's batch slot
+        # full without unbounded pile-up inside the mp queues).
+        self.max_dispatch = max_dispatch or (pool.n_workers * batch_max * 2)
+        self.tracer = tracer
+        self.metrics = ServeMetrics()
+        self.stats = ServeStats()
+        self.oracle_predictions: Dict[str, float] = {}
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._batchers: Dict[str, asyncio.Task] = {}
+        self._dispatch_sem: Optional[asyncio.Semaphore] = None
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    # submission path
+    # ------------------------------------------------------------------
+    async def submit(self, request: ServeRequest) -> ServeResult:
+        """Admit, queue, batch, execute; resolves with the result.
+
+        Rejections resolve (``status="rejected"``) rather than raise —
+        overload is a modelled outcome, exactly like the fleet's
+        admission control.
+        """
+        self.stats.offered += 1
+        loop = asyncio.get_running_loop()
+        if self._dispatch_sem is None:
+            self._dispatch_sem = asyncio.Semaphore(self.max_dispatch)
+        queue = self._queues.get(request.tenant_id)
+        if queue is None:
+            queue = asyncio.Queue(maxsize=self.tenant_queue_limit)
+            self._queues[request.tenant_id] = queue
+            self._batchers[request.tenant_id] = loop.create_task(
+                self._batcher(request.tenant_id, queue))
+        pending = _Pending(request, time.perf_counter(),
+                           loop.create_future())
+        try:
+            queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.stats.rejected += 1
+            result = ServeResult(
+                request_id=request.request_id,
+                tenant_id=request.tenant_id, workload=request.workload,
+                link_name=request.link_name, ok=False, status="rejected",
+                error=f"tenant queue full "
+                      f"({self.tenant_queue_limit} waiting)")
+            self.metrics.add(result)
+            if self.tracer is not None:
+                self.tracer.event("rejected", cat="serve",
+                                  tid=request.request_id,
+                                  args={"tenant": request.tenant_id})
+            return result
+        return await pending.done
+
+    # ------------------------------------------------------------------
+    async def _batcher(self, tenant_id: str,
+                       queue: asyncio.Queue) -> None:
+        """Drain one tenant's queue, grouping up to ``batch_max`` tasks
+        per dispatch.  Batches are per-tenant by construction — requests
+        from different tenants never share a shard dispatch."""
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await queue.get()
+            batch = [first]
+            while len(batch) < self.batch_max:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for pending in batch:
+                await self._dispatch_sem.acquire()
+            tasks = [self.catalog.task_for(p.request) for p in batch]
+            futures = self.pool.submit(tasks)
+            for pending, future in zip(batch, futures):
+                loop.create_task(self._finish(pending, future))
+
+    async def _finish(self, pending: _Pending, future) -> None:
+        request = pending.request
+        try:
+            shard = await asyncio.wrap_future(future)
+        except ShardAborted as exc:
+            self._dispatch_sem.release()
+            self.stats.aborted += 1
+            result = ServeResult(
+                request_id=request.request_id, tenant_id=request.tenant_id,
+                workload=request.workload, link_name=request.link_name,
+                ok=False, status="aborted", error=str(exc))
+            self.metrics.add(result)
+            pending.done.set_result(result)
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced as a result
+            self._dispatch_sem.release()
+            self.stats.aborted += 1
+            result = ServeResult(
+                request_id=request.request_id, tenant_id=request.tenant_id,
+                workload=request.workload, link_name=request.link_name,
+                ok=False, status="aborted", error=repr(exc))
+            self.metrics.add(result)
+            pending.done.set_result(result)
+            return
+        self._dispatch_sem.release()
+        done_wall = time.perf_counter()
+        latency = done_wall - pending.submitted_wall
+        predicted = self.oracle_predictions.get(request.request_id, 0.0)
+        result = ServeResult(
+            request_id=request.request_id, tenant_id=request.tenant_id,
+            workload=request.workload, link_name=request.link_name,
+            ok=True, output_sha256=shard.output_sha256,
+            output_class=int(shard.output.argmax()),
+            delay_s=shard.delay_s, wall_service_s=shard.wall_s,
+            latency_s=latency,
+            queue_wait_s=max(0.0, latency - shard.wall_s),
+            predicted_s=predicted, worker_pid=shard.worker_pid,
+            batch_size=shard.batch_size, attempts=shard.attempts)
+        self.stats.completed += 1
+        self.metrics.add(result)
+        if self.tracer is not None:
+            start = pending.submitted_wall - self._t0
+            self.tracer.add_span(
+                "request", "serve", start, start + latency,
+                tid=request.request_id,
+                wall_start=pending.submitted_wall, wall_end=done_wall,
+                args={"tenant": request.tenant_id,
+                      "workload": request.workload,
+                      "link": request.link_name,
+                      "predicted_s": round(predicted, 6),
+                      "measured_s": round(latency, 6),
+                      "service_s": round(shard.wall_s, 6),
+                      "worker_pid": shard.worker_pid,
+                      "attempts": shard.attempts})
+        pending.done.set_result(result)
+
+    # ------------------------------------------------------------------
+    # burst driver
+    # ------------------------------------------------------------------
+    async def run(self, requests: List[ServeRequest]) -> ServeReport:
+        """Serve one request set to completion and report.
+
+        Requests with ``arrival_offset_s`` are paced open-loop against
+        the wall clock; a burst (all offsets 0) goes out immediately.
+        The planning oracle runs first so every request's prediction is
+        fixed before any measurement starts.
+        """
+        self._plan(requests)
+        self._t0 = time.perf_counter()
+
+        async def offered(request: ServeRequest) -> ServeResult:
+            if request.arrival_offset_s > 0:
+                delay = (self._t0 + request.arrival_offset_s
+                         - time.perf_counter())
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            return await self.submit(request)
+
+        results = list(await asyncio.gather(
+            *[offered(r) for r in requests]))
+        makespan = time.perf_counter() - self._t0
+        self._sync_ledger()
+        summary = self.metrics.summary(makespan, stats=self.stats)
+        return ServeReport(
+            results=results, summary=summary,
+            pool_stats=self.pool.stats,
+            identity_digest=summary["identity_digest"],
+            makespan_s=makespan)
+
+    def _plan(self, requests: List[ServeRequest]) -> None:
+        service: Dict = {}
+        for request in requests:
+            digest = self.catalog.digest_for(request.workload)
+            info = self.pool.warm_info(request.tenant_id, digest)
+            if info is not None:
+                service[(request.tenant_id, digest)] = (
+                    info["calibrate_wall_s"])
+        oracle = PlanningOracle(self.pool.n_workers, service)
+        plan = oracle.plan(requests, self.catalog)
+        self.oracle_predictions = {
+            rid: timing.latency_s for rid, timing in plan.items()}
+
+    def _sync_ledger(self) -> None:
+        self.stats.batches = self.pool.stats.batches
+        self.stats.worker_deaths = self.pool.stats.worker_deaths
+        self.stats.failover_requeues = self.pool.stats.failover_requeues
+
+    async def shutdown(self) -> None:
+        for task in self._batchers.values():
+            task.cancel()
+        self._batchers.clear()
+        self._queues.clear()
+
+
+class SyncServeEngine:
+    """Blocking facade: same engine, loop managed for you."""
+
+    def __init__(self, pool: ShardPool, catalog: ServeCatalog,
+                 **kwargs) -> None:
+        self.engine = AsyncServeEngine(pool, catalog, **kwargs)
+
+    def run(self, requests: List[ServeRequest]) -> ServeReport:
+        async def _serve() -> ServeReport:
+            try:
+                return await self.engine.run(requests)
+            finally:
+                await self.engine.shutdown()
+        return asyncio.run(_serve())
+
+
+# ----------------------------------------------------------------------
+# One-call driver (CLI, benchmarks, tests)
+# ----------------------------------------------------------------------
+def serve_burst(requests: List[ServeRequest],
+                catalog: Optional[ServeCatalog] = None,
+                workers: int = 2, batch_max: int = 4,
+                tenant_queue_limit: int = 32,
+                max_retries: int = 2, tracer=None,
+                verify: bool = False,
+                pool: Optional[ShardPool] = None) -> ServeReport:
+    """Record + warm + serve ``requests``; optionally verify the pool's
+    outputs bit-identical against the in-process single-path reference.
+
+    ``warm_s`` on the report covers recording, worker start and warm
+    (compile + open) — the cold-start cost a long-lived deployment pays
+    once, excluded from throughput.
+    """
+    catalog = catalog or ServeCatalog()
+    warm_specs = catalog.warm_specs(requests)
+    t0 = time.perf_counter()
+    own_pool = pool is None
+    if own_pool:
+        pool = ShardPool(workers=workers, max_retries=max_retries)
+        pool.start()
+    try:
+        for spec in warm_specs:
+            pool.warm(spec)
+        warm_s = time.perf_counter() - t0
+        engine = SyncServeEngine(pool, catalog, batch_max=batch_max,
+                                 tenant_queue_limit=tenant_queue_limit,
+                                 tracer=tracer)
+        report = engine.run(requests)
+        report.warm_s = warm_s
+    finally:
+        if own_pool:
+            pool.close()
+    if verify:
+        # Compare only the requests the pool actually completed —
+        # rejected/aborted requests have no output on either side.
+        done_ids = {r.request_id for r in report.results if r.ok}
+        reference = execute_inline(
+            warm_specs, [catalog.task_for(r) for r in requests
+                         if r.request_id in done_ids])
+        ref_digest = _reference_digest(reference)
+        report.summary["reference_digest"] = ref_digest
+        report.summary["bit_identical"] = (
+            ref_digest == report.identity_digest)
+    return report
+
+
+def _reference_digest(results) -> str:
+    from repro.serve.metrics import IdentityDigest
+    digest = IdentityDigest()
+    for r in results:
+        digest.add(r.task_id, r.output_sha256)
+    return digest.hexdigest()

@@ -1,0 +1,165 @@
+"""Serve metrics: wall-clock p50/p95/p99 rollup + oracle accuracy.
+
+The fleet report (:mod:`repro.fleet.metrics`) reduces *virtual* session
+records; this module is its wall-clock twin for the live engine.  On top
+of the usual latency/throughput/queueing distributions it reports the
+planning oracle's accuracy — predicted vs measured latency per link
+class, and the error distribution — because a serving stack whose
+planner drifts is a stack that will overload itself.
+
+An :class:`IdentityDigest` rolls every request's output hash into one
+order-independent digest, so two engine configurations (N-worker pool
+vs single-process reference) can assert bit-identical service with a
+single comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fleet.metrics import percentile
+from repro.obs.metrics import StatsBase
+from repro.serve.session import ServeResult
+
+PERCENTILES = (50, 95, 99)
+
+
+def _dist(values: List[float]) -> Dict[str, float]:
+    out = {f"p{q}": percentile(values, q) for q in PERCENTILES}
+    out["mean"] = sum(values) / len(values) if values else 0.0
+    out["count"] = len(values)
+    return out
+
+
+@dataclass
+class ServeStats(StatsBase):
+    """Ledger counters mirrored into the serve report."""
+
+    SCHEMA = "repro.serve"
+
+    offered: int = 0
+    completed: int = 0
+    rejected: int = 0
+    aborted: int = 0
+    batches: int = 0
+    worker_deaths: int = 0
+    failover_requeues: int = 0
+
+
+class IdentityDigest:
+    """Order-independent digest over (request_id, output_sha256) pairs."""
+
+    def __init__(self) -> None:
+        self._pairs: List[str] = []
+
+    def add(self, request_id: str, output_sha256: str) -> None:
+        self._pairs.append(f"{request_id}:{output_sha256}")
+
+    def hexdigest(self) -> str:
+        h = hashlib.sha256()
+        for pair in sorted(self._pairs):
+            h.update(pair.encode())
+        return h.hexdigest()
+
+
+@dataclass
+class ServeMetrics:
+    """Accumulates :class:`ServeResult` rows, reduces to the report."""
+
+    results: List[ServeResult] = field(default_factory=list)
+
+    def add(self, result: ServeResult) -> None:
+        self.results.append(result)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> List[ServeResult]:
+        return [r for r in self.results if r.ok]
+
+    def identity_digest(self) -> str:
+        digest = IdentityDigest()
+        for r in self.completed:
+            digest.add(r.request_id, r.output_sha256)
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    def _prediction_section(self, rows: List[ServeResult]) -> Dict:
+        predicted = [r.predicted_s for r in rows]
+        measured = [r.latency_s for r in rows]
+        errors = [abs(r.latency_s - r.predicted_s) for r in rows]
+        # Ratio of measured to predicted: 1.0 = a perfect plan; the p95
+        # of this is the planner's tail honesty.
+        ratios = [r.latency_s / r.predicted_s for r in rows
+                  if r.predicted_s > 0]
+        return {
+            "predicted_s": _dist(predicted),
+            "measured_s": _dist(measured),
+            "abs_error_s": _dist(errors),
+            "measured_over_predicted": _dist(ratios),
+        }
+
+    def summary(self, makespan_s: float,
+                stats: Optional[ServeStats] = None) -> Dict:
+        done = self.completed
+        links = sorted({r.link_name for r in done})
+        doc: Dict = {
+            "requests": {
+                "offered": len(self.results),
+                "completed": len(done),
+                "rejected": sum(1 for r in self.results
+                                if r.status == "rejected"),
+                "aborted": sum(1 for r in self.results
+                               if r.status == "aborted"),
+                "retried": sum(1 for r in done if r.attempts > 1),
+            },
+            "throughput_rps": (len(done) / makespan_s
+                               if makespan_s > 0 else 0.0),
+            "makespan_s": makespan_s,
+            "latency_s": {
+                "overall": _dist([r.latency_s for r in done]),
+                "by_link": {link: _dist([r.latency_s for r in done
+                                         if r.link_name == link])
+                            for link in links},
+            },
+            "service_s": _dist([r.wall_service_s for r in done]),
+            "queue_wait_s": _dist([r.queue_wait_s for r in done]),
+            "virtual_delay_s": _dist([r.delay_s for r in done]),
+            "oracle": {
+                "overall": self._prediction_section(done),
+                "by_link": {link: self._prediction_section(
+                    [r for r in done if r.link_name == link])
+                    for link in links},
+            },
+            "batching": {
+                "mean_batch": (sum(r.batch_size for r in done) / len(done)
+                               if done else 0.0),
+                "max_batch": max((r.batch_size for r in done), default=0),
+            },
+            "workers": {
+                "distinct_pids": len({r.worker_pid for r in done}),
+                "tasks_by_pid": _tasks_by_pid(done),
+            },
+            "identity_digest": self.identity_digest(),
+        }
+        if stats is not None:
+            doc["ledger"] = stats.as_dict()
+        return _round_floats(doc)
+
+
+def _tasks_by_pid(done: List[ServeResult]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for r in done:
+        counts[str(r.worker_pid)] = counts.get(str(r.worker_pid), 0) + 1
+    return counts
+
+
+def _round_floats(doc, digits: int = 9):
+    if isinstance(doc, dict):
+        return {k: _round_floats(v, digits) for k, v in doc.items()}
+    if isinstance(doc, list):
+        return [_round_floats(v, digits) for v in doc]
+    if isinstance(doc, float):
+        return round(doc, digits)
+    return doc

@@ -1,0 +1,242 @@
+"""Serve requests, the recording catalog, and the planning oracle.
+
+The engine serves *replay* traffic: each request names a tenant, a
+workload (resolved to a warmed recording digest), a link class, and a
+deterministic input seed.  :class:`ServeCatalog` owns the record-once
+step — one signed recording per workload, produced by the real
+:class:`~repro.core.recorder.RecordSession` — and the per-tenant warm
+specs derived from it (each tenant warms its own shard entry even for
+bit-identical recordings, §7.1).
+
+:class:`PlanningOracle` is the simulated scheduler retained as a
+planning layer: it runs the same request set through the PR 1
+discrete-event kernel (:mod:`repro.fleet.scheduler`) with ``n_workers``
+server slots and the calibrated per-digest service time, producing a
+*predicted* latency per request.  The engine then reports predicted vs
+measured per link — the planning error is itself a serving metric.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.recorder import RecorderConfig, RecordSession, OURS_MDS
+from repro.fleet.scheduler import Event, Scheduler, Timeout
+from repro.serve.shards import ShardTask, WarmSpec
+
+DEFAULT_LINKS = ("wifi", "cellular")
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One replay request offered to the serving engine."""
+
+    request_id: str
+    tenant_id: str
+    workload: str
+    link_name: str = "wifi"
+    input_seed: int = 0
+    runs: int = 1
+    #: Wall-clock offset from engine start at which the request arrives
+    #: (0.0 everywhere = a closed burst).
+    arrival_offset_s: float = 0.0
+
+
+@dataclass
+class ServeResult:
+    """The engine's answer for one request (rejections included)."""
+
+    request_id: str
+    tenant_id: str
+    workload: str
+    link_name: str
+    ok: bool
+    status: str = "completed"      # completed | rejected | aborted
+    output_sha256: str = ""
+    output_class: int = -1
+    delay_s: float = 0.0           # virtual replay delay (oracle side)
+    wall_service_s: float = 0.0    # shard execution wall time
+    latency_s: float = 0.0         # submit -> result, queueing included
+    queue_wait_s: float = 0.0
+    predicted_s: float = 0.0       # oracle latency for this request
+    worker_pid: int = 0
+    batch_size: int = 0
+    attempts: int = 0
+    error: str = ""
+
+
+# ----------------------------------------------------------------------
+# Workload generation (seeded, deterministic)
+# ----------------------------------------------------------------------
+def make_burst(workloads: List[str], requests: int, tenants: int = 2,
+               seed: int = 0, arrival_rate_hz: float = 0.0,
+               links: Tuple[str, ...] = DEFAULT_LINKS,
+               runs: int = 1) -> List[ServeRequest]:
+    """A reproducible request burst: tenants round-robin, workloads and
+    links drawn from a seeded RNG, Poisson arrival offsets when
+    ``arrival_rate_hz`` > 0 (else a closed burst at t=0)."""
+    if requests < 0:
+        raise ValueError("requests must be >= 0")
+    if tenants < 1:
+        raise ValueError("need at least one tenant")
+    rng = random.Random(seed)
+    offset = 0.0
+    out: List[ServeRequest] = []
+    for i in range(requests):
+        if arrival_rate_hz > 0:
+            offset += rng.expovariate(arrival_rate_hz)
+        out.append(ServeRequest(
+            request_id=f"req-{i:04d}",
+            tenant_id=f"tenant-{i % tenants}",
+            workload=rng.choice(workloads),
+            link_name=rng.choice(list(links)),
+            input_seed=seed * 10007 + i,
+            runs=runs,
+            arrival_offset_s=offset if arrival_rate_hz > 0 else 0.0))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Recording catalog: record once, warm per tenant
+# ----------------------------------------------------------------------
+class ServeCatalog:
+    """Record-once store feeding the shard pool's warm phase.
+
+    A recording is input-independent, so one dry run per workload feeds
+    every tenant's traffic; the *warm specs* stay per-tenant because the
+    shard cache (like the fleet registry) never shares derived state
+    across tenants.
+    """
+
+    def __init__(self, recorder: Optional[RecorderConfig] = None,
+                 seed: int = 0, weight_seed: int = 0) -> None:
+        self.recorder = recorder or OURS_MDS
+        self.seed = seed
+        self.weight_seed = weight_seed
+        self._recordings: Dict[str, Tuple[bytes, str]] = {}
+        self._digests: Dict[str, str] = {}
+
+    def record(self, workload: str) -> str:
+        """Record ``workload`` (idempotent); returns the content digest."""
+        if workload not in self._recordings:
+            session = RecordSession(workload, config=self.recorder,
+                                    seed=self.seed)
+            result = session.run()
+            blob = result.recording.to_bytes()
+            key_hex = session.service.recording_key.secret.hex()
+            self._recordings[workload] = (blob, key_hex)
+            self._digests[workload] = WarmSpec(
+                tenant_id="", workload=workload, recording_blob=blob,
+                key_secret_hex=key_hex).digest()
+        return self._digests[workload]
+
+    def digest_for(self, workload: str) -> str:
+        return self.record(workload)
+
+    def warm_spec(self, tenant_id: str, workload: str) -> WarmSpec:
+        self.record(workload)
+        blob, key_hex = self._recordings[workload]
+        return WarmSpec(tenant_id=tenant_id, workload=workload,
+                        recording_blob=blob, key_secret_hex=key_hex,
+                        weight_seed=self.weight_seed)
+
+    def warm_specs(self, requests: List[ServeRequest]) -> List[WarmSpec]:
+        """One spec per distinct (tenant, workload) in ``requests``."""
+        pairs = sorted({(r.tenant_id, r.workload) for r in requests})
+        return [self.warm_spec(tenant, workload)
+                for tenant, workload in pairs]
+
+    def task_for(self, request: ServeRequest) -> ShardTask:
+        return ShardTask(task_id=request.request_id,
+                         tenant_id=request.tenant_id,
+                         digest=self.digest_for(request.workload),
+                         input_seed=request.input_seed,
+                         runs=request.runs)
+
+
+# ----------------------------------------------------------------------
+# Planning oracle: the discrete-event scheduler predicts latency
+# ----------------------------------------------------------------------
+class _SlotPool:
+    """FIFO admission over N server slots — the VmPool's admission core
+    with the VM lifecycle stripped (shards are long-lived, not
+    single-use)."""
+
+    def __init__(self, scheduler: Scheduler, slots: int) -> None:
+        self.scheduler = scheduler
+        self.slots = slots
+        self.busy = 0
+        self.queue: List[Event] = []
+
+    def acquire(self) -> Event:
+        ev = self.scheduler.event()
+        if self.busy < self.slots:
+            self.busy += 1
+            ev.succeed(None)
+        else:
+            self.queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.queue:
+            self.queue.pop(0).succeed(None)
+        else:
+            self.busy -= 1
+
+
+@dataclass
+class PredictedTiming:
+    """What the oracle expects one request to experience."""
+
+    queue_wait_s: float
+    service_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.queue_wait_s + self.service_s
+
+
+class PlanningOracle:
+    """Discrete-event plan of a request set across ``n_workers`` shards.
+
+    ``service_s_for`` maps (tenant, digest) to the calibrated
+    steady-state replay wall time (measured once per warm, see
+    :meth:`repro.serve.shards.ShardPool.warm`); requests multiply it by
+    their ``runs``.  The simulation yields per-request queueing + service
+    predictions that the metrics rollup compares against measurement.
+    """
+
+    def __init__(self, n_workers: int,
+                 service_s_for: Dict[Tuple[str, str], float],
+                 default_service_s: float = 0.05) -> None:
+        self.n_workers = max(1, n_workers)
+        self.service_s_for = dict(service_s_for)
+        self.default_service_s = default_service_s
+
+    def plan(self, requests: List[ServeRequest],
+             catalog: ServeCatalog) -> Dict[str, PredictedTiming]:
+        scheduler = Scheduler()
+        slots = _SlotPool(scheduler, self.n_workers)
+        predictions: Dict[str, PredictedTiming] = {}
+
+        def session(request: ServeRequest, service_s: float):
+            arrived = scheduler.clock.now
+            grant = slots.acquire()
+            yield grant
+            wait = scheduler.clock.now - arrived
+            yield Timeout(service_s, label="serve")
+            slots.release()
+            predictions[request.request_id] = PredictedTiming(
+                queue_wait_s=wait, service_s=service_s)
+
+        for request in requests:
+            key = (request.tenant_id, catalog.digest_for(request.workload))
+            service = (self.service_s_for.get(key, self.default_service_s)
+                       * max(1, request.runs))
+            scheduler.spawn(session(request, service),
+                            at=request.arrival_offset_s,
+                            name=request.request_id)
+        scheduler.run()
+        return predictions

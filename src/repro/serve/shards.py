@@ -1,0 +1,601 @@
+"""Multiprocessing shard pool: compiled replays across all cores.
+
+Everything else in the serving engine is asyncio inside one process;
+replay itself is CPU-bound numpy + Python, so real throughput needs real
+processes.  A *shard* is one worker process holding warmed
+:class:`~repro.core.compiled.CompiledRecording` programs — parsed,
+signature-verified, compiled and opened once at warm time — and
+executing request batches against them.
+
+The warm cache inside each worker is keyed ``(tenant_id, digest)``,
+mirroring :meth:`repro.fleet.registry.RecordingRegistry.compiled_for`:
+two tenants serving bit-identical recordings still get separate entries,
+and a task is only ever served from its own tenant's entry (§7.1 —
+nothing derived from a recording is shared across clients).
+
+Worker death is a first-class event, not a crash: a watchdog thread
+waits on the process sentinels, respawns a replacement, replays the
+recorded warm-set into it, and requeues the dead worker's in-flight
+tasks — each retry counted against ``max_retries`` exactly like the
+fleet failover ledger bounds VM-death retries (PR 4).  Replay is
+deterministic and side-effect-free outside the worker, so re-executing
+a task on another shard yields bit-identical output.
+
+Wall-clock timing here is intentional (this layer *measures* serving
+latency); nothing it measures ever feeds the virtual clock or a
+recording artifact.
+"""
+# repro-check: module-allow[determinism] -- wall-clock service timing is
+# this module's purpose; measured times never enter recordings.
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from multiprocessing import connection as mp_connection
+import os
+import queue as queue_mod
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import StatsBase
+
+_WARM, _BATCH, _STOP = "warm", "batch", "stop"
+
+#: How long ``close()`` waits for a worker to drain its stop message
+#: before escalating to ``terminate()``.
+_STOP_GRACE_S = 5.0
+
+#: Shards are process-parallel; per-process BLAS threading only
+#: oversubscribes the cores (it measurably hurts replay latency even
+#: with a single worker on this workload's matrix sizes), so worker
+#: processes are spawned with these pinned to one thread.
+_CHILD_THREAD_VARS = ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS",
+                      "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS")
+
+
+class ShardError(RuntimeError):
+    """The pool could not serve a task (not a modelled rejection)."""
+
+
+class ShardAborted(ShardError):
+    """A task exhausted its retry budget across worker deaths."""
+
+
+class ShardIsolationError(ShardError):
+    """A task asked a shard for another tenant's warmed program."""
+
+
+@dataclass(frozen=True)
+class WarmSpec:
+    """Everything a worker needs to warm one (tenant, recording) entry.
+
+    The recording travels as its signed wire bytes plus the service
+    verification key, so the worker re-runs the §7.1 signature check
+    before compiling — a shard never executes an unverified program.
+    """
+
+    tenant_id: str
+    workload: str
+    recording_blob: bytes
+    key_secret_hex: str
+    weight_seed: int = 0
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.recording_blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One replay request as it crosses the process boundary."""
+
+    task_id: str
+    tenant_id: str
+    digest: str
+    input_seed: int = 0
+    runs: int = 1
+
+
+@dataclass
+class ShardResult:
+    """What a worker sends back for one completed task."""
+
+    task_id: str
+    tenant_id: str
+    output: np.ndarray
+    output_sha256: str
+    delay_s: float
+    energy_j: float
+    wall_s: float
+    worker_pid: int
+    batch_size: int
+    attempts: int = 1
+
+
+@dataclass
+class ShardPoolStats(StatsBase):
+    """Pool-level counters the serve report surfaces."""
+
+    SCHEMA = "repro.shards"
+
+    workers: int = 0
+    warms: int = 0
+    batches: int = 0
+    tasks_done: int = 0
+    tasks_failed: int = 0
+    worker_deaths: int = 0
+    failover_requeues: int = 0
+    respawns: int = 0
+
+
+# ----------------------------------------------------------------------
+# Worker side (runs in the child process)
+# ----------------------------------------------------------------------
+class _WarmedProgram:
+    """One opened replay session + its reproducible input generator."""
+
+    def __init__(self, spec: WarmSpec) -> None:
+        from repro.core.recording import Recording
+        from repro.core.replayer import Replayer
+        from repro.core.testbed import ClientDevice
+        from repro.ml.models import build_model
+        from repro.ml.runner import generate_weights
+        from repro.tee.crypto import SigningKey
+
+        key = SigningKey("grt-recording-service",
+                         bytes.fromhex(spec.key_secret_hex))
+        recording = Recording.from_bytes(spec.recording_blob,
+                                         verify_key=key)
+        self.tenant_id = spec.tenant_id
+        self.digest = spec.digest()
+        self.graph = build_model(recording.workload)
+        device = ClientDevice.for_workload(self.graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, verify_key=key,
+                            tenant_id=spec.tenant_id, engine="compiled")
+        self.session = replayer.open(
+            recording, generate_weights(self.graph, seed=spec.weight_seed))
+
+    def input_for(self, seed: int) -> np.ndarray:
+        rng = np.random.RandomState(seed)
+        return rng.rand(*self.graph.input_shape).astype(np.float32)
+
+    def execute(self, task: ShardTask, batch_size: int) -> ShardResult:
+        if task.tenant_id != self.tenant_id:
+            raise ShardIsolationError(
+                f"task for {task.tenant_id!r} reached "
+                f"{self.tenant_id!r}'s warmed program")
+        inp = self.input_for(task.input_seed)
+        t0 = time.perf_counter()
+        out = None
+        for _ in range(max(1, task.runs)):
+            out = self.session.run(inp)
+        wall = time.perf_counter() - t0
+        return ShardResult(
+            task_id=task.task_id, tenant_id=task.tenant_id,
+            output=out.output,
+            output_sha256=hashlib.sha256(out.output.tobytes()).hexdigest(),
+            delay_s=out.delay_s, energy_j=out.energy_j, wall_s=wall,
+            worker_pid=os.getpid(), batch_size=batch_size)
+
+
+def execute_inline(warm_specs: List[WarmSpec],
+                   tasks: List[ShardTask]) -> List[ShardResult]:
+    """Run ``tasks`` in this process through the exact worker code path.
+
+    This is the single-process reference the bit-identity gate compares
+    the pool against: same warm path, same input generation, same
+    session reuse — only the process boundary removed.
+    """
+    cache: Dict[Tuple[str, str], _WarmedProgram] = {}
+    for spec in warm_specs:
+        entry = _WarmedProgram(spec)
+        cache[(spec.tenant_id, entry.digest)] = entry
+    results = []
+    for task in tasks:
+        entry = cache.get((task.tenant_id, task.digest))
+        if entry is None:
+            raise ShardError(f"task {task.task_id}: no warmed program for "
+                             f"({task.tenant_id}, {task.digest[:12]})")
+        results.append(entry.execute(task, batch_size=1))
+    return results
+
+
+def _shard_worker(worker_id: int, task_q, result_q) -> None:
+    """Worker main loop: warm programs, execute batches, until stop."""
+    cache: Dict[Tuple[str, str], _WarmedProgram] = {}
+    while True:
+        message = task_q.get()
+        kind = message[0]
+        if kind == _STOP:
+            result_q.put(("stopped", worker_id, None, None))
+            return
+        if kind == _WARM:
+            warm_id, spec = message[1], message[2]
+            try:
+                t0 = time.perf_counter()
+                entry = _WarmedProgram(spec)
+                warm_s = time.perf_counter() - t0
+                # Calibration: one timed steady-state replay, so the
+                # planning oracle predicts from a measured service time
+                # rather than a guess.
+                calib = entry.execute(
+                    ShardTask(task_id="__calibrate__",
+                              tenant_id=spec.tenant_id,
+                              digest=entry.digest, input_seed=0),
+                    batch_size=1)
+                cache[(spec.tenant_id, entry.digest)] = entry
+                result_q.put(("warmed", worker_id, warm_id, {
+                    "tenant_id": spec.tenant_id,
+                    "digest": entry.digest,
+                    "warm_s": warm_s,
+                    "calibrate_wall_s": calib.wall_s,
+                }))
+            except Exception as exc:  # noqa: BLE001 - crosses process
+                result_q.put(("warmfail", worker_id, warm_id, repr(exc)))
+        elif kind == _BATCH:
+            tasks: List[ShardTask] = message[1]
+            for task in tasks:
+                try:
+                    entry = cache.get((task.tenant_id, task.digest))
+                    if entry is None:
+                        raise ShardError(
+                            f"no warmed program for ({task.tenant_id}, "
+                            f"{task.digest[:12]})")
+                    result = entry.execute(task, batch_size=len(tasks))
+                    result_q.put(("result", worker_id, task.task_id,
+                                  result))
+                except Exception as exc:  # noqa: BLE001 - crosses process
+                    result_q.put(("taskfail", worker_id, task.task_id,
+                                  repr(exc)))
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _InFlight:
+    task: ShardTask
+    future: Future
+    attempts: int = 1
+
+
+@dataclass
+class _WarmWait:
+    """One caller blocked on one worker acking one warm spec.
+
+    Holding the spec lets the watchdog re-attach the waiter to a
+    replacement worker when the original dies mid-warm, so ``warm()``
+    rides through a death instead of raising.
+    """
+
+    spec: WarmSpec
+    event: threading.Event = field(default_factory=threading.Event)
+    error: Optional[str] = None
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one shard process."""
+
+    def __init__(self, index: int, process, task_q) -> None:
+        self.index = index
+        self.process = process
+        self.task_q = task_q
+        self.inflight: Dict[str, _InFlight] = {}
+        self.tasks_done = 0
+        self.alive = True
+
+
+class ShardPool:
+    """N worker processes behind per-worker task queues.
+
+    Thread-safe from the parent side: ``submit``/``warm`` may be called
+    from the asyncio loop thread while the collector and watchdog
+    threads resolve futures and handle deaths.  All returned futures are
+    :class:`concurrent.futures.Future` — the asyncio engine bridges them
+    with ``asyncio.wrap_future``.
+    """
+
+    def __init__(self, workers: int = 2, max_retries: int = 2,
+                 mp_context: str = "spawn") -> None:
+        if workers < 1:
+            raise ValueError("pool needs at least one worker")
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.n_workers = workers
+        self.max_retries = max_retries
+        self.stats = ShardPoolStats(workers=workers)
+        self._workers: List[_WorkerHandle] = []
+        self._result_q = self._ctx.Queue()
+        self._lock = threading.RLock()
+        self._warm_specs: List[WarmSpec] = []
+        self._warm_waits: Dict[Tuple[int, int], _WarmWait] = {}
+        self._warm_info: Dict[Tuple[str, str], Dict] = {}
+        self._next_warm_id = 0
+        self._rr = 0
+        self._started = False
+        self._closing = False
+        self._collector: Optional[threading.Thread] = None
+        self._watchdog: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for index in range(self.n_workers):
+            self._workers.append(self._spawn(index))
+        self._collector = threading.Thread(target=self._collect,
+                                           name="shard-collector",
+                                           daemon=True)
+        self._collector.start()
+        self._watchdog = threading.Thread(target=self._watch,
+                                          name="shard-watchdog",
+                                          daemon=True)
+        self._watchdog.start()
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        task_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_shard_worker, args=(index, task_q, self._result_q),
+            name=f"shard-{index}", daemon=True)
+        saved = {var: os.environ.get(var) for var in _CHILD_THREAD_VARS}
+        for var in _CHILD_THREAD_VARS:
+            os.environ[var] = "1"
+        try:
+            process.start()
+        finally:
+            for var, value in saved.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+        return _WorkerHandle(index, process, task_q)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            workers = list(self._workers)
+        for handle in workers:
+            if handle.alive:
+                try:
+                    handle.task_q.put((_STOP,))
+                except Exception:  # noqa: BLE001 - queue may be gone
+                    pass
+        for handle in workers:
+            handle.process.join(timeout=_STOP_GRACE_S)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=_STOP_GRACE_S)
+        # Unblock the collector thread, then reap both service threads
+        # and the queues so nothing races interpreter teardown.
+        self._result_q.put(("__closed__", -1, None, None))
+        if self._collector is not None:
+            self._collector.join(timeout=_STOP_GRACE_S)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=_STOP_GRACE_S)
+        for handle in workers:
+            handle.task_q.close()
+            handle.task_q.cancel_join_thread()
+        self._result_q.close()
+        self._result_q.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_workers(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._workers if w.alive)
+
+    def warm_info(self, tenant_id: str, digest: str) -> Optional[Dict]:
+        """Calibration data recorded when (tenant, digest) was warmed."""
+        return self._warm_info.get((tenant_id, digest))
+
+    # ------------------------------------------------------------------
+    def warm(self, spec: WarmSpec, timeout_s: float = 120.0) -> str:
+        """Warm ``spec`` into every worker; returns the content digest.
+
+        Blocks until every live worker acks (parse + verify + compile +
+        open + calibration replay), so by the time ``warm`` returns the
+        pool serves this (tenant, digest) at steady-state cost.
+        """
+        if not self._started:
+            raise ShardError("pool not started")
+        with self._lock:
+            self._warm_specs.append(spec)
+            targets = [w for w in self._workers if w.alive]
+            waits = []
+            for handle in targets:
+                warm_id = self._next_warm_id
+                self._next_warm_id += 1
+                wait = _WarmWait(spec)
+                self._warm_waits[(handle.index, warm_id)] = wait
+                waits.append(wait)
+                handle.task_q.put((_WARM, warm_id, spec))
+        deadline = time.perf_counter() + timeout_s
+        for wait in waits:
+            remaining = deadline - time.perf_counter()
+            if not wait.event.wait(timeout=max(0.0, remaining)):
+                raise ShardError(
+                    f"a worker did not warm {spec.workload!r} within "
+                    f"{timeout_s:g}s")
+            if wait.error is not None:
+                raise ShardError(f"worker failed to warm: {wait.error}")
+        self.stats.warms += 1
+        return spec.digest()
+
+    # ------------------------------------------------------------------
+    def submit(self, tasks: List[ShardTask]) -> List[Future]:
+        """Dispatch one batch (same tenant) to the least-loaded worker."""
+        if not tasks:
+            return []
+        with self._lock:
+            live = [w for w in self._workers if w.alive]
+            if not live:
+                raise ShardError("no live workers")
+            # Least-loaded, round-robin on ties, so batches spread
+            # across shards instead of piling on worker 0.
+            self._rr += 1
+            handle = min(live, key=lambda w: (len(w.inflight),
+                                              (w.index - self._rr)
+                                              % len(self._workers)))
+            futures = []
+            for task in tasks:
+                future: Future = Future()
+                handle.inflight[task.task_id] = _InFlight(task, future)
+                futures.append(future)
+            handle.task_q.put((_BATCH, tasks))
+            self.stats.batches += 1
+        return futures
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        """Resolve futures from the shared result queue."""
+        while True:
+            try:
+                kind, worker_id, ident, payload = self._result_q.get(
+                    timeout=0.5)
+            except queue_mod.Empty:
+                if self._closing:
+                    return
+                continue
+            if kind == "__closed__":
+                return
+            if kind == "warmed":
+                with self._lock:
+                    self._warm_info[(payload["tenant_id"],
+                                     payload["digest"])] = payload
+                    wait = self._warm_waits.pop((worker_id, ident), None)
+                if wait is not None:
+                    wait.event.set()
+            elif kind == "warmfail":
+                with self._lock:
+                    wait = self._warm_waits.pop((worker_id, ident), None)
+                if wait is not None:
+                    wait.error = payload
+                    wait.event.set()
+            elif kind in ("result", "taskfail"):
+                with self._lock:
+                    handle = self._handle(worker_id)
+                    entry = (handle.inflight.pop(ident, None)
+                             if handle else None)
+                    if handle:
+                        handle.tasks_done += 1
+                if entry is None:
+                    continue
+                if kind == "result":
+                    payload.attempts = entry.attempts
+                    self.stats.tasks_done += 1
+                    entry.future.set_result(payload)
+                else:
+                    self.stats.tasks_failed += 1
+                    entry.future.set_exception(ShardError(payload))
+            elif kind == "stopped":
+                continue
+
+    def _handle(self, worker_id: int) -> Optional[_WorkerHandle]:
+        for handle in self._workers:
+            if handle.index == worker_id and handle.alive:
+                return handle
+        return None
+
+    # ------------------------------------------------------------------
+    def _watch(self) -> None:
+        """Respawn dead workers and requeue their in-flight tasks."""
+        while not self._closing:
+            with self._lock:
+                sentinels = {w.process.sentinel: w
+                             for w in self._workers if w.alive}
+            if not sentinels:
+                time.sleep(0.05)
+                continue
+            ready = mp_connection.wait(list(sentinels), timeout=0.25)
+            if self._closing:
+                return
+            for sentinel in ready:
+                self._on_death(sentinels[sentinel])
+
+    def _on_death(self, handle: _WorkerHandle) -> None:
+        with self._lock:
+            if not handle.alive or self._closing:
+                return
+            handle.alive = False
+            self.stats.worker_deaths += 1
+            orphans = list(handle.inflight.values())
+            handle.inflight.clear()
+            # Callers blocked in warm() on this worker are re-attached
+            # to the replacement below — a death mid-warm is absorbed,
+            # not raised.
+            pending = [self._warm_waits.pop(key)
+                       for key in [k for k in self._warm_waits
+                                   if k[0] == handle.index]]
+            # The dead worker's queue: its feeder thread can block
+            # forever on the full pipe (the child will never drain it),
+            # so detach it from interpreter-exit joining.
+            handle.task_q.cancel_join_thread()
+            handle.task_q.close()
+            # Replacement shard: same index, fresh process, re-warmed
+            # from the recorded warm-set before it can take traffic.
+            replacement = self._spawn(handle.index)
+            self._workers[self._workers.index(handle)] = replacement
+            self.stats.respawns += 1
+            for spec in self._warm_specs:
+                warm_id = self._next_warm_id
+                self._next_warm_id += 1
+                wait = next((w for w in pending if w.spec is spec), None)
+                if wait is not None:
+                    pending.remove(wait)
+                else:
+                    wait = _WarmWait(spec)
+                self._warm_waits[(replacement.index, warm_id)] = wait
+                replacement.task_q.put((_WARM, warm_id, spec))
+            for wait in pending:  # spec unknown to the pool (shouldn't
+                wait.error = "worker died while warming"  # happen)
+                wait.event.set()
+        # Requeue orphans outside the lock; each retry is a failover,
+        # bounded like the fleet ledger's max_failovers.
+        for orphan in orphans:
+            if orphan.attempts > self.max_retries:
+                self.stats.tasks_failed += 1
+                orphan.future.set_exception(ShardAborted(
+                    f"task {orphan.task.task_id} lost to "
+                    f"{orphan.attempts} worker death(s)"))
+                continue
+            self.stats.failover_requeues += 1
+            with self._lock:
+                live = [w for w in self._workers if w.alive]
+                if not live:
+                    orphan.future.set_exception(
+                        ShardAborted("no live workers for requeue"))
+                    continue
+                target = min(live, key=lambda w: len(w.inflight))
+                orphan.attempts += 1
+                target.inflight[orphan.task.task_id] = orphan
+                target.task_q.put((_BATCH, [orphan.task]))
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int = 0) -> bool:
+        """Hard-kill one worker (tests + chaos drills); the watchdog
+        respawns it and requeues its in-flight tasks."""
+        with self._lock:
+            for handle in self._workers:
+                if handle.index == index and handle.alive:
+                    handle.process.kill()
+                    return True
+        return False
+
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [w.process.pid for w in self._workers if w.alive]

@@ -1,0 +1,146 @@
+"""Integration tests: the serving engine over real worker processes.
+
+These spawn actual shard workers (multiprocessing "spawn"), so they
+cover what the unit tests fake: cross-process warm + execute, bit-exact
+outputs vs the in-process reference, worker-death respawn, and in-flight
+failover requeue.  mnist keeps warm and replay times small.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import (
+    ServeCatalog,
+    ShardError,
+    ShardPool,
+    ShardTask,
+    execute_inline,
+    make_burst,
+    serve_burst,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = ServeCatalog()
+    cat.record("mnist")
+    return cat
+
+
+class TestServeBurst:
+    def test_burst_completes_bit_identical(self, catalog):
+        requests = make_burst(["mnist"], 12, tenants=2, seed=0)
+        report = serve_burst(requests, catalog=catalog, workers=2,
+                             verify=True)
+        assert report.ok
+        assert report.summary["bit_identical"] is True
+        assert report.summary["requests"]["completed"] == 12
+        assert report.summary["workers"]["distinct_pids"] == 2
+        assert report.summary["throughput_rps"] > 0
+
+    def test_paced_arrivals_and_oracle(self, catalog):
+        requests = make_burst(["mnist"], 8, tenants=2, seed=1,
+                              arrival_rate_hz=200.0)
+        report = serve_burst(requests, catalog=catalog, workers=2)
+        assert report.ok
+        # Every request carries a calibrated, non-zero prediction.
+        assert all(r.predicted_s > 0 for r in report.results)
+        oracle = report.summary["oracle"]["overall"]
+        assert oracle["predicted_s"]["count"] == 8
+
+    def test_two_sessions_same_recording_share_digest(self, catalog):
+        """Two tenants serving the same workload use the same recording
+        digest but warm separate per-tenant entries (§7.1)."""
+        requests = make_burst(["mnist"], 4, tenants=2, seed=2)
+        specs = catalog.warm_specs(requests)
+        assert len(specs) == 2  # one per tenant
+        assert len({s.digest() for s in specs}) == 1  # same content
+
+
+class TestWorkerDeath:
+    def test_respawn_then_serve(self, catalog):
+        """Kill a worker; the watchdog respawns and re-warms it, and the
+        pool serves the next burst across both shards, bit-identically."""
+        requests = make_burst(["mnist"], 8, tenants=2, seed=3)
+        with ShardPool(workers=2) as pool:
+            for spec in catalog.warm_specs(requests):
+                pool.warm(spec)
+            before = set(pool.worker_pids())
+            assert pool.kill_worker(0)
+            deadline = time.perf_counter() + 30.0
+            while time.perf_counter() < deadline:
+                if (pool.stats.respawns >= 1
+                        and pool.alive_workers == 2
+                        and set(pool.worker_pids()) != before):
+                    break
+                time.sleep(0.02)
+            assert pool.stats.worker_deaths == 1
+            assert pool.alive_workers == 2
+            report = serve_burst(requests, catalog=catalog, pool=pool,
+                                 verify=True)
+        assert report.ok
+        assert report.summary["bit_identical"] is True
+
+    def test_inflight_tasks_failover_to_surviving_worker(self, catalog):
+        """Tasks lost to a worker death requeue onto a live shard and
+        resolve with attempts=2; the ledger counts the failover."""
+        spec = catalog.warm_spec("tenant-0", "mnist")
+        long_tasks = [
+            ShardTask(task_id=f"long-{i}", tenant_id="tenant-0",
+                      digest=spec.digest(), input_seed=i, runs=400)
+            for i in range(2)]
+        with ShardPool(workers=2) as pool:
+            pool.warm(spec)
+            futures = pool.submit([long_tasks[0]])
+            futures += pool.submit([long_tasks[1]])
+            # Both workers are now busy on a long task; kill one while
+            # its task is in flight.
+            time.sleep(0.05)
+            assert pool.kill_worker(0)
+            results = [f.result(timeout=60) for f in futures]
+            assert pool.stats.worker_deaths == 1
+            assert pool.stats.failover_requeues >= 1
+            assert {r.task_id for r in results} == {"long-0", "long-1"}
+            retried = [r for r in results if r.attempts == 2]
+            assert len(retried) >= 1
+            # The retried output is bit-identical to the reference.
+            reference = {
+                r.task_id: r.output_sha256
+                for r in execute_inline([spec], long_tasks)}
+            for r in results:
+                assert r.output_sha256 == reference[r.task_id]
+
+    def test_abort_after_retry_budget(self, catalog):
+        """A task that keeps losing its worker aborts once attempts
+        exceed max_retries instead of retrying forever."""
+        spec = catalog.warm_spec("tenant-0", "mnist")
+        task = ShardTask(task_id="doomed", tenant_id="tenant-0",
+                         digest=spec.digest(), input_seed=0, runs=4000)
+        with ShardPool(workers=1, max_retries=0) as pool:
+            pool.warm(spec)
+            (future,) = pool.submit([task])
+            time.sleep(0.05)
+            assert pool.kill_worker(0)
+            with pytest.raises(ShardError):
+                future.result(timeout=60)
+            assert pool.stats.tasks_failed >= 1
+
+
+class TestShardGuards:
+    def test_unwarmed_tenant_cannot_execute(self, catalog):
+        """A task naming a tenant the pool never warmed fails — there is
+        no cross-tenant fallback entry to serve it from (§7.1)."""
+        spec = catalog.warm_spec("tenant-0", "mnist")
+        task = ShardTask(task_id="foreign", tenant_id="tenant-1",
+                         digest=spec.digest(), input_seed=0)
+        with ShardPool(workers=1) as pool:
+            pool.warm(spec)
+            (future,) = pool.submit([task])
+            with pytest.raises(ShardError, match="no warmed program"):
+                future.result(timeout=60)
+
+    def test_pool_requires_start(self, catalog):
+        pool = ShardPool(workers=1)
+        with pytest.raises(ShardError, match="not started"):
+            pool.warm(catalog.warm_spec("tenant-0", "mnist"))

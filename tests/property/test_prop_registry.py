@@ -1,0 +1,106 @@
+"""Property/stress tests for concurrent registry access.
+
+The serving engine replays through :class:`RecordingRegistry` from many
+sessions at once, so two invariants must hold under arbitrary
+interleavings: sessions racing on the same (tenant, digest) share ONE
+compiled program (a single ``build()``), and no session ever observes
+another tenant's entry — even when tenants race on identical digests
+and evictions run mid-flight (§7.1).
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import RecordingRegistry
+
+
+def _schedule():
+    # (session index -> (tenant index, digest index)) pairs; small
+    # alphabets force heavy collisions on both axes.
+    return st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)),
+                    min_size=2, max_size=12)
+
+
+class TestConcurrentRegistryProperties:
+    @given(_schedule())
+    @settings(max_examples=25, deadline=None)
+    def test_one_build_per_key_and_strict_tenant_scope(self, plan):
+        """N racing sessions -> exactly one build per distinct key, and
+        every session gets its own tenant's program object."""
+        reg = RecordingRegistry()
+        build_log = []
+        log_lock = threading.Lock()
+        barrier = threading.Barrier(len(plan))
+        seen = [None] * len(plan)
+
+        def build(tenant, digest):
+            def _build():
+                with log_lock:
+                    build_log.append((tenant, digest))
+                return ("compiled", tenant, digest)
+            return _build
+
+        def session(i, tenant, digest):
+            barrier.wait()
+            seen[i] = (tenant,
+                       reg.compiled_for(tenant, digest,
+                                        build(tenant, digest)))
+
+        threads = [
+            threading.Thread(target=session,
+                             args=(i, f"t{t}", f"d{d}"))
+            for i, (t, d) in enumerate(plan)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        distinct = {(f"t{t}", f"d{d}") for t, d in plan}
+        assert sorted(build_log) == sorted(distinct)
+        assert reg.compiled_count() == len(distinct)
+        # Tenant scope: a session only ever holds its own tenant's
+        # program, and same-key sessions share one object.
+        by_key = {}
+        for i, (t, d) in enumerate(plan):
+            tenant, program = seen[i]
+            assert program == ("compiled", tenant, f"d{d}")
+            by_key.setdefault((tenant, f"d{d}"), program)
+            assert by_key[(tenant, f"d{d}")] is program
+
+    @given(_schedule(), st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_eviction_races_never_leak_across_tenants(self, plan, victim):
+        """Evicting one tenant mid-traffic never disturbs another
+        tenant's programs or leaks the victim's entries to them."""
+        reg = RecordingRegistry()
+        barrier = threading.Barrier(len(plan) + 1)
+        seen = [None] * len(plan)
+
+        def session(i, tenant, digest):
+            barrier.wait()
+            seen[i] = reg.compiled_for(
+                tenant, digest, lambda: ("compiled", tenant, digest))
+
+        def evictor():
+            barrier.wait()
+            reg.evict_tenant(f"t{victim}")
+
+        threads = [threading.Thread(target=session,
+                                    args=(i, f"t{t}", f"d{d}"))
+                   for i, (t, d) in enumerate(plan)]
+        threads.append(threading.Thread(target=evictor))
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        # Whatever the interleaving, every session got a program built
+        # for ITS tenant (never the victim's leftover or a neighbour's).
+        for i, (t, d) in enumerate(plan):
+            assert seen[i] == ("compiled", f"t{t}", f"d{d}")
+        # Post-eviction state is internally consistent: any surviving
+        # compiled entry belongs to a live bucket's tenant or a tenant
+        # that simply has no recordings; none belong to a foreign pair.
+        for (tenant, digest) in reg._compiled:
+            assert reg._compiled[(tenant, digest)][1] == tenant

@@ -261,6 +261,78 @@ class TestRecordingRegistry:
         assert len(reg) == 2
         assert reg.audit_isolation() == 2
 
+    def test_evict_tenant_drops_compiled_entries_too(self):
+        """Regression: eviction must not strand a tenant's compiled
+        programs — derived state may not outlive its recording (§7.1)."""
+        reg = RecordingRegistry()
+        reg.store("t1", _entry("t1", _key("mnist")))
+        reg.store("t2", _entry("t2", _key("mnist")))
+        reg.compiled_for("t1", "d1", lambda: object())
+        reg.compiled_for("t1", "d2", lambda: object())
+        reg.compiled_for("t2", "d1", lambda: object())
+        evicted = reg.evict_tenant("t1")
+        assert evicted.recordings == 1
+        assert evicted.compiled == 2
+        assert reg.compiled_count() == 1
+        assert reg.tenants() == ("t2",)
+        # t2's compiled program survived untouched.
+        sentinel = object()
+        assert reg.compiled_for("t2", "d1", lambda: sentinel) is not sentinel
+        # t1 coming back pays the full build again.
+        assert reg.compiled_for("t1", "d1", lambda: sentinel) is sentinel
+
+    def test_evict_unknown_tenant_is_a_noop(self):
+        reg = RecordingRegistry()
+        evicted = reg.evict_tenant("ghost")
+        assert (evicted.recordings, evicted.compiled) == (0, 0)
+
+    def test_concurrent_compiled_for_builds_once_and_shares(self):
+        """Racing sessions on a cold (tenant, digest) get one shared
+        program; no tenant ever sees another tenant's entry."""
+        import threading
+
+        reg = RecordingRegistry()
+        builds = []
+        barrier = threading.Barrier(8)
+        results = {}
+
+        def build(tenant):
+            def _build():
+                builds.append(tenant)
+                return ("compiled", tenant)
+            return _build
+
+        def session(i):
+            tenant = f"t{i % 2}"
+            barrier.wait()
+            got = reg.compiled_for(tenant, "digest-x", build(tenant))
+            results[i] = (tenant, got)
+
+        threads = [threading.Thread(target=session, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # One build per tenant, not per session.
+        assert sorted(builds) == ["t0", "t1"]
+        assert reg.compiled_count() == 2
+        for _, (tenant, got) in results.items():
+            assert got == ("compiled", tenant)
+        # Everyone with the same tenant shares the same object.
+        shared = {tenant: got for tenant, got in results.values()}
+        for tenant, got in results.values():
+            assert shared[tenant] is got
+
+    def test_failed_build_releases_the_key(self):
+        reg = RecordingRegistry()
+        with pytest.raises(RuntimeError, match="boom"):
+            reg.compiled_for("t1", "d1",
+                             lambda: (_ for _ in ()).throw(
+                                 RuntimeError("boom")))
+        sentinel = object()
+        assert reg.compiled_for("t1", "d1", lambda: sentinel) is sentinel
+
 
 # ---------------------------------------------------------------------------
 # Workload generator
