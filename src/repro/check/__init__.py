@@ -21,14 +21,20 @@ This package is the reproduction's analogue, in two halves:
   - ``release-consistency`` — commits must precede ``unlock()``; lock
     use must be structured so that holds (§4.1);
   - ``determinism`` — no wall clock, no unseeded randomness anywhere
-    in ``repro`` (§2.3).
+    in ``repro`` (§2.3);
+  - the **concurrency rules** (``--concurrency``) — lock discipline
+    over thread-shared state: ``conc-unlocked-shared``,
+    ``conc-lock-order``, ``conc-await-holding-lock``,
+    ``conc-unjoined-thread`` (see :mod:`repro.check.rules_conc`).
 
 * The **runtime sanitizer** (:class:`~repro.check.specsan.SpecSan`)
   taint-tracks speculative state through a live record run and asserts
   §4.2's no-externalization-before-validation, §4.1's release
   consistency, and §5's meta-only traffic;
   :class:`~repro.check.specsan.FleetSpecSan` does the same for fleet
-  tenant isolation (§7.1).
+  tenant isolation (§7.1); :class:`~repro.check.racesan.RaceSan` is the
+  concurrency counterpart — a vector-clock happens-before and lock-order
+  sanitizer the serve layer opts into (``repro serve --racesan``).
 
 Suppressions are inline and must carry a justification::
 
@@ -38,6 +44,7 @@ An ``allow`` without a reason is itself a finding.
 """
 
 from repro.check.findings import CheckReport, Finding, PollSite, RULES
+from repro.check.racesan import RaceSan, RaceSanViolation
 from repro.check.runner import main, run_check
 from repro.check.specsan import FleetSpecSan, SpecSan, SpecSanViolation
 
@@ -47,6 +54,8 @@ __all__ = [
     "FleetSpecSan",
     "PollSite",
     "RULES",
+    "RaceSan",
+    "RaceSanViolation",
     "SpecSan",
     "SpecSanViolation",
     "main",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 _PRAGMA_RE = re.compile(
     r"#\s*repro-check:\s*(?P<kind>module-allow|allow)"
@@ -234,6 +234,305 @@ def qualname(func: Optional[ast.AST], cls: Optional[ast.ClassDef]) -> str:
 
 def names_in(node: ast.AST) -> List[str]:
     return [n.id for n in ast.walk(node) if isinstance(n, ast.Name)]
+
+
+# ---------------------------------------------------------------------------
+# Concurrency helpers: lock-scope CFG walk + thread-entry escape analysis
+#
+# The concurrency rules need two structural facts the other rules don't:
+# (1) which statements execute while which locks are held (a lexical
+# scope walk over ``with``-statements — precise enough because every
+# sanctioned lock in this codebase is scope-held), and (2) which methods
+# of a class run on which thread — the *escape* analysis: a method
+# passed as a ``threading.Thread`` target escapes the caller's thread,
+# and everything it calls through ``self`` escapes with it.
+
+
+def lockish(name: str) -> bool:
+    """True when an attribute/variable name denotes a mutual-exclusion
+    lock.  Matches the repo's naming convention (``_lock``, ``hwaccess_
+    lock``, ``mutex``); semaphores and asyncio primitives are *not*
+    locks for ordering purposes."""
+    tail = name.split(".")[-1].lower()
+    return "lock" in tail or "mutex" in tail or tail == "mu" or tail.endswith("_mu")
+
+
+def with_lock_names(stmt: ast.AST) -> List[str]:
+    """Lock names acquired by a ``with``/``async with``, in item order."""
+    if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return []
+    names: List[str] = []
+    for item in stmt.items:
+        chain = attr_chain(item.context_expr)
+        if chain is not None and lockish(chain):
+            names.append(chain)
+    return names
+
+
+class LockScopeWalker:
+    """Walk one function body tracking the lexically-held lock set.
+
+    Yields ``(node, held)`` for every statement and expression node,
+    where ``held`` is the tuple of lock names (outermost first) whose
+    ``with`` scope encloses the node.  Nested function/class definitions
+    are not entered — they execute later, on whatever thread calls them.
+    Additionally records every nested acquisition as an *order edge*
+    ``(outer, inner, node)`` for the lock-order graph.
+    """
+
+    def __init__(self) -> None:
+        self.order_edges: List[Tuple[str, str, ast.AST]] = []
+
+    def walk(self, func: ast.AST) -> Iterator[Tuple[ast.AST, Tuple[str, ...]]]:
+        return self._visit_body(getattr(func, "body", []), ())
+
+    def _visit_body(self, body, held: Tuple[str, ...]):
+        for stmt in body:
+            for item in self._visit_stmt(stmt, held):
+                yield item
+
+    def _visit_stmt(self, stmt: ast.AST, held: Tuple[str, ...]):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # deferred execution: not part of this scope
+        yield stmt, held
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locks = with_lock_names(stmt)
+            inner = held
+            for lock in locks:
+                for outer in inner:
+                    if outer != lock:  # re-entry of an RLock is not an edge
+                        self.order_edges.append((outer, lock, stmt))
+                inner = inner + (lock,)
+            for item in stmt.items:
+                for sub in ast.walk(item.context_expr):
+                    yield sub, held
+            for item in self._visit_body(stmt.body, inner):
+                yield item
+            return
+        # Compound statements: recurse into bodies with the same held
+        # set; expression children are yielded flat.
+        for field_name, value in ast.iter_fields(stmt):
+            if isinstance(value, list) and value and isinstance(value[0], ast.AST):
+                if all(isinstance(v, ast.stmt) for v in value):
+                    for item in self._visit_body(value, held):
+                        yield item
+                else:
+                    for v in value:
+                        for sub in ast.walk(v):
+                            yield sub, held
+            elif isinstance(value, ast.AST):
+                for sub in ast.walk(value):
+                    yield sub, held
+
+
+#: methods whose call mutates the receiver in place
+MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "discard", "add", "clear",
+    "update", "setdefault", "pop", "popitem", "popleft", "appendleft",
+}
+
+#: identity tag for code reachable from the object's public surface —
+#: the caller's thread.  asyncio callbacks run here too: tasks on one
+#: event loop are mutually exclusive outside ``await`` points, so the
+#: loop is a single identity for data-race purposes.
+CALLER_THREAD = "caller"
+
+
+@dataclass
+class ThreadEntry:
+    """One place a class hands a callable to another thread of control."""
+
+    kind: str  # "thread" | "process" | "task"
+    method: str  # method name, or "" when the target is not self.<m>
+    node: ast.AST
+
+
+@dataclass
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method."""
+
+    attr: str
+    write: bool
+    line: int
+    locked: bool
+    method: str
+    identities: frozenset = frozenset()
+
+
+class ClassConcurrencyModel:
+    """Escape analysis for one class: which methods run on which thread,
+    which ``self`` attributes they touch, and under which locks.
+
+    Thread identities are ``caller`` (public methods, dunders, asyncio
+    callbacks) plus one ``thread:<target>`` per ``threading.Thread``
+    target method.  ``multiprocessing`` targets are recorded as entries
+    (for the unjoined-thread rule) but contribute **no** shared-memory
+    identity: spawn children share nothing, so cross-process accesses
+    are out of scope by construction (documented in DESIGN.md).
+    """
+
+    THREAD_CTORS = ("Thread",)
+    PROCESS_CTORS = ("Process",)
+    TASK_FNS = ("create_task", "ensure_future", "call_soon",
+                "call_soon_threadsafe", "call_later", "run_in_executor")
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.cls = cls
+        self.methods: Dict[str, ast.AST] = {}
+        for node in cls.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods[node.name] = node
+        self.entries: List[ThreadEntry] = []
+        self._find_entries()
+        self.identities = self._propagate_identities()
+        self.accesses = self._collect_accesses()
+
+    # -- entry discovery ---------------------------------------------------
+    def _find_entries(self) -> None:
+        for method in self.methods.values():
+            for node in ast.walk(method):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in self.THREAD_CTORS + self.PROCESS_CTORS:
+                    kind = "thread" if name in self.THREAD_CTORS else "process"
+                    self.entries.append(
+                        ThreadEntry(kind, self._target_method(node), node))
+                elif name in self.TASK_FNS:
+                    target = ""
+                    for arg in node.args:
+                        target = self._self_method(arg) or target
+                    if target:
+                        self.entries.append(ThreadEntry("task", target, node))
+
+    def _target_method(self, call: ast.Call) -> str:
+        for kw in call.keywords:
+            if kw.arg == "target":
+                return self._self_method(kw.value) or ""
+        return ""
+
+    def _self_method(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Call):
+            node = node.func
+        chain = attr_chain(node)
+        if chain and chain.startswith("self.") and chain.count(".") == 1:
+            name = chain.split(".", 1)[1]
+            if name in self.methods:
+                return name
+        return None
+
+    # -- identity propagation ----------------------------------------------
+    def _propagate_identities(self) -> Dict[str, Set[str]]:
+        identities: Dict[str, Set[str]] = {m: set() for m in self.methods}
+        for name in self.methods:
+            if name == "__init__":
+                continue  # runs before any thread exists
+            if not name.startswith("_") or (
+                name.startswith("__") and name.endswith("__")):
+                identities[name].add(CALLER_THREAD)
+        for entry in self.entries:
+            if entry.method and entry.kind == "thread":
+                identities[entry.method].add("thread:" + entry.method)
+            elif entry.method and entry.kind == "task":
+                identities[entry.method].add(CALLER_THREAD)
+        # flow identities along self.<m>() call edges to a fixpoint
+        calls: Dict[str, Set[str]] = {}
+        for name, method in self.methods.items():
+            callees = set()
+            for node in ast.walk(method):
+                if isinstance(node, ast.Call):
+                    callee = self._self_method(node.func)
+                    if callee:
+                        callees.add(callee)
+            calls[name] = callees
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                for callee in callees:
+                    if callee == "__init__":
+                        continue
+                    before = len(identities[callee])
+                    identities[callee] |= identities[name]
+                    changed = changed or len(identities[callee]) != before
+        return identities
+
+    # -- attribute access collection ----------------------------------------
+    def _collect_accesses(self) -> List[AttrAccess]:
+        accesses: List[AttrAccess] = []
+        for name, method in self.methods.items():
+            if name == "__init__":
+                continue  # initialization happens-before every thread start
+            idents = frozenset(self.identities[name])
+            if not idents:
+                continue  # unreachable private helper
+            walker = LockScopeWalker()
+            parents: Dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(method):
+                for child in ast.iter_child_nodes(parent):
+                    parents[child] = parent
+            seen: Set[Tuple[str, int, bool]] = set()
+            for node, held in walker.walk(method):
+                # expression nodes are yielded individually with the
+                # correct held set; compound statements are containers
+                # whose children arrive on their own, so classify only
+                # the node itself.
+                access = self._classify(node, parents)
+                if access is None:
+                    continue
+                attr, write, line = access
+                key = (attr, line, write)
+                if key in seen:
+                    continue
+                seen.add(key)
+                accesses.append(AttrAccess(
+                    attr=attr, write=write, line=line,
+                    locked=bool(held), method=name, identities=idents))
+        return accesses
+
+    def _classify(self, node: ast.AST, parents) -> Optional[Tuple[str, bool, int]]:
+        """(attr, is_write, line) when *node* is a ``self.<attr>`` touch."""
+        if not (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return None
+        attr, line = node.attr, node.lineno
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            return attr, True, line
+        # climb value chains: self.stats.tasks_done += 1 writes "stats";
+        # self._waits[k] = v writes "_waits"; self._workers.append(...)
+        # mutates "_workers".
+        top: ast.AST = node
+        while True:
+            parent = parents.get(top)
+            if isinstance(parent, (ast.Attribute, ast.Subscript)) and (
+                    parent.value is top):
+                top = parent
+                continue
+            break
+        if isinstance(top, (ast.Attribute, ast.Subscript)) and isinstance(
+                top.ctx, (ast.Store, ast.Del)):
+            return attr, True, line
+        parent = parents.get(top)
+        if (isinstance(parent, ast.Attribute)
+                and parent.attr in MUTATOR_METHODS
+                and isinstance(parents.get(parent), ast.Call)
+                and parents[parent].func is parent):
+            return attr, True, line
+        return attr, False, line
+
+    # -- the shared-state verdict -------------------------------------------
+    def shared_attrs(self) -> Dict[str, Set[str]]:
+        """Attrs accessed from >= 2 thread identities with >= 1 write
+        outside ``__init__`` — the race-prone inventory."""
+        by_attr: Dict[str, Set[str]] = {}
+        written: Set[str] = set()
+        for access in self.accesses:
+            by_attr.setdefault(access.attr, set()).update(access.identities)
+            if access.write:
+                written.add(access.attr)
+        return {attr: idents for attr, idents in by_attr.items()
+                if len(idents) >= 2 and attr in written}
 
 
 def source_segment(info: ModuleInfo, node: ast.AST) -> str:

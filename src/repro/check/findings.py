@@ -46,6 +46,31 @@ RULES: Dict[str, tuple] = {
         "process-environment read in repro.core outside the sanctioned "
         "config module",
     ),
+    "conc-unlocked-shared": (
+        "§7.1",
+        "read/write of thread-shared state outside any lock scope",
+    ),
+    "conc-lock-order": (
+        "-",
+        "inconsistent static lock acquisition order (deadlock cycle)",
+    ),
+    "conc-await-holding-lock": (
+        "-",
+        "await or blocking primitive while holding a sync lock",
+    ),
+    "conc-unjoined-thread": (
+        "-",
+        "thread/process created without a join path at teardown",
+    ),
+    "racesan-race": (
+        "§7.1",
+        "runtime: unordered conflicting access to tagged shared state "
+        "(happens-before sanitizer)",
+    ),
+    "racesan-lock-cycle": (
+        "-",
+        "runtime: lock-order graph grew a cycle (potential deadlock)",
+    ),
     "bad-suppression": (
         "-",
         "repro-check suppression without a justification",
@@ -118,6 +143,10 @@ class CheckReport:
     baselined: List[Finding] = field(default_factory=list)
     poll_sites: List[PollSite] = field(default_factory=list)
     modules_scanned: int = 0
+    #: per-rule-pass analyzer cost: name -> {"seconds": s, "files": n}.
+    #: Surfaced in the JSON envelope so BENCH-style tracking of analyzer
+    #: cost is possible without re-instrumenting.
+    profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -145,6 +174,11 @@ class CheckReport:
             "ok": self.ok,
             "modules_scanned": self.modules_scanned,
             "summary": self.counts_by_rule(),
+            "profile": {
+                name: {"seconds": round(entry["seconds"], 6),
+                       "files": int(entry["files"])}
+                for name, entry in sorted(self.profile.items())
+            },
             "findings": [
                 dict(asdict(f), fingerprint=f.fingerprint) for f in self.findings
             ],

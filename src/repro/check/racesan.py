@@ -1,0 +1,406 @@
+"""RaceSan: the opt-in happens-before sanitizer for the serve layer.
+
+The static rules in :mod:`repro.check.rules_conc` prove lock discipline
+over the *source*; RaceSan checks the corresponding dynamic property on
+a *live run*.  It mirrors :class:`~repro.check.specsan.SpecSan`: opt-in,
+``strict=True`` raises at the violating event, ``strict=False`` records,
+and ``checks_performed`` proves the sanitizer actually ran.
+
+Model
+-----
+Every thread carries a vector clock.  The sanitizer wraps the real
+synchronization primitives the serve layer already uses:
+
+* :meth:`wrap_lock` — a lock proxy.  *Acquire* joins the clock the last
+  release stored on the lock (the release-acquire edge) and records a
+  lock-order edge from every lock the thread already holds; a cycle in
+  that order graph is a ``racesan-lock-cycle`` finding at the moment the
+  inverting acquire happens, whether or not the schedule deadlocks.
+  *Release* ticks the thread's clock and stores it on the lock.  RLock
+  re-entry is depth-tracked and contributes no edges or joins.
+* :meth:`wrap_queue` — a queue proxy.  ``put`` ticks and stores the
+  sender's clock on the channel; ``get`` joins the oldest stored clock
+  (FIFO, matching the queue).  Items that originate in *another
+  process* carry no clock — cross-process transfer is by value, the
+  child shares no memory with the parent, so there is nothing to order
+  (spawn children are out of scope by construction, same as the static
+  model).
+* :meth:`fork` — wraps a thread target: snapshots the creator's clock
+  at wrap time and joins it when the new thread first runs, giving the
+  standard fork edge.
+* :meth:`publish` / :meth:`consume` — an explicit edge for handoffs
+  that bypass a wrapped primitive (e.g. collector thread -> event-loop
+  callback via ``Future.set_result``).
+
+:meth:`note` tags one access to one shared object.  The sanitizer keeps
+the last write and the per-thread last reads for each tag and flags any
+*conflicting* pair (two accesses, at least one write, different threads)
+that the clocks do not order — a data race by the happens-before
+definition, independent of whether this schedule corrupted anything.
+
+Limits: no alias analysis — a tag covers exactly the accesses that
+``note`` it; unwrapped primitives contribute no edges, so an edge the
+program really has but RaceSan cannot see yields a false positive (fix:
+publish/consume), never a false negative on ordering it *was* shown.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.check.findings import Finding
+from repro.check.specsan import SanitizerState
+
+VectorClock = Dict[int, int]
+
+
+class RaceSanViolation(AssertionError):
+    """A happens-before or lock-order invariant was violated."""
+
+
+def _leq(a: VectorClock, b: VectorClock) -> bool:
+    """a happens-before-or-equals b."""
+    return all(v <= b.get(k, 0) for k, v in a.items())
+
+
+def _site(depth: int = 2) -> str:
+    frame = sys._getframe(depth)
+    return "{}:{}".format(frame.f_code.co_filename.rsplit("/", 1)[-1],
+                          frame.f_lineno)
+
+
+class _Access:
+    __slots__ = ("tid", "thread_name", "clock", "site")
+
+    def __init__(self, tid: int, clock: VectorClock, site: str) -> None:
+        self.tid = tid
+        self.thread_name = threading.current_thread().name
+        self.clock = clock
+        self.site = site
+
+
+class RaceSan:
+    """One sanitizer instance per pool/engine run (parent process only)."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.state = SanitizerState()
+        # The sanitizer's own metadata lock.  Deliberately never held
+        # across an acquire of a *wrapped* lock (see _SanLock.acquire),
+        # so it cannot extend the application's lock-order graph.
+        self._meta = threading.Lock()
+        self._clocks: Dict[int, VectorClock] = {}
+        self._held: Dict[int, List[str]] = {}          # tid -> lock stack
+        self._depth: Dict[Tuple[int, str], int] = {}   # re-entrancy
+        self._lock_clocks: Dict[str, VectorClock] = {}
+        self._order: Dict[str, Set[str]] = {}          # lock-order edges
+        self._order_sites: Dict[Tuple[str, str], str] = {}
+        self._channels: Dict[str, Deque[VectorClock]] = {}
+        self._last: Dict[str, Dict] = {}               # tag -> accesses
+
+    # ------------------------------------------------------------------
+    @property
+    def checks_performed(self) -> int:
+        return self.state.checks_performed
+
+    @property
+    def violations(self) -> List[str]:
+        return self.state.violations
+
+    def _check(self, rule: str, ok: bool, message: str) -> None:
+        self.state.checks_performed += 1
+        self.state.checks_by_rule[rule] = (
+            self.state.checks_by_rule.get(rule, 0) + 1
+        )
+        if ok:
+            return
+        detail = "[{}] {}".format(rule, message)
+        self.state.violations.append(detail)
+        if self.strict:
+            raise RaceSanViolation(detail)
+
+    def findings(self) -> List[Finding]:
+        """Render recorded violations as check findings (rule = the
+        ``[rule]`` prefix each violation message carries)."""
+        out: List[Finding] = []
+        for detail in self.state.violations:
+            rule, _, message = detail.partition("] ")
+            out.append(Finding(rule=rule.lstrip("["), path="<runtime>",
+                               line=0, message=message, symbol="racesan"))
+        return out
+
+    def summary(self) -> Dict:
+        return {
+            "checks_performed": self.state.checks_performed,
+            "checks_by_rule": dict(self.state.checks_by_rule),
+            "violations": list(self.state.violations),
+        }
+
+    # ------------------------------------------------------------------
+    # clock plumbing (callers hold self._meta)
+    # ------------------------------------------------------------------
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = {tid: 1}
+            self._clocks[tid] = clock
+        return clock
+
+    def _tick(self, tid: int) -> None:
+        clock = self._clock(tid)
+        clock[tid] = clock.get(tid, 0) + 1
+
+    def _join(self, tid: int, other: VectorClock) -> None:
+        clock = self._clock(tid)
+        for k, v in other.items():
+            if v > clock.get(k, 0):
+                clock[k] = v
+
+    # ------------------------------------------------------------------
+    # lock-order graph
+    # ------------------------------------------------------------------
+    def _reaches(self, src: str, dst: str) -> Optional[List[str]]:
+        """Path src -> dst in the order graph, or None."""
+        stack = [(src, [src])]
+        seen = {src}
+        while stack:
+            node, path = stack.pop()
+            if node == dst:
+                return path
+            for nxt in self._order.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # ------------------------------------------------------------------
+    # wrappers
+    # ------------------------------------------------------------------
+    def wrap_lock(self, lock, name: str) -> "_SanLock":
+        if isinstance(lock, _SanLock):
+            return lock
+        return _SanLock(self, lock, name)
+
+    def wrap_queue(self, q, name: str) -> "_SanQueue":
+        if isinstance(q, _SanQueue):
+            return q
+        return _SanQueue(self, q, name)
+
+    def fork(self, target, name: str):
+        """Wrap a thread target with the creator->child fork edge."""
+        with self._meta:
+            tid = threading.get_ident()
+            self._tick(tid)
+            snapshot = dict(self._clock(tid))
+
+        def forked(*args, **kwargs):
+            with self._meta:
+                self._join(threading.get_ident(), snapshot)
+            return target(*args, **kwargs)
+
+        forked.__name__ = "racesan_fork_{}".format(name)
+        return forked
+
+    def publish(self, channel: str) -> None:
+        """Record an explicit happens-before edge source."""
+        with self._meta:
+            tid = threading.get_ident()
+            self._tick(tid)
+            self._channels.setdefault(channel, deque()).append(
+                dict(self._clock(tid)))
+
+    def consume(self, channel: str) -> None:
+        """Join the oldest unconsumed :meth:`publish` on ``channel``."""
+        with self._meta:
+            pending = self._channels.get(channel)
+            if pending:
+                self._join(threading.get_ident(), pending.popleft())
+
+    # ------------------------------------------------------------------
+    # the race check itself
+    # ------------------------------------------------------------------
+    def note(self, tag: str, write: bool) -> None:
+        """One access to the shared object ``tag`` from this thread."""
+        site = _site()
+        with self._meta:
+            tid = threading.get_ident()
+            cur = self._clock(tid)
+            entry = self._last.setdefault(tag, {"write": None, "reads": {}})
+            conflicts: List[Tuple[str, _Access]] = []
+            prior = entry["write"]
+            if prior is not None and prior.tid != tid:
+                conflicts.append(("write", prior))
+            if write:
+                for rtid, access in entry["reads"].items():
+                    if rtid != tid:
+                        conflicts.append(("read", access))
+            for kind_name, access in conflicts:
+                self._check(
+                    "racesan-race",
+                    _leq(access.clock, cur),
+                    "unordered {} of {!r}: {} by {!r} at {} vs prior "
+                    "{} by {!r} at {} — no happens-before edge orders "
+                    "them (§7.1)".format(
+                        "write" if write else "read", tag,
+                        "write" if write else "read",
+                        threading.current_thread().name, site,
+                        kind_name, access.thread_name, access.site),
+                )
+            if not conflicts:
+                # Count the evaluation even when nothing conflicts, so
+                # clean runs still prove the sanitizer executed.
+                self.state.checks_performed += 1
+                self.state.checks_by_rule["racesan-race"] = (
+                    self.state.checks_by_rule.get("racesan-race", 0) + 1)
+            access = _Access(tid, dict(cur), site)
+            if write:
+                entry["write"] = access
+                entry["reads"] = {}
+            else:
+                entry["reads"][tid] = access
+
+    # ------------------------------------------------------------------
+    # primitive hooks (called by the proxies)
+    # ------------------------------------------------------------------
+    def _pre_acquire(self, name: str, site: str) -> None:
+        """Record lock-order edges and run the cycle check.
+
+        Runs *before* blocking on the inner lock: in a real deadlock the
+        acquire never returns, so reporting afterwards would report
+        nothing.  Edges are recorded once; the cycle check fires at the
+        acquisition that first closes the cycle.
+        """
+        with self._meta:
+            tid = threading.get_ident()
+            if self._depth.get((tid, name), 0):
+                return  # re-entrant: no new ordering information
+            held = self._held.get(tid, [])
+            for outer in held:
+                if outer == name:
+                    continue
+                if name in self._order.setdefault(outer, set()):
+                    continue  # edge already known, already checked
+                cycle = self._reaches(name, outer)
+                self._order[outer].add(name)
+                self._order_sites[(outer, name)] = site
+                self._check(
+                    "racesan-lock-cycle",
+                    cycle is None,
+                    "acquiring {!r} while holding {!r} at {} closes the "
+                    "cycle {} (reverse edge first seen at {}) — two "
+                    "threads taking opposite paths deadlock".format(
+                        name, outer, site,
+                        " -> ".join(cycle + [name]) if cycle else "",
+                        self._order_sites.get(
+                            (cycle[0], cycle[1]), "?")
+                        if cycle and len(cycle) > 1 else "?"),
+                )
+
+    def _on_acquired(self, name: str, site: str) -> None:
+        with self._meta:
+            tid = threading.get_ident()
+            depth_key = (tid, name)
+            depth = self._depth.get(depth_key, 0)
+            self._depth[depth_key] = depth + 1
+            if depth:  # re-entrant: no join, already on the held stack
+                return
+            self._held.setdefault(tid, []).append(name)
+            stored = self._lock_clocks.get(name)
+            if stored is not None:
+                self._join(tid, stored)
+
+    def _on_released(self, name: str) -> None:
+        with self._meta:
+            tid = threading.get_ident()
+            depth_key = (tid, name)
+            depth = self._depth.get(depth_key, 1) - 1
+            self._depth[depth_key] = depth
+            if depth:
+                return
+            self._tick(tid)
+            self._lock_clocks[name] = dict(self._clock(tid))
+            held = self._held.get(tid, [])
+            if name in held:
+                held.remove(name)
+
+    def _on_put(self, name: str) -> None:
+        with self._meta:
+            tid = threading.get_ident()
+            self._tick(tid)
+            self._channels.setdefault("queue:" + name, deque()).append(
+                dict(self._clock(tid)))
+
+    def _on_get(self, name: str) -> None:
+        with self._meta:
+            pending = self._channels.get("queue:" + name)
+            if pending:
+                self._join(threading.get_ident(), pending.popleft())
+
+
+class _SanLock:
+    """Lock proxy: release-acquire clock edges + lock-order graph."""
+
+    def __init__(self, san: RaceSan, inner, name: str) -> None:
+        self._san = san
+        self._inner = inner
+        self._name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        site = _site()
+        self._san._pre_acquire(self._name, site)
+        if timeout == -1:
+            got = self._inner.acquire(blocking)
+        else:
+            got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._san._on_acquired(self._name, site)
+        return got
+
+    def release(self) -> None:
+        self._san._on_released(self._name)
+        self._inner.release()
+
+    def __enter__(self):
+        site = _site()
+        self._san._pre_acquire(self._name, site)
+        self._inner.acquire()
+        self._san._on_acquired(self._name, site)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class _SanQueue:
+    """Queue proxy: put/get transfer the sender's clock (parent-side
+    puts only — items from another process carry no clock)."""
+
+    def __init__(self, san: RaceSan, inner, name: str) -> None:
+        self._san = san
+        self._inner = inner
+        self._name = name
+
+    def put(self, item, *args, **kwargs):
+        self._san._on_put(self._name)
+        return self._inner.put(item, *args, **kwargs)
+
+    def put_nowait(self, item):
+        self._san._on_put(self._name)
+        return self._inner.put_nowait(item)
+
+    def get(self, *args, **kwargs):
+        item = self._inner.get(*args, **kwargs)
+        self._san._on_get(self._name)
+        return item
+
+    def get_nowait(self):
+        item = self._inner.get_nowait()
+        self._san._on_get(self._name)
+        return item
+
+    def __getattr__(self, attr):
+        # close/cancel_join_thread/empty/qsize/... pass through.
+        return getattr(self._inner, attr)

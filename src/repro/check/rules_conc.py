@@ -1,0 +1,413 @@
+"""Concurrency rules: lock discipline for the live serving layer.
+
+PR 7 made the codebase genuinely concurrent — the shard pool runs a
+collector thread and a sentinel watchdog against state the asyncio loop
+thread also touches, and the registry is shared across sessions.  The
+safety argument ("the TEE replays exactly what was recorded") now rests
+on locking *conventions*; these rules turn the conventions into checked
+properties:
+
+* ``conc-unlocked-shared`` — inventory shared mutable state (module
+  globals written from functions, ``self`` attributes reachable from
+  more than one thread identity) and flag every read/write of it
+  outside a ``with <lock>`` scope.  Identities come from the escape
+  analysis in :mod:`repro.check.astpass`: ``threading.Thread`` targets
+  each get their own identity; public methods and asyncio callbacks
+  share the caller/loop identity; ``multiprocessing`` spawn children
+  share no memory and are out of scope by construction.
+* ``conc-lock-order`` — build the static lock-acquisition graph across
+  every scanned module (nested ``with`` scopes; ``self.X`` normalized
+  to ``Class.X``) and flag any cycle: two code paths acquiring the same
+  locks in different orders can deadlock under the right interleaving.
+* ``conc-await-holding-lock`` — an ``await``, or a blocking primitive
+  (queue ``get``/``put``, ``Event.wait``, bare ``join``, ``sleep``),
+  executed while a sync lock is held stalls every other thread
+  contending for that lock — and on the event loop it stalls *all*
+  tasks, inviting lock-order inversions through the scheduler.
+* ``conc-unjoined-thread`` — a ``threading.Thread``/``Process`` created
+  without any ``join`` path in the class leaks at close: work can still
+  be mutating shared state while teardown (or interpreter exit) runs.
+
+Known precision limits (documented in DESIGN.md): lock scopes are
+lexical (manual ``acquire``/``release`` pairs are the release-
+consistency rule's problem); aliasing is name-based, so a lock bound to
+a local escapes the order graph; there is no alias analysis across
+processes — spawn children are excluded by construction, which is also
+what makes the model sound for them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.astpass import (
+    ClassConcurrencyModel,
+    LockScopeWalker,
+    ModuleInfo,
+    attr_chain,
+    iter_functions,
+    qualname,
+)
+from repro.check.findings import Finding
+
+#: queue-ish receiver name tails for the blocking-op rule
+_QUEUEISH_TAILS = ("queue", "_q")
+#: event/condition-ish receiver tails whose ``wait`` blocks
+_EVENTISH = ("event", "cond", "condition", "done", "ready", "closed",
+             "barrier")
+
+
+def _suppressed(info: ModuleInfo, finding: Finding) -> Finding:
+    sup = info.suppression_for(finding.rule, finding.line)
+    if sup is not None:
+        finding.suppressed = True
+        finding.suppress_reason = sup.reason
+    return finding
+
+
+def _finding(info: ModuleInfo, rule: str, line: int, symbol: str,
+             message: str) -> Finding:
+    return _suppressed(info, Finding(
+        rule=rule, path=info.relpath, line=line, symbol=symbol,
+        message=message))
+
+
+# ---------------------------------------------------------------------------
+# conc-unlocked-shared
+
+
+def check_unlocked_shared(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(_check_global_writes(info))
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = ClassConcurrencyModel(node)
+        shared = model.shared_attrs()
+        if not shared:
+            continue
+        for access in model.accesses:
+            if access.attr not in shared or access.locked:
+                continue
+            idents = shared[access.attr]
+            kind = "write to" if access.write else "read of"
+            findings.append(_finding(
+                info, "conc-unlocked-shared", access.line,
+                "{}.{}".format(node.name, access.method),
+                "{} '{}.{}' outside any lock scope, but the attribute "
+                "is shared between {} — an unordered conflicting access "
+                "races the recording-service state".format(
+                    kind, node.name, access.attr,
+                    ", ".join(sorted(idents)))))
+    return findings
+
+
+def _check_global_writes(info: ModuleInfo) -> List[Finding]:
+    """Module globals written from functions, in a module that spawns
+    threads: the cheapest shared state there is, with no lock at all."""
+    spawns_threads = any(
+        isinstance(node, ast.Call)
+        and attr_chain(node.func) in ("threading.Thread", "Thread")
+        for node in ast.walk(info.tree))
+    if not spawns_threads:
+        return []
+    findings: List[Finding] = []
+    for func, cls in iter_functions(info.tree):
+        declared: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+        if not declared:
+            continue
+        walker = LockScopeWalker()
+        for node, held in walker.walk(func):
+            if held or not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [
+                node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    findings.append(_finding(
+                        info, "conc-unlocked-shared", node.lineno,
+                        qualname(func, cls),
+                        "unlocked write to module global '{}' in a "
+                        "module that spawns threads".format(target.id)))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# conc-lock-order
+
+
+class LockOrderGraph:
+    """Lock-acquisition order accumulated across every scanned module.
+
+    Nodes are normalized lock names (``self.X`` inside class ``C``
+    becomes ``C.X`` so the pool's lock is one node no matter which
+    method acquires it); an edge ``a -> b`` records "``b`` acquired
+    while ``a`` is held" with its source site.  After the scan,
+    :meth:`finalize` flags every cycle once, anchored at the edge that
+    closed it (the lexically-latest site in the cycle).
+    """
+
+    def __init__(self) -> None:
+        #: edge -> first (info, node, symbol) that produced it
+        self.edges: Dict[Tuple[str, str],
+                         Tuple[ModuleInfo, ast.AST, str]] = {}
+
+    def scan_module(self, info: ModuleInfo) -> None:
+        for func, cls in iter_functions(info.tree):
+            walker = LockScopeWalker()
+            for _ in walker.walk(func):
+                pass
+            for outer, inner, node in walker.order_edges:
+                edge = (_normalize(outer, cls), _normalize(inner, cls))
+                if edge[0] != edge[1]:
+                    self.edges.setdefault(
+                        edge, (info, node, qualname(func, cls)))
+
+    def finalize(self) -> List[Finding]:
+        adjacency: Dict[str, Set[str]] = {}
+        for (a, b) in self.edges:
+            adjacency.setdefault(a, set()).add(b)
+        findings: List[Finding] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        for a, b in sorted(self.edges):
+            path = self._path(b, a, adjacency)
+            if path is None:
+                continue
+            cycle = [a] + path  # a -> b -> ... -> a
+            canon = tuple(sorted(set(cycle)))
+            if canon in seen_cycles:
+                continue
+            seen_cycles.add(canon)
+            sites = []
+            for outer, inner in zip(cycle, cycle[1:] + cycle[:1]):
+                entry = self.edges.get((outer, inner))
+                if entry is not None:
+                    sites.append("{} then {} at {}:{} ({})".format(
+                        outer, inner, entry[0].relpath,
+                        entry[1].lineno, entry[2]))
+            anchor_info, anchor_node, anchor_symbol = max(
+                (self.edges[(o, i)] for o, i in zip(
+                    cycle, cycle[1:] + cycle[:1]) if (o, i) in self.edges),
+                key=lambda e: (e[0].relpath, e[1].lineno))
+            findings.append(_finding(
+                anchor_info, "conc-lock-order", anchor_node.lineno,
+                anchor_symbol,
+                "inconsistent lock acquisition order — {} form a cycle "
+                "({}); two threads taking opposite paths deadlock".format(
+                    " -> ".join(cycle + [cycle[0]]), "; ".join(sites))))
+        return findings
+
+    def _path(self, start: str, goal: str,
+              adjacency: Dict[str, Set[str]]) -> Optional[List[str]]:
+        """Shortest node path start..goal along edges, else None."""
+        frontier = [[start]]
+        visited = {start}
+        while frontier:
+            path = frontier.pop(0)
+            if path[-1] == goal:
+                return path
+            for nxt in sorted(adjacency.get(path[-1], ())):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(path + [nxt])
+        return None
+
+
+def _normalize(lock: str, cls: Optional[ast.ClassDef]) -> str:
+    if lock.startswith("self.") and cls is not None:
+        return cls.name + lock[len("self"):]
+    return lock
+
+
+# ---------------------------------------------------------------------------
+# conc-await-holding-lock
+
+
+def check_await_holding_lock(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for func, cls in iter_functions(info.tree):
+        symbol = qualname(func, cls)
+        walker = LockScopeWalker()
+        seen: Set[int] = set()
+        for node, held in walker.walk(func):
+            if not held:
+                continue
+            line = getattr(node, "lineno", 0)
+            if line in seen:
+                continue
+            if isinstance(node, (ast.Await, ast.AsyncFor, ast.AsyncWith)):
+                seen.add(line)
+                findings.append(_finding(
+                    info, "conc-await-holding-lock", line, symbol,
+                    "'await' while holding {} suspends the coroutine "
+                    "with the lock held — every contending thread (and "
+                    "every task on this loop) stalls until the "
+                    "scheduler resumes it".format(", ".join(held))))
+            elif isinstance(node, ast.Call):
+                blocked = _blocking_call(node)
+                if blocked:
+                    seen.add(line)
+                    findings.append(_finding(
+                        info, "conc-await-holding-lock", line, symbol,
+                        "blocking call '{}' while holding {} — the op "
+                        "can wait indefinitely with every contender "
+                        "stalled behind the lock".format(
+                            blocked, ", ".join(held))))
+    return findings
+
+
+def _blocking_call(call: ast.Call) -> Optional[str]:
+    """Render the call when it can block the thread, else None."""
+    chain = attr_chain(call.func)
+    if chain is None:
+        return None
+    parts = chain.split(".")
+    method = parts[-1]
+    receiver_tail = parts[-2].lower() if len(parts) >= 2 else ""
+    if chain in ("time.sleep",):
+        return chain + "()"
+    queueish = any(receiver_tail == t or receiver_tail.endswith(t)
+                   for t in _QUEUEISH_TAILS)
+    if method in ("get", "put") and queueish:
+        return chain + "()"
+    if method == "join" and not call.args and len(parts) >= 2:
+        return chain + "()"
+    if method == "wait" and (
+            not call.args
+            or any(e in receiver_tail for e in _EVENTISH)):
+        return chain + "()"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# conc-unjoined-thread
+
+
+def check_unjoined_thread(info: ModuleInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    join_receivers = _join_receivers(info)
+    known_ctors, mp_imported = _concurrency_ctors(info)
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        ctor = attr_chain(node.func) or ""
+        tail = ctor.split(".")[-1]
+        if ctor not in known_ctors:
+            # mp context objects carry the same ctor: ctx.Process(...)
+            # counts whenever the module imports multiprocessing.  A
+            # bare local class merely *named* Process does not.
+            if not (mp_imported and tail == "Process" and "." in ctor):
+                continue
+        binding = _binding_name(info, node)
+        if binding is None and join_receivers:
+            # Not bound to a simple name (comprehension element, call
+            # argument, collection): with join() calls present in the
+            # module we cannot prove the leak — stay quiet over guess.
+            continue
+        joined = binding is not None and any(
+            binding in receiver.split(".") for receiver in join_receivers)
+        if joined:
+            continue
+        func, cls = _enclosing_func(info, node)
+        bound = "as '{}' without".format(binding) if binding else "without"
+        findings.append(_finding(
+            info, "conc-unjoined-thread", node.lineno,
+            qualname(func, cls),
+            "{} created {} a join path — close()/teardown cannot "
+            "prove the {} has stopped touching shared state".format(
+                ctor, bound, tail.lower())))
+    return findings
+
+
+def _concurrency_ctors(info: ModuleInfo) -> Tuple[Set[str], bool]:
+    """Call chains that construct real OS threads/processes here, from
+    the module's own imports; plus whether multiprocessing is imported
+    at all (for ``get_context()`` objects' ``.Process``)."""
+    ctors: Set[str] = set()
+    mp_imported = False
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name == "threading":
+                    ctors.add(bound + ".Thread")
+                elif alias.name == "multiprocessing":
+                    mp_imported = True
+                    ctors.add(bound + ".Process")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "threading":
+                for alias in node.names:
+                    if alias.name == "Thread":
+                        ctors.add(alias.asname or "Thread")
+            elif node.module == "multiprocessing":
+                mp_imported = True
+                for alias in node.names:
+                    if alias.name == "Process":
+                        ctors.add(alias.asname or "Process")
+    return ctors, mp_imported
+
+
+def _join_receivers(info: ModuleInfo) -> Set[str]:
+    """Receivers of every ``X.join(...)`` call in the module (kwargs
+    allowed; positional args mean ``str.join`` and are excluded)."""
+    receivers: Set[str] = set()
+    for node in ast.walk(info.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join" and not node.args):
+            chain = attr_chain(node.func.value)
+            if chain:
+                receivers.add(chain.replace("self.", ""))
+    return receivers
+
+
+def _binding_name(info: ModuleInfo, ctor: ast.Call) -> Optional[str]:
+    """The name a Thread/Process construction is bound to: ``self.X =
+    Thread(...)`` gives ``X``; ``p = Process(...)`` gives ``p``."""
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Assign) and node.value is ctor:
+            target = node.targets[0]
+            if isinstance(target, ast.Attribute):
+                return target.attr
+            if isinstance(target, ast.Name):
+                return target.id
+    return None
+
+
+def _enclosing_func(info: ModuleInfo, node: ast.AST):
+    target_line = getattr(node, "lineno", 0)
+    best = (None, None)
+    best_span = None
+    for func, cls in iter_functions(info.tree):
+        start = func.lineno
+        end = max((getattr(n, "lineno", start) for n in ast.walk(func)),
+                  default=start)
+        if start <= target_line <= end:
+            span = end - start
+            if best_span is None or span <= best_span:
+                best = (func, cls)
+                best_span = span
+    return best
+
+
+# ---------------------------------------------------------------------------
+# rule entry point
+
+
+def check_concurrency(info: ModuleInfo,
+                      graph: Optional[LockOrderGraph] = None
+                      ) -> List[Finding]:
+    """Run the module-local concurrency rules; lock-order edges are fed
+    into ``graph`` (cycle findings come from ``graph.finalize()`` after
+    every module has been scanned)."""
+    findings: List[Finding] = []
+    findings.extend(check_unlocked_shared(info))
+    findings.extend(check_await_holding_lock(info))
+    findings.extend(check_unjoined_thread(info))
+    if graph is not None:
+        graph.scan_module(info)
+    return findings

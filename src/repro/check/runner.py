@@ -21,7 +21,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Iterable, List, Optional, Tuple
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.check.astpass import ModuleInfo, parse_module
 from repro.check.findings import (
@@ -31,6 +32,7 @@ from repro.check.findings import (
     write_baseline,
 )
 from repro.check.rules_bus import check_bus_confinement, check_release_consistency
+from repro.check.rules_conc import LockOrderGraph, check_concurrency
 from repro.check.rules_flow import (
     check_determinism,
     check_env_read,
@@ -88,22 +90,41 @@ def _rules_for(package: str, explicit: bool):
     return interposition, poll, env
 
 
+def _timed(profile: Dict, key: str, fn, *args):
+    """Run one rule pass, accumulating wall seconds + file count into
+    the report's profile (the JSON envelope's analyzer-cost section)."""
+    # repro-check: allow[determinism] -- analyzer self-profiling, never enters a recording
+    t0 = time.perf_counter()
+    out = fn(*args)
+    entry = profile.setdefault(key, {"seconds": 0.0, "files": 0})
+    # repro-check: allow[determinism] -- analyzer self-profiling (above).
+    entry["seconds"] += time.perf_counter() - t0
+    entry["files"] += 1
+    return out
+
+
 def _scan_module(
     info: ModuleInfo, report: CheckReport, interposition: bool, poll: bool,
-    env: bool
+    env: bool, conc_graph: Optional[LockOrderGraph] = None
 ) -> List[Finding]:
     findings: List[Finding] = []
+    profile = report.profile
     if interposition:
-        findings.extend(check_bus_confinement(info))
-        findings.extend(check_release_consistency(info))
-        findings.extend(check_sym_force(info))
+        findings.extend(_timed(profile, "bus-confinement",
+                               check_bus_confinement, info))
+        findings.extend(_timed(profile, "release-consistency",
+                               check_release_consistency, info))
+        findings.extend(_timed(profile, "sym-force", check_sym_force, info))
     if poll:
-        poll_findings, sites = check_poll(info)
+        poll_findings, sites = _timed(profile, "poll", check_poll, info)
         findings.extend(poll_findings)
         report.poll_sites.extend(sites)
     if env:
-        findings.extend(check_env_read(info))
-    findings.extend(check_determinism(info))
+        findings.extend(_timed(profile, "env-read", check_env_read, info))
+    findings.extend(_timed(profile, "determinism", check_determinism, info))
+    if conc_graph is not None:
+        findings.extend(_timed(profile, "concurrency",
+                               check_concurrency, info, conc_graph))
     for line in info.bad_pragmas:
         findings.append(
             Finding(
@@ -123,8 +144,17 @@ def _scan_module(
 def run_check(
     paths: Optional[List[str]] = None,
     baseline: Optional[str] = None,
+    concurrency: bool = False,
 ) -> CheckReport:
-    """Run the analyzer; over ``paths`` if given, else the whole tree."""
+    """Run the analyzer; over ``paths`` if given, else the whole tree.
+
+    ``concurrency=True`` adds the lock-discipline pass
+    (:mod:`repro.check.rules_conc`) over every scanned module: the
+    shared-state and unjoined-thread rules only bite where threads are
+    actually created, and the lock-order graph is accumulated across
+    modules so a pool-vs-registry ordering inversion is visible even
+    when the two acquisitions live in different files.
+    """
     report = CheckReport()
     modules: List[Tuple[str, str, bool]] = []
     if paths:
@@ -132,12 +162,21 @@ def run_check(
     else:
         modules = [(p, pkg, False) for p, pkg in _discover()]
 
+    conc_graph = LockOrderGraph() if concurrency else None
     for path, package, explicit in modules:
         info = parse_module(path, _relpath(path), package)
         interposition, poll, env = _rules_for(package, explicit)
-        findings = _scan_module(info, report, interposition, poll, env)
+        findings = _scan_module(info, report, interposition, poll, env,
+                                conc_graph)
         report.modules_scanned += 1
         for finding in findings:
+            if finding.suppressed:
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    if conc_graph is not None:
+        for finding in _timed(report.profile, "lock-order",
+                              conc_graph.finalize):
             if finding.suppressed:
                 report.suppressed.append(finding)
             else:
@@ -172,6 +211,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="accept all current findings into the baseline file and exit 0",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the concurrency/lock-discipline pass "
+        "(conc-unlocked-shared, conc-lock-order, "
+        "conc-await-holding-lock, conc-unjoined-thread)",
+    )
     args = parser.parse_args(argv)
 
     baseline = args.baseline
@@ -180,7 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if os.path.exists(candidate):
             baseline = candidate
 
-    report = run_check(paths=args.paths or None, baseline=baseline)
+    report = run_check(paths=args.paths or None, baseline=baseline,
+                       concurrency=args.concurrency)
 
     if args.write_baseline:
         target = args.baseline or os.path.join(_repo_root(), DEFAULT_BASELINE)

@@ -396,12 +396,19 @@ def cmd_serve(args) -> int:
         tracer.domain = "serve"
     catalog = ServeCatalog(recorder=RECORDERS[args.recorder],
                            seed=args.seed)
+    sanitizer = None
+    if args.racesan:
+        from repro.check import RaceSan
+        sanitizer = RaceSan(strict=False)
     report = serve_burst(requests, catalog=catalog, workers=args.workers,
                          batch_max=args.batch_max,
                          tenant_queue_limit=args.queue_limit,
-                         tracer=tracer, verify=args.verify)
+                         tracer=tracer, verify=args.verify,
+                         sanitizer=sanitizer)
     summary = dict(report.summary)
     summary["warm_s"] = round(report.warm_s, 6)
+    if sanitizer is not None:
+        summary["racesan"] = sanitizer.summary()
     summary["config"] = {
         "workloads": workloads, "requests": args.requests,
         "tenants": args.tenants, "workers": args.workers,
@@ -419,6 +426,9 @@ def cmd_serve(args) -> int:
     if args.verify and not summary.get("bit_identical", False):
         failures.append("served outputs diverged from the single-process "
                         "reference")
+    if sanitizer is not None:
+        for violation in sanitizer.violations:
+            failures.append(f"racesan: {violation}")
     if args.fmt == "json":
         summary["failures"] = failures
         print(json_envelope("serve", summary))
@@ -448,6 +458,8 @@ def cmd_check(args) -> int:
         argv = list(args.paths)
         if args.baseline:
             argv += ["--baseline", args.baseline]
+        if args.concurrency:
+            argv += ["--concurrency"]
         argv += ["--write-baseline"]
         return check_runner.main(argv)
     baseline = args.baseline
@@ -457,7 +469,8 @@ def cmd_check(args) -> int:
         if os.path.exists(candidate):
             baseline = candidate
     report = check_runner.run_check(paths=args.paths or None,
-                                    baseline=baseline)
+                                    baseline=baseline,
+                                    concurrency=args.concurrency)
     if args.fmt == "json":
         print(json_envelope("check", json.loads(report.to_json())))
         return 0 if report.ok else 1
@@ -794,6 +807,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="re-execute the burst single-process and fail "
                         "unless outputs are bit-identical")
+    p.add_argument("--racesan", action="store_true",
+                   help="run the happens-before/lock-order sanitizer "
+                        "over the pool and engine; any race or lock "
+                        "cycle fails the run (exit 1)")
     p.add_argument("--json", default=None,
                    help="also write the serve summary JSON to this path")
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -814,6 +831,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: <repo>/check_baseline.json when present)")
     p.add_argument("--write-baseline", action="store_true",
                    help="accept all current findings into the baseline")
+    p.add_argument("--concurrency", action="store_true",
+                   help="also run the concurrency rules (conc-* codes): "
+                        "shared-state lock discipline, lock order, "
+                        "await-holding-lock, unjoined threads")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("perf", help="wall-clock benchmark of the replay "

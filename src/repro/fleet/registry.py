@@ -100,7 +100,8 @@ class RecordingRegistry:
     digest) even when sessions race on a cold key.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitizer=None) -> None:
+        self.sanitizer = sanitizer
         self._by_tenant: Dict[str, Dict[RecordingKey, CachedRecording]] = {}
         self.stats = RegistryStats()
         # Compiled columnar recordings, keyed (tenant, content digest).
@@ -110,9 +111,16 @@ class RecordingRegistry:
         self._compiled: Dict[Tuple[str, str], object] = {}
         self.compiled_stats = RegistryStats()
         self._lock = threading.RLock()
+        if sanitizer is not None:
+            self._lock = sanitizer.wrap_lock(
+                self._lock, "RecordingRegistry._lock")
         # Keys with a build() in flight; racers wait on the event
         # instead of building a duplicate.
         self._building: Dict[Tuple[str, str], threading.Event] = {}
+
+    def _note(self, tag: str, write: bool) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.note("RecordingRegistry." + tag, write)
 
     # ------------------------------------------------------------------
     def lookup(self, tenant_id: str,
@@ -122,6 +130,7 @@ class RecordingRegistry:
         Counts a hit/miss either way; a hit bumps the entry's ``serves``.
         """
         with self._lock:
+            self._note("by_tenant", write=False)
             entry = self._by_tenant.get(tenant_id, {}).get(key)
             if entry is None:
                 self.stats.misses += 1
@@ -140,6 +149,7 @@ class RecordingRegistry:
                 f"cannot file {entry.tenant_id!r}'s recording under "
                 f"{tenant_id!r}")
         with self._lock:
+            self._note("by_tenant", write=True)
             self._by_tenant.setdefault(tenant_id, {})[entry.key] = entry
 
     # ------------------------------------------------------------------
@@ -157,6 +167,7 @@ class RecordingRegistry:
         key = (tenant_id, digest)
         while True:
             with self._lock:
+                self._note("compiled", write=False)
                 hit = self._compiled.get(key)
                 if hit is not None:
                     self.compiled_stats.hits += 1
@@ -177,6 +188,7 @@ class RecordingRegistry:
             event.set()
             raise
         with self._lock:
+            self._note("compiled", write=True)
             self._compiled[key] = built
             event = self._building.pop(key)
         event.set()

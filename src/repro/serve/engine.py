@@ -78,11 +78,15 @@ class AsyncServeEngine:
     def __init__(self, pool: ShardPool, catalog: ServeCatalog,
                  batch_max: int = 4, tenant_queue_limit: int = 32,
                  max_dispatch: Optional[int] = None,
-                 tracer=None) -> None:
+                 tracer=None, sanitizer=None) -> None:
         if batch_max < 1:
             raise ValueError("batch_max must be >= 1")
         self.pool = pool
         self.catalog = catalog
+        # Engine and pool share one sanitizer: the engine consumes the
+        # publish edges the pool's collector emits at future resolution.
+        self.sanitizer = sanitizer if sanitizer is not None \
+            else getattr(pool, "sanitizer", None)
         self.batch_max = batch_max
         self.tenant_queue_limit = tenant_queue_limit
         # Backpressure: at most this many tasks dispatched into the pool
@@ -160,11 +164,19 @@ class AsyncServeEngine:
             for pending, future in zip(batch, futures):
                 loop.create_task(self._finish(pending, future))
 
+    def _consume_edge(self, task_id: str) -> None:
+        """Join the collector thread's publish for this future, then tag
+        the engine-side shared state the callback touches."""
+        if self.sanitizer is not None:
+            self.sanitizer.consume("future:{}".format(task_id))
+            self.sanitizer.note("AsyncServeEngine.metrics", write=True)
+
     async def _finish(self, pending: _Pending, future) -> None:
         request = pending.request
         try:
             shard = await asyncio.wrap_future(future)
         except ShardAborted as exc:
+            self._consume_edge(request.request_id)
             self._dispatch_sem.release()
             self.stats.aborted += 1
             result = ServeResult(
@@ -175,6 +187,7 @@ class AsyncServeEngine:
             pending.done.set_result(result)
             return
         except Exception as exc:  # noqa: BLE001 - surfaced as a result
+            self._consume_edge(request.request_id)
             self._dispatch_sem.release()
             self.stats.aborted += 1
             result = ServeResult(
@@ -184,6 +197,7 @@ class AsyncServeEngine:
             self.metrics.add(result)
             pending.done.set_result(result)
             return
+        self._consume_edge(request.request_id)
         self._dispatch_sem.release()
         done_wall = time.perf_counter()
         latency = done_wall - pending.submitted_wall
@@ -299,7 +313,8 @@ def serve_burst(requests: List[ServeRequest],
                 tenant_queue_limit: int = 32,
                 max_retries: int = 2, tracer=None,
                 verify: bool = False,
-                pool: Optional[ShardPool] = None) -> ServeReport:
+                pool: Optional[ShardPool] = None,
+                sanitizer=None) -> ServeReport:
     """Record + warm + serve ``requests``; optionally verify the pool's
     outputs bit-identical against the in-process single-path reference.
 
@@ -312,7 +327,8 @@ def serve_burst(requests: List[ServeRequest],
     t0 = time.perf_counter()
     own_pool = pool is None
     if own_pool:
-        pool = ShardPool(workers=workers, max_retries=max_retries)
+        pool = ShardPool(workers=workers, max_retries=max_retries,
+                         sanitizer=sanitizer)
         pool.start()
     try:
         for spec in warm_specs:
@@ -320,7 +336,7 @@ def serve_burst(requests: List[ServeRequest],
         warm_s = time.perf_counter() - t0
         engine = SyncServeEngine(pool, catalog, batch_max=batch_max,
                                  tenant_queue_limit=tenant_queue_limit,
-                                 tracer=tracer)
+                                 tracer=tracer, sanitizer=sanitizer)
         report = engine.run(requests)
         report.warm_s = warm_s
     finally:

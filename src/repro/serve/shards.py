@@ -302,16 +302,25 @@ class ShardPool:
     """
 
     def __init__(self, workers: int = 2, max_retries: int = 2,
-                 mp_context: str = "spawn") -> None:
+                 mp_context: str = "spawn", sanitizer=None) -> None:
         if workers < 1:
             raise ValueError("pool needs at least one worker")
         self._ctx = multiprocessing.get_context(mp_context)
         self.n_workers = workers
         self.max_retries = max_retries
+        self.sanitizer = sanitizer
         self.stats = ShardPoolStats(workers=workers)
         self._workers: List[_WorkerHandle] = []
+        # _result_q stays the raw mp queue: it is pickled into every
+        # child's Process args.  The parent's own gets/puts go through
+        # _result_view, which the sanitizer may wrap.
         self._result_q = self._ctx.Queue()
+        self._result_view = self._result_q
         self._lock = threading.RLock()
+        if sanitizer is not None:
+            self._lock = sanitizer.wrap_lock(self._lock, "ShardPool._lock")
+            self._result_view = sanitizer.wrap_queue(
+                self._result_q, "ShardPool._result_q")
         self._warm_specs: List[WarmSpec] = []
         self._warm_waits: Dict[Tuple[int, int], _WarmWait] = {}
         self._warm_info: Dict[Tuple[str, str], Dict] = {}
@@ -319,8 +328,25 @@ class ShardPool:
         self._rr = 0
         self._started = False
         self._closing = False
+        self._closed = threading.Event()
         self._collector: Optional[threading.Thread] = None
         self._watchdog: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def _note(self, tag: str, write: bool) -> None:
+        """Tag one shared-state access for the happens-before sanitizer."""
+        if self.sanitizer is not None:
+            self.sanitizer.note("ShardPool." + tag, write)
+
+    def _publish(self, channel: str) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.publish(channel)
+
+    def _thread_target(self, target, name: str):
+        """Thread target, fork-edge-wrapped when sanitizing."""
+        if self.sanitizer is not None:
+            return self.sanitizer.fork(target, name)
+        return target
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardPool":
@@ -331,18 +357,20 @@ class ShardPool:
         self.close()
 
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for index in range(self.n_workers):
-            self._workers.append(self._spawn(index))
-        self._collector = threading.Thread(target=self._collect,
-                                           name="shard-collector",
-                                           daemon=True)
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            self._note("workers", write=True)
+            for index in range(self.n_workers):
+                self._workers.append(self._spawn(index))
+            self._collector = threading.Thread(
+                target=self._thread_target(self._collect, "collector"),
+                name="shard-collector", daemon=True)
+            self._watchdog = threading.Thread(
+                target=self._thread_target(self._watch, "watchdog"),
+                name="shard-watchdog", daemon=True)
         self._collector.start()
-        self._watchdog = threading.Thread(target=self._watch,
-                                          name="shard-watchdog",
-                                          daemon=True)
         self._watchdog.start()
 
     def _spawn(self, index: int) -> _WorkerHandle:
@@ -364,10 +392,31 @@ class ShardPool:
         return _WorkerHandle(index, process, task_q)
 
     def close(self) -> None:
+        """Stop workers and service threads.  Idempotent and safe to
+        call concurrently (from ``__del__``, atexit, a second caller):
+        exactly one caller tears down; every other caller blocks until
+        the teardown it lost the race to has finished."""
         with self._lock:
-            if self._closing:
+            if not self._started:
+                # Never started: nothing to reap.
+                self._closing = True
+                self._closed.set()
                 return
+            already_closing = self._closing
             self._closing = True
+            self._note("closing", write=True)
+        if already_closing:
+            self._closed.wait(timeout=2 * _STOP_GRACE_S)
+            return
+        # Retire the watchdog *before* snapshotting the worker list: a
+        # watchdog mid-respawn after the snapshot would leak the
+        # replacement process past close().  The loop polls _closing
+        # every sentinel-wait tick, so this join is bounded.
+        if (self._watchdog is not None
+                and self._watchdog is not threading.current_thread()):
+            self._watchdog.join(timeout=_STOP_GRACE_S)
+        with self._lock:
+            self._note("workers", write=False)
             workers = list(self._workers)
         for handle in workers:
             if handle.alive:
@@ -382,18 +431,30 @@ class ShardPool:
                 handle.process.join(timeout=_STOP_GRACE_S)
         # Unblock the collector thread, then reap both service threads
         # and the queues so nothing races interpreter teardown.
-        self._result_q.put(("__closed__", -1, None, None))
-        if self._collector is not None:
+        self._result_view.put(("__closed__", -1, None, None))
+        if (self._collector is not None
+                and self._collector is not threading.current_thread()):
             self._collector.join(timeout=_STOP_GRACE_S)
-        if self._watchdog is not None:
-            self._watchdog.join(timeout=_STOP_GRACE_S)
         for handle in workers:
             handle.task_q.close()
             handle.task_q.cancel_join_thread()
         self._result_q.close()
         self._result_q.cancel_join_thread()
+        self._closed.set()
+
+    def __del__(self) -> None:
+        try:
+            if self._started and not self._closed.is_set():
+                self.close()
+        except Exception:  # noqa: BLE001 - interpreter may be tearing down
+            pass
 
     # ------------------------------------------------------------------
+    def _is_closing(self) -> bool:
+        with self._lock:
+            self._note("closing", write=False)
+            return self._closing
+
     @property
     def alive_workers(self) -> int:
         with self._lock:
@@ -423,6 +484,7 @@ class ShardPool:
                 wait = _WarmWait(spec)
                 self._warm_waits[(handle.index, warm_id)] = wait
                 waits.append(wait)
+                # repro-check: allow[conc-await-holding-lock] -- mp queue put never blocks
                 handle.task_q.put((_WARM, warm_id, spec))
         deadline = time.perf_counter() + timeout_s
         for wait in waits:
@@ -433,7 +495,9 @@ class ShardPool:
                     f"{timeout_s:g}s")
             if wait.error is not None:
                 raise ShardError(f"worker failed to warm: {wait.error}")
-        self.stats.warms += 1
+        with self._lock:
+            self._note("stats", write=True)
+            self.stats.warms += 1
         return spec.digest()
 
     # ------------------------------------------------------------------
@@ -456,7 +520,9 @@ class ShardPool:
                 future: Future = Future()
                 handle.inflight[task.task_id] = _InFlight(task, future)
                 futures.append(future)
+            # repro-check: allow[conc-await-holding-lock] -- mp queue put never blocks
             handle.task_q.put((_BATCH, tasks))
+            self._note("stats", write=True)
             self.stats.batches += 1
         return futures
 
@@ -465,10 +531,10 @@ class ShardPool:
         """Resolve futures from the shared result queue."""
         while True:
             try:
-                kind, worker_id, ident, payload = self._result_q.get(
+                kind, worker_id, ident, payload = self._result_view.get(
                     timeout=0.5)
             except queue_mod.Empty:
-                if self._closing:
+                if self._is_closing():
                     return
                 continue
             if kind == "__closed__":
@@ -493,14 +559,22 @@ class ShardPool:
                              if handle else None)
                     if handle:
                         handle.tasks_done += 1
+                    if entry is not None:
+                        self._note("stats", write=True)
+                        if kind == "result":
+                            self.stats.tasks_done += 1
+                        else:
+                            self.stats.tasks_failed += 1
                 if entry is None:
                     continue
+                # Future resolution happens outside the lock; the
+                # explicit publish edge orders this thread's writes
+                # before the loop-side consume in the engine.
+                self._publish("future:{}".format(ident))
                 if kind == "result":
                     payload.attempts = entry.attempts
-                    self.stats.tasks_done += 1
                     entry.future.set_result(payload)
                 else:
-                    self.stats.tasks_failed += 1
                     entry.future.set_exception(ShardError(payload))
             elif kind == "stopped":
                 continue
@@ -514,7 +588,7 @@ class ShardPool:
     # ------------------------------------------------------------------
     def _watch(self) -> None:
         """Respawn dead workers and requeue their in-flight tasks."""
-        while not self._closing:
+        while not self._is_closing():
             with self._lock:
                 sentinels = {w.process.sentinel: w
                              for w in self._workers if w.alive}
@@ -522,16 +596,18 @@ class ShardPool:
                 time.sleep(0.05)
                 continue
             ready = mp_connection.wait(list(sentinels), timeout=0.25)
-            if self._closing:
+            if self._is_closing():
                 return
             for sentinel in ready:
                 self._on_death(sentinels[sentinel])
 
     def _on_death(self, handle: _WorkerHandle) -> None:
         with self._lock:
+            self._note("closing", write=False)
             if not handle.alive or self._closing:
                 return
             handle.alive = False
+            self._note("stats", write=True)
             self.stats.worker_deaths += 1
             orphans = list(handle.inflight.values())
             handle.inflight.clear()
@@ -560,6 +636,7 @@ class ShardPool:
                 else:
                     wait = _WarmWait(spec)
                 self._warm_waits[(replacement.index, warm_id)] = wait
+                # repro-check: allow[conc-await-holding-lock] -- mp queue put never blocks
                 replacement.task_q.put((_WARM, warm_id, spec))
             for wait in pending:  # spec unknown to the pool (shouldn't
                 wait.error = "worker died while warming"  # happen)
@@ -568,22 +645,32 @@ class ShardPool:
         # bounded like the fleet ledger's max_failovers.
         for orphan in orphans:
             if orphan.attempts > self.max_retries:
-                self.stats.tasks_failed += 1
+                with self._lock:
+                    self._note("stats", write=True)
+                    self.stats.tasks_failed += 1
+                self._publish("future:{}".format(orphan.task.task_id))
                 orphan.future.set_exception(ShardAborted(
                     f"task {orphan.task.task_id} lost to "
                     f"{orphan.attempts} worker death(s)"))
                 continue
-            self.stats.failover_requeues += 1
             with self._lock:
+                self._note("stats", write=True)
+                self.stats.failover_requeues += 1
                 live = [w for w in self._workers if w.alive]
                 if not live:
-                    orphan.future.set_exception(
-                        ShardAborted("no live workers for requeue"))
-                    continue
-                target = min(live, key=lambda w: len(w.inflight))
-                orphan.attempts += 1
-                target.inflight[orphan.task.task_id] = orphan
-                target.task_q.put((_BATCH, [orphan.task]))
+                    self.stats.tasks_failed += 1
+                    abort: Optional[ShardAborted] = ShardAborted(
+                        "no live workers for requeue")
+                else:
+                    abort = None
+                    target = min(live, key=lambda w: len(w.inflight))
+                    orphan.attempts += 1
+                    target.inflight[orphan.task.task_id] = orphan
+                    # repro-check: allow[conc-await-holding-lock] -- mp queue put never blocks
+                    target.task_q.put((_BATCH, [orphan.task]))
+            if abort is not None:
+                self._publish("future:{}".format(orphan.task.task_id))
+                orphan.future.set_exception(abort)
 
     # ------------------------------------------------------------------
     def kill_worker(self, index: int = 0) -> bool:

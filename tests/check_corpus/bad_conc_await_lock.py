@@ -1,0 +1,21 @@
+"""Corpus: awaiting while holding a synchronous lock
+(conc-await-holding-lock).
+
+The coroutine suspends with the lock held; every thread contending for
+it — and every other task on this event loop that ever needs it —
+stalls until the scheduler happens to resume this frame.
+"""
+
+import asyncio
+import threading
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.flushed = 0
+
+    async def flush(self):
+        with self._lock:
+            await asyncio.sleep(0)  # fires: await with the lock held
+            self.flushed += 1

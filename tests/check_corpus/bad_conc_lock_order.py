@@ -1,0 +1,26 @@
+"""Corpus: inconsistent static lock acquisition order
+(conc-lock-order).
+
+``credit`` nests registry under pool; ``debit`` nests pool under
+registry.  Two threads taking the opposite paths deadlock — the static
+graph has the cycle whether or not any schedule ever trips it.
+"""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._pool_lock = threading.Lock()
+        self._registry_lock = threading.Lock()
+        self.balance = 0
+
+    def credit(self):
+        with self._pool_lock:
+            with self._registry_lock:
+                self.balance += 1
+
+    def debit(self):
+        with self._registry_lock:
+            with self._pool_lock:  # fires: inverts credit()'s order
+                self.balance -= 1

@@ -1,0 +1,26 @@
+"""Corpus: thread created without any join path
+(conc-unjoined-thread).
+
+Nothing in the class ever joins ``_watcher``: at close (or interpreter
+exit) the daemon may still be mid-mutation on shared state, so teardown
+cannot prove quiescence.
+"""
+
+import threading
+
+
+class Watcher:
+    def __init__(self):
+        self._watcher = None
+        self.beats = 0
+
+    def start(self):
+        self._watcher = threading.Thread(  # fires: no join path exists
+            target=self._watch, daemon=True)
+        self._watcher.start()
+
+    def _watch(self):
+        pass
+
+    def close(self):
+        pass

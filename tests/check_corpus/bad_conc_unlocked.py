@@ -1,0 +1,29 @@
+"""Corpus: shared mutable state touched outside any lock scope
+(conc-unlocked-shared).
+
+``tasks_done`` is written by the collector thread and read by the
+caller, so it is shared; the collector's increment skips the lock the
+reader takes — exactly the unordered conflicting access the rule (and
+RaceSan at runtime) exists to catch.
+"""
+
+import threading
+
+
+class Collector:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.tasks_done = 0
+        self._thread = None
+
+    def start(self):
+        self._thread = threading.Thread(target=self._drain)
+        self._thread.start()
+
+    def _drain(self):
+        self.tasks_done += 1  # fires: unlocked write to shared state
+
+    def close(self):
+        self._thread.join()
+        with self._lock:
+            return self.tasks_done

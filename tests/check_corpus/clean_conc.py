@@ -1,0 +1,35 @@
+"""Corpus: lock-disciplined worker — every concurrency rule stays quiet.
+
+Shared state (``_closing``, ``done``) is only ever touched under the
+one lock, acquisition order is trivially consistent, nothing blocks or
+awaits while holding it, and ``close`` joins the worker before
+returning.
+"""
+
+import threading
+
+
+class CleanPool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._closing = False
+        self.done = 0
+        self._worker = None
+
+    def start(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
+                self.done += 1
+
+    def close(self):
+        with self._lock:
+            self._closing = True
+        self._worker.join()
+        with self._lock:
+            return self.done

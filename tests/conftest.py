@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.recorder import OURS_MDS, RecordSession
 from repro.core.speculation import CommitHistory
-from repro.core.testbed import ClientDevice
 from repro.driver.bus import LocalBus
 from repro.driver.driver import KbaseDevice, LocalPlatform
 from repro.hw.gpu import MaliGpu

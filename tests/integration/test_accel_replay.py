@@ -13,7 +13,7 @@ import pytest
 from repro.core.drivershim import DriverShim, ShimModes
 from repro.core.gpushim import GpuShim
 from repro.core.memsync import MemorySynchronizer, SyncPolicy
-from repro.core.recording import IrqEntry, RegRead, RegWrite
+from repro.core.recording import RegRead, RegWrite
 from repro.core.replayer import replay_entries
 from repro.driver.bus import PollCondition, PollSpec
 from repro.hw import accel as A

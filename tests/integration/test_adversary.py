@@ -2,7 +2,6 @@
 session (§7.1's local threat model), and every attack is stopped by a
 mechanism the model actually enforces."""
 
-import numpy as np
 import pytest
 
 from repro.core.gpushim import GpuShim
@@ -10,8 +9,6 @@ from repro.core.recorder import OURS_MDS, RecordSession
 from repro.core.recording import RecordingFormatError
 from repro.core.replayer import Replayer
 from repro.core.testbed import ClientDevice
-from repro.hw.clocks import SocClockController
-from repro.ml.runner import generate_weights
 from repro.tee.worlds import (
     GpuMmioGuard,
     ProtectedMemoryView,

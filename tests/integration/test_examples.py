@@ -5,7 +5,6 @@ rotting as the library evolves.
 """
 
 import runpy
-import sys
 
 import pytest
 

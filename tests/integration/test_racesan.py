@@ -1,0 +1,168 @@
+"""Integration tests: RaceSan over the real serve layer.
+
+A sanitized 2-worker burst must behave exactly like an unsanitized one
+(bit-identical outputs, all requests completed) with zero reports — the
+wrappers are observers, not schedulers.  A deliberately broken toy
+(inverted lock order, unordered shared access) must be caught.  Also
+covers the close() hardening that rode along: double close, concurrent
+close, close racing the watchdog's respawn, and __del__ safety.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.check import RaceSan, RaceSanViolation
+from repro.serve import ServeCatalog, ShardPool, make_burst, serve_burst
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = ServeCatalog()
+    cat.record("mnist")
+    return cat
+
+
+class TestServeUnderRaceSan:
+    def test_burst_clean_and_bit_identical(self, catalog):
+        """2-worker burst under a strict sanitizer: completes, matches
+        the single-process reference bit for bit, zero reports — and the
+        check counter proves the sanitizer actually ran."""
+        san = RaceSan(strict=True)
+        requests = make_burst(["mnist"], 8, tenants=2, seed=0)
+        report = serve_burst(requests, catalog=catalog, workers=2,
+                             verify=True, sanitizer=san)
+        assert report.ok
+        assert report.summary["bit_identical"] is True
+        assert report.summary["requests"]["completed"] == 8
+        assert san.violations == []
+        assert san.checks_performed > 0
+        assert san.state.checks_by_rule.get("racesan-race", 0) > 0
+
+    def test_sanitized_digest_matches_unsanitized(self, catalog):
+        """The sanitizer must not perturb results: same burst with and
+        without RaceSan produces the same identity digest."""
+        requests = make_burst(["mnist"], 6, tenants=2, seed=1)
+        plain = serve_burst(requests, catalog=catalog, workers=2)
+        san = RaceSan(strict=True)
+        sanitized = serve_burst(requests, catalog=catalog, workers=2,
+                                sanitizer=san)
+        assert plain.identity_digest == sanitized.identity_digest
+        assert san.violations == []
+
+    def test_worker_death_under_sanitizer(self, catalog):
+        """Kill a worker mid-life: watchdog respawn + failover path run
+        under the sanitizer without a single report."""
+        san = RaceSan(strict=True)
+        requests = make_burst(["mnist"], 6, tenants=1, seed=2)
+        with ShardPool(workers=2, sanitizer=san) as pool:
+            for spec in catalog.warm_specs(requests):
+                pool.warm(spec)
+            assert pool.kill_worker(0)
+            deadline = time.perf_counter() + 30.0
+            while time.perf_counter() < deadline:
+                if pool.stats.respawns >= 1 and pool.alive_workers == 2:
+                    break
+                time.sleep(0.02)
+            report = serve_burst(requests, catalog=catalog, pool=pool,
+                                 sanitizer=san)
+        assert report.ok
+        assert san.violations == []
+
+
+class TestBrokenToyIsCaught:
+    """The negative control: RaceSan on code that is actually broken."""
+
+    def test_double_lock_inversion_raises(self):
+        san = RaceSan(strict=True)
+        pool_lock = san.wrap_lock(threading.Lock(), "pool")
+        registry_lock = san.wrap_lock(threading.Lock(), "registry")
+
+        def credit():
+            with pool_lock:
+                with registry_lock:
+                    pass
+
+        def debit():
+            with registry_lock:
+                with pool_lock:
+                    pass
+
+        credit()
+        with pytest.raises(RaceSanViolation, match="racesan-lock-cycle"):
+            debit()
+
+    def test_unordered_stat_bump_is_reported(self):
+        """A stats counter bumped outside the lock from a worker thread
+        — exactly the bug class the shards fixes removed."""
+        san = RaceSan(strict=False)
+        lock = san.wrap_lock(threading.Lock(), "stats_lock")
+
+        def locked_bump():
+            with lock:
+                san.note("stats", write=True)
+
+        def unlocked_bump():
+            san.note("stats", write=True)
+
+        locked_bump()
+        t = threading.Thread(target=unlocked_bump)  # no fork edge either
+        t.start()
+        t.join()
+        races = [v for v in san.violations if "racesan-race" in v]
+        assert len(races) >= 1
+        assert "'stats'" in races[0]
+
+
+class TestCloseIdempotency:
+    def test_double_close(self):
+        pool = ShardPool(workers=1)
+        pool.start()
+        pool.close()
+        pool.close()  # second call: immediate no-op, no error
+        assert not pool._watchdog.is_alive()
+        assert not pool._collector.is_alive()
+
+    def test_close_without_start(self):
+        pool = ShardPool(workers=1)
+        pool.close()  # never started: nothing to reap
+
+    def test_concurrent_close_single_teardown(self):
+        """N racing closers: exactly one tears down, the rest block
+        until it finishes, and every worker is gone afterwards."""
+        pool = ShardPool(workers=2)
+        pool.start()
+        errors = []
+
+        def closer():
+            try:
+                pool.close()
+            except Exception as exc:  # noqa: BLE001 - test harness
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == []
+        assert all(not t.is_alive() for t in threads)
+        assert pool.alive_workers == 2  # handles still marked, but...
+        assert all(not w.process.is_alive() for w in pool._workers)
+
+    def test_close_during_respawn_leaks_no_worker(self):
+        """Kill a worker and close while the watchdog may be mid-respawn:
+        after close every process the pool ever spawned is dead."""
+        pool = ShardPool(workers=2)
+        pool.start()
+        pool.kill_worker(0)
+        pool.close()
+        assert all(not w.process.is_alive() for w in pool._workers)
+
+    def test_del_closes_started_pool(self):
+        pool = ShardPool(workers=1)
+        pool.start()
+        procs = list(pool._workers)
+        pool.__del__()
+        assert all(not w.process.is_alive() for w in procs)

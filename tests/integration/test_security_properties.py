@@ -16,7 +16,6 @@ from repro.core.testbed import ClientDevice
 from repro.hw.sku import find_sku
 from repro.ml.runner import generate_weights
 from repro.tee.crypto import SigningKey
-from repro.tee.optee import OpTeeOS
 from repro.tee.worlds import GpuMmioGuard, SecurityViolation, World
 from tests.conftest import build_micro_graph
 

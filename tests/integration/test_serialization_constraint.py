@@ -7,7 +7,6 @@ emitting the next job's commands while the GPU still owns the memory is
 exactly the §5 race the unmap-and-trap safety net catches.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.drivershim import DriverShim, ShimModes

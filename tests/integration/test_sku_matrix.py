@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.recorder import OURS_MD, RecordSession
-from repro.core.replayer import Replayer, ReplayError
+from repro.core.replayer import Replayer
 from repro.core.testbed import ClientDevice
 from repro.hw.sku import find_sku
 from repro.ml.runner import generate_weights, reference_forward

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.tracediff import DiffReport, diff_recordings
+from repro.analysis.tracediff import diff_recordings
 from repro.core.recorder import OURS_M, OURS_MDS, RecordSession
 from repro.core.recording import RegRead, RegWrite
 from repro.hw.sku import find_sku

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 from repro.hw import regs
 from repro.hw.gpu import MaliGpu, POWER_TRANSITION_S
 from repro.hw.memory import PhysicalMemory
-from repro.hw.sku import HIKEY960_G71, SKU_DATABASE, driver_supported_skus
+from repro.hw.sku import HIKEY960_G71, driver_supported_skus
 from repro.sim.clock import VirtualClock
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.deferral import CommitRequest, DeferralQueue
+from repro.core.deferral import DeferralQueue
 from repro.core.speculation import (
     CommitHistory,
     MispredictionDetected,

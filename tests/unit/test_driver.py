@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.driver.bus import LocalBus, PollCondition, PollResult, PollSpec
+from repro.driver.bus import LocalBus, PollCondition, PollSpec
 from repro.driver.driver import DriverError, KbaseDevice, LocalPlatform
 from repro.driver.hotfuncs import (
     CommitCategory,

@@ -4,7 +4,6 @@ against a real GPU model + GPUShim but with hand-built driver actions."""
 import pytest
 
 from repro.core.drivershim import (
-    CloudPlatform,
     DriverShim,
     FastForwardFeed,
     FeedMismatch,

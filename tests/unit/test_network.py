@@ -8,7 +8,6 @@ from repro.sim.network import (
     LOOPBACK,
     MESSAGE_OVERHEAD_BYTES,
     Link,
-    LinkProfile,
     Message,
     SecureChannel,
     WIFI,

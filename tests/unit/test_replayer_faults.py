@@ -1,6 +1,5 @@
 """Unit tests for the replayer's divergence detection and entry engine."""
 
-import numpy as np
 import pytest
 
 from repro.core.recording import IrqEntry, PollEntry, RegRead, RegWrite

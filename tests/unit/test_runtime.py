@@ -6,13 +6,12 @@ import pytest
 from repro.driver.bus import LocalBus
 from repro.driver.driver import KbaseDevice, LocalPlatform
 from repro.hw.gpu import MaliGpu
-from repro.hw.memory import PAGE_SIZE, PhysicalMemory
+from repro.hw.memory import PhysicalMemory
 from repro.hw.shader import JobBuffer, ROLE_INPUT, ROLE_OUTPUT
-from repro.hw.sku import HIKEY960_G71, find_sku
+from repro.hw.sku import HIKEY960_G71
 from repro.kernel.env import KernelEnv
-from repro.runtime.allocator import Buffer, BufferKind, GpuAddressSpace, MapFlags
+from repro.runtime.allocator import MapFlags
 from repro.runtime.api import BufferSlice, GpuContext, RuntimeError_
-from repro.runtime.commands import CommandStreamBuilder
 from repro.runtime.compiler import CompilerTarget, JitCompiler
 from repro.sim.clock import VirtualClock
 

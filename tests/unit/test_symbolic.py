@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core.symbolic import (
-    LazyInt,
-    SymExpr,
     SymVal,
     UnresolvedValueError,
     concrete,
