@@ -74,6 +74,40 @@ class TestMemsyncSpeedup:
         assert m["optimized"]["encodes"] < m["legacy"]["encodes"]
 
 
+class TestColdStart:
+    """The artifact store's headline: a restarted worker opens its
+    compiled program (np.memmap) instead of recompiling it."""
+
+    def test_store_hit_at_least_10x_over_cold_compile(self, bench_doc):
+        row = bench_doc["cold_start"][0]
+        assert row["workload"] == "alexnet"
+        assert row["speedup_acquire"] >= 10.0, (
+            f"store-hit acquire only {row['speedup_acquire']:.1f}x over "
+            f"compile+publish (cold {row['cold']['acquire_s'] * 1e3:.1f} ms,"
+            f" hit {row['store_hit']['acquire_s'] * 1e3:.2f} ms)")
+
+    def test_store_hit_replay_bit_identical(self, bench_doc):
+        row = bench_doc["cold_start"][0]
+        for check, ok in row["identical"].items():
+            assert ok, f"store-hit replay diverged on {check}"
+
+    def test_data_page_elision_bounds_artifact(self, bench_doc):
+        # alexnet/Naive's raw memory image is ~116 MB; elision of the
+        # protected data pages must keep the artifact around 1 MB.
+        row = bench_doc["cold_start"][0]
+        assert 0 < row["artifact_bytes"] < 5_000_000
+
+    def test_cross_tenant_open_rejected(self, bench_doc):
+        assert bench_doc["cold_start"][0]["cross_tenant_rejected"]
+
+    def test_end_to_end_first_request_improves(self, bench_doc):
+        # Not a hard gate (dominated by recording-load + weight install,
+        # both engine-independent), but the store must never make the
+        # first request slower.
+        row = bench_doc["cold_start"][0]
+        assert row["speedup_first_request"] > 1.0
+
+
 class TestArtifact:
     def test_bench_json_emitted(self, bench_doc):
         path = os.path.join(REPO_ROOT, perf.BENCH_FILENAME)

@@ -53,8 +53,9 @@ from repro.ml.runner import generate_weights, reference_forward
 from repro.obs import MetricsRegistry, StatsBase, StatsProtocol, Tracer
 from repro.resilience import ChannelDisconnected, FaultPlan
 from repro.sim.network import CELLULAR, WIFI, LinkProfile
+from repro.store import DiskStore, MemoryStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "record",
@@ -93,5 +94,7 @@ __all__ = [
     "WIFI",
     "CELLULAR",
     "LinkProfile",
+    "DiskStore",
+    "MemoryStore",
     "__version__",
 ]

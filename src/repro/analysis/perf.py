@@ -293,6 +293,155 @@ def bench_memsync(workload: str = "alexnet", recorder=NAIVE,
 
 
 # ----------------------------------------------------------------------
+# Cold start: compile+publish vs memory hit vs store hit
+# ----------------------------------------------------------------------
+def bench_cold_start(workload: str = "alexnet", recorder=NAIVE,
+                     reps: int = 3,
+                     recording: Optional[Recording] = None,
+                     verify_key=None,
+                     store_root: Optional[str] = None) -> Dict:
+    """First-request cost with and without the on-disk artifact store.
+
+    Three acquisition regimes for the same recording, timed per rep:
+
+    * **cold** — empty store: ``compiled_for`` lowers the recording and
+      publishes the artifact (what a brand-new deployment pays);
+    * **warm** — same registry again: in-memory second lookup;
+    * **store_hit** — a *fresh* registry over the now-populated store
+      (a restarted process): the artifact is opened (``np.memmap``,
+      integrity re-checked), not recompiled.
+
+    ``acquire_s`` isolates the acquisition step itself;
+    ``first_request_s`` is the end-to-end session-open + first
+    inference around it (dominated by shared per-session work, so its
+    ratio is structurally much smaller).  The store-hit output must be
+    bit-identical to the cold compile's, and a cross-tenant open of the
+    published artifact must be rejected — both are gated, not just
+    reported.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.compiled import from_artifact
+    from repro.fleet.registry import RecordingRegistry, TenantIsolationError
+    from repro.store import DiskStore
+
+    graph = build_model(workload)
+    if recording is None:
+        session = RecordSession(graph, config=recorder)
+        recording = session.run().recording
+        verify_key = session.service.recording_key
+    digest = recording.digest()
+    weights = generate_weights(graph, seed=0)
+    inp = np.zeros(graph.input_shape, dtype=np.float32)
+
+    def first_request(registry) -> Tuple[float, object]:
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock, verify_key=verify_key,
+                            engine="compiled", compiled_cache=registry)
+        t0 = time.perf_counter()
+        out = replayer.open(recording, weights).run(inp)
+        return time.perf_counter() - t0, out
+
+    if store_root:
+        import os
+        os.makedirs(store_root, exist_ok=True)
+    cold_acquire: List[float] = []
+    warm_acquire: List[float] = []
+    hit_acquire: List[float] = []
+    cold_first: List[float] = []
+    hit_first: List[float] = []
+    out_cold = out_hit = None
+    artifact_bytes = 0
+    store = None
+    for _ in range(reps):
+        # Fresh roots per rep keep every cold rep honestly cold;
+        # store_root= redirects them (benchmark the disk you deploy on).
+        root = tempfile.mkdtemp(prefix="repro-coldstart-", dir=store_root)
+        root2 = tempfile.mkdtemp(prefix="repro-coldstart-e2e-",
+                                 dir=store_root)
+        try:
+            store = DiskStore(root)
+            registry = RecordingRegistry(store=store)
+            # Cold means cold: defeat the recording's own compile memo
+            # so every rep really lowers it.
+            recording._compiled = None
+            t0 = time.perf_counter()
+            registry.compiled_for("bench", digest, recording.compile,
+                                  recording=recording)
+            cold_acquire.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            registry.compiled_for("bench", digest, recording.compile,
+                                  recording=recording)
+            warm_acquire.append(time.perf_counter() - t0)
+
+            restarted = RecordingRegistry(store=DiskStore(root))
+            t0 = time.perf_counter()
+            restarted.compiled_for("bench", digest, recording.compile,
+                                   recording=recording)
+            hit_acquire.append(time.perf_counter() - t0)
+
+            # End-to-end: fresh registries, so the acquisition really
+            # happens inside the timed first request — cold against an
+            # empty store, store-hit against the populated one.
+            recording._compiled = None
+            elapsed, out_cold = first_request(
+                RecordingRegistry(store=DiskStore(root2)))
+            cold_first.append(elapsed)
+            elapsed, out_hit = first_request(
+                RecordingRegistry(store=DiskStore(root)))
+            hit_first.append(elapsed)
+
+            rows = store.entries()
+            artifact_bytes = rows[0]["nbytes"] if rows else 0
+            try:
+                from_artifact(rows[0]["path"], expected_tenant="intruder")
+                cross_tenant_rejected = False
+            except TenantIsolationError:
+                cross_tenant_rejected = True
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+            shutil.rmtree(root2, ignore_errors=True)
+
+    identical = {
+        "output": bool(np.array_equal(out_cold.output, out_hit.output)),
+        "delay": bool(out_cold.delay_s == out_hit.delay_s),
+        "stats": bool(out_cold.stats == out_hit.stats),
+        "energy": bool(math.isclose(out_cold.energy_j, out_hit.energy_j,
+                                    rel_tol=1e-9)),
+    }
+    med_cold = statistics.median(cold_acquire)
+    med_hit = statistics.median(hit_acquire)
+    return {
+        "workload": workload,
+        "recorder": recorder.name,
+        "reps": reps,
+        "artifact_bytes": artifact_bytes,
+        "cold": {
+            "acquire_s": med_cold,
+            "best_s": min(cold_acquire),
+            "first_request_s": statistics.median(cold_first),
+        },
+        "warm": {
+            "acquire_s": statistics.median(warm_acquire),
+        },
+        "store_hit": {
+            "acquire_s": med_hit,
+            "best_s": min(hit_acquire),
+            "first_request_s": statistics.median(hit_first),
+        },
+        "speedup_acquire": (med_cold / med_hit) if med_hit else 0.0,
+        "speedup_first_request": (
+            statistics.median(cold_first) / statistics.median(hit_first)
+            if hit_first and statistics.median(hit_first) else 0.0),
+        "identical": identical,
+        "cross_tenant_rejected": bool(cross_tenant_rejected),
+        "store_stats": store.stats.as_dict() if store is not None else {},
+    }
+
+
+# ----------------------------------------------------------------------
 # Serve: real-concurrency throughput across shard workers
 # ----------------------------------------------------------------------
 def _spin(n: int) -> int:
@@ -443,7 +592,7 @@ def compare_serve_baseline(doc: Dict, baseline: Dict,
 # The full harness document
 # ----------------------------------------------------------------------
 def run_perf(quick: bool = False, reps: int = 5,
-             epochs: int = 6) -> Dict:
+             epochs: int = 6, store_root: Optional[str] = None) -> Dict:
     """Run the harness and return the ``BENCH_replay.json`` document.
 
     ``quick`` trims to the CI smoke shape: the streaming-regime workload
@@ -475,6 +624,11 @@ def run_perf(quick: bool = False, reps: int = 5,
         "replay": replay,
         "memsync": [bench_memsync("alexnet", NAIVE, epochs=epochs,
                                   recording=recording)],
+        "cold_start": [bench_cold_start(
+            "alexnet", NAIVE, reps=2 if quick else 3,
+            recording=recording,
+            verify_key=session.service.recording_key,
+            store_root=store_root)],
     }
     return doc
 
@@ -523,4 +677,25 @@ def compare_baseline(doc: Dict, baseline: Dict,
              baseline["memsync_speedup"])
         if not doc["memsync"][0]["peer_views_equal"]:
             failures.append("memsync peer views diverged")
+    if doc.get("cold_start") and "cold_start_speedup_acquire" in baseline:
+        row = doc["cold_start"][0]
+        # The acquisition ratio is the store's reason to exist, so the
+        # floor is absolute (not noise-discounted): opening a published
+        # artifact must beat recompiling it by at least this factor.
+        if row["speedup_acquire"] < baseline["cold_start_speedup_acquire"]:
+            failures.append(
+                f"cold-start acquire speedup: "
+                f"{row['speedup_acquire']:.1f}x < floor "
+                f"{baseline['cold_start_speedup_acquire']:.1f}x")
+        for name, ok in row["identical"].items():
+            if not ok:
+                failures.append(
+                    f"store-hit replay diverged from cold compile on {name}")
+        if not row["cross_tenant_rejected"]:
+            failures.append("published artifact opened across tenants")
+        ceiling = baseline.get("cold_start_max_artifact_bytes")
+        if ceiling and row["artifact_bytes"] > ceiling:
+            failures.append(
+                f"published artifact grew to {row['artifact_bytes']:,} B "
+                f"> {ceiling:,} B — data-page elision regressed")
     return failures

@@ -230,6 +230,71 @@ def perf_summary_tables(doc: dict) -> str:
             "Memsync encode wall clock - seed path vs single-encode+skip",
             ["workload", "pages", "seed pages/s", "opt pages/s",
              "skipped", "encodes", "speedup", "views equal"], memsync_rows))
+    cold_rows = []
+    for c in doc.get("cold_start", ()):
+        identical = all(c["identical"].values())
+        cold_rows.append([
+            f"{c['workload']}/{c['recorder']}",
+            c["artifact_bytes"] / 1024.0,
+            c["cold"]["acquire_s"] * 1e3,
+            c["store_hit"]["acquire_s"] * 1e3,
+            c["warm"]["acquire_s"] * 1e6,
+            f"{c['speedup_acquire']:.1f}x",
+            f"{c['speedup_first_request']:.2f}x",
+            "yes" if identical else "NO",
+            "yes" if c["cross_tenant_rejected"] else "NO"])
+    if cold_rows:
+        tables.append(format_table(
+            "Cold start - compile+publish vs artifact store hit",
+            ["workload", "artifact kB", "cold ms", "store-hit ms",
+             "warm us", "acquire", "e2e", "identical", "isolated"],
+            cold_rows))
+    return "\n\n".join(tables)
+
+
+def store_summary_tables(doc: dict) -> str:
+    """Render an artifact-store inventory (``repro store ls``/``gc``):
+    an overview with the persisted counters, a per-tenant rollup, and
+    the entry listing."""
+    entries = doc.get("entries", ())
+    stats = doc.get("stats", {}) or {}
+    overview_rows = [
+        ["root", doc.get("root", "")],
+        ["artifacts", len(entries)],
+        ["total size", f"{doc.get('total_bytes', 0) / 1024.0:.1f} kB"],
+        ["hits", stats.get("hits", 0)],
+        ["misses", stats.get("misses", 0)],
+        ["publishes", stats.get("publishes", 0)],
+        ["evictions", stats.get("evictions", 0)],
+        ["corrupt rejected", stats.get("corrupt_rejected", 0)],
+        ["bytes published", stats.get("bytes_published", 0)],
+        ["bytes evicted", stats.get("bytes_evicted", 0)],
+    ]
+    tables = [format_table("Artifact store", ["metric", "value"],
+                           overview_rows)]
+    by_tenant: dict = {}
+    for row in entries:
+        agg = by_tenant.setdefault(
+            row["tenant_id"] or "<unreadable>",
+            {"artifacts": 0, "nbytes": 0, "workloads": set()})
+        agg["artifacts"] += 1
+        agg["nbytes"] += row["nbytes"]
+        if row["workload"]:
+            agg["workloads"].add(row["workload"])
+    if by_tenant:
+        tables.append(format_table(
+            "Per tenant", ["tenant", "artifacts", "kB", "workloads"],
+            [[tenant, agg["artifacts"], agg["nbytes"] / 1024.0,
+              ",".join(sorted(agg["workloads"])) or "-"]
+             for tenant, agg in sorted(by_tenant.items())]))
+    if entries:
+        tables.append(format_table(
+            "Entries",
+            ["tenant", "digest", "workload", "kB", "key"],
+            [[row["tenant_id"] or "?", row["recording_digest"][:12],
+              row["workload"] or "?", row["nbytes"] / 1024.0,
+              f"c{row['compiler_version']}-s{row['schema_version']}"]
+             for row in entries]))
     return "\n\n".join(tables)
 
 

@@ -100,6 +100,17 @@ def _finish_trace(tracer: Optional[Tracer], out_path: Optional[str]) -> None:
         write_chrome_trace(tracer, out_path)
 
 
+def _resolve_compiled_cache(store, tracer):
+    """A store-backed registry for ``store=`` (or ``REPRO_STORE``), or
+    ``None`` for the plain per-recording compile path."""
+    from repro.store import resolve_store
+    resolved = resolve_store(store, tracer=tracer)
+    if resolved is None:
+        return None
+    from repro.fleet.registry import RecordingRegistry
+    return RecordingRegistry(store=resolved)
+
+
 # ----------------------------------------------------------------------
 # record
 # ----------------------------------------------------------------------
@@ -110,6 +121,8 @@ def record(workload, *,
            seed: int = 0,
            warm: Optional[int] = None,
            history: Optional[CommitHistory] = None,
+           store=None,
+           tenant_id: str = "local",
            trace: Union[None, str, Tracer] = None,
            **session_kwargs) -> RecordResult:
     """Record ``workload`` through the cloud dry-run and return the
@@ -119,6 +132,12 @@ def record(workload, *,
     built :class:`~repro.ml.graph.Graph`.  Extra keyword arguments
     (``fault_plan=``, ``sanitizer=``, ``service=``...) pass through to
     :class:`~repro.core.recorder.RecordSession`.
+
+    ``store=`` (a directory path or a :class:`repro.DiskStore`-shaped
+    object) pre-publishes the compiled form of the fresh recording into
+    the artifact store under ``tenant_id`` — when the cost model judges
+    compilation worthwhile — so the first ``replay(store=...)`` opens
+    the program instead of lowering it.
 
     The returned :class:`RecordResult` carries ``verify_key`` so it can
     be handed straight to :func:`replay`.
@@ -140,9 +159,29 @@ def record(workload, *,
                                link_profile=link, seed=seed,
                                history=history, tracer=tracer,
                                **session_kwargs).run()
+        _publish_recording(store, tenant_id, result, tracer)
     finally:
         _finish_trace(tracer, trace_out)
     return result
+
+
+def _publish_recording(store, tenant_id: str, result: RecordResult,
+                       tracer) -> None:
+    """Publish the compiled artifact of a fresh recording, when a store
+    is attached and the cost model approves the compile."""
+    from repro.store import resolve_store
+    resolved = resolve_store(store, tracer=tracer)
+    if resolved is None:
+        return
+    rec = result.recording
+    if not rec.compile_decision().use_compiled:
+        return
+    from repro.core.compiled import to_artifact
+    from repro.store.base import ArtifactKey
+    digest = rec.digest()
+    blob = to_artifact(rec.compile(), tenant_id=tenant_id, recording=rec,
+                       recording_digest=digest)
+    resolved.put(tenant_id, ArtifactKey.current(digest), blob)
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +228,8 @@ def replay(recording, input_array: Optional[np.ndarray] = None, *,
            sku: Union[None, str, GpuSku] = None,
            engine: str = "auto",
            runs: int = 1,
+           store=None,
+           tenant_id: str = "local",
            trace: Union[None, str, Tracer] = None,
            verify_key=None) -> ReplayResult:
     """Replay a recording inside the simulated client TEE.
@@ -202,6 +243,14 @@ def replay(recording, input_array: Optional[np.ndarray] = None, *,
     (``"auto"``/``"compiled"``/``"legacy"``); ``runs`` repeats the
     inference on one opened session (later runs skip weight install —
     Table 2's steady state) and the last result is returned.
+
+    ``store=`` attaches a compiled-artifact store (a directory path, a
+    :class:`repro.DiskStore`/:class:`repro.MemoryStore`, or anything
+    with the same ``get``/``put`` surface): compiled programs are
+    opened from it instead of rebuilt, and fresh compiles are published
+    back, so a later process replays the same recording without paying
+    the lowering again.  Entries are namespaced by ``tenant_id``
+    (§7.1: nothing derived from a recording crosses tenants).
     """
     rec, key = _resolve_recording(recording, verify_key)
     if key is None:
@@ -215,8 +264,10 @@ def replay(recording, input_array: Optional[np.ndarray] = None, *,
         # Switch the trace to the replay clock/process row, so a tracer
         # shared with record() keeps the two virtual timelines apart.
         tracer.set_clock(device.clock, domain="replay")
+    compiled_cache = _resolve_compiled_cache(store, tracer)
     replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
-                        verify_key=key, engine=engine, tracer=tracer)
+                        verify_key=key, engine=engine, tracer=tracer,
+                        compiled_cache=compiled_cache, tenant_id=tenant_id)
     if weights is None:
         weights = generate_weights(graph, seed=seed)
     if input_array is None:

@@ -263,7 +263,9 @@ class FleetSpecSan:
         self.strict = strict
         self.state = SanitizerState()
         self.registry = None
+        self.store = None
         self._owners: Dict[tuple, str] = {}
+        self._store_owners: Dict[tuple, str] = {}
 
     @property
     def checks_performed(self) -> int:
@@ -324,25 +326,93 @@ class FleetSpecSan:
         registry.store = checked_store
         return self
 
-    def finish(self) -> int:
-        """End-of-run sweep: the registry's own audit plus the shadow map.
+    # ------------------------------------------------------------------
+    def install_store(self, store) -> "FleetSpecSan":
+        """Shadow an artifact store (§7.1 for *derived* state).
 
-        Returns the total number of entries checked.
+        Every ``put`` is decoded back to its embedded owner before it
+        lands; every ``get`` hit is checked against the caller and the
+        shadow map — the compiled-artifact tier gets the same
+        independent oracle as the recording registry.
         """
-        checked = self.registry.audit_isolation()
-        self._check(
-            "tenant-isolation",
-            checked == len(self._owners),
-            "registry audit saw {} entries but the sanitizer observed {} "
-            "stores — entries appeared or vanished outside the store "
-            "path".format(checked, len(self._owners)),
-        )
-        for (tenant_id, *_key), owner in self._owners.items():
+        from repro.core.compiled import ArtifactError, artifact_meta
+
+        self.store = store
+        orig_get = store.get
+        orig_put = store.put
+
+        def checked_get(tenant_id, key):
+            entry = orig_get(tenant_id, key)
+            if entry is not None:
+                meta = getattr(entry, "artifact_meta", None) or {}
+                owner = meta.get("tenant_id", tenant_id)
+                self._check(
+                    "tenant-isolation",
+                    owner == tenant_id,
+                    "store get by {!r} returned an artifact owned by "
+                    "{!r} (§7.1)".format(tenant_id, owner),
+                )
+                shadow = self._store_owners.get(
+                    (tenant_id,) + key.as_tuple())
+                if shadow is not None:
+                    self._check(
+                        "tenant-isolation",
+                        shadow == tenant_id,
+                        "store get by {!r} hit an artifact the sanitizer "
+                        "saw published by {!r}".format(tenant_id, shadow),
+                    )
+            return entry
+
+        def checked_put(tenant_id, key, blob):
+            try:
+                owner = artifact_meta(blob).get("tenant_id", "")
+            except ArtifactError:
+                owner = "<undecodable>"
             self._check(
                 "tenant-isolation",
                 owner == tenant_id,
-                "shadow map holds {!r}'s recording under {!r}".format(
+                "store put filed {!r}'s artifact under {!r}".format(
                     owner, tenant_id
                 ),
             )
+            self._store_owners[(tenant_id,) + key.as_tuple()] = owner
+            return orig_put(tenant_id, key, blob)
+
+        store.get = checked_get
+        store.put = checked_put
+        return self
+
+    def finish(self) -> int:
+        """End-of-run sweep: the registry's own audit plus the shadow map
+        (and the attached store's audit, when one is installed).
+
+        Returns the total number of entries checked.
+        """
+        checked = 0
+        if self.registry is not None:
+            checked = self.registry.audit_isolation()
+            self._check(
+                "tenant-isolation",
+                checked == len(self._owners),
+                "registry audit saw {} entries but the sanitizer observed "
+                "{} stores — entries appeared or vanished outside the "
+                "store path".format(checked, len(self._owners)),
+            )
+            for (tenant_id, *_key), owner in self._owners.items():
+                self._check(
+                    "tenant-isolation",
+                    owner == tenant_id,
+                    "shadow map holds {!r}'s recording under {!r}".format(
+                        owner, tenant_id
+                    ),
+                )
+        if self.store is not None:
+            checked += self.store.audit_isolation()
+            for (tenant_id, *_key), owner in self._store_owners.items():
+                self._check(
+                    "tenant-isolation",
+                    owner == tenant_id,
+                    "store shadow map holds {!r}'s artifact under "
+                    "{!r}".format(owner, tenant_id),
+                )
         return checked

@@ -33,6 +33,7 @@ from repro.analysis.report import (
     fleet_summary_tables,
     json_envelope,
     serve_summary_tables,
+    store_summary_tables,
 )
 from repro.obs import (
     Tracer,
@@ -189,8 +190,16 @@ def cmd_replay(args) -> int:
     tracer = _make_trace(args)
     if tracer is not None:
         tracer.set_clock(device.clock, domain="replay")
+    compiled_cache = None
+    if args.store:
+        from repro.fleet.registry import RecordingRegistry
+        from repro.store import resolve_store
+        compiled_cache = RecordingRegistry(
+            store=resolve_store(args.store, tracer=tracer))
     replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
-                        verify_key=key, engine=args.engine, tracer=tracer)
+                        verify_key=key, engine=args.engine, tracer=tracer,
+                        compiled_cache=compiled_cache,
+                        tenant_id=args.tenant)
     weights = generate_weights(graph, seed=args.seed)
     session = replayer.open(recording, weights)
     rng = np.random.RandomState(args.input_seed)
@@ -221,12 +230,23 @@ def cmd_replay(args) -> int:
                   f"delay {out.delay_s * 1e3:7.2f} ms | "
                   f"energy {out.energy_j * 1e3:6.1f} mJ")
     _write_trace(args, tracer)
+    store_stats = None
+    if compiled_cache is not None and \
+            compiled_cache.artifact_store is not None:
+        store_stats = compiled_cache.artifact_store.stats.as_dict()
+        if args.fmt != "json":
+            print(f"  store: {store_stats['hits']} hit(s), "
+                  f"{store_stats['misses']} miss(es), "
+                  f"{store_stats['publishes']} publish(es)")
     if args.fmt == "json":
-        print(json_envelope("replay", {
+        doc = {
             "workload": recording.workload, "recorder": recording.recorder,
             "sku": sku_name, "engine": args.engine, "seed": args.seed,
             "input_seed": args.input_seed, "runs": run_rows,
-        }))
+        }
+        if store_stats is not None:
+            doc["store"] = store_stats
+        print(json_envelope("replay", doc))
     return 0
 
 
@@ -302,11 +322,12 @@ def cmd_fleet(args) -> int:
             fault_plan=FleetFaultPlan(seed=args.seed,
                                       vm_failure_rate=args.vm_failure_rate),
             capacity=args.capacity, warm_target=args.warm,
-            queue_limit=args.queue, tracer=tracer)
+            queue_limit=args.queue, tracer=tracer, store=args.store)
     else:
         sim = FleetSimulation(requests, capacity=args.capacity,
                               warm_target=args.warm,
-                              queue_limit=args.queue, tracer=tracer)
+                              queue_limit=args.queue, tracer=tracer,
+                              store=args.store)
     sim.run()
     summary = sim.summary()
     summary["config"] = {
@@ -404,7 +425,7 @@ def cmd_serve(args) -> int:
                          batch_max=args.batch_max,
                          tenant_queue_limit=args.queue_limit,
                          tracer=tracer, verify=args.verify,
-                         sanitizer=sanitizer)
+                         store=args.store, sanitizer=sanitizer)
     summary = dict(report.summary)
     summary["warm_s"] = round(report.warm_s, 6)
     if sanitizer is not None:
@@ -488,7 +509,7 @@ def cmd_perf(args) -> int:
     if args.serve:
         return _cmd_perf_serve(args)
     doc = perf.run_perf(quick=args.quick, reps=args.reps,
-                        epochs=args.epochs)
+                        epochs=args.epochs, store_root=args.store)
     path = perf.write_bench(doc, args.out)
     text = args.fmt != "json"
     if text:
@@ -567,6 +588,83 @@ def _cmd_perf_serve(args) -> int:
             "regressions": failures,
         }))
     return 1 if failures else 0
+
+
+def cmd_store(args) -> int:
+    """Operate on an on-disk compiled-artifact store: list, garbage-
+    collect, deep-verify, or remove entries."""
+    import dataclasses as dc
+
+    from repro.store import DiskStore, resolve_store_path
+
+    path = args.path or resolve_store_path(None)
+    if not path:
+        print("error: give a store path (or set REPRO_STORE)",
+              file=sys.stderr)
+        return 2
+    store = DiskStore(path)
+    command = f"store-{args.action}"
+
+    if args.action == "ls":
+        doc = {"root": str(store.root), "entries": store.entries(),
+               "total_bytes": store.nbytes(),
+               "stats": store.persisted_stats()}
+        if args.fmt == "json":
+            print(json_envelope(command, doc))
+        else:
+            print(store_summary_tables(doc))
+        return 0
+
+    if args.action == "gc":
+        receipts = store.gc(max_bytes=args.max_bytes)
+        doc = {"root": str(store.root),
+               "evicted": [dc.asdict(r) for r in receipts],
+               "remaining": len(store),
+               "remaining_bytes": store.nbytes()}
+        if args.fmt == "json":
+            print(json_envelope(command, doc))
+        else:
+            for r in receipts:
+                print(f"evicted {r.recording_digest[:12]} "
+                      f"(tenant {r.tenant_id}, {r.nbytes} bytes, "
+                      f"{r.reason})")
+            print(f"{len(receipts)} artifact(s) evicted; "
+                  f"{doc['remaining']} remain "
+                  f"({doc['remaining_bytes']} bytes)")
+        return 0
+
+    if args.action == "verify":
+        rows = store.verify_all()
+        bad = [r for r in rows if not r["ok"]]
+        doc = {"root": str(store.root), "checked": len(rows),
+               "failed": len(bad), "entries": rows}
+        if args.fmt == "json":
+            print(json_envelope(command, doc))
+        else:
+            for r in rows:
+                mark = "ok  " if r["ok"] else "FAIL"
+                name = r["recording_digest"][:12] or "?"
+                print(f"{mark} {name}  tenant={r['tenant_id'] or '?'}"
+                      + (f"  {r['error']}" if r["error"] else ""))
+            print(f"{len(rows)} artifact(s) checked, {len(bad)} failed")
+        return 1 if bad else 0
+
+    # rm: one digest, or a tenant's whole bucket
+    if args.digest:
+        receipts = store.remove(args.tenant, args.digest)
+    else:
+        receipts = store.evict_tenant(args.tenant)
+    doc = {"root": str(store.root), "tenant": args.tenant,
+           "digest": args.digest,
+           "removed": [dc.asdict(r) for r in receipts]}
+    if args.fmt == "json":
+        print(json_envelope(command, doc))
+    else:
+        for r in receipts:
+            print(f"removed {r.recording_digest[:12]} "
+                  f"(tenant {r.tenant_id}, {r.nbytes} bytes)")
+        print(f"{len(receipts)} artifact(s) removed")
+    return 0
 
 
 def cmd_diff(args) -> int:
@@ -713,6 +811,12 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="replay engine (default auto: compiled when the "
                         "device supports batching)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="compiled-artifact store directory: open the "
+                        "program from it when published, publish after "
+                        "compiling otherwise")
+    p.add_argument("--tenant", default="local",
+                   help="tenant namespace for --store lookups")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a Chrome-trace JSON of the replay to PATH")
     _add_format(p)
@@ -743,6 +847,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vm-failure-rate", type=float, default=0.0,
                    help="per-attempt probability a session VM dies "
                         "mid-dry-run (failover via checkpoint resume)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="attach an on-disk compiled-artifact store as "
+                        "the registry's second cache tier")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="write a Chrome-trace JSON of every session's "
                         "stages to PATH")
@@ -811,6 +918,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the happens-before/lock-order sanitizer "
                         "over the pool and engine; any race or lock "
                         "cycle fails the run (exit 1)")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="shared compiled-artifact store directory: "
+                        "workers publish on first warm and open on "
+                        "every later warm (including across restarts)")
     p.add_argument("--json", default=None,
                    help="also write the serve summary JSON to this path")
     p.add_argument("--trace", default=None, metavar="PATH",
@@ -856,8 +967,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the serving harness instead (shard-pool "
                         "throughput vs single worker, bit-identity); "
                         "writes BENCH_serve.json")
+    p.add_argument("--store", default=None, metavar="PATH",
+                   help="parent directory for the cold-start bench's "
+                        "per-rep artifact stores (benchmark the disk "
+                        "you deploy on; default: the system tmpdir)")
     _add_format(p)
     p.set_defaults(fn=cmd_perf)
+
+    p = sub.add_parser("store", help="inspect and maintain an on-disk "
+                                     "compiled-artifact store")
+    p.add_argument("action", choices=("ls", "gc", "verify", "rm"),
+                   help="ls: list entries + counters; gc: evict stale "
+                        "layouts and enforce a size budget; verify: "
+                        "deep-open every artifact (crc + sha + tenant "
+                        "bucket); rm: remove one digest or a tenant's "
+                        "whole bucket")
+    p.add_argument("path", nargs="?", default=None,
+                   help="store directory (default: $REPRO_STORE)")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="gc: size budget to enforce (default: the "
+                        "store's configured budget, i.e. none)")
+    p.add_argument("--tenant", default="local",
+                   help="rm: tenant namespace to remove from")
+    p.add_argument("--digest", default=None,
+                   help="rm: recording digest to remove (default: the "
+                        "tenant's whole bucket)")
+    _add_format(p)
+    p.set_defaults(fn=cmd_store)
 
     p = sub.add_parser("diff", help="compare two recordings (remote "
                                     "debugging, §3)")

@@ -23,8 +23,12 @@ GPU event.  Compiled programs are cached on the recording object and, per
 
 from __future__ import annotations
 
+import hashlib
+import json
+import struct
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -126,6 +130,11 @@ class CompiledRecording:
     # Executable forms.
     full_program: Program = field(repr=False)
     segment_programs: List[Tuple[str, Program]] = field(repr=False)
+    #: Set when loaded via :func:`from_artifact`: the artifact's meta
+    #: block (identity, versions, elision counts).  ``None`` for
+    #: freshly-compiled recordings.
+    artifact_meta: Optional[dict] = field(default=None, repr=False,
+                                          compare=False)
 
     @property
     def n_pages(self) -> int:
@@ -280,4 +289,465 @@ def compile_recording(recording) -> CompiledRecording:
         entry_count=len(entries),
         full_program=full_program,
         segment_programs=segment_programs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Compile cost model
+# ----------------------------------------------------------------------
+# Compilation is not free (BENCH_replay.json: 2.4 s on alexnet) and not
+# always worth it: mnist's measured compiled-replay speedup is 1.03×
+# because its replay time is dominated by blocking poll iterations that
+# both engines pay identically.  The model below predicts the speedup
+# from entry counts alone — O(entries), no compile needed — using a
+# two-term unit-cost account: per-entry dispatch (what batching removes)
+# plus blocking poll iterations weighted at _POLL_ITER_WEIGHT dispatches
+# each (what batching cannot touch).  Calibrated against BENCH_replay:
+# alexnet/NAIVE predicts 3.2× (measured 3.46×), mnist predicts 1.2×
+# (measured 1.03×).
+_POLL_ITER_WEIGHT = 4.0    # one blocking poll iteration ≈ 4 dispatches
+_BATCH_SIZE_EST = 8.0      # estimated mean batch length after lowering
+COMPILE_MIN_ENTRIES = 32   # below this, compile setup dwarfs any win
+COMPILE_MIN_SPEEDUP = 1.5  # predicted-benefit threshold
+
+
+@dataclass(frozen=True)
+class CompileDecision:
+    """Outcome of the compile cost model for one recording."""
+
+    use_compiled: bool
+    reason: str               # "beneficial" | "low-benefit" | "tiny-recording"
+    predicted_speedup: float
+
+    def __str__(self) -> str:
+        return (f"{'compile' if self.use_compiled else 'skip'}"
+                f"({self.reason}, predicted {self.predicted_speedup:.2f}x)")
+
+
+def compile_decision(recording) -> CompileDecision:
+    """Predict whether compiling ``recording`` beats the interpreter.
+
+    ``engine="auto"`` replay consults this and falls back to the legacy
+    interpreter (skipping both the compile and any store publish) when
+    the predicted benefit is under :data:`COMPILE_MIN_SPEEDUP`; passing
+    ``engine="compiled"`` explicitly always compiles.
+    """
+    entries = recording.entries
+    n = len(entries)
+    if n < COMPILE_MIN_ENTRIES:
+        return CompileDecision(False, "tiny-recording", 1.0)
+    batchable = 0
+    blocked_iters = 0
+    for e in entries:
+        if isinstance(e, RegWrite):
+            if is_batchable_write(e.offset):
+                batchable += 1
+        elif isinstance(e, RegRead):
+            batchable += 1
+        elif isinstance(e, PollEntry):
+            if e.iterations == 1:
+                batchable += 1
+            else:
+                blocked_iters += e.iterations - 1
+    shared = _POLL_ITER_WEIGHT * blocked_iters
+    legacy_cost = n + shared
+    compiled_cost = (n - batchable) + batchable / _BATCH_SIZE_EST + shared
+    predicted = legacy_cost / max(compiled_cost, 1.0)
+    if predicted < COMPILE_MIN_SPEEDUP:
+        return CompileDecision(False, "low-benefit", predicted)
+    return CompileDecision(True, "beneficial", predicted)
+
+
+# ----------------------------------------------------------------------
+# Artifact codec: flat binary serialization for the on-disk store
+# ----------------------------------------------------------------------
+# Layout:
+#
+#   +--------------------------------------------------------------+
+#   | header (16 B): magic "GRTA" | u16 version | u16 flags        |
+#   |                | u32 meta_len | u32 crc32(meta)              |
+#   +--------------------------------------------------------------+
+#   | meta: JSON — identity (recording digest, tenant, workload,   |
+#   |   compiler/schema versions, SKU fingerprint), the section    |
+#   |   table (payload-relative offset/nbytes/dtype/shape), the    |
+#   |   payload sha256, and both programs (OP_MEMW ops carry a     |
+#   |   page-group index instead of inline pages)                  |
+#   +---- padding to 64-byte alignment ----------------------------+
+#   | payload: numpy sections, each 64-byte aligned —              |
+#   |   writes | reads | polls | irq_lines | page_pfns |           |
+#   |   page_table | memw_bounds | group_full_counts | skip_pfns   |
+#   +--------------------------------------------------------------+
+#
+# Pages in the publish-time skip set (the replayer's protected data
+# pages) are *elided*: replay never installs them, so persisting them
+# would only bloat the artifact ~100× (alexnet/NAIVE: 116 MB → ~1 MB)
+# and park recorded data-page bytes in a shared store for no benefit —
+# the §7.1-conservative choice.  ``group_full_counts`` preserves the
+# original per-group page counts so loaded page groups report the exact
+# recorded (pages_loaded, pages_skipped) split, keeping store-hit replay
+# stats bit-identical to a fresh compile.  ``from_artifact`` verifies
+# the meta crc32 and the payload sha256 on every open — cheap at ~1 MB —
+# so a corrupt artifact is rejected, never served.
+
+ARTIFACT_MAGIC = b"GRTA"
+ARTIFACT_VERSION = 1       # flat-layout schema version (store key part)
+COMPILER_VERSION = 1       # program-lowering version (store key part)
+_HEADER = struct.Struct("<4sHHII")
+_ALIGN = 64
+
+_SECTION_ORDER = ("writes", "reads", "polls", "irq_lines", "page_pfns",
+                  "page_table", "memw_bounds", "group_full_counts",
+                  "skip_pfns")
+
+
+class ArtifactError(ValueError):
+    """A compiled artifact is corrupt, truncated, or wrong for the key."""
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _encode_program(program: Program, cursor: List[int]) -> List[list]:
+    """JSON-encode a program; OP_MEMW ops become [op, group_index].
+
+    ``cursor`` is a one-element running group counter.  The full program
+    is encoded with its own counter (indices 0..n-1); segment programs
+    share a second counter across all segments, which yields the *same*
+    0..n-1 range because segment MemWrite groups mirror the full
+    program's in log order (``segments()`` splits at markers, so every
+    MemWrite lands in exactly one segment).  The decoder resolves both
+    against one group list, so full and segment programs share PageGroup
+    instances — one filter cache.
+    """
+    out: List[list] = []
+    for op in program:
+        if op[0] == OP_MEMW:
+            out.append([OP_MEMW, cursor[0]])
+            cursor[0] += 1
+        elif op[0] == OP_WBATCH:
+            out.append([OP_WBATCH, list(op[1]), list(op[2]), op[3]])
+        elif op[0] == OP_OBS:
+            out.append([OP_OBS, list(op[1]),
+                        [list(item) for item in op[2]], op[3]])
+        else:
+            out.append(list(op))
+    return out
+
+
+def _decode_program(encoded: List[list],
+                    groups: List[PageGroup]) -> Program:
+    """Rebuild a program, resolving group indices against ``groups``."""
+    program: Program = []
+    for op in encoded:
+        code = op[0]
+        if code == OP_MEMW:
+            if not 0 <= op[1] < len(groups):
+                raise ArtifactError(
+                    f"artifact program references page group {op[1]} "
+                    f"of {len(groups)}")
+            program.append((OP_MEMW, groups[op[1]]))
+        elif code == OP_WBATCH:
+            program.append((OP_WBATCH, tuple(op[1]), tuple(op[2]), op[3]))
+        elif code == OP_OBS:
+            program.append((OP_OBS, tuple(op[1]),
+                            tuple(tuple(item) for item in op[2]), op[3]))
+        else:
+            program.append(tuple(op))
+    return program
+
+
+class _ElidedPageGroup(PageGroup):
+    """A page group whose publish-time skipped pages were elided.
+
+    Only the pages replay actually installs were persisted; ``select``
+    answers the exact skip set the artifact was published for (with the
+    recorded skip count, keeping stats bit-identical) and refuses any
+    other — a replay against a different skip set needs a fresh compile
+    from the recording, not a partial artifact.
+    """
+
+    __slots__ = ("publish_skip_key", "n_elided")
+
+    def __init__(self, pfns: np.ndarray, pages: np.ndarray,
+                 publish_skip_key: frozenset, n_elided: int) -> None:
+        super().__init__(pfns, pages)
+        self.publish_skip_key = publish_skip_key
+        self.n_elided = n_elided
+        self._filtered[publish_skip_key] = (pfns, pages, n_elided)
+
+    def select(self, skip_key: Optional[frozenset]
+               ) -> Tuple[np.ndarray, np.ndarray, int]:
+        if skip_key:
+            hit = self._filtered.get(skip_key)
+            if hit is not None:
+                return hit
+        raise ArtifactError(
+            "artifact page group was published for a fixed skip set and "
+            "cannot serve a different one; recompile from the recording")
+
+
+def _memw_groups(compiled: CompiledRecording) -> List[PageGroup]:
+    return [op[1] for op in compiled.full_program if op[0] == OP_MEMW]
+
+
+def to_artifact(compiled: CompiledRecording, *, tenant_id: str,
+                recording=None, recording_digest: str = "",
+                workload: str = "", recorder: str = "",
+                sku_fingerprint=(), skip_pfns=None) -> bytes:
+    """Serialize ``compiled`` to the flat artifact byte layout.
+
+    When ``recording`` is given, identity fields (digest, workload,
+    recorder, SKU fingerprint) and the skip set (``data_pfns``) come
+    from it; explicit keyword values override.  The skip set's pages are
+    elided from the page table (see module comment).
+    """
+    if recording is not None:
+        recording_digest = recording_digest or recording.digest()
+        workload = workload or recording.workload
+        recorder = recorder or recording.recorder
+        sku_fingerprint = sku_fingerprint or recording.sku_fingerprint
+        if skip_pfns is None:
+            skip_pfns = recording.data_pfns
+    skip_sorted = sorted(int(p) for p in (skip_pfns or ()))
+    skip_key: Optional[frozenset] = frozenset(skip_sorted) or None
+
+    groups = _memw_groups(compiled)
+    seg_groups = [op[1] for _, prog in compiled.segment_programs
+                  for op in prog if op[0] == OP_MEMW]
+    if len(seg_groups) != len(groups) or any(
+            not np.array_equal(a.pfns, b.pfns)
+            for a, b in zip(groups, seg_groups)):
+        raise ArtifactError(
+            "segment programs do not mirror the full program's MemWrite "
+            "groups; cannot share page groups in the artifact")
+
+    kept_pfns: List[np.ndarray] = []
+    kept_pages: List[np.ndarray] = []
+    bounds = np.zeros((len(groups), 2), dtype=np.uint32)
+    full_counts = np.zeros(len(groups), dtype=np.uint32)
+    row = 0
+    for i, group in enumerate(groups):
+        pfns, pages, _ = group.select(skip_key)
+        kept_pfns.append(pfns)
+        kept_pages.append(pages)
+        bounds[i] = (row, row + len(pfns))
+        full_counts[i] = len(group.pfns)
+        row += len(pfns)
+    if groups:
+        pfns_arr = np.ascontiguousarray(np.concatenate(kept_pfns))
+        table_arr = np.ascontiguousarray(np.concatenate(kept_pages))
+    else:
+        pfns_arr = np.empty(0, dtype=np.uint64)
+        table_arr = np.empty((0, PAGE_SIZE), dtype=np.uint8)
+
+    sections = {
+        "writes": compiled.writes,
+        "reads": compiled.reads,
+        "polls": compiled.polls,
+        "irq_lines": compiled.irq_lines,
+        "page_pfns": pfns_arr,
+        "page_table": table_arr,
+        "memw_bounds": bounds,
+        "group_full_counts": full_counts,
+        "skip_pfns": np.asarray(skip_sorted, dtype=np.uint64),
+    }
+    table: Dict[str, dict] = {}
+    chunks: List[bytes] = []
+    offset = 0
+    sha = hashlib.sha256()
+    for name in _SECTION_ORDER:
+        arr = np.ascontiguousarray(sections[name])
+        raw = arr.tobytes()
+        table[name] = {"offset": offset, "nbytes": len(raw),
+                       "dtype": np.lib.format.dtype_to_descr(arr.dtype),
+                       "shape": list(arr.shape)}
+        chunks.append(raw)
+        sha.update(raw)
+        pad = _align(offset + len(raw)) - (offset + len(raw))
+        if pad:
+            chunks.append(b"\0" * pad)
+            sha.update(b"\0" * pad)
+        offset = _align(offset + len(raw))
+
+    seg_cursor = [0]
+    encoded_segments = [[label, _encode_program(prog, seg_cursor)]
+                        for label, prog in compiled.segment_programs]
+    meta = {
+        "artifact_version": ARTIFACT_VERSION,
+        "compiler_version": COMPILER_VERSION,
+        "recording_digest": recording_digest,
+        "tenant_id": tenant_id,
+        "workload": workload,
+        "recorder": recorder,
+        "sku_fingerprint": _fingerprint_json(sku_fingerprint),
+        "entry_count": compiled.entry_count,
+        "page_count": int(sum(full_counts)) if len(groups) else 0,
+        "pages_elided": int(sum(full_counts)) - int(len(pfns_arr)),
+        "payload_nbytes": offset,
+        "payload_sha256": sha.hexdigest(),
+        "sections": table,
+        "programs": {
+            "full": _encode_program(compiled.full_program, [0]),
+            "segments": encoded_segments,
+        },
+    }
+    meta_raw = json.dumps(meta, sort_keys=True,
+                          separators=(",", ":")).encode()
+    header = _HEADER.pack(ARTIFACT_MAGIC, ARTIFACT_VERSION, 0,
+                          len(meta_raw), zlib.crc32(meta_raw))
+    pad = _align(len(header) + len(meta_raw)) - len(header) - len(meta_raw)
+    return b"".join([header, meta_raw, b"\0" * pad] + chunks)
+
+
+def _fingerprint_json(fingerprint) -> list:
+    """SKU fingerprints are nested tuples; JSON needs nested lists."""
+    return [list(item) if isinstance(item, (tuple, list)) else item
+            for item in fingerprint]
+
+
+def _fingerprint_tuple(encoded) -> tuple:
+    return tuple(tuple(item) if isinstance(item, list) else item
+                 for item in encoded)
+
+
+def _parse_header(buf) -> Tuple[dict, int]:
+    """Validate header + meta of an artifact buffer; (meta, payload_base)."""
+    if len(buf) < _HEADER.size:
+        raise ArtifactError("artifact truncated: no header")
+    magic, version, _flags, meta_len, meta_crc = _HEADER.unpack(
+        bytes(buf[:_HEADER.size]))
+    if magic != ARTIFACT_MAGIC:
+        raise ArtifactError("not a compiled artifact (bad magic)")
+    if version != ARTIFACT_VERSION:
+        raise ArtifactError(
+            f"artifact schema v{version} unsupported "
+            f"(this build reads v{ARTIFACT_VERSION})")
+    if len(buf) < _HEADER.size + meta_len:
+        raise ArtifactError("artifact truncated: incomplete meta")
+    meta_raw = bytes(buf[_HEADER.size:_HEADER.size + meta_len])
+    if zlib.crc32(meta_raw) != meta_crc:
+        raise ArtifactError("artifact meta corrupt (crc mismatch)")
+    try:
+        meta = json.loads(meta_raw)
+    except ValueError as exc:
+        raise ArtifactError(f"artifact meta unreadable: {exc}") from None
+    return meta, _align(_HEADER.size + meta_len)
+
+
+def artifact_meta(source) -> dict:
+    """Parse and return just the meta block (header-weight operation)."""
+    buf = _as_buffer(source)
+    meta, _ = _parse_header(buf)
+    return meta
+
+
+def _as_buffer(source) -> np.ndarray:
+    """A uint8 array over ``source``: memmap for paths, view for bytes."""
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return np.frombuffer(source, dtype=np.uint8)
+    try:
+        return np.memmap(source, dtype=np.uint8, mode="r")
+    except (OSError, ValueError) as exc:
+        raise ArtifactError(f"cannot map artifact {source!r}: {exc}") from None
+
+
+def from_artifact(source, *, expected_digest: Optional[str] = None,
+                  expected_tenant: Optional[str] = None,
+                  expected_sku=None, verify: bool = True
+                  ) -> CompiledRecording:
+    """Load a compiled recording from an artifact file or byte buffer.
+
+    Paths are opened with ``np.memmap`` and every section becomes a
+    read-only view into the mapping — no per-entry copies, O(pages
+    touched) to first replay.  The meta crc32 and payload sha256 are
+    re-checked on every open (``verify=False`` skips the payload hash;
+    the store never does).  Mismatched identity raises: wrong recording
+    digest or SKU → :class:`ArtifactError`; wrong tenant →
+    ``TenantIsolationError`` (§7.1 — a store entry is never served
+    across tenants).
+    """
+    buf = _as_buffer(source)
+    meta, payload_base = _parse_header(buf)
+    if meta.get("compiler_version") != COMPILER_VERSION:
+        raise ArtifactError(
+            f"artifact compiled by compiler v{meta.get('compiler_version')}"
+            f" (this build is v{COMPILER_VERSION}); recompile")
+    if expected_digest is not None and \
+            meta.get("recording_digest") != expected_digest:
+        raise ArtifactError(
+            f"artifact is for recording {meta.get('recording_digest')!r},"
+            f" not {expected_digest!r}")
+    if expected_tenant is not None and \
+            meta.get("tenant_id") != expected_tenant:
+        from repro.fleet.registry import TenantIsolationError
+        raise TenantIsolationError(
+            f"artifact belongs to tenant {meta.get('tenant_id')!r}; "
+            f"tenant {expected_tenant!r} may not open it (§7.1)")
+    if expected_sku is not None and \
+            _fingerprint_tuple(meta.get("sku_fingerprint", [])) != \
+            tuple(expected_sku):
+        raise ArtifactError("artifact was compiled for a different SKU")
+
+    payload_nbytes = int(meta["payload_nbytes"])
+    if len(buf) < payload_base + payload_nbytes:
+        raise ArtifactError("artifact truncated: incomplete payload")
+    payload = buf[payload_base:payload_base + payload_nbytes]
+    if verify:
+        digest = hashlib.sha256(memoryview(payload)).hexdigest()
+        if digest != meta["payload_sha256"]:
+            raise ArtifactError("artifact payload corrupt (sha mismatch)")
+
+    arrays: Dict[str, np.ndarray] = {}
+    for name in _SECTION_ORDER:
+        spec = meta["sections"][name]
+        off, nbytes = int(spec["offset"]), int(spec["nbytes"])
+        if off < 0 or off + nbytes > payload_nbytes:
+            raise ArtifactError(f"artifact section {name!r} out of bounds")
+        descr = spec["dtype"]
+        if not isinstance(descr, str):
+            # Structured descrs round-trip through JSON as nested lists.
+            descr = [tuple(fld) for fld in descr]
+        try:
+            dtype = np.dtype(descr)
+        except TypeError as exc:
+            raise ArtifactError(
+                f"artifact section {name!r} dtype invalid: {exc}") from None
+        shape = tuple(spec["shape"])
+        raw = payload[off:off + nbytes]
+        try:
+            arrays[name] = raw.view(dtype).reshape(shape)
+        except (ValueError, TypeError) as exc:
+            raise ArtifactError(
+                f"artifact section {name!r} malformed: {exc}") from None
+
+    skip_sorted = [int(p) for p in arrays["skip_pfns"]]
+    skip_key: Optional[frozenset] = frozenset(skip_sorted) or None
+    bounds = arrays["memw_bounds"]
+    full_counts = arrays["group_full_counts"]
+    groups: List[PageGroup] = []
+    for i in range(len(bounds)):
+        lo, hi = int(bounds[i, 0]), int(bounds[i, 1])
+        pfns = arrays["page_pfns"][lo:hi]
+        pages = arrays["page_table"][lo:hi]
+        n_elided = int(full_counts[i]) - (hi - lo)
+        if n_elided == 0:
+            groups.append(PageGroup(pfns, pages))
+        elif skip_key is None:
+            raise ArtifactError("artifact elides pages but records no "
+                                "skip set")
+        else:
+            groups.append(_ElidedPageGroup(pfns, pages, skip_key, n_elided))
+
+    programs = meta["programs"]
+    full_program = _decode_program(programs["full"], groups)
+    segment_programs = [(label, _decode_program(encoded, groups))
+                        for label, encoded in programs["segments"]]
+    return CompiledRecording(
+        writes=arrays["writes"], reads=arrays["reads"],
+        polls=arrays["polls"], irq_lines=arrays["irq_lines"],
+        page_pfns=arrays["page_pfns"], page_table=arrays["page_table"],
+        memw_bounds=bounds, entry_count=int(meta["entry_count"]),
+        full_program=full_program, segment_programs=segment_programs,
+        artifact_meta=meta,
     )

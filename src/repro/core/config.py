@@ -39,6 +39,31 @@ def legacy_replay_env() -> bool:
     return True
 
 
+_warned_store_env = False
+
+
+def store_env():
+    """Path from the transitional ``REPRO_STORE`` variable, or ``None``.
+
+    Honored so pre-``store=`` scripts can point every run at one
+    artifact store, but — like ``REPRO_LEGACY_REPLAY`` — it emits a
+    one-time :class:`DeprecationWarning` steering callers to the
+    explicit ``store=`` / ``--store`` parameter, which keeps the cache
+    location visible at the call site.
+    """
+    path = os.environ.get("REPRO_STORE", "").strip()
+    if not path:
+        return None
+    global _warned_store_env
+    if not _warned_store_env:
+        warnings.warn(
+            "REPRO_STORE is a transitional toggle; pass store=PATH to "
+            "repro.replay()/serve (or --store on the CLI) instead",
+            DeprecationWarning, stacklevel=3)
+        _warned_store_env = True
+    return path
+
+
 def validate_engine(engine: str) -> str:
     if engine not in ENGINES:
         raise ValueError(

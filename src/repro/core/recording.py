@@ -143,6 +143,8 @@ class Recording:
                                    compare=False, repr=False)
     _compiled: Optional[object] = field(default=None, init=False,
                                         compare=False, repr=False)
+    _compile_decision: Optional[object] = field(default=None, init=False,
+                                                compare=False, repr=False)
 
     # ------------------------------------------------------------------
     def digest(self) -> str:
@@ -157,11 +159,25 @@ class Recording:
 
     def compile(self):
         """The columnar compiled form (:mod:`repro.core.compiled`),
-        lowered once and cached on the recording."""
+        lowered once and cached on the recording.
+
+        Unconditional — callers wanting the cost-model gate (skip the
+        lowering when the predicted benefit is too small) consult
+        :meth:`compile_decision` first, as ``engine="auto"`` replay does.
+        """
         if self._compiled is None:
             from repro.core.compiled import compile_recording
             self._compiled = compile_recording(self)
         return self._compiled
+
+    def compile_decision(self):
+        """The compile cost model's verdict for this recording
+        (:func:`repro.core.compiled.compile_decision`), cached — the
+        O(entries) scan runs once per recording object."""
+        if self._compile_decision is None:
+            from repro.core.compiled import compile_decision
+            self._compile_decision = compile_decision(self)
+        return self._compile_decision
 
     # ------------------------------------------------------------------
     def body_bytes(self) -> bytes:

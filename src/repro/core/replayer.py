@@ -23,7 +23,7 @@ it to fast-forward the client GPU over a validated log prefix (§4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -79,6 +79,11 @@ class ReplayStats(StatsBase):
     irq_waits: int = 0
     pages_loaded: int = 0
     pages_skipped: int = 0
+    #: How the engine was chosen for this run, e.g. "compiled:beneficial"
+    #: or "skipped:low-benefit" (the compile cost model, see
+    #: :func:`repro.core.compiled.compile_decision`).  Excluded from
+    #: equality so A/B identity gates compare only replay behavior.
+    compile_decision: str = field(default="", compare=False)
 
 
 def legacy_replay_forced() -> bool:
@@ -433,7 +438,8 @@ class Replayer:
         attached (keyed per tenant + content digest), else per-object."""
         if self.compiled_cache is not None:
             return self.compiled_cache.compiled_for(
-                self.tenant_id, recording.digest(), recording.compile)
+                self.tenant_id, recording.digest(), recording.compile,
+                recording=recording)
         return recording.compile()
 
     def span_energy_since(self, timeline_start: int) -> float:
@@ -488,15 +494,37 @@ class ReplaySession:
         self.recording = recording
         self.runs = 0
         self._compiled = None            # lazily bound CompiledRecording
+        self._decision = ""              # engine-choice label for stats
         self._prefix_programs: Dict[str, list] = {}
 
     def _compiled_recording(self):
         """The compiled form, or None when the legacy engine is selected
-        (explicitly or via the deprecated env toggle) or the device
-        cannot batch (then entries are streamed per-entry)."""
+        (explicitly, via the deprecated env toggle, or by the compile
+        cost model) or the device cannot batch (then entries are
+        streamed per-entry).
+
+        Under ``engine="auto"`` the compile cost model
+        (:func:`repro.core.compiled.compile_decision`) is consulted
+        first: recordings whose predicted compiled-replay benefit is
+        below threshold (e.g. mnist, measured 1.03×) replay through the
+        interpreter and never pay the compile — or publish to the
+        artifact store.  ``engine="compiled"`` always compiles.
+        """
         engine = self.replayer.engine
-        if engine == "legacy" or (engine == "auto" and legacy_replay_env()):
+        if engine == "legacy":
+            self._decision = "legacy:explicit"
             return None
+        if engine == "auto" and legacy_replay_env():
+            self._decision = "legacy:env"
+            return None
+        if engine == "auto":
+            decision = self.recording.compile_decision()
+            if not decision.use_compiled:
+                self._decision = f"skipped:{decision.reason}"
+                return None
+            self._decision = f"compiled:{decision.reason}"
+        else:
+            self._decision = "compiled:forced"
         if self._compiled is None:
             self._compiled = self.replayer.compiled_for(self.recording)
         return self._compiled
@@ -636,6 +664,7 @@ class ReplaySession:
                 if tracer is not None:
                     tracer.end(args={"entries": stats.entries})
                 self.runs += 1
+                stats.compile_decision = self._decision
                 results.append(ReplayResult(
                     output=output, delay_s=r.clock.now - t0,
                     energy_j=r.span_energy_since(timeline_start),
@@ -707,6 +736,7 @@ class ReplaySession:
             tzasc.release_gpu()
         self.runs += 1
         delay = r.clock.now - t0
+        combined.compile_decision = self._decision
         return ReplayResult(output=output, delay_s=delay,
                             energy_j=r.span_energy_since(timeline_start),
                             stats=combined)
@@ -742,6 +772,7 @@ class ReplaySession:
             tzasc.release_gpu()
         self.runs += 1
         delay = r.clock.now - t0
+        stats.compile_decision = self._decision
         return ReplayResult(output=output, delay_s=delay,
                             energy_j=r.span_energy_since(timeline_start),
                             stats=stats)

@@ -89,6 +89,9 @@ class Eviction:
     tenant_id: str
     recordings: int
     compiled: int
+    #: Artifacts dropped from the attached second-tier store (0 when the
+    #: registry runs memory-only).
+    store_artifacts: int = 0
 
 
 class RecordingRegistry:
@@ -100,8 +103,14 @@ class RecordingRegistry:
     digest) even when sessions race on a cold key.
     """
 
-    def __init__(self, sanitizer=None) -> None:
+    def __init__(self, sanitizer=None, store=None) -> None:
         self.sanitizer = sanitizer
+        #: Optional second cache tier (:class:`repro.store.DiskStore` /
+        #: ``MemoryStore`` / anything with ``get``/``put``): compiled
+        #: programs missing in memory are opened from here before being
+        #: rebuilt, and fresh builds are published back (when the
+        #: recording is available to serialize against).
+        self.artifact_store = store
         self._by_tenant: Dict[str, Dict[RecordingKey, CachedRecording]] = {}
         self.stats = RegistryStats()
         # Compiled columnar recordings, keyed (tenant, content digest).
@@ -154,15 +163,22 @@ class RecordingRegistry:
 
     # ------------------------------------------------------------------
     def compiled_for(self, tenant_id: str, digest: str,
-                     build: Callable[[], object]) -> object:
+                     build: Callable[[], object],
+                     recording=None) -> object:
         """The tenant's compiled form for a recording digest.
 
-        On miss, ``build()`` (typically ``Recording.compile``) runs once
-        and the result is cached, so repeated fleet sessions replaying
-        the same recording never re-lower it.  Concurrent callers racing
-        on a cold key wait for the one in-flight build rather than each
-        lowering their own copy; ``build()`` itself runs outside the
-        lock, so distinct keys compile in parallel.
+        Two-tier lookup: the in-memory map first, then the attached
+        artifact store (``store=``) — a store hit is opened (memmap,
+        integrity re-checked) and cached in memory; only a miss in both
+        tiers runs ``build()`` (typically ``Recording.compile``), and
+        the fresh build is published back to the store when
+        ``recording`` is supplied to serialize against.  Concurrent
+        callers racing on a cold key wait for the one in-flight
+        open-or-build rather than each lowering their own copy;
+        ``build()`` itself runs outside the lock, so distinct keys
+        compile in parallel.  Store publish failures are swallowed
+        (the memory tier still serves) — store *isolation* violations
+        are not.
         """
         key = (tenant_id, digest)
         while True:
@@ -181,7 +197,10 @@ class RecordingRegistry:
             # re-check (if its build fails we take over as builder).
             pending.wait()
         try:
-            built = build()
+            built = self._store_get(tenant_id, digest)
+            if built is None:
+                built = build()
+                self._store_put(tenant_id, digest, built, recording)
         except BaseException:
             with self._lock:
                 event = self._building.pop(key)
@@ -193,6 +212,28 @@ class RecordingRegistry:
             event = self._building.pop(key)
         event.set()
         return built
+
+    def _store_get(self, tenant_id: str, digest: str):
+        if self.artifact_store is None:
+            return None
+        from repro.store.base import ArtifactKey
+        return self.artifact_store.get(tenant_id, ArtifactKey.current(digest))
+
+    def _store_put(self, tenant_id: str, digest: str, built,
+                   recording) -> None:
+        if self.artifact_store is None or recording is None:
+            return
+        from repro.core.compiled import to_artifact
+        from repro.store.base import ArtifactKey, StoreError
+        try:
+            blob = to_artifact(built, tenant_id=tenant_id,
+                               recording=recording,
+                               recording_digest=digest)
+            self.artifact_store.put(tenant_id, ArtifactKey.current(digest),
+                                    blob)
+        except StoreError:
+            # Publish is an optimization; replay proceeds from memory.
+            pass
 
     def compiled_count(self) -> int:
         with self._lock:
@@ -214,9 +255,14 @@ class RecordingRegistry:
                        if key[0] == tenant_id]
             for key in dropped:
                 del self._compiled[key]
-            return Eviction(tenant_id=tenant_id,
-                            recordings=len(bucket) if bucket else 0,
-                            compiled=len(dropped))
+        store_dropped = 0
+        if self.artifact_store is not None and \
+                hasattr(self.artifact_store, "evict_tenant"):
+            store_dropped = len(self.artifact_store.evict_tenant(tenant_id))
+        return Eviction(tenant_id=tenant_id,
+                        recordings=len(bucket) if bucket else 0,
+                        compiled=len(dropped),
+                        store_artifacts=store_dropped)
 
     # ------------------------------------------------------------------
     def tenants(self) -> Tuple[str, ...]:

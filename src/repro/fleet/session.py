@@ -137,6 +137,7 @@ class FleetSimulation:
                  queue_limit: int = 24,
                  service: Optional[CloudService] = None,
                  cost_model: Optional[SessionCostModel] = None,
+                 store=None,
                  tracer=None) -> None:
         self.requests = list(requests)
         # Optional repro.obs.Tracer.  Sessions are coroutines interleaved
@@ -149,7 +150,13 @@ class FleetSimulation:
         self.pool = VmPool(self.scheduler, capacity=capacity,
                            warm_target=warm_target, queue_limit=queue_limit,
                            cost_model=self.service.cost_model)
-        self.registry = RecordingRegistry()
+        # Optional artifact store (path or DiskStore/MemoryStore-shaped
+        # object) becomes the registry's second cache tier: compiled
+        # programs survive the simulation, and a later fleet/serve run
+        # over the same store opens them instead of recompiling.
+        from repro.store import resolve_store
+        self.registry = RecordingRegistry(
+            store=resolve_store(store, tracer=tracer))
         self.metrics = FleetMetrics()
         self.costs = cost_model or SessionCostModel()
         self.verifier = AttestationVerifier(self.service.root.key)
@@ -307,6 +314,9 @@ class FleetSimulation:
             "compiled_hits": self.registry.compiled_stats.hits,
             "compiled_misses": self.registry.compiled_stats.misses,
         }
+        if self.registry.artifact_store is not None:
+            doc["registry"]["store"] = \
+                self.registry.artifact_store.stats.as_dict()
         doc["service"] = {
             "sessions_opened": self.service.sessions_opened,
             "sessions_aborted": self.service.sessions_aborted,

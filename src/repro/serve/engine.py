@@ -314,15 +314,24 @@ def serve_burst(requests: List[ServeRequest],
                 max_retries: int = 2, tracer=None,
                 verify: bool = False,
                 pool: Optional[ShardPool] = None,
+                store=None,
                 sanitizer=None) -> ServeReport:
     """Record + warm + serve ``requests``; optionally verify the pool's
     outputs bit-identical against the in-process single-path reference.
 
     ``warm_s`` on the report covers recording, worker start and warm
     (compile + open) — the cold-start cost a long-lived deployment pays
-    once, excluded from throughput.
+    once, excluded from throughput.  ``store=`` (a directory path or
+    :class:`repro.DiskStore`) shares compiled artifacts across all
+    workers and across pool restarts, so only the first warm of a
+    (tenant, recording) pays the compile.
     """
-    catalog = catalog or ServeCatalog()
+    from repro.store import resolve_store_path
+    store_path = resolve_store_path(store)
+    if catalog is None:
+        catalog = ServeCatalog(store_path=store_path)
+    elif store_path:
+        catalog.store_path = store_path
     warm_specs = catalog.warm_specs(requests)
     t0 = time.perf_counter()
     own_pool = pool is None

@@ -108,13 +108,19 @@ class ServeCatalog:
     every tenant's traffic; the *warm specs* stay per-tenant because the
     shard cache (like the fleet registry) never shares derived state
     across tenants.
+
+    ``store_path`` rides into every warm spec: when set, workers warm
+    through a shared on-disk artifact store at that path (compile once,
+    open everywhere — including across pool restarts).
     """
 
     def __init__(self, recorder: Optional[RecorderConfig] = None,
-                 seed: int = 0, weight_seed: int = 0) -> None:
+                 seed: int = 0, weight_seed: int = 0,
+                 store_path: str = "") -> None:
         self.recorder = recorder or OURS_MDS
         self.seed = seed
         self.weight_seed = weight_seed
+        self.store_path = store_path
         self._recordings: Dict[str, Tuple[bytes, str]] = {}
         self._digests: Dict[str, str] = {}
 
@@ -140,7 +146,8 @@ class ServeCatalog:
         blob, key_hex = self._recordings[workload]
         return WarmSpec(tenant_id=tenant_id, workload=workload,
                         recording_blob=blob, key_secret_hex=key_hex,
-                        weight_seed=self.weight_seed)
+                        weight_seed=self.weight_seed,
+                        store_path=self.store_path)
 
     def warm_specs(self, requests: List[ServeRequest]) -> List[WarmSpec]:
         """One spec per distinct (tenant, workload) in ``requests``."""

@@ -78,6 +78,12 @@ class WarmSpec:
     The recording travels as its signed wire bytes plus the service
     verification key, so the worker re-runs the §7.1 signature check
     before compiling — a shard never executes an unverified program.
+
+    ``store_path`` (optional) points every worker at one shared on-disk
+    artifact store: the first worker to warm a (tenant, recording)
+    compiles and publishes, every later worker — including respawns and
+    whole restarted pools — opens the published artifact instead of
+    lowering it again.
     """
 
     tenant_id: str
@@ -85,6 +91,7 @@ class WarmSpec:
     recording_blob: bytes
     key_secret_hex: str
     weight_seed: int = 0
+    store_path: str = ""
 
     def digest(self) -> str:
         return hashlib.sha256(self.recording_blob).hexdigest()
@@ -136,6 +143,24 @@ class ShardPoolStats(StatsBase):
 # ----------------------------------------------------------------------
 # Worker side (runs in the child process)
 # ----------------------------------------------------------------------
+
+#: One store-backed registry per store path, per worker process: every
+#: warm against the same store shares one DiskStore handle (and its
+#: in-memory first tier), so a worker warming N tenants opens the store
+#: once and a respawned worker re-warms from published artifacts.
+_WORKER_REGISTRIES: Dict[str, object] = {}
+
+
+def _registry_for(store_path: str):
+    registry = _WORKER_REGISTRIES.get(store_path)
+    if registry is None:
+        from repro.fleet.registry import RecordingRegistry
+        from repro.store import DiskStore
+        registry = RecordingRegistry(store=DiskStore(store_path))
+        _WORKER_REGISTRIES[store_path] = registry
+    return registry
+
+
 class _WarmedProgram:
     """One opened replay session + its reproducible input generator."""
 
@@ -155,9 +180,12 @@ class _WarmedProgram:
         self.digest = spec.digest()
         self.graph = build_model(recording.workload)
         device = ClientDevice.for_workload(self.graph)
+        compiled_cache = (_registry_for(spec.store_path)
+                          if spec.store_path else None)
         replayer = Replayer(device.optee, device.gpu, device.mem,
                             device.clock, verify_key=key,
-                            tenant_id=spec.tenant_id, engine="compiled")
+                            tenant_id=spec.tenant_id, engine="compiled",
+                            compiled_cache=compiled_cache)
         self.session = replayer.open(
             recording, generate_weights(self.graph, seed=spec.weight_seed))
 

@@ -1,0 +1,69 @@
+"""Content-addressed store for compiled replay artifacts.
+
+See :mod:`repro.store.base` for the protocol and
+:mod:`repro.store.disk` for the on-disk layout.  User code usually
+passes a path (or a store object) to ``repro.replay(store=...)`` /
+``--store`` and never touches this package directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.core import config
+from repro.store.base import (ArtifactKey, EvictionReceipt, Store,
+                              StoreError, StoreStats, TenantIsolationError)
+from repro.store.disk import DiskStore
+from repro.store.memory import MemoryStore
+
+__all__ = [
+    "ArtifactKey", "DiskStore", "EvictionReceipt", "MemoryStore", "Store",
+    "StoreError", "StoreStats", "TenantIsolationError", "resolve_store",
+    "resolve_store_path",
+]
+
+
+def resolve_store(store: Union[None, str, os.PathLike, Store],
+                  sanitizer=None, tracer=None) -> Optional[Store]:
+    """Resolve the public ``store=`` / ``--store`` knob to a Store.
+
+    ``None`` falls back to the ``REPRO_STORE`` environment variable
+    (via :func:`repro.core.config.store_env`, the sanctioned env read);
+    a string/path becomes a :class:`DiskStore` rooted there; an object
+    with the protocol surface passes through unchanged.
+    """
+    if store is None:
+        env_path = config.store_env()
+        if env_path is None:
+            return None
+        return DiskStore(env_path, sanitizer=sanitizer, tracer=tracer)
+    if isinstance(store, (str, os.PathLike)):
+        return DiskStore(store, sanitizer=sanitizer, tracer=tracer)
+    if hasattr(store, "get") and hasattr(store, "put"):
+        return store
+    raise TypeError(
+        f"store must be a path or an object with get/put, "
+        f"got {type(store).__name__}")
+
+
+def resolve_store_path(store: Union[None, str, os.PathLike,
+                                    DiskStore]) -> str:
+    """The ``store=`` knob as a filesystem path (``""`` when unset).
+
+    The multiprocessing serve pool ships only the path across the
+    process boundary — each worker opens its own :class:`DiskStore` on
+    it — so process-local stores (:class:`MemoryStore`) are rejected
+    here rather than silently un-shared.
+    """
+    if store is None:
+        return config.store_env() or ""
+    if isinstance(store, (str, os.PathLike)):
+        return os.fspath(store)
+    root = getattr(store, "root", None)
+    if root is not None:
+        return os.fspath(root)
+    raise TypeError(
+        "the serve pool shares the store across worker processes, so "
+        "store= must be a directory path (or a DiskStore), "
+        f"not {type(store).__name__}")

@@ -1,0 +1,136 @@
+"""Store protocol, keys, stats, and receipts for compiled artifacts.
+
+The store is the second tier of the compiled-recording cache (memory →
+store → compile+publish, see
+:meth:`repro.fleet.registry.RecordingRegistry.compiled_for`): a
+content-addressed map from (recording digest × compiler version ×
+artifact-schema version) to a serialized
+:class:`~repro.core.compiled.CompiledRecording`, bucketed per tenant.
+Like the registry it never serves an entry across tenants (§7.1 —
+nothing derived from a tenant's recording is shared); unlike the
+registry it survives the process, so a restarted fleet/serve worker
+opens its programs instead of recompiling them.
+
+Two implementations ship: :class:`~repro.store.memory.MemoryStore`
+(process-local, exercises the full artifact codec) and
+:class:`~repro.store.disk.DiskStore` (on-disk, ``np.memmap`` loads,
+atomic publish, LRU eviction).  Anything with the same ``get``/``put``
+surface plugs in.
+"""
+
+# repro-check: module-allow[determinism] -- the store is host-side cache
+# infrastructure: eviction receipts and LRU ordering are stamped with the
+# wall clock and never enter a recording or a replayed timeline
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Tuple
+
+from repro.core.compiled import ARTIFACT_VERSION, COMPILER_VERSION
+from repro.fleet.registry import TenantIsolationError
+from repro.obs.metrics import StatsBase
+
+__all__ = [
+    "ArtifactKey", "EvictionReceipt", "Store", "StoreError", "StoreStats",
+    "TenantIsolationError",
+]
+
+
+class StoreError(RuntimeError):
+    """The store itself failed (I/O, invalid blob) — distinct from a
+    miss (``None``) and from :class:`TenantIsolationError`."""
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """The content address of one compiled artifact.
+
+    The digest names the recording; the two version fields fence off
+    incompatible producers — bumping either orphans old entries (they
+    simply stop matching and age out via eviction) instead of serving a
+    stale layout to a newer reader.
+    """
+
+    recording_digest: str
+    compiler_version: int = COMPILER_VERSION
+    schema_version: int = ARTIFACT_VERSION
+
+    @classmethod
+    def current(cls, recording_digest: str) -> "ArtifactKey":
+        """The key a compile produced by *this* build publishes under."""
+        return cls(recording_digest)
+
+    def filename(self) -> str:
+        return (f"{self.recording_digest}"
+                f"-c{self.compiler_version}-s{self.schema_version}.grta")
+
+    def as_tuple(self) -> Tuple[str, int, int]:
+        return (self.recording_digest, self.compiler_version,
+                self.schema_version)
+
+
+@dataclass
+class StoreStats(StatsBase):
+    SCHEMA = "repro.store"
+
+    hits: int = 0
+    misses: int = 0
+    publishes: int = 0
+    evictions: int = 0
+    #: Artifacts that failed integrity/identity checks on open and were
+    #: rejected (and dropped) instead of served.
+    corrupt_rejected: int = 0
+    bytes_published: int = 0
+    bytes_evicted: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class EvictionReceipt:
+    """Proof of one artifact leaving the store.
+
+    Receipts make eviction auditable: a size-bounded store discards
+    state that took real compile time to produce, so the ledger records
+    who lost what, how big it was, and why.
+    """
+
+    tenant_id: str
+    recording_digest: str
+    nbytes: int
+    reason: str            # "size" | "tenant" | "explicit" | "corrupt"
+    evicted_at: float
+
+    @classmethod
+    def now(cls, tenant_id: str, recording_digest: str, nbytes: int,
+            reason: str) -> "EvictionReceipt":
+        return cls(tenant_id, recording_digest, nbytes, reason, time.time())
+
+
+class Store(Protocol):
+    """What the registry's second tier requires of a store."""
+
+    stats: StoreStats
+
+    def get(self, tenant_id: str, key: ArtifactKey):
+        """The tenant's compiled recording for ``key``, or ``None``.
+
+        Must never return another tenant's entry: a same-key lookup by
+        the wrong tenant is a miss; an entry discovered to belong to a
+        different tenant raises :class:`TenantIsolationError`.  Corrupt
+        or stale-version artifacts are rejected (counted, dropped) and
+        reported as a miss — never served.
+        """
+
+    def put(self, tenant_id: str, key: ArtifactKey,
+            blob: bytes) -> List[EvictionReceipt]:
+        """Publish an artifact blob atomically; returns any eviction
+        receipts the publish triggered (size-bounded stores)."""

@@ -1,0 +1,483 @@
+"""On-disk content-addressed artifact store with memmap loads.
+
+Layout::
+
+    <root>/
+      store_stats.json                  # cross-process counters (best effort)
+      <sha256(tenant_id)[:16]>/         # per-tenant bucket (§7.1)
+        <recording_digest>-c<compiler>-s<schema>.grta
+
+Properties:
+
+* **Atomic publish** — blobs land in a same-directory temp file and
+  ``os.replace`` onto the final name, so readers (including other
+  processes, e.g. shard-pool workers) only ever see complete artifacts;
+  two racing publishers of one key converge on identical content.
+* **Zero-copy open** — ``get`` hands the path to
+  :func:`~repro.core.compiled.from_artifact`, which ``np.memmap``s the
+  file and builds read-only views; integrity (meta crc32 + payload
+  sha256) and identity (digest, tenant, versions) are re-checked on
+  every open, and a failing artifact is dropped and reported as a miss,
+  never served.
+* **LRU / size-bounded eviction** — every hit touches the file mtime;
+  when ``max_bytes`` is set, publishes evict least-recently-used
+  artifacts (never the one just published) and emit
+  :class:`~repro.store.base.EvictionReceipt`\\ s.
+* **Per-tenant namespacing** — a lookup only consults the calling
+  tenant's bucket, and the artifact's embedded tenant is re-checked on
+  open: a foreign artifact smuggled into a bucket raises
+  :class:`~repro.store.base.TenantIsolationError`.
+
+The ``store_stats.json`` sidecar accumulates hit/miss/publish/evict
+counters across processes via read-increment-replace; concurrent
+writers may lose increments (documented best effort — the counters feed
+reports, not control flow).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.core.compiled import (ARTIFACT_VERSION, COMPILER_VERSION,
+                                 ArtifactError, artifact_meta, from_artifact)
+from repro.store.base import (ArtifactKey, EvictionReceipt, StoreError,
+                              StoreStats, TenantIsolationError)
+
+_STATS_FILE = "store_stats.json"
+_SUFFIX = ".grta"
+
+
+def tenant_bucket(tenant_id: str) -> str:
+    """Directory name for a tenant: a hash, so hostile tenant ids cannot
+    traverse out of the root and bucket names leak no tenant names."""
+    return hashlib.sha256(tenant_id.encode()).hexdigest()[:16]
+
+
+def _parse_filename(name: str) -> Optional[Tuple[str, int, int]]:
+    """(digest, compiler_version, schema_version) from an artifact
+    filename, or None if it doesn't match the naming scheme."""
+    if not name.endswith(_SUFFIX):
+        return None
+    stem = name[:-len(_SUFFIX)]
+    try:
+        digest, cpart, spart = stem.rsplit("-", 2)
+        if not (cpart.startswith("c") and spart.startswith("s")):
+            return None
+        return digest, int(cpart[1:]), int(spart[1:])
+    except ValueError:
+        return None
+
+
+class DiskStore:
+    """Filesystem-backed artifact store (see module docstring)."""
+
+    def __init__(self, root, max_bytes: Optional[int] = None,
+                 sanitizer=None, tracer=None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.tracer = tracer
+        self.sanitizer = sanitizer
+        self.stats = StoreStats()
+        self.receipts: List[EvictionReceipt] = []
+        self._lock = threading.Lock()
+        if sanitizer is not None:
+            self._lock = sanitizer.wrap_lock(self._lock, "DiskStore._lock")
+
+    def __repr__(self) -> str:
+        return f"DiskStore({str(self.root)!r}, max_bytes={self.max_bytes})"
+
+    # ------------------------------------------------------------------
+    def _note(self, write: bool) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.note("DiskStore.files", write)
+
+    def _event(self, name: str, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.event(name, cat="store", args=args or None)
+
+    def _path_for(self, tenant_id: str, key: ArtifactKey) -> Path:
+        return self.root / tenant_bucket(tenant_id) / key.filename()
+
+    # ------------------------------------------------------------------
+    def get(self, tenant_id: str, key: ArtifactKey):
+        path = self._path_for(tenant_id, key)
+        with self._lock:
+            self._note(write=False)
+            exists = path.exists()
+        if not exists:
+            with self._lock:
+                self.stats.misses += 1
+            self._persist({"misses": 1})
+            self._event("store-miss", tenant=tenant_id,
+                        digest=key.recording_digest[:12])
+            return None
+        try:
+            compiled = from_artifact(
+                path, expected_digest=key.recording_digest,
+                expected_tenant=tenant_id)
+        except ArtifactError:
+            # Corrupt, truncated, or stale-version: drop it so the next
+            # miss republishes a good copy — never serve it.
+            with self._lock:
+                self._note(write=True)
+                try:
+                    nbytes = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    nbytes = 0
+                self.stats.corrupt_rejected += 1
+                self.stats.misses += 1
+                receipt = EvictionReceipt.now(
+                    tenant_id, key.recording_digest, nbytes, "corrupt")
+                self.receipts.append(receipt)
+            self._persist({"corrupt_rejected": 1, "misses": 1})
+            self._event("store-corrupt", tenant=tenant_id,
+                        digest=key.recording_digest[:12])
+            return None
+        try:
+            os.utime(path)                      # LRU touch
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.hits += 1
+        self._persist({"hits": 1})
+        self._event("store-hit", tenant=tenant_id,
+                    digest=key.recording_digest[:12])
+        return compiled
+
+    def put(self, tenant_id: str, key: ArtifactKey,
+            blob: bytes) -> List[EvictionReceipt]:
+        meta = self._check_identity(tenant_id, key, blob)
+        bucket = self.root / tenant_bucket(tenant_id)
+        final = bucket / key.filename()
+        try:
+            bucket.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=bucket, prefix=".publish-")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                with self._lock:
+                    self._note(write=True)
+                    os.replace(tmp, final)      # atomic: readers never
+            finally:                            # see a partial artifact
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError as exc:
+            raise StoreError(f"publish failed for {final}: {exc}") from exc
+        with self._lock:
+            self.stats.publishes += 1
+            self.stats.bytes_published += len(blob)
+        self._persist({"publishes": 1, "bytes_published": len(blob)})
+        self._event("store-publish", tenant=tenant_id,
+                    digest=key.recording_digest[:12], nbytes=len(blob),
+                    workload=meta.get("workload", ""))
+        return self._enforce_budget(protect=final)
+
+    # ------------------------------------------------------------------
+    def _check_identity(self, tenant_id: str, key: ArtifactKey,
+                        blob: bytes) -> dict:
+        try:
+            meta = artifact_meta(blob)
+        except ArtifactError as exc:
+            raise StoreError(
+                f"refusing to publish unreadable artifact: {exc}")
+        if meta.get("tenant_id") != tenant_id:
+            raise TenantIsolationError(
+                f"artifact published by {meta.get('tenant_id')!r} cannot "
+                f"be filed under tenant {tenant_id!r}")
+        if meta.get("recording_digest") != key.recording_digest:
+            raise StoreError(
+                f"artifact is for recording "
+                f"{meta.get('recording_digest')!r}, "
+                f"not {key.recording_digest!r}")
+        return meta
+
+    def _artifact_files(self) -> List[Path]:
+        files: List[Path] = []
+        if not self.root.is_dir():
+            # The root may vanish out from under us (temp dirs in
+            # benchmarks, an operator rm -rf): an empty store, not a
+            # crash.
+            return files
+        for bucket in self.root.iterdir():
+            if bucket.is_dir():
+                files.extend(p for p in bucket.iterdir()
+                             if p.name.endswith(_SUFFIX))
+        return files
+
+    def _enforce_budget(self, protect: Optional[Path] = None,
+                        max_bytes: Optional[int] = None
+                        ) -> List[EvictionReceipt]:
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None:
+            return []
+        receipts: List[EvictionReceipt] = []
+        with self._lock:
+            self._note(write=True)
+            entries = []
+            for path in self._artifact_files():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            entries.sort()                      # oldest mtime first
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= budget:
+                    break
+                if protect is not None and path == protect:
+                    continue
+                tenant, digest = self._identity_of(path)
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= size
+                receipt = EvictionReceipt.now(tenant, digest, size, "size")
+                receipts.append(receipt)
+                self.receipts.append(receipt)
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += size
+        if receipts:
+            self._persist({
+                "evictions": len(receipts),
+                "bytes_evicted": sum(r.nbytes for r in receipts)})
+            for receipt in receipts:
+                self._event("store-evict", tenant=receipt.tenant_id,
+                            digest=receipt.recording_digest[:12],
+                            nbytes=receipt.nbytes)
+        return receipts
+
+    @staticmethod
+    def _identity_of(path: Path) -> Tuple[str, str]:
+        """(tenant_id, digest) of an artifact file; tolerates corruption
+        by falling back to the filename digest."""
+        parsed = _parse_filename(path.name)
+        digest = parsed[0] if parsed else path.stem
+        try:
+            meta = artifact_meta(path)
+            return meta.get("tenant_id", ""), meta.get(
+                "recording_digest", digest)
+        except ArtifactError:
+            return "", digest
+
+    # ------------------------------------------------------------------
+    # maintenance surface (the `repro store` CLI)
+    def entries(self) -> List[dict]:
+        rows: List[dict] = []
+        with self._lock:
+            self._note(write=False)
+            files = self._artifact_files()
+        for path in sorted(files):
+            parsed = _parse_filename(path.name)
+            if parsed is None:
+                continue
+            digest, compiler_version, schema_version = parsed
+            row = {
+                "tenant_id": "",
+                "recording_digest": digest,
+                "compiler_version": compiler_version,
+                "schema_version": schema_version,
+                "workload": "",
+                "nbytes": 0,
+                "mtime": 0.0,
+                "path": str(path),
+            }
+            try:
+                stat = path.stat()
+                row["nbytes"] = stat.st_size
+                row["mtime"] = stat.st_mtime
+                meta = artifact_meta(path)
+                row["tenant_id"] = meta.get("tenant_id", "")
+                row["workload"] = meta.get("workload", "")
+            except (OSError, ArtifactError):
+                row["workload"] = "<unreadable>"
+            rows.append(row)
+        return rows
+
+    def nbytes(self) -> int:
+        with self._lock:
+            self._note(write=False)
+            total = 0
+            for path in self._artifact_files():
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+            return total
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._note(write=False)
+            return len(self._artifact_files())
+
+    def gc(self, max_bytes: Optional[int] = None) -> List[EvictionReceipt]:
+        """Evict LRU entries down to the size budget (the configured
+        ``max_bytes`` unless overridden); also sweeps artifacts whose
+        key versions no longer match this build (stale layouts that no
+        current reader can open)."""
+        receipts: List[EvictionReceipt] = []
+        with self._lock:
+            self._note(write=True)
+            for path in self._artifact_files():
+                parsed = _parse_filename(path.name)
+                if parsed is not None and \
+                        (parsed[1], parsed[2]) == (COMPILER_VERSION,
+                                                   ARTIFACT_VERSION):
+                    continue
+                tenant, digest = self._identity_of(path)
+                try:
+                    size = path.stat().st_size
+                    path.unlink()
+                except OSError:
+                    continue
+                receipt = EvictionReceipt.now(tenant, digest, size, "stale")
+                receipts.append(receipt)
+                self.receipts.append(receipt)
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += size
+        receipts.extend(self._enforce_budget(max_bytes=max_bytes))
+        if receipts:
+            self._persist({
+                "evictions": sum(1 for r in receipts if r.reason == "stale"),
+                "bytes_evicted": sum(r.nbytes for r in receipts
+                                     if r.reason == "stale")})
+        return receipts
+
+    def verify_all(self) -> List[dict]:
+        """Deep-verify every artifact (full open: crc + sha + identity).
+
+        Returns one row per artifact with ``ok`` and any error; also
+        checks that the file sits in the bucket its embedded tenant
+        hashes to (the §7.1 sweep).
+        """
+        rows: List[dict] = []
+        with self._lock:
+            self._note(write=False)
+            files = sorted(self._artifact_files())
+        for path in files:
+            row = {"path": str(path), "ok": True, "error": "",
+                   "tenant_id": "", "recording_digest": ""}
+            try:
+                compiled = from_artifact(path)
+                meta = compiled.artifact_meta or {}
+                row["tenant_id"] = meta.get("tenant_id", "")
+                row["recording_digest"] = meta.get("recording_digest", "")
+                if tenant_bucket(meta.get("tenant_id", "")) != \
+                        path.parent.name:
+                    raise TenantIsolationError(
+                        f"artifact for tenant {meta.get('tenant_id')!r} "
+                        f"found outside its bucket")
+            except (ArtifactError, TenantIsolationError) as exc:
+                row["ok"] = False
+                row["error"] = str(exc)
+            rows.append(row)
+        return rows
+
+    def remove(self, tenant_id: str,
+               recording_digest: str) -> List[EvictionReceipt]:
+        """Explicitly drop a tenant's artifact(s) for one digest (any
+        compiler/schema version)."""
+        receipts: List[EvictionReceipt] = []
+        bucket = self.root / tenant_bucket(tenant_id)
+        with self._lock:
+            self._note(write=True)
+            if bucket.is_dir():
+                for path in bucket.iterdir():
+                    parsed = _parse_filename(path.name)
+                    if parsed is None or parsed[0] != recording_digest:
+                        continue
+                    try:
+                        size = path.stat().st_size
+                        path.unlink()
+                    except OSError:
+                        continue
+                    receipt = EvictionReceipt.now(
+                        tenant_id, recording_digest, size, "explicit")
+                    receipts.append(receipt)
+                    self.receipts.append(receipt)
+                    self.stats.evictions += 1
+                    self.stats.bytes_evicted += size
+        return receipts
+
+    def evict_tenant(self, tenant_id: str) -> List[EvictionReceipt]:
+        """Drop the tenant's whole bucket (§7.1 off-boarding)."""
+        receipts: List[EvictionReceipt] = []
+        bucket = self.root / tenant_bucket(tenant_id)
+        with self._lock:
+            self._note(write=True)
+            if bucket.is_dir():
+                for path in list(bucket.iterdir()):
+                    parsed = _parse_filename(path.name)
+                    if parsed is None:
+                        continue
+                    try:
+                        size = path.stat().st_size
+                        path.unlink()
+                    except OSError:
+                        continue
+                    receipt = EvictionReceipt.now(
+                        tenant_id, parsed[0], size, "tenant")
+                    receipts.append(receipt)
+                    self.receipts.append(receipt)
+                    self.stats.evictions += 1
+                    self.stats.bytes_evicted += size
+                try:
+                    bucket.rmdir()
+                except OSError:
+                    pass
+        return receipts
+
+    def audit_isolation(self) -> int:
+        """Every artifact's embedded tenant must hash to its bucket."""
+        checked = 0
+        with self._lock:
+            self._note(write=False)
+            files = self._artifact_files()
+        for path in files:
+            try:
+                meta = artifact_meta(path)
+            except ArtifactError:
+                continue                        # unreadable: get() rejects it
+            if tenant_bucket(meta.get("tenant_id", "")) != path.parent.name:
+                raise TenantIsolationError(
+                    f"artifact for tenant {meta.get('tenant_id')!r} found "
+                    f"in bucket {path.parent.name!r}")
+            checked += 1
+        return checked
+
+    # ------------------------------------------------------------------
+    # cross-process counters (best effort)
+    def _persist(self, deltas: dict) -> None:
+        path = self.root / _STATS_FILE
+        with self._lock:
+            try:
+                totals = json.loads(path.read_text())
+            except (OSError, ValueError):
+                totals = {}
+            for field, delta in deltas.items():
+                totals[field] = int(totals.get(field, 0)) + int(delta)
+            try:
+                fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".stats-")
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(totals, handle)
+                os.replace(tmp, path)
+            except OSError:
+                pass
+
+    def persisted_stats(self) -> dict:
+        """Cumulative counters across every process that used this root."""
+        try:
+            return json.loads((self.root / _STATS_FILE).read_text())
+        except (OSError, ValueError):
+            return {}

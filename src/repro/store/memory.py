@@ -1,0 +1,152 @@
+"""In-process artifact store: the Store protocol without a filesystem.
+
+``MemoryStore`` holds serialized artifact blobs in an LRU-ordered dict
+and decodes through the same :func:`~repro.core.compiled.from_artifact`
+path as :class:`~repro.store.disk.DiskStore`, so every integrity,
+version, and tenant check is exercised even in tests that never touch
+disk.  It does *not* survive the process — it exists as the protocol's
+reference implementation and as a deterministic double in unit tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.compiled import ArtifactError, artifact_meta, from_artifact
+from repro.store.base import (ArtifactKey, EvictionReceipt, StoreError,
+                              StoreStats, TenantIsolationError)
+
+
+class MemoryStore:
+    """Per-tenant, LRU-bounded, in-memory artifact store."""
+
+    def __init__(self, max_bytes: Optional[int] = None,
+                 sanitizer=None) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None)")
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+        self.receipts: List[EvictionReceipt] = []
+        self._blobs: "OrderedDict[Tuple[str, Tuple], bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        if sanitizer is not None:
+            self._lock = sanitizer.wrap_lock(self._lock, "MemoryStore._lock")
+
+    # ------------------------------------------------------------------
+    def get(self, tenant_id: str, key: ArtifactKey):
+        with self._lock:
+            blob = self._blobs.get((tenant_id, key.as_tuple()))
+            if blob is None:
+                self.stats.misses += 1
+                return None
+            self._blobs.move_to_end((tenant_id, key.as_tuple()))
+        try:
+            compiled = from_artifact(
+                blob, expected_digest=key.recording_digest,
+                expected_tenant=tenant_id)
+        except ArtifactError:
+            with self._lock:
+                self._blobs.pop((tenant_id, key.as_tuple()), None)
+                self.stats.corrupt_rejected += 1
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return compiled
+
+    def put(self, tenant_id: str, key: ArtifactKey,
+            blob: bytes) -> List[EvictionReceipt]:
+        _check_blob_identity(tenant_id, key, blob)
+        receipts: List[EvictionReceipt] = []
+        with self._lock:
+            self._blobs[(tenant_id, key.as_tuple())] = bytes(blob)
+            self._blobs.move_to_end((tenant_id, key.as_tuple()))
+            self.stats.publishes += 1
+            self.stats.bytes_published += len(blob)
+            while self.max_bytes is not None and \
+                    self._nbytes_locked() > self.max_bytes and \
+                    len(self._blobs) > 1:
+                (victim_tenant, victim_key), victim = \
+                    self._blobs.popitem(last=False)
+                receipt = EvictionReceipt.now(
+                    victim_tenant, victim_key[0], len(victim), "size")
+                receipts.append(receipt)
+                self.receipts.append(receipt)
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += len(victim)
+        return receipts
+
+    # ------------------------------------------------------------------
+    def _nbytes_locked(self) -> int:
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._nbytes_locked()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blobs)
+
+    def entries(self) -> List[dict]:
+        """Per-entry metadata rows (the ``store ls`` shape)."""
+        with self._lock:
+            items = list(self._blobs.items())
+        rows = []
+        for (tenant_id, key_tuple), blob in items:
+            meta = artifact_meta(blob)
+            rows.append({
+                "tenant_id": tenant_id,
+                "recording_digest": key_tuple[0],
+                "compiler_version": key_tuple[1],
+                "schema_version": key_tuple[2],
+                "workload": meta.get("workload", ""),
+                "nbytes": len(blob),
+            })
+        return rows
+
+    def evict_tenant(self, tenant_id: str) -> List[EvictionReceipt]:
+        receipts: List[EvictionReceipt] = []
+        with self._lock:
+            victims = [k for k in self._blobs if k[0] == tenant_id]
+            for victim in victims:
+                blob = self._blobs.pop(victim)
+                receipt = EvictionReceipt.now(
+                    tenant_id, victim[1][0], len(blob), "tenant")
+                receipts.append(receipt)
+                self.receipts.append(receipt)
+                self.stats.evictions += 1
+                self.stats.bytes_evicted += len(blob)
+        return receipts
+
+    def audit_isolation(self) -> int:
+        """Every blob's embedded tenant must match its bucket (§7.1)."""
+        with self._lock:
+            items = list(self._blobs.items())
+        for (tenant_id, key_tuple), blob in items:
+            meta = artifact_meta(blob)
+            if meta.get("tenant_id") != tenant_id:
+                raise TenantIsolationError(
+                    f"store bucket for {tenant_id!r} holds an artifact "
+                    f"published by {meta.get('tenant_id')!r}")
+        return len(items)
+
+
+def _check_blob_identity(tenant_id: str, key: ArtifactKey,
+                         blob: bytes) -> None:
+    """Refuse to file a blob whose embedded identity contradicts the
+    (tenant, key) it is being published under."""
+    try:
+        meta = artifact_meta(blob)
+    except ArtifactError as exc:
+        raise StoreError(f"refusing to publish unreadable artifact: {exc}")
+    if meta.get("tenant_id") != tenant_id:
+        raise TenantIsolationError(
+            f"artifact published by {meta.get('tenant_id')!r} cannot be "
+            f"filed under tenant {tenant_id!r}")
+    if meta.get("recording_digest") != key.recording_digest:
+        raise StoreError(
+            f"artifact is for recording {meta.get('recording_digest')!r}, "
+            f"not {key.recording_digest!r}")

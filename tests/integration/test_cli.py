@@ -171,3 +171,85 @@ class TestTraceFlag:
         assert "traceEvents" in doc
         names = {e["name"] for e in doc["traceEvents"]}
         assert "replay" in names  # the session span
+
+
+class TestStoreCli:
+    """python -m repro store {ls,gc,verify,rm} + --store on replay."""
+
+    @pytest.fixture(scope="class")
+    def store_root(self, recorded_file, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-store") / "artifacts"
+        # Forced compile publishes even mnist's low-benefit program.
+        rc = main(["replay", "-r", recorded_file, "--engine", "compiled",
+                   "--store", str(root)])
+        assert rc == 0
+        return str(root)
+
+    def test_replay_reports_store_traffic(self, recorded_file, store_root,
+                                          capsys):
+        capsys.readouterr()
+        assert main(["replay", "-r", recorded_file, "--engine", "compiled",
+                     "--store", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "store: 1 hit(s), 0 miss(es), 0 publish(es)" in out
+
+    def test_replay_json_embeds_store_stats(self, recorded_file,
+                                            store_root, capsys):
+        assert main(["replay", "-r", recorded_file, "--engine", "compiled",
+                     "--store", store_root, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "replay"
+        assert doc["data"]["store"]["hits"] == 1
+        assert doc["data"]["store"]["publishes"] == 0
+
+    def test_store_ls(self, store_root, capsys):
+        assert main(["store", "ls", store_root]) == 0
+        out = capsys.readouterr().out
+        assert "Artifact store" in out and "mnist" in out
+
+    def test_store_ls_json(self, store_root, capsys):
+        assert main(["store", "ls", store_root, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["command"] == "store-ls"
+        (entry,) = doc["data"]["entries"]
+        assert entry["workload"] == "mnist"
+        assert entry["tenant_id"] == "local"
+        assert doc["data"]["total_bytes"] == entry["nbytes"]
+
+    def test_store_verify_clean(self, store_root, capsys):
+        assert main(["store", "verify", store_root]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_store_verify_flags_corruption(self, store_root, tmp_path,
+                                           capsys):
+        import shutil
+        bad_root = tmp_path / "bad"
+        shutil.copytree(store_root, bad_root)
+        victim = next(bad_root.rglob("*.grta"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert main(["store", "verify", str(bad_root)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_store_gc_and_rm(self, store_root, tmp_path, capsys):
+        import shutil
+        root = tmp_path / "gc"
+        shutil.copytree(store_root, root)
+        assert main(["store", "gc", str(root), "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert main(["store", "rm", str(root), "--tenant", "local"]) == 0
+        capsys.readouterr()
+        assert list(root.rglob("*.grta")) == []
+
+    def test_store_requires_path_or_env(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main(["store", "ls"]) == 2
+        assert "REPRO_STORE" in capsys.readouterr().err
+
+    def test_store_env_fallback(self, store_root, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_STORE", store_root)
+        monkeypatch.setattr("repro.core.config._warned_store_env", True)
+        assert main(["store", "ls"]) == 0
+        assert "mnist" in capsys.readouterr().out

@@ -9,7 +9,7 @@ recording registry.
 
 import numpy as np
 
-from repro.check import FleetSpecSan, SpecSan
+from repro.check import FleetSpecSan, SpecSan, SpecSanViolation
 from repro.core.recorder import RecordSession
 from repro.core.replayer import Replayer
 from repro.core.testbed import ClientDevice
@@ -74,3 +74,78 @@ class TestFleetSpecSan:
         assert san.checks_performed > checked  # live checks + final sweep
         # cache hits occurred, so the lookup path was really exercised
         assert sim.summary()["cache"]["hits"] > 0
+
+
+class TestFleetSpecSanStore:
+    """install_store(): the same independent §7.1 oracle, extended to
+    the compiled-artifact tier (publishes and store hits)."""
+
+    @staticmethod
+    def _recording():
+        from repro.core.recorder import OURS_MDS
+        return RecordSession(build_micro_graph(),
+                             config=OURS_MDS).run().recording
+
+    def test_store_backed_replay_flow_is_clean(self, tmp_path):
+        from repro.fleet.registry import RecordingRegistry
+        from repro.store import DiskStore
+
+        recording = self._recording()
+        store = DiskStore(tmp_path)
+        san = FleetSpecSan().install_store(store)
+        registry = RecordingRegistry(store=store)
+        # Publish (miss -> compile -> put), then restart-style hit from
+        # a registry with a cold memory tier.
+        registry.compiled_for("t0", recording.digest(), recording.compile,
+                              recording=recording)
+        fresh = RecordingRegistry(store=store)
+        got = fresh.compiled_for("t0", recording.digest(),
+                                 recording.compile, recording=recording)
+        assert got is not None
+        checked = san.finish()
+        assert san.violations == []
+        assert checked >= 1  # the store audit really swept entries
+        assert san.state.checks_by_rule.get("tenant-isolation", 0) > 0
+
+    def test_cross_tenant_publish_is_flagged(self, tmp_path):
+        from repro.core.compiled import to_artifact
+        from repro.store import ArtifactKey, MemoryStore
+
+        recording = self._recording()
+        store = MemoryStore()
+        san = FleetSpecSan().install_store(store)
+        blob = to_artifact(recording.compile(), tenant_id="t0",
+                           recording=recording)
+        import pytest
+        with pytest.raises(SpecSanViolation, match="§7.1|t0"):
+            store.put("t-other", ArtifactKey.current(recording.digest()),
+                      blob)
+        assert san.violations != []
+
+    def test_oracle_catches_a_leaky_store(self):
+        """A (buggy) store that serves tenant A's program to tenant B
+        passes its own checks but not the sanitizer's shadow oracle."""
+        from repro.core.compiled import from_artifact, to_artifact
+        from repro.store import ArtifactKey
+
+        recording = self._recording()
+        blob = to_artifact(recording.compile(), tenant_id="t0",
+                           recording=recording)
+        leaked = from_artifact(blob)
+
+        class LeakyStore:
+            def get(self, tenant_id, key):
+                return leaked  # ignores tenant_id: the §7.1 bug
+
+            def put(self, tenant_id, key, blob):
+                return []
+
+            def audit_isolation(self):
+                return 0
+
+        san = FleetSpecSan(strict=False).install_store(LeakyStore())
+        key = ArtifactKey.current(recording.digest())
+        assert san.store.get("t0", key) is leaked      # owner: clean
+        assert san.violations == []
+        san.store.get("t-other", key)                  # leak: flagged
+        assert any("§7.1" in v or "owned by" in v for v in san.violations)

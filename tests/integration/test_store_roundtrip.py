@@ -1,0 +1,97 @@
+"""Integration: the artifact store round-trip on every paper workload.
+
+serialize -> publish -> (simulated restart) -> memmap open -> replay
+must be observationally invisible: a store-hit replay produces the same
+output bits, virtual delay, and stats as the fresh-compile replay that
+published the artifact.  Also covers the two-call facade
+(``repro.record(store=...)`` / ``repro.replay(store=...)``) including
+the cost-model gate: recordings the model judges not worth compiling
+are neither compiled nor published.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.recorder import NAIVE, OURS_MDS, RecordSession
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.fleet.registry import RecordingRegistry
+from repro.ml.models import PAPER_WORKLOADS, build_model
+from repro.ml.runner import generate_weights
+from repro.store import DiskStore
+
+
+def _run(graph, recording, key, registry, inp, weights):
+    device = ClientDevice.for_workload(graph)
+    replayer = Replayer(device.optee, device.gpu, device.mem, device.clock,
+                        verify_key=key, engine="compiled",
+                        compiled_cache=registry, tenant_id="t-rt")
+    return replayer.open(recording, weights).run(inp)
+
+
+@pytest.mark.parametrize("workload", sorted(PAPER_WORKLOADS))
+def test_store_hit_replay_is_bit_identical(workload, tmp_path):
+    graph = build_model(workload)
+    session = RecordSession(graph, config=OURS_MDS)
+    recording = session.run().recording
+    digest = recording.digest()
+    key = session.service.recording_key
+    weights = generate_weights(graph, seed=0)
+    rng = np.random.default_rng(11)
+    inp = rng.standard_normal(graph.input_shape).astype(np.float32)
+
+    cold_reg = RecordingRegistry(store=DiskStore(tmp_path))
+    cold = _run(graph, recording, key, cold_reg, inp, weights)
+    assert cold_reg.artifact_store.stats.publishes == 1
+
+    # Restart: new registry + new DiskStore over the same root; drop
+    # the recording's compile memo so only the artifact can serve it.
+    recording._compiled = None
+    hit_reg = RecordingRegistry(store=DiskStore(tmp_path))
+    hit = _run(graph, recording, key, hit_reg, inp, weights)
+    assert hit_reg.artifact_store.stats.hits == 1
+    assert hit_reg.artifact_store.stats.publishes == 0
+
+    assert np.array_equal(cold.output, hit.output)
+    assert cold.delay_s == hit.delay_s
+    assert cold.stats == hit.stats
+    assert cold.energy_j == pytest.approx(hit.energy_j, rel=1e-12)
+    # Publishing must never touch the signed recording.
+    assert recording.digest() == digest
+
+
+class TestFacade:
+    def test_record_skips_publish_when_not_beneficial(self, tmp_path):
+        """mnist/OursMDS predicts ~1.2x: the cost model keeps it on the
+        interpreter, so nothing is compiled or published."""
+        res = repro.record("mnist", store=tmp_path)
+        assert len(DiskStore(tmp_path)) == 0
+        out = repro.replay(res, store=tmp_path)
+        assert out.stats.compile_decision == "skipped:low-benefit"
+        assert DiskStore(tmp_path).persisted_stats().get("publishes", 0) == 0
+
+    def test_record_publishes_beneficial_recording(self, tmp_path):
+        """alexnet/Naive (predicted ~3.2x) is pre-published at record
+        time; the first replay in a new process is already a store hit."""
+        res = repro.record("alexnet", recorder=NAIVE, store=tmp_path,
+                           tenant_id="t-api")
+        store = DiskStore(tmp_path)
+        (row,) = store.entries()
+        assert row["tenant_id"] == "t-api"
+        assert row["workload"] == "alexnet"
+        assert row["recording_digest"] == res.recording.digest()
+
+        plain = repro.replay(res, engine="compiled")
+        res.recording._compiled = None
+        hit = repro.replay(res, store=tmp_path, tenant_id="t-api",
+                           engine="compiled")
+        assert np.array_equal(plain.output, hit.output)
+        assert plain.delay_s == hit.delay_s
+        assert store.persisted_stats()["hits"] >= 1
+
+    def test_store_classes_reexported(self):
+        assert repro.DiskStore is DiskStore
+        assert repro.MemoryStore is not None
+        assert "DiskStore" in repro.__all__
+        assert "MemoryStore" in repro.__all__

@@ -1,0 +1,136 @@
+"""Property/stress tests for concurrent artifact-store publishes.
+
+The serve pool's workers race ``put`` on the same (tenant, digest) —
+each worker that warms a program publishes it — and restarted workers
+race ``get`` against in-flight publishes.  Under any interleaving the
+store must stay coherent: exactly one file per (tenant, key), every
+``get`` returns either ``None`` or a fully-verified program (never a
+torn write — publish is write-temp + rename), and no tenant ever
+observes another tenant's entry (§7.1).
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.compiled import to_artifact
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.fleet.registry import RecordingRegistry
+from repro.store import ArtifactKey, DiskStore
+from tests.conftest import build_micro_graph
+
+_STATE = {}
+
+
+def _fixture():
+    """One recording + per-tenant blobs, built once for the module."""
+    if not _STATE:
+        recording = RecordSession(build_micro_graph(),
+                                  config=OURS_MDS).run().recording
+        _STATE["recording"] = recording
+        _STATE["blobs"] = {
+            t: to_artifact(recording.compile(), tenant_id=t,
+                           recording=recording)
+            for t in ("t0", "t1", "t2")}
+    return _STATE["recording"], _STATE["blobs"]
+
+
+def _ops():
+    # (tenant index, is_put) per thread; tiny alphabet -> heavy
+    # collisions on the shared key.
+    return st.lists(st.tuples(st.integers(0, 2), st.booleans()),
+                    min_size=2, max_size=10)
+
+
+class TestConcurrentPublish:
+    @given(plan=_ops())
+    @settings(max_examples=20, deadline=None)
+    def test_racing_publishers_never_tear_or_leak(self, plan):
+        recording, blobs = _fixture()
+        with tempfile.TemporaryDirectory() as tmp:
+            self._race(recording, blobs, plan, Path(tmp) / "race")
+
+    def _race(self, recording, blobs, plan, root):
+        store = DiskStore(root)
+        key = ArtifactKey.current(recording.digest())
+        barrier = threading.Barrier(len(plan))
+        results = [None] * len(plan)
+        errors = []
+
+        def worker(i, tenant, is_put):
+            barrier.wait()
+            try:
+                if is_put:
+                    store.put(tenant, key, blobs[tenant])
+                results[i] = (tenant, store.get(tenant, key))
+            except Exception as exc:  # noqa: BLE001 - fail the property
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker,
+                                    args=(i, f"t{t}", p))
+                   for i, (t, p) in enumerate(plan)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        assert errors == []
+        published = {f"t{t}" for t, p in plan if p}
+        # One file per publishing tenant, none torn.
+        assert len(store) == len(published)
+        for row in store.verify_all():
+            assert row["ok"], row["error"]
+        for i, (tenant, compiled) in enumerate(r for r in results if r):
+            if compiled is not None:
+                # A hit is always the caller's own program, fully loaded.
+                assert compiled.artifact_meta["tenant_id"] == tenant
+                assert compiled.entry_count == len(recording.entries)
+
+    @given(racers=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_store_backed_registries_build_at_most_once_each(
+            self, racers):
+        """N registries (processes, in production) sharing one store
+        root: every racer past the first that loses the publish race
+        still ends with a valid program, and a fresh registry compiles
+        nothing at all."""
+        recording, _ = _fixture()
+        with tempfile.TemporaryDirectory() as tmp:
+            self._race_registries(recording, racers, Path(tmp) / "shared")
+
+    def _race_registries(self, recording, racers, root):
+        builds = []
+        lock = threading.Lock()
+
+        def build():
+            with lock:
+                builds.append(1)
+            return recording.compile()
+
+        barrier = threading.Barrier(racers)
+        got = [None] * racers
+
+        def racer(i):
+            registry = RecordingRegistry(store=DiskStore(root))
+            barrier.wait()
+            got[i] = registry.compiled_for("t0", recording.digest(),
+                                           build, recording=recording)
+
+        threads = [threading.Thread(target=racer, args=(i,))
+                   for i in range(racers)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+
+        assert all(g is not None for g in got)
+        assert len(store_files := list((root).rglob("*.grta"))) == 1, \
+            store_files
+        # A latecomer opens the artifact: zero compiles.
+        late = RecordingRegistry(store=DiskStore(root))
+        hits_before = len(builds)
+        late.compiled_for("t0", recording.digest(), build,
+                          recording=recording)
+        assert len(builds) == hits_before

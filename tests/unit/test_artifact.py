@@ -1,0 +1,266 @@
+"""Unit tests for the artifact codec (core.compiled.to_artifact /
+from_artifact) and the compile cost model.
+
+The codec is the store's wire format: a flat header + JSON meta +
+64-byte-aligned numpy payload, with the recording's protected data
+pages elided.  These tests pin down the integrity story — every open
+re-checks the meta crc32 and the payload sha256, and a wrong tenant,
+digest, SKU, or compiler version is rejected instead of served — plus
+the cost model thresholds the ``engine="auto"`` replay path consults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compiled as compiled_mod
+from repro.core.compiled import (
+    ARTIFACT_MAGIC,
+    ARTIFACT_VERSION,
+    COMPILE_MIN_ENTRIES,
+    COMPILER_VERSION,
+    ArtifactError,
+    artifact_meta,
+    compile_decision,
+    from_artifact,
+    to_artifact,
+)
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.core.recording import PollEntry, RegWrite
+from repro.core.replayer import Replayer
+from repro.core.testbed import ClientDevice
+from repro.fleet.registry import TenantIsolationError
+from repro.ml.runner import generate_weights
+from tests.conftest import build_micro_graph
+
+
+@pytest.fixture(scope="module")
+def micro_artifact():
+    """(recording, compiled, blob, verify_key) for the micro graph."""
+    graph = build_micro_graph()
+    session = RecordSession(graph, config=OURS_MDS)
+    recording = session.run().recording
+    blob = to_artifact(recording.compile(), tenant_id="t-alpha",
+                       recording=recording)
+    return graph, recording, blob, session.service.recording_key
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip_preserves_columns(self, micro_artifact):
+        _, recording, blob, _ = micro_artifact
+        compiled = recording.compile()
+        loaded = from_artifact(blob)
+        assert np.array_equal(loaded.writes, compiled.writes)
+        assert np.array_equal(loaded.reads, compiled.reads)
+        assert np.array_equal(loaded.polls, compiled.polls)
+        assert np.array_equal(loaded.irq_lines, compiled.irq_lines)
+        assert np.array_equal(loaded.memw_bounds, compiled.memw_bounds)
+        assert loaded.entry_count == compiled.entry_count
+        assert len(loaded.full_program) == len(compiled.full_program)
+        assert [op[0] for op in loaded.full_program] == \
+            [op[0] for op in compiled.full_program]
+        assert [label for label, _ in loaded.segment_programs] == \
+            [label for label, _ in compiled.segment_programs]
+
+    def test_path_load_is_readonly_memmap_views(self, micro_artifact,
+                                                tmp_path):
+        _, _, blob, _ = micro_artifact
+        path = tmp_path / "a.grta"
+        path.write_bytes(blob)
+        loaded = from_artifact(path)
+        # No per-entry copies: sections are views into one read-only map.
+        for arr in (loaded.writes, loaded.reads, loaded.polls,
+                    loaded.page_table):
+            assert not arr.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded.writes["offset"] = 0  # type: ignore[index]
+
+    def test_meta_identity_fields(self, micro_artifact):
+        _, recording, blob, _ = micro_artifact
+        meta = artifact_meta(blob)
+        assert meta["tenant_id"] == "t-alpha"
+        assert meta["recording_digest"] == recording.digest()
+        assert meta["workload"] == recording.workload
+        assert meta["compiler_version"] == COMPILER_VERSION
+        assert meta["artifact_version"] == ARTIFACT_VERSION
+        loaded = from_artifact(blob)
+        assert loaded.artifact_meta is not None
+        assert loaded.artifact_meta["tenant_id"] == "t-alpha"
+
+    def test_data_pages_are_elided(self, micro_artifact):
+        """Protected data pages never land in the artifact (§7.1) —
+        replay re-derives them, so persisting them only bloats blobs."""
+        _, recording, blob, _ = micro_artifact
+        loaded = from_artifact(blob)
+        stored = set(int(p) for p in loaded.page_pfns)
+        assert stored.isdisjoint(set(recording.data_pfns))
+        meta = artifact_meta(blob)
+        assert meta["pages_elided"] == \
+            meta["page_count"] - len(loaded.page_pfns)
+        assert meta["pages_elided"] >= 0
+
+    def test_replay_from_artifact_bit_identical(self, micro_artifact):
+        """serialize -> load -> replay must equal a fresh-compile replay
+        in output bits, virtual delay, and stats."""
+        graph, recording, blob, key = micro_artifact
+        weights = generate_weights(graph, seed=0)
+        rng = np.random.default_rng(3)
+        inp = rng.standard_normal(graph.input_shape).astype(np.float32)
+
+        def run(rec):
+            device = ClientDevice.for_workload(graph)
+            replayer = Replayer(device.optee, device.gpu, device.mem,
+                                device.clock, verify_key=key,
+                                engine="compiled")
+            return replayer.open(rec, weights).run(inp)
+
+        fresh = run(recording)
+        # Seed the compile memo with the deserialized program so the
+        # compiled engine replays the artifact, not a fresh lowering.
+        recording._compiled = from_artifact(blob)
+        try:
+            loaded = run(recording)
+        finally:
+            recording._compiled = None
+        assert np.array_equal(fresh.output, loaded.output)
+        assert fresh.delay_s == loaded.delay_s
+        assert fresh.stats == loaded.stats
+
+
+class TestRejection:
+    def test_payload_corruption_rejected(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        bad = bytearray(blob)
+        bad[-1] ^= 0xFF
+        with pytest.raises(ArtifactError, match="sha mismatch"):
+            from_artifact(bytes(bad))
+
+    def test_meta_corruption_rejected(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        bad = bytearray(blob)
+        bad[40] ^= 0x5A  # inside the JSON meta block
+        with pytest.raises(ArtifactError):
+            from_artifact(bytes(bad))
+
+    def test_truncation_rejected(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        with pytest.raises(ArtifactError, match="truncated"):
+            from_artifact(blob[:len(blob) - 128])
+        with pytest.raises(ArtifactError):
+            from_artifact(blob[:8])
+
+    def test_bad_magic_rejected(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        bad = b"NOPE" + blob[len(ARTIFACT_MAGIC):]
+        with pytest.raises(ArtifactError):
+            from_artifact(bad)
+
+    def test_wrong_tenant_raises_isolation_error(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        with pytest.raises(TenantIsolationError, match="t-alpha"):
+            from_artifact(blob, expected_tenant="t-intruder")
+
+    def test_wrong_digest_rejected(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        with pytest.raises(ArtifactError, match="not"):
+            from_artifact(blob, expected_digest="f" * 64)
+
+    def test_wrong_sku_rejected(self, micro_artifact):
+        _, _, blob, _ = micro_artifact
+        with pytest.raises(ArtifactError, match="SKU"):
+            from_artifact(blob, expected_sku=(0, 0, 0))
+
+    def test_stale_compiler_version_rejected(self, micro_artifact,
+                                             monkeypatch):
+        """A future build (bumped lowering version) must refuse v1
+        artifacts instead of misreading them."""
+        _, _, blob, _ = micro_artifact
+        monkeypatch.setattr(compiled_mod, "COMPILER_VERSION",
+                            COMPILER_VERSION + 1)
+        with pytest.raises(ArtifactError, match="recompile"):
+            from_artifact(blob)
+
+
+class _FakeRecording:
+    def __init__(self, entries):
+        self.entries = entries
+
+
+class TestCompileDecision:
+    def test_tiny_recording_skipped(self):
+        entries = [RegWrite(0x100, 1)] * (COMPILE_MIN_ENTRIES - 1)
+        d = compile_decision(_FakeRecording(entries))
+        assert not d.use_compiled
+        assert d.reason == "tiny-recording"
+
+    def test_batchable_heavy_recording_compiles(self):
+        # Pure register writes compress ~8x under lowering: the model
+        # must predict well past the 1.5x threshold.
+        from repro.hw.gpu import EFFECTFUL_WRITE_OFFSETS
+        offset = next(o for o in range(0x100, 0x4000, 8)
+                      if o not in EFFECTFUL_WRITE_OFFSETS)
+        entries = [RegWrite(offset, i) for i in range(200)]
+        d = compile_decision(_FakeRecording(entries))
+        assert d.use_compiled
+        assert d.reason == "beneficial"
+        assert d.predicted_speedup > 1.5
+
+    def test_poll_dominated_recording_skipped(self):
+        # Blocking poll iterations are paid identically by both engines,
+        # so a poll-dominated recording predicts ~1x: skip.
+        entries = [PollEntry(0x100, "eq", 0xFFFF, 1, iterations=50)
+                   for _ in range(64)]
+        d = compile_decision(_FakeRecording(entries))
+        assert not d.use_compiled
+        assert d.reason == "low-benefit"
+        assert d.predicted_speedup < 1.5
+
+    def test_decision_cached_on_recording(self, micro_artifact):
+        _, recording, _, _ = micro_artifact
+        assert recording.compile_decision() is recording.compile_decision()
+
+    def test_str_form(self):
+        d = compile_decision(_FakeRecording([]))
+        assert "skip" in str(d) and "tiny-recording" in str(d)
+
+
+class TestDecisionInReplayStats:
+    """engine="auto" records how it chose, and the choice is honest:
+    mnist-class recordings (predicted ~1.2x) stay on the interpreter."""
+
+    @pytest.fixture(scope="class")
+    def mnist_session(self):
+        from repro.ml.models import build_model
+        graph = build_model("mnist")
+        session = RecordSession(graph, config=OURS_MDS)
+        return graph, session, session.run().recording
+
+    def _replay(self, mnist_session, engine):
+        graph, session, recording = mnist_session
+        device = ClientDevice.for_workload(graph)
+        replayer = Replayer(device.optee, device.gpu, device.mem,
+                            device.clock,
+                            verify_key=session.service.recording_key,
+                            engine=engine)
+        weights = generate_weights(graph, seed=0)
+        inp = np.zeros(graph.input_shape, dtype=np.float32)
+        return replayer.open(recording, weights).run(inp)
+
+    def test_auto_skips_low_benefit_mnist(self, mnist_session):
+        out = self._replay(mnist_session, "auto")
+        assert out.stats.compile_decision == "skipped:low-benefit"
+
+    def test_forced_compile_is_labeled(self, mnist_session):
+        out = self._replay(mnist_session, "compiled")
+        assert out.stats.compile_decision == "compiled:forced"
+
+    def test_explicit_legacy_is_labeled(self, mnist_session):
+        out = self._replay(mnist_session, "legacy")
+        assert out.stats.compile_decision == "legacy:explicit"
+
+    def test_auto_and_forced_agree_bit_for_bit(self, mnist_session):
+        """Honest skip: the auto path's interpreter output must equal
+        the forced-compile output — the decision is about speed only."""
+        auto = self._replay(mnist_session, "auto")
+        forced = self._replay(mnist_session, "compiled")
+        assert np.array_equal(auto.output, forced.output)
+        assert auto.delay_s == forced.delay_s

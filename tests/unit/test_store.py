@@ -1,0 +1,316 @@
+"""Unit tests for the artifact store tier (repro.store).
+
+MemoryStore is the protocol's reference implementation; DiskStore adds
+atomic publish, persistence across instances, and on-disk integrity.
+Both must enforce the same contract: per-tenant buckets that never leak
+across tenants (§7.1), LRU eviction with receipts when size-bounded,
+and corrupt/stale entries rejected (counted, dropped) instead of
+served.
+"""
+
+import os
+
+import pytest
+
+from repro.core.compiled import from_artifact, to_artifact
+from repro.core.recorder import OURS_MDS, RecordSession
+from repro.store import (
+    ArtifactKey,
+    DiskStore,
+    MemoryStore,
+    StoreStats,
+    TenantIsolationError,
+    resolve_store,
+    resolve_store_path,
+)
+from repro.store.disk import tenant_bucket
+from tests.conftest import build_micro_graph
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return RecordSession(build_micro_graph(), config=OURS_MDS) \
+        .run().recording
+
+
+def make_blob(recording, tenant, digest=None):
+    """A valid artifact blob for ``tenant``, optionally under a fake
+    digest (distinct keys from one cheap compile)."""
+    return to_artifact(recording.compile(), tenant_id=tenant,
+                       recording=recording,
+                       recording_digest=digest or recording.digest())
+
+
+FAKE_A = "a" * 64
+FAKE_B = "b" * 64
+FAKE_C = "c" * 64
+
+
+class TestMemoryStore:
+    def test_put_get_roundtrip(self, recording):
+        store = MemoryStore()
+        key = ArtifactKey.current(recording.digest())
+        receipts = store.put("t0", key, make_blob(recording, "t0"))
+        assert receipts == []
+        compiled = store.get("t0", key)
+        assert compiled is not None
+        assert compiled.entry_count == len(recording.entries)
+        assert store.stats.hits == 1 and store.stats.publishes == 1
+
+    def test_miss_is_counted(self, recording):
+        store = MemoryStore()
+        assert store.get("t0", ArtifactKey.current(FAKE_A)) is None
+        assert store.stats.misses == 1 and store.stats.hit_rate == 0.0
+
+    def test_same_key_other_tenant_is_a_miss(self, recording):
+        store = MemoryStore()
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        assert store.get("t1", key) is None
+        assert store.stats.misses == 1
+
+    def test_put_under_wrong_tenant_raises(self, recording):
+        """A blob embedding tenant A never lands in B's bucket."""
+        store = MemoryStore()
+        key = ArtifactKey.current(recording.digest())
+        with pytest.raises(TenantIsolationError):
+            store.put("t-other", key, make_blob(recording, "t0"))
+        assert len(store) == 0
+
+    def test_put_under_wrong_digest_raises(self, recording):
+        from repro.store import StoreError
+        store = MemoryStore()
+        with pytest.raises(StoreError, match="recording"):
+            store.put("t0", ArtifactKey.current(FAKE_A),
+                      make_blob(recording, "t0"))
+
+    def test_lru_eviction_emits_receipts(self, recording):
+        blob = make_blob(recording, "t0", FAKE_A)
+        store = MemoryStore(max_bytes=2 * len(blob) + 10)
+        store.put("t0", ArtifactKey.current(FAKE_A),
+                  make_blob(recording, "t0", FAKE_A))
+        store.put("t0", ArtifactKey.current(FAKE_B),
+                  make_blob(recording, "t0", FAKE_B))
+        # Touch A so B is the LRU victim when C lands.
+        assert store.get("t0", ArtifactKey.current(FAKE_A)) is not None
+        receipts = store.put("t0", ArtifactKey.current(FAKE_C),
+                             make_blob(recording, "t0", FAKE_C))
+        assert [r.recording_digest for r in receipts] == [FAKE_B]
+        assert receipts[0].reason == "size"
+        assert receipts[0].nbytes > 0
+        assert store.stats.evictions == 1
+        assert store.stats.bytes_evicted == receipts[0].nbytes
+        assert store.receipts == receipts
+        assert store.get("t0", ArtifactKey.current(FAKE_A)) is not None
+        assert store.get("t0", ArtifactKey.current(FAKE_B)) is None
+
+    def test_evict_tenant_clears_only_that_tenant(self, recording):
+        store = MemoryStore()
+        store.put("t0", ArtifactKey.current(FAKE_A),
+                  make_blob(recording, "t0", FAKE_A))
+        store.put("t1", ArtifactKey.current(FAKE_A),
+                  make_blob(recording, "t1", FAKE_A))
+        receipts = store.evict_tenant("t0")
+        assert len(receipts) == 1 and receipts[0].reason == "tenant"
+        assert store.get("t0", ArtifactKey.current(FAKE_A)) is None
+        assert store.get("t1", ArtifactKey.current(FAKE_A)) is not None
+
+    def test_audit_isolation_counts_entries(self, recording):
+        store = MemoryStore()
+        store.put("t0", ArtifactKey.current(FAKE_A),
+                  make_blob(recording, "t0", FAKE_A))
+        store.put("t1", ArtifactKey.current(FAKE_B),
+                  make_blob(recording, "t1", FAKE_B))
+        assert store.audit_isolation() == 2
+
+    def test_stats_schema(self):
+        assert StoreStats.SCHEMA == "repro.store"
+        stats = StoreStats(hits=3, misses=1)
+        assert stats.lookups == 4 and stats.hit_rate == 0.75
+        assert stats.as_dict()["hits"] == 3
+
+
+class TestDiskStore:
+    def test_publish_lands_in_tenant_bucket(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        path = tmp_path / tenant_bucket("t0") / key.filename()
+        assert path.is_file()
+        # No temp files left behind by the write-then-rename publish.
+        leftovers = [p for p in tmp_path.rglob("*")
+                     if p.is_file() and not p.name.endswith(".grta")
+                     and p.name != "store_stats.json"]
+        assert leftovers == []
+
+    def test_hit_after_reopen(self, recording, tmp_path):
+        key = ArtifactKey.current(recording.digest())
+        DiskStore(tmp_path).put("t0", key, make_blob(recording, "t0"))
+        fresh = DiskStore(tmp_path)  # simulated restart
+        compiled = fresh.get("t0", key)
+        assert compiled is not None
+        assert fresh.stats.hits == 1
+
+    def test_corrupt_artifact_rejected_and_dropped(self, recording,
+                                                   tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        path = tmp_path / tenant_bucket("t0") / key.filename()
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get("t0", key) is None
+        assert store.stats.corrupt_rejected == 1
+        assert not path.exists()  # dropped, not left to fail forever
+
+    def test_truncated_artifact_rejected(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        path = tmp_path / tenant_bucket("t0") / key.filename()
+        path.write_bytes(path.read_bytes()[:200])
+        assert store.get("t0", key) is None
+        assert store.stats.corrupt_rejected == 1
+
+    def test_cross_tenant_same_digest_isolated(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        store.put("t1", key, make_blob(recording, "t1"))
+        assert len(store) == 2
+        a = store.get("t0", key)
+        b = store.get("t1", key)
+        assert a.artifact_meta["tenant_id"] == "t0"
+        assert b.artifact_meta["tenant_id"] == "t1"
+        assert store.audit_isolation() == 2
+
+    def test_opening_other_tenants_file_raises(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        path = tmp_path / tenant_bucket("t0") / key.filename()
+        with pytest.raises(TenantIsolationError):
+            from_artifact(path, expected_tenant="t1")
+
+    def test_size_budget_evicts_lru_with_receipts(self, recording,
+                                                  tmp_path):
+        blob = make_blob(recording, "t0", FAKE_A)
+        store = DiskStore(tmp_path, max_bytes=2 * len(blob) + 10)
+        store.put("t0", ArtifactKey.current(FAKE_A),
+                  make_blob(recording, "t0", FAKE_A))
+        store.put("t0", ArtifactKey.current(FAKE_B),
+                  make_blob(recording, "t0", FAKE_B))
+        receipts = store.put("t0", ArtifactKey.current(FAKE_C),
+                             make_blob(recording, "t0", FAKE_C))
+        assert len(receipts) == 1
+        assert receipts[0].reason == "size"
+        assert store.nbytes() <= 2 * len(blob) + 10
+        assert store.stats.evictions == 1
+
+    def test_gc_budget_and_remove(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        for digest in (FAKE_A, FAKE_B):
+            store.put("t0", ArtifactKey.current(digest),
+                      make_blob(recording, "t0", digest))
+        receipts = store.gc(max_bytes=store.nbytes() // 2)
+        assert len(receipts) == 1
+        assert len(store) == 1
+        removed = store.remove("t0", store.entries()[0]["recording_digest"])
+        assert len(removed) == 1 and len(store) == 0
+
+    def test_gc_sweeps_stale_versions(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        path = tmp_path / tenant_bucket("t0") / key.filename()
+        stale = path.with_name(
+            ArtifactKey(recording.digest(), compiler_version=0).filename())
+        stale.write_bytes(path.read_bytes())
+        receipts = store.gc()
+        assert [r.recording_digest for r in receipts] == \
+            [recording.digest()]
+        assert not stale.exists() and path.exists()
+
+    def test_verify_all_flags_corruption(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        for tenant, digest in (("t0", FAKE_A), ("t1", FAKE_B)):
+            store.put(tenant, ArtifactKey.current(digest),
+                      make_blob(recording, tenant, digest))
+        path = tmp_path / tenant_bucket("t1") / \
+            ArtifactKey.current(FAKE_B).filename()
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x01
+        path.write_bytes(bytes(raw))
+        rows = store.verify_all()
+        by_path = {r["path"]: r for r in rows}
+        assert len(rows) == 2
+        bad = by_path[str(path)]
+        assert bad["ok"] is False and bad["error"]
+        (good,) = [r for r in rows if r["path"] != str(path)]
+        assert good["ok"] is True
+        assert good["recording_digest"] == FAKE_A
+
+    def test_persisted_stats_survive_restart(self, recording, tmp_path):
+        key = ArtifactKey.current(recording.digest())
+        first = DiskStore(tmp_path)
+        first.put("t0", key, make_blob(recording, "t0"))
+        first.get("t0", key)
+        persisted = DiskStore(tmp_path).persisted_stats()
+        assert persisted["publishes"] >= 1
+        assert persisted["hits"] >= 1
+
+    def test_entries_shape(self, recording, tmp_path):
+        store = DiskStore(tmp_path)
+        key = ArtifactKey.current(recording.digest())
+        store.put("t0", key, make_blob(recording, "t0"))
+        (row,) = store.entries()
+        assert row["tenant_id"] == "t0"
+        assert row["recording_digest"] == recording.digest()
+        assert row["compiler_version"] == key.compiler_version
+        assert row["schema_version"] == key.schema_version
+        assert row["workload"] == recording.workload
+        assert row["nbytes"] > 0
+        assert os.path.isfile(row["path"])
+
+
+class TestResolveStore:
+    def test_path_becomes_disk_store(self, tmp_path):
+        store = resolve_store(tmp_path / "s")
+        assert isinstance(store, DiskStore)
+        assert resolve_store(str(tmp_path / "s")).root == store.root
+
+    def test_store_object_passes_through(self):
+        store = MemoryStore()
+        assert resolve_store(store) is store
+
+    def test_none_without_env_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert resolve_store(None) is None
+        assert resolve_store_path(None) == ""
+
+    def test_env_fallback_warns_once(self, monkeypatch, tmp_path):
+        import warnings
+
+        from repro.core import config
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "envstore"))
+        monkeypatch.setattr(config, "_warned_store_env", False)
+        with pytest.warns(DeprecationWarning, match="REPRO_STORE"):
+            store = resolve_store(None)
+        assert isinstance(store, DiskStore)
+        # One-time: the second read is silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_store_path(None) == str(tmp_path / "envstore")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            resolve_store(42)
+
+    def test_memory_store_has_no_shareable_path(self):
+        with pytest.raises(TypeError, match="path"):
+            resolve_store_path(MemoryStore())
+
+    def test_disk_store_path_is_its_root(self, tmp_path):
+        assert resolve_store_path(DiskStore(tmp_path)) == \
+            os.fspath(DiskStore(tmp_path).root)
